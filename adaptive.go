@@ -1,0 +1,31 @@
+package pla
+
+import (
+	"github.com/pla-go/pla/internal/adaptive"
+)
+
+// Adaptive precision allocation (Olston et al., SIGMOD 2003 — the
+// paper's reference [21]): a coordinator divides a global aggregate
+// error budget E across many streams, Σ ε_i ≤ E, and periodically moves
+// budget toward the streams that are hardest to compress.
+
+// AdaptiveConfig parameterises an adaptive-precision coordinator.
+type AdaptiveConfig = adaptive.Config
+
+// Coordinator allocates a global precision budget across streams.
+type Coordinator = adaptive.Coordinator
+
+// SumModel is the aggregate view over the coordinator's streams: the
+// reconstructed sum is within Budget of the true sum at covered times.
+type SumModel = adaptive.SumModel
+
+// NewCoordinator returns an adaptive-precision coordinator with the
+// budget split uniformly across cfg.Streams.
+func NewCoordinator(cfg AdaptiveConfig) (*Coordinator, error) {
+	return adaptive.New(cfg)
+}
+
+// NewSumModel builds the aggregate view from Coordinator.Finish output.
+func NewSumModel(budget float64, perStream map[string][]Segment) (*SumModel, error) {
+	return adaptive.NewSumModel(budget, perStream)
+}

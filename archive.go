@@ -1,0 +1,54 @@
+package pla
+
+import (
+	"io"
+
+	"github.com/pla-go/pla/internal/transport"
+	"github.com/pla-go/pla/internal/tsdb"
+)
+
+// Time-series archive — store filtered streams as segments and query them
+// with deterministic error bounds (the paper's "repository for later
+// offline analysis").
+
+// Archive holds many named segment series; safe for concurrent use.
+type Archive = tsdb.Archive
+
+// Series is one stored stream with its precision contract.
+type Series = tsdb.Series
+
+// SeriesStats summarises a stored series.
+type SeriesStats = tsdb.SeriesStats
+
+// AggregateResult is a range statistic plus its guaranteed ±ε band.
+type AggregateResult = tsdb.AggregateResult
+
+// NewArchive returns an empty archive.
+func NewArchive() *Archive { return tsdb.New() }
+
+// LoadArchive reads an archive previously written with Archive.WriteTo or
+// Archive.SaveFile.
+func LoadArchive(r io.Reader) (*Archive, error) { return tsdb.ReadArchive(r) }
+
+// LoadArchiveFile reads an archive file from disk.
+func LoadArchiveFile(path string) (*Archive, error) { return tsdb.LoadFile(path) }
+
+// Live transport — ship recordings over any connection and query the
+// receiving side while the stream is still running.
+
+// Transmitter filters samples and ships finalized segments immediately.
+type Transmitter = transport.Transmitter
+
+// Receiver incrementally decodes a stream into a live, queryable model.
+type Receiver = transport.Receiver
+
+// NewTransmitter writes the stream header for f's precision contract and
+// returns a transmitter bound to w.
+func NewTransmitter(w io.Writer, f Filter) (*Transmitter, error) {
+	return transport.NewTransmitter(w, f)
+}
+
+// NewReceiver reads and validates a stream header from r.
+func NewReceiver(r io.Reader) (*Receiver, error) {
+	return transport.NewReceiver(r)
+}

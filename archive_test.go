@@ -1,0 +1,255 @@
+package pla_test
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+
+	pla "github.com/pla-go/pla"
+)
+
+func TestFacadeArchiveFlow(t *testing.T) {
+	signal := pla.SeaSurfaceTemperature()
+	eps := []float64{0.05}
+
+	arch := pla.NewArchive()
+	f, err := pla.NewSlideFilter(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := arch.Ingest("sst", f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0, t1, ok := series.Span()
+	if !ok {
+		t.Fatal("no span")
+	}
+	mn, err := series.Min(0, t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx, err := series.Max(0, t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := pla.SignalRange(signal, 0)
+	if lo < mn.Value-mn.Epsilon-1e-9 || hi > mx.Value+mx.Epsilon+1e-9 {
+		t.Fatalf("bounds broken: [%v, %v] vs [%v±%v, %v±%v]", lo, hi, mn.Value, mn.Epsilon, mx.Value, mx.Epsilon)
+	}
+
+	var buf bytes.Buffer
+	if _, err := arch.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := pla.LoadArchive(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := back.Get("sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Stats().Points != len(signal) {
+		t.Fatalf("points lost: %+v", s2.Stats())
+	}
+}
+
+func TestFacadeTransportFlow(t *testing.T) {
+	signal := pla.SSTLike(800, 12)
+	eps := []float64{0.1}
+	pr, pw := io.Pipe()
+
+	done := make(chan error, 1)
+	segsCh := make(chan []pla.Segment, 1)
+	go func() {
+		rx, err := pla.NewReceiver(pr)
+		if err != nil {
+			done <- err
+			return
+		}
+		err = rx.Run()
+		segsCh <- rx.Segments()
+		done <- err
+	}()
+
+	f, err := pla.NewSwingFilter(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := pla.NewTransmitter(pw, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range signal {
+		if err := tx.Send(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+
+	segs := <-segsCh
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	model, err := pla.Reconstruct(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pla.CheckPrecision(signal, model, eps, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if tx.BytesSent() >= pla.RawSize(len(signal), 1) {
+		t.Fatalf("no wire savings: %d bytes", tx.BytesSent())
+	}
+}
+
+func TestFacadeSwingRecordingModes(t *testing.T) {
+	signal := pla.RandomWalk(pla.WalkConfig{N: 1000, P: 0.5, MaxDelta: 3, Seed: 77})
+	eps := []float64{1}
+	for _, mode := range []pla.SwingRecording{pla.RecordMSE, pla.RecordMidline, pla.RecordLast} {
+		f, err := pla.NewSwingFilter(eps, pla.WithSwingRecording(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs, err := pla.Compress(f, signal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := pla.Reconstruct(segs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pla.CheckPrecision(signal, m, eps, 1e-6); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+	}
+}
+
+func TestFacadeConnectionGrid(t *testing.T) {
+	signal := pla.RandomWalk(pla.WalkConfig{N: 1000, P: 0.5, MaxDelta: 3, Seed: 78})
+	eps := []float64{1}
+	noConn, err := pla.NewSlideFilter(eps, pla.WithConnectionGrid(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := pla.NewSlideFilter(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pla.Compress(noConn, signal); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pla.Compress(full, signal); err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats().Recordings > noConn.Stats().Recordings {
+		t.Fatalf("connections raised recordings: %d vs %d",
+			full.Stats().Recordings, noConn.Stats().Recordings)
+	}
+}
+
+func TestFacadeSWABAndBottomUp(t *testing.T) {
+	var signal []pla.Point
+	for j := 0; j < 200; j++ {
+		tt := float64(j)
+		signal = append(signal, pla.Point{T: tt, X: []float64{math.Abs(tt - 100)}})
+	}
+	segs := pla.BottomUp(signal, 0.5)
+	if len(segs) != 2 {
+		t.Fatalf("bottom-up on a V: %d segments", len(segs))
+	}
+	sw, err := pla.NewSWAB(pla.SWABConfig{
+		MaxError:  0.5,
+		NewFilter: func() (pla.Filter, error) { return pla.NewSwingFilter([]float64{0.5}) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []pla.Segment
+	for _, p := range signal {
+		out, err := sw.Push(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, out...)
+	}
+	tail, err := sw.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	all = append(all, tail...)
+	total := 0
+	for _, s := range all {
+		total += s.Points
+	}
+	if total != len(signal) {
+		t.Fatalf("SWAB covered %d of %d", total, len(signal))
+	}
+}
+
+func TestFacadeMonitor(t *testing.T) {
+	m := pla.NewMonitor(nil)
+	f, _ := pla.NewSwingFilter([]float64{1})
+	if err := m.Register("s1", f); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 50; j++ {
+		if err := m.Push("s1", pla.Point{T: float64(j), X: []float64{float64(j % 3)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, total := m.Snapshot()
+	if len(stats) != 1 || total.Points != 50 {
+		t.Fatalf("snapshot: %+v %+v", stats, total)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeAdaptiveCoordinator(t *testing.T) {
+	names := []string{"flat", "noisy"}
+	c, err := pla.NewCoordinator(pla.AdaptiveConfig{
+		Budget:  2,
+		Streams: names,
+		Period:  50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := pla.RandomWalk(pla.WalkConfig{N: 500, P: 0.5, MaxDelta: 3, Seed: 9})
+	for j := 0; j < 500; j++ {
+		if err := c.Push("flat", pla.Point{T: float64(j), X: []float64{1}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Push("noisy", noisy[j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per, err := c.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := pla.NewSumModel(2, per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 500; j++ {
+		got, ok := sum.At(float64(j))
+		if !ok {
+			t.Fatalf("t=%d uncovered", j)
+		}
+		want := 1 + noisy[j].X[0]
+		if d := got - want; d > 2.0001 || d < -2.0001 {
+			t.Fatalf("t=%d: sum error %v exceeds budget", j, d)
+		}
+	}
+	if w := c.Widths(); w["noisy"] <= w["flat"] {
+		t.Fatalf("budget did not favour the noisy stream: %v", w)
+	}
+}

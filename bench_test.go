@@ -1,0 +1,283 @@
+package pla_test
+
+// One benchmark per figure of the paper's evaluation (Section 5). The
+// throughput benches report ns/op for compressing the figure's workload
+// once, plus the figure's headline metric (compression ratio or average
+// error) via b.ReportMetric, so `go test -bench=.` regenerates both the
+// performance and the quality numbers. BenchmarkFig13* are the per-point
+// overhead measurements the figure actually plots.
+
+import (
+	"fmt"
+	"testing"
+
+	pla "github.com/pla-go/pla"
+	"github.com/pla-go/pla/internal/experiments"
+	"github.com/pla-go/pla/internal/gen"
+)
+
+var benchFilters = []string{"cache", "linear", "swing", "slide"}
+
+// benchCompression compresses signal once per iteration with the named
+// filter and reports the paper's compression ratio.
+func benchCompression(b *testing.B, name string, signal []pla.Point, eps []float64) {
+	b.Helper()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.NewFilter(name, eps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pla.Compress(f, signal); err != nil {
+			b.Fatal(err)
+		}
+		ratio = f.Stats().CompressionRatio()
+	}
+	b.ReportMetric(ratio, "ratio")
+	b.ReportMetric(float64(len(signal)), "points")
+}
+
+// BenchmarkFig06SSTGeneration regenerates the Figure 6 dataset.
+func BenchmarkFig06SSTGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if pts := gen.SeaSurfaceTemperature(); len(pts) != gen.SSTPoints {
+			b.Fatal("bad SST length")
+		}
+	}
+}
+
+// BenchmarkFig07CompressionVsPrecision compresses the SST signal at the
+// middle of Figure 7's sweep (ε = 1 % of range) with each filter.
+func BenchmarkFig07CompressionVsPrecision(b *testing.B) {
+	signal := pla.SeaSurfaceTemperature()
+	lo, hi := pla.SignalRange(signal, 0)
+	eps := []float64{0.01 * (hi - lo)}
+	for _, name := range benchFilters {
+		b.Run(name, func(b *testing.B) { benchCompression(b, name, signal, eps) })
+	}
+}
+
+// BenchmarkFig08AverageError runs the Figure 8 pipeline (compress,
+// reconstruct, measure) at ε = 1 % of range and reports the average error
+// as a percentage of the range.
+func BenchmarkFig08AverageError(b *testing.B) {
+	signal := pla.SeaSurfaceTemperature()
+	lo, hi := pla.SignalRange(signal, 0)
+	eps := []float64{0.01 * (hi - lo)}
+	for _, name := range benchFilters {
+		b.Run(name, func(b *testing.B) {
+			var avg float64
+			for i := 0; i < b.N; i++ {
+				v, err := experiments.AverageError(name, signal, eps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				avg = 100 * v / (hi - lo)
+			}
+			b.ReportMetric(avg, "avgerr%")
+		})
+	}
+}
+
+// BenchmarkFig09Monotonicity compresses Figure 9's random walk at the two
+// extreme monotonicity settings.
+func BenchmarkFig09Monotonicity(b *testing.B) {
+	for _, p := range []float64{0, 0.5} {
+		signal := pla.RandomWalk(pla.WalkConfig{N: 10000, P: p, MaxDelta: 4, Seed: 900})
+		for _, name := range benchFilters {
+			b.Run(fmt.Sprintf("p=%.1f/%s", p, name), func(b *testing.B) {
+				benchCompression(b, name, signal, []float64{1})
+			})
+		}
+	}
+}
+
+// BenchmarkFig10DeltaMagnitude compresses Figure 10's random walk at a
+// small and a large step magnitude.
+func BenchmarkFig10DeltaMagnitude(b *testing.B) {
+	for _, pct := range []float64{10, 1000} {
+		signal := pla.RandomWalk(pla.WalkConfig{N: 10000, P: 0.5, MaxDelta: pct / 100, Seed: 1000})
+		for _, name := range benchFilters {
+			b.Run(fmt.Sprintf("x=%g%%/%s", pct, name), func(b *testing.B) {
+				benchCompression(b, name, signal, []float64{1})
+			})
+		}
+	}
+}
+
+// BenchmarkFig11Dimensionality compresses Figure 11's independent
+// multi-dimensional walk at d = 5.
+func BenchmarkFig11Dimensionality(b *testing.B) {
+	const d = 5
+	signal := pla.MultiWalk(pla.MultiWalkConfig{
+		WalkConfig: pla.WalkConfig{N: 10000, P: 0.5, MaxDelta: 4, Seed: 1100},
+		Dims:       d,
+	})
+	eps := pla.UniformEpsilon(d, 1)
+	for _, name := range benchFilters {
+		b.Run(name, func(b *testing.B) { benchCompression(b, name, signal, eps) })
+	}
+}
+
+// BenchmarkFig12Correlation compresses Figure 12's correlated
+// 5-dimensional walk at ρ = 0.7 (the paper's break-even region).
+func BenchmarkFig12Correlation(b *testing.B) {
+	const d = 5
+	signal := pla.MultiWalk(pla.MultiWalkConfig{
+		WalkConfig:  pla.WalkConfig{N: 10000, P: 0.5, MaxDelta: 4, Seed: 1200},
+		Dims:        d,
+		Correlation: 0.7,
+	})
+	eps := pla.UniformEpsilon(d, 1)
+	for _, name := range benchFilters {
+		b.Run(name, func(b *testing.B) { benchCompression(b, name, signal, eps) })
+	}
+}
+
+// BenchmarkFig13Overhead is the paper's Figure 13 measurement: the
+// steady-state cost of Push per data point, for every filter including
+// the non-optimized slide, at ε = 1 % of the SST range. ns/op here is
+// ns/point.
+func BenchmarkFig13Overhead(b *testing.B) {
+	base := pla.SeaSurfaceTemperature()
+	lo, hi := pla.SignalRange(base, 0)
+	eps := []float64{0.01 * (hi - lo)}
+	names := append(append([]string(nil), benchFilters...), "slide-nonopt")
+	for _, name := range names {
+		b.Run(name, func(b *testing.B) {
+			f, err := experiments.NewFilter(name, eps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := make([]float64, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x[0] = base[i%len(base)].X[0]
+				if _, err := f.Push(pla.Point{T: float64(i), X: x}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig13OverheadWidePrecision repeats the overhead measurement at
+// ε = 31.6 % of range, where filtering intervals get very long and the
+// non-optimized slide's linear rescans dominate — the divergence Figure
+// 13 is about.
+func BenchmarkFig13OverheadWidePrecision(b *testing.B) {
+	base := pla.SeaSurfaceTemperature()
+	lo, hi := pla.SignalRange(base, 0)
+	eps := []float64{0.316 * (hi - lo)}
+	for _, name := range []string{"swing", "slide", "slide-nonopt"} {
+		b.Run(name, func(b *testing.B) {
+			f, err := experiments.NewFilter(name, eps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := make([]float64, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x[0] = base[i%len(base)].X[0]
+				if _, err := f.Push(pla.Point{T: float64(i), X: x}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSwingRecording compares the swing recording modes'
+// end-to-end cost (the MSE sums are O(1), so the modes should tie).
+func BenchmarkAblationSwingRecording(b *testing.B) {
+	signal := pla.RandomWalk(pla.WalkConfig{N: 10000, P: 0.5, MaxDelta: 3, Seed: 70})
+	eps := []float64{1}
+	for _, mode := range []pla.SwingRecording{pla.RecordMSE, pla.RecordMidline, pla.RecordLast} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f, err := pla.NewSwingFilter(eps, pla.WithSwingRecording(mode))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := pla.Compress(f, signal); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationConnectionGrid compares slide connection-search
+// densities: compression gain (ratio metric) versus boundary-search cost.
+func BenchmarkAblationConnectionGrid(b *testing.B) {
+	signal := pla.RandomWalk(pla.WalkConfig{N: 10000, P: 0.5, MaxDelta: 3, Seed: 71})
+	eps := []float64{1}
+	for _, grid := range []int{0, 5, 17, 65} {
+		b.Run(fmt.Sprintf("grid=%d", grid), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				f, err := pla.NewSlideFilter(eps, pla.WithConnectionGrid(grid))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := pla.Compress(f, signal); err != nil {
+					b.Fatal(err)
+				}
+				ratio = f.Stats().CompressionRatio()
+			}
+			b.ReportMetric(ratio, "ratio")
+		})
+	}
+}
+
+// BenchmarkAblationTangentSearch compares the linear and logarithmic
+// hull-tangent searches inside the slide filter.
+func BenchmarkAblationTangentSearch(b *testing.B) {
+	signal := pla.SeaSurfaceTemperature()
+	lo, hi := pla.SignalRange(signal, 0)
+	eps := []float64{0.1 * (hi - lo)}
+	for _, variant := range []struct {
+		name string
+		opts []pla.SlideOption
+	}{
+		{"linear-scan", nil},
+		{"binary-search", []pla.SlideOption{pla.WithBinaryTangentSearch()}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			f, err := pla.NewSlideFilter(eps, variant.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := make([]float64, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x[0] = signal[i%len(signal)].X[0]
+				if _, err := f.Push(pla.Point{T: float64(i), X: x}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireEncode measures the codec on a realistic segment stream.
+func BenchmarkWireEncode(b *testing.B) {
+	signal := pla.SeaSurfaceTemperature()
+	lo, hi := pla.SignalRange(signal, 0)
+	eps := []float64{0.01 * (hi - lo)}
+	f, _ := pla.NewSlideFilter(eps)
+	segs, err := pla.Compress(f, signal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pla.Encode(discard{}, eps, false, segs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,221 @@
+// Command plaarchive builds and queries pla segment archives: CSV streams
+// go in through a filter, a compact .plaa file comes out, and range
+// queries (point lookups, min/max/mean with guaranteed ±ε bounds,
+// resampling) run against it without ever re-materialising the raw data.
+//
+// Usage:
+//
+//	plaarchive build -o data.plaa -filter slide -eps 0.5 name=points.csv [name2=more.csv …]
+//	plaarchive info data.plaa
+//	plaarchive query data.plaa -series name -op at   -at 120
+//	plaarchive query data.plaa -series name -op min  -from 0 -to 1000
+//	plaarchive query data.plaa -series name -op mean -from 0 -to 1000 -dim 0
+//	plaarchive query data.plaa -series name -op sample -from 0 -to 100 -dt 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	pla "github.com/pla-go/pla"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "build":
+		build(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "query":
+		query(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: plaarchive build|info|query … (see package doc)")
+	os.Exit(2)
+}
+
+// liftPath moves a leading non-flag argument (the archive path) to the
+// end so the standard flag package can parse the remaining flags.
+func liftPath(args []string) []string {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		return append(append([]string(nil), args[1:]...), args[0])
+	}
+	return args
+}
+
+func build(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	out := fs.String("o", "archive.plaa", "output archive path")
+	filter := fs.String("filter", "slide", "cache, linear, swing, slide")
+	epsFlag := fs.String("eps", "1", "comma-separated per-dimension precision widths")
+	_ = fs.Parse(args)
+	if fs.NArg() == 0 {
+		fatal(fmt.Errorf("build needs at least one name=file.csv argument"))
+	}
+	eps := parseEps(*epsFlag)
+
+	arch := pla.NewArchive()
+	for _, spec := range fs.Args() {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad series spec %q (want name=file.csv)", spec))
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		pts, err := pla.ReadPointsCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		flt, err := makeFilter(*filter, eps)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := arch.Ingest(name, flt, pts)
+		if err != nil {
+			fatal(err)
+		}
+		st := s.Stats()
+		fmt.Fprintf(os.Stderr, "%s: %d points → %d segments (%d recordings, ratio %.2f)\n",
+			name, st.Points, st.Segments, st.Recordings, st.Ratio)
+	}
+	if err := arch.SaveFile(*out); err != nil {
+		fatal(err)
+	}
+	fi, err := os.Stat(*out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, fi.Size())
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	_ = fs.Parse(liftPath(args))
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("info needs exactly one archive path"))
+	}
+	arch, err := pla.LoadArchiveFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-16s %5s %9s %11s %8s %7s %14s\n",
+		"series", "dim", "segments", "recordings", "points", "ratio", "span")
+	for _, name := range arch.Names() {
+		s, err := arch.Get(name)
+		if err != nil {
+			fatal(err)
+		}
+		st := s.Stats()
+		t0, t1, _ := s.Span()
+		fmt.Printf("%-16s %5d %9d %11d %8d %7.2f [%g, %g]\n",
+			name, st.Dim, st.Segments, st.Recordings, st.Points, st.Ratio, t0, t1)
+	}
+}
+
+func query(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	series := fs.String("series", "", "series name (required)")
+	op := fs.String("op", "at", "at, min, max, mean, sample")
+	at := fs.Float64("at", 0, "time for -op at")
+	from := fs.Float64("from", 0, "range start")
+	to := fs.Float64("to", 0, "range end")
+	dt := fs.Float64("dt", 1, "sample step for -op sample")
+	dim := fs.Int("dim", 0, "dimension for min/max/mean")
+	_ = fs.Parse(liftPath(args))
+	if fs.NArg() != 1 || *series == "" {
+		fatal(fmt.Errorf("query needs an archive path and -series"))
+	}
+	arch, err := pla.LoadArchiveFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	s, err := arch.Get(*series)
+	if err != nil {
+		fatal(err)
+	}
+	switch *op {
+	case "at":
+		x, ok := s.At(*at)
+		if !ok {
+			fatal(fmt.Errorf("t=%g is not covered", *at))
+		}
+		fmt.Println(joinFloats(x))
+	case "min", "max", "mean":
+		var res pla.AggregateResult
+		switch *op {
+		case "min":
+			res, err = s.Min(*dim, *from, *to)
+		case "max":
+			res, err = s.Max(*dim, *from, *to)
+		default:
+			res, err = s.Mean(*dim, *from, *to)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s[%g,%g] dim %d = %g ± %g (covered %g, %d segments)\n",
+			*op, *from, *to, *dim, res.Value, res.Epsilon, res.Covered, res.Segments)
+	case "sample":
+		pts, err := s.Sample(*from, *to, *dt)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pla.WritePointsCSV(os.Stdout, pts); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown op %q", *op))
+	}
+}
+
+func makeFilter(name string, eps []float64) (pla.Filter, error) {
+	switch name {
+	case "cache":
+		return pla.NewCacheFilter(eps)
+	case "linear":
+		return pla.NewLinearFilter(eps)
+	case "swing":
+		return pla.NewSwingFilter(eps)
+	case "slide":
+		return pla.NewSlideFilter(eps)
+	default:
+		return nil, fmt.Errorf("unknown filter %q", name)
+	}
+}
+
+func parseEps(s string) []float64 {
+	var eps []float64
+	for _, f := range strings.Split(s, ",") {
+		var v float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%g", &v); err != nil {
+			fatal(fmt.Errorf("bad eps %q", f))
+		}
+		eps = append(eps, v)
+	}
+	return eps
+}
+
+func joinFloats(x []float64) string {
+	parts := make([]string, len(x))
+	for i, v := range x {
+		parts[i] = fmt.Sprintf("%g", v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plaarchive:", err)
+	os.Exit(1)
+}

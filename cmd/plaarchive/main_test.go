@@ -1,0 +1,49 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLiftPath(t *testing.T) {
+	got := liftPath([]string{"arch.plaa", "-series", "s", "-op", "min"})
+	want := []string{"-series", "s", "-op", "min", "arch.plaa"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("liftPath = %v", got)
+	}
+	// Already flag-first: unchanged.
+	in := []string{"-series", "s", "arch.plaa"}
+	if got := liftPath(in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("liftPath(flag-first) = %v", got)
+	}
+	if got := liftPath(nil); len(got) != 0 {
+		t.Fatalf("liftPath(nil) = %v", got)
+	}
+}
+
+func TestParseEpsArchive(t *testing.T) {
+	eps := parseEps("1,0.5")
+	if len(eps) != 2 || eps[0] != 1 || eps[1] != 0.5 {
+		t.Fatalf("eps = %v", eps)
+	}
+}
+
+func TestJoinFloats(t *testing.T) {
+	if got := joinFloats([]float64{1.5, -2, 3}); got != "1.5,-2,3" {
+		t.Fatalf("joinFloats = %q", got)
+	}
+	if got := joinFloats(nil); got != "" {
+		t.Fatalf("joinFloats(nil) = %q", got)
+	}
+}
+
+func TestMakeFilterArchive(t *testing.T) {
+	for _, name := range []string{"cache", "linear", "swing", "slide"} {
+		if f, err := makeFilter(name, []float64{1}); err != nil || f == nil {
+			t.Fatalf("makeFilter(%q): %v", name, err)
+		}
+	}
+	if _, err := makeFilter("bogus", []float64{1}); err == nil {
+		t.Fatal("unknown filter accepted")
+	}
+}

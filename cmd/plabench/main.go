@@ -1,0 +1,84 @@
+// Command plabench regenerates the figures of the paper's evaluation
+// (Section 5, Figures 6–13) and prints each as an aligned text table.
+//
+// Usage:
+//
+//	plabench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13]
+//	         [-quick] [-seed n] [-dump-sst file.csv]
+//
+// -quick shrinks the synthetic workloads for a fast smoke run; the
+// canonical numbers in EXPERIMENTS.md come from the default sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/pla-go/pla/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "figure to regenerate (all, fig6 … fig13, ablation)")
+		quick      = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		seed       = flag.Uint64("seed", 0, "seed offset for the synthetic workloads (0 = canonical)")
+		dumpSST    = flag.String("dump-sst", "", "write the Figure 6 series as CSV to this file and exit")
+	)
+	flag.Parse()
+
+	if *dumpSST != "" {
+		f, err := os.Create(*dumpSST)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.DumpSST(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote sea-surface-temperature series to %s\n", *dumpSST)
+		return
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	figs := map[string]func(experiments.Config) (*experiments.Table, error){
+		"fig6":     experiments.Fig6,
+		"fig7":     experiments.Fig7,
+		"fig8":     experiments.Fig8,
+		"fig9":     experiments.Fig9,
+		"fig10":    experiments.Fig10,
+		"fig11":    experiments.Fig11,
+		"fig12":    experiments.Fig12,
+		"fig13":    experiments.Fig13,
+		"ablation": experiments.Ablations,
+	}
+
+	switch *experiment {
+	case "all":
+		tables, err := experiments.All(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			t.Render(os.Stdout)
+		}
+	default:
+		fn, ok := figs[strings.ToLower(*experiment)]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (want all, fig6…fig13, or ablation)", *experiment))
+		}
+		t, err := fn(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		t.Render(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plabench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,215 @@
+// Command plafilter compresses a CSV point stream with one of the
+// paper's filters, or reconstructs points from a compressed stream.
+//
+// Compress (CSV points in, CSV segments out, stats on stderr):
+//
+//	plafilter -filter slide -eps 0.5 < points.csv > segments.csv
+//	plafilter -filter swing -eps 0.5,0.25 -maxlag 100 < points.csv
+//
+// Binary wire format instead of CSV segments:
+//
+//	plafilter -filter slide -eps 0.5 -wire out.pla < points.csv
+//
+// Reconstruct (sample a compressed stream back to points):
+//
+//	plafilter -decode -at 0,10,20 < segments.csv
+//	plafilter -decode -wire out.pla -at 0,10,20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	pla "github.com/pla-go/pla"
+)
+
+func main() {
+	var (
+		filter  = flag.String("filter", "slide", "cache, cache-midrange, cache-mean, linear, linear-disc, swing, slide")
+		epsFlag = flag.String("eps", "1", "comma-separated per-dimension precision widths")
+		maxLag  = flag.Int("maxlag", 0, "m_max_lag bound for swing/slide (0 = unbounded)")
+		wire    = flag.String("wire", "", "write (or with -decode, read) the binary wire format at this path")
+		decode  = flag.Bool("decode", false, "reconstruct points from a segment stream instead of compressing")
+		at      = flag.String("at", "", "with -decode: comma-separated times to sample")
+		in      = flag.String("i", "", "input file (default stdin)")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	input := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		input = f
+	}
+	output := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		output = f
+	}
+
+	if *decode {
+		runDecode(input, output, *wire, *at)
+		return
+	}
+	runCompress(input, output, *filter, *epsFlag, *maxLag, *wire)
+}
+
+func runCompress(input io.Reader, output io.Writer, name, epsFlag string, maxLag int, wire string) {
+	eps, err := parseEps(epsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	pts, err := pla.ReadPointsCSV(input)
+	if err != nil {
+		fatal(err)
+	}
+	if len(pts) > 0 && len(pts[0].X) != len(eps) {
+		fatal(fmt.Errorf("signal has %d dims but -eps has %d", len(pts[0].X), len(eps)))
+	}
+
+	f, constant, err := makeFilter(name, eps, maxLag)
+	if err != nil {
+		fatal(err)
+	}
+	segs, err := pla.Compress(f, pts)
+	if err != nil {
+		fatal(err)
+	}
+
+	if wire != "" {
+		wf, err := os.Create(wire)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := pla.Encode(wf, eps, constant, segs)
+		if err != nil {
+			fatal(err)
+		}
+		if err := wf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wire: %d bytes (raw %d, %.2fx)\n",
+			n, pla.RawSize(len(pts), len(eps)),
+			float64(pla.RawSize(len(pts), len(eps)))/float64(n))
+	} else {
+		if err := pla.WriteSegmentsCSV(output, segs); err != nil {
+			fatal(err)
+		}
+	}
+
+	st := f.Stats()
+	fmt.Fprintf(os.Stderr,
+		"%s: %d points → %d segments, %d recordings, compression ratio %.3f, lag flushes %d\n",
+		name, st.Points, st.Segments, st.Recordings, st.CompressionRatio(), st.LagFlushes)
+}
+
+func runDecode(input io.Reader, output io.Writer, wire, at string) {
+	var segs []pla.Segment
+	var err error
+	if wire != "" {
+		f, err2 := os.Open(wire)
+		if err2 != nil {
+			fatal(err2)
+		}
+		defer f.Close()
+		segs, err = pla.Decode(f)
+	} else {
+		segs, err = pla.ReadSegmentsCSV(input)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	model, err := pla.Reconstruct(segs)
+	if err != nil {
+		fatal(err)
+	}
+	if at == "" {
+		t0, t1 := model.Span()
+		fmt.Fprintf(os.Stderr, "decoded %d segments spanning [%g, %g]; use -at t1,t2,… to sample\n",
+			len(segs), t0, t1)
+		return
+	}
+	for _, fld := range strings.Split(at, ",") {
+		t, err := strconv.ParseFloat(strings.TrimSpace(fld), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -at time %q: %v", fld, err))
+		}
+		x, ok := model.Eval(t)
+		if !ok {
+			fmt.Fprintf(output, "%g,uncovered\n", t)
+			continue
+		}
+		row := make([]string, 0, 1+len(x))
+		row = append(row, strconv.FormatFloat(t, 'g', -1, 64))
+		for _, v := range x {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		fmt.Fprintln(output, strings.Join(row, ","))
+	}
+}
+
+func makeFilter(name string, eps []float64, maxLag int) (pla.Filter, bool, error) {
+	switch name {
+	case "cache":
+		f, err := pla.NewCacheFilter(eps)
+		return f, true, err
+	case "cache-midrange":
+		f, err := pla.NewCacheFilter(eps, pla.WithCacheMode(pla.CacheMidrange))
+		return f, true, err
+	case "cache-mean":
+		f, err := pla.NewCacheFilter(eps, pla.WithCacheMode(pla.CacheMean))
+		return f, true, err
+	case "linear":
+		f, err := pla.NewLinearFilter(eps)
+		return f, false, err
+	case "linear-disc":
+		f, err := pla.NewLinearFilter(eps, pla.WithDisconnectedSegments())
+		return f, false, err
+	case "swing":
+		var opts []pla.SwingOption
+		if maxLag > 0 {
+			opts = append(opts, pla.WithSwingMaxLag(maxLag))
+		}
+		f, err := pla.NewSwingFilter(eps, opts...)
+		return f, false, err
+	case "slide":
+		var opts []pla.SlideOption
+		if maxLag > 0 {
+			opts = append(opts, pla.WithSlideMaxLag(maxLag))
+		}
+		f, err := pla.NewSlideFilter(eps, opts...)
+		return f, false, err
+	default:
+		return nil, false, fmt.Errorf("unknown filter %q", name)
+	}
+}
+
+func parseEps(s string) ([]float64, error) {
+	fields := strings.Split(s, ",")
+	eps := make([]float64, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -eps value %q: %v", f, err)
+		}
+		eps = append(eps, v)
+	}
+	return eps, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plafilter:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseEps(t *testing.T) {
+	eps, err := parseEps("0.5, 1,2.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 3 || eps[0] != 0.5 || eps[1] != 1 || eps[2] != 2.25 {
+		t.Fatalf("eps = %v", eps)
+	}
+	if _, err := parseEps("0.5,abc"); err == nil {
+		t.Fatal("bad eps accepted")
+	}
+	if _, err := parseEps(""); err == nil {
+		t.Fatal("empty eps accepted")
+	}
+}
+
+func TestMakeFilter(t *testing.T) {
+	eps := []float64{1}
+	for _, name := range []string{
+		"cache", "cache-midrange", "cache-mean",
+		"linear", "linear-disc", "swing", "slide",
+	} {
+		f, constant, err := makeFilter(name, eps, 0)
+		if err != nil || f == nil {
+			t.Fatalf("makeFilter(%q): %v", name, err)
+		}
+		wantConstant := name == "cache" || name == "cache-midrange" || name == "cache-mean"
+		if constant != wantConstant {
+			t.Fatalf("makeFilter(%q): constant = %v", name, constant)
+		}
+	}
+	if _, _, err := makeFilter("bogus", eps, 0); err == nil {
+		t.Fatal("unknown filter accepted")
+	}
+	// Max-lag plumbs through to the filters that support it.
+	f, _, err := makeFilter("swing", eps, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type lagged interface{ MaxLag() int }
+	if lg, ok := f.(lagged); !ok || lg.MaxLag() != 25 {
+		t.Fatalf("swing max lag not applied")
+	}
+	f2, _, err := makeFilter("slide", eps, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg, ok := f2.(lagged); !ok || lg.MaxLag() != 30 {
+		t.Fatalf("slide max lag not applied")
+	}
+}

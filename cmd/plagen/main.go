@@ -1,0 +1,89 @@
+// Command plagen generates synthetic signals as CSV on stdout (or a
+// file), covering the workload families of the paper's evaluation.
+//
+// Usage:
+//
+//	plagen -kind walk  -n 10000 -p 0.5 -delta 4 [-start v] [-dt s] [-seed n]
+//	plagen -kind multi -n 10000 -dims 5 -corr 0.7 -p 0.5 -delta 4
+//	plagen -kind sst   [-n 1285] [-seed n]
+//	plagen -kind sine  -n 1000 [-amp a] [-period p] [-noise s]
+//
+// The output rows are "t,x1,...,xd", readable by plafilter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	pla "github.com/pla-go/pla"
+	"github.com/pla-go/pla/internal/gen"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "walk", "signal kind: walk, multi, sst, sine, steps, spikes")
+		n      = flag.Int("n", 10000, "number of points")
+		p      = flag.Float64("p", 0.5, "walk: probability of a decrease per step")
+		delta  = flag.Float64("delta", 1, "walk: maximum step magnitude")
+		start  = flag.Float64("start", 0, "walk: initial value")
+		dt     = flag.Float64("dt", 1, "time step")
+		dims   = flag.Int("dims", 1, "multi: number of dimensions")
+		corr   = flag.Float64("corr", 0, "multi: pairwise correlation between dimensions")
+		amp    = flag.Float64("amp", 10, "sine: amplitude")
+		period = flag.Float64("period", 100, "sine: period in points")
+		noise  = flag.Float64("noise", 0, "sine: gaussian noise sigma")
+		seed   = flag.Uint64("seed", 1, "PRNG seed")
+		out    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var pts []pla.Point
+	switch *kind {
+	case "walk":
+		pts = pla.RandomWalk(pla.WalkConfig{
+			N: *n, P: *p, MaxDelta: *delta, Start: *start, DT: *dt, Seed: *seed,
+		})
+	case "multi":
+		pts = pla.MultiWalk(pla.MultiWalkConfig{
+			WalkConfig: pla.WalkConfig{
+				N: *n, P: *p, MaxDelta: *delta, Start: *start, DT: *dt, Seed: *seed,
+			},
+			Dims:        *dims,
+			Correlation: *corr,
+		})
+	case "sst":
+		if *n == 1285 && *seed == 1 {
+			pts = pla.SeaSurfaceTemperature()
+		} else {
+			pts = pla.SSTLike(*n, *seed)
+		}
+	case "sine":
+		pts = gen.Sine(*n, *amp, *period, *noise, *seed)
+	case "steps":
+		pts = gen.Steps(*n, int(*period), *delta, *seed)
+	case "spikes":
+		pts = gen.Spikes(*n, int(*period), *delta, *seed)
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := pla.WritePointsCSV(w, pts); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+package pla
+
+import (
+	"io"
+
+	"github.com/pla-go/pla/internal/encode"
+)
+
+// Encoder serialises segments into the compact pla wire format.
+type Encoder = encode.Encoder
+
+// Decoder reads segments back from the pla wire format.
+type Decoder = encode.Decoder
+
+// Wire-format errors.
+var (
+	// ErrWireFormat reports a malformed encoded stream.
+	ErrWireFormat = encode.ErrFormat
+	// ErrWireChain reports a connected segment that does not start at its
+	// predecessor's end.
+	ErrWireChain = encode.ErrChain
+)
+
+// NewEncoder writes a stream header for a signal with the given precision
+// widths and returns an encoder; constant marks piece-wise constant
+// (cache filter) output.
+func NewEncoder(w io.Writer, eps []float64, constant bool) (*Encoder, error) {
+	return encode.NewEncoder(w, eps, constant)
+}
+
+// NewDecoder reads and validates a stream header.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	return encode.NewDecoder(r)
+}
+
+// Encode writes a whole approximation in one call and returns the encoded
+// size in bytes.
+func Encode(w io.Writer, eps []float64, constant bool, segs []Segment) (int64, error) {
+	return encode.EncodeAll(w, eps, constant, segs)
+}
+
+// Decode reads a whole approximation in one call.
+func Decode(r io.Reader) ([]Segment, error) {
+	d, err := encode.NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	return encode.ReadAll(d)
+}
+
+// RawSize returns the bytes needed to ship n points of dimensionality dim
+// unfiltered — the baseline for byte-level compression figures.
+func RawSize(n, dim int) int64 {
+	return encode.RawSize(n, dim)
+}

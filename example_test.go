@@ -1,0 +1,104 @@
+package pla_test
+
+import (
+	"bytes"
+	"fmt"
+
+	pla "github.com/pla-go/pla"
+)
+
+// The canonical flow: compress a stream with the slide filter, rebuild it
+// on the receiver side, and read a value back within ε.
+func ExampleCompress() {
+	// A ramp from 0 to 99 sampled at unit steps.
+	signal := make([]pla.Point, 100)
+	for i := range signal {
+		signal[i] = pla.Point{T: float64(i), X: []float64{float64(i)}}
+	}
+
+	f, _ := pla.NewSlideFilter([]float64{0.5}) // ε = 0.5
+	segs, _ := pla.Compress(f, signal)
+
+	model, _ := pla.Reconstruct(segs)
+	x, _ := model.Eval(42)
+	fmt.Printf("segments: %d\n", len(segs))
+	fmt.Printf("x(42) = %.1f\n", x[0])
+	fmt.Printf("ratio: %.0f\n", f.Stats().CompressionRatio())
+	// Output:
+	// segments: 1
+	// x(42) = 42.0
+	// ratio: 50
+}
+
+// Streaming use: push points one at a time and collect segments as the
+// filter finalizes them.
+func ExampleSwing_Push() {
+	f, _ := pla.NewSwingFilter([]float64{0.1})
+	stream := []pla.Point{
+		{T: 0, X: []float64{0}},
+		{T: 1, X: []float64{1}},
+		{T: 2, X: []float64{2}},
+		{T: 3, X: []float64{-5}}, // direction change: closes the first segment
+	}
+	total := 0
+	for _, p := range stream {
+		segs, _ := f.Push(p)
+		total += len(segs)
+	}
+	tail, _ := f.Finish()
+	total += len(tail)
+	fmt.Println("segments:", total)
+	// Output:
+	// segments: 2
+}
+
+// Shipping recordings over a wire and reading them back.
+func ExampleEncode() {
+	signal := make([]pla.Point, 50)
+	for i := range signal {
+		signal[i] = pla.Point{T: float64(i), X: []float64{3}}
+	}
+	eps := []float64{0.25}
+	f, _ := pla.NewCacheFilter(eps)
+	segs, _ := pla.Compress(f, signal)
+
+	var wire bytes.Buffer
+	n, _ := pla.Encode(&wire, eps, true, segs)
+	back, _ := pla.Decode(&wire)
+
+	fmt.Printf("sent %d bytes (raw would be %d)\n", n, pla.RawSize(len(signal), 1))
+	fmt.Printf("decoded %d segment(s), value %.0f\n", len(back), back[0].X0[0])
+	// Output:
+	// sent 41 bytes (raw would be 800)
+	// decoded 1 segment(s), value 3
+}
+
+// Archiving a compressed stream and querying it with guaranteed bounds.
+func ExampleArchive() {
+	signal := make([]pla.Point, 100)
+	for i := range signal {
+		signal[i] = pla.Point{T: float64(i), X: []float64{float64(i % 10)}}
+	}
+	arch := pla.NewArchive()
+	f, _ := pla.NewSwingFilter([]float64{0.5})
+	series, _ := arch.Ingest("sensor", f, signal)
+
+	mx, _ := series.Max(0, 0, 99)
+	fmt.Printf("max = %.1f ± %.1f\n", mx.Value, mx.Epsilon)
+	// Output:
+	// max = 9.0 ± 0.5
+}
+
+// Bounding the receiver lag with m_max_lag.
+func ExampleWithSwingMaxLag() {
+	// A perfect line would otherwise form one unbounded interval.
+	signal := make([]pla.Point, 200)
+	for i := range signal {
+		signal[i] = pla.Point{T: float64(i), X: []float64{2 * float64(i)}}
+	}
+	f, _ := pla.NewSwingFilter([]float64{1}, pla.WithSwingMaxLag(50))
+	rep, _ := pla.MeasureLag(f, signal)
+	fmt.Println("max update gap:", rep.MaxPoints)
+	// Output:
+	// max update gap: 50
+}

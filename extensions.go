@@ -1,0 +1,39 @@
+package pla
+
+import (
+	"github.com/pla-go/pla/internal/monitor"
+	"github.com/pla-go/pla/internal/swab"
+)
+
+// SWAB extension (Keogh et al., ICDM 2001) — the segmentation framework
+// the paper's related-work section says swing and slide can slot into.
+
+// SWABConfig parameterises an online SWAB segmenter.
+type SWABConfig = swab.Config
+
+// SWABSegmenter is the online sliding-window-and-bottom-up segmenter.
+type SWABSegmenter = swab.Segmenter
+
+// NewSWAB returns an online SWAB segmenter whose read-ahead chunking is
+// driven by any of this library's filters (cfg.NewFilter).
+func NewSWAB(cfg SWABConfig) (*SWABSegmenter, error) { return swab.New(cfg) }
+
+// BottomUp segments a whole signal offline by greedy bottom-up merging
+// under the given summed-RSS threshold.
+func BottomUp(pts []Point, maxError float64) []Segment { return swab.BottomUp(pts, maxError) }
+
+// Multi-stream monitor — the "always-on monitoring" deployment of the
+// paper's introduction.
+
+// Monitor multiplexes many named streams over their filters; safe for
+// concurrent use.
+type Monitor = monitor.Monitor
+
+// StreamStats pairs a stream name with its filter's counters.
+type StreamStats = monitor.StreamStats
+
+// SegmentSink receives finalized segments as monitored streams emit them.
+type SegmentSink = monitor.SegmentSink
+
+// NewMonitor returns an empty stream monitor; sink may be nil.
+func NewMonitor(sink SegmentSink) *Monitor { return monitor.New(sink) }

@@ -1,0 +1,300 @@
+// Package adaptive implements the precision-allocation idea of Olston,
+// Jiang and Widom ("Adaptive filters for continuous queries over
+// distributed data streams", SIGMOD 2003) — reference [21] of the paper,
+// the system its cache baseline comes from — generalised to any of this
+// library's filters.
+//
+// A Coordinator supervises many streams whose reconstructions feed an
+// aggregate SUM with a global L∞ error budget E: as long as the
+// per-stream precision widths satisfy Σ ε_i ≤ E, the sum of the
+// reconstructions is within E of the sum of the true samples at any
+// covered time. The coordinator starts with a uniform split and
+// periodically reallocates: every width shrinks by a factor δ and the
+// freed budget is redistributed proportionally to each stream's recent
+// recording rate, so hard-to-compress streams receive loose bounds and
+// stable streams tight ones — cutting total transmission without ever
+// weakening the aggregate guarantee.
+//
+// Width changes re-negotiate the stream's filter (the previous filter is
+// finished and its final segments flushed), mirroring the update messages
+// a real coordinator would send; the extra recordings this costs are
+// charged to the stream.
+package adaptive
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/recon"
+)
+
+// Errors returned by the coordinator.
+var (
+	// ErrConfig reports an invalid configuration.
+	ErrConfig = errors.New("adaptive: invalid configuration")
+	// ErrUnknown reports a push to an unregistered stream.
+	ErrUnknown = errors.New("adaptive: unknown stream")
+	// ErrFinished reports use after Finish.
+	ErrFinished = errors.New("adaptive: coordinator finished")
+)
+
+// Config parameterises a Coordinator.
+type Config struct {
+	// Budget is the aggregate L∞ error bound E; the per-stream widths
+	// always sum to at most E. Required, > 0.
+	Budget float64
+	// Streams names the participating streams. Required, non-empty.
+	Streams []string
+	// Period is the number of pushed points (across all streams) between
+	// reallocations; default 64 × #streams.
+	Period int
+	// Delta is the fraction of the budget reclaimed and redistributed at
+	// each reallocation, in (0, 1); default 0.25.
+	Delta float64
+	// NewFilter builds a stream's filter for a given width; default is
+	// the swing filter (O(1) state per stream, as a coordinator would
+	// want on constrained transmitters).
+	NewFilter func(eps float64) (core.Filter, error)
+}
+
+// Coordinator allocates a global precision budget across streams.
+// Not safe for concurrent use; wrap it or shard streams if needed.
+type Coordinator struct {
+	cfg      Config
+	streams  map[string]*stream
+	order    []string
+	pushes   int
+	rounds   int
+	finished bool
+}
+
+type stream struct {
+	name   string
+	alloc  float64 // allocated width: Σ alloc = Budget exactly
+	eps    float64 // actual filter width: always ≤ alloc
+	filter core.Filter
+	segs   []core.Segment
+	// recordings consumed by filters already finished (renegotiations)
+	spentRecordings int
+	// recordings at the start of the current period, for the burden score
+	periodBase int
+}
+
+// New returns a coordinator with the budget split uniformly.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Budget <= 0 {
+		return nil, fmt.Errorf("%w: budget must be positive", ErrConfig)
+	}
+	if len(cfg.Streams) == 0 {
+		return nil, fmt.Errorf("%w: no streams", ErrConfig)
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = 0.25
+	}
+	if cfg.Delta <= 0 || cfg.Delta >= 1 {
+		return nil, fmt.Errorf("%w: delta must be in (0,1)", ErrConfig)
+	}
+	if cfg.Period == 0 {
+		cfg.Period = 64 * len(cfg.Streams)
+	}
+	if cfg.Period < len(cfg.Streams) {
+		return nil, fmt.Errorf("%w: period shorter than one point per stream", ErrConfig)
+	}
+	if cfg.NewFilter == nil {
+		cfg.NewFilter = func(eps float64) (core.Filter, error) {
+			return core.NewSwing([]float64{eps})
+		}
+	}
+	c := &Coordinator{cfg: cfg, streams: make(map[string]*stream, len(cfg.Streams))}
+	uniform := cfg.Budget / float64(len(cfg.Streams))
+	for _, name := range cfg.Streams {
+		if _, dup := c.streams[name]; dup {
+			return nil, fmt.Errorf("%w: duplicate stream %q", ErrConfig, name)
+		}
+		f, err := cfg.NewFilter(uniform)
+		if err != nil {
+			return nil, err
+		}
+		c.streams[name] = &stream{name: name, alloc: uniform, eps: uniform, filter: f}
+		c.order = append(c.order, name)
+	}
+	sort.Strings(c.order)
+	return c, nil
+}
+
+// Push routes one sample to a stream, possibly triggering a reallocation
+// round first.
+func (c *Coordinator) Push(name string, p core.Point) error {
+	if c.finished {
+		return ErrFinished
+	}
+	s, ok := c.streams[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	segs, err := s.filter.Push(p)
+	if err != nil {
+		return fmt.Errorf("adaptive: stream %q: %w", name, err)
+	}
+	s.segs = append(s.segs, segs...)
+	c.pushes++
+	if c.pushes%c.cfg.Period == 0 {
+		if err := c.reallocate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reallocate shrinks every width by δ and regrows the freed budget
+// proportionally to each stream's recording rate over the last period.
+func (c *Coordinator) reallocate() error {
+	c.rounds++
+	total := 0.0
+	burdens := make(map[string]float64, len(c.streams))
+	for _, name := range c.order {
+		s := c.streams[name]
+		cur := s.spentRecordings + s.filter.Stats().Recordings
+		b := float64(cur-s.periodBase) + 1 // +1 smoothing: idle streams keep a floor
+		burdens[name] = b
+		total += b
+	}
+	freed := c.cfg.Delta * c.cfg.Budget
+	for _, name := range c.order {
+		s := c.streams[name]
+		s.alloc = (1-c.cfg.Delta)*s.alloc + freed*burdens[name]/total
+		// Renegotiating costs a flush (the transmitter must end its
+		// current interval), so widths follow allocations lazily: a
+		// stream must renegotiate when it runs wider than its new
+		// allocation (the Σ ε_i ≤ E invariant), and opts to when the
+		// allocation has grown materially; small growths are banked.
+		switch {
+		case s.eps > s.alloc:
+			if err := c.renegotiate(s, s.alloc); err != nil {
+				return err
+			}
+		case s.alloc >= s.eps*1.10:
+			if err := c.renegotiate(s, s.alloc); err != nil {
+				return err
+			}
+		}
+	}
+	// Burden windows restart for every stream, renegotiated or not.
+	for _, s := range c.streams {
+		s.periodBase = s.spentRecordings + s.filter.Stats().Recordings
+	}
+	return nil
+}
+
+// renegotiate finishes the stream's current filter and starts a new one
+// with the updated width.
+func (c *Coordinator) renegotiate(s *stream, newEps float64) error {
+	tail, err := s.filter.Finish()
+	if err != nil {
+		return fmt.Errorf("adaptive: stream %q: %w", s.name, err)
+	}
+	s.segs = append(s.segs, tail...)
+	s.spentRecordings += s.filter.Stats().Recordings
+	s.periodBase = s.spentRecordings
+	f, err := c.cfg.NewFilter(newEps)
+	if err != nil {
+		return err
+	}
+	s.filter = f
+	s.eps = newEps
+	return nil
+}
+
+// Widths returns the current per-stream precision widths; they sum to at
+// most Budget.
+func (c *Coordinator) Widths() map[string]float64 {
+	out := make(map[string]float64, len(c.streams))
+	for name, s := range c.streams {
+		out[name] = s.eps
+	}
+	return out
+}
+
+// Rounds returns the number of reallocation rounds performed.
+func (c *Coordinator) Rounds() int { return c.rounds }
+
+// TotalRecordings returns the recordings consumed so far across all
+// streams, including renegotiation flushes.
+func (c *Coordinator) TotalRecordings() int {
+	n := 0
+	for _, s := range c.streams {
+		n += s.spentRecordings + s.filter.Stats().Recordings
+	}
+	return n
+}
+
+// Finish flushes every stream and returns the per-stream approximations.
+func (c *Coordinator) Finish() (map[string][]core.Segment, error) {
+	if c.finished {
+		return nil, ErrFinished
+	}
+	c.finished = true
+	out := make(map[string][]core.Segment, len(c.streams))
+	for _, name := range c.order {
+		s := c.streams[name]
+		tail, err := s.filter.Finish()
+		if err != nil {
+			return nil, fmt.Errorf("adaptive: stream %q: %w", name, err)
+		}
+		s.segs = append(s.segs, tail...)
+		s.spentRecordings += s.filter.Stats().Recordings
+		out[name] = s.segs
+	}
+	return out, nil
+}
+
+// SumModel combines per-stream reconstructions into the aggregate the
+// coordinator guarantees: at any time covered by every stream, the sum of
+// the reconstructions is within Budget of the sum of the true samples.
+type SumModel struct {
+	models []*recon.Model
+	budget float64
+}
+
+// NewSumModel builds the aggregate view from Finish's output.
+func NewSumModel(budget float64, perStream map[string][]core.Segment) (*SumModel, error) {
+	if len(perStream) == 0 {
+		return nil, fmt.Errorf("%w: no streams", ErrConfig)
+	}
+	sm := &SumModel{budget: budget}
+	names := make([]string, 0, len(perStream))
+	for name := range perStream {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m, err := recon.NewModel(perStream[name])
+		if err != nil {
+			return nil, fmt.Errorf("adaptive: stream %q: %w", name, err)
+		}
+		if m.Dim() != 1 {
+			return nil, fmt.Errorf("%w: SumModel requires 1-dimensional streams", ErrConfig)
+		}
+		sm.models = append(sm.models, m)
+	}
+	return sm, nil
+}
+
+// Bound returns the aggregate's guaranteed L∞ error bound.
+func (s *SumModel) Bound() float64 { return s.budget }
+
+// At returns the reconstructed sum at time t, reporting false when any
+// stream does not cover t.
+func (s *SumModel) At(t float64) (float64, bool) {
+	sum := 0.0
+	buf := make([]float64, 1)
+	for _, m := range s.models {
+		if !m.EvalInto(t, buf) {
+			return 0, false
+		}
+		sum += buf[0]
+	}
+	return sum, true
+}

@@ -1,0 +1,266 @@
+package adaptive
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/gen"
+)
+
+// heterogeneousStreams builds n time-aligned streams of very different
+// volatility: stream 0 is constant, later streams get progressively
+// noisier random walks.
+func heterogeneousStreams(n, points int) map[string][]core.Point {
+	out := make(map[string][]core.Point, n)
+	for i := 0; i < n; i++ {
+		name := streamName(i)
+		if i == 0 {
+			pts := make([]core.Point, points)
+			for j := range pts {
+				pts[j] = core.Point{T: float64(j), X: []float64{5}}
+			}
+			out[name] = pts
+			continue
+		}
+		out[name] = gen.RandomWalk(gen.WalkConfig{
+			N: points, P: 0.5, MaxDelta: float64(i) * 1.5, Seed: uint64(100 + i),
+		})
+	}
+	return out
+}
+
+func streamName(i int) string { return string(rune('a' + i)) }
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Budget: 0, Streams: []string{"a"}},
+		{Budget: 1},
+		{Budget: 1, Streams: []string{"a"}, Delta: 2},
+		{Budget: 1, Streams: []string{"a", "b"}, Period: 1},
+		{Budget: 1, Streams: []string{"a", "a"}},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); !errors.Is(err, ErrConfig) {
+			t.Fatalf("case %d accepted: %v", i, err)
+		}
+	}
+	if _, err := New(Config{Budget: 1, Streams: []string{"a"}}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestUniformStart(t *testing.T) {
+	c, err := New(Config{Budget: 4, Streams: []string{"a", "b", "c", "d"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, w := range c.Widths() {
+		if w != 1 {
+			t.Fatalf("stream %s starts at %v, want 1", name, w)
+		}
+	}
+}
+
+// TestBudgetInvariant: at every moment, the per-stream widths sum to the
+// budget (within float slack), no matter how many reallocations ran.
+func TestBudgetInvariant(t *testing.T) {
+	const budget = 3.0
+	streams := heterogeneousStreams(4, 600)
+	c, err := New(Config{
+		Budget:  budget,
+		Streams: []string{"a", "b", "c", "d"},
+		Period:  40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 600; j++ {
+		for i := 0; i < 4; i++ {
+			name := streamName(i)
+			if err := c.Push(name, streams[name][j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sum := 0.0
+		for _, w := range c.Widths() {
+			if w <= 0 {
+				t.Fatalf("width went non-positive: %v", c.Widths())
+			}
+			sum += w
+		}
+		// Actual widths may run below their allocation (growths are
+		// applied lazily) but must never exceed the budget.
+		if sum > budget*(1+1e-9) {
+			t.Fatalf("widths sum to %v, above budget %v", sum, budget)
+		}
+		if sum < budget/2 {
+			t.Fatalf("widths collapsed to %v of budget %v", sum, budget)
+		}
+	}
+	if c.Rounds() == 0 {
+		t.Fatal("no reallocation rounds ran")
+	}
+}
+
+// TestAdaptiveShiftsBudgetToVolatileStreams: the constant stream's width
+// must shrink while the noisiest stream's grows.
+func TestAdaptiveShiftsBudgetToVolatileStreams(t *testing.T) {
+	streams := heterogeneousStreams(3, 1200)
+	c, err := New(Config{
+		Budget:  3,
+		Streams: []string{"a", "b", "c"},
+		Period:  60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 1200; j++ {
+		for i := 0; i < 3; i++ {
+			name := streamName(i)
+			if err := c.Push(name, streams[name][j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	w := c.Widths()
+	if !(w["a"] < 1 && w["c"] > 1) {
+		t.Fatalf("budget did not migrate: flat=%v noisy=%v (start 1 each)", w["a"], w["c"])
+	}
+	if w["c"] < w["b"] {
+		t.Fatalf("noisier stream got less budget: b=%v c=%v", w["b"], w["c"])
+	}
+}
+
+// TestAdaptiveBeatsUniform compares total recordings against a static
+// uniform allocation on the same heterogeneous workload.
+func TestAdaptiveBeatsUniform(t *testing.T) {
+	const (
+		nStreams = 4
+		points   = 2000
+		budget   = 4.0
+	)
+	streams := heterogeneousStreams(nStreams, points)
+	names := make([]string, nStreams)
+	for i := range names {
+		names[i] = streamName(i)
+	}
+
+	c, err := New(Config{Budget: budget, Streams: names, Period: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < points; j++ {
+		for _, name := range names {
+			if err := c.Push(name, streams[name][j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	adaptiveRecs := c.TotalRecordings()
+
+	uniformRecs := 0
+	for _, name := range names {
+		f, err := core.NewSwing([]float64{budget / nStreams})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := core.Run(f, streams[name]); err != nil {
+			t.Fatal(err)
+		}
+		uniformRecs += f.Stats().Recordings
+	}
+	if adaptiveRecs >= uniformRecs {
+		t.Fatalf("adaptive (%d recordings) did not beat uniform (%d) despite heterogeneity",
+			adaptiveRecs, uniformRecs)
+	}
+	t.Logf("recordings: adaptive=%d uniform=%d (%.1f%% saved)",
+		adaptiveRecs, uniformRecs, 100*(1-float64(adaptiveRecs)/float64(uniformRecs)))
+}
+
+// TestSumGuarantee: the reconstructed SUM stays within the budget of the
+// true sum at every sample time, across reallocations.
+func TestSumGuarantee(t *testing.T) {
+	const (
+		nStreams = 3
+		points   = 900
+		budget   = 2.4
+	)
+	streams := heterogeneousStreams(nStreams, points)
+	names := []string{"a", "b", "c"}
+	c, err := New(Config{Budget: budget, Streams: names, Period: 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < points; j++ {
+		for _, name := range names {
+			if err := c.Push(name, streams[name][j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	per, err := c.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := NewSumModel(budget, per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Bound() != budget {
+		t.Fatalf("bound = %v", sum.Bound())
+	}
+	for j := 0; j < points; j++ {
+		tj := float64(j)
+		got, ok := sum.At(tj)
+		if !ok {
+			t.Fatalf("t=%v not covered by the sum model", tj)
+		}
+		want := 0.0
+		for _, name := range names {
+			want += streams[name][j].X[0]
+		}
+		if math.Abs(got-want) > budget*(1+1e-9) {
+			t.Fatalf("t=%v: |%v − %v| = %v exceeds budget %v",
+				tj, got, want, math.Abs(got-want), budget)
+		}
+	}
+}
+
+func TestPushErrors(t *testing.T) {
+	c, _ := New(Config{Budget: 1, Streams: []string{"a"}})
+	if err := c.Push("zzz", core.Point{T: 0, X: []float64{0}}); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("unknown stream: %v", err)
+	}
+	if err := c.Push("a", core.Point{T: 0, X: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Push("a", core.Point{T: 0, X: []float64{0}}); !errors.Is(err, core.ErrTimeOrder) {
+		t.Fatalf("time order: %v", err)
+	}
+	if _, err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Push("a", core.Point{T: 9, X: []float64{0}}); !errors.Is(err, ErrFinished) {
+		t.Fatalf("push after finish: %v", err)
+	}
+	if _, err := c.Finish(); !errors.Is(err, ErrFinished) {
+		t.Fatalf("double finish: %v", err)
+	}
+}
+
+func TestSumModelValidation(t *testing.T) {
+	if _, err := NewSumModel(1, nil); !errors.Is(err, ErrConfig) {
+		t.Fatalf("empty: %v", err)
+	}
+	bad := map[string][]core.Segment{
+		"a": {{T0: 0, T1: 1, X0: []float64{0, 0}, X1: []float64{0, 0}}},
+	}
+	if _, err := NewSumModel(1, bad); !errors.Is(err, ErrConfig) {
+		t.Fatalf("multi-dim: %v", err)
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+// CacheMode selects how the cache filter chooses the constant value it
+// records for each filtering interval.
+type CacheMode int
+
+const (
+	// CacheLast is the basic cache filter of the paper (Olston et al.):
+	// it predicts that each incoming point equals the last recorded one
+	// and records a violating point as the new prediction.
+	CacheLast CacheMode = iota
+	// CacheMidrange is the PMC-MR variant (Lazaridis & Mehrotra): an
+	// interval absorbs points while its per-dimension range stays within
+	// 2ε and records the midrange of each dimension.
+	CacheMidrange
+	// CacheMean is the PMC-MEAN variant: an interval absorbs points while
+	// the running mean stays within ε of every absorbed point and records
+	// the mean.
+	CacheMean
+)
+
+// String returns the mode's name.
+func (m CacheMode) String() string {
+	switch m {
+	case CacheLast:
+		return "cache-last"
+	case CacheMidrange:
+		return "cache-midrange"
+	case CacheMean:
+		return "cache-mean"
+	default:
+		return "cache-unknown"
+	}
+}
+
+// Cache is the piece-wise constant baseline filter (Section 2.2).
+// Create one with NewCache; the zero value is not usable.
+type Cache struct {
+	base
+	mode CacheMode
+
+	haveInterval bool
+	startT       float64
+	endT         float64
+	count        int
+	val          []float64 // CacheLast: the recorded prediction
+	min, max     []float64
+	sum          []float64
+}
+
+// CacheOption customises a Cache at construction.
+type CacheOption func(*Cache)
+
+// WithCacheMode selects the constant-value rule; the default is CacheLast.
+func WithCacheMode(m CacheMode) CacheOption {
+	return func(c *Cache) { c.mode = m }
+}
+
+// NewCache returns a cache filter with per-dimension precision widths eps.
+func NewCache(eps []float64, opts ...CacheOption) (*Cache, error) {
+	b, err := newBase(eps)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		base: b,
+		val:  make([]float64, b.dim),
+		min:  make([]float64, b.dim),
+		max:  make([]float64, b.dim),
+		sum:  make([]float64, b.dim),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Mode returns the filter's value-selection mode.
+func (c *Cache) Mode() CacheMode { return c.mode }
+
+// Push consumes one point. It returns the finished interval's segment
+// when the point violates the current prediction.
+func (c *Cache) Push(p Point) ([]Segment, error) {
+	if err := c.admit(p); err != nil {
+		return nil, err
+	}
+	if !c.haveInterval {
+		c.open(p)
+		return nil, nil
+	}
+	if c.fits(p) {
+		c.absorb(p)
+		return nil, nil
+	}
+	seg := c.close()
+	c.open(p)
+	return []Segment{seg}, nil
+}
+
+// Finish emits the last interval's segment.
+func (c *Cache) Finish() ([]Segment, error) {
+	if c.finished {
+		return nil, ErrFinished
+	}
+	c.finished = true
+	if !c.haveInterval {
+		return nil, nil
+	}
+	seg := c.close()
+	return []Segment{seg}, nil
+}
+
+// fits reports whether p can join the current interval in every dimension.
+func (c *Cache) fits(p Point) bool {
+	for i, x := range p.X {
+		switch c.mode {
+		case CacheLast:
+			if x > c.val[i]+c.eps[i] || x < c.val[i]-c.eps[i] {
+				return false
+			}
+		case CacheMidrange:
+			lo, hi := c.min[i], c.max[i]
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+			if hi-lo > 2*c.eps[i] {
+				return false
+			}
+		case CacheMean:
+			lo, hi := c.min[i], c.max[i]
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+			mean := (c.sum[i] + x) / float64(c.count+1)
+			if hi-mean > c.eps[i] || mean-lo > c.eps[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (c *Cache) open(p Point) {
+	c.haveInterval = true
+	c.startT, c.endT = p.T, p.T
+	c.count = 1
+	for i, x := range p.X {
+		c.val[i] = x
+		c.min[i] = x
+		c.max[i] = x
+		c.sum[i] = x
+	}
+}
+
+func (c *Cache) absorb(p Point) {
+	c.endT = p.T
+	c.count++
+	for i, x := range p.X {
+		if x < c.min[i] {
+			c.min[i] = x
+		}
+		if x > c.max[i] {
+			c.max[i] = x
+		}
+		c.sum[i] += x
+	}
+}
+
+// close finalizes the current interval into a horizontal segment.
+func (c *Cache) close() Segment {
+	v := make([]float64, c.dim)
+	for i := range v {
+		switch c.mode {
+		case CacheLast:
+			v[i] = c.val[i]
+		case CacheMidrange:
+			v[i] = (c.min[i] + c.max[i]) / 2
+		case CacheMean:
+			v[i] = c.sum[i] / float64(c.count)
+		}
+	}
+	seg := Segment{
+		T0: c.startT, T1: c.endT,
+		X0: v, X1: v,
+		Connected: false,
+		Points:    c.count,
+	}
+	c.haveInterval = false
+	c.stats.Intervals++
+	c.emit(seg, true)
+	return seg
+}

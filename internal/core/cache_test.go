@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func pts1(vals ...float64) []Point {
+	ps := make([]Point, len(vals))
+	for i, v := range vals {
+		ps[i] = Point{T: float64(i), X: []float64{v}}
+	}
+	return ps
+}
+
+func TestCacheLastBasic(t *testing.T) {
+	f, err := NewCache([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0, 0.5, 0.9 fit around 0; 2.5 violates; 2.6 fits around 2.5.
+	segs, err := Run(f, pts1(0, 0.5, 0.9, 2.5, 2.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments, want 2", len(segs))
+	}
+	if segs[0].X0[0] != 0 || segs[0].T0 != 0 || segs[0].T1 != 2 || segs[0].Points != 3 {
+		t.Fatalf("segment 0 = %+v", segs[0])
+	}
+	if segs[1].X0[0] != 2.5 || segs[1].Points != 2 {
+		t.Fatalf("segment 1 = %+v", segs[1])
+	}
+	if st := f.Stats(); st.Recordings != 2 || st.Intervals != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheLastPredictsLastRecording(t *testing.T) {
+	// The prediction is the first point of the interval, not a running
+	// value: 0, 0.9, 1.8 — the third point is 1.8 away from the cached 0,
+	// so it must violate even though each step is only 0.9.
+	f, _ := NewCache([]float64{1})
+	segs, err := Run(f, pts1(0, 0.9, 1.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments, want 2 (drift must violate)", len(segs))
+	}
+}
+
+func TestCacheMidrange(t *testing.T) {
+	f, _ := NewCache([]float64{0.5}, WithCacheMode(CacheMidrange))
+	// Range of {0, 0.6, 1.0} is 1.0 ≤ 2ε, so all three fit; 2.0 breaks it.
+	segs, err := Run(f, pts1(0, 0.6, 1.0, 2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments, want 2", len(segs))
+	}
+	if got := segs[0].X0[0]; got != 0.5 {
+		t.Fatalf("midrange value = %v, want 0.5", got)
+	}
+	if f.Mode() != CacheMidrange {
+		t.Fatalf("mode = %v", f.Mode())
+	}
+}
+
+func TestCacheMidrangeBeatsLastOnOscillation(t *testing.T) {
+	// Oscillation between 0 and 1.5 with ε = 0.8: last-value caches 0 and
+	// rejects 1.6-distance jumps... here |1.5−0| = 1.5 > 0.8 so last-value
+	// splits, while midrange holds the band [0, 1.5] (range 1.5 ≤ 1.6).
+	signal := pts1(0, 1.5, 0, 1.5, 0, 1.5)
+	last, _ := NewCache([]float64{0.8})
+	mid, _ := NewCache([]float64{0.8}, WithCacheMode(CacheMidrange))
+	segsLast, err := Run(last, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segsMid, err := Run(mid, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segsMid) >= len(segsLast) {
+		t.Fatalf("midrange (%d segs) should beat last-value (%d segs) here",
+			len(segsMid), len(segsLast))
+	}
+	if len(segsMid) != 1 {
+		t.Fatalf("midrange segments = %d, want 1", len(segsMid))
+	}
+}
+
+func TestCacheMean(t *testing.T) {
+	f, _ := NewCache([]float64{0.5}, WithCacheMode(CacheMean))
+	// Mean of {0, 0.5, 1.0} is 0.5; max deviation 0.5 ≤ ε: one interval.
+	segs, err := Run(f, pts1(0, 0.5, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("got %d segments, want 1", len(segs))
+	}
+	if got := segs[0].X0[0]; got != 0.5 {
+		t.Fatalf("mean value = %v, want 0.5", got)
+	}
+}
+
+func TestCacheMeanRejectsSkew(t *testing.T) {
+	f, _ := NewCache([]float64{0.5}, WithCacheMode(CacheMean))
+	// {0, 0, 0, 1} has mean 0.25 but the 1 is 0.75 > ε from it.
+	segs, err := Run(f, pts1(0, 0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments, want 2", len(segs))
+	}
+}
+
+func TestCacheMultiDimAnyDimensionViolates(t *testing.T) {
+	f, _ := NewCache([]float64{1, 1})
+	signal := []Point{
+		{T: 0, X: []float64{0, 0}},
+		{T: 1, X: []float64{0.5, 0.5}}, // fits both
+		{T: 2, X: []float64{0.5, 5}},   // dim 1 violates
+	}
+	segs, err := Run(f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments, want 2", len(segs))
+	}
+}
+
+func TestCacheZeroEpsilon(t *testing.T) {
+	f, _ := NewCache([]float64{0})
+	segs, err := Run(f, pts1(1, 1, 1, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("ε=0: got %d segments, want 2 (exact runs only)", len(segs))
+	}
+}
+
+func TestCacheModeString(t *testing.T) {
+	if CacheLast.String() != "cache-last" ||
+		CacheMidrange.String() != "cache-midrange" ||
+		CacheMean.String() != "cache-mean" ||
+		CacheMode(42).String() != "cache-unknown" {
+		t.Fatal("CacheMode.String mismatch")
+	}
+}
+
+func TestCacheSinglePoint(t *testing.T) {
+	f, _ := NewCache([]float64{1})
+	segs, err := Run(f, pts1(3.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].T0 != 0 || segs[0].T1 != 0 || segs[0].X0[0] != 3.25 {
+		t.Fatalf("segments = %+v", segs)
+	}
+	if st := f.Stats(); st.Recordings != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheGuaranteeTightBoundary(t *testing.T) {
+	// A point exactly ε away must be absorbed (the bound is inclusive).
+	f, _ := NewCache([]float64{1})
+	segs, err := Run(f, pts1(0, 1, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("got %d segments, want 1", len(segs))
+	}
+	if math.Abs(segs[0].X0[0]) > 1 {
+		t.Fatalf("recorded value %v farther than ε from extremes", segs[0].X0[0])
+	}
+}

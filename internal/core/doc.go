@@ -1,0 +1,32 @@
+// Package core implements the online piece-wise linear approximation
+// filters of Elmeleegy, Elmagarmid, Cecchet, Aref and Zwaenepoel,
+// "Online Piece-wise Linear Approximation of Numerical Streams with
+// Precision Guarantees" (VLDB 2009):
+//
+//   - Swing filter (Section 3): connected line segments, O(1) time and
+//     space per data point.
+//   - Slide filter (Section 4): mostly disconnected line segments,
+//     O(m_H) per point where m_H is the size of the convex hull of the
+//     current filtering interval (empirically near-constant).
+//
+// plus the two earlier approaches the paper compares against
+// (Section 2.2):
+//
+//   - Cache filter: piece-wise constant prediction, with the basic
+//     last-value mode and the midrange / mean variants of Lazaridis &
+//     Mehrotra (PMC-MR, PMC-MEAN).
+//   - Linear filter: a single candidate line fixed by the first two
+//     points of each segment, in connected and disconnected variants.
+//
+// All filters consume a stream of d-dimensional points with strictly
+// increasing timestamps and guarantee, per dimension i, that every
+// consumed point lies within ε_i (L∞) of the emitted approximation
+// (Theorems 3.1 and 4.1 of the paper). A new segment starts as soon as
+// any one dimension would violate its bound.
+//
+// Filters optionally enforce the paper's m_max_lag bound: once a
+// filtering interval spans that many points, the candidate set is
+// collapsed to the single mean-square-error-optimal line, the receiver
+// is updated, and the filter degrades to a plain linear filter until the
+// interval ends (Sections 3.3 and 4.3).
+package core

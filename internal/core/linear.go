@@ -1,0 +1,171 @@
+package core
+
+// Linear is the piece-wise linear baseline filter of Section 2.2 (Dilman
+// & Raz; Keogh et al.): each segment's slope is fixed by the first two
+// points it represents, and a point further than ε from the predicted
+// line starts a new segment.
+//
+// In the connected variant (the default, and the one evaluated in the
+// paper's Section 5) the current segment is terminated at the value the
+// line predicts for the last point it approximates, and that end point
+// together with the violating point defines the next segment. In the
+// disconnected variant the next segment is instead defined by the
+// violating point and its successor, at the cost of two recordings per
+// segment.
+type Linear struct {
+	base
+	disconnected bool
+
+	haveStart bool
+	haveSlope bool
+	start     Point     // segment start (a recording)
+	slope     []float64 // per-dimension slope once fixed
+	last      Point     // most recent accepted point
+	count     int       // points approximated by the current segment
+	emitted   int       // segments emitted, to mark the first disconnected
+}
+
+// LinearOption customises a Linear filter at construction.
+type LinearOption func(*Linear)
+
+// WithDisconnectedSegments makes the filter start each new segment at the
+// violating data point itself instead of chaining from the previous
+// segment's end (Section 2.2's disconnected variant).
+func WithDisconnectedSegments() LinearOption {
+	return func(l *Linear) { l.disconnected = true }
+}
+
+// NewLinear returns a linear filter with per-dimension precision widths
+// eps.
+func NewLinear(eps []float64, opts ...LinearOption) (*Linear, error) {
+	b, err := newBase(eps)
+	if err != nil {
+		return nil, err
+	}
+	l := &Linear{
+		base:  b,
+		slope: make([]float64, b.dim),
+		last:  Point{X: make([]float64, b.dim)},
+	}
+	for _, o := range opts {
+		o(l)
+	}
+	return l, nil
+}
+
+// Disconnected reports whether the filter produces disconnected segments.
+func (l *Linear) Disconnected() bool { return l.disconnected }
+
+// Push consumes one point, returning the finished segment when the point
+// falls outside the ε band around the current line.
+func (l *Linear) Push(p Point) ([]Segment, error) {
+	if err := l.admit(p); err != nil {
+		return nil, err
+	}
+	switch {
+	case !l.haveStart:
+		l.start = p.Clone()
+		l.setLast(p)
+		l.count = 1
+		l.haveStart = true
+		return nil, nil
+	case !l.haveSlope:
+		l.fixSlope(p)
+		l.setLast(p)
+		l.count++
+		return nil, nil
+	}
+	if l.fits(p) {
+		l.setLast(p)
+		l.count++
+		return nil, nil
+	}
+	// Violation: terminate at the prediction for the last approximated
+	// point, then start the next segment.
+	end := l.predict(l.last.T)
+	seg := Segment{
+		T0: l.start.T, T1: l.last.T,
+		X0: l.start.X, X1: end,
+		Connected: !l.disconnected && l.emitted > 0,
+		Points:    l.count,
+	}
+	l.stats.Intervals++
+	l.emit(seg, false)
+	l.emitted++
+
+	if l.disconnected {
+		l.start = p.Clone()
+		l.haveSlope = false
+		l.count = 1
+	} else {
+		l.start = Point{T: l.last.T, X: end}
+		l.fixSlope(p)
+		l.count = 1
+	}
+	l.setLast(p)
+	return []Segment{seg}, nil
+}
+
+// setLast records p as the segment's most recent point, reusing the
+// buffer so steady-state Push does not allocate.
+func (l *Linear) setLast(p Point) {
+	l.last.T = p.T
+	copy(l.last.X, p.X)
+}
+
+// Finish emits the final segment.
+func (l *Linear) Finish() ([]Segment, error) {
+	if l.finished {
+		return nil, ErrFinished
+	}
+	l.finished = true
+	if !l.haveStart {
+		return nil, nil
+	}
+	var end []float64
+	if l.haveSlope {
+		end = l.predict(l.last.T)
+	} else {
+		end = copyVec(l.start.X) // single-point segment
+	}
+	seg := Segment{
+		T0: l.start.T, T1: l.last.T,
+		X0: l.start.X, X1: end,
+		Connected: !l.disconnected && l.emitted > 0,
+		Points:    l.count,
+	}
+	l.stats.Intervals++
+	l.emit(seg, false)
+	l.emitted++
+	return []Segment{seg}, nil
+}
+
+// fixSlope fixes the line through the segment start and p.
+func (l *Linear) fixSlope(p Point) {
+	dt := p.T - l.start.T
+	for i := range l.slope {
+		l.slope[i] = (p.X[i] - l.start.X[i]) / dt
+	}
+	l.haveSlope = true
+}
+
+// predict evaluates the current line at time t.
+func (l *Linear) predict(t float64) []float64 {
+	v := make([]float64, l.dim)
+	for i := range v {
+		v[i] = l.start.X[i] + l.slope[i]*(t-l.start.T)
+	}
+	return v
+}
+
+// fits reports whether p lies within ε of the current line in every
+// dimension.
+func (l *Linear) fits(p Point) bool {
+	for i, x := range p.X {
+		pred := l.start.X[i] + l.slope[i]*(p.T-l.start.T)
+		if x > pred+l.eps[i] || x < pred-l.eps[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinearExactLine(t *testing.T) {
+	f, _ := NewLinear([]float64{0.1})
+	var signal []Point
+	for i := 0; i < 20; i++ {
+		signal = append(signal, Point{T: float64(i), X: []float64{2 * float64(i)}})
+	}
+	segs, err := Run(f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("exact line produced %d segments, want 1", len(segs))
+	}
+	s := segs[0]
+	if s.T0 != 0 || s.T1 != 19 || s.X0[0] != 0 || s.X1[0] != 38 {
+		t.Fatalf("segment = %+v", s)
+	}
+	if st := f.Stats(); st.Recordings != 2 {
+		t.Fatalf("one segment needs 2 recordings, stats = %+v", st)
+	}
+}
+
+func TestLinearConnectedChain(t *testing.T) {
+	// A V-shaped signal: down then up, forcing one break at the vertex.
+	var signal []Point
+	for i := 0; i <= 10; i++ {
+		signal = append(signal, Point{T: float64(i), X: []float64{math.Abs(float64(i) - 5)}})
+	}
+	f, _ := NewLinear([]float64{0.25})
+	segs, err := Run(f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("V signal produced %d segments, want 2", len(segs))
+	}
+	if segs[0].Connected || !segs[1].Connected {
+		t.Fatalf("connected flags = %v, %v; want false, true", segs[0].Connected, segs[1].Connected)
+	}
+	if segs[0].T1 != segs[1].T0 || segs[0].X1[0] != segs[1].X0[0] {
+		t.Fatal("connected segments do not share their knot")
+	}
+	if st := f.Stats(); st.Recordings != 3 {
+		t.Fatalf("two connected segments need 3 recordings, stats = %+v", st)
+	}
+}
+
+func TestLinearDisconnectedChain(t *testing.T) {
+	var signal []Point
+	for i := 0; i <= 10; i++ {
+		signal = append(signal, Point{T: float64(i), X: []float64{math.Abs(float64(i) - 5)}})
+	}
+	f, _ := NewLinear([]float64{0.25}, WithDisconnectedSegments())
+	if !f.Disconnected() {
+		t.Fatal("Disconnected() = false")
+	}
+	segs, err := Run(f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("V signal produced %d segments, want 2", len(segs))
+	}
+	for i, s := range segs {
+		if s.Connected {
+			t.Fatalf("segment %d marked connected in disconnected mode", i)
+		}
+	}
+	// The second segment restarts at the violating data point itself.
+	if segs[1].T0 != 6 || segs[1].X0[0] != 1 {
+		t.Fatalf("segment 1 start = (%v, %v), want (6, 1)", segs[1].T0, segs[1].X0[0])
+	}
+	if st := f.Stats(); st.Recordings != 4 {
+		t.Fatalf("two disconnected segments need 4 recordings, stats = %+v", st)
+	}
+}
+
+func TestLinearSlopeFromFirstTwoPoints(t *testing.T) {
+	// Section 2.2: the slope is fixed by the first two points, so a
+	// curving signal violates even if a better line would have fit.
+	signal := pts1(0, 1, 1.5, 1.5) // slope fixed at 1; at t=3 prediction 3, point 1.5
+	f, _ := NewLinear([]float64{0.6})
+	segs, err := Run(f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments, want 2", len(segs))
+	}
+	// End point is the prediction at the last represented point, not the
+	// data value: at t=2 the line through (0,0),(1,1) predicts 2.
+	if segs[0].T1 != 2 || segs[0].X1[0] != 2 {
+		t.Fatalf("segment 0 end = (%v, %v), want (2, 2)", segs[0].T1, segs[0].X1[0])
+	}
+}
+
+func TestLinearSinglePoint(t *testing.T) {
+	f, _ := NewLinear([]float64{1})
+	segs, err := Run(f, pts1(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].T0 != segs[0].T1 || segs[0].X0[0] != 7 {
+		t.Fatalf("segments = %+v", segs)
+	}
+	if st := f.Stats(); st.Recordings != 1 {
+		t.Fatalf("degenerate segment should count 1 recording, stats = %+v", st)
+	}
+}
+
+func TestLinearTwoPoints(t *testing.T) {
+	f, _ := NewLinear([]float64{1})
+	segs, err := Run(f, pts1(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].X0[0] != 1 || segs[0].X1[0] != 4 {
+		t.Fatalf("segments = %+v", segs)
+	}
+}
+
+func TestLinearMultiDim(t *testing.T) {
+	// Dim 0 follows a perfect line; dim 1 breaks at t=3.
+	signal := []Point{
+		{T: 0, X: []float64{0, 0}},
+		{T: 1, X: []float64{1, 0}},
+		{T: 2, X: []float64{2, 0}},
+		{T: 3, X: []float64{3, 9}},
+	}
+	f, _ := NewLinear([]float64{0.5, 0.5})
+	segs, err := Run(f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments, want 2", len(segs))
+	}
+	if segs[0].Points != 3 || segs[1].Points != 1 {
+		t.Fatalf("points per segment = %d, %d; want 3, 1", segs[0].Points, segs[1].Points)
+	}
+}

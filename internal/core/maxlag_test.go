@@ -1,0 +1,143 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/recon"
+)
+
+// longFlatSignal is absorbed into one huge interval by swing and slide,
+// forcing the m_max_lag machinery to engage.
+func longFlatSignal(n int) []core.Point {
+	pts := make([]core.Point, n)
+	for i := range pts {
+		pts[i] = core.Point{T: float64(i), X: []float64{0.2 * math.Sin(float64(i)/9)}}
+	}
+	return pts
+}
+
+func TestSwingMaxLagFlushes(t *testing.T) {
+	signal := longFlatSignal(500)
+	eps := []float64{2}
+
+	unbounded, _ := core.NewSwing(eps)
+	if _, err := core.Run(unbounded, signal); err != nil {
+		t.Fatal(err)
+	}
+	if unbounded.Stats().LagFlushes != 0 {
+		t.Fatal("unbounded filter reported lag flushes")
+	}
+	if unbounded.Stats().MaxIntervalPoints < 400 {
+		t.Fatalf("test signal should form one huge interval, got %d",
+			unbounded.Stats().MaxIntervalPoints)
+	}
+
+	bounded, _ := core.NewSwing(eps, core.WithSwingMaxLag(50))
+	if bounded.MaxLag() != 50 {
+		t.Fatalf("MaxLag = %d", bounded.MaxLag())
+	}
+	segs, err := core.Run(bounded, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := bounded.Stats()
+	if st.LagFlushes == 0 {
+		t.Fatal("bounded filter never flushed")
+	}
+	// The guarantee must survive the collapse to a single line.
+	model, err := recon.NewModel(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recon.CheckPrecision(signal, model, eps, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// The flush costs recordings: bounded can never be cheaper.
+	if st.Recordings < unbounded.Stats().Recordings {
+		t.Fatalf("bounded (%d) cheaper than unbounded (%d)?",
+			st.Recordings, unbounded.Stats().Recordings)
+	}
+}
+
+func TestSlideMaxLagFlushes(t *testing.T) {
+	signal := longFlatSignal(500)
+	eps := []float64{2}
+	bounded, _ := core.NewSlide(eps, core.WithSlideMaxLag(40))
+	if bounded.MaxLag() != 40 {
+		t.Fatalf("MaxLag = %d", bounded.MaxLag())
+	}
+	segs, err := core.Run(bounded, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.Stats().LagFlushes == 0 {
+		t.Fatal("bounded slide never flushed")
+	}
+	model, err := recon.NewModel(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recon.CheckPrecision(signal, model, eps, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxLagBoundsIntervalDecisionDelay checks the operational meaning of
+// the bound: in a bounded filter, no filtering interval postpones its
+// line choice past m_max_lag points — after the flush the candidate set
+// is a single line, so any interval may still grow, but the receiver
+// already holds a usable model for it.
+func TestMaxLagBoundsIntervalDecisionDelay(t *testing.T) {
+	signal := longFlatSignal(600)
+	eps := []float64{3}
+	for _, mk := range []struct {
+		name string
+		f    core.Filter
+	}{
+		{"swing", mustFilter(core.NewSwing(eps, core.WithSwingMaxLag(25)))},
+		{"slide", mustFilter(core.NewSlide(eps, core.WithSlideMaxLag(25)))},
+	} {
+		if _, err := core.Run(mk.f, signal); err != nil {
+			t.Fatalf("%s: %v", mk.name, err)
+		}
+		st := mk.f.Stats()
+		// One flush per long interval: with one giant interval we expect
+		// exactly one flush here.
+		if st.LagFlushes < 1 {
+			t.Fatalf("%s: no lag flush on a %d-point interval with bound 25", mk.name, st.MaxIntervalPoints)
+		}
+	}
+}
+
+func TestMaxLagOnChoppySignalIsNoOp(t *testing.T) {
+	// Intervals shorter than the bound: the bounded filter must behave
+	// exactly like the unbounded one.
+	rng := rand.New(rand.NewSource(3))
+	var signal []core.Point
+	v := 0.0
+	for i := 0; i < 300; i++ {
+		v += rng.NormFloat64() * 3
+		signal = append(signal, core.Point{T: float64(i), X: []float64{v}})
+	}
+	eps := []float64{1}
+
+	a, _ := core.NewSwing(eps)
+	b, _ := core.NewSwing(eps, core.WithSwingMaxLag(1000))
+	sa, err := core.Run(a, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := core.Run(b, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sa) != len(sb) || a.Stats().Recordings != b.Stats().Recordings {
+		t.Fatal("large max-lag changed swing output")
+	}
+	if b.Stats().LagFlushes != 0 {
+		t.Fatal("large max-lag flushed")
+	}
+}

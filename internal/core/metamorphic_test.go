@@ -1,0 +1,140 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// Metamorphic properties: the filters are (or should be) equivariant
+// under affine transformations of the input. Shifting every timestamp by
+// Δt, every value by Δx, or scaling values and ε together by k must
+// produce the same segmentation, transformed the same way — any
+// divergence betrays hidden dependence on absolute coordinates.
+
+func metamorphicFilters(eps []float64) map[string]func() (core.Filter, error) {
+	return map[string]func() (core.Filter, error){
+		"cache":  func() (core.Filter, error) { return core.NewCache(eps) },
+		"linear": func() (core.Filter, error) { return core.NewLinear(eps) },
+		"swing":  func() (core.Filter, error) { return core.NewSwing(eps) },
+		"slide":  func() (core.Filter, error) { return core.NewSlide(eps) },
+	}
+}
+
+func metaSignal(seed int64, n int) []core.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]core.Point, n)
+	v := 0.0
+	tm := 0.0
+	for j := range pts {
+		tm += 0.5 + rng.Float64()
+		v += rng.NormFloat64() * 2
+		pts[j] = core.Point{T: tm, X: []float64{v}}
+	}
+	return pts
+}
+
+func transform(pts []core.Point, dt, dx, scale float64) []core.Point {
+	out := make([]core.Point, len(pts))
+	for j, p := range pts {
+		x := make([]float64, len(p.X))
+		for i, v := range p.X {
+			x[i] = v*scale + dx
+		}
+		out[j] = core.Point{T: p.T + dt, X: x}
+	}
+	return out
+}
+
+// segsApproxEqual compares two segmentations after undoing the transform.
+func segsApproxEqual(t *testing.T, name string, a, b []core.Segment, dt, dx, scale float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: segment counts differ under transform: %d vs %d", name, len(a), len(b))
+	}
+	for i := range a {
+		sa, sb := a[i], b[i]
+		tol := 1e-6 * (1 + math.Abs(sa.X0[0]) + math.Abs(sa.X1[0])) * math.Max(1, math.Abs(scale))
+		if math.Abs(sb.T0-dt-sa.T0) > 1e-9*(1+math.Abs(sa.T0)+math.Abs(dt)) ||
+			math.Abs(sb.T1-dt-sa.T1) > 1e-9*(1+math.Abs(sa.T1)+math.Abs(dt)) {
+			t.Fatalf("%s: segment %d times moved: (%v,%v) vs (%v,%v) dt=%v",
+				name, i, sa.T0, sa.T1, sb.T0, sb.T1, dt)
+		}
+		if math.Abs(sb.X0[0]-(sa.X0[0]*scale+dx)) > tol ||
+			math.Abs(sb.X1[0]-(sa.X1[0]*scale+dx)) > tol {
+			t.Fatalf("%s: segment %d values moved: (%v,%v) vs (%v,%v)",
+				name, i, sa.X0[0], sa.X1[0], sb.X0[0], sb.X1[0])
+		}
+		if sa.Connected != sb.Connected || sa.Points != sb.Points {
+			t.Fatalf("%s: segment %d structure changed", name, i)
+		}
+	}
+}
+
+func TestMetamorphicTimeShift(t *testing.T) {
+	eps := []float64{1}
+	for trial := int64(0); trial < 10; trial++ {
+		signal := metaSignal(trial, 300)
+		dt := float64(trial*37) - 100
+		shifted := transform(signal, dt, 0, 1)
+		for name, mk := range metamorphicFilters(eps) {
+			f1, _ := mk()
+			f2, _ := mk()
+			a, err := core.Run(f1, signal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := core.Run(f2, shifted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			segsApproxEqual(t, name, a, b, dt, 0, 1)
+		}
+	}
+}
+
+func TestMetamorphicValueShift(t *testing.T) {
+	eps := []float64{1}
+	for trial := int64(0); trial < 10; trial++ {
+		signal := metaSignal(100+trial, 300)
+		dx := float64(trial*13) - 60
+		shifted := transform(signal, 0, dx, 1)
+		for name, mk := range metamorphicFilters(eps) {
+			f1, _ := mk()
+			f2, _ := mk()
+			a, err := core.Run(f1, signal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := core.Run(f2, shifted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			segsApproxEqual(t, name, a, b, 0, dx, 1)
+		}
+	}
+}
+
+func TestMetamorphicValueScale(t *testing.T) {
+	for trial := int64(0); trial < 10; trial++ {
+		signal := metaSignal(200+trial, 300)
+		scale := 0.25 * float64(trial+1)
+		scaled := transform(signal, 0, 0, scale)
+		for name, mk1 := range metamorphicFilters([]float64{1}) {
+			mk2 := metamorphicFilters([]float64{scale})[name]
+			f1, _ := mk1()
+			f2, _ := mk2()
+			a, err := core.Run(f1, signal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := core.Run(f2, scaled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			segsApproxEqual(t, name, a, b, 0, 0, scale)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package core_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/recon"
+)
+
+// genSignal produces a randomized test signal of the given dimensionality
+// with one of several shapes, on strictly increasing (sometimes irregular)
+// timestamps.
+func genSignal(rng *rand.Rand, n, dim int) []core.Point {
+	shape := rng.Intn(5)
+	irregular := rng.Intn(2) == 1
+	quantize := rng.Intn(3) == 0
+	pts := make([]core.Point, n)
+	tm := rng.Float64() * 10
+	state := make([]float64, dim)
+	for i := range state {
+		state[i] = rng.NormFloat64() * 5
+	}
+	for j := 0; j < n; j++ {
+		if irregular {
+			tm += 0.05 + rng.Float64()*2
+		} else {
+			tm += 1
+		}
+		x := make([]float64, dim)
+		for i := 0; i < dim; i++ {
+			switch shape {
+			case 0: // random walk
+				state[i] += rng.NormFloat64()
+				x[i] = state[i]
+			case 1: // sine + noise
+				x[i] = 8*math.Sin(tm/7+float64(i)) + 0.5*rng.NormFloat64()
+			case 2: // steps
+				x[i] = float64((j/17)%5) * 4
+			case 3: // trend + spikes
+				x[i] = 0.3 * tm
+				if rng.Intn(23) == 0 {
+					x[i] += rng.NormFloat64() * 30
+				}
+			default: // white noise
+				x[i] = rng.NormFloat64() * 3
+			}
+			if quantize {
+				x[i] = math.Round(x[i]*10) / 10
+			}
+		}
+		pts[j] = core.Point{T: tm, X: x}
+	}
+	return pts
+}
+
+// allFilters returns one instance of every filter configuration under a
+// common name, for the given dimensionality and ε.
+func allFilters(t *testing.T, eps []float64) map[string]core.Filter {
+	t.Helper()
+	mk := map[string]func() (core.Filter, error){
+		"cache-last":     func() (core.Filter, error) { return core.NewCache(eps) },
+		"cache-midrange": func() (core.Filter, error) { return core.NewCache(eps, core.WithCacheMode(core.CacheMidrange)) },
+		"cache-mean":     func() (core.Filter, error) { return core.NewCache(eps, core.WithCacheMode(core.CacheMean)) },
+		"linear":         func() (core.Filter, error) { return core.NewLinear(eps) },
+		"linear-disc":    func() (core.Filter, error) { return core.NewLinear(eps, core.WithDisconnectedSegments()) },
+		"swing":          func() (core.Filter, error) { return core.NewSwing(eps) },
+		"swing-lag16":    func() (core.Filter, error) { return core.NewSwing(eps, core.WithSwingMaxLag(16)) },
+		"slide":          func() (core.Filter, error) { return core.NewSlide(eps) },
+		"slide-nohull":   func() (core.Filter, error) { return core.NewSlide(eps, core.WithHullOptimization(false)) },
+		"slide-lag16":    func() (core.Filter, error) { return core.NewSlide(eps, core.WithSlideMaxLag(16)) },
+	}
+	out := make(map[string]core.Filter, len(mk))
+	for name, f := range mk {
+		fl, err := f()
+		if err != nil {
+			t.Fatalf("constructing %s: %v", name, err)
+		}
+		out[name] = fl
+	}
+	return out
+}
+
+// TestPrecisionGuaranteeProperty mechanises Theorems 3.1 and 4.1 (and the
+// analogous folklore results for the baselines): for every filter, every
+// signal shape, every dimensionality and every ε, each original point is
+// within ε of the reconstruction.
+func TestPrecisionGuaranteeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2009))
+	const trials = 120
+	for trial := 0; trial < trials; trial++ {
+		dim := 1 + rng.Intn(3)
+		n := 50 + rng.Intn(300)
+		signal := genSignal(rng, n, dim)
+		eps := make([]float64, dim)
+		for i := range eps {
+			eps[i] = 0.05 + rng.Float64()*math.Pow(10, float64(rng.Intn(3))-1)
+		}
+		for name, f := range allFilters(t, eps) {
+			segs, err := core.Run(f, signal)
+			if err != nil {
+				t.Fatalf("trial %d %s: run: %v", trial, name, err)
+			}
+			model, err := recon.NewModel(segs)
+			if err != nil {
+				t.Fatalf("trial %d %s: model: %v", trial, name, err)
+			}
+			if err := recon.CheckPrecision(signal, model, eps, 1e-6); err != nil {
+				t.Fatalf("trial %d %s (dim=%d, n=%d, ε=%v): %v", trial, name, dim, n, eps, err)
+			}
+		}
+	}
+}
+
+// TestStatsConsistencyProperty checks the bookkeeping invariants shared by
+// all filters: segment and point counts match, and the recording counter
+// agrees with the paper's accounting formula applied to the emitted
+// segments (plus one per lag flush).
+func TestStatsConsistencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		dim := 1 + rng.Intn(2)
+		signal := genSignal(rng, 40+rng.Intn(200), dim)
+		eps := core.UniformEpsilon(dim, 0.1+rng.Float64()*3)
+		for name, f := range allFilters(t, eps) {
+			segs, err := core.Run(f, signal)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			st := f.Stats()
+			if st.Points != len(signal) {
+				t.Fatalf("%s: Points = %d, want %d", name, st.Points, len(signal))
+			}
+			if st.Segments != len(segs) {
+				t.Fatalf("%s: Segments = %d, want %d", name, st.Segments, len(segs))
+			}
+			constant := false
+			if _, isCache := f.(*core.Cache); isCache {
+				constant = true
+			}
+			want := core.CountRecordings(segs, constant) + st.LagFlushes
+			if st.Recordings != want {
+				t.Fatalf("%s: Recordings = %d, want %d (+%d lag flushes)",
+					name, st.Recordings, want, st.LagFlushes)
+			}
+			covered := 0
+			for _, s := range segs {
+				covered += s.Points
+			}
+			if covered != len(signal) {
+				t.Fatalf("%s: segments claim %d points, want %d", name, covered, len(signal))
+			}
+		}
+	}
+}
+
+// TestConnectedFlagsConsistentProperty verifies that a Connected segment
+// really starts at its predecessor's end, for every filter and workload.
+func TestConnectedFlagsConsistentProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 40; trial++ {
+		dim := 1 + rng.Intn(2)
+		signal := genSignal(rng, 150, dim)
+		eps := core.UniformEpsilon(dim, 0.2+rng.Float64())
+		for name, f := range allFilters(t, eps) {
+			segs, err := core.Run(f, signal)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for i, s := range segs {
+				if !s.Connected {
+					continue
+				}
+				if i == 0 {
+					t.Fatalf("%s: first segment marked connected", name)
+				}
+				prev := segs[i-1]
+				if s.T0 != prev.T1 {
+					t.Fatalf("%s: segment %d connected but starts at %v, prev ends at %v",
+						name, i, s.T0, prev.T1)
+				}
+				for d := 0; d < dim; d++ {
+					if math.Abs(s.X0[d]-prev.X1[d]) > 1e-9*(1+math.Abs(s.X0[d])) {
+						t.Fatalf("%s: segment %d connected but knot values differ in dim %d", name, i, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSlideHullEquivalenceProperty re-checks Lemma 4.3 end-to-end on
+// random workloads: with and without the hull optimization the slide
+// filter emits the same approximation.
+func TestSlideHullEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 40; trial++ {
+		dim := 1 + rng.Intn(2)
+		signal := genSignal(rng, 100+rng.Intn(200), dim)
+		eps := core.UniformEpsilon(dim, 0.1+rng.Float64()*4)
+		a, _ := core.NewSlide(eps)
+		b, _ := core.NewSlide(eps, core.WithHullOptimization(false))
+		sa, err := core.Run(a, signal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := core.Run(b, signal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sa) != len(sb) {
+			t.Fatalf("trial %d: %d vs %d segments", trial, len(sa), len(sb))
+		}
+		for i := range sa {
+			if sa[i].Connected != sb[i].Connected {
+				t.Fatalf("trial %d: segment %d connectivity differs", trial, i)
+			}
+			if math.Abs(sa[i].T0-sb[i].T0) > 1e-9 || math.Abs(sa[i].T1-sb[i].T1) > 1e-9 {
+				t.Fatalf("trial %d: segment %d spans differ", trial, i)
+			}
+		}
+		if a.Stats().Recordings != b.Stats().Recordings {
+			t.Fatalf("trial %d: recordings differ", trial)
+		}
+	}
+}
+
+// TestCompressionOrderingOnPaperWorkload is a soft sanity check of the
+// paper's headline claim on its own workload family (random walks with
+// moderate steps): the slide filter should need no more recordings than
+// the linear filter, and the swing filter should generally sit between.
+// The claim is checked in aggregate, not per trial, since no per-signal
+// dominance is guaranteed.
+func TestCompressionOrderingOnPaperWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var swingTotal, slideTotal, linearTotal, cacheTotal int
+	for trial := 0; trial < 20; trial++ {
+		n := 600
+		pts := make([]core.Point, n)
+		v := 0.0
+		for j := 0; j < n; j++ {
+			// p = 0.5, delta ~ U(0, 4ε) with ε = 1.
+			d := rng.Float64() * 4
+			if rng.Intn(2) == 0 {
+				d = -d
+			}
+			v += d
+			pts[j] = core.Point{T: float64(j), X: []float64{v}}
+		}
+		eps := []float64{1}
+		for name, f := range map[string]core.Filter{
+			"swing":  mustFilter(core.NewSwing(eps)),
+			"slide":  mustFilter(core.NewSlide(eps)),
+			"linear": mustFilter(core.NewLinear(eps)),
+			"cache":  mustFilter(core.NewCache(eps)),
+		} {
+			if _, err := core.Run(f, pts); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			switch name {
+			case "swing":
+				swingTotal += f.Stats().Recordings
+			case "slide":
+				slideTotal += f.Stats().Recordings
+			case "linear":
+				linearTotal += f.Stats().Recordings
+			case "cache":
+				cacheTotal += f.Stats().Recordings
+			}
+		}
+	}
+	if slideTotal > linearTotal {
+		t.Fatalf("slide (%d recordings) worse than linear (%d) in aggregate", slideTotal, linearTotal)
+	}
+	if swingTotal > linearTotal {
+		t.Fatalf("swing (%d recordings) worse than linear (%d) in aggregate", swingTotal, linearTotal)
+	}
+	if slideTotal > swingTotal {
+		t.Fatalf("slide (%d recordings) worse than swing (%d) in aggregate", slideTotal, swingTotal)
+	}
+	t.Logf("aggregate recordings: slide=%d swing=%d linear=%d cache=%d",
+		slideTotal, swingTotal, linearTotal, cacheTotal)
+}
+
+func mustFilter[F core.Filter](f F, err error) F {
+	if err != nil {
+		panic(fmt.Sprintf("filter construction: %v", err))
+	}
+	return f
+}

@@ -1,0 +1,19 @@
+package core
+
+// Run pushes every point of signal through f in order, finishes the
+// filter, and returns the complete approximation.
+func Run(f Filter, signal []Point) ([]Segment, error) {
+	var segs []Segment
+	for _, p := range signal {
+		out, err := f.Push(p)
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, out...)
+	}
+	out, err := f.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return append(segs, out...), nil
+}

@@ -1,0 +1,660 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/pla-go/pla/internal/geom"
+)
+
+// Slide is the paper's slide filter (Section 4, Algorithm 2). Like the
+// swing filter it maintains, per dimension, an upper line u and a lower
+// line l bounding every line that can represent the current filtering
+// interval within ε — but the lines are not pinned to the previous
+// recording, so they "slide" to the tangent positions characterised by
+// Lemmas 4.1–4.2. Updates only need the convex hull of the interval's
+// points (Lemma 4.3), maintained incrementally.
+//
+// When an interval closes, the filter first tries to connect the new
+// segment to the previous one: Lemma 4.4 yields a per-dimension time
+// window [α_i, β_i] in which the two lines may intersect while both stay
+// within ε of every point they cover; if the windows intersect, a single
+// shared recording (the knot) replaces two. Every connection candidate is
+// additionally verified directly against the invariants (slope inside the
+// candidate pencil, knot path inside the previous interval's band), so
+// the precision guarantee never depends on window arithmetic alone.
+//
+// Segment slopes are chosen to minimize the interval's mean square error
+// among the valid candidates (the secondary objective of Section 3.2,
+// applied with the pivot z = u∩l). For d > 1 the connection time is
+// picked by a small grid search over [α, β] minimizing the summed
+// per-dimension MSE; any choice in the window preserves the guarantee.
+type Slide struct {
+	base
+	maxLag    int
+	noHull    bool
+	binSearch bool // use the logarithmic tangent search on the hull chains
+	connGrid  int  // candidate grid density for the connection search
+
+	// Current filtering interval.
+	haveFirst bool
+	haveLines bool
+	firstPt   Point
+	last      Point
+	count     int
+	u, l      []geom.Line
+	hulls     []geom.Hull
+	allPts    [][]geom.P // per dimension, when the hull optimization is off
+	sumT      float64
+	sumT2     float64
+	sumX      []float64
+	sumXT     []float64
+	sumX2     []float64
+
+	// Previous segment g^{k−1}: line decided, end point pending.
+	havePrev      bool
+	prevLine      []geom.Line
+	prevULine     []geom.Line // final upper lines of the previous interval
+	prevLLine     []geom.Line // final lower lines of the previous interval
+	prevStart     Point
+	prevStartConn bool
+	prevLastT     float64
+	prevCount     int
+	prevLagged    bool
+
+	emitted int
+
+	// Lag mode (Section 4.3): the current interval's line is already
+	// fixed and announced; we ride it until a violation.
+	lagMode      bool
+	lagLine      []geom.Line
+	lagStart     Point
+	lagStartConn bool
+}
+
+// SlideOption customises a Slide filter at construction.
+type SlideOption func(*Slide)
+
+// WithSlideMaxLag bounds the receiver lag per filtering interval: once an
+// interval spans m points the filter fixes the MSE-best candidate line,
+// resolves the pending boundary, counts one receiver update, and degrades
+// to a linear filter until the interval ends (Section 4.3). m must be at
+// least 2.
+func WithSlideMaxLag(m int) SlideOption {
+	return func(s *Slide) { s.maxLag = m }
+}
+
+// WithBinaryTangentSearch makes the hull-tangent updates use the
+// logarithmic ternary search over the convex chains instead of a linear
+// scan — the "even more efficient algorithm" the paper cites (Chazelle &
+// Dobkin). The output is identical; only the per-update cost changes,
+// and only measurably when hulls grow unusually large.
+func WithBinaryTangentSearch() SlideOption {
+	return func(s *Slide) { s.binSearch = true }
+}
+
+// WithConnectionGrid sets how many evenly spaced candidate knot times the
+// connection search probes in addition to the constraint-boundary
+// candidates (default 17). Zero disables connections entirely, degrading
+// the filter to all-disconnected segments — the ablation for the
+// recording mechanism of Section 4.2. Larger grids can only find more
+// (equally sound) connections, at a small per-boundary cost.
+func WithConnectionGrid(n int) SlideOption {
+	return func(s *Slide) { s.connGrid = n }
+}
+
+// WithHullOptimization toggles the convex-hull optimization of Lemma 4.3.
+// It is on by default; turning it off makes the filter keep and rescan
+// every point of the current interval, reproducing the "non-optimized
+// slide" of the paper's Figure 13. The emitted segments are identical.
+func WithHullOptimization(enabled bool) SlideOption {
+	return func(s *Slide) { s.noHull = !enabled }
+}
+
+// NewSlide returns a slide filter with per-dimension precision widths eps.
+func NewSlide(eps []float64, opts ...SlideOption) (*Slide, error) {
+	b, err := newBase(eps)
+	if err != nil {
+		return nil, err
+	}
+	s := &Slide{
+		base:  b,
+		u:     make([]geom.Line, b.dim),
+		l:     make([]geom.Line, b.dim),
+		hulls: make([]geom.Hull, b.dim),
+		sumX:  make([]float64, b.dim),
+		sumXT: make([]float64, b.dim),
+		sumX2: make([]float64, b.dim),
+		last:  Point{X: make([]float64, b.dim)},
+	}
+	s.connGrid = defaultConnGrid
+	for _, o := range opts {
+		o(s)
+	}
+	if s.noHull {
+		s.allPts = make([][]geom.P, b.dim)
+	}
+	if s.connGrid < 0 {
+		return nil, fmt.Errorf("%w: negative connection grid", ErrEpsilon)
+	}
+	if s.maxLag != 0 && s.maxLag < 2 {
+		return nil, ErrMaxLag
+	}
+	return s, nil
+}
+
+// defaultConnGrid is the default density of the connection search grid.
+const defaultConnGrid = 17
+
+// MaxLag returns the configured m_max_lag (0 when unbounded).
+func (s *Slide) MaxLag() int { return s.maxLag }
+
+// HullOptimized reports whether the Lemma 4.3 optimization is enabled.
+func (s *Slide) HullOptimized() bool { return !s.noHull }
+
+// Push consumes one point. Because the slide filter postpones the end
+// point of each segment until the following interval closes, segments are
+// emitted one boundary late.
+func (s *Slide) Push(p Point) ([]Segment, error) {
+	if err := s.admit(p); err != nil {
+		return nil, err
+	}
+	switch {
+	case !s.haveFirst:
+		s.openInterval(p)
+		return nil, nil
+	case !s.haveLines:
+		s.seed(p)
+		return s.checkLag(), nil
+	}
+
+	if s.lagMode {
+		if s.fitsLag(p) {
+			s.setLast(p)
+			s.count++
+			return nil, nil
+		}
+		s.promoteLagToPrev()
+		s.openInterval(p)
+		return nil, nil
+	}
+
+	if s.violates(p) {
+		segs := s.closeInterval()
+		s.openInterval(p)
+		return segs, nil
+	}
+
+	s.update(p)
+	s.absorb(p)
+	return s.checkLag(), nil
+}
+
+// Finish flushes the pending segment(s): the previous interval's segment
+// if one is still awaiting its end point, and the final interval's.
+func (s *Slide) Finish() ([]Segment, error) {
+	if s.finished {
+		return nil, ErrFinished
+	}
+	s.finished = true
+	if !s.haveFirst {
+		return nil, nil
+	}
+	var out []Segment
+
+	if s.lagMode {
+		end := evalLines(s.lagLine, s.last.T)
+		seg := Segment{
+			T0: s.lagStart.T, T1: s.last.T,
+			X0: s.lagStart.X, X1: end,
+			Connected: s.lagStartConn,
+			Points:    s.count,
+		}
+		s.stats.Intervals++
+		s.emit(seg, false)
+		s.emitted++
+		return append(out, seg), nil
+	}
+
+	if !s.haveLines {
+		// The final interval holds a single point.
+		if s.havePrev {
+			out = append(out, s.emitPrev(s.prevLastT, evalLines(s.prevLine, s.prevLastT)))
+		}
+		seg := Segment{
+			T0: s.firstPt.T, T1: s.firstPt.T,
+			X0: s.firstPt.X, X1: s.firstPt.X,
+			Connected: false,
+			Points:    1,
+		}
+		s.stats.Intervals++
+		s.emit(seg, false)
+		s.emitted++
+		return append(out, seg), nil
+	}
+
+	out = append(out, s.closeInterval()...)
+	// closeInterval left the final interval's line as prev; end it at the
+	// last observed data point (Algorithm 2, line 25).
+	out = append(out, s.emitPrev(s.prevLastT, evalLines(s.prevLine, s.prevLastT)))
+	return out, nil
+}
+
+// violates reports whether p falls more than ε above u or below l in any
+// dimension (Algorithm 2, line 6).
+func (s *Slide) violates(p Point) bool {
+	for i, x := range p.X {
+		if x > s.u[i].Eval(p.T)+s.eps[i] || x < s.l[i].Eval(p.T)-s.eps[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// update slides u and/or l to keep representing every interval point
+// (Algorithm 2, lines 32–39). The replacement tangents come from the
+// convex hull chains (Lemma 4.3), or from a scan of all stored points
+// when the hull optimization is disabled.
+func (s *Slide) update(p Point) {
+	for i, x := range p.X {
+		eps := s.eps[i]
+		if x-s.l[i].Eval(p.T) > eps {
+			// The new point's floor is above l: raise l to the
+			// maximum-slope line through (t, x−ε) and a ceiling vertex.
+			pivot := geom.P{T: p.T, X: x - eps}
+			var a float64
+			var idx int
+			switch {
+			case s.noHull:
+				a, idx = geom.MaxSlopeThrough(pivot, s.allPts[i], +eps)
+			case s.binSearch:
+				a, idx = geom.MaxSlopeThroughChain(pivot, s.hulls[i].Lower(), +eps)
+			default:
+				a, idx = geom.MaxSlopeThrough(pivot, s.hulls[i].Lower(), +eps)
+			}
+			if idx >= 0 {
+				s.l[i] = geom.WithSlope(a, pivot)
+			}
+		}
+		if s.u[i].Eval(p.T)-x > eps {
+			// The new point's ceiling is below u: lower u to the
+			// minimum-slope line through (t, x+ε) and a floor vertex.
+			pivot := geom.P{T: p.T, X: x + eps}
+			var a float64
+			var idx int
+			switch {
+			case s.noHull:
+				a, idx = geom.MinSlopeThrough(pivot, s.allPts[i], -eps)
+			case s.binSearch:
+				a, idx = geom.MinSlopeThroughChain(pivot, s.hulls[i].Upper(), -eps)
+			default:
+				a, idx = geom.MinSlopeThrough(pivot, s.hulls[i].Upper(), -eps)
+			}
+			if idx >= 0 {
+				s.u[i] = geom.WithSlope(a, pivot)
+			}
+		}
+	}
+}
+
+// openInterval starts a fresh filtering interval whose first data point
+// is p (the violating point, or the first point of the stream).
+func (s *Slide) openInterval(p Point) {
+	s.haveFirst = true
+	s.haveLines = false
+	s.lagMode = false
+	s.firstPt = p.Clone()
+	s.setLast(p)
+	s.count = 0
+	s.sumT, s.sumT2 = 0, 0
+	for i := range s.sumX {
+		s.sumX[i], s.sumXT[i], s.sumX2[i] = 0, 0, 0
+		if s.noHull {
+			s.allPts[i] = s.allPts[i][:0]
+		} else {
+			s.hulls[i].Reset()
+		}
+	}
+	s.absorb(p)
+}
+
+// seed fixes the initial u and l from the interval's first two points
+// (Algorithm 2, lines 2 and 29).
+func (s *Slide) seed(p Point) {
+	for i := range s.u {
+		eps := s.eps[i]
+		a := geom.P{T: s.firstPt.T, X: s.firstPt.X[i]}
+		b := geom.P{T: p.T, X: p.X[i]}
+		// Vertical lines are impossible: admit enforces strictly
+		// increasing timestamps.
+		s.u[i], _ = geom.Through(geom.P{T: a.T, X: a.X - eps}, geom.P{T: b.T, X: b.X + eps})
+		s.l[i], _ = geom.Through(geom.P{T: a.T, X: a.X + eps}, geom.P{T: b.T, X: b.X - eps})
+	}
+	s.haveLines = true
+	s.absorb(p)
+}
+
+// absorb folds p into the interval state: hull (or point store), MSE
+// sums, and counters.
+func (s *Slide) absorb(p Point) {
+	if s.count > 0 {
+		s.setLast(p)
+	}
+	s.count++
+	s.sumT += p.T
+	s.sumT2 += p.T * p.T
+	for i, x := range p.X {
+		s.sumX[i] += x
+		s.sumXT[i] += x * p.T
+		s.sumX2[i] += x * x
+		if s.noHull {
+			s.allPts[i] = append(s.allPts[i], geom.P{T: p.T, X: x})
+		} else {
+			s.hulls[i].Append(geom.P{T: p.T, X: x})
+			if v := s.hulls[i].Vertices(); v > s.stats.MaxHullVertices {
+				s.stats.MaxHullVertices = v
+			}
+		}
+	}
+}
+
+// setLast records p as the interval's most recent point, reusing the
+// buffer so steady-state Push does not allocate.
+func (s *Slide) setLast(p Point) {
+	s.last.T = p.T
+	copy(s.last.X, p.X)
+}
+
+// fitsLag reports whether p stays within ε of the announced line.
+func (s *Slide) fitsLag(p Point) bool {
+	for i, x := range p.X {
+		pred := s.lagLine[i].Eval(p.T)
+		if x > pred+s.eps[i] || x < pred-s.eps[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// promoteLagToPrev closes a lag-mode interval: the announced line becomes
+// the pending previous segment. Its band collapsed to the line itself, so
+// the next boundary will not attempt a connection.
+func (s *Slide) promoteLagToPrev() {
+	s.stats.Intervals++
+	s.havePrev = true
+	s.prevLine = append([]geom.Line(nil), s.lagLine...)
+	s.prevULine = append([]geom.Line(nil), s.lagLine...)
+	s.prevLLine = append([]geom.Line(nil), s.lagLine...)
+	s.prevStart = s.lagStart
+	s.prevStartConn = s.lagStartConn
+	s.prevLastT = s.last.T
+	s.prevCount = s.count
+	s.prevLagged = true
+}
+
+// closeInterval finalizes the current interval: it decides the interval's
+// line g^k, resolves the boundary with g^{k−1} (emitting that segment),
+// and installs g^k as the new pending segment.
+func (s *Slide) closeInterval() []Segment {
+	s.stats.Intervals++
+	segs, g, start, conn := s.decide()
+	s.havePrev = true
+	s.prevLine = g
+	s.prevULine = append([]geom.Line(nil), s.u...)
+	s.prevLLine = append([]geom.Line(nil), s.l...)
+	s.prevStart = start
+	s.prevStartConn = conn
+	s.prevLastT = s.last.T
+	s.prevCount = s.count
+	s.prevLagged = false
+	return segs
+}
+
+// checkLag performs the m_max_lag flush of Section 4.3: resolve the
+// pending boundary now, fix the current interval's line, announce it to
+// the receiver (one recording), and ride it until the interval ends.
+func (s *Slide) checkLag() []Segment {
+	if s.maxLag == 0 || s.lagMode || s.count < s.maxLag {
+		return nil
+	}
+	segs, g, start, conn := s.decide()
+	s.lagLine = g
+	s.lagStart = start
+	s.lagStartConn = conn
+	s.lagMode = true
+	s.havePrev = false
+	s.stats.LagFlushes++
+	s.stats.Recordings++ // the provisional receiver update
+	return segs
+}
+
+// decide computes the current interval's line g^k, its start point, and
+// whether it connects to the pending previous segment, emitting that
+// previous segment in the process.
+func (s *Slide) decide() (segs []Segment, g []geom.Line, start Point, conn bool) {
+	d := s.dim
+	z := make([]geom.P, d)
+	zok := make([]bool, d)
+	allZ := true
+	for i := 0; i < d; i++ {
+		p, ok := s.u[i].IntersectPoint(s.l[i])
+		z[i], zok[i] = p, ok
+		allZ = allZ && ok
+	}
+
+	if s.havePrev && !s.prevLagged && allZ && s.connGrid > 0 {
+		if tc, ok := s.findConnection(z); ok {
+			knot := make([]float64, d)
+			g = make([]geom.Line, d)
+			for i := 0; i < d; i++ {
+				knot[i] = s.prevLine[i].Eval(tc)
+				gi, _ := geom.Through(z[i], geom.P{T: tc, X: knot[i]})
+				g[i] = gi
+			}
+			segs = append(segs, s.emitPrev(tc, knot))
+			start = Point{T: tc, X: knot}
+			return segs, g, start, true
+		}
+	}
+
+	// Disconnected (or first) segment: per-dimension MSE-optimal slope
+	// through z, clamped to the candidate pencil.
+	g = make([]geom.Line, d)
+	for i := 0; i < d; i++ {
+		if !zok[i] {
+			// u and l numerically parallel: any line between them works;
+			// take the midline.
+			mid := (s.u[i].Eval(s.last.T) + s.l[i].Eval(s.last.T)) / 2
+			g[i] = geom.WithSlope((s.u[i].A+s.l[i].A)/2, geom.P{T: s.last.T, X: mid})
+			continue
+		}
+		lo, hi := minmax(s.u[i].A, s.l[i].A)
+		g[i] = geom.WithSlope(clamp(s.mseSlope(i, z[i]), lo, hi), z[i])
+	}
+	if s.havePrev {
+		segs = append(segs, s.emitPrev(s.prevLastT, evalLines(s.prevLine, s.prevLastT)))
+	}
+	start = Point{T: s.firstPt.T, X: evalLines(g, s.firstPt.T)}
+	return segs, g, start, false
+}
+
+// emitPrev finalizes the pending previous segment with the given end
+// point and returns it.
+func (s *Slide) emitPrev(endT float64, endX []float64) Segment {
+	seg := Segment{
+		T0: s.prevStart.T, T1: endT,
+		X0: s.prevStart.X, X1: endX,
+		Connected: s.prevStartConn,
+		Points:    s.prevCount,
+	}
+	s.emit(seg, false)
+	s.emitted++
+	s.havePrev = false
+	return seg
+}
+
+// findConnection implements the recording mechanism of Section 4.2: find
+// a connection time t_c at which g^k can intersect g^{k−1} such that both
+// keep their precision guarantees — g^{k−1} for the data up to t_c, g^k
+// for the trailing data of the previous interval and all of the current
+// one. Lemma 4.4 characterises a sufficient window; here the feasible
+// region is searched directly: candidate times are the crossings of
+// g^{k−1} with every constraint boundary (the current interval's u and l,
+// the previous interval's u and l, the slopes grazing the previous band
+// at its end, and the per-dimension MSE optima), plus a coarse grid and
+// the midpoints between consecutive candidates, so that every maximal
+// feasible subinterval is probed. Each candidate is verified against the
+// precision invariants by validKnot; among the valid ones the summed
+// mean-square error decides. This finds a connection whenever the paper's
+// window is non-empty, and in some additional sound cases its sufficient
+// conditions exclude.
+func (s *Slide) findConnection(z []geom.P) (float64, bool) {
+	tEnd := s.prevLastT
+	lo := s.prevStart.T
+	if !(lo < tEnd) {
+		return 0, false
+	}
+	cands := make([]float64, 0, 64)
+	add := func(t float64) {
+		if t >= lo && t <= tEnd && !math.IsNaN(t) && !math.IsInf(t, 0) {
+			cands = append(cands, t)
+		}
+	}
+	add(lo)
+	add(tEnd)
+	for i := range z {
+		G := s.prevLine[i]
+		for _, ln := range []geom.Line{s.u[i], s.l[i], s.prevULine[i], s.prevLLine[i]} {
+			if t, ok := G.IntersectTime(ln); ok {
+				add(t)
+			}
+		}
+		// Knot times whose induced slope makes g^k graze the previous
+		// band exactly at tEnd.
+		if dz := tEnd - z[i].T; dz != 0 {
+			for _, bound := range []float64{s.prevULine[i].Eval(tEnd), s.prevLLine[i].Eval(tEnd)} {
+				a := (bound - z[i].X) / dz
+				if t, ok := geom.WithSlope(a, z[i]).IntersectTime(G); ok {
+					add(t)
+				}
+			}
+		}
+		// The knot time induced by the unclamped MSE-optimal slope.
+		if t, ok := geom.WithSlope(s.mseSlope(i, z[i]), z[i]).IntersectTime(G); ok {
+			add(t)
+		}
+	}
+	if gridN := s.connGrid; gridN > 1 {
+		for j := 0; j < gridN; j++ {
+			add(lo + (tEnd-lo)*float64(j)/float64(gridN-1))
+		}
+	}
+	sort.Float64s(cands)
+	for j, n := 1, len(cands); j < n; j++ {
+		add((cands[j-1] + cands[j]) / 2)
+	}
+
+	bestT, bestCost, found := 0.0, math.Inf(1), false
+	for _, tc := range cands {
+		if !s.validKnot(tc, z) {
+			continue
+		}
+		cost := 0.0
+		for i := range z {
+			a := (s.prevLine[i].Eval(tc) - z[i].X) / (tc - z[i].T)
+			cost += s.mseCost(i, z[i], a)
+		}
+		if !found || cost < bestCost {
+			bestT, bestCost, found = tc, cost, true
+		}
+	}
+	return bestT, found
+}
+
+// validKnot verifies that connecting at time tc preserves both halves of
+// the precision guarantee: the resulting g^k lies inside the current
+// interval's candidate pencil, and its path from the knot to the end of
+// the previous interval stays inside the previous interval's band.
+func (s *Slide) validKnot(tc float64, z []geom.P) bool {
+	tEnd := s.prevLastT
+	if tc > tEnd {
+		return false
+	}
+	for i := range z {
+		if tc >= z[i].T {
+			return false // would make g^k vertical or backwards
+		}
+		knot := s.prevLine[i].Eval(tc)
+		a := (knot - z[i].X) / (tc - z[i].T)
+		lo, hi := minmax(s.u[i].A, s.l[i].A)
+		slack := 1e-9 * (1 + math.Abs(lo) + math.Abs(hi))
+		if a < lo-slack || a > hi+slack {
+			return false
+		}
+		// Orientation-consistent containment between the previous u and l
+		// at both tc and tEnd implies containment on the whole span.
+		gEnd := knot + a*(tEnd-tc)
+		uc, lc := s.prevULine[i].Eval(tc), s.prevLLine[i].Eval(tc)
+		ue, le := s.prevULine[i].Eval(tEnd), s.prevLLine[i].Eval(tEnd)
+		bs := 1e-9 * (1 + math.Abs(ue) + math.Abs(le))
+		upOK := knot <= uc+bs && knot >= lc-bs && gEnd <= ue+bs && gEnd >= le-bs
+		downOK := knot >= uc-bs && knot <= lc+bs && gEnd >= ue-bs && gEnd <= le+bs
+		if !upOK && !downOK {
+			return false
+		}
+	}
+	return true
+}
+
+// mseSlope returns the slope minimizing the interval's mean square error
+// for dimension i among lines through pivot (Eq. 6 with pivot z).
+func (s *Slide) mseSlope(i int, pivot geom.P) float64 {
+	n := float64(s.count)
+	sxt := s.sumXT[i] - pivot.T*s.sumX[i] - pivot.X*s.sumT + n*pivot.T*pivot.X
+	stt := s.sumT2 - 2*pivot.T*s.sumT + n*pivot.T*pivot.T
+	if stt == 0 {
+		return 0
+	}
+	return sxt / stt
+}
+
+// mseCost returns Σ_j (x_j − (pivot.X + a·(t_j − pivot.T)))² for
+// dimension i, via the running sums.
+func (s *Slide) mseCost(i int, pivot geom.P, a float64) float64 {
+	n := float64(s.count)
+	sxx := s.sumX2[i] - 2*pivot.X*s.sumX[i] + n*pivot.X*pivot.X
+	sxt := s.sumXT[i] - pivot.T*s.sumX[i] - pivot.X*s.sumT + n*pivot.T*pivot.X
+	stt := s.sumT2 - 2*pivot.T*s.sumT + n*pivot.T*pivot.T
+	return sxx - 2*a*sxt + a*a*stt
+}
+
+func evalLines(ls []geom.Line, t float64) []float64 {
+	v := make([]float64, len(ls))
+	for i, l := range ls {
+		v[i] = l.Eval(t)
+	}
+	return v
+}
+
+func minmax(a, b float64) (float64, float64) {
+	if a <= b {
+		return a, b
+	}
+	return b, a
+}
+
+func clamp(v float64, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// InLagMode reports whether the filter has fixed and announced the
+// current interval's line after an m_max_lag flush. While true, the
+// receiver's model already covers newly arriving points.
+func (s *Slide) InLagMode() bool { return s.lagMode }

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSlideExactLine(t *testing.T) {
+	f, _ := NewSlide([]float64{0.25})
+	var signal []Point
+	for i := 0; i < 50; i++ {
+		signal = append(signal, Point{T: float64(i), X: []float64{0.5*float64(i) + 2}})
+	}
+	segs, err := Run(f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("exact line produced %d segments, want 1", len(segs))
+	}
+	s := segs[0]
+	if math.Abs(s.X0[0]-2) > 1e-9 || math.Abs(s.X1[0]-(0.5*49+2)) > 1e-9 {
+		t.Fatalf("segment strays from the exact line: %+v", s)
+	}
+	if st := f.Stats(); st.Recordings != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSlideStepSignalDisconnected(t *testing.T) {
+	// Two flat plateaus far apart: the second segment cannot intersect the
+	// first within the Lemma 4.4 window, so the boundary is disconnected.
+	var signal []Point
+	for i := 0; i < 8; i++ {
+		signal = append(signal, Point{T: float64(i), X: []float64{0}})
+	}
+	for i := 8; i < 16; i++ {
+		signal = append(signal, Point{T: float64(i), X: []float64{100}})
+	}
+	f, _ := NewSlide([]float64{0.5})
+	segs, err := Run(f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments, want 2", len(segs))
+	}
+	if segs[1].Connected {
+		t.Fatal("distant plateaus must not connect")
+	}
+	if st := f.Stats(); st.Recordings != 4 {
+		t.Fatalf("recordings = %d, want 4", st.Recordings)
+	}
+	// Each plateau is reproduced within ε.
+	if math.Abs(segs[0].X0[0]) > 0.5+1e-9 || math.Abs(segs[1].X0[0]-100) > 0.5+1e-9 {
+		t.Fatalf("plateau values off: %v, %v", segs[0].X0[0], segs[1].X0[0])
+	}
+}
+
+func TestSlideConnectsWhenLinesMeet(t *testing.T) {
+	// A flat run followed by a ramp whose extension crosses the flat line
+	// just before the flat interval ends: Lemma 4.4 admits a connection,
+	// saving one recording.
+	var signal []Point
+	for i := 0; i <= 10; i++ {
+		signal = append(signal, Point{T: float64(i), X: []float64{0}})
+	}
+	for i := 11; i <= 20; i++ {
+		signal = append(signal, Point{T: float64(i), X: []float64{1.0 * (float64(i) - 9.5)}})
+	}
+	f, _ := NewSlide([]float64{0.3})
+	segs, err := Run(f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments, want 2", len(segs))
+	}
+	if !segs[1].Connected {
+		t.Fatalf("expected a connected boundary, got %+v", segs)
+	}
+	if segs[1].T0 != segs[0].T1 || segs[1].X0[0] != segs[0].X1[0] {
+		t.Fatal("connected segments do not share the knot")
+	}
+	if st := f.Stats(); st.Recordings != 3 {
+		t.Fatalf("recordings = %d, want 3 (one shared knot)", st.Recordings)
+	}
+}
+
+func TestSlideHullEquivalence(t *testing.T) {
+	// The convex-hull optimization must not change the output (Lemma 4.3).
+	var signal []Point
+	for i := 0; i < 400; i++ {
+		x := 10*math.Sin(float64(i)/15) + 3*math.Sin(float64(i)/3.7) + 0.2*float64(i%7)
+		signal = append(signal, Point{T: float64(i), X: []float64{x}})
+	}
+	for _, eps := range []float64{0.1, 0.5, 2, 8} {
+		with, _ := NewSlide([]float64{eps})
+		without, _ := NewSlide([]float64{eps}, WithHullOptimization(false))
+		if with.HullOptimized() == false || without.HullOptimized() == true {
+			t.Fatal("HullOptimized flags wrong")
+		}
+		a, err := Run(with, signal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(without, signal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("ε=%v: %d vs %d segments", eps, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Connected != b[i].Connected ||
+				math.Abs(a[i].T0-b[i].T0) > 1e-9 || math.Abs(a[i].T1-b[i].T1) > 1e-9 ||
+				math.Abs(a[i].X0[0]-b[i].X0[0]) > 1e-6 || math.Abs(a[i].X1[0]-b[i].X1[0]) > 1e-6 {
+				t.Fatalf("ε=%v: segment %d differs:\nhull:   %+v\nno-hull: %+v", eps, i, a[i], b[i])
+			}
+		}
+		if with.Stats().Recordings != without.Stats().Recordings {
+			t.Fatalf("ε=%v: recordings differ", eps)
+		}
+	}
+}
+
+func TestSlideHullStaysSmall(t *testing.T) {
+	// Figure 13's explanation: the hull size stays tiny no matter how many
+	// points the interval absorbs.
+	var signal []Point
+	for i := 0; i < 5000; i++ {
+		// Oscillation well inside the band: a single huge interval.
+		signal = append(signal, Point{T: float64(i), X: []float64{math.Sin(float64(i))}})
+	}
+	f, _ := NewSlide([]float64{3})
+	if _, err := Run(f, signal); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.MaxIntervalPoints < 4000 {
+		t.Fatalf("expected one huge interval, got max %d points", st.MaxIntervalPoints)
+	}
+	if st.MaxHullVertices > 64 {
+		t.Fatalf("hull grew to %d vertices; expected it to stay small", st.MaxHullVertices)
+	}
+}
+
+func TestSlideSinglePoint(t *testing.T) {
+	f, _ := NewSlide([]float64{1})
+	segs, err := Run(f, pts1(-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].T0 != segs[0].T1 || segs[0].X0[0] != -3 {
+		t.Fatalf("segments = %+v", segs)
+	}
+}
+
+func TestSlideTwoPoints(t *testing.T) {
+	f, _ := NewSlide([]float64{1})
+	segs, err := Run(f, pts1(0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("got %d segments, want 1", len(segs))
+	}
+	s := segs[0]
+	if math.Abs(s.At(0, 0)-0) > 1+1e-9 || math.Abs(s.At(0, 1)-4) > 1+1e-9 {
+		t.Fatalf("two-point segment violates ε: %+v", s)
+	}
+}
+
+func TestSlideSpikyReviolation(t *testing.T) {
+	f, _ := NewSlide([]float64{0.1})
+	signal := pts1(0, 50, -50, 50, -50, 0)
+	segs, err := Run(f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range segs {
+		total += s.Points
+	}
+	if total != len(signal) {
+		t.Fatalf("segments cover %d points, want %d", total, len(signal))
+	}
+}
+
+func TestSlideFinalIntervalSinglePoint(t *testing.T) {
+	// A violation on the very last point leaves a one-point interval for
+	// Finish to flush as a degenerate segment.
+	f, _ := NewSlide([]float64{0.5})
+	signal := pts1(0, 0.1, -0.1, 0, 42)
+	segs, err := Run(f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := segs[len(segs)-1]
+	if last.T0 != last.T1 || last.X0[0] != 42 {
+		t.Fatalf("last segment = %+v, want degenerate at 42", last)
+	}
+}
+
+func TestSlideMultiDim(t *testing.T) {
+	// Two dimensions with different shapes; the guarantee must hold in
+	// both and a violation in either dimension must split.
+	var signal []Point
+	for i := 0; i < 60; i++ {
+		t := float64(i)
+		signal = append(signal, Point{T: t, X: []float64{t * 0.5, math.Abs(t - 30)}})
+	}
+	f, _ := NewSlide([]float64{0.4, 0.4})
+	segs, err := Run(f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("dim 1's corner must split the approximation, got %d segments", len(segs))
+	}
+	for _, p := range signal {
+		ok := false
+		for _, s := range segs {
+			if p.T >= s.T0 && p.T <= s.T1 {
+				if math.Abs(s.At(0, p.T)-p.X[0]) <= 0.4+1e-6 &&
+					math.Abs(s.At(1, p.T)-p.X[1]) <= 0.4+1e-6 {
+					ok = true
+					break
+				}
+			}
+		}
+		if !ok {
+			t.Fatalf("point at t=%v not covered within ε", p.T)
+		}
+	}
+}
+
+func TestSlideBinaryTangentEquivalence(t *testing.T) {
+	// The logarithmic tangent search must produce the same approximation
+	// as the linear scan (both find the same extreme-slope vertex).
+	var signal []Point
+	for i := 0; i < 600; i++ {
+		x := 6*math.Sin(float64(i)/11) + 2*math.Sin(float64(i)/3.1)
+		signal = append(signal, Point{T: float64(i), X: []float64{x}})
+	}
+	for _, eps := range []float64{0.2, 1, 4} {
+		lin, _ := NewSlide([]float64{eps})
+		bin, _ := NewSlide([]float64{eps}, WithBinaryTangentSearch())
+		a, err := Run(lin, signal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(bin, signal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("ε=%v: %d vs %d segments", eps, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Connected != b[i].Connected ||
+				math.Abs(a[i].T0-b[i].T0) > 1e-9 || math.Abs(a[i].T1-b[i].T1) > 1e-9 ||
+				math.Abs(a[i].X0[0]-b[i].X0[0]) > 1e-9 || math.Abs(a[i].X1[0]-b[i].X1[0]) > 1e-9 {
+				t.Fatalf("ε=%v: segment %d differs between tangent searches", eps, i)
+			}
+		}
+		if lin.Stats().Recordings != bin.Stats().Recordings {
+			t.Fatalf("ε=%v: recordings differ", eps)
+		}
+	}
+}

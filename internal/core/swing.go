@@ -1,0 +1,340 @@
+package core
+
+// Swing is the paper's swing filter (Section 3, Algorithm 1). For every
+// filtering interval it maintains, per dimension, the family of lines
+// through the previous recording bounded by an upper line u and a lower
+// line l. Arriving points "swing" u down and l up; when a point cannot be
+// represented by any remaining line a recording is made at the previous
+// point's timestamp, choosing the slope in [slope(l), slope(u)] that
+// minimizes the interval's mean square error (Eq. 5–6). Segments are
+// always connected, so each costs a single recording. The filter runs in
+// O(1) time and space per point.
+type Swing struct {
+	base
+	maxLag    int
+	recording SwingRecording
+
+	havePivot bool
+	haveLines bool
+	pivot     Point     // previous recording; all candidate lines pass through it
+	slopeU    []float64 // slope of u_i
+	slopeL    []float64 // slope of l_i
+	last      Point     // most recent accepted point
+	count     int       // data points in the current filtering interval
+	sumTX     []float64 // Σ (x_i − pivot.x_i)(t − pivot.t) over the interval
+	sumTT     float64   // Σ (t − pivot.t)² over the interval
+	emitted   int
+
+	lagMode  bool
+	lagSlope []float64 // the single line kept after an m_max_lag flush
+}
+
+// SwingRecording selects how the swing filter places each recording
+// inside the admissible slope range [slope(l), slope(u)]. Every mode
+// preserves the precision guarantee; they differ only in the secondary
+// objective of Section 3.2.
+type SwingRecording int
+
+const (
+	// RecordMSE picks the slope minimizing the interval's mean square
+	// error (Eq. 5–6) — the paper's choice and the default.
+	RecordMSE SwingRecording = iota
+	// RecordMidline picks the middle of the admissible slope range, the
+	// cheapest guarantee-preserving choice (no running sums needed).
+	RecordMidline
+	// RecordLast aims the recording at the last observed data point,
+	// clamped into the admissible range — the "straightforward approach"
+	// Section 3.2 argues against. Provided for the ablation study.
+	RecordLast
+)
+
+// String returns the mode's name.
+func (r SwingRecording) String() string {
+	switch r {
+	case RecordMSE:
+		return "record-mse"
+	case RecordMidline:
+		return "record-midline"
+	case RecordLast:
+		return "record-last"
+	default:
+		return "record-unknown"
+	}
+}
+
+// SwingOption customises a Swing filter at construction.
+type SwingOption func(*Swing)
+
+// WithSwingRecording selects the recording placement mode (default
+// RecordMSE). Compression is identical across modes; only the residual
+// error of the approximation changes — the ablation behind the paper's
+// Section 3.2 design choice.
+func WithSwingRecording(mode SwingRecording) SwingOption {
+	return func(s *Swing) { s.recording = mode }
+}
+
+// WithSwingMaxLag bounds the receiver lag: once a filtering interval
+// spans m points the filter collapses its candidate set to the MSE-best
+// line, counts one receiver update, and degrades to a linear filter until
+// the interval ends (Section 3.3). m must be at least 2.
+func WithSwingMaxLag(m int) SwingOption {
+	return func(s *Swing) { s.maxLag = m }
+}
+
+// NewSwing returns a swing filter with per-dimension precision widths eps.
+func NewSwing(eps []float64, opts ...SwingOption) (*Swing, error) {
+	b, err := newBase(eps)
+	if err != nil {
+		return nil, err
+	}
+	s := &Swing{
+		base:     b,
+		slopeU:   make([]float64, b.dim),
+		slopeL:   make([]float64, b.dim),
+		sumTX:    make([]float64, b.dim),
+		lagSlope: make([]float64, b.dim),
+		last:     Point{X: make([]float64, b.dim)},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.maxLag != 0 && s.maxLag < 2 {
+		return nil, ErrMaxLag
+	}
+	return s, nil
+}
+
+// MaxLag returns the configured m_max_lag (0 when unbounded).
+func (s *Swing) MaxLag() int { return s.maxLag }
+
+// Recording returns the configured recording placement mode.
+func (s *Swing) Recording() SwingRecording { return s.recording }
+
+// Push consumes one point, returning the finished segment when the point
+// cannot be represented by any candidate line of the current interval.
+func (s *Swing) Push(p Point) ([]Segment, error) {
+	if err := s.admit(p); err != nil {
+		return nil, err
+	}
+	switch {
+	case !s.havePivot:
+		// The first incoming data point is recorded (t0', X0').
+		s.pivot = p.Clone()
+		s.havePivot = true
+		s.setLast(p)
+		s.count = 1
+		return nil, nil
+	case !s.haveLines:
+		s.seedLines(p)
+		s.accumulate(p)
+		s.setLast(p)
+		s.count++
+		s.checkLag()
+		return nil, nil
+	}
+
+	if s.lagMode {
+		if s.fitsLag(p) {
+			s.setLast(p)
+			s.count++
+			return nil, nil
+		}
+		seg := s.closeOnLine(s.lagSlope)
+		s.reopen(p)
+		return []Segment{seg}, nil
+	}
+
+	if viol := s.violates(p); viol {
+		seg := s.closeOnLine(s.bestSlope())
+		s.reopen(p)
+		return []Segment{seg}, nil
+	}
+
+	s.swing(p)
+	s.accumulate(p)
+	s.setLast(p)
+	s.count++
+	s.checkLag()
+	return nil, nil
+}
+
+// setLast records p as the interval's most recent point, reusing the
+// buffer so steady-state Push does not allocate.
+func (s *Swing) setLast(p Point) {
+	s.last.T = p.T
+	copy(s.last.X, p.X)
+}
+
+// Finish emits the last segment of the approximation.
+func (s *Swing) Finish() ([]Segment, error) {
+	if s.finished {
+		return nil, ErrFinished
+	}
+	s.finished = true
+	if !s.havePivot {
+		return nil, nil
+	}
+	if !s.haveLines {
+		// Single point: a degenerate segment (one recording).
+		seg := Segment{
+			T0: s.pivot.T, T1: s.pivot.T,
+			X0: s.pivot.X, X1: s.pivot.X,
+			Connected: false, Points: 1,
+		}
+		s.stats.Intervals++
+		s.emit(seg, false)
+		return []Segment{seg}, nil
+	}
+	var seg Segment
+	if s.lagMode {
+		seg = s.closeOnLine(s.lagSlope)
+	} else {
+		seg = s.closeOnLine(s.bestSlope())
+	}
+	return []Segment{seg}, nil
+}
+
+// violates reports whether p falls more than ε above u or below l in any
+// dimension (Algorithm 1, line 7).
+func (s *Swing) violates(p Point) bool {
+	dt := p.T - s.pivot.T
+	for i, x := range p.X {
+		u := s.pivot.X[i] + s.slopeU[i]*dt
+		l := s.pivot.X[i] + s.slopeL[i]*dt
+		if x > u+s.eps[i] || x < l-s.eps[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// swing adjusts u and l to keep representing every point seen so far
+// (Algorithm 1, lines 14–18).
+func (s *Swing) swing(p Point) {
+	dt := p.T - s.pivot.T
+	for i, x := range p.X {
+		u := s.pivot.X[i] + s.slopeU[i]*dt
+		l := s.pivot.X[i] + s.slopeL[i]*dt
+		if x-l > s.eps[i] {
+			// Swing l up through (p.T, x−ε).
+			s.slopeL[i] = (x - s.eps[i] - s.pivot.X[i]) / dt
+		}
+		if u-x > s.eps[i] {
+			// Swing u down through (p.T, x+ε).
+			s.slopeU[i] = (x + s.eps[i] - s.pivot.X[i]) / dt
+		}
+	}
+}
+
+// seedLines starts a filtering interval: u through (pivot, p+ε) and l
+// through (pivot, p−ε) per dimension.
+func (s *Swing) seedLines(p Point) {
+	dt := p.T - s.pivot.T
+	for i, x := range p.X {
+		s.slopeU[i] = (x + s.eps[i] - s.pivot.X[i]) / dt
+		s.slopeL[i] = (x - s.eps[i] - s.pivot.X[i]) / dt
+	}
+	s.haveLines = true
+}
+
+// accumulate folds p into the running sums behind Eq. 6.
+func (s *Swing) accumulate(p Point) {
+	dt := p.T - s.pivot.T
+	for i, x := range p.X {
+		s.sumTX[i] += (x - s.pivot.X[i]) * dt
+	}
+	s.sumTT += dt * dt
+}
+
+// bestSlope returns, per dimension, the recording slope dictated by the
+// configured mode, clamped into [slope(l), slope(u)] (Eq. 5 for the
+// default RecordMSE mode).
+func (s *Swing) bestSlope() []float64 {
+	a := make([]float64, s.dim)
+	for i := range a {
+		var ai float64
+		switch s.recording {
+		case RecordMidline:
+			ai = (s.slopeL[i] + s.slopeU[i]) / 2
+		case RecordLast:
+			// Aim at the last observed point; sumTT > 0 because every
+			// interval holds at least one point past the pivot.
+			ai = (s.last.X[i] - s.pivot.X[i]) / (s.last.T - s.pivot.T)
+		default: // RecordMSE
+			ai = s.sumTX[i] / s.sumTT
+		}
+		if ai < s.slopeL[i] {
+			ai = s.slopeL[i]
+		}
+		if ai > s.slopeU[i] {
+			ai = s.slopeU[i]
+		}
+		a[i] = ai
+	}
+	return a
+}
+
+// closeOnLine makes the recording at the last point's timestamp on the
+// line with the given slope through the pivot and emits the segment.
+func (s *Swing) closeOnLine(slope []float64) Segment {
+	dt := s.last.T - s.pivot.T
+	end := make([]float64, s.dim)
+	for i := range end {
+		end[i] = s.pivot.X[i] + slope[i]*dt
+	}
+	seg := Segment{
+		T0: s.pivot.T, T1: s.last.T,
+		X0: s.pivot.X, X1: end,
+		Connected: s.emitted > 0,
+		Points:    s.count,
+	}
+	s.stats.Intervals++
+	s.emit(seg, false)
+	s.emitted++
+	s.pivot = Point{T: s.last.T, X: end}
+	return seg
+}
+
+// reopen starts the next filtering interval seeded by the violating point.
+func (s *Swing) reopen(p Point) {
+	s.lagMode = false
+	s.sumTT = 0
+	for i := range s.sumTX {
+		s.sumTX[i] = 0
+	}
+	s.seedLines(p)
+	s.accumulate(p)
+	s.setLast(p)
+	s.count = 1
+	s.checkLag()
+}
+
+// checkLag collapses the candidate set once the interval reaches
+// m_max_lag points (Section 3.3).
+func (s *Swing) checkLag() {
+	if s.maxLag == 0 || s.lagMode || s.count < s.maxLag {
+		return
+	}
+	copy(s.lagSlope, s.bestSlope())
+	s.lagMode = true
+	s.stats.LagFlushes++
+	s.stats.Recordings++ // the provisional receiver update
+}
+
+// fitsLag reports whether p stays within ε of the kept line.
+func (s *Swing) fitsLag(p Point) bool {
+	dt := p.T - s.pivot.T
+	for i, x := range p.X {
+		pred := s.pivot.X[i] + s.lagSlope[i]*dt
+		if x > pred+s.eps[i] || x < pred-s.eps[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// InLagMode reports whether the filter has collapsed the current
+// interval's candidate set after an m_max_lag flush and is riding the
+// announced line. While true, the receiver's model already covers newly
+// arriving points.
+func (s *Swing) InLagMode() bool { return s.lagMode }

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// paperExample is the data pattern of Examples 3.1/4.1 (Figures 2–4),
+// reconstructed so that with ε=1 the linear filter breaks at t=4, the
+// swing filter at t=5, and the slide filter absorbs all five points.
+func paperExample() []Point {
+	return []Point{
+		{T: 1, X: []float64{0}},
+		{T: 2, X: []float64{1}},
+		{T: 3, X: []float64{2.5}},
+		{T: 4, X: []float64{4.5}},
+		{T: 5, X: []float64{3.5}},
+	}
+}
+
+func TestPaperExampleFilterOrdering(t *testing.T) {
+	signal := paperExample()
+	eps := []float64{1}
+
+	lin, _ := NewLinear(eps)
+	linSegs, err := Run(lin, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, _ := NewSwing(eps)
+	swSegs, err := Run(sw, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, _ := NewSlide(eps)
+	slSegs, err := Run(sl, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := linSegs[0].Points; got != 3 {
+		t.Fatalf("linear first interval holds %d points, want 3 (Figure 2b)", got)
+	}
+	if got := swSegs[0].Points; got != 4 {
+		t.Fatalf("swing first interval holds %d points, want 4 (Figure 3c)", got)
+	}
+	if len(slSegs) != 1 || slSegs[0].Points != 5 {
+		t.Fatalf("slide should absorb all 5 points in one segment (Figure 4c), got %+v", slSegs)
+	}
+}
+
+func TestSwingExactLine(t *testing.T) {
+	f, _ := NewSwing([]float64{0.25})
+	var signal []Point
+	for i := 0; i < 50; i++ {
+		signal = append(signal, Point{T: float64(i), X: []float64{3*float64(i) - 7}})
+	}
+	segs, err := Run(f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("exact line produced %d segments, want 1", len(segs))
+	}
+	s := segs[0]
+	if math.Abs(s.X0[0]-(-7)) > 1e-12 || math.Abs(s.X1[0]-(3*49-7)) > 1e-12 {
+		t.Fatalf("MSE recording missed the exact line: %+v", s)
+	}
+	if st := f.Stats(); st.Recordings != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSwingSegmentsAreConnected(t *testing.T) {
+	f, _ := NewSwing([]float64{0.5})
+	var signal []Point
+	// A noisy triangle wave forces several intervals.
+	for i := 0; i < 200; i++ {
+		x := math.Abs(math.Mod(float64(i), 40)-20) + 0.3*math.Sin(float64(i)*1.7)
+		signal = append(signal, Point{T: float64(i), X: []float64{x}})
+	}
+	segs, err := Run(f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 5 {
+		t.Fatalf("expected several segments, got %d", len(segs))
+	}
+	for i := 1; i < len(segs); i++ {
+		if !segs[i].Connected {
+			t.Fatalf("segment %d not connected", i)
+		}
+		if segs[i].T0 != segs[i-1].T1 || segs[i].X0[0] != segs[i-1].X1[0] {
+			t.Fatalf("segment %d does not chain exactly: prev end (%v,%v), start (%v,%v)",
+				i, segs[i-1].T1, segs[i-1].X1[0], segs[i].T0, segs[i].X0[0])
+		}
+	}
+	// K connected segments cost K+1 recordings.
+	if st := f.Stats(); st.Recordings != len(segs)+1 {
+		t.Fatalf("recordings = %d, want %d", st.Recordings, len(segs)+1)
+	}
+}
+
+func TestSwingRecordingInsideBounds(t *testing.T) {
+	// The MSE-optimal slope must be clamped into [slope(l), slope(u)]:
+	// every original point of a closed interval stays within ε of it.
+	signal := []Point{
+		{T: 0, X: []float64{0}},
+		{T: 1, X: []float64{0.9}},
+		{T: 2, X: []float64{0.2}},
+		{T: 3, X: []float64{1.1}},
+		{T: 4, X: []float64{9}}, // violation
+	}
+	f, _ := NewSwing([]float64{1})
+	segs, err := Run(f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments, want 2", len(segs))
+	}
+	s := segs[0]
+	for _, p := range signal[:4] {
+		approx := s.At(0, p.T)
+		if math.Abs(approx-p.X[0]) > 1+1e-9 {
+			t.Fatalf("point (%v,%v) is %v from the recording line, beyond ε",
+				p.T, p.X[0], math.Abs(approx-p.X[0]))
+		}
+	}
+}
+
+func TestSwingSinglePoint(t *testing.T) {
+	f, _ := NewSwing([]float64{1})
+	segs, err := Run(f, pts1(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].T0 != segs[0].T1 || segs[0].X0[0] != 42 {
+		t.Fatalf("segments = %+v", segs)
+	}
+}
+
+func TestSwingTwoPoints(t *testing.T) {
+	f, _ := NewSwing([]float64{1})
+	segs, err := Run(f, pts1(0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("got %d segments, want 1", len(segs))
+	}
+	// The recording must be within ε of both points; the first recording
+	// is exact, the second within [9, 11].
+	if segs[0].X0[0] != 0 {
+		t.Fatalf("start = %v, want 0", segs[0].X0[0])
+	}
+	if end := segs[0].X1[0]; end < 9 || end > 11 {
+		t.Fatalf("end = %v, want within ε of 10", end)
+	}
+}
+
+func TestSwingImmediateReviolation(t *testing.T) {
+	// Each point is far from the previous: every interval holds one point
+	// beyond its pivot, exercising the reopen path repeatedly.
+	f, _ := NewSwing([]float64{0.1})
+	signal := pts1(0, 100, -100, 100, -100)
+	segs, err := Run(f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range segs {
+		total += s.Points
+	}
+	if total != len(signal) {
+		t.Fatalf("segments cover %d points, want %d", total, len(signal))
+	}
+}
+
+func TestSwingMultiDimIndependentSwinging(t *testing.T) {
+	// Dim 0 rises, dim 1 falls; both fit one segment within ε=2.
+	var signal []Point
+	for i := 0; i < 10; i++ {
+		signal = append(signal, Point{T: float64(i), X: []float64{float64(i), -float64(i)}})
+	}
+	f, _ := NewSwing([]float64{2, 2})
+	segs, err := Run(f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("got %d segments, want 1", len(segs))
+	}
+	if math.Abs(segs[0].X1[0]-9) > 1e-9 || math.Abs(segs[0].X1[1]+9) > 1e-9 {
+		t.Fatalf("end = %v", segs[0].X1)
+	}
+}

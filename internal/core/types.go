@@ -1,0 +1,231 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Point is one sample of a d-dimensional signal: a timestamp and the
+// vector of values observed at that time.
+type Point struct {
+	T float64
+	X []float64
+}
+
+// Clone returns a deep copy of p. Filters clone any point they retain, so
+// callers may reuse the X slice between Push calls.
+func (p Point) Clone() Point {
+	x := make([]float64, len(p.X))
+	copy(x, p.X)
+	return Point{T: p.T, X: x}
+}
+
+// Segment is one line segment of a piece-wise linear approximation. It
+// spans times [T0, T1] with values X0 at T0 and X1 at T1, linearly
+// interpolated in between, independently per dimension.
+type Segment struct {
+	T0, T1 float64
+	X0, X1 []float64
+
+	// Connected reports whether the segment starts exactly at the previous
+	// segment's end point, in which case transmitting it costs a single
+	// recording instead of two (Section 2.1 of the paper).
+	Connected bool
+
+	// Points is the number of original data points the segment
+	// approximates (diagnostic only; not needed for reconstruction).
+	Points int
+}
+
+// At returns the segment's value in dimension i at time t (extrapolating
+// if t is outside [T0, T1]; callers normally only evaluate inside).
+func (s Segment) At(i int, t float64) float64 {
+	if s.T1 == s.T0 {
+		return s.X0[i]
+	}
+	f := (t - s.T0) / (s.T1 - s.T0)
+	return s.X0[i] + f*(s.X1[i]-s.X0[i])
+}
+
+// Dim returns the segment's dimensionality.
+func (s Segment) Dim() int { return len(s.X0) }
+
+// Filter is an online compressor turning a stream of points into a
+// piece-wise linear (or piece-wise constant) approximation with a
+// per-point, per-dimension L∞ error guarantee.
+//
+// Push consumes the next point and returns any segments whose shape has
+// become final (possibly none: both new filters postpone decisions as
+// long as possible). Finish flushes the remaining state; after Finish,
+// Push returns ErrFinished. Timestamps must be strictly increasing and
+// all values finite.
+type Filter interface {
+	// Dim returns the dimensionality d of the stream the filter accepts.
+	Dim() int
+	// Epsilon returns the per-dimension precision widths ε_i. The returned
+	// slice must not be modified.
+	Epsilon() []float64
+	// Push consumes one point and returns any newly finalized segments.
+	Push(p Point) ([]Segment, error)
+	// Finish flushes the final segment(s) of the approximation.
+	Finish() ([]Segment, error)
+	// Stats returns running counters; valid at any time.
+	Stats() Stats
+}
+
+// Stats carries the counters every filter maintains while running.
+type Stats struct {
+	// Points is the number of points accepted by Push.
+	Points int
+	// Segments is the number of segments emitted so far.
+	Segments int
+	// Recordings is the number of recordings needed to transmit the
+	// emitted segments, following the paper's accounting: one per
+	// connected segment, two per disconnected segment (one for a
+	// degenerate single-point segment), one per piece-wise constant
+	// segment, plus one per max-lag receiver update.
+	Recordings int
+	// Intervals is the number of filtering intervals closed so far.
+	Intervals int
+	// LagFlushes counts m_max_lag receiver updates (Sections 3.3, 4.3).
+	LagFlushes int
+	// MaxIntervalPoints is the largest number of points observed in a
+	// single filtering interval.
+	MaxIntervalPoints int
+	// MaxHullVertices is the largest convex-hull size the slide filter
+	// reached (m_H in the paper); zero for other filters.
+	MaxHullVertices int
+}
+
+// CompressionRatio returns the paper's §5.1 metric: the number of
+// recordings needed without filtering (one per point) divided by the
+// number needed with filtering.
+func (s Stats) CompressionRatio() float64 {
+	if s.Recordings == 0 {
+		if s.Points == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return float64(s.Points) / float64(s.Recordings)
+}
+
+// Errors returned by filters.
+var (
+	// ErrDimension reports a point whose dimensionality does not match
+	// the filter's.
+	ErrDimension = errors.New("core: point dimensionality does not match filter")
+	// ErrTimeOrder reports a timestamp that does not strictly increase.
+	ErrTimeOrder = errors.New("core: timestamps must be strictly increasing")
+	// ErrNotFinite reports a NaN or infinite coordinate.
+	ErrNotFinite = errors.New("core: point coordinates must be finite")
+	// ErrFinished reports a Push after Finish.
+	ErrFinished = errors.New("core: filter already finished")
+	// ErrEpsilon reports an invalid precision width at construction.
+	ErrEpsilon = errors.New("core: precision widths must be finite and non-negative")
+	// ErrMaxLag reports an invalid m_max_lag at construction.
+	ErrMaxLag = errors.New("core: max lag must be at least 2 points")
+)
+
+// CountRecordings computes the number of recordings needed to transmit
+// segs. Piece-wise constant approximations (constant=true, the cache
+// filter) need one recording per segment. Piece-wise linear ones need two
+// recordings per disconnected segment (one if it is a degenerate single
+// point) and one per connected segment.
+func CountRecordings(segs []Segment, constant bool) int {
+	if constant {
+		return len(segs)
+	}
+	n := 0
+	for _, s := range segs {
+		switch {
+		case s.Connected:
+			n++
+		case s.T0 == s.T1:
+			n++
+		default:
+			n += 2
+		}
+	}
+	return n
+}
+
+// UniformEpsilon returns a d-dimensional precision vector with every
+// component set to eps.
+func UniformEpsilon(d int, eps float64) []float64 {
+	e := make([]float64, d)
+	for i := range e {
+		e[i] = eps
+	}
+	return e
+}
+
+// base holds the bookkeeping shared by every filter implementation.
+type base struct {
+	dim      int
+	eps      []float64
+	stats    Stats
+	lastSeen float64
+	started  bool
+	finished bool
+}
+
+func newBase(eps []float64) (base, error) {
+	if len(eps) == 0 {
+		return base{}, fmt.Errorf("%w: empty epsilon vector", ErrEpsilon)
+	}
+	own := make([]float64, len(eps))
+	for i, e := range eps {
+		if math.IsNaN(e) || math.IsInf(e, 0) || e < 0 {
+			return base{}, fmt.Errorf("%w: ε_%d = %v", ErrEpsilon, i, e)
+		}
+		own[i] = e
+	}
+	return base{dim: len(eps), eps: own}, nil
+}
+
+func (b *base) Dim() int           { return b.dim }
+func (b *base) Epsilon() []float64 { return b.eps }
+func (b *base) Stats() Stats       { return b.stats }
+
+// admit validates an incoming point and advances the point counter.
+func (b *base) admit(p Point) error {
+	if b.finished {
+		return ErrFinished
+	}
+	if len(p.X) != b.dim {
+		return fmt.Errorf("%w: got %d, want %d", ErrDimension, len(p.X), b.dim)
+	}
+	if math.IsNaN(p.T) || math.IsInf(p.T, 0) {
+		return fmt.Errorf("%w: t = %v", ErrNotFinite, p.T)
+	}
+	for i, x := range p.X {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("%w: x_%d = %v", ErrNotFinite, i, x)
+		}
+	}
+	if b.started && p.T <= b.lastSeen {
+		return fmt.Errorf("%w: %v after %v", ErrTimeOrder, p.T, b.lastSeen)
+	}
+	b.started = true
+	b.lastSeen = p.T
+	b.stats.Points++
+	return nil
+}
+
+// emit accounts for a finalized segment in the stats. constant marks
+// piece-wise constant segments (cache filter).
+func (b *base) emit(s Segment, constant bool) {
+	b.stats.Segments++
+	b.stats.Recordings += CountRecordings([]Segment{s}, constant)
+	if s.Points > b.stats.MaxIntervalPoints {
+		b.stats.MaxIntervalPoints = s.Points
+	}
+}
+
+func copyVec(x []float64) []float64 {
+	c := make([]float64, len(x))
+	copy(c, x)
+	return c
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestPointClone(t *testing.T) {
+	p := Point{T: 1, X: []float64{2, 3}}
+	q := p.Clone()
+	q.X[0] = 99
+	if p.X[0] != 2 {
+		t.Fatal("Clone shares the X slice")
+	}
+	if q.T != 1 || q.X[1] != 3 {
+		t.Fatalf("Clone mangled values: %+v", q)
+	}
+}
+
+func TestSegmentAt(t *testing.T) {
+	s := Segment{T0: 0, T1: 10, X0: []float64{0, 100}, X1: []float64{10, 0}}
+	if got := s.At(0, 5); got != 5 {
+		t.Fatalf("At(0,5) = %v, want 5", got)
+	}
+	if got := s.At(1, 2.5); got != 75 {
+		t.Fatalf("At(1,2.5) = %v, want 75", got)
+	}
+	deg := Segment{T0: 3, T1: 3, X0: []float64{7}, X1: []float64{7}}
+	if got := deg.At(0, 3); got != 7 {
+		t.Fatalf("degenerate At = %v, want 7", got)
+	}
+}
+
+func TestCountRecordings(t *testing.T) {
+	x := []float64{0}
+	segs := []Segment{
+		{T0: 0, T1: 1, X0: x, X1: x, Connected: false}, // 2
+		{T0: 1, T1: 2, X0: x, X1: x, Connected: true},  // 1
+		{T0: 3, T1: 4, X0: x, X1: x, Connected: false}, // 2
+		{T0: 5, T1: 5, X0: x, X1: x, Connected: false}, // degenerate: 1
+	}
+	if got := CountRecordings(segs, false); got != 6 {
+		t.Fatalf("linear recordings = %d, want 6", got)
+	}
+	if got := CountRecordings(segs, true); got != 4 {
+		t.Fatalf("constant recordings = %d, want 4", got)
+	}
+	if got := CountRecordings(nil, false); got != 0 {
+		t.Fatalf("empty recordings = %d, want 0", got)
+	}
+}
+
+func TestUniformEpsilon(t *testing.T) {
+	e := UniformEpsilon(3, 0.5)
+	if len(e) != 3 || e[0] != 0.5 || e[1] != 0.5 || e[2] != 0.5 {
+		t.Fatalf("UniformEpsilon = %v", e)
+	}
+}
+
+func TestStatsCompressionRatio(t *testing.T) {
+	s := Stats{Points: 100, Recordings: 4}
+	if got := s.CompressionRatio(); got != 25 {
+		t.Fatalf("ratio = %v, want 25", got)
+	}
+	if got := (Stats{}).CompressionRatio(); got != 1 {
+		t.Fatalf("empty ratio = %v, want 1", got)
+	}
+	if got := (Stats{Points: 5}).CompressionRatio(); !math.IsInf(got, 1) {
+		t.Fatalf("no-recording ratio = %v, want +Inf", got)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewSwing(nil); !errors.Is(err, ErrEpsilon) {
+		t.Fatalf("empty eps: err = %v, want ErrEpsilon", err)
+	}
+	if _, err := NewSlide([]float64{-1}); !errors.Is(err, ErrEpsilon) {
+		t.Fatalf("negative eps: err = %v, want ErrEpsilon", err)
+	}
+	if _, err := NewCache([]float64{math.NaN()}); !errors.Is(err, ErrEpsilon) {
+		t.Fatalf("NaN eps: err = %v, want ErrEpsilon", err)
+	}
+	if _, err := NewLinear([]float64{math.Inf(1)}); !errors.Is(err, ErrEpsilon) {
+		t.Fatalf("Inf eps: err = %v, want ErrEpsilon", err)
+	}
+	if _, err := NewSwing([]float64{1}, WithSwingMaxLag(1)); !errors.Is(err, ErrMaxLag) {
+		t.Fatalf("maxlag 1: err = %v, want ErrMaxLag", err)
+	}
+	if _, err := NewSlide([]float64{1}, WithSlideMaxLag(-3)); !errors.Is(err, ErrMaxLag) {
+		t.Fatalf("maxlag -3: err = %v, want ErrMaxLag", err)
+	}
+}
+
+func TestEpsilonIsCopied(t *testing.T) {
+	eps := []float64{1, 2}
+	f, err := NewSwing(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps[0] = 99
+	if f.Epsilon()[0] != 1 {
+		t.Fatal("filter aliases the caller's eps slice")
+	}
+}
+
+func TestAdmitValidation(t *testing.T) {
+	filters := map[string]Filter{}
+	mk := func() map[string]Filter {
+		c, _ := NewCache([]float64{1})
+		l, _ := NewLinear([]float64{1})
+		sw, _ := NewSwing([]float64{1})
+		sl, _ := NewSlide([]float64{1})
+		return map[string]Filter{"cache": c, "linear": l, "swing": sw, "slide": sl}
+	}
+	filters = mk()
+	for name, f := range filters {
+		if _, err := f.Push(Point{T: 0, X: []float64{1, 2}}); !errors.Is(err, ErrDimension) {
+			t.Fatalf("%s: dim mismatch err = %v", name, err)
+		}
+		if _, err := f.Push(Point{T: math.NaN(), X: []float64{1}}); !errors.Is(err, ErrNotFinite) {
+			t.Fatalf("%s: NaN time err = %v", name, err)
+		}
+		if _, err := f.Push(Point{T: 0, X: []float64{math.Inf(1)}}); !errors.Is(err, ErrNotFinite) {
+			t.Fatalf("%s: Inf value err = %v", name, err)
+		}
+		if _, err := f.Push(Point{T: 0, X: []float64{1}}); err != nil {
+			t.Fatalf("%s: valid push err = %v", name, err)
+		}
+		if _, err := f.Push(Point{T: 0, X: []float64{1}}); !errors.Is(err, ErrTimeOrder) {
+			t.Fatalf("%s: duplicate time err = %v", name, err)
+		}
+		if _, err := f.Push(Point{T: -1, X: []float64{1}}); !errors.Is(err, ErrTimeOrder) {
+			t.Fatalf("%s: backwards time err = %v", name, err)
+		}
+		if _, err := f.Finish(); err != nil {
+			t.Fatalf("%s: finish err = %v", name, err)
+		}
+		if _, err := f.Push(Point{T: 5, X: []float64{1}}); !errors.Is(err, ErrFinished) {
+			t.Fatalf("%s: push-after-finish err = %v", name, err)
+		}
+		if _, err := f.Finish(); !errors.Is(err, ErrFinished) {
+			t.Fatalf("%s: double finish err = %v", name, err)
+		}
+	}
+}
+
+func TestRunHelper(t *testing.T) {
+	f, _ := NewCache([]float64{0.5})
+	signal := []Point{
+		{T: 0, X: []float64{0}},
+		{T: 1, X: []float64{0.2}},
+		{T: 2, X: []float64{5}},
+		{T: 3, X: []float64{5.1}},
+	}
+	segs, err := Run(f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments, want 2", len(segs))
+	}
+	if st := f.Stats(); st.Points != 4 || st.Segments != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRunEmptySignal(t *testing.T) {
+	for _, mk := range []func() Filter{
+		func() Filter { f, _ := NewCache([]float64{1}); return f },
+		func() Filter { f, _ := NewLinear([]float64{1}); return f },
+		func() Filter { f, _ := NewSwing([]float64{1}); return f },
+		func() Filter { f, _ := NewSlide([]float64{1}); return f },
+	} {
+		f := mk()
+		segs, err := Run(f, nil)
+		if err != nil || len(segs) != 0 {
+			t.Fatalf("empty run: segs=%v err=%v", segs, err)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package encode
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// Decoder reads a stream produced by Encoder and reconstitutes the
+// segments, resolving connected segments against their predecessors.
+type Decoder struct {
+	br       *bufio.Reader
+	dim      int
+	constant bool
+	eps      []float64
+	lastT    float64
+	lastX    []float64
+	haveLast bool
+	done     bool
+	buf      [8]byte
+}
+
+// NewDecoder reads and validates the stream header.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrFormat, err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, head)
+	}
+	flags, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing flags: %v", ErrFormat, err)
+	}
+	dim64, err := binary.ReadUvarint(br)
+	if err != nil || dim64 == 0 || dim64 > 1<<20 {
+		return nil, fmt.Errorf("%w: bad dimensionality", ErrFormat)
+	}
+	d := &Decoder{
+		br:       br,
+		dim:      int(dim64),
+		constant: flags&flagConstant != 0,
+		eps:      make([]float64, dim64),
+	}
+	for i := range d.eps {
+		v, err := d.readFloat()
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated epsilon", ErrFormat)
+		}
+		d.eps[i] = v
+	}
+	return d, nil
+}
+
+// Dim returns the stream's dimensionality.
+func (d *Decoder) Dim() int { return d.dim }
+
+// Constant reports whether the stream holds piece-wise constant segments.
+func (d *Decoder) Constant() bool { return d.constant }
+
+// Epsilon returns the per-dimension precision widths from the header.
+func (d *Decoder) Epsilon() []float64 { return d.eps }
+
+func (d *Decoder) readFloat() (float64, error) {
+	if _, err := io.ReadFull(d.br, d.buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(d.buf[:])), nil
+}
+
+func (d *Decoder) readVec() ([]float64, error) {
+	x := make([]float64, d.dim)
+	for i := range x {
+		v, err := d.readFloat()
+		if err != nil {
+			return nil, err
+		}
+		x[i] = v
+	}
+	return x, nil
+}
+
+// Next returns the next segment, or io.EOF after the stream terminator.
+func (d *Decoder) Next() (core.Segment, error) {
+	if d.done {
+		return core.Segment{}, io.EOF
+	}
+	op, err := d.br.ReadByte()
+	if err != nil {
+		return core.Segment{}, fmt.Errorf("%w: truncated stream: %v", ErrFormat, err)
+	}
+	var s core.Segment
+	if op != opEnd {
+		pts, err := binary.ReadUvarint(d.br)
+		if err != nil || pts > 1<<40 {
+			return s, fmt.Errorf("%w: bad segment point count", ErrFormat)
+		}
+		s.Points = int(pts)
+	}
+	switch op {
+	case opEnd:
+		d.done = true
+		return core.Segment{}, io.EOF
+	case opConstant:
+		if s.T0, err = d.readFloat(); err != nil {
+			return s, fmt.Errorf("%w: truncated constant segment", ErrFormat)
+		}
+		if s.T1, err = d.readFloat(); err != nil {
+			return s, fmt.Errorf("%w: truncated constant segment", ErrFormat)
+		}
+		if s.X0, err = d.readVec(); err != nil {
+			return s, fmt.Errorf("%w: truncated constant segment", ErrFormat)
+		}
+		s.X1 = s.X0
+	case opConnected:
+		if !d.haveLast {
+			return s, fmt.Errorf("%w: connected segment with no predecessor", ErrFormat)
+		}
+		s.T0 = d.lastT
+		s.X0 = append([]float64(nil), d.lastX...)
+		s.Connected = true
+		if s.T1, err = d.readFloat(); err != nil {
+			return s, fmt.Errorf("%w: truncated connected segment", ErrFormat)
+		}
+		if s.X1, err = d.readVec(); err != nil {
+			return s, fmt.Errorf("%w: truncated connected segment", ErrFormat)
+		}
+	case opPoint:
+		if s.T0, err = d.readFloat(); err != nil {
+			return s, fmt.Errorf("%w: truncated point segment", ErrFormat)
+		}
+		s.T1 = s.T0
+		if s.X0, err = d.readVec(); err != nil {
+			return s, fmt.Errorf("%w: truncated point segment", ErrFormat)
+		}
+		s.X1 = s.X0
+	case opDisconnected:
+		if s.T0, err = d.readFloat(); err != nil {
+			return s, fmt.Errorf("%w: truncated segment", ErrFormat)
+		}
+		if s.X0, err = d.readVec(); err != nil {
+			return s, fmt.Errorf("%w: truncated segment", ErrFormat)
+		}
+		if s.T1, err = d.readFloat(); err != nil {
+			return s, fmt.Errorf("%w: truncated segment", ErrFormat)
+		}
+		if s.X1, err = d.readVec(); err != nil {
+			return s, fmt.Errorf("%w: truncated segment", ErrFormat)
+		}
+	default:
+		return s, fmt.Errorf("%w: unknown op %d", ErrFormat, op)
+	}
+	d.lastT = s.T1
+	d.lastX = append(d.lastX[:0], s.X1...)
+	d.haveLast = true
+	return s, nil
+}
+
+// ReadAll drains the decoder into a slice.
+func ReadAll(d *Decoder) ([]core.Segment, error) {
+	var segs []core.Segment
+	for {
+		s, err := d.Next()
+		if err == io.EOF {
+			return segs, nil
+		}
+		if err != nil {
+			return segs, err
+		}
+		segs = append(segs, s)
+	}
+}
+
+// EncodeAll is a convenience wrapper writing a whole approximation and
+// returning the encoded byte count.
+func EncodeAll(w io.Writer, eps []float64, constant bool, segs []core.Segment) (int64, error) {
+	e, err := NewEncoder(w, eps, constant)
+	if err != nil {
+		return 0, err
+	}
+	for _, s := range segs {
+		if err := e.WriteSegment(s); err != nil {
+			return e.BytesWritten(), err
+		}
+	}
+	if err := e.Close(); err != nil {
+		return e.BytesWritten(), err
+	}
+	return e.BytesWritten(), nil
+}
+
+// RawSize returns the bytes needed to ship n points of dimensionality dim
+// without filtering (one float64 timestamp plus dim float64 values per
+// point) — the baseline for byte-level compression ratios.
+func RawSize(n, dim int) int64 {
+	return int64(n) * 8 * int64(1+dim)
+}

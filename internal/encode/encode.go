@@ -1,0 +1,260 @@
+// Package encode defines a compact binary wire format for transmitting a
+// filter's recordings from transmitter to receiver — the communication
+// substrate the paper's motivation rests on (Section 1). The format
+// mirrors the paper's recording accounting: a connected segment ships one
+// recording, a disconnected one ships two, and a piece-wise constant
+// segment ships one; so the byte stream shrinks in proportion to the
+// recording count the evaluation reports.
+//
+// Layout (little endian):
+//
+//	header:  magic "PLA1" | flags (bit0: constant) | uvarint dim |
+//	         dim × float64 ε
+//	segment: op byte | uvarint points | payload
+//	  opDisconnected: t0, x0[dim], t1, x1[dim]
+//	  opConnected:    t1, x1[dim]          (t0/x0 = previous end)
+//	  opConstant:     t0, t1, x[dim]
+//	  opPoint:        t, x[dim]            (degenerate single point)
+//	  opEnd:          stream terminator (no points field)
+//
+// The points field carries Segment.Points, the number of original
+// samples the segment represents, so receivers can report compression
+// ratios without seeing the raw stream.
+package encode
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+const magic = "PLA1"
+
+const (
+	opEnd byte = iota
+	opDisconnected
+	opConnected
+	opConstant
+	opPoint
+)
+
+const flagConstant byte = 1 << 0
+
+// Errors returned by the codec.
+var (
+	// ErrFormat reports a malformed stream.
+	ErrFormat = errors.New("encode: malformed stream")
+	// ErrClosed reports a write after Close.
+	ErrClosed = errors.New("encode: encoder closed")
+	// ErrChain reports a connected segment that does not start at the
+	// previous segment's end.
+	ErrChain = errors.New("encode: connected segment does not chain")
+)
+
+// countingWriter tracks the bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Encoder serialises segments. Create with NewEncoder.
+type Encoder struct {
+	cw       *countingWriter
+	bw       *bufio.Writer
+	dim      int
+	constant bool
+	lastT    float64
+	lastX    []float64
+	haveLast bool
+	closed   bool
+	buf      [8]byte
+}
+
+// NewEncoder writes the stream header for a dim-dimensional signal with
+// the given precision widths and returns an encoder. constant marks
+// piece-wise constant (cache filter) output.
+func NewEncoder(w io.Writer, eps []float64, constant bool) (*Encoder, error) {
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("%w: empty epsilon", ErrFormat)
+	}
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	e := &Encoder{cw: cw, bw: bw, dim: len(eps), constant: constant}
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	var flags byte
+	if constant {
+		flags |= flagConstant
+	}
+	if err := bw.WriteByte(flags); err != nil {
+		return nil, err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(eps)))
+	if _, err := bw.Write(tmp[:n]); err != nil {
+		return nil, err
+	}
+	for _, v := range eps {
+		if err := e.writeFloat(v); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+func (e *Encoder) writeFloat(v float64) error {
+	binary.LittleEndian.PutUint64(e.buf[:], math.Float64bits(v))
+	_, err := e.bw.Write(e.buf[:])
+	return err
+}
+
+func (e *Encoder) writeVec(x []float64) error {
+	for _, v := range x {
+		if err := e.writeFloat(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePoints emits the segment's sample count.
+func (e *Encoder) writePoints(n int) error {
+	if n < 0 {
+		n = 0
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(tmp[:], uint64(n))
+	_, err := e.bw.Write(tmp[:k])
+	return err
+}
+
+// WriteSegment appends one segment to the stream. Connected segments are
+// validated against the previous segment's end point.
+func (e *Encoder) WriteSegment(s core.Segment) error {
+	if e.closed {
+		return ErrClosed
+	}
+	if s.Dim() != e.dim || len(s.X1) != e.dim {
+		return fmt.Errorf("%w: segment dim %d, stream dim %d", ErrFormat, s.Dim(), e.dim)
+	}
+	switch {
+	case e.constant:
+		if err := e.bw.WriteByte(opConstant); err != nil {
+			return err
+		}
+		if err := e.writePoints(s.Points); err != nil {
+			return err
+		}
+		if err := e.writeFloat(s.T0); err != nil {
+			return err
+		}
+		if err := e.writeFloat(s.T1); err != nil {
+			return err
+		}
+		if err := e.writeVec(s.X0); err != nil {
+			return err
+		}
+	case s.Connected:
+		if !e.haveLast || s.T0 != e.lastT || !vecEq(s.X0, e.lastX) {
+			return ErrChain
+		}
+		if err := e.bw.WriteByte(opConnected); err != nil {
+			return err
+		}
+		if err := e.writePoints(s.Points); err != nil {
+			return err
+		}
+		if err := e.writeFloat(s.T1); err != nil {
+			return err
+		}
+		if err := e.writeVec(s.X1); err != nil {
+			return err
+		}
+	case s.T0 == s.T1:
+		if err := e.bw.WriteByte(opPoint); err != nil {
+			return err
+		}
+		if err := e.writePoints(s.Points); err != nil {
+			return err
+		}
+		if err := e.writeFloat(s.T0); err != nil {
+			return err
+		}
+		if err := e.writeVec(s.X0); err != nil {
+			return err
+		}
+	default:
+		if err := e.bw.WriteByte(opDisconnected); err != nil {
+			return err
+		}
+		if err := e.writePoints(s.Points); err != nil {
+			return err
+		}
+		if err := e.writeFloat(s.T0); err != nil {
+			return err
+		}
+		if err := e.writeVec(s.X0); err != nil {
+			return err
+		}
+		if err := e.writeFloat(s.T1); err != nil {
+			return err
+		}
+		if err := e.writeVec(s.X1); err != nil {
+			return err
+		}
+	}
+	e.lastT = s.T1
+	e.lastX = append(e.lastX[:0], s.X1...)
+	e.haveLast = true
+	return nil
+}
+
+// Flush pushes any buffered bytes to the underlying writer, making every
+// segment written so far visible to a live reader.
+func (e *Encoder) Flush() error {
+	if e.closed {
+		return ErrClosed
+	}
+	return e.bw.Flush()
+}
+
+// Close terminates and flushes the stream. The encoder is unusable
+// afterwards.
+func (e *Encoder) Close() error {
+	if e.closed {
+		return ErrClosed
+	}
+	e.closed = true
+	if err := e.bw.WriteByte(opEnd); err != nil {
+		return err
+	}
+	return e.bw.Flush()
+}
+
+// BytesWritten returns the number of bytes flushed to the underlying
+// writer so far (call after Close for the final size).
+func (e *Encoder) BytesWritten() int64 { return e.cw.n }
+
+func vecEq(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,282 @@
+package encode
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/gen"
+	"github.com/pla-go/pla/internal/recon"
+)
+
+func TestRoundTripLinearSegments(t *testing.T) {
+	segs := []core.Segment{
+		{T0: 0, T1: 5, X0: []float64{1, 2}, X1: []float64{3, 4}},
+		{T0: 5, T1: 9, X0: []float64{3, 4}, X1: []float64{0, 0}, Connected: true},
+		{T0: 11, T1: 12, X0: []float64{7, 7}, X1: []float64{8, 8}},
+		{T0: 13, T1: 13, X0: []float64{1, 1}, X1: []float64{1, 1}},
+	}
+	var buf bytes.Buffer
+	n, err := EncodeAll(&buf, []float64{0.5, 0.25}, false, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("BytesWritten %d != buffer %d", n, buf.Len())
+	}
+	d, err := NewDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dim() != 2 || d.Constant() {
+		t.Fatalf("header: dim=%d constant=%v", d.Dim(), d.Constant())
+	}
+	if d.Epsilon()[0] != 0.5 || d.Epsilon()[1] != 0.25 {
+		t.Fatalf("eps = %v", d.Epsilon())
+	}
+	got, err := ReadAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(segs) {
+		t.Fatalf("got %d segments, want %d", len(got), len(segs))
+	}
+	for i := range segs {
+		if got[i].T0 != segs[i].T0 || got[i].T1 != segs[i].T1 ||
+			got[i].Connected != segs[i].Connected ||
+			!vecEq(got[i].X0, segs[i].X0) || !vecEq(got[i].X1, segs[i].X1) {
+			t.Fatalf("segment %d mismatch:\n got %+v\nwant %+v", i, got[i], segs[i])
+		}
+	}
+	// A second Next keeps returning EOF.
+	if _, err := d.Next(); err == nil {
+		t.Fatal("Next after EOF succeeded")
+	}
+}
+
+func TestRoundTripConstantSegments(t *testing.T) {
+	segs := []core.Segment{
+		{T0: 0, T1: 4, X0: []float64{2}, X1: []float64{2}},
+		{T0: 5, T1: 9, X0: []float64{-1}, X1: []float64{-1}},
+	}
+	var buf bytes.Buffer
+	if _, err := EncodeAll(&buf, []float64{1}, true, segs); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Constant() {
+		t.Fatal("constant flag lost")
+	}
+	got, err := ReadAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].X0[0] != 2 || got[1].X0[0] != -1 || got[1].T0 != 5 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestConnectedChainValidation(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := NewEncoder(&buf, []float64{1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := core.Segment{T0: 0, T1: 1, X0: []float64{0}, X1: []float64{1}, Connected: true}
+	if err := e.WriteSegment(bad); !errors.Is(err, ErrChain) {
+		t.Fatalf("unchained connected segment: err = %v", err)
+	}
+}
+
+func TestEncoderClosed(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := NewEncoder(&buf, []float64{1}, false)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+	s := core.Segment{T0: 0, T1: 1, X0: []float64{0}, X1: []float64{1}}
+	if err := e.WriteSegment(s); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close: %v", err)
+	}
+}
+
+func TestDecoderRejectsGarbage(t *testing.T) {
+	if _, err := NewDecoder(bytes.NewReader([]byte("nope"))); !errors.Is(err, ErrFormat) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	if _, err := NewDecoder(bytes.NewReader(nil)); !errors.Is(err, ErrFormat) {
+		t.Fatalf("empty stream: %v", err)
+	}
+	// Valid header, then garbage op.
+	var buf bytes.Buffer
+	e, _ := NewEncoder(&buf, []float64{1}, false)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] = 99 // overwrite the end marker with an unknown op
+	d, err := NewDecoder(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Next(); !errors.Is(err, ErrFormat) {
+		t.Fatalf("unknown op: %v", err)
+	}
+	// Truncated mid-segment.
+	var buf2 bytes.Buffer
+	e2, _ := NewEncoder(&buf2, []float64{1}, false)
+	seg := core.Segment{T0: 0, T1: 1, X0: []float64{0}, X1: []float64{1}}
+	if err := e2.WriteSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	_ = e2.Close()
+	trunc := buf2.Bytes()[:buf2.Len()-12]
+	d2, err := NewDecoder(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.Next(); !errors.Is(err, ErrFormat) {
+		t.Fatalf("truncated segment: %v", err)
+	}
+}
+
+func TestWriteSegmentDimMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := NewEncoder(&buf, []float64{1}, false)
+	s := core.Segment{T0: 0, T1: 1, X0: []float64{0, 0}, X1: []float64{1, 1}}
+	if err := e.WriteSegment(s); !errors.Is(err, ErrFormat) {
+		t.Fatalf("dim mismatch: %v", err)
+	}
+}
+
+// TestEndToEndFilterRoundTrip runs every filter over a real workload,
+// ships the segments through the codec, and checks the receiver-side
+// reconstruction still satisfies the ε guarantee — the full
+// transmitter→wire→receiver path of the paper's Section 1 scenario.
+func TestEndToEndFilterRoundTrip(t *testing.T) {
+	signal := gen.SeaSurfaceTemperature()
+	eps := []float64{0.05}
+	filters := map[string]core.Filter{}
+	{
+		c, _ := core.NewCache(eps)
+		l, _ := core.NewLinear(eps)
+		sw, _ := core.NewSwing(eps)
+		sl, _ := core.NewSlide(eps)
+		filters["cache"] = c
+		filters["linear"] = l
+		filters["swing"] = sw
+		filters["slide"] = sl
+	}
+	for name, f := range filters {
+		segs, err := core.Run(f, signal)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		_, constant := f.(*core.Cache)
+		var buf bytes.Buffer
+		bytesOut, err := EncodeAll(&buf, eps, constant, segs)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		if bytesOut >= RawSize(len(signal), 1) {
+			t.Fatalf("%s: encoded %d bytes, no smaller than raw %d",
+				name, bytesOut, RawSize(len(signal), 1))
+		}
+		d, err := NewDecoder(&buf)
+		if err != nil {
+			t.Fatalf("%s: decode header: %v", name, err)
+		}
+		got, err := ReadAll(d)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		model, err := recon.NewModel(got)
+		if err != nil {
+			t.Fatalf("%s: model: %v", name, err)
+		}
+		if err := recon.CheckPrecision(signal, model, eps, 1e-6); err != nil {
+			t.Fatalf("%s: receiver-side guarantee broken: %v", name, err)
+		}
+	}
+}
+
+// TestRoundTripRandomSegments fuzzes the codec with random (valid)
+// segment chains.
+func TestRoundTripRandomSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 50; trial++ {
+		dim := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(40)
+		segs := make([]core.Segment, 0, n)
+		tm := rng.Float64()
+		var lastX []float64
+		for j := 0; j < n; j++ {
+			connected := j > 0 && rng.Intn(2) == 0
+			var s core.Segment
+			if connected {
+				s.T0 = tm
+				s.X0 = append([]float64(nil), lastX...)
+				s.Connected = true
+			} else {
+				tm += rng.Float64()
+				s.T0 = tm
+				s.X0 = randVec(rng, dim)
+			}
+			tm += 0.1 + rng.Float64()
+			s.T1 = tm
+			s.X1 = randVec(rng, dim)
+			lastX = s.X1
+			segs = append(segs, s)
+		}
+		var buf bytes.Buffer
+		eps := make([]float64, dim)
+		for i := range eps {
+			eps[i] = rng.Float64()
+		}
+		if _, err := EncodeAll(&buf, eps, false, segs); err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewDecoder(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAll(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(segs) {
+			t.Fatalf("trial %d: %d vs %d segments", trial, len(got), len(segs))
+		}
+		for j := range segs {
+			if math.Abs(got[j].T0-segs[j].T0) != 0 || !vecEq(got[j].X1, segs[j].X1) {
+				t.Fatalf("trial %d: segment %d mismatch", trial, j)
+			}
+		}
+	}
+}
+
+func randVec(rng *rand.Rand, dim int) []float64 {
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = rng.NormFloat64() * 10
+	}
+	return v
+}
+
+func TestRawSize(t *testing.T) {
+	if RawSize(100, 1) != 1600 {
+		t.Fatalf("RawSize(100,1) = %d", RawSize(100, 1))
+	}
+	if RawSize(10, 3) != 320 {
+		t.Fatalf("RawSize(10,3) = %d", RawSize(10, 3))
+	}
+}

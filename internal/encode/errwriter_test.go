@@ -1,0 +1,98 @@
+package encode
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// limitWriter fails with errSink after n bytes, exercising every write
+// error path in the encoder.
+type limitWriter struct {
+	n int
+}
+
+var errSink = errors.New("sink full")
+
+func (w *limitWriter) Write(p []byte) (int, error) {
+	if len(p) > w.n {
+		k := w.n
+		w.n = 0
+		return k, errSink
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// TestEncoderWriterFailures drives the encoder against sinks that fail at
+// every possible byte budget: no budget may panic, and small budgets must
+// surface the sink error by Close at the latest (bufio batches writes, so
+// mid-stream Write calls may succeed into the buffer).
+func TestEncoderWriterFailures(t *testing.T) {
+	segs := []core.Segment{
+		{T0: 0, T1: 1, X0: []float64{1, 2}, X1: []float64{3, 4}, Points: 2},
+		{T0: 1, T1: 2, X0: []float64{3, 4}, X1: []float64{5, 6}, Connected: true, Points: 3},
+		{T0: 3, T1: 3, X0: []float64{0, 0}, X1: []float64{0, 0}, Points: 1},
+	}
+	eps := []float64{0.5, 0.5}
+
+	// Budget big enough for everything: must succeed.
+	okSink := &limitWriter{n: 1 << 16}
+	e, err := NewEncoder(okSink, eps, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if err := e.WriteSegment(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := int(e.BytesWritten())
+
+	for budget := 0; budget < full; budget++ {
+		sink := &limitWriter{n: budget}
+		e, err := NewEncoder(sink, eps, false)
+		if err != nil {
+			continue // header flushing does not happen until Flush/Close
+		}
+		failed := false
+		for _, s := range segs {
+			if err := e.WriteSegment(s); err != nil {
+				failed = true
+				break
+			}
+			if err := e.Flush(); err != nil {
+				failed = true
+				break
+			}
+		}
+		if !failed {
+			if err := e.Close(); err == nil {
+				t.Fatalf("budget %d of %d bytes succeeded end to end", budget, full)
+			}
+		}
+	}
+}
+
+// TestConstantEncoderWriterFailure covers the constant-segment write path.
+func TestConstantEncoderWriterFailure(t *testing.T) {
+	sink := &limitWriter{n: 10}
+	e, err := NewEncoder(sink, []float64{1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.Segment{T0: 0, T1: 1, X0: []float64{2}, X1: []float64{2}}
+	if err := e.WriteSegment(s); err != nil {
+		t.Fatal(err) // buffered; no error yet
+	}
+	if err := e.Close(); !errors.Is(err, errSink) {
+		t.Fatalf("close error = %v, want sink error", err)
+	}
+	if err := e.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("flush after close = %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+package encode
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/gen"
+)
+
+// encodeSample builds a representative valid stream for corruption tests.
+func encodeSample(t *testing.T) []byte {
+	t.Helper()
+	signal := gen.SSTLike(400, 17)
+	f, err := core.NewSlide([]float64{0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := core.Run(f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := EncodeAll(&buf, []float64{0.05}, false, segs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// drain reads a possibly corrupt stream to the end, returning the first
+// error. It must never panic.
+func drain(raw []byte) error {
+	d, err := NewDecoder(bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	for {
+		if _, err := d.Next(); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// TestDecoderTruncationEveryOffset cuts the stream at every byte offset:
+// the decoder must either finish cleanly (only possible at the full
+// length) or return an error — never panic, never loop.
+func TestDecoderTruncationEveryOffset(t *testing.T) {
+	raw := encodeSample(t)
+	for cut := 0; cut < len(raw); cut++ {
+		if err := drain(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d decoded cleanly", cut, len(raw))
+		}
+	}
+	if err := drain(raw); err != nil {
+		t.Fatalf("full stream failed: %v", err)
+	}
+}
+
+// TestDecoderRandomCorruption flips random bytes; the decoder must never
+// panic. (A flip may survive decoding when it only perturbs a float
+// payload — that is expected; checksums are out of scope for this
+// format.)
+func TestDecoderRandomCorruption(t *testing.T) {
+	raw := encodeSample(t)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		mut := append([]byte(nil), raw...)
+		flips := 1 + rng.Intn(8)
+		for k := 0; k < flips; k++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		}
+		_ = drain(mut) // must not panic or hang
+	}
+}
+
+// TestDecoderRandomGarbage feeds pure noise.
+func TestDecoderRandomGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 300; trial++ {
+		raw := make([]byte, rng.Intn(200))
+		rng.Read(raw)
+		_ = drain(raw) // must not panic
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+func TestAblationsTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the timing harness")
+	}
+	tb, err := Ablations(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.ID != "ablation" {
+		t.Fatalf("id = %s", tb.ID)
+	}
+	byName := map[string]Row{}
+	for _, r := range tb.Rows {
+		byName[r.X] = r
+	}
+	for _, name := range []string{
+		"swing/record-mse", "swing/record-midline", "swing/record-last",
+		"slide/grid-0", "slide/grid-5", "slide/grid-17", "slide/grid-65",
+		"hull/slide (µs/pt)", "hull/slide-nonopt (µs/pt)",
+	} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("row %q missing (have %v)", name, tb.Rows)
+		}
+	}
+	// The connection search must save recordings against grid 0.
+	if byName["slide/grid-17"].Values[0] >= byName["slide/grid-0"].Values[0] {
+		t.Fatalf("connections saved nothing: %v vs %v",
+			byName["slide/grid-17"].Values[0], byName["slide/grid-0"].Values[0])
+	}
+	// MSE recording must not lose its own objective to midline.
+	if byName["swing/record-mse"].Values[2] > byName["swing/record-midline"].Values[2]*1.05 {
+		t.Fatalf("MSE recording error %v above midline %v",
+			byName["swing/record-mse"].Values[2], byName["swing/record-midline"].Values[2])
+	}
+	if len(tb.Notes) < 3 {
+		t.Fatalf("notes missing: %v", tb.Notes)
+	}
+}

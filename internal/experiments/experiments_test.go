@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// col returns the column index of a filter in a table.
+func col(t *testing.T, tb *Table, name string) int {
+	t.Helper()
+	for i, c := range tb.Columns {
+		if c == name {
+			return i
+		}
+	}
+	t.Fatalf("column %q not in %v", name, tb.Columns)
+	return -1
+}
+
+func TestFig6Summary(t *testing.T) {
+	tb, err := Fig6(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(stat string) float64 {
+		for _, r := range tb.Rows {
+			if r.X == stat {
+				return r.Values[0]
+			}
+		}
+		t.Fatalf("row %q missing", stat)
+		return 0
+	}
+	if get("points") != 1285 {
+		t.Fatalf("points = %v", get("points"))
+	}
+	if get("sampling interval (min)") != 10 {
+		t.Fatalf("interval = %v", get("sampling interval (min)"))
+	}
+	if r := get("range (°C)"); r < 2.5 || r > 6 {
+		t.Fatalf("range = %v", r)
+	}
+	if get("repeated consecutive values") < 20 {
+		t.Fatal("expected plateaus in the SST signal")
+	}
+}
+
+func TestDumpSST(t *testing.T) {
+	var buf bytes.Buffer
+	if err := DumpSST(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 1285 {
+		t.Fatalf("dumped %d lines, want 1285", lines)
+	}
+}
+
+// TestFig7Shape asserts the claims of Section 5.2: the slide and swing
+// filters dominate cache and linear once the precision width is
+// non-trivial, and every filter's ratio grows with the width.
+func TestFig7Shape(t *testing.T) {
+	tb, err := Fig7(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, linear := col(t, tb, "cache"), col(t, tb, "linear")
+	swing, slide := col(t, tb, "swing"), col(t, tb, "slide")
+	for _, name := range tb.Columns {
+		i := col(t, tb, name)
+		first, last := tb.Rows[0].Values[i], tb.Rows[len(tb.Rows)-1].Values[i]
+		if last <= first {
+			t.Fatalf("%s ratio did not grow with precision width (%v → %v)", name, first, last)
+		}
+	}
+	for _, r := range tb.Rows[3:] { // widths ≥ 1 % of range
+		newBest := r.Values[swing]
+		if r.Values[slide] > newBest {
+			newBest = r.Values[slide]
+		}
+		oldBest := r.Values[cache]
+		if r.Values[linear] > oldBest {
+			oldBest = r.Values[linear]
+		}
+		if newBest <= oldBest {
+			t.Fatalf("at width %s the new filters (%v) do not beat the old (%v)",
+				r.X, newBest, oldBest)
+		}
+	}
+	// Section 5.2: the cache filter beats the linear filter on this signal
+	// at the widest setting (plateaus favour piece-wise constants).
+	last := tb.Rows[len(tb.Rows)-1]
+	if last.Values[cache] <= last.Values[linear] {
+		t.Fatalf("cache (%v) should beat linear (%v) on the plateaued SST signal",
+			last.Values[cache], last.Values[linear])
+	}
+}
+
+// TestFig8Shape asserts Section 5.2's error observations: every filter's
+// average error stays well below the precision width.
+func TestFig8Shape(t *testing.T) {
+	tb, err := Fig8(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tb.Rows {
+		width, err := parseX(r.X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range r.Values {
+			if v < 0 || v > width {
+				t.Fatalf("%s avg error %v exceeds width %v%%", tb.Columns[j], v, width)
+			}
+		}
+	}
+}
+
+// TestFig9Shape asserts Section 5.3: ratios fall as the signal loses
+// monotonicity, and slide ≥ swing ≥ linear throughout.
+func TestFig9Shape(t *testing.T) {
+	tb, err := Fig9(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linear, swing, slide := col(t, tb, "linear"), col(t, tb, "swing"), col(t, tb, "slide")
+	for _, r := range tb.Rows {
+		if !(r.Values[slide] >= r.Values[swing] && r.Values[swing] >= r.Values[linear]) {
+			t.Fatalf("ordering broken at p=%s: slide=%v swing=%v linear=%v",
+				r.X, r.Values[slide], r.Values[swing], r.Values[linear])
+		}
+	}
+	first, last := tb.Rows[0], tb.Rows[len(tb.Rows)-1]
+	if first.Values[slide] <= last.Values[slide] {
+		t.Fatalf("slide ratio should fall from p=0 (%v) to p=0.5 (%v)",
+			first.Values[slide], last.Values[slide])
+	}
+}
+
+// TestFig10Shape asserts Section 5.3: ratios fall as the step magnitude
+// grows; the cache filter beats the linear filter when steps are smaller
+// than the precision width; slide dominates everywhere.
+func TestFig10Shape(t *testing.T) {
+	tb, err := Fig10(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, linear := col(t, tb, "cache"), col(t, tb, "linear")
+	swing, slide := col(t, tb, "swing"), col(t, tb, "slide")
+	for _, name := range tb.Columns {
+		i := col(t, tb, name)
+		if tb.Rows[0].Values[i] <= tb.Rows[len(tb.Rows)-1].Values[i] {
+			t.Fatalf("%s ratio should fall as the step magnitude grows", name)
+		}
+	}
+	if tb.Rows[0].Values[cache] <= tb.Rows[0].Values[linear] {
+		t.Fatal("cache should beat linear when steps are below ε")
+	}
+	for _, r := range tb.Rows {
+		if r.Values[slide] < r.Values[swing] || r.Values[slide] < r.Values[linear] {
+			t.Fatalf("slide not dominant at x=%s: %v", r.X, r.Values)
+		}
+	}
+}
+
+// TestFig11Shape asserts Section 5.4: more independent dimensions mean
+// lower ratios, with slide and swing still on top.
+func TestFig11Shape(t *testing.T) {
+	tb, err := Fig11(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slide, cache := col(t, tb, "slide"), col(t, tb, "cache")
+	if tb.Rows[0].Values[slide] <= tb.Rows[len(tb.Rows)-1].Values[slide] {
+		t.Fatal("slide ratio should fall with dimensionality")
+	}
+	for _, r := range tb.Rows {
+		if r.Values[slide] < r.Values[cache] {
+			t.Fatalf("slide below cache at d=%s", r.X)
+		}
+	}
+}
+
+// TestFig12Shape asserts Section 5.4: ratios grow with correlation, and
+// the break-even analysis against independent per-dimension compression
+// is reported.
+func TestFig12Shape(t *testing.T) {
+	tb, err := Fig12(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slide := col(t, tb, "slide")
+	if tb.Rows[len(tb.Rows)-1].Values[slide] <= tb.Rows[0].Values[slide] {
+		t.Fatal("slide ratio should grow with correlation")
+	}
+	if len(tb.Notes) < 2 {
+		t.Fatalf("expected break-even notes, got %v", tb.Notes)
+	}
+}
+
+// TestFig13Shape only sanity-checks the timing harness (absolute times
+// are machine- and load-dependent): positive values everywhere, and the
+// non-optimized slide is present as the fifth series.
+func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing harness skipped in -short mode")
+	}
+	tb, err := Fig13(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Columns) != 5 || tb.Columns[4] != "slide-nonopt" {
+		t.Fatalf("columns = %v", tb.Columns)
+	}
+	for _, r := range tb.Rows {
+		for j, v := range r.Values {
+			if v <= 0 {
+				t.Fatalf("%s at %s: non-positive time %v", tb.Columns[j], r.X, v)
+			}
+		}
+	}
+}
+
+func TestAllRunsEveryFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick sweep")
+	}
+	tables, err := All(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 8 {
+		t.Fatalf("got %d tables, want 8", len(tables))
+	}
+	ids := []string{"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
+	for i, tb := range tables {
+		if tb.ID != ids[i] {
+			t.Fatalf("table %d id = %s, want %s", i, tb.ID, ids[i])
+		}
+		var buf bytes.Buffer
+		tb.Render(&buf)
+		if !strings.Contains(buf.String(), tb.ID) {
+			t.Fatal("render lost the figure id")
+		}
+	}
+}
+
+func TestNewFilterNames(t *testing.T) {
+	eps := []float64{1}
+	for _, name := range []string{
+		"cache", "cache-midrange", "cache-mean",
+		"linear", "linear-disc", "swing", "slide", "slide-nonopt",
+	} {
+		f, err := NewFilter(name, eps)
+		if err != nil || f == nil {
+			t.Fatalf("NewFilter(%q): %v", name, err)
+		}
+	}
+	if _, err := NewFilter("bogus", eps); err == nil {
+		t.Fatal("unknown filter accepted")
+	}
+}
+
+func TestMeasureOverheadErrors(t *testing.T) {
+	if _, err := MeasureOverhead("bogus", nil, []float64{1}, 1); err == nil {
+		t.Fatal("unknown filter accepted")
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := &Table{
+		ID: "x", Title: "t", XLabel: "param",
+		Columns: []string{"a", "bb"},
+		Rows: []Row{
+			{X: "row1", Values: []float64{1, 22.5}},
+			{X: "longer-row", Values: []float64{3.25, 4}},
+		},
+		Notes: []string{"hello"},
+	}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "note: hello") {
+		t.Fatal("note missing")
+	}
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[1], "param") {
+		t.Fatalf("header line = %q", lines[1])
+	}
+}
+
+var _ io.Writer = (*bytes.Buffer)(nil)

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/gen"
+)
+
+// fig13Filters adds the non-optimized slide to the usual four (the fifth
+// series of Figure 13).
+var fig13Filters = []string{"cache", "linear", "swing", "slide", "slide-nonopt"}
+
+// fig13EpsSweep extends the Figure 7 sweep up to 100 % of the range, as
+// in the paper's overhead study.
+var fig13EpsSweep = []float64{0.00032, 0.001, 0.00316, 0.01, 0.0316, 0.1, 0.316, 1.0}
+
+// Fig13 regenerates Figure 13: processing time per data point (in
+// microseconds) for each filter on the sea-surface-temperature signal, as
+// the precision width — and with it the average filtering-interval length
+// — grows. The non-optimized slide demonstrates why the convex-hull
+// optimization matters: its cost grows with the interval length while the
+// optimized filters stay flat.
+func Fig13(cfg Config) (*Table, error) {
+	signal := gen.SeaSurfaceTemperature()
+	lo, hi := gen.Range(signal, 0)
+	rng := hi - lo
+	repeats := 12
+	if cfg.Quick {
+		repeats = 2
+	}
+	t := &Table{
+		ID:      "fig13",
+		Title:   "filtering overhead (µs per data point), sea surface temperature",
+		XLabel:  "precision width (% of range)",
+		Columns: append([]string(nil), fig13Filters...),
+		Notes:   []string{"wall-clock on this machine; the paper's absolute values are from a 2009-era 3 GHz Pentium 4"},
+	}
+	for _, frac := range fig13EpsSweep {
+		eps := []float64{frac * rng}
+		row := Row{X: fmt.Sprintf("%.3f", 100*frac)}
+		for _, name := range fig13Filters {
+			us, err := MeasureOverhead(name, signal, eps, repeats)
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, us)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// MeasureOverhead times the named filter over the signal `repeats` times
+// and returns the mean processing cost per data point in microseconds.
+// The first pass is a warm-up and is not measured.
+func MeasureOverhead(name string, signal []core.Point, eps []float64, repeats int) (float64, error) {
+	runOnce := func() (time.Duration, error) {
+		f, err := NewFilter(name, eps)
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for _, p := range signal {
+			if _, err := f.Push(p); err != nil {
+				return 0, err
+			}
+		}
+		if _, err := f.Finish(); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+	if _, err := runOnce(); err != nil { // warm-up
+		return 0, err
+	}
+	var total time.Duration
+	for r := 0; r < repeats; r++ {
+		d, err := runOnce()
+		if err != nil {
+			return 0, err
+		}
+		total += d
+	}
+	perPoint := total / time.Duration(repeats*len(signal))
+	return float64(perPoint.Nanoseconds()) / 1e3, nil
+}

@@ -1,0 +1,16 @@
+// Package gen produces the synthetic signals used by the paper's
+// evaluation (Section 5):
+//
+//   - the random-walk family of Section 5.3, parameterised by the
+//     probability p of a decrease and the maximum per-step magnitude x
+//     drawn from U(0, x);
+//   - the correlated multi-dimensional walks of Section 5.4;
+//   - a synthetic stand-in for the TAO-buoy sea-surface-temperature
+//     series of Section 5.2 / Figure 6 (1285 points, 10-minute sampling,
+//     quantized to 0.01 °C) — see DESIGN.md for the substitution
+//     rationale;
+//   - assorted extra shapes (sine, steps, spikes) for tests and examples.
+//
+// All generators run on an in-package xoshiro256** PRNG so every dataset
+// is bit-for-bit reproducible across platforms and Go releases.
+package gen

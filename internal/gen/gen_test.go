@@ -1,0 +1,271 @@
+package gen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := true
+	a2 := NewRNG(7)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Float64 mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestRNGNormFloat64Moments(t *testing.T) {
+	r := NewRNG(4)
+	var sum, sum2 float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v", variance)
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRandomWalkBasics(t *testing.T) {
+	pts := RandomWalk(WalkConfig{N: 500, P: 0.3, MaxDelta: 2, Start: 10, Seed: 1})
+	if len(pts) != 500 {
+		t.Fatalf("n = %d", len(pts))
+	}
+	if pts[0].X[0] != 10 || pts[0].T != 0 {
+		t.Fatalf("start = %+v", pts[0])
+	}
+	for j := 1; j < len(pts); j++ {
+		if pts[j].T <= pts[j-1].T {
+			t.Fatal("timestamps not increasing")
+		}
+		if d := math.Abs(pts[j].X[0] - pts[j-1].X[0]); d >= 2 {
+			t.Fatalf("step %v exceeds MaxDelta", d)
+		}
+	}
+}
+
+func TestRandomWalkMonotoneWhenPZero(t *testing.T) {
+	pts := RandomWalk(WalkConfig{N: 300, P: 0, MaxDelta: 1, Seed: 2})
+	for j := 1; j < len(pts); j++ {
+		if pts[j].X[0] < pts[j-1].X[0] {
+			t.Fatal("p=0 walk decreased")
+		}
+	}
+}
+
+func TestRandomWalkDeterministic(t *testing.T) {
+	a := RandomWalk(WalkConfig{N: 100, P: 0.5, MaxDelta: 1, Seed: 9})
+	b := RandomWalk(WalkConfig{N: 100, P: 0.5, MaxDelta: 1, Seed: 9})
+	for j := range a {
+		if a[j].X[0] != b[j].X[0] {
+			t.Fatal("walk not deterministic")
+		}
+	}
+}
+
+func TestRandomWalkDT(t *testing.T) {
+	pts := RandomWalk(WalkConfig{N: 10, MaxDelta: 1, DT: 2.5, Seed: 1})
+	if pts[4].T != 10 {
+		t.Fatalf("t[4] = %v, want 10", pts[4].T)
+	}
+}
+
+func TestMultiWalkCorrelation(t *testing.T) {
+	for _, rho := range []float64{0, 0.5, 0.9, 1} {
+		pts := MultiWalk(MultiWalkConfig{
+			WalkConfig:  WalkConfig{N: 20000, P: 0.5, MaxDelta: 1, Seed: 42},
+			Dims:        2,
+			Correlation: rho,
+		})
+		var sx, sy, sxx, syy, sxy float64
+		n := 0
+		for j := 1; j < len(pts); j++ {
+			dx := pts[j].X[0] - pts[j-1].X[0]
+			dy := pts[j].X[1] - pts[j-1].X[1]
+			sx += dx
+			sy += dy
+			sxx += dx * dx
+			syy += dy * dy
+			sxy += dx * dy
+			n++
+		}
+		fn := float64(n)
+		cov := sxy/fn - (sx/fn)*(sy/fn)
+		vx := sxx/fn - (sx/fn)*(sx/fn)
+		vy := syy/fn - (sy/fn)*(sy/fn)
+		got := cov / math.Sqrt(vx*vy)
+		if math.Abs(got-rho) > 0.05 {
+			t.Fatalf("ρ=%v: empirical correlation %v", rho, got)
+		}
+	}
+}
+
+func TestMultiWalkDims(t *testing.T) {
+	pts := MultiWalk(MultiWalkConfig{WalkConfig: WalkConfig{N: 10, MaxDelta: 1, Seed: 1}, Dims: 5})
+	if len(pts[0].X) != 5 {
+		t.Fatalf("dims = %d", len(pts[0].X))
+	}
+	pts = MultiWalk(MultiWalkConfig{WalkConfig: WalkConfig{N: 10, MaxDelta: 1, Seed: 1}, Dims: 0})
+	if len(pts[0].X) != 1 {
+		t.Fatalf("Dims=0 should default to 1, got %d", len(pts[0].X))
+	}
+}
+
+func TestSeaSurfaceTemperatureShape(t *testing.T) {
+	pts := SeaSurfaceTemperature()
+	if len(pts) != SSTPoints {
+		t.Fatalf("n = %d, want %d", len(pts), SSTPoints)
+	}
+	if pts[1].T-pts[0].T != SSTIntervalMinutes {
+		t.Fatalf("sampling interval = %v", pts[1].T-pts[0].T)
+	}
+	lo, hi := Range(pts, 0)
+	if span := hi - lo; span < 2.5 || span > 6 {
+		t.Fatalf("range span = %v °C, want a Figure-6-like 2.5–6", span)
+	}
+	if lo < 18 || hi > 27 {
+		t.Fatalf("values [%v, %v] outside plausible SST band", lo, hi)
+	}
+	// Quantization to 0.01 °C.
+	for _, p := range pts {
+		q := math.Round(p.X[0]/SSTQuantum) * SSTQuantum
+		if math.Abs(q-p.X[0]) > 1e-9 {
+			t.Fatalf("value %v not quantized", p.X[0])
+		}
+	}
+	// Plateaus must exist (the cache filter's advantage in Section 5.2).
+	repeats := 0
+	for j := 1; j < len(pts); j++ {
+		if pts[j].X[0] == pts[j-1].X[0] {
+			repeats++
+		}
+	}
+	if repeats < len(pts)/50 {
+		t.Fatalf("only %d repeated consecutive values; expected plateaus", repeats)
+	}
+	// Determinism.
+	again := SeaSurfaceTemperature()
+	for j := range pts {
+		if pts[j].X[0] != again[j].X[0] {
+			t.Fatal("SST series not deterministic")
+		}
+	}
+}
+
+func TestSSTLikeSeeds(t *testing.T) {
+	a := SSTLike(200, 1)
+	b := SSTLike(200, 2)
+	diff := 0
+	for j := range a {
+		if a[j].X[0] != b[j].X[0] {
+			diff++
+		}
+	}
+	if diff < 100 {
+		t.Fatalf("different seeds produced nearly identical series (%d diffs)", diff)
+	}
+}
+
+func TestRangeHelper(t *testing.T) {
+	lo, hi := Range(nil, 0)
+	if lo != 0 || hi != 0 {
+		t.Fatal("empty range")
+	}
+	pts := RandomWalk(WalkConfig{N: 50, P: 0.5, MaxDelta: 3, Seed: 6})
+	lo, hi = Range(pts, 0)
+	for _, p := range pts {
+		if p.X[0] < lo || p.X[0] > hi {
+			t.Fatal("Range misses a value")
+		}
+	}
+}
+
+func TestShapeGenerators(t *testing.T) {
+	sine := Sine(100, 5, 25, 0, 1)
+	if len(sine) != 100 {
+		t.Fatal("sine length")
+	}
+	var maxAbs float64
+	for _, p := range sine {
+		if a := math.Abs(p.X[0]); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs > 5+1e-9 || maxAbs < 4 {
+		t.Fatalf("sine amplitude %v", maxAbs)
+	}
+
+	steps := Steps(100, 10, 4, 2)
+	changes := 0
+	for j := 1; j < len(steps); j++ {
+		if steps[j].X[0] != steps[j-1].X[0] {
+			changes++
+			if j%10 != 0 {
+				t.Fatalf("step at j=%d, expected only at multiples of 10", j)
+			}
+		}
+	}
+	if changes == 0 {
+		t.Fatal("staircase never stepped")
+	}
+
+	spikes := Spikes(500, 25, 10, 3)
+	nonzero := 0
+	for _, p := range spikes {
+		if p.X[0] != 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 || nonzero > 100 {
+		t.Fatalf("spike count %d implausible for spacing 25", nonzero)
+	}
+}

@@ -1,0 +1,59 @@
+package gen
+
+import (
+	"math"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// Sine generates n points of amp·sin(2πt/period) + noise·N(0,1) sampled
+// at unit time steps.
+func Sine(n int, amp, period, noise float64, seed uint64) []core.Point {
+	rng := NewRNG(seed)
+	pts := make([]core.Point, n)
+	for j := 0; j < n; j++ {
+		t := float64(j)
+		v := amp * math.Sin(2*math.Pi*t/period)
+		if noise > 0 {
+			v += noise * rng.NormFloat64()
+		}
+		pts[j] = core.Point{T: t, X: []float64{v}}
+	}
+	return pts
+}
+
+// Steps generates a staircase signal: the value holds for holdLen points,
+// then jumps by a uniform step in [-jump, +jump).
+func Steps(n, holdLen int, jump float64, seed uint64) []core.Point {
+	rng := NewRNG(seed)
+	if holdLen < 1 {
+		holdLen = 1
+	}
+	pts := make([]core.Point, n)
+	v := 0.0
+	for j := 0; j < n; j++ {
+		if j > 0 && j%holdLen == 0 {
+			v += (rng.Float64()*2 - 1) * jump
+		}
+		pts[j] = core.Point{T: float64(j), X: []float64{v}}
+	}
+	return pts
+}
+
+// Spikes generates a mostly flat signal with occasional spikes of the
+// given magnitude, one expected every spacing points.
+func Spikes(n, spacing int, magnitude float64, seed uint64) []core.Point {
+	rng := NewRNG(seed)
+	if spacing < 1 {
+		spacing = 1
+	}
+	pts := make([]core.Point, n)
+	for j := 0; j < n; j++ {
+		v := 0.0
+		if rng.Intn(spacing) == 0 {
+			v = (rng.Float64()*2 - 1) * magnitude
+		}
+		pts[j] = core.Point{T: float64(j), X: []float64{v}}
+	}
+	return pts
+}

@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"math"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// SSTPoints and SSTIntervalMinutes mirror the real dataset of the paper's
+// Section 5.2: 1285 sea-surface-temperature samples taken every 10
+// minutes (TAO project buoy data).
+const (
+	SSTPoints          = 1285
+	SSTIntervalMinutes = 10
+	// SSTQuantum is the sensor resolution the values are rounded to; the
+	// resulting plateaus are what give the cache filter its advantage on
+	// this signal (Section 5.2).
+	SSTQuantum = 0.01
+)
+
+// SeaSurfaceTemperature returns the canonical synthetic stand-in for the
+// paper's sea-surface-temperature series (Figure 6): 1285 points sampled
+// every 10 minutes, wandering irregularly between roughly 20.5 °C and
+// 24.5 °C, quantized to 0.01 °C. The series is deterministic — every call
+// returns the same data.
+//
+// The model superimposes diurnal and semi-diurnal tides, a slow
+// mean-reverting random drift (weather), and small AR(1) measurement
+// noise, then quantizes. See DESIGN.md ("Substitutions") for why this
+// preserves the behaviours the paper's evaluation depends on.
+func SeaSurfaceTemperature() []core.Point {
+	return SSTLike(SSTPoints, 20090824)
+}
+
+// SSTLike generates an n-point sea-surface-temperature-like series from
+// the given seed, with the same structure as SeaSurfaceTemperature.
+func SSTLike(n int, seed uint64) []core.Point {
+	rng := NewRNG(seed)
+	pts := make([]core.Point, n)
+	const (
+		mean        = 22.4
+		diurnalAmp  = 0.85
+		semiAmp     = 0.30
+		minutesDay  = 24 * 60
+		drift       = 0.035 // per-step scale of the weather drift
+		meanRevert  = 0.002
+		noiseAR     = 0.6
+		noiseScale  = 0.012
+		rampePeriod = 6100 // a slow multi-day swell, minutes
+	)
+	phase1 := rng.Float64() * 2 * math.Pi
+	phase2 := rng.Float64() * 2 * math.Pi
+	phase3 := rng.Float64() * 2 * math.Pi
+	w := 0.0 // weather drift state
+	e := 0.0 // AR(1) noise state
+	for j := 0; j < n; j++ {
+		t := float64(j * SSTIntervalMinutes)
+		w += drift*rng.NormFloat64() - meanRevert*w
+		e = noiseAR*e + noiseScale*rng.NormFloat64()
+		v := mean +
+			diurnalAmp*math.Sin(2*math.Pi*t/minutesDay+phase1) +
+			semiAmp*math.Sin(2*math.Pi*t/(minutesDay/2)+phase2) +
+			0.55*math.Sin(2*math.Pi*t/rampePeriod+phase3) +
+			w + e
+		v = math.Round(v/SSTQuantum) * SSTQuantum
+		pts[j] = core.Point{T: t, X: []float64{v}}
+	}
+	return pts
+}
+
+// Range returns the minimum and maximum value of dimension i of a signal
+// (the paper expresses precision widths as a percentage of this range).
+func Range(pts []core.Point, i int) (lo, hi float64) {
+	if len(pts) == 0 {
+		return 0, 0
+	}
+	lo, hi = pts[0].X[i], pts[0].X[i]
+	for _, p := range pts {
+		if p.X[i] < lo {
+			lo = p.X[i]
+		}
+		if p.X[i] > hi {
+			hi = p.X[i]
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,98 @@
+package gen
+
+import (
+	"math"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// WalkConfig parameterises the paper's random-walk signal model
+// (Section 5.3): each point moves down with probability P and up with
+// probability 1−P, by a magnitude drawn uniformly from [0, MaxDelta).
+type WalkConfig struct {
+	// N is the number of points to generate.
+	N int
+	// P is the probability that a step decreases the value (0 ⇒
+	// monotonically non-decreasing, 0.5 ⇒ symmetric oscillation).
+	P float64
+	// MaxDelta is the upper bound of the uniform step magnitude; the
+	// paper expresses it as a percentage of the precision width.
+	MaxDelta float64
+	// Start is the initial value (default 0).
+	Start float64
+	// DT is the time step between points (default 1).
+	DT float64
+	// Seed drives the deterministic PRNG.
+	Seed uint64
+}
+
+func (c WalkConfig) dt() float64 {
+	if c.DT <= 0 {
+		return 1
+	}
+	return c.DT
+}
+
+// RandomWalk generates a one-dimensional random-walk signal.
+func RandomWalk(cfg WalkConfig) []core.Point {
+	rng := NewRNG(cfg.Seed)
+	pts := make([]core.Point, cfg.N)
+	v := cfg.Start
+	dt := cfg.dt()
+	for j := 0; j < cfg.N; j++ {
+		pts[j] = core.Point{T: float64(j) * dt, X: []float64{v}}
+		v += walkStep(rng, cfg.P, cfg.MaxDelta)
+	}
+	return pts
+}
+
+// walkStep draws one signed step: magnitude U(0, maxDelta), sign negative
+// with probability p.
+func walkStep(rng *RNG, p, maxDelta float64) float64 {
+	d := rng.Float64() * maxDelta
+	if rng.Float64() < p {
+		return -d
+	}
+	return d
+}
+
+// MultiWalkConfig extends WalkConfig to d-dimensional signals with a
+// controllable pairwise correlation between dimensions (Section 5.4).
+type MultiWalkConfig struct {
+	WalkConfig
+	// Dims is the signal dimensionality d.
+	Dims int
+	// Correlation in [0, 1] is the desired pairwise correlation between
+	// the per-step increments of any two dimensions. 0 generates fully
+	// independent dimensions, 1 identical ones.
+	Correlation float64
+}
+
+// MultiWalk generates a d-dimensional random walk. Each dimension's step
+// is the mixture √ρ·common + √(1−ρ)·independent of a shared step and a
+// per-dimension step, which yields pairwise increment correlation ρ while
+// preserving the marginal step distribution's variance scale.
+func MultiWalk(cfg MultiWalkConfig) []core.Point {
+	if cfg.Dims <= 0 {
+		cfg.Dims = 1
+	}
+	rho := math.Min(math.Max(cfg.Correlation, 0), 1)
+	wc, wi := math.Sqrt(rho), math.Sqrt(1-rho)
+	rng := NewRNG(cfg.Seed)
+	pts := make([]core.Point, cfg.N)
+	vals := make([]float64, cfg.Dims)
+	for i := range vals {
+		vals[i] = cfg.Start
+	}
+	dt := cfg.dt()
+	for j := 0; j < cfg.N; j++ {
+		x := make([]float64, cfg.Dims)
+		copy(x, vals)
+		pts[j] = core.Point{T: float64(j) * dt, X: x}
+		common := walkStep(rng, cfg.P, cfg.MaxDelta)
+		for i := 0; i < cfg.Dims; i++ {
+			vals[i] += wc*common + wi*walkStep(rng, cfg.P, cfg.MaxDelta)
+		}
+	}
+	return pts
+}

@@ -1,0 +1,10 @@
+// Package geom provides the small computational-geometry substrate needed
+// by the slide filter of Elmeleegy et al. (VLDB 2009): lines in the t–x
+// plane, an incremental convex hull over points arriving in time order
+// (Section 4.1 of the paper), and tangent searches from an external point
+// to a convex chain (Lemma 4.3 and the optimization it motivates).
+//
+// Everything operates on float64 and is allocation-conscious: the hull
+// reuses its backing arrays across filtering intervals, and tangent
+// searches never copy the chain.
+package geom

@@ -1,0 +1,68 @@
+package geom
+
+// Hull incrementally maintains the convex hull of a sequence of points
+// appended in strictly increasing time order, exactly as described in
+// Section 4.1 of the paper: the vertices are kept as an upper chain and a
+// lower chain, each sorted by time, overlapping in the first and last
+// appended points. Appending a point costs amortized O(1); over a whole
+// filtering interval the maintenance is linear in the number of points.
+//
+// The zero value is an empty hull ready for use.
+type Hull struct {
+	upper []P
+	lower []P
+	n     int // number of points appended since the last Reset
+}
+
+// cross returns the z component of (a−o) × (b−o). Positive means the turn
+// o→a→b is counter-clockwise, negative clockwise, zero collinear.
+func cross(o, a, b P) float64 {
+	return (a.T-o.T)*(b.X-o.X) - (a.X-o.X)*(b.T-o.T)
+}
+
+// Append adds p, which must have a timestamp strictly greater than every
+// previously appended point, and restores convexity of both chains.
+func (h *Hull) Append(p P) {
+	// Upper chain turns clockwise as time advances: pop while the middle
+	// point of the last streak makes a counter-clockwise (or straight) turn.
+	for len(h.upper) >= 2 && cross(h.upper[len(h.upper)-2], h.upper[len(h.upper)-1], p) >= 0 {
+		h.upper = h.upper[:len(h.upper)-1]
+	}
+	h.upper = append(h.upper, p)
+	// Lower chain turns counter-clockwise.
+	for len(h.lower) >= 2 && cross(h.lower[len(h.lower)-2], h.lower[len(h.lower)-1], p) <= 0 {
+		h.lower = h.lower[:len(h.lower)-1]
+	}
+	h.lower = append(h.lower, p)
+	h.n++
+}
+
+// Upper returns the upper chain, ordered by time. The slice aliases the
+// hull's internal storage and is invalidated by the next Append or Reset.
+func (h *Hull) Upper() []P { return h.upper }
+
+// Lower returns the lower chain, ordered by time. The slice aliases the
+// hull's internal storage and is invalidated by the next Append or Reset.
+func (h *Hull) Lower() []P { return h.lower }
+
+// Len returns the number of points appended since the last Reset.
+func (h *Hull) Len() int { return h.n }
+
+// Vertices returns the total number of hull vertices currently stored
+// (upper + lower chains; the shared first and last points are counted in
+// both chains, matching the paper's m_H accounting loosely).
+func (h *Hull) Vertices() int { return len(h.upper) + len(h.lower) }
+
+// First returns the earliest appended point. It panics on an empty hull.
+func (h *Hull) First() P { return h.upper[0] }
+
+// Last returns the most recently appended point. It panics on an empty hull.
+func (h *Hull) Last() P { return h.upper[len(h.upper)-1] }
+
+// Reset empties the hull, retaining backing storage for reuse by the next
+// filtering interval.
+func (h *Hull) Reset() {
+	h.upper = h.upper[:0]
+	h.lower = h.lower[:0]
+	h.n = 0
+}

@@ -1,0 +1,173 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteUpperHull computes the upper hull of pts (sorted by strictly
+// increasing T) by running the full monotone-chain algorithm from scratch.
+func bruteUpperHull(pts []P) []P {
+	var up []P
+	for _, p := range pts {
+		for len(up) >= 2 && cross(up[len(up)-2], up[len(up)-1], p) >= 0 {
+			up = up[:len(up)-1]
+		}
+		up = append(up, p)
+	}
+	return up
+}
+
+func bruteLowerHull(pts []P) []P {
+	var lo []P
+	for _, p := range pts {
+		for len(lo) >= 2 && cross(lo[len(lo)-2], lo[len(lo)-1], p) <= 0 {
+			lo = lo[:len(lo)-1]
+		}
+		lo = append(lo, p)
+	}
+	return lo
+}
+
+func TestHullTriangle(t *testing.T) {
+	var h Hull
+	h.Append(P{0, 0})
+	h.Append(P{1, 2})
+	h.Append(P{2, 0})
+	if got := len(h.Upper()); got != 3 {
+		t.Fatalf("upper chain has %d vertices, want 3", got)
+	}
+	if got := len(h.Lower()); got != 2 {
+		t.Fatalf("lower chain has %d vertices, want 2 (peak is interior to the lower chain)", got)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+}
+
+func TestHullCollinearPointsRemoved(t *testing.T) {
+	var h Hull
+	for i := 0; i < 10; i++ {
+		h.Append(P{float64(i), 2 * float64(i)})
+	}
+	if got := len(h.Upper()); got != 2 {
+		t.Fatalf("upper chain of a straight line has %d vertices, want 2", got)
+	}
+	if got := len(h.Lower()); got != 2 {
+		t.Fatalf("lower chain of a straight line has %d vertices, want 2", got)
+	}
+}
+
+func TestHullFirstLast(t *testing.T) {
+	var h Hull
+	h.Append(P{0, 5})
+	h.Append(P{1, -1})
+	h.Append(P{4, 2})
+	if h.First() != (P{0, 5}) {
+		t.Fatalf("First = %v", h.First())
+	}
+	if h.Last() != (P{4, 2}) {
+		t.Fatalf("Last = %v", h.Last())
+	}
+}
+
+func TestHullReset(t *testing.T) {
+	var h Hull
+	h.Append(P{0, 0})
+	h.Append(P{1, 1})
+	h.Reset()
+	if h.Len() != 0 || len(h.Upper()) != 0 || len(h.Lower()) != 0 {
+		t.Fatal("Reset did not empty the hull")
+	}
+	h.Append(P{5, 5})
+	if h.Len() != 1 || h.First() != (P{5, 5}) {
+		t.Fatal("hull unusable after Reset")
+	}
+}
+
+// Property: the incremental hull matches a from-scratch recomputation, and
+// every input point lies on or inside the hull band.
+func TestHullMatchesBruteForceAndContainsPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(60)
+		pts := make([]P, n)
+		tm := 0.0
+		for i := range pts {
+			tm += 0.1 + rng.Float64()
+			pts[i] = P{tm, rng.NormFloat64() * 10}
+		}
+		var h Hull
+		for _, p := range pts {
+			h.Append(p)
+		}
+		wantUp := bruteUpperHull(pts)
+		wantLo := bruteLowerHull(pts)
+		if !eqPts(h.Upper(), wantUp) {
+			t.Fatalf("trial %d: upper hull mismatch\n got %v\nwant %v", trial, h.Upper(), wantUp)
+		}
+		if !eqPts(h.Lower(), wantLo) {
+			t.Fatalf("trial %d: lower hull mismatch\n got %v\nwant %v", trial, h.Lower(), wantLo)
+		}
+		// Containment: every point is below the upper chain and above the
+		// lower chain (within float slack).
+		for _, p := range pts {
+			if ub, ok := chainEval(h.Upper(), p.T); ok && p.X > ub+1e-9 {
+				t.Fatalf("trial %d: point %v above upper chain (%v)", trial, p, ub)
+			}
+			if lb, ok := chainEval(h.Lower(), p.T); ok && p.X < lb-1e-9 {
+				t.Fatalf("trial %d: point %v below lower chain (%v)", trial, p, lb)
+			}
+		}
+	}
+}
+
+// chainEval linearly interpolates a convex chain at time t.
+func chainEval(chain []P, t float64) (float64, bool) {
+	if len(chain) == 0 || t < chain[0].T || t > chain[len(chain)-1].T {
+		return 0, false
+	}
+	if len(chain) == 1 {
+		return chain[0].X, true
+	}
+	for i := 1; i < len(chain); i++ {
+		if t <= chain[i].T {
+			l, ok := Through(chain[i-1], chain[i])
+			if !ok {
+				return 0, false
+			}
+			return l.Eval(t), true
+		}
+	}
+	return chain[len(chain)-1].X, true
+}
+
+func eqPts(a, b []P) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkHullAppend(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]P, 4096)
+	tm := 0.0
+	for i := range pts {
+		tm += 1
+		pts[i] = P{tm, rng.NormFloat64()}
+	}
+	b.ResetTimer()
+	var h Hull
+	for i := 0; i < b.N; i++ {
+		if i%len(pts) == 0 {
+			h.Reset()
+		}
+		h.Append(pts[i%len(pts)])
+	}
+}

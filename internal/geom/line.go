@@ -1,0 +1,72 @@
+package geom
+
+import "math"
+
+// P is a point in the t–x plane: a timestamp and a single-dimension value.
+type P struct {
+	T, X float64
+}
+
+// Line is an infinite line in the t–x plane in point–slope form.
+// The zero value is the horizontal line through the origin.
+type Line struct {
+	A  float64 // slope dx/dt
+	At P       // a point the line passes through
+}
+
+// Through returns the line through p and q. It reports false when the two
+// points share a timestamp, in which case the line is vertical and cannot
+// be represented (slopes are undefined for vertical lines).
+func Through(p, q P) (Line, bool) {
+	dt := q.T - p.T
+	if dt == 0 {
+		return Line{}, false
+	}
+	return Line{A: (q.X - p.X) / dt, At: p}, true
+}
+
+// WithSlope returns the line with slope a passing through p.
+func WithSlope(a float64, p P) Line {
+	return Line{A: a, At: p}
+}
+
+// Eval returns the line's value at time t.
+func (l Line) Eval(t float64) float64 {
+	return l.At.X + l.A*(t-l.At.T)
+}
+
+// IntersectTime returns the time at which l and m intersect. It reports
+// false when the lines are parallel (or numerically indistinguishable from
+// parallel), including the coincident case.
+func (l Line) IntersectTime(m Line) (float64, bool) {
+	da := l.A - m.A
+	if da == 0 || math.IsInf(da, 0) || math.IsNaN(da) {
+		return 0, false
+	}
+	// Solve l.At.X + l.A (t - l.At.T) = m.At.X + m.A (t - m.At.T).
+	t := (m.At.X - m.A*m.At.T - l.At.X + l.A*l.At.T) / da
+	if math.IsInf(t, 0) || math.IsNaN(t) {
+		return 0, false
+	}
+	return t, true
+}
+
+// IntersectPoint returns the intersection point of l and m, reporting
+// false for parallel lines.
+func (l Line) IntersectPoint(m Line) (P, bool) {
+	t, ok := l.IntersectTime(m)
+	if !ok {
+		return P{}, false
+	}
+	return P{T: t, X: l.Eval(t)}, true
+}
+
+// Above reports whether point p lies strictly above the line.
+func (l Line) Above(p P) bool {
+	return p.X > l.Eval(p.T)
+}
+
+// Below reports whether point p lies strictly below the line.
+func (l Line) Below(p P) bool {
+	return p.X < l.Eval(p.T)
+}

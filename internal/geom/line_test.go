@@ -1,0 +1,141 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestThrough(t *testing.T) {
+	l, ok := Through(P{0, 0}, P{2, 4})
+	if !ok {
+		t.Fatal("Through reported vertical for distinct timestamps")
+	}
+	if l.A != 2 {
+		t.Fatalf("slope = %v, want 2", l.A)
+	}
+	if got := l.Eval(3); got != 6 {
+		t.Fatalf("Eval(3) = %v, want 6", got)
+	}
+}
+
+func TestThroughVertical(t *testing.T) {
+	if _, ok := Through(P{1, 0}, P{1, 5}); ok {
+		t.Fatal("Through accepted a vertical line")
+	}
+}
+
+func TestThroughNegativeSlope(t *testing.T) {
+	l, ok := Through(P{1, 5}, P{3, 1})
+	if !ok || l.A != -2 {
+		t.Fatalf("slope = %v, ok=%v; want -2, true", l.A, ok)
+	}
+}
+
+func TestWithSlope(t *testing.T) {
+	l := WithSlope(0.5, P{10, 3})
+	if got := l.Eval(14); got != 5 {
+		t.Fatalf("Eval(14) = %v, want 5", got)
+	}
+	if got := l.Eval(10); got != 3 {
+		t.Fatalf("Eval at anchor = %v, want 3", got)
+	}
+}
+
+func TestIntersectTime(t *testing.T) {
+	l := WithSlope(1, P{0, 0})
+	m := WithSlope(-1, P{0, 4})
+	tt, ok := l.IntersectTime(m)
+	if !ok || tt != 2 {
+		t.Fatalf("intersect at %v, ok=%v; want 2, true", tt, ok)
+	}
+	p, ok := l.IntersectPoint(m)
+	if !ok || p != (P{2, 2}) {
+		t.Fatalf("intersect point %v, ok=%v; want {2 2}, true", p, ok)
+	}
+}
+
+func TestIntersectParallel(t *testing.T) {
+	l := WithSlope(1, P{0, 0})
+	m := WithSlope(1, P{0, 4})
+	if _, ok := l.IntersectTime(m); ok {
+		t.Fatal("parallel lines reported an intersection")
+	}
+	// Coincident lines are also "parallel" for our purposes.
+	if _, ok := l.IntersectTime(l); ok {
+		t.Fatal("coincident lines reported an intersection")
+	}
+}
+
+func TestAboveBelow(t *testing.T) {
+	l := WithSlope(2, P{0, 1})
+	if !l.Above(P{1, 4}) {
+		t.Fatal("point above line not detected")
+	}
+	if !l.Below(P{1, 2}) {
+		t.Fatal("point below line not detected")
+	}
+	if l.Above(P{1, 3}) || l.Below(P{1, 3}) {
+		t.Fatal("point on line reported strictly above or below")
+	}
+}
+
+// Property: the intersection point of two non-parallel lines lies on both.
+func TestIntersectionOnBothLines(t *testing.T) {
+	f := func(a1, a2, t1, x1, t2, x2 float64) bool {
+		if !finite(a1, a2, t1, x1, t2, x2) {
+			return true
+		}
+		a1, a2 = clampf(a1, 100), clampf(a2, 100)
+		t1, x1, t2, x2 = clampf(t1, 1e4), clampf(x1, 1e4), clampf(t2, 1e4), clampf(x2, 1e4)
+		l := WithSlope(a1, P{t1, x1})
+		m := WithSlope(a2, P{t2, x2})
+		p, ok := l.IntersectPoint(m)
+		if !ok {
+			return a1 == a2 // only parallel lines may fail
+		}
+		scale := 1 + math.Abs(p.X)
+		return math.Abs(l.Eval(p.T)-p.X) <= 1e-6*scale &&
+			math.Abs(m.Eval(p.T)-p.X) <= 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Through(p, q) passes through both p and q.
+func TestThroughPassesThroughBoth(t *testing.T) {
+	f := func(t1, x1, dt, x2 float64) bool {
+		if !finite(t1, x1, dt, x2) {
+			return true
+		}
+		t1, x1, x2 = clampf(t1, 1e4), clampf(x1, 1e4), clampf(x2, 1e4)
+		dt = math.Abs(clampf(dt, 1e3)) + 1e-3
+		p, q := P{t1, x1}, P{t1 + dt, x2}
+		l, ok := Through(p, q)
+		if !ok {
+			return false
+		}
+		scale := 1 + math.Abs(x1) + math.Abs(x2)
+		return math.Abs(l.Eval(p.T)-p.X) <= 1e-9*scale &&
+			math.Abs(l.Eval(q.T)-q.X) <= 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// clampf folds an arbitrary float into [-lim, lim] so quick-generated
+// extremes do not turn every comparison into an overflow test.
+func clampf(v, lim float64) float64 {
+	return math.Mod(v, lim)
+}

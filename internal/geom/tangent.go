@@ -1,0 +1,99 @@
+package geom
+
+// Tangent searches used by the slide filter (Lemma 4.3). When a new data
+// point invalidates the upper line u, the replacement is the line of
+// minimum slope through (t_j, x_j+ε) and one of the earlier points shifted
+// down by ε; the minimizer always lies on the upper chain of the convex
+// hull of the earlier points. Symmetrically, the lower line l is replaced
+// by the maximum-slope line through (t_j, x_j−ε) and an earlier point
+// shifted up by ε, whose maximizer lies on the lower chain.
+
+// MinSlopeThrough scans anchors and returns the smallest slope of a line
+// through pivot and anchors[i] shifted vertically by shift, together with
+// the index achieving it. Every anchor must satisfy anchors[i].T < pivot.T.
+// It returns index −1 when anchors is empty.
+func MinSlopeThrough(pivot P, anchors []P, shift float64) (float64, int) {
+	best, bestIdx := 0.0, -1
+	for i, q := range anchors {
+		a := (pivot.X - (q.X + shift)) / (pivot.T - q.T)
+		if bestIdx == -1 || a < best {
+			best, bestIdx = a, i
+		}
+	}
+	return best, bestIdx
+}
+
+// MaxSlopeThrough is the mirror of MinSlopeThrough: it returns the largest
+// slope of a line through pivot and a vertically shifted anchor.
+func MaxSlopeThrough(pivot P, anchors []P, shift float64) (float64, int) {
+	best, bestIdx := 0.0, -1
+	for i, q := range anchors {
+		a := (pivot.X - (q.X + shift)) / (pivot.T - q.T)
+		if bestIdx == -1 || a > best {
+			best, bestIdx = a, i
+		}
+	}
+	return best, bestIdx
+}
+
+// MinSlopeThroughChain is MinSlopeThrough specialised to a convex chain
+// (the upper chain of a Hull): the slope as a function of the vertex index
+// is unimodal there, so the minimum is found by ternary search in
+// O(log n) instead of a linear scan. This is the more efficient tangent
+// algorithm the paper cites (Chazelle & Dobkin). The final few candidates
+// are scanned linearly to stay robust against flat stretches.
+func MinSlopeThroughChain(pivot P, chain []P, shift float64) (float64, int) {
+	lo, hi := 0, len(chain)-1
+	if hi < 0 {
+		return 0, -1
+	}
+	slope := func(i int) float64 {
+		q := chain[i]
+		return (pivot.X - (q.X + shift)) / (pivot.T - q.T)
+	}
+	for hi-lo > 8 {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if slope(m1) < slope(m2) {
+			hi = m2 - 1
+		} else {
+			lo = m1 + 1
+		}
+	}
+	best, bestIdx := slope(lo), lo
+	for i := lo + 1; i <= hi; i++ {
+		if a := slope(i); a < best {
+			best, bestIdx = a, i
+		}
+	}
+	return best, bestIdx
+}
+
+// MaxSlopeThroughChain is the mirror of MinSlopeThroughChain for the lower
+// chain of a Hull.
+func MaxSlopeThroughChain(pivot P, chain []P, shift float64) (float64, int) {
+	lo, hi := 0, len(chain)-1
+	if hi < 0 {
+		return 0, -1
+	}
+	slope := func(i int) float64 {
+		q := chain[i]
+		return (pivot.X - (q.X + shift)) / (pivot.T - q.T)
+	}
+	for hi-lo > 8 {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if slope(m1) > slope(m2) {
+			hi = m2 - 1
+		} else {
+			lo = m1 + 1
+		}
+	}
+	best, bestIdx := slope(lo), lo
+	for i := lo + 1; i <= hi; i++ {
+		if a := slope(i); a > best {
+			best, bestIdx = a, i
+		}
+	}
+	return best, bestIdx
+}

@@ -1,0 +1,197 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMinSlopeThroughBasic(t *testing.T) {
+	pivot := P{2, 1}
+	anchors := []P{{0, 0}, {1, 0}} // with shift −1 these become floors at −1
+	a, idx := MinSlopeThrough(pivot, anchors, -1)
+	if idx != 0 {
+		t.Fatalf("min-slope anchor index = %d, want 0", idx)
+	}
+	if a != 1 {
+		t.Fatalf("min slope = %v, want 1", a)
+	}
+}
+
+func TestMaxSlopeThroughBasic(t *testing.T) {
+	pivot := P{2, -1}
+	anchors := []P{{0, 0}, {1, 0}}
+	a, idx := MaxSlopeThrough(pivot, anchors, +1)
+	if idx != 0 {
+		t.Fatalf("max-slope anchor index = %d, want 0", idx)
+	}
+	if a != -1 {
+		t.Fatalf("max slope = %v, want -1", a)
+	}
+}
+
+func TestSlopeThroughEmpty(t *testing.T) {
+	if _, idx := MinSlopeThrough(P{1, 1}, nil, 0); idx != -1 {
+		t.Fatalf("empty anchors: idx = %d, want -1", idx)
+	}
+	if _, idx := MaxSlopeThrough(P{1, 1}, nil, 0); idx != -1 {
+		t.Fatalf("empty anchors: idx = %d, want -1", idx)
+	}
+	if _, idx := MinSlopeThroughChain(P{1, 1}, nil, 0); idx != -1 {
+		t.Fatalf("empty chain: idx = %d, want -1", idx)
+	}
+	if _, idx := MaxSlopeThroughChain(P{1, 1}, nil, 0); idx != -1 {
+		t.Fatalf("empty chain: idx = %d, want -1", idx)
+	}
+}
+
+// Property: the minimum-slope line through the pivot keeps every shifted
+// anchor on or below it (it is the upper tangent), and the maximum-slope
+// line keeps every shifted anchor on or above it.
+func TestTangentSidedness(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(40)
+		anchors := make([]P, n)
+		tm := 0.0
+		for i := range anchors {
+			tm += 0.1 + rng.Float64()
+			anchors[i] = P{tm, rng.NormFloat64() * 5}
+		}
+		pivot := P{tm + 1 + rng.Float64(), rng.NormFloat64() * 5}
+		eps := rng.Float64() + 0.01
+
+		aMin, _ := MinSlopeThrough(pivot, anchors, -eps)
+		lMin := WithSlope(aMin, pivot)
+		for _, q := range anchors {
+			if lMin.Eval(q.T) < q.X-eps-1e-9 {
+				t.Fatalf("trial %d: min-slope line dips below a floor point", trial)
+			}
+		}
+		aMax, _ := MaxSlopeThrough(pivot, anchors, +eps)
+		lMax := WithSlope(aMax, pivot)
+		for _, q := range anchors {
+			if lMax.Eval(q.T) > q.X+eps+1e-9 {
+				t.Fatalf("trial %d: max-slope line rises above a ceiling point", trial)
+			}
+		}
+	}
+}
+
+// Property: scanning only the hull chain gives the same tangent slope as
+// scanning every point (Lemma 4.3), and the ternary-search chain variant
+// agrees with the linear chain scan.
+func TestTangentHullEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(80)
+		pts := make([]P, n)
+		tm := 0.0
+		for i := range pts {
+			tm += 0.1 + rng.Float64()
+			pts[i] = P{tm, rng.NormFloat64() * 3}
+		}
+		var h Hull
+		for _, p := range pts {
+			h.Append(p)
+		}
+		pivot := P{tm + 0.5 + rng.Float64(), rng.NormFloat64() * 3}
+		eps := 0.01 + rng.Float64()
+
+		wantMin, _ := MinSlopeThrough(pivot, pts, -eps)
+		gotMinHull, _ := MinSlopeThrough(pivot, h.Upper(), -eps)
+		gotMinChain, _ := MinSlopeThroughChain(pivot, h.Upper(), -eps)
+		if !almostEq(wantMin, gotMinHull) {
+			t.Fatalf("trial %d: hull min tangent %v != all-points %v", trial, gotMinHull, wantMin)
+		}
+		if !almostEq(wantMin, gotMinChain) {
+			t.Fatalf("trial %d: ternary min tangent %v != all-points %v", trial, gotMinChain, wantMin)
+		}
+
+		wantMax, _ := MaxSlopeThrough(pivot, pts, +eps)
+		gotMaxHull, _ := MaxSlopeThrough(pivot, h.Lower(), +eps)
+		gotMaxChain, _ := MaxSlopeThroughChain(pivot, h.Lower(), +eps)
+		if !almostEq(wantMax, gotMaxHull) {
+			t.Fatalf("trial %d: hull max tangent %v != all-points %v", trial, gotMaxHull, wantMax)
+		}
+		if !almostEq(wantMax, gotMaxChain) {
+			t.Fatalf("trial %d: ternary max tangent %v != all-points %v", trial, gotMaxChain, wantMax)
+		}
+	}
+}
+
+func almostEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := 1.0
+	if a > m {
+		m = a
+	}
+	if -a > m {
+		m = -a
+	}
+	return d <= 1e-9*m
+}
+
+func BenchmarkTangentLinearScan(b *testing.B) {
+	chain, pivot := benchChain(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinSlopeThrough(pivot, chain, -0.5)
+	}
+}
+
+func BenchmarkTangentTernarySearch(b *testing.B) {
+	chain, pivot := benchChain(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinSlopeThroughChain(pivot, chain, -0.5)
+	}
+}
+
+// benchChain builds a strictly concave chain (a valid upper hull) of n
+// vertices plus a pivot to its right.
+func benchChain(n int) ([]P, P) {
+	chain := make([]P, n)
+	for i := range chain {
+		t := float64(i)
+		chain[i] = P{t, -0.001 * t * t}
+	}
+	return chain, P{float64(n) + 10, 5}
+}
+
+// TestChainSearchLongConcaveChain exercises the ternary-search loop on a
+// long strictly concave chain where the tangent vertex sits at various
+// positions.
+func TestChainSearchLongConcaveChain(t *testing.T) {
+	const n = 300
+	chain := make([]P, n)
+	for i := range chain {
+		x := float64(i)
+		chain[i] = P{T: x, X: -0.01 * (x - 150) * (x - 150)}
+	}
+	for _, pivotX := range []float64{-400, -50, 0, 50, 400} {
+		pivot := P{T: float64(n) + 20, X: pivotX}
+		wantMin, wantIdxMin := MinSlopeThrough(pivot, chain, -1)
+		gotMin, gotIdxMin := MinSlopeThroughChain(pivot, chain, -1)
+		if !almostEq(wantMin, gotMin) || wantIdxMin != gotIdxMin {
+			t.Fatalf("pivot %v: min (%v,%d) != chain (%v,%d)",
+				pivotX, wantMin, wantIdxMin, gotMin, gotIdxMin)
+		}
+	}
+	// Lower-chain mirror: a convex chain.
+	for i := range chain {
+		x := float64(i)
+		chain[i] = P{T: x, X: 0.01 * (x - 150) * (x - 150)}
+	}
+	for _, pivotX := range []float64{-400, 0, 400} {
+		pivot := P{T: float64(n) + 20, X: pivotX}
+		wantMax, wantIdxMax := MaxSlopeThrough(pivot, chain, +1)
+		gotMax, gotIdxMax := MaxSlopeThroughChain(pivot, chain, +1)
+		if !almostEq(wantMax, gotMax) || wantIdxMax != gotIdxMax {
+			t.Fatalf("pivot %v: max (%v,%d) != chain (%v,%d)",
+				pivotX, wantMax, wantIdxMax, gotMax, gotIdxMax)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package monitor manages many concurrently filtered streams — the
+// "continuous always-on monitoring" deployment the paper's introduction
+// motivates (sensor networks, cluster monitoring, market feeds). Each
+// registered stream owns one filter; pushes to different streams proceed
+// in parallel, and a snapshot aggregates the per-stream statistics that
+// the evaluation reports (points, recordings, compression ratio).
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// Errors returned by the monitor.
+var (
+	// ErrDuplicate reports a stream name registered twice.
+	ErrDuplicate = errors.New("monitor: stream already registered")
+	// ErrUnknown reports an operation on an unregistered stream.
+	ErrUnknown = errors.New("monitor: unknown stream")
+)
+
+// SegmentSink receives finalized segments as streams emit them; it must
+// be safe for concurrent use. The segments must not be mutated.
+type SegmentSink func(stream string, segs []core.Segment)
+
+// Monitor multiplexes many named streams over their filters.
+// Create one with New.
+type Monitor struct {
+	mu      sync.RWMutex
+	streams map[string]*stream
+	sink    SegmentSink
+}
+
+type stream struct {
+	mu       sync.Mutex
+	filter   core.Filter
+	finished bool
+}
+
+// New returns an empty monitor. sink may be nil if emitted segments are
+// not needed (statistics remain available).
+func New(sink SegmentSink) *Monitor {
+	return &Monitor{streams: make(map[string]*stream), sink: sink}
+}
+
+// Register adds a stream under a unique name with its own filter.
+func (m *Monitor) Register(name string, f core.Filter) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.streams[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	m.streams[name] = &stream{filter: f}
+	return nil
+}
+
+// Unregister finishes a stream's filter (delivering its final segments to
+// the sink) and removes it.
+func (m *Monitor) Unregister(name string) error {
+	m.mu.Lock()
+	s, ok := m.streams[name]
+	if ok {
+		delete(m.streams, name)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return m.finishLocked(name, s)
+}
+
+// Push routes one point to the named stream. Pushes to different streams
+// run concurrently; pushes to one stream are serialised.
+func (m *Monitor) Push(name string, p core.Point) error {
+	m.mu.RLock()
+	s, ok := m.streams[name]
+	m.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	segs, err := s.filter.Push(p)
+	if err != nil {
+		return fmt.Errorf("monitor: stream %q: %w", name, err)
+	}
+	if len(segs) > 0 && m.sink != nil {
+		m.sink(name, segs)
+	}
+	return nil
+}
+
+// Close finishes every stream (delivering final segments to the sink)
+// and empties the monitor. The first error is returned; all streams are
+// finished regardless.
+func (m *Monitor) Close() error {
+	m.mu.Lock()
+	streams := m.streams
+	m.streams = make(map[string]*stream)
+	m.mu.Unlock()
+
+	var first error
+	for name, s := range streams {
+		s.mu.Lock()
+		if err := m.finishLocked(name, s); err != nil && first == nil {
+			first = err
+		}
+		s.mu.Unlock()
+	}
+	return first
+}
+
+func (m *Monitor) finishLocked(name string, s *stream) error {
+	if s.finished {
+		return nil
+	}
+	s.finished = true
+	segs, err := s.filter.Finish()
+	if err != nil {
+		return fmt.Errorf("monitor: stream %q: %w", name, err)
+	}
+	if len(segs) > 0 && m.sink != nil {
+		m.sink(name, segs)
+	}
+	return nil
+}
+
+// StreamStats pairs a stream name with its filter's counters.
+type StreamStats struct {
+	Name  string
+	Stats core.Stats
+}
+
+// Snapshot returns per-stream statistics sorted by name, plus the
+// aggregate over all streams.
+func (m *Monitor) Snapshot() ([]StreamStats, core.Stats) {
+	m.mu.RLock()
+	names := make([]string, 0, len(m.streams))
+	for name := range m.streams {
+		names = append(names, name)
+	}
+	refs := make([]*stream, len(names))
+	for i, name := range names {
+		refs[i] = m.streams[name]
+	}
+	m.mu.RUnlock()
+
+	out := make([]StreamStats, len(names))
+	var total core.Stats
+	for i, s := range refs {
+		s.mu.Lock()
+		st := s.filter.Stats()
+		s.mu.Unlock()
+		out[i] = StreamStats{Name: names[i], Stats: st}
+		total.Points += st.Points
+		total.Segments += st.Segments
+		total.Recordings += st.Recordings
+		total.Intervals += st.Intervals
+		total.LagFlushes += st.LagFlushes
+		if st.MaxIntervalPoints > total.MaxIntervalPoints {
+			total.MaxIntervalPoints = st.MaxIntervalPoints
+		}
+		if st.MaxHullVertices > total.MaxHullVertices {
+			total.MaxHullVertices = st.MaxHullVertices
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, total
+}
+
+// Len returns the number of registered streams.
+func (m *Monitor) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.streams)
+}

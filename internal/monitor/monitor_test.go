@@ -1,0 +1,158 @@
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/gen"
+)
+
+func newSwing(t *testing.T, eps float64) core.Filter {
+	t.Helper()
+	f, err := core.NewSwing([]float64{eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRegisterPushSnapshot(t *testing.T) {
+	var mu sync.Mutex
+	got := map[string]int{}
+	m := New(func(name string, segs []core.Segment) {
+		mu.Lock()
+		got[name] += len(segs)
+		mu.Unlock()
+	})
+	if err := m.Register("a", newSwing(t, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("b", newSwing(t, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("a", newSwing(t, 0.5)); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate register: %v", err)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("len = %d", m.Len())
+	}
+
+	for j := 0; j < 100; j++ {
+		v := float64(j % 7)
+		if err := m.Push("a", core.Point{T: float64(j), X: []float64{v}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Push("b", core.Point{T: float64(j), X: []float64{float64(j)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Push("nope", core.Point{T: 1, X: []float64{0}}); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("unknown stream: %v", err)
+	}
+
+	stats, total := m.Snapshot()
+	if len(stats) != 2 || stats[0].Name != "a" || stats[1].Name != "b" {
+		t.Fatalf("snapshot = %+v", stats)
+	}
+	if total.Points != 200 {
+		t.Fatalf("total points = %d", total.Points)
+	}
+	// Stream b is a perfect line: no segments emitted before Close.
+	if stats[1].Stats.Segments != 0 {
+		t.Fatalf("line stream emitted %d segments early", stats[1].Stats.Segments)
+	}
+
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got["a"] == 0 || got["b"] == 0 {
+		t.Fatalf("sink missed final segments: %v", got)
+	}
+	if m.Len() != 0 {
+		t.Fatal("close did not empty the monitor")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	var n int
+	var mu sync.Mutex
+	m := New(func(string, []core.Segment) { mu.Lock(); n++; mu.Unlock() })
+	if err := m.Register("s", newSwing(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 10; j++ {
+		if err := m.Push("s", core.Point{T: float64(j), X: []float64{0}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Unregister("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unregister("s"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("double unregister: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if n == 0 {
+		t.Fatal("unregister did not flush the stream")
+	}
+}
+
+func TestPushErrorPropagates(t *testing.T) {
+	m := New(nil)
+	if err := m.Register("s", newSwing(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Push("s", core.Point{T: 5, X: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Push("s", core.Point{T: 5, X: []float64{0}})
+	if !errors.Is(err, core.ErrTimeOrder) {
+		t.Fatalf("want ErrTimeOrder, got %v", err)
+	}
+}
+
+// TestConcurrentStreams hammers many streams from many goroutines; run
+// with -race to exercise the locking.
+func TestConcurrentStreams(t *testing.T) {
+	m := New(func(string, []core.Segment) {})
+	const streams = 16
+	const points = 400
+	for i := 0; i < streams; i++ {
+		f, err := core.NewSlide([]float64{0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Register(fmt.Sprintf("s%02d", i), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("s%02d", i)
+			pts := gen.SSTLike(points, uint64(i))
+			for _, p := range pts {
+				if err := m.Push(name, p); err != nil {
+					t.Errorf("%s: %v", name, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	stats, total := m.Snapshot()
+	if len(stats) != streams || total.Points != streams*points {
+		t.Fatalf("snapshot: %d streams, %d points", len(stats), total.Points)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,8 @@
+// Package recon reconstructs a signal from the piece-wise linear (or
+// constant) segments produced by the filters in internal/core, and
+// measures how far the reconstruction strays from the original points.
+// It is the receiver side of the paper's transmitter/receiver model and
+// the measurement substrate behind the evaluation in Section 5: average
+// error (Figure 8) and the precision-guarantee checks that mechanise
+// Theorems 3.1 and 4.1.
+package recon

@@ -1,0 +1,87 @@
+package recon
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// ErrorStats summarises the reconstruction error of a model against the
+// original signal, per dimension, following the paper's Section 5.1: the
+// average error is the sum of per-sample errors divided by the number of
+// samples.
+type ErrorStats struct {
+	// N is the number of samples compared.
+	N int
+	// Uncovered counts samples whose timestamp no segment covers
+	// (always 0 for well-formed filter output).
+	Uncovered int
+	// MaxAbs, MeanAbs and RMS are per-dimension error aggregates over the
+	// covered samples.
+	MaxAbs  []float64
+	MeanAbs []float64
+	RMS     []float64
+}
+
+// Measure compares signal against the model and returns the error
+// statistics.
+func Measure(signal []core.Point, m *Model) ErrorStats {
+	d := m.Dim()
+	st := ErrorStats{
+		MaxAbs:  make([]float64, d),
+		MeanAbs: make([]float64, d),
+		RMS:     make([]float64, d),
+	}
+	buf := make([]float64, d)
+	covered := 0
+	for _, p := range signal {
+		st.N++
+		if !m.EvalInto(p.T, buf) {
+			st.Uncovered++
+			continue
+		}
+		covered++
+		for i := 0; i < d; i++ {
+			e := math.Abs(p.X[i] - buf[i])
+			if e > st.MaxAbs[i] {
+				st.MaxAbs[i] = e
+			}
+			st.MeanAbs[i] += e
+			st.RMS[i] += e * e
+		}
+	}
+	if covered > 0 {
+		for i := 0; i < d; i++ {
+			st.MeanAbs[i] /= float64(covered)
+			st.RMS[i] = math.Sqrt(st.RMS[i] / float64(covered))
+		}
+	}
+	return st
+}
+
+// CheckPrecision mechanises Theorems 3.1 and 4.1: it verifies that every
+// sample of signal lies within eps (plus a relative slack for float
+// rounding) of the model, in every dimension, and that every sample time
+// is covered. It returns a descriptive error for the first violation.
+func CheckPrecision(signal []core.Point, m *Model, eps []float64, slack float64) error {
+	d := m.Dim()
+	if len(eps) != d {
+		return fmt.Errorf("recon: eps has %d dims, model has %d", len(eps), d)
+	}
+	buf := make([]float64, d)
+	for j, p := range signal {
+		if !m.EvalInto(p.T, buf) {
+			return fmt.Errorf("recon: sample %d (t=%v) not covered by any segment", j, p.T)
+		}
+		for i := 0; i < d; i++ {
+			e := math.Abs(p.X[i] - buf[i])
+			tol := eps[i] + slack*(1+math.Abs(p.X[i])+eps[i])
+			if e > tol {
+				return fmt.Errorf("recon: sample %d (t=%v) dim %d: |%v-%v| = %v exceeds ε=%v",
+					j, p.T, i, p.X[i], buf[i], e, eps[i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package recon
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// Errors returned by model construction and evaluation.
+var (
+	// ErrEmpty reports a model built from no segments.
+	ErrEmpty = errors.New("recon: no segments")
+	// ErrOrder reports segments whose start times do not increase.
+	ErrOrder = errors.New("recon: segments out of time order")
+	// ErrDim reports segments of inconsistent dimensionality.
+	ErrDim = errors.New("recon: segments with inconsistent dimensionality")
+)
+
+// Model is a reconstructed piece-wise linear signal: the receiver-side
+// view of a filter's output. A time t is covered when some segment's
+// [T0, T1] span contains it; by construction of the filters, every
+// original data point's timestamp is covered.
+type Model struct {
+	segs []core.Segment
+	dim  int
+}
+
+// NewModel validates segs (non-decreasing start times, consistent
+// dimensionality) and wraps them in a Model. The slice is retained, not
+// copied.
+func NewModel(segs []core.Segment) (*Model, error) {
+	if len(segs) == 0 {
+		return nil, ErrEmpty
+	}
+	dim := segs[0].Dim()
+	for i, s := range segs {
+		if s.Dim() != dim || len(s.X1) != dim {
+			return nil, fmt.Errorf("%w: segment %d has dim %d, want %d", ErrDim, i, s.Dim(), dim)
+		}
+		if s.T1 < s.T0 {
+			return nil, fmt.Errorf("%w: segment %d ends before it starts", ErrOrder, i)
+		}
+		if i > 0 && s.T0 < segs[i-1].T0 {
+			return nil, fmt.Errorf("%w: segment %d starts at %v before segment %d at %v",
+				ErrOrder, i, s.T0, i-1, segs[i-1].T0)
+		}
+	}
+	return &Model{segs: segs, dim: dim}, nil
+}
+
+// Dim returns the model's dimensionality.
+func (m *Model) Dim() int { return m.dim }
+
+// Segments returns the underlying segments (not a copy).
+func (m *Model) Segments() []core.Segment { return m.segs }
+
+// Span returns the first covered and last covered times.
+func (m *Model) Span() (t0, t1 float64) {
+	t0 = m.segs[0].T0
+	t1 = m.segs[0].T1
+	for _, s := range m.segs {
+		if s.T1 > t1 {
+			t1 = s.T1
+		}
+	}
+	return t0, t1
+}
+
+// locate returns the index of a segment covering t, or -1. Filter output
+// has non-overlapping spans (touching only at connection knots), so the
+// rightmost segment starting at or before t is the only candidate, plus
+// its predecessor to absorb ties between a degenerate segment and its
+// neighbour.
+func (m *Model) locate(t float64) int {
+	i := sort.Search(len(m.segs), func(j int) bool { return m.segs[j].T0 > t }) - 1
+	if i < 0 {
+		return -1
+	}
+	if t <= m.segs[i].T1 {
+		return i
+	}
+	if i > 0 && t >= m.segs[i-1].T0 && t <= m.segs[i-1].T1 {
+		return i - 1
+	}
+	return -1
+}
+
+// EvalInto evaluates the model at time t into dst (which must have
+// length Dim) and reports whether t is covered.
+func (m *Model) EvalInto(t float64, dst []float64) bool {
+	i := m.locate(t)
+	if i < 0 {
+		return false
+	}
+	s := m.segs[i]
+	for d := 0; d < m.dim; d++ {
+		dst[d] = s.At(d, t)
+	}
+	return true
+}
+
+// Eval evaluates the model at time t, reporting whether t is covered.
+func (m *Model) Eval(t float64) ([]float64, bool) {
+	v := make([]float64, m.dim)
+	if !m.EvalInto(t, v) {
+		return nil, false
+	}
+	return v, true
+}
+
+// Recordings returns the number of recordings needed to transmit the
+// model, per the paper's accounting. constant marks piece-wise constant
+// models (cache filter output).
+func (m *Model) Recordings(constant bool) int {
+	return core.CountRecordings(m.segs, constant)
+}

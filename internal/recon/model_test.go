@@ -1,0 +1,169 @@
+package recon
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+func seg(t0, t1 float64, x0, x1 float64, conn bool) core.Segment {
+	return core.Segment{
+		T0: t0, T1: t1,
+		X0: []float64{x0}, X1: []float64{x1},
+		Connected: conn,
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := NewModel([]core.Segment{seg(1, 0, 0, 0, false)}); !errors.Is(err, ErrOrder) {
+		t.Fatalf("backwards segment: %v", err)
+	}
+	if _, err := NewModel([]core.Segment{seg(5, 6, 0, 0, false), seg(0, 1, 0, 0, false)}); !errors.Is(err, ErrOrder) {
+		t.Fatalf("out of order: %v", err)
+	}
+	bad := []core.Segment{
+		seg(0, 1, 0, 0, false),
+		{T0: 2, T1: 3, X0: []float64{0, 0}, X1: []float64{0, 0}},
+	}
+	if _, err := NewModel(bad); !errors.Is(err, ErrDim) {
+		t.Fatalf("dim mismatch: %v", err)
+	}
+}
+
+func TestModelEval(t *testing.T) {
+	m, err := NewModel([]core.Segment{
+		seg(0, 10, 0, 10, false), // slope 1
+		seg(10, 20, 10, 0, true), // slope -1, connected
+		seg(25, 30, 5, 5, false), // after a gap
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t    float64
+		want float64
+		ok   bool
+	}{
+		{0, 0, true},
+		{5, 5, true},
+		{10, 10, true}, // knot: both segments agree
+		{15, 5, true},
+		{20, 0, true},
+		{22, 0, false}, // inside the gap
+		{27, 5, true},
+		{-1, 0, false},
+		{31, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := m.Eval(c.t)
+		if ok != c.ok {
+			t.Fatalf("Eval(%v) covered=%v, want %v", c.t, ok, c.ok)
+		}
+		if ok && math.Abs(got[0]-c.want) > 1e-12 {
+			t.Fatalf("Eval(%v) = %v, want %v", c.t, got[0], c.want)
+		}
+	}
+}
+
+func TestModelSpanDim(t *testing.T) {
+	m, _ := NewModel([]core.Segment{seg(2, 6, 0, 1, false), seg(7, 9, 1, 1, false)})
+	t0, t1 := m.Span()
+	if t0 != 2 || t1 != 9 {
+		t.Fatalf("span = [%v, %v], want [2, 9]", t0, t1)
+	}
+	if m.Dim() != 1 {
+		t.Fatalf("dim = %d", m.Dim())
+	}
+	if len(m.Segments()) != 2 {
+		t.Fatalf("segments = %d", len(m.Segments()))
+	}
+}
+
+func TestModelDegenerateSegment(t *testing.T) {
+	m, _ := NewModel([]core.Segment{seg(0, 4, 0, 4, false), seg(4, 4, 4, 4, false)})
+	got, ok := m.Eval(4)
+	if !ok || got[0] != 4 {
+		t.Fatalf("Eval(4) = %v, %v", got, ok)
+	}
+}
+
+func TestModelRecordings(t *testing.T) {
+	m, _ := NewModel([]core.Segment{
+		seg(0, 1, 0, 0, false),
+		seg(1, 2, 0, 1, true),
+	})
+	if got := m.Recordings(false); got != 3 {
+		t.Fatalf("linear recordings = %d, want 3", got)
+	}
+	if got := m.Recordings(true); got != 2 {
+		t.Fatalf("constant recordings = %d, want 2", got)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	m, _ := NewModel([]core.Segment{seg(0, 10, 0, 10, false)})
+	signal := []core.Point{
+		{T: 0, X: []float64{0.5}},  // err 0.5
+		{T: 5, X: []float64{4.5}},  // err 0.5
+		{T: 10, X: []float64{10}},  // err 0
+		{T: 50, X: []float64{999}}, // uncovered
+	}
+	st := Measure(signal, m)
+	if st.N != 4 || st.Uncovered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if math.Abs(st.MaxAbs[0]-0.5) > 1e-12 {
+		t.Fatalf("MaxAbs = %v", st.MaxAbs[0])
+	}
+	if math.Abs(st.MeanAbs[0]-1.0/3) > 1e-12 {
+		t.Fatalf("MeanAbs = %v", st.MeanAbs[0])
+	}
+	wantRMS := math.Sqrt((0.25 + 0.25 + 0) / 3)
+	if math.Abs(st.RMS[0]-wantRMS) > 1e-12 {
+		t.Fatalf("RMS = %v, want %v", st.RMS[0], wantRMS)
+	}
+}
+
+func TestMeasureEmptySignal(t *testing.T) {
+	m, _ := NewModel([]core.Segment{seg(0, 1, 0, 0, false)})
+	st := Measure(nil, m)
+	if st.N != 0 || st.MeanAbs[0] != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCheckPrecision(t *testing.T) {
+	m, _ := NewModel([]core.Segment{seg(0, 10, 0, 10, false)})
+	good := []core.Point{{T: 2, X: []float64{2.4}}, {T: 8, X: []float64{7.6}}}
+	if err := CheckPrecision(good, m, []float64{0.5}, 0); err != nil {
+		t.Fatalf("good signal rejected: %v", err)
+	}
+	bad := []core.Point{{T: 2, X: []float64{3}}}
+	if err := CheckPrecision(bad, m, []float64{0.5}, 0); err == nil {
+		t.Fatal("violation not detected")
+	}
+	uncovered := []core.Point{{T: 99, X: []float64{0}}}
+	if err := CheckPrecision(uncovered, m, []float64{0.5}, 0); err == nil {
+		t.Fatal("uncovered sample not detected")
+	}
+	if err := CheckPrecision(good, m, []float64{0.5, 0.5}, 0); err == nil {
+		t.Fatal("eps dimension mismatch not detected")
+	}
+}
+
+func TestCheckPrecisionSlack(t *testing.T) {
+	m, _ := NewModel([]core.Segment{seg(0, 10, 0, 0, false)})
+	// 1e-9 over the bound: rejected without slack, accepted with it.
+	signal := []core.Point{{T: 5, X: []float64{0.5 + 1e-9}}}
+	if err := CheckPrecision(signal, m, []float64{0.5}, 0); err == nil {
+		t.Fatal("exact check should reject")
+	}
+	if err := CheckPrecision(signal, m, []float64{0.5}, 1e-6); err != nil {
+		t.Fatalf("slack check should accept: %v", err)
+	}
+}

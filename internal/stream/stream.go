@@ -1,0 +1,219 @@
+// Package stream provides the plumbing around the filters: CSV
+// serialisation of points and segments, and a transmitter/receiver
+// simulation that measures how far the receiver lags behind the
+// transmitter — the quantity the paper bounds with m_max_lag.
+package stream
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// ErrCSV reports a malformed CSV stream.
+var ErrCSV = errors.New("stream: malformed csv")
+
+// WritePoints writes pts as CSV rows "t,x1,...,xd".
+func WritePoints(w io.Writer, pts []core.Point) error {
+	cw := csv.NewWriter(w)
+	rec := make([]string, 0, 8)
+	for _, p := range pts {
+		rec = rec[:0]
+		rec = append(rec, formatFloat(p.T))
+		for _, x := range p.X {
+			rec = append(rec, formatFloat(x))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadPoints parses CSV rows "t,x1,...,xd" into points. All rows must
+// share one dimensionality.
+func ReadPoints(r io.Reader) ([]core.Point, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var pts []core.Point
+	dim := -1
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return pts, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCSV, err)
+		}
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("%w: row %d has %d fields, need ≥ 2", ErrCSV, line, len(rec))
+		}
+		if dim == -1 {
+			dim = len(rec) - 1
+		} else if len(rec)-1 != dim {
+			return nil, fmt.Errorf("%w: row %d has %d dims, want %d", ErrCSV, line, len(rec)-1, dim)
+		}
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: row %d time: %v", ErrCSV, line, err)
+		}
+		x := make([]float64, dim)
+		for i := 0; i < dim; i++ {
+			if x[i], err = strconv.ParseFloat(rec[i+1], 64); err != nil {
+				return nil, fmt.Errorf("%w: row %d dim %d: %v", ErrCSV, line, i, err)
+			}
+		}
+		pts = append(pts, core.Point{T: t, X: x})
+	}
+}
+
+// WriteSegments writes segments as CSV rows
+// "t0,t1,connected,x0_1..x0_d,x1_1..x1_d".
+func WriteSegments(w io.Writer, segs []core.Segment) error {
+	cw := csv.NewWriter(w)
+	var rec []string
+	for _, s := range segs {
+		rec = rec[:0]
+		rec = append(rec, formatFloat(s.T0), formatFloat(s.T1), strconv.FormatBool(s.Connected))
+		for _, x := range s.X0 {
+			rec = append(rec, formatFloat(x))
+		}
+		for _, x := range s.X1 {
+			rec = append(rec, formatFloat(x))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSegments parses the output of WriteSegments.
+func ReadSegments(r io.Reader) ([]core.Segment, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var segs []core.Segment
+	dim := -1
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return segs, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCSV, err)
+		}
+		if len(rec) < 5 || (len(rec)-3)%2 != 0 {
+			return nil, fmt.Errorf("%w: row %d has %d fields", ErrCSV, line, len(rec))
+		}
+		d := (len(rec) - 3) / 2
+		if dim == -1 {
+			dim = d
+		} else if d != dim {
+			return nil, fmt.Errorf("%w: row %d has %d dims, want %d", ErrCSV, line, d, dim)
+		}
+		var s core.Segment
+		if s.T0, err = strconv.ParseFloat(rec[0], 64); err != nil {
+			return nil, fmt.Errorf("%w: row %d t0: %v", ErrCSV, line, err)
+		}
+		if s.T1, err = strconv.ParseFloat(rec[1], 64); err != nil {
+			return nil, fmt.Errorf("%w: row %d t1: %v", ErrCSV, line, err)
+		}
+		if s.Connected, err = strconv.ParseBool(rec[2]); err != nil {
+			return nil, fmt.Errorf("%w: row %d connected: %v", ErrCSV, line, err)
+		}
+		s.X0 = make([]float64, d)
+		s.X1 = make([]float64, d)
+		for i := 0; i < d; i++ {
+			if s.X0[i], err = strconv.ParseFloat(rec[3+i], 64); err != nil {
+				return nil, fmt.Errorf("%w: row %d x0[%d]: %v", ErrCSV, line, i, err)
+			}
+			if s.X1[i], err = strconv.ParseFloat(rec[3+d+i], 64); err != nil {
+				return nil, fmt.Errorf("%w: row %d x1[%d]: %v", ErrCSV, line, i, err)
+			}
+		}
+		segs = append(segs, s)
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// LagReport describes the receiver's view of a filtered stream.
+type LagReport struct {
+	// MaxPoints is the largest number of points the transmitter processed
+	// between two consecutive receiver updates (segment emissions or lag
+	// flushes). This is the operational quantity m_max_lag bounds.
+	MaxPoints int
+	// MeanPoints is the mean update spacing in points.
+	MeanPoints float64
+	// Updates is the number of receiver updates observed.
+	Updates int
+}
+
+// lagModer is implemented by filters that can ride an announced line
+// after an m_max_lag flush (swing and slide). While the filter is in that
+// state the receiver's model already covers each arriving point, so no
+// lag accrues.
+type lagModer interface{ InLagMode() bool }
+
+// MeasureLag runs signal through f and measures the spacing, in data
+// points, between consecutive receiver updates. A receiver update is a
+// segment emission from Push or a max-lag flush (detected via the
+// filter's LagFlushes counter). Points arriving while the filter rides an
+// already-announced line count as immediately delivered: the receiver's
+// predictive model covers them, which is exactly the paper's argument for
+// why a flushed filter stops lagging (Section 3.3).
+func MeasureLag(f core.Filter, signal []core.Point) (LagReport, error) {
+	var rep LagReport
+	sinceUpdate := 0
+	totalGap := 0
+	flushes := 0
+	lm, canRide := f.(lagModer)
+	for _, p := range signal {
+		riding := canRide && lm.InLagMode()
+		sinceUpdate++
+		segs, err := f.Push(p)
+		if err != nil {
+			return rep, err
+		}
+		updated := len(segs) > 0
+		if lf := f.Stats().LagFlushes; lf > flushes {
+			flushes = lf
+			updated = true
+		}
+		switch {
+		case updated:
+			if sinceUpdate > rep.MaxPoints {
+				rep.MaxPoints = sinceUpdate
+			}
+			totalGap += sinceUpdate
+			rep.Updates++
+			sinceUpdate = 0
+		case riding && canRide && lm.InLagMode():
+			// Covered by the announced line; delivered instantly.
+			sinceUpdate--
+		}
+	}
+	final, err := f.Finish()
+	if err != nil {
+		return rep, err
+	}
+	if sinceUpdate > 0 || len(final) > 0 {
+		if sinceUpdate > rep.MaxPoints {
+			rep.MaxPoints = sinceUpdate
+		}
+		totalGap += sinceUpdate
+		rep.Updates++
+	}
+	if rep.Updates > 0 {
+		rep.MeanPoints = float64(totalGap) / float64(rep.Updates)
+	}
+	return rep, nil
+}

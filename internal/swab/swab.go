@@ -1,0 +1,285 @@
+// Package swab implements the SWAB (Sliding Window And Bottom-up) time
+// series segmentation of Keogh, Chu, Hart and Pazzani ("An Online
+// Algorithm for Segmenting Time Series", ICDM 2001), which the paper's
+// related-work section points at: the swing and slide filters can replace
+// the linear filter SWAB uses to read ahead, making this package the
+// bridge between the two algorithm families.
+//
+// Unlike the filters in internal/core, SWAB minimises the residual sum of
+// squares (RSS) of least-squares fits under a merge threshold; it offers
+// no per-point L∞ guarantee. Use it when segment quality matters more
+// than guaranteed per-sample precision.
+package swab
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// Errors returned by the segmenters.
+var (
+	// ErrConfig reports an invalid configuration.
+	ErrConfig = errors.New("swab: invalid configuration")
+	// ErrFinished reports a Push after Finish.
+	ErrFinished = errors.New("swab: segmenter already finished")
+)
+
+// prefix holds prefix sums enabling O(1) least-squares fits over any
+// index range of a point slice.
+type prefix struct {
+	t, t2 []float64
+	x, xt []float64 // dim-major: x[d*len+i]
+	x2    []float64
+	n     int
+	dim   int
+}
+
+func newPrefix(pts []core.Point) *prefix {
+	n := len(pts)
+	if n == 0 {
+		return &prefix{}
+	}
+	d := len(pts[0].X)
+	p := &prefix{
+		t: make([]float64, n+1), t2: make([]float64, n+1),
+		x: make([]float64, d*(n+1)), xt: make([]float64, d*(n+1)), x2: make([]float64, d*(n+1)),
+		n: n, dim: d,
+	}
+	for j, pt := range pts {
+		p.t[j+1] = p.t[j] + pt.T
+		p.t2[j+1] = p.t2[j] + pt.T*pt.T
+		for i := 0; i < d; i++ {
+			p.x[i*(n+1)+j+1] = p.x[i*(n+1)+j] + pt.X[i]
+			p.xt[i*(n+1)+j+1] = p.xt[i*(n+1)+j] + pt.X[i]*pt.T
+			p.x2[i*(n+1)+j+1] = p.x2[i*(n+1)+j] + pt.X[i]*pt.X[i]
+		}
+	}
+	return p
+}
+
+// fit returns the least-squares line (slope, intercept) for dimension i
+// over points [lo, hi) and the fit's residual sum of squares.
+func (p *prefix) fit(i, lo, hi int) (a, b, rss float64) {
+	m := float64(hi - lo)
+	st := p.t[hi] - p.t[lo]
+	st2 := p.t2[hi] - p.t2[lo]
+	base := i * (p.n + 1)
+	sx := p.x[base+hi] - p.x[base+lo]
+	sxt := p.xt[base+hi] - p.xt[base+lo]
+	sx2 := p.x2[base+hi] - p.x2[base+lo]
+
+	den := m*st2 - st*st
+	if den == 0 {
+		// All timestamps equal (impossible for valid input) or a single
+		// point: horizontal line through the mean.
+		a = 0
+		b = sx / m
+	} else {
+		a = (m*sxt - st*sx) / den
+		b = (sx - a*st) / m
+	}
+	rss = sx2 - 2*a*sxt - 2*b*sx + a*a*st2 + 2*a*b*st + m*b*b
+	if rss < 0 {
+		rss = 0 // guard tiny negative float residue
+	}
+	return a, b, rss
+}
+
+// cost is the summed per-dimension RSS of fitting one line over [lo, hi).
+func (p *prefix) cost(lo, hi int) float64 {
+	total := 0.0
+	for i := 0; i < p.dim; i++ {
+		_, _, rss := p.fit(i, lo, hi)
+		total += rss
+	}
+	return total
+}
+
+// segment materialises the least-squares segment over [lo, hi).
+func (p *prefix) segment(pts []core.Point, lo, hi int) core.Segment {
+	d := p.dim
+	x0 := make([]float64, d)
+	x1 := make([]float64, d)
+	t0, t1 := pts[lo].T, pts[hi-1].T
+	for i := 0; i < d; i++ {
+		a, b, _ := p.fit(i, lo, hi)
+		x0[i] = a*t0 + b
+		x1[i] = a*t1 + b
+	}
+	return core.Segment{T0: t0, T1: t1, X0: x0, X1: x1, Points: hi - lo}
+}
+
+// BottomUp segments pts offline: it starts from the finest two-point
+// segments and greedily merges the cheapest adjacent pair while the
+// merged segment's summed RSS stays at or below maxError. The returned
+// segments are the least-squares fits of the final partition.
+//
+// Complexity is O(n²) in the worst case (linear min-scan per merge); the
+// intended use is moderate offline inputs and SWAB's small buffer.
+func BottomUp(pts []core.Point, maxError float64) []core.Segment {
+	if len(pts) == 0 {
+		return nil
+	}
+	p := newPrefix(pts)
+	bounds := initialBounds(len(pts))
+	bounds = mergeAll(p, bounds, maxError)
+	segs := make([]core.Segment, len(bounds)-1)
+	for k := 0; k+1 < len(bounds); k++ {
+		segs[k] = p.segment(pts, bounds[k], bounds[k+1])
+	}
+	return segs
+}
+
+// initialBounds builds the finest partition: segments of two points
+// (the last may hold three when n is odd), expressed as cut indices.
+func initialBounds(n int) []int {
+	bounds := []int{0}
+	for j := 2; j < n; j += 2 {
+		bounds = append(bounds, j)
+	}
+	bounds = append(bounds, n)
+	return bounds
+}
+
+// mergeAll greedily merges adjacent ranges while the cheapest merge cost
+// is within maxError.
+func mergeAll(p *prefix, bounds []int, maxError float64) []int {
+	if len(bounds) < 3 {
+		return bounds
+	}
+	costs := make([]float64, len(bounds)-2) // costs[k] = cost of dropping bounds[k+1]
+	for k := range costs {
+		costs[k] = p.cost(bounds[k], bounds[k+2])
+	}
+	for len(costs) > 0 {
+		best, bestCost := -1, math.Inf(1)
+		for k, c := range costs {
+			if c < bestCost {
+				best, bestCost = k, c
+			}
+		}
+		if bestCost > maxError {
+			break
+		}
+		// Drop the cut bounds[best+1].
+		bounds = append(bounds[:best+1], bounds[best+2:]...)
+		costs = append(costs[:best], costs[best+1:]...)
+		if best-1 >= 0 {
+			costs[best-1] = p.cost(bounds[best-1], bounds[best+1])
+		}
+		if best < len(costs) {
+			costs[best] = p.cost(bounds[best], bounds[best+2])
+		}
+	}
+	return bounds
+}
+
+// Config parameterises an online SWAB segmenter.
+type Config struct {
+	// MaxError is the bottom-up merge threshold: the summed RSS a merged
+	// segment may reach.
+	MaxError float64
+	// BufferSegments is how many bottom-up segments the sliding buffer
+	// should hold before the leftmost is emitted (Keogh recommends 5–6;
+	// the default is 6).
+	BufferSegments int
+	// NewFilter constructs the read-ahead filter that decides how many
+	// points enter the buffer at a time. Any of the paper's filters
+	// works; swing and slide give semantically better chunk boundaries
+	// than the linear filter SWAB originally used. Required.
+	NewFilter func() (core.Filter, error)
+}
+
+// Segmenter is the online SWAB algorithm: a sliding buffer segmented
+// bottom-up, fed by an online filter, emitting the leftmost segment
+// whenever the buffer holds enough of them.
+type Segmenter struct {
+	cfg      Config
+	inner    core.Filter
+	buffer   []core.Point
+	pending  []core.Point
+	finished bool
+}
+
+// New returns an online SWAB segmenter.
+func New(cfg Config) (*Segmenter, error) {
+	if cfg.NewFilter == nil {
+		return nil, fmt.Errorf("%w: NewFilter is required", ErrConfig)
+	}
+	if cfg.MaxError < 0 || math.IsNaN(cfg.MaxError) || math.IsInf(cfg.MaxError, 0) {
+		return nil, fmt.Errorf("%w: MaxError must be finite and non-negative", ErrConfig)
+	}
+	if cfg.BufferSegments == 0 {
+		cfg.BufferSegments = 6
+	}
+	if cfg.BufferSegments < 2 {
+		return nil, fmt.Errorf("%w: BufferSegments must be at least 2", ErrConfig)
+	}
+	inner, err := cfg.NewFilter()
+	if err != nil {
+		return nil, err
+	}
+	return &Segmenter{cfg: cfg, inner: inner}, nil
+}
+
+// Push consumes one point and returns any segments SWAB finalised.
+func (s *Segmenter) Push(p core.Point) ([]core.Segment, error) {
+	if s.finished {
+		return nil, ErrFinished
+	}
+	emitted, err := s.inner.Push(p)
+	if err != nil {
+		return nil, err
+	}
+	s.pending = append(s.pending, p.Clone())
+	if len(emitted) == 0 {
+		return nil, nil
+	}
+	// The read-ahead filter closed a filtering interval: the pending
+	// chunk moves into the buffer and the buffer is re-segmented.
+	s.buffer = append(s.buffer, s.pending...)
+	s.pending = s.pending[:0]
+	return s.drain(false), nil
+}
+
+// Finish flushes the buffer and returns the remaining segments.
+func (s *Segmenter) Finish() ([]core.Segment, error) {
+	if s.finished {
+		return nil, ErrFinished
+	}
+	s.finished = true
+	if _, err := s.inner.Finish(); err != nil {
+		return nil, err
+	}
+	s.buffer = append(s.buffer, s.pending...)
+	s.pending = nil
+	return s.drain(true), nil
+}
+
+// drain re-segments the buffer bottom-up and emits leftmost segments:
+// all of them when flush is set, otherwise only while the buffer holds
+// more than BufferSegments segments.
+func (s *Segmenter) drain(flush bool) []core.Segment {
+	var out []core.Segment
+	for len(s.buffer) > 0 {
+		p := newPrefix(s.buffer)
+		bounds := mergeAll(p, initialBounds(len(s.buffer)), s.cfg.MaxError)
+		nseg := len(bounds) - 1
+		if flush {
+			for k := 0; k < nseg; k++ {
+				out = append(out, p.segment(s.buffer, bounds[k], bounds[k+1]))
+			}
+			s.buffer = nil
+			break
+		}
+		if nseg <= s.cfg.BufferSegments {
+			break
+		}
+		out = append(out, p.segment(s.buffer, bounds[0], bounds[1]))
+		s.buffer = append(s.buffer[:0], s.buffer[bounds[1]:]...)
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package swab
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/gen"
+)
+
+func line(n int, a, b float64) []core.Point {
+	pts := make([]core.Point, n)
+	for j := range pts {
+		t := float64(j)
+		pts[j] = core.Point{T: t, X: []float64{a*t + b}}
+	}
+	return pts
+}
+
+func TestPrefixFitExactLine(t *testing.T) {
+	pts := line(20, 2, -3)
+	p := newPrefix(pts)
+	a, b, rss := p.fit(0, 0, len(pts))
+	if math.Abs(a-2) > 1e-9 || math.Abs(b+3) > 1e-9 {
+		t.Fatalf("fit = (%v, %v), want (2, -3)", a, b)
+	}
+	if rss > 1e-9 {
+		t.Fatalf("rss = %v on an exact line", rss)
+	}
+}
+
+func TestPrefixFitMatchesBruteForce(t *testing.T) {
+	pts := gen.RandomWalk(gen.WalkConfig{N: 60, P: 0.5, MaxDelta: 3, Seed: 5})
+	p := newPrefix(pts)
+	for _, rng := range [][2]int{{0, 60}, {3, 10}, {20, 23}, {59, 60}} {
+		lo, hi := rng[0], rng[1]
+		a, b, rss := p.fit(0, lo, hi)
+		var want float64
+		for j := lo; j < hi; j++ {
+			d := pts[j].X[0] - (a*pts[j].T + b)
+			want += d * d
+		}
+		if math.Abs(rss-want) > 1e-6*(1+want) {
+			t.Fatalf("range [%d,%d): rss %v != brute %v", lo, hi, rss, want)
+		}
+	}
+}
+
+func TestBottomUpExactLineMergesToOne(t *testing.T) {
+	segs := BottomUp(line(64, 0.5, 1), 1e-9)
+	if len(segs) != 1 {
+		t.Fatalf("exact line split into %d segments", len(segs))
+	}
+	if segs[0].Points != 64 {
+		t.Fatalf("segment covers %d points", segs[0].Points)
+	}
+}
+
+func TestBottomUpVSignal(t *testing.T) {
+	var pts []core.Point
+	for j := 0; j < 40; j++ {
+		t := float64(j)
+		pts = append(pts, core.Point{T: t, X: []float64{math.Abs(t - 20)}})
+	}
+	segs := BottomUp(pts, 0.5)
+	if len(segs) != 2 {
+		t.Fatalf("V signal: %d segments, want 2", len(segs))
+	}
+	// The knee should be near t=20.
+	if segs[0].T1 < 18 || segs[1].T0 > 22 {
+		t.Fatalf("knee misplaced: %v | %v", segs[0].T1, segs[1].T0)
+	}
+}
+
+func TestBottomUpRespectsThreshold(t *testing.T) {
+	pts := gen.RandomWalk(gen.WalkConfig{N: 200, P: 0.5, MaxDelta: 2, Seed: 8})
+	const maxErr = 4.0
+	segs := BottomUp(pts, maxErr)
+	p := newPrefix(pts)
+	lo := 0
+	for _, s := range segs {
+		hi := lo + s.Points
+		if c := p.cost(lo, hi); c > maxErr+1e-9 {
+			t.Fatalf("segment [%d,%d) has cost %v > %v", lo, hi, c, maxErr)
+		}
+		lo = hi
+	}
+	if lo != len(pts) {
+		t.Fatalf("segments cover %d of %d points", lo, len(pts))
+	}
+}
+
+func TestBottomUpCoverageAndOrder(t *testing.T) {
+	pts := gen.SSTLike(300, 7)
+	segs := BottomUp(pts, 0.02)
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	total := 0
+	for k, s := range segs {
+		total += s.Points
+		if k > 0 && s.T0 <= segs[k-1].T0 {
+			t.Fatal("segments out of order")
+		}
+	}
+	if total != len(pts) {
+		t.Fatalf("covered %d of %d points", total, len(pts))
+	}
+}
+
+func TestBottomUpEmptyAndTiny(t *testing.T) {
+	if segs := BottomUp(nil, 1); segs != nil {
+		t.Fatal("empty input")
+	}
+	one := BottomUp(line(1, 0, 5), 1)
+	if len(one) != 1 || one[0].Points != 1 {
+		t.Fatalf("single point: %+v", one)
+	}
+	two := BottomUp(line(2, 1, 0), 1)
+	if len(two) != 1 || two[0].Points != 2 {
+		t.Fatalf("two points: %+v", two)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	mk := func() (core.Filter, error) { return core.NewSwing([]float64{1}) }
+	if _, err := New(Config{MaxError: 1}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("missing NewFilter: %v", err)
+	}
+	if _, err := New(Config{MaxError: -1, NewFilter: mk}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("negative MaxError: %v", err)
+	}
+	if _, err := New(Config{MaxError: 1, BufferSegments: 1, NewFilter: mk}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("tiny buffer: %v", err)
+	}
+	s, err := New(Config{MaxError: 1, NewFilter: mk})
+	if err != nil || s == nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+// TestSWABOnline runs the online segmenter over a piecewise-linear signal
+// with noise and checks coverage, ordering, and that results arrive
+// online (before Finish).
+func TestSWABOnline(t *testing.T) {
+	rng := gen.NewRNG(3)
+	var pts []core.Point
+	v, slope := 0.0, 0.4
+	for j := 0; j < 600; j++ {
+		if j%120 == 0 {
+			slope = -slope + 0.1*rng.NormFloat64()
+		}
+		v += slope
+		pts = append(pts, core.Point{T: float64(j), X: []float64{v + 0.05*rng.NormFloat64()}})
+	}
+	s, err := New(Config{
+		MaxError:  0.08,
+		NewFilter: func() (core.Filter, error) { return core.NewSlide([]float64{0.4}) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var online, all []core.Segment
+	for _, p := range pts {
+		out, err := s.Push(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		online = append(online, out...)
+	}
+	all = append(all, online...)
+	tail, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	all = append(all, tail...)
+
+	if len(online) == 0 {
+		t.Fatal("SWAB emitted nothing before Finish; not online")
+	}
+	total := 0
+	for k, seg := range all {
+		total += seg.Points
+		if k > 0 && seg.T0 <= all[k-1].T0 {
+			t.Fatal("segments out of order")
+		}
+	}
+	if total != len(pts) {
+		t.Fatalf("covered %d of %d points", total, len(pts))
+	}
+	if _, err := s.Push(pts[0]); !errors.Is(err, ErrFinished) {
+		t.Fatalf("push after finish: %v", err)
+	}
+	if _, err := s.Finish(); !errors.Is(err, ErrFinished) {
+		t.Fatalf("double finish: %v", err)
+	}
+}
+
+// TestSWABInnerFilterChoices runs SWAB with each read-ahead filter the
+// paper suggests and compares segment counts loosely.
+func TestSWABInnerFilterChoices(t *testing.T) {
+	pts := gen.SSTLike(500, 11)
+	for _, mk := range []struct {
+		name string
+		f    func() (core.Filter, error)
+	}{
+		{"linear", func() (core.Filter, error) { return core.NewLinear([]float64{0.05}) }},
+		{"swing", func() (core.Filter, error) { return core.NewSwing([]float64{0.05}) }},
+		{"slide", func() (core.Filter, error) { return core.NewSlide([]float64{0.05}) }},
+	} {
+		s, err := New(Config{MaxError: 0.05, NewFilter: mk.f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []core.Segment
+		for _, p := range pts {
+			out, err := s.Push(p)
+			if err != nil {
+				t.Fatalf("%s: %v", mk.name, err)
+			}
+			all = append(all, out...)
+		}
+		tail, err := s.Finish()
+		if err != nil {
+			t.Fatalf("%s: %v", mk.name, err)
+		}
+		all = append(all, tail...)
+		total := 0
+		for _, seg := range all {
+			total += seg.Points
+		}
+		if total != len(pts) {
+			t.Fatalf("%s: covered %d of %d points", mk.name, total, len(pts))
+		}
+	}
+}
+
+func TestMultiDimBottomUp(t *testing.T) {
+	pts := gen.MultiWalk(gen.MultiWalkConfig{
+		WalkConfig: gen.WalkConfig{N: 120, P: 0.5, MaxDelta: 1, Seed: 13},
+		Dims:       3,
+	})
+	segs := BottomUp(pts, 6)
+	total := 0
+	for _, s := range segs {
+		if s.Dim() != 3 {
+			t.Fatal("dim lost")
+		}
+		total += s.Points
+	}
+	if total != len(pts) {
+		t.Fatalf("covered %d of %d", total, len(pts))
+	}
+}

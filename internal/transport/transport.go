@@ -1,0 +1,192 @@
+// Package transport streams a filtered signal from a transmitter to a
+// receiver over any io.Writer/io.Reader pair (a net.Conn, an io.Pipe, a
+// file) — the live half of the paper's monitoring scenario (Section 1):
+// the sensor pushes raw samples into a Transmitter, only recordings cross
+// the link, and the Receiver maintains a queryable model that is always
+// within ε of every sample the transmitter has resolved.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/encode"
+)
+
+// ErrClosed reports use of a closed transmitter.
+var ErrClosed = errors.New("transport: transmitter closed")
+
+// Transmitter pushes samples through a filter and ships every finalized
+// segment over the wire immediately (one flush per batch of segments).
+// It is not safe for concurrent use; one goroutine owns a transmitter.
+type Transmitter struct {
+	f      core.Filter
+	enc    *encode.Encoder
+	closed bool
+}
+
+// NewTransmitter writes the stream header for f's precision contract and
+// returns a transmitter. constant must be set when f is a cache filter.
+func NewTransmitter(w io.Writer, f core.Filter) (*Transmitter, error) {
+	_, constant := f.(*core.Cache)
+	enc, err := encode.NewEncoder(w, f.Epsilon(), constant)
+	if err != nil {
+		return nil, err
+	}
+	if err := enc.Flush(); err != nil { // make the header visible now
+		return nil, err
+	}
+	return &Transmitter{f: f, enc: enc}, nil
+}
+
+// Send consumes one sample; any segments the filter finalizes are written
+// and flushed before Send returns.
+func (t *Transmitter) Send(p core.Point) error {
+	if t.closed {
+		return ErrClosed
+	}
+	segs, err := t.f.Push(p)
+	if err != nil {
+		return err
+	}
+	return t.ship(segs)
+}
+
+// Close finishes the filter, ships the final segments and the stream
+// terminator, and flushes.
+func (t *Transmitter) Close() error {
+	if t.closed {
+		return ErrClosed
+	}
+	segs, err := t.f.Finish()
+	if err != nil {
+		return err
+	}
+	if err := t.ship(segs); err != nil {
+		return err
+	}
+	t.closed = true
+	return t.enc.Close()
+}
+
+// Stats exposes the underlying filter's counters.
+func (t *Transmitter) Stats() core.Stats { return t.f.Stats() }
+
+// BytesSent returns the bytes flushed to the wire so far.
+func (t *Transmitter) BytesSent() int64 { return t.enc.BytesWritten() }
+
+func (t *Transmitter) ship(segs []core.Segment) error {
+	if len(segs) == 0 {
+		return nil
+	}
+	for _, s := range segs {
+		if err := t.enc.WriteSegment(s); err != nil {
+			return err
+		}
+	}
+	return t.enc.Flush()
+}
+
+// Receiver incrementally decodes a transmitted stream and maintains a
+// live, queryable model. Run consumes the wire; At/Segments may be called
+// concurrently from other goroutines at any time.
+type Receiver struct {
+	dec *encode.Decoder
+
+	mu   sync.RWMutex
+	segs []core.Segment
+	err  error
+	done bool
+}
+
+// NewReceiver reads and validates the stream header. It blocks until the
+// header bytes arrive.
+func NewReceiver(r io.Reader) (*Receiver, error) {
+	dec, err := encode.NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Receiver{dec: dec}, nil
+}
+
+// Epsilon returns the per-dimension precision contract from the header.
+func (r *Receiver) Epsilon() []float64 { return r.dec.Epsilon() }
+
+// Dim returns the stream dimensionality.
+func (r *Receiver) Dim() int { return r.dec.Dim() }
+
+// Run consumes segments until the stream terminator (returning nil) or a
+// decode error (returning it). Call it from its own goroutine for live
+// operation; Wait-style synchronisation is the caller's (a channel around
+// Run's return suffices).
+func (r *Receiver) Run() error {
+	for {
+		seg, err := r.dec.Next()
+		if err == io.EOF {
+			r.mu.Lock()
+			r.done = true
+			r.mu.Unlock()
+			return nil
+		}
+		if err != nil {
+			r.mu.Lock()
+			r.err = fmt.Errorf("transport: receive: %w", err)
+			r.done = true
+			err = r.err
+			r.mu.Unlock()
+			return err
+		}
+		r.mu.Lock()
+		r.segs = append(r.segs, seg)
+		r.mu.Unlock()
+	}
+}
+
+// Done reports whether the stream has ended, and with what error.
+func (r *Receiver) Done() (bool, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.done, r.err
+}
+
+// Segments returns a snapshot of the segments received so far.
+func (r *Receiver) Segments() []core.Segment {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]core.Segment(nil), r.segs...)
+}
+
+// Len returns the number of segments received so far.
+func (r *Receiver) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.segs)
+}
+
+// At evaluates the live model at time t, reporting false while t is not
+// yet (or never) covered.
+func (r *Receiver) At(t float64) ([]float64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	i := sort.Search(len(r.segs), func(j int) bool { return r.segs[j].T0 > t }) - 1
+	if i < 0 {
+		return nil, false
+	}
+	seg := r.segs[i]
+	if t > seg.T1 {
+		if i > 0 && t >= r.segs[i-1].T0 && t <= r.segs[i-1].T1 {
+			seg = r.segs[i-1]
+		} else {
+			return nil, false
+		}
+	}
+	out := make([]float64, seg.Dim())
+	for d := range out {
+		out[d] = seg.At(d, t)
+	}
+	return out, true
+}

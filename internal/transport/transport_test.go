@@ -1,0 +1,249 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/gen"
+	"github.com/pla-go/pla/internal/recon"
+)
+
+// runLink wires a transmitter to a receiver over the given pipe ends,
+// streams signal through filter f, and returns the receiver's final
+// segments.
+func runLink(t *testing.T, w io.WriteCloser, r io.Reader, f core.Filter, signal []core.Point) []core.Segment {
+	t.Helper()
+	type result struct {
+		rx  *Receiver
+		err error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		rx, err := NewReceiver(r)
+		if err != nil {
+			resCh <- result{nil, err}
+			return
+		}
+		resCh <- result{rx, rx.Run()}
+	}()
+
+	tx, err := NewTransmitter(w, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range signal {
+		if err := tx.Send(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	res := <-resCh
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	done, rerr := res.rx.Done()
+	if !done || rerr != nil {
+		t.Fatalf("receiver not done cleanly: %v %v", done, rerr)
+	}
+	return res.rx.Segments()
+}
+
+func TestLiveLinkOverIOPipe(t *testing.T) {
+	pr, pw := io.Pipe()
+	signal := gen.SeaSurfaceTemperature()
+	eps := []float64{0.05}
+	f, _ := core.NewSlide(eps)
+	segs := runLink(t, pw, pr, f, signal)
+
+	model, err := recon.NewModel(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recon.CheckPrecision(signal, model, eps, 1e-6); err != nil {
+		t.Fatalf("receiver-side guarantee broken: %v", err)
+	}
+}
+
+func TestLiveLinkOverTCPLikeConn(t *testing.T) {
+	c1, c2 := net.Pipe()
+	signal := gen.RandomWalk(gen.WalkConfig{N: 2000, P: 0.5, MaxDelta: 2, Seed: 6})
+	eps := []float64{1}
+	f, _ := core.NewSwing(eps)
+	segs := runLink(t, c1, c2, f, signal)
+	model, err := recon.NewModel(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recon.CheckPrecision(signal, model, eps, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheFilterLink(t *testing.T) {
+	pr, pw := io.Pipe()
+	signal := gen.Steps(400, 20, 8, 3)
+	f, _ := core.NewCache([]float64{0.5})
+	segs := runLink(t, pw, pr, f, signal)
+	if len(segs) == 0 {
+		t.Fatal("no segments received")
+	}
+	for _, s := range segs {
+		if s.X0[0] != s.X1[0] {
+			t.Fatal("constant stream carried a sloped segment")
+		}
+	}
+}
+
+// TestMidStreamQueries verifies the receiver serves consistent reads
+// while segments are still arriving.
+func TestMidStreamQueries(t *testing.T) {
+	pr, pw := io.Pipe()
+	signal := gen.SSTLike(1500, 9)
+	eps := []float64{0.1}
+	f, _ := core.NewSwing(eps)
+
+	rxReady := make(chan *Receiver, 1)
+	rxDone := make(chan error, 1)
+	go func() {
+		rx, err := NewReceiver(pr)
+		if err != nil {
+			rxReady <- nil
+			rxDone <- err
+			return
+		}
+		rxReady <- rx
+		rxDone <- rx.Run()
+	}()
+
+	tx, err := NewTransmitter(pw, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := <-rxReady
+	if rx == nil {
+		t.Fatal(<-rxDone)
+	}
+	if rx.Dim() != 1 || rx.Epsilon()[0] != 0.1 {
+		t.Fatalf("header: dim=%d eps=%v", rx.Dim(), rx.Epsilon())
+	}
+
+	queried := 0
+	for i, p := range signal {
+		if err := tx.Send(p); err != nil {
+			t.Fatal(err)
+		}
+		if i%100 == 0 && rx.Len() > 0 {
+			// Query a time the receiver already covers; it must be within
+			// ε of the original sample there.
+			segs := rx.Segments()
+			tq := segs[len(segs)-1].T1
+			x, ok := rx.At(tq)
+			if !ok {
+				t.Fatalf("live At(%v) uncovered despite %d segments", tq, len(segs))
+			}
+			orig := sampleAt(signal, tq)
+			if orig != nil && math.Abs(x[0]-orig[0]) > 0.1+1e-9 {
+				t.Fatalf("live read at %v strayed: %v vs %v", tq, x[0], orig[0])
+			}
+			queried++
+		}
+	}
+	if err := tx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if err := <-rxDone; err != nil {
+		t.Fatal(err)
+	}
+	if queried == 0 {
+		t.Fatal("no live queries exercised")
+	}
+	if tx.BytesSent() == 0 || tx.Stats().Points != len(signal) {
+		t.Fatalf("tx stats: bytes=%d points=%d", tx.BytesSent(), tx.Stats().Points)
+	}
+}
+
+func sampleAt(signal []core.Point, t float64) []float64 {
+	for _, p := range signal {
+		if p.T == t {
+			return p.X
+		}
+	}
+	return nil
+}
+
+func TestTransmitterClosed(t *testing.T) {
+	pr, pw := io.Pipe()
+	go io.Copy(io.Discard, pr)
+	f, _ := core.NewSwing([]float64{1})
+	tx, err := NewTransmitter(pw, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Send(core.Point{T: 0, X: []float64{0}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+	if err := tx.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestReceiverErrorOnCorruptStream(t *testing.T) {
+	pr, pw := io.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		rx, err := NewReceiver(pr)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		errCh <- rx.Run()
+	}()
+	f, _ := core.NewSwing([]float64{1})
+	tx, err := NewTransmitter(pw, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tx
+	// Inject garbage mid-stream.
+	if _, err := pw.Write([]byte{0xFF, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("corrupt stream accepted")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("receiver hung on corrupt stream")
+	}
+}
+
+func TestTransmitterPropagatesFilterErrors(t *testing.T) {
+	pr, pw := io.Pipe()
+	go io.Copy(io.Discard, pr)
+	f, _ := core.NewSwing([]float64{1})
+	tx, err := NewTransmitter(pw, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Send(core.Point{T: 1, X: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Send(core.Point{T: 1, X: []float64{0}}); !errors.Is(err, core.ErrTimeOrder) {
+		t.Fatalf("want ErrTimeOrder, got %v", err)
+	}
+}

@@ -1,0 +1,164 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// AggregateResult is a statistic of the reconstructed signal over a time
+// range, with the deterministic band implied by the series' precision
+// contract: because every original sample lies within ε of the
+// reconstruction at its timestamp, the same statistic computed over the
+// original samples in the range is guaranteed to lie within
+// [Value−Epsilon, Value+Epsilon] — up to the difference between the
+// continuous reconstruction and its values at the (unstored) sample
+// times, which is zero for Min/Max bounds of covered samples and for
+// Mean when sampling was uniform and dense relative to the segments.
+type AggregateResult struct {
+	// Value is the statistic of the continuous reconstruction.
+	Value float64
+	// Epsilon is the series' precision width in the queried dimension.
+	Epsilon float64
+	// Covered is the total time the statistic integrates over (gaps
+	// between disconnected segments are excluded).
+	Covered float64
+	// Segments is the number of segments that contributed.
+	Segments int
+}
+
+// Min returns the minimum of the reconstruction in dimension dim over
+// [t0, t1]. Any original sample in the range is ≥ Value − Epsilon.
+func (s *Series) Min(dim int, t0, t1 float64) (AggregateResult, error) {
+	return s.extremum(dim, t0, t1, false)
+}
+
+// Max returns the maximum of the reconstruction in dimension dim over
+// [t0, t1]. Any original sample in the range is ≤ Value + Epsilon.
+func (s *Series) Max(dim int, t0, t1 float64) (AggregateResult, error) {
+	return s.extremum(dim, t0, t1, true)
+}
+
+func (s *Series) extremum(dim int, t0, t1 float64, max bool) (AggregateResult, error) {
+	if err := s.checkQuery(dim, t0, t1); err != nil {
+		return AggregateResult{}, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res := AggregateResult{Epsilon: s.eps[dim]}
+	best := math.Inf(1)
+	if max {
+		best = math.Inf(-1)
+	}
+	for _, seg := range s.segs {
+		if seg.T1 < t0 {
+			continue
+		}
+		if seg.T0 > t1 {
+			break
+		}
+		lo, hi := math.Max(seg.T0, t0), math.Min(seg.T1, t1)
+		if hi < lo {
+			continue
+		}
+		// A line's extremum over an interval is at an endpoint.
+		a, b := seg.At(dim, lo), seg.At(dim, hi)
+		res.Covered += hi - lo
+		res.Segments++
+		if max {
+			best = math.Max(best, math.Max(a, b))
+		} else {
+			best = math.Min(best, math.Min(a, b))
+		}
+	}
+	if res.Segments == 0 {
+		return res, fmt.Errorf("%w: no data in [%v, %v]", ErrRange, t0, t1)
+	}
+	res.Value = best
+	return res, nil
+}
+
+// Mean returns the time-weighted mean of the reconstruction in dimension
+// dim over [t0, t1] (the integral of the piece-wise linear function over
+// the covered time, divided by the covered time).
+func (s *Series) Mean(dim int, t0, t1 float64) (AggregateResult, error) {
+	if err := s.checkQuery(dim, t0, t1); err != nil {
+		return AggregateResult{}, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res := AggregateResult{Epsilon: s.eps[dim]}
+	integral := 0.0
+	for _, seg := range s.segs {
+		if seg.T1 < t0 {
+			continue
+		}
+		if seg.T0 > t1 {
+			break
+		}
+		lo, hi := math.Max(seg.T0, t0), math.Min(seg.T1, t1)
+		if hi < lo {
+			continue
+		}
+		span := hi - lo
+		if span == 0 && seg.T0 != seg.T1 {
+			continue // grazing contact contributes nothing
+		}
+		res.Segments++
+		if span == 0 {
+			// Degenerate single-point segment: count it as an instant
+			// observation with zero measure; it cannot move the mean.
+			continue
+		}
+		// ∫ of a line over [lo, hi] = trapezoid.
+		integral += span * (seg.At(dim, lo) + seg.At(dim, hi)) / 2
+		res.Covered += span
+	}
+	if res.Segments == 0 {
+		return res, fmt.Errorf("%w: no data in [%v, %v]", ErrRange, t0, t1)
+	}
+	if res.Covered > 0 {
+		res.Value = integral / res.Covered
+	}
+	return res, nil
+}
+
+func (s *Series) checkQuery(dim int, t0, t1 float64) error {
+	if dim < 0 || dim >= len(s.eps) {
+		return fmt.Errorf("%w: dim %d of %d", ErrDim, dim, len(s.eps))
+	}
+	if t1 < t0 || math.IsNaN(t0) || math.IsNaN(t1) {
+		return ErrRange
+	}
+	return nil
+}
+
+// SeriesStats summarises a stored series.
+type SeriesStats struct {
+	Name       string
+	Dim        int
+	Segments   int
+	Recordings int
+	Points     int
+	Ratio      float64 // points per recording
+}
+
+// Stats returns the series' storage summary.
+func (s *Series) Stats() SeriesStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec := core.CountRecordings(s.segs, s.constant)
+	ratio := 0.0
+	if rec > 0 {
+		ratio = float64(s.points) / float64(rec)
+	}
+	return SeriesStats{
+		Name:       s.name,
+		Dim:        len(s.eps),
+		Segments:   len(s.segs),
+		Recordings: rec,
+		Points:     s.points,
+		Ratio:      ratio,
+	}
+}

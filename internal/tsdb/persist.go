@@ -1,0 +1,166 @@
+package tsdb
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/encode"
+)
+
+// Archive container format (little endian):
+//
+//	magic "PLAA" | uvarint seriesCount
+//	per series: uvarint nameLen | name bytes | uvarint points |
+//	            uvarint blobLen | blob (the encode wire format, which
+//	            already carries dim, ε and the constant flag)
+
+const archiveMagic = "PLAA"
+
+// WriteTo serialises the whole archive. It returns the number of bytes
+// written.
+func (a *Archive) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.WriteString(archiveMagic)); err != nil {
+		return n, err
+	}
+	names := a.Names()
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		k := binary.PutUvarint(tmp[:], v)
+		return count(bw.Write(tmp[:k]))
+	}
+	if err := putUvarint(uint64(len(names))); err != nil {
+		return n, err
+	}
+	for _, name := range names {
+		s, err := a.Get(name)
+		if err != nil {
+			return n, err
+		}
+		s.mu.RLock()
+		segs := append([]core.Segment(nil), s.segs...)
+		eps := s.eps
+		constant := s.constant
+		points := s.points
+		s.mu.RUnlock()
+
+		var blob writeCounter
+		if _, err := encode.EncodeAll(&blob, eps, constant, segs); err != nil {
+			return n, err
+		}
+		if err := putUvarint(uint64(len(name))); err != nil {
+			return n, err
+		}
+		if err := count(bw.WriteString(name)); err != nil {
+			return n, err
+		}
+		if err := putUvarint(uint64(points)); err != nil {
+			return n, err
+		}
+		if err := putUvarint(uint64(len(blob.buf))); err != nil {
+			return n, err
+		}
+		if err := count(bw.Write(blob.buf)); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+type writeCounter struct{ buf []byte }
+
+func (w *writeCounter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+// ReadArchive deserialises an archive written by WriteTo.
+func ReadArchive(r io.Reader) (*Archive, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(archiveMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrFormat, err)
+	}
+	if string(head) != archiveMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, head)
+	}
+	nSeries, err := binary.ReadUvarint(br)
+	if err != nil || nSeries > 1<<24 {
+		return nil, fmt.Errorf("%w: bad series count", ErrFormat)
+	}
+	a := New()
+	for i := uint64(0); i < nSeries; i++ {
+		nameLen, err := binary.ReadUvarint(br)
+		if err != nil || nameLen > 1<<16 {
+			return nil, fmt.Errorf("%w: bad name length", ErrFormat)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("%w: truncated name: %v", ErrFormat, err)
+		}
+		points, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad point count", ErrFormat)
+		}
+		blobLen, err := binary.ReadUvarint(br)
+		if err != nil || blobLen > 1<<34 {
+			return nil, fmt.Errorf("%w: bad blob length", ErrFormat)
+		}
+		blob := make([]byte, blobLen)
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return nil, fmt.Errorf("%w: truncated blob: %v", ErrFormat, err)
+		}
+		dec, err := encode.NewDecoder(bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("%w: series %q: %v", ErrFormat, name, err)
+		}
+		segs, err := encode.ReadAll(dec)
+		if err != nil {
+			return nil, fmt.Errorf("%w: series %q: %v", ErrFormat, name, err)
+		}
+		s, err := a.Create(string(name), dec.Epsilon(), dec.Constant())
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Append(segs...); err != nil {
+			return nil, fmt.Errorf("%w: series %q: %v", ErrFormat, name, err)
+		}
+		s.mu.Lock()
+		s.points = int(points)
+		s.mu.Unlock()
+	}
+	return a, nil
+}
+
+// SaveFile writes the archive to path, replacing any existing file.
+func (a *Archive) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := a.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads an archive from path.
+func LoadFile(path string) (*Archive, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadArchive(f)
+}

@@ -1,0 +1,261 @@
+// Package tsdb is a compact time-series archive built directly on
+// piece-wise linear segments — the "repository" half of the paper's
+// motivation (Section 1): monitoring data is filtered at the edge and
+// stored as segments, not samples, for later offline analysis.
+//
+// Because every original sample is guaranteed to lie within ε of the
+// stored approximation, the archive can answer range queries and
+// aggregates with deterministic error bounds instead of exact values:
+// AggregateResult carries both the estimate (computed analytically over
+// the line segments) and the ±ε band that is guaranteed to contain the
+// corresponding statistic of the reconstruction evaluated at any sample
+// times.
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// Errors returned by the archive.
+var (
+	// ErrExists reports a series created twice.
+	ErrExists = errors.New("tsdb: series already exists")
+	// ErrUnknown reports an operation on a missing series.
+	ErrUnknown = errors.New("tsdb: unknown series")
+	// ErrOrder reports segments appended out of time order.
+	ErrOrder = errors.New("tsdb: segments out of time order")
+	// ErrDim reports mismatched dimensionality.
+	ErrDim = errors.New("tsdb: dimensionality mismatch")
+	// ErrRange reports an invalid query range.
+	ErrRange = errors.New("tsdb: invalid time range")
+	// ErrFormat reports a malformed archive file.
+	ErrFormat = errors.New("tsdb: malformed archive")
+)
+
+// Archive holds many named series. It is safe for concurrent use.
+// Create one with New.
+type Archive struct {
+	mu     sync.RWMutex
+	series map[string]*Series
+}
+
+// New returns an empty archive.
+func New() *Archive {
+	return &Archive{series: make(map[string]*Series)}
+}
+
+// Series is one stored stream: ordered segments plus the precision
+// contract they were produced under.
+type Series struct {
+	mu       sync.RWMutex
+	name     string
+	eps      []float64
+	constant bool
+	segs     []core.Segment
+	points   int // original samples represented
+}
+
+// Create adds an empty series with the given precision contract.
+// constant marks piece-wise constant (cache filter) data.
+func (a *Archive) Create(name string, eps []float64, constant bool) (*Series, error) {
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("%w: empty epsilon", ErrDim)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.series[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	s := &Series{name: name, eps: append([]float64(nil), eps...), constant: constant}
+	a.series[name] = s
+	return s, nil
+}
+
+// Get returns a series by name.
+func (a *Archive) Get(name string) (*Series, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	s, ok := a.series[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	return s, nil
+}
+
+// Drop removes a series.
+func (a *Archive) Drop(name string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.series[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	delete(a.series, name)
+	return nil
+}
+
+// Names returns the sorted series names.
+func (a *Archive) Names() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]string, 0, len(a.series))
+	for n := range a.series {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ingest filters a signal with f and stores the resulting segments under
+// name (creating the series with f's precision contract). It returns the
+// stored series.
+func (a *Archive) Ingest(name string, f core.Filter, signal []core.Point) (*Series, error) {
+	_, constant := f.(*core.Cache)
+	s, err := a.Create(name, f.Epsilon(), constant)
+	if err != nil {
+		return nil, err
+	}
+	segs, err := core.Run(f, signal)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Append(segs...); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.points = f.Stats().Points
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Epsilon returns the series' precision contract (do not modify).
+func (s *Series) Epsilon() []float64 { return s.eps }
+
+// Constant reports whether the series holds piece-wise constant data.
+func (s *Series) Constant() bool { return s.constant }
+
+// Dim returns the series dimensionality.
+func (s *Series) Dim() int { return len(s.eps) }
+
+// Append stores segments, which must arrive in time order and match the
+// series dimensionality.
+func (s *Series) Append(segs ...core.Segment) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, seg := range segs {
+		if seg.Dim() != len(s.eps) || len(seg.X1) != len(s.eps) {
+			return fmt.Errorf("%w: segment dim %d, series dim %d", ErrDim, seg.Dim(), len(s.eps))
+		}
+		if seg.T1 < seg.T0 {
+			return fmt.Errorf("%w: segment ends before it starts", ErrOrder)
+		}
+		if n := len(s.segs); n > 0 && seg.T0 < s.segs[n-1].T0 {
+			return fmt.Errorf("%w: segment at %v after segment at %v", ErrOrder, seg.T0, s.segs[n-1].T0)
+		}
+		s.segs = append(s.segs, seg)
+		s.points += seg.Points
+	}
+	return nil
+}
+
+// Segments returns a copy of the stored segments.
+func (s *Series) Segments() []core.Segment {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]core.Segment(nil), s.segs...)
+}
+
+// Len returns the number of stored segments.
+func (s *Series) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.segs)
+}
+
+// Span returns the covered time span.
+func (s *Series) Span() (t0, t1 float64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.segs) == 0 {
+		return 0, 0, false
+	}
+	t0 = s.segs[0].T0
+	for _, seg := range s.segs {
+		if seg.T1 > t1 {
+			t1 = seg.T1
+		}
+	}
+	return t0, t1, true
+}
+
+// locate returns the index of a segment covering t, or -1.
+func (s *Series) locate(t float64) int {
+	i := sort.Search(len(s.segs), func(j int) bool { return s.segs[j].T0 > t }) - 1
+	if i < 0 {
+		return -1
+	}
+	if t <= s.segs[i].T1 {
+		return i
+	}
+	if i > 0 && t >= s.segs[i-1].T0 && t <= s.segs[i-1].T1 {
+		return i - 1
+	}
+	return -1
+}
+
+// At evaluates the series at time t, reporting whether t is covered.
+func (s *Series) At(t float64) ([]float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i := s.locate(t)
+	if i < 0 {
+		return nil, false
+	}
+	out := make([]float64, len(s.eps))
+	for d := range out {
+		out[d] = s.segs[i].At(d, t)
+	}
+	return out, true
+}
+
+// Scan returns the stored segments overlapping [t0, t1].
+func (s *Series) Scan(t0, t1 float64) ([]core.Segment, error) {
+	if t1 < t0 || math.IsNaN(t0) || math.IsNaN(t1) {
+		return nil, ErrRange
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []core.Segment
+	for _, seg := range s.segs {
+		if seg.T1 >= t0 && seg.T0 <= t1 {
+			out = append(out, seg)
+		}
+		if seg.T0 > t1 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Sample reconstructs points at times t0, t0+dt, … up to t1 (inclusive),
+// skipping uncovered times.
+func (s *Series) Sample(t0, t1, dt float64) ([]core.Point, error) {
+	if t1 < t0 || dt <= 0 || math.IsNaN(t0) || math.IsNaN(t1) || math.IsNaN(dt) {
+		return nil, ErrRange
+	}
+	var out []core.Point
+	for t := t0; t <= t1+1e-12; t += dt {
+		if x, ok := s.At(t); ok {
+			out = append(out, core.Point{T: t, X: x})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,337 @@
+package tsdb
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/gen"
+)
+
+func ingestSST(t *testing.T, a *Archive, name string, eps float64) (*Series, []core.Point) {
+	t.Helper()
+	signal := gen.SeaSurfaceTemperature()
+	f, err := core.NewSlide([]float64{eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := a.Ingest(name, f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, signal
+}
+
+func TestCreateGetDrop(t *testing.T) {
+	a := New()
+	if _, err := a.Create("x", nil, false); !errors.Is(err, ErrDim) {
+		t.Fatalf("empty eps: %v", err)
+	}
+	if _, err := a.Create("x", []float64{1}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Create("x", []float64{1}, false); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if _, err := a.Get("y"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("missing get: %v", err)
+	}
+	if err := a.Drop("y"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("missing drop: %v", err)
+	}
+	if err := a.Drop("x"); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Names()) != 0 {
+		t.Fatal("drop did not remove")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	a := New()
+	s, _ := a.Create("s", []float64{1}, false)
+	x := []float64{0}
+	if err := s.Append(core.Segment{T0: 0, T1: 1, X0: []float64{0, 0}, X1: []float64{0, 0}}); !errors.Is(err, ErrDim) {
+		t.Fatalf("dim: %v", err)
+	}
+	if err := s.Append(core.Segment{T0: 2, T1: 1, X0: x, X1: x}); !errors.Is(err, ErrOrder) {
+		t.Fatalf("backwards: %v", err)
+	}
+	if err := s.Append(
+		core.Segment{T0: 0, T1: 1, X0: x, X1: x},
+		core.Segment{T0: 2, T1: 3, X0: x, X1: x},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(core.Segment{T0: 1, T1: 5, X0: x, X1: x}); !errors.Is(err, ErrOrder) {
+		t.Fatalf("out of order: %v", err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestIngestAndAt(t *testing.T) {
+	a := New()
+	s, signal := ingestSST(t, a, "sst", 0.05)
+	if s.Dim() != 1 || s.Constant() {
+		t.Fatalf("series meta wrong: dim=%d constant=%v", s.Dim(), s.Constant())
+	}
+	// Every original sample is within ε of the archived reconstruction.
+	for _, p := range signal {
+		x, ok := s.At(p.T)
+		if !ok {
+			t.Fatalf("t=%v uncovered", p.T)
+		}
+		if math.Abs(x[0]-p.X[0]) > 0.05+1e-9 {
+			t.Fatalf("archive strayed at t=%v: %v vs %v", p.T, x[0], p.X[0])
+		}
+	}
+	if _, ok := s.At(-5); ok {
+		t.Fatal("covered before start?")
+	}
+	st := s.Stats()
+	if st.Points != len(signal) || st.Ratio <= 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestScan(t *testing.T) {
+	a := New()
+	s, _ := ingestSST(t, a, "sst", 0.05)
+	t0, t1, ok := s.Span()
+	if !ok || t1 <= t0 {
+		t.Fatalf("span = %v %v %v", t0, t1, ok)
+	}
+	mid0, mid1 := t0+(t1-t0)/4, t0+(t1-t0)/2
+	segs, err := s.Scan(mid0, mid1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("empty scan of a covered range")
+	}
+	for _, seg := range segs {
+		if seg.T1 < mid0 || seg.T0 > mid1 {
+			t.Fatalf("scan returned non-overlapping segment %+v", seg)
+		}
+	}
+	all, err := s.Scan(t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != s.Len() {
+		t.Fatalf("full scan returned %d of %d", len(all), s.Len())
+	}
+	if _, err := s.Scan(5, 1); !errors.Is(err, ErrRange) {
+		t.Fatalf("bad range: %v", err)
+	}
+}
+
+func TestSample(t *testing.T) {
+	a := New()
+	s, _ := a.Create("lin", []float64{1}, false)
+	if err := s.Append(core.Segment{T0: 0, T1: 10, X0: []float64{0}, X1: []float64{10}}); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := s.Sample(0, 10, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 || pts[2].X[0] != 5 {
+		t.Fatalf("sample = %+v", pts)
+	}
+	if _, err := s.Sample(0, 10, 0); !errors.Is(err, ErrRange) {
+		t.Fatalf("zero dt: %v", err)
+	}
+}
+
+func TestAggregatesAgainstOriginalSamples(t *testing.T) {
+	a := New()
+	s, signal := ingestSST(t, a, "sst", 0.05)
+	t0, t1, _ := s.Span()
+
+	mn, err := s.Min(0, t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx, err := s.Max(0, t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := s.Mean(0, t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth from the original samples.
+	trueMin, trueMax, sum := math.Inf(1), math.Inf(-1), 0.0
+	for _, p := range signal {
+		trueMin = math.Min(trueMin, p.X[0])
+		trueMax = math.Max(trueMax, p.X[0])
+		sum += p.X[0]
+	}
+	trueMean := sum / float64(len(signal))
+
+	if trueMin < mn.Value-mn.Epsilon-1e-9 {
+		t.Fatalf("min bound broken: true %v < %v − %v", trueMin, mn.Value, mn.Epsilon)
+	}
+	if trueMax > mx.Value+mx.Epsilon+1e-9 {
+		t.Fatalf("max bound broken: true %v > %v + %v", trueMax, mx.Value, mx.Epsilon)
+	}
+	// The time-weighted mean of the reconstruction tracks the sample mean
+	// within ε plus discretisation slack on this uniformly sampled signal.
+	if math.Abs(mean.Value-trueMean) > mean.Epsilon+0.02 {
+		t.Fatalf("mean off: %v vs true %v (ε=%v)", mean.Value, trueMean, mean.Epsilon)
+	}
+	if mean.Covered <= 0 || mean.Segments != s.Len() {
+		t.Fatalf("mean meta: %+v (segments %d)", mean, s.Len())
+	}
+}
+
+func TestAggregateSubrangeAndErrors(t *testing.T) {
+	a := New()
+	s, _ := a.Create("v", []float64{0.5}, false)
+	if err := s.Append(
+		core.Segment{T0: 0, T1: 10, X0: []float64{0}, X1: []float64{10}},
+		core.Segment{T0: 20, T1: 30, X0: []float64{10}, X1: []float64{0}},
+	); err != nil {
+		t.Fatal(err)
+	}
+	mx, err := s.Max(0, 0, 30)
+	if err != nil || mx.Value != 10 {
+		t.Fatalf("max = %+v, %v", mx, err)
+	}
+	if mx.Covered != 20 {
+		t.Fatalf("covered = %v, want 20 (the gap is excluded)", mx.Covered)
+	}
+	mean, err := s.Mean(0, 0, 30)
+	if err != nil || mean.Value != 5 {
+		t.Fatalf("mean = %+v, %v", mean, err)
+	}
+	sub, err := s.Min(0, 5, 8)
+	if err != nil || sub.Value != 5 {
+		t.Fatalf("sub min = %+v, %v", sub, err)
+	}
+	if _, err := s.Min(2, 0, 1); !errors.Is(err, ErrDim) {
+		t.Fatalf("bad dim: %v", err)
+	}
+	if _, err := s.Mean(0, 5, 1); !errors.Is(err, ErrRange) {
+		t.Fatalf("bad range: %v", err)
+	}
+	if _, err := s.Max(0, 12, 18); !errors.Is(err, ErrRange) {
+		t.Fatalf("gap-only query: %v", err)
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	a := New()
+	_, signal := ingestSST(t, a, "sst", 0.05)
+	walk := gen.RandomWalk(gen.WalkConfig{N: 500, P: 0.5, MaxDelta: 2, Seed: 4})
+	cf, _ := core.NewCache([]float64{1})
+	if _, err := a.Ingest("walk-cache", cf, walk); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	n, err := a.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo returned %d, wrote %d", n, buf.Len())
+	}
+
+	back, err := ReadArchive(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Names(); len(got) != 2 || got[0] != "sst" || got[1] != "walk-cache" {
+		t.Fatalf("names = %v", got)
+	}
+	s2, err := back.Get("sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := a.Get("sst")
+	if s2.Len() != orig.Len() || s2.Stats().Points != len(signal) {
+		t.Fatalf("series meta lost: %+v vs %+v", s2.Stats(), orig.Stats())
+	}
+	for _, p := range signal {
+		x, ok := s2.At(p.T)
+		if !ok || math.Abs(x[0]-p.X[0]) > 0.05+1e-9 {
+			t.Fatalf("reloaded archive strayed at t=%v", p.T)
+		}
+	}
+	wc, err := back.Get("walk-cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wc.Constant() {
+		t.Fatal("constant flag lost through persistence")
+	}
+}
+
+func TestPersistFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "arch.plaa")
+	a := New()
+	ingestSST(t, a, "sst", 0.1)
+	if err := a.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("empty archive file")
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Names()) != 1 {
+		t.Fatalf("names = %v", back.Names())
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReadArchiveRejectsGarbage(t *testing.T) {
+	if _, err := ReadArchive(bytes.NewReader([]byte("XXXX"))); !errors.Is(err, ErrFormat) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	if _, err := ReadArchive(bytes.NewReader(nil)); !errors.Is(err, ErrFormat) {
+		t.Fatalf("empty: %v", err)
+	}
+	// Systematic truncation: no offset may panic, every one must error.
+	a := New()
+	ingestSST(t, a, "sst", 0.2)
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 0; cut < len(raw)-1; cut += 7 {
+		if _, err := ReadArchive(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestSpanEmpty(t *testing.T) {
+	a := New()
+	s, _ := a.Create("e", []float64{1}, false)
+	if _, _, ok := s.Span(); ok {
+		t.Fatal("empty series has a span")
+	}
+	if _, err := s.Min(0, 0, 1); err == nil {
+		t.Fatal("aggregate over empty series succeeded")
+	}
+}

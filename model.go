@@ -1,0 +1,44 @@
+package pla
+
+import (
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/recon"
+	"github.com/pla-go/pla/internal/stream"
+)
+
+// Model is the receiver-side reconstruction of a filtered signal.
+type Model = recon.Model
+
+// ErrorStats summarises reconstruction error per dimension.
+type ErrorStats = recon.ErrorStats
+
+// LagReport describes receiver-update spacing for a filtered stream.
+type LagReport = stream.LagReport
+
+// Reconstruct builds the receiver-side model from a filter's segments.
+func Reconstruct(segs []Segment) (*Model, error) {
+	return recon.NewModel(segs)
+}
+
+// Measure compares the original signal against a reconstruction and
+// returns per-dimension max/mean/RMS errors.
+func Measure(signal []Point, m *Model) ErrorStats {
+	return recon.Measure(signal, m)
+}
+
+// CheckPrecision verifies the paper's guarantee: every sample of signal
+// lies within eps (plus a relative float slack) of the model in every
+// dimension. It returns a descriptive error for the first violation.
+func CheckPrecision(signal []Point, m *Model, eps []float64, slack float64) error {
+	return recon.CheckPrecision(signal, m, eps, slack)
+}
+
+// MeasureLag runs signal through f and reports the spacing, in points,
+// between consecutive receiver updates — the quantity the WithSwingMaxLag
+// and WithSlideMaxLag options bound.
+func MeasureLag(f Filter, signal []Point) (LagReport, error) {
+	return stream.MeasureLag(f, signal)
+}
+
+// ensure the facade types stay assignable to the implementation's.
+var _ core.Filter = (*core.Swing)(nil)

@@ -1,0 +1,159 @@
+package pla_test
+
+import (
+	"bytes"
+	"testing"
+
+	pla "github.com/pla-go/pla"
+)
+
+// TestQuickstartFlow exercises the full public API surface the README
+// advertises: generate → compress → reconstruct → verify → encode →
+// decode.
+func TestQuickstartFlow(t *testing.T) {
+	signal := pla.SeaSurfaceTemperature()
+	lo, hi := pla.SignalRange(signal, 0)
+	eps := []float64{0.01 * (hi - lo)}
+
+	f, err := pla.NewSlideFilter(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := pla.Compress(f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().CompressionRatio() <= 1 {
+		t.Fatalf("ratio = %v", f.Stats().CompressionRatio())
+	}
+	model, err := pla.Reconstruct(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pla.CheckPrecision(signal, model, eps, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	st := pla.Measure(signal, model)
+	if st.MaxAbs[0] > eps[0]*(1+1e-6) {
+		t.Fatalf("max error %v exceeds ε %v", st.MaxAbs[0], eps[0])
+	}
+
+	var buf bytes.Buffer
+	n, err := pla.Encode(&buf, eps, false, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n >= pla.RawSize(len(signal), 1) {
+		t.Fatalf("wire size %d not smaller than raw %d", n, pla.RawSize(len(signal), 1))
+	}
+	back, err := pla.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(segs) {
+		t.Fatalf("decoded %d segments, want %d", len(back), len(segs))
+	}
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	eps := pla.UniformEpsilon(2, 0.5)
+	if len(eps) != 2 || eps[1] != 0.5 {
+		t.Fatalf("eps = %v", eps)
+	}
+	if _, err := pla.NewCacheFilter(eps, pla.WithCacheMode(pla.CacheMean)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pla.NewLinearFilter(eps, pla.WithDisconnectedSegments()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pla.NewSwingFilter(eps, pla.WithSwingMaxLag(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pla.NewSlideFilter(eps, pla.WithSlideMaxLag(10), pla.WithHullOptimization(false)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pla.NewSwingFilter(nil); err == nil {
+		t.Fatal("empty eps accepted")
+	}
+}
+
+func TestFacadeCSVRoundTrip(t *testing.T) {
+	pts := pla.RandomWalk(pla.WalkConfig{N: 50, P: 0.5, MaxDelta: 2, Seed: 1})
+	var buf bytes.Buffer
+	if err := pla.WritePointsCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := pla.ReadPointsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(pts) || back[7].X[0] != pts[7].X[0] {
+		t.Fatal("CSV round trip mismatch")
+	}
+
+	f, _ := pla.NewSwingFilter([]float64{1})
+	segs, err := pla.Compress(f, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb bytes.Buffer
+	if err := pla.WriteSegmentsCSV(&sb, segs); err != nil {
+		t.Fatal(err)
+	}
+	segsBack, err := pla.ReadSegmentsCSV(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segsBack) != len(segs) {
+		t.Fatal("segment CSV round trip mismatch")
+	}
+}
+
+func TestFacadeMeasureLag(t *testing.T) {
+	signal := pla.SSTLike(300, 5)
+	f, _ := pla.NewSwingFilter([]float64{5}, pla.WithSwingMaxLag(20))
+	rep, err := pla.MeasureLag(f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxPoints > 20 {
+		t.Fatalf("max lag %d exceeds bound", rep.MaxPoints)
+	}
+}
+
+func TestFacadeMultiWalk(t *testing.T) {
+	pts := pla.MultiWalk(pla.MultiWalkConfig{
+		WalkConfig:  pla.WalkConfig{N: 100, P: 0.5, MaxDelta: 1, Seed: 2},
+		Dims:        3,
+		Correlation: 0.8,
+	})
+	if len(pts) != 100 || len(pts[0].X) != 3 {
+		t.Fatalf("multiwalk shape: %d × %d", len(pts), len(pts[0].X))
+	}
+	f, _ := pla.NewSlideFilter(pla.UniformEpsilon(3, 1))
+	segs, err := pla.Compress(f, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pla.Reconstruct(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pla.CheckPrecision(pts, m, pla.UniformEpsilon(3, 1), 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountRecordingsFacade(t *testing.T) {
+	x := []float64{0}
+	segs := []pla.Segment{
+		{T0: 0, T1: 1, X0: x, X1: x},
+		{T0: 1, T1: 2, X0: x, X1: x, Connected: true},
+	}
+	if got := pla.CountRecordings(segs, false); got != 3 {
+		t.Fatalf("recordings = %d", got)
+	}
+	if got := pla.CountRecordings(segs, true); got != 2 {
+		t.Fatalf("constant recordings = %d", got)
+	}
+}

@@ -1,0 +1,49 @@
+package pla
+
+import (
+	"io"
+
+	"github.com/pla-go/pla/internal/gen"
+	"github.com/pla-go/pla/internal/stream"
+)
+
+// WalkConfig parameterises the paper's random-walk signal model
+// (Section 5.3).
+type WalkConfig = gen.WalkConfig
+
+// MultiWalkConfig parameterises correlated multi-dimensional walks
+// (Section 5.4).
+type MultiWalkConfig = gen.MultiWalkConfig
+
+// RandomWalk generates a one-dimensional random-walk signal: each step is
+// drawn uniformly from [0, MaxDelta) and is negative with probability P.
+func RandomWalk(cfg WalkConfig) []Point { return gen.RandomWalk(cfg) }
+
+// MultiWalk generates a d-dimensional random walk whose per-step
+// increments have the requested pairwise correlation.
+func MultiWalk(cfg MultiWalkConfig) []Point { return gen.MultiWalk(cfg) }
+
+// SeaSurfaceTemperature returns the deterministic synthetic stand-in for
+// the paper's TAO-buoy sea-surface-temperature series (Figure 6): 1285
+// points at 10-minute intervals, quantized to 0.01 °C.
+func SeaSurfaceTemperature() []Point { return gen.SeaSurfaceTemperature() }
+
+// SSTLike generates an n-point sea-surface-temperature-like series from
+// the given seed.
+func SSTLike(n int, seed uint64) []Point { return gen.SSTLike(n, seed) }
+
+// SignalRange returns the minimum and maximum of dimension i of a signal;
+// the paper expresses precision widths as a percentage of this range.
+func SignalRange(pts []Point, i int) (lo, hi float64) { return gen.Range(pts, i) }
+
+// WritePointsCSV writes points as CSV rows "t,x1,...,xd".
+func WritePointsCSV(w io.Writer, pts []Point) error { return stream.WritePoints(w, pts) }
+
+// ReadPointsCSV parses CSV rows "t,x1,...,xd".
+func ReadPointsCSV(r io.Reader) ([]Point, error) { return stream.ReadPoints(r) }
+
+// WriteSegmentsCSV writes segments as CSV rows.
+func WriteSegmentsCSV(w io.Writer, segs []Segment) error { return stream.WriteSegments(w, segs) }
+
+// ReadSegmentsCSV parses the output of WriteSegmentsCSV.
+func ReadSegmentsCSV(r io.Reader) ([]Segment, error) { return stream.ReadSegments(r) }
