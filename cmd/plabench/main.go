@@ -5,9 +5,14 @@
 //
 //	plabench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13]
 //	         [-quick] [-seed n] [-dump-sst file.csv]
+//	plabench -server-bench [-server-clients 8] [-server-points 20000]
+//	         [-server-rounds 5] [-server-shards 8] [-o BENCH.json]
 //
 // -quick shrinks the synthetic workloads for a fast smoke run; the
 // canonical numbers in EXPERIMENTS.md come from the default sizes.
+// -server-bench measures the plad network ingest path (concurrent
+// clients over loopback TCP into the sharded archive) and, with -o,
+// writes a JSON snapshot for cross-PR perf tracking.
 package main
 
 import (
@@ -25,8 +30,22 @@ func main() {
 		quick      = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 		seed       = flag.Uint64("seed", 0, "seed offset for the synthetic workloads (0 = canonical)")
 		dumpSST    = flag.String("dump-sst", "", "write the Figure 6 series as CSV to this file and exit")
+
+		srvBench   = flag.Bool("server-bench", false, "measure the plad network ingest path and exit")
+		srvClients = flag.Int("server-clients", 8, "concurrent ingest clients for -server-bench")
+		srvPoints  = flag.Int("server-points", 20000, "points per client for -server-bench")
+		srvRounds  = flag.Int("server-rounds", 5, "measurement rounds for -server-bench (best is reported)")
+		srvShards  = flag.Int("server-shards", 8, "server shard count for -server-bench")
+		out        = flag.String("o", "", "write the -server-bench snapshot as JSON to this file")
 	)
 	flag.Parse()
+
+	if *srvBench {
+		if err := serverBench(*srvClients, *srvPoints, *srvRounds, *srvShards, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *dumpSST != "" {
 		f, err := os.Create(*dumpSST)

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/encode"
+	"github.com/pla-go/pla/internal/gen"
+	"github.com/pla-go/pla/internal/server"
+	"github.com/pla-go/pla/internal/tsdb"
+)
+
+// ServerBenchResult is the JSON snapshot of one network-ingest
+// measurement, kept across PRs (BENCH_PR1.json, …) as a perf trajectory.
+type ServerBenchResult struct {
+	Bench       string  `json:"bench"`
+	Clients     int     `json:"clients"`
+	PointsEach  int     `json:"points_each"`
+	Rounds      int     `json:"rounds"`
+	Shards      int     `json:"shards"`
+	TotalPoints int     `json:"total_points"`
+	Segments    int64   `json:"segments"`
+	WireBytes   int64   `json:"wire_bytes"`
+	RawBytes    int64   `json:"raw_bytes"`
+	Seconds     float64 `json:"seconds"`
+	PointsPerS  float64 `json:"points_per_s"`
+	ByteRatio   float64 `json:"byte_ratio"` // raw sample bytes / wire bytes
+}
+
+// serverBench drives rounds × clients concurrent ingest sessions of a
+// random-walk workload through a loopback plad server and reports
+// aggregate throughput. The best (fastest) round is reported, matching
+// the usual benchmark convention.
+func serverBench(clients, points, rounds, shards int, outPath string) error {
+	if clients < 1 || points < 1 || rounds < 1 || shards < 1 {
+		return fmt.Errorf("server-bench needs ≥1 clients, points, rounds, and shards (got %d/%d/%d/%d)",
+			clients, points, rounds, shards)
+	}
+	db := tsdb.New()
+	s := server.New(db, server.Config{Shards: shards, QueueDepth: 4096})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go s.Serve(ln)
+	addr := ln.Addr().String()
+
+	signals := make([][]core.Point, clients)
+	for c := range signals {
+		signals[c] = gen.RandomWalk(gen.WalkConfig{N: points, P: 0.5, MaxDelta: 0.4, Seed: uint64(c + 1)})
+	}
+
+	best := time.Duration(1<<63 - 1)
+	var wireBytes, segments int64
+	for r := 0; r < rounds; r++ {
+		var (
+			wg     sync.WaitGroup
+			mu     sync.Mutex
+			rBytes int64
+			rSegs  int64
+			rErr   error
+		)
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				f, err := core.NewSwing([]float64{0.5})
+				if err == nil {
+					var cl *server.Client
+					cl, err = server.Dial(addr, fmt.Sprintf("bench-%d-%d", r, c), f)
+					if err == nil {
+						if err = cl.SendBatch(signals[c]); err == nil {
+							var ack server.Ack
+							ack, err = cl.Close()
+							mu.Lock()
+							rBytes += cl.BytesSent()
+							rSegs += ack.Applied
+							mu.Unlock()
+						}
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					rErr = err
+					mu.Unlock()
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if rErr != nil {
+			return rErr
+		}
+		if elapsed < best {
+			best = elapsed
+			wireBytes, segments = rBytes, rSegs
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		return err
+	}
+
+	total := clients * points
+	raw := encode.RawSize(total, 1)
+	res := ServerBenchResult{
+		Bench:       "ServerIngest",
+		Clients:     clients,
+		PointsEach:  points,
+		Rounds:      rounds,
+		Shards:      shards,
+		TotalPoints: total,
+		Segments:    segments,
+		WireBytes:   wireBytes,
+		RawBytes:    raw,
+		Seconds:     best.Seconds(),
+		PointsPerS:  float64(total) / best.Seconds(),
+		ByteRatio:   float64(raw) / float64(wireBytes),
+	}
+	fmt.Printf("server ingest: %d clients × %d points in %v (%.0f points/s, %.1fx byte compression)\n",
+		clients, points, best.Round(time.Microsecond), res.PointsPerS, res.ByteRatio)
+	if outPath == "" {
+		return nil
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote snapshot to %s\n", outPath)
+	return nil
+}

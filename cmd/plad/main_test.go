@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/pla-go/pla/internal/server"
+)
+
+// TestDemo runs the full loopback self-check at a reduced size: any
+// precision violation or lost segment fails it.
+func TestDemo(t *testing.T) {
+	var out bytes.Buffer
+	cfg := server.Config{Shards: 4, QueueDepth: 128}
+	if err := runDemo(&out, cfg, 9, 400); err != nil {
+		t.Fatalf("demo: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "all precision bands verified") {
+		t.Errorf("demo output missing verification line:\n%s", out.String())
+	}
+}
+
+// TestDemoDropPolicy smoke-tests the shed configuration end to end; with
+// a sane queue depth nothing is actually shed, so the bands still hold.
+func TestDemoDropPolicy(t *testing.T) {
+	var out bytes.Buffer
+	cfg := server.Config{Shards: 2, QueueDepth: 1024, Policy: server.DropNewest}
+	if err := runDemo(&out, cfg, 4, 300); err != nil {
+		t.Fatalf("demo: %v\noutput:\n%s", err, out.String())
+	}
+}

@@ -1,0 +1,96 @@
+// Sensorfleet: the paper's remote-monitoring scenario (Section 1) end to
+// end over TCP — a plad server collects ε-filtered streams from a fleet
+// of concurrent sensors into one archive, then answers range and
+// aggregate queries with deterministic precision bands.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/gen"
+	"github.com/pla-go/pla/internal/server"
+	"github.com/pla-go/pla/internal/tsdb"
+)
+
+func main() {
+	// The repository: a sharded ingestion server over an in-memory
+	// archive. Four workers; a series always lands on the same worker.
+	srv := server.New(tsdb.New(), server.Config{Shards: 4, QueueDepth: 256})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+	fmt.Printf("repository listening on %s\n\n", addr)
+
+	// The fleet: ten sensors, each filtering locally with its own
+	// precision contract so only ε-bounded segments cross the wire.
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			signal := gen.RandomWalk(gen.WalkConfig{N: 2000, P: 0.5, MaxDelta: 0.5, Seed: uint64(i + 1)})
+			f, err := core.NewSwing([]float64{0.5})
+			if err != nil {
+				log.Fatal(err)
+			}
+			c, err := server.Dial(addr, fmt.Sprintf("turbine-%02d", i), f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, p := range signal {
+				if err := c.Send(p); err != nil {
+					log.Fatal(err)
+				}
+			}
+			ack, err := c.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("turbine-%02d: %d points → %d segments (%d B on the wire)\n",
+				i, c.Stats().Points, ack.Applied, c.BytesSent())
+		}(i)
+	}
+	wg.Wait()
+
+	// The analyst: range and aggregate queries with precision bands.
+	q, err := server.DialQuery(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-12s %24s %24s\n", "series", "mean band", "max band")
+	infos, err := q.Series()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, info := range infos {
+		mean, err := q.Mean(info.Name, 0, 0, 1999)
+		if err != nil {
+			log.Fatal(err)
+		}
+		max, err := q.Max(info.Name, 0, 0, 1999)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s [%10.3f, %10.3f] [%10.3f, %10.3f]\n",
+			info.Name, mean.Lo(), mean.Hi(), max.Lo(), max.Hi())
+	}
+	q.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	m := srv.Metrics()
+	fmt.Printf("\narchived %d segments (%d points) across %d sessions, %d B total\n",
+		m.Segments, m.Points, m.TotalSessions, m.Bytes)
+}

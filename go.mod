@@ -1,0 +1,3 @@
+module github.com/pla-go/pla
+
+go 1.24

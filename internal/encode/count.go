@@ -1,0 +1,41 @@
+package encode
+
+import "io"
+
+// CountingWriter counts the bytes written through it — the module's one
+// implementation of the wrapper the codec, the network client, and the
+// server all need for wire accounting.
+type CountingWriter struct {
+	w io.Writer
+	n int64
+}
+
+// NewCountingWriter returns a counting wrapper over w.
+func NewCountingWriter(w io.Writer) *CountingWriter { return &CountingWriter{w: w} }
+
+func (c *CountingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// BytesWritten returns the bytes written so far.
+func (c *CountingWriter) BytesWritten() int64 { return c.n }
+
+// CountingReader counts the bytes read through it.
+type CountingReader struct {
+	r io.Reader
+	n int64
+}
+
+// NewCountingReader returns a counting wrapper over r.
+func NewCountingReader(r io.Reader) *CountingReader { return &CountingReader{r: r} }
+
+func (c *CountingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// BytesRead returns the bytes read so far.
+func (c *CountingReader) BytesRead() int64 { return c.n }

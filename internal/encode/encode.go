@@ -56,21 +56,9 @@ var (
 	ErrChain = errors.New("encode: connected segment does not chain")
 )
 
-// countingWriter tracks the bytes written through it.
-type countingWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (c *countingWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.n += int64(n)
-	return n, err
-}
-
 // Encoder serialises segments. Create with NewEncoder.
 type Encoder struct {
-	cw       *countingWriter
+	cw       *CountingWriter
 	bw       *bufio.Writer
 	dim      int
 	constant bool
@@ -88,7 +76,7 @@ func NewEncoder(w io.Writer, eps []float64, constant bool) (*Encoder, error) {
 	if len(eps) == 0 {
 		return nil, fmt.Errorf("%w: empty epsilon", ErrFormat)
 	}
-	cw := &countingWriter{w: w}
+	cw := NewCountingWriter(w)
 	bw := bufio.NewWriter(cw)
 	e := &Encoder{cw: cw, bw: bw, dim: len(eps), constant: constant}
 	if _, err := bw.WriteString(magic); err != nil {
@@ -245,7 +233,7 @@ func (e *Encoder) Close() error {
 
 // BytesWritten returns the number of bytes flushed to the underlying
 // writer so far (call after Close for the final size).
-func (e *Encoder) BytesWritten() int64 { return e.cw.n }
+func (e *Encoder) BytesWritten() int64 { return e.cw.BytesWritten() }
 
 func vecEq(a, b []float64) bool {
 	if len(a) != len(b) {

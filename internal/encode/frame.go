@@ -1,0 +1,99 @@
+package encode
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Framing wraps an encoded stream in length-prefixed frames so it can be
+// carried over a session-oriented transport (a TCP connection) alongside
+// other handshake bytes: each frame is a uvarint byte count followed by
+// that many payload bytes, and the concatenated payloads reproduce the
+// original stream. One frame corresponds to one Write — with the Encoder's
+// buffered writer on top, one flushed batch of segments becomes (at most a
+// few) frames, so a live reader sees segment batches exactly as the
+// transmitter flushed them.
+
+// MaxFrame bounds a single frame's payload; FrameReader rejects longer
+// frames as malformed rather than allocating unboundedly.
+const MaxFrame = 1 << 24
+
+// FrameWriter is an io.Writer that emits each Write as one
+// length-prefixed frame on the underlying writer, using a single
+// underlying Write per frame (one packet on an unbuffered socket).
+type FrameWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewFrameWriter returns a FrameWriter over w.
+func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w} }
+
+// Write frames p and writes it out. Empty writes emit nothing.
+func (fw *FrameWriter) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if len(p) > MaxFrame {
+		return 0, fmt.Errorf("%w: frame of %d bytes exceeds %d", ErrFormat, len(p), MaxFrame)
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(p)))
+	fw.buf = append(fw.buf[:0], tmp[:n]...)
+	fw.buf = append(fw.buf, p...)
+	if _, err := fw.w.Write(fw.buf); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// FrameReader is an io.Reader that strips the frame lengths inserted by
+// FrameWriter, yielding the original byte stream. A clean EOF between
+// frames surfaces as io.EOF; EOF inside a frame is io.ErrUnexpectedEOF.
+type FrameReader struct {
+	br        *bufio.Reader
+	remaining int
+}
+
+// NewFrameReader returns a FrameReader over r. If r is already a
+// *bufio.Reader it is used directly (no double buffering, and no bytes
+// beyond the frames are consumed ahead of need from r's own source).
+func NewFrameReader(r io.Reader) *FrameReader {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return &FrameReader{br: br}
+}
+
+// Read returns payload bytes, never crossing a frame boundary in a single
+// call (callers that need exact counts use io.ReadFull as usual).
+func (fr *FrameReader) Read(p []byte) (int, error) {
+	for fr.remaining == 0 {
+		n, err := binary.ReadUvarint(fr.br)
+		if err != nil {
+			if err == io.EOF {
+				return 0, io.EOF
+			}
+			return 0, fmt.Errorf("%w: bad frame length: %v", ErrFormat, err)
+		}
+		if n > MaxFrame {
+			return 0, fmt.Errorf("%w: frame of %d bytes exceeds %d", ErrFormat, n, MaxFrame)
+		}
+		fr.remaining = int(n) // zero-length frames are skipped
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if len(p) > fr.remaining {
+		p = p[:fr.remaining]
+	}
+	n, err := fr.br.Read(p)
+	fr.remaining -= n
+	if err == io.EOF && fr.remaining > 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}

@@ -1,0 +1,93 @@
+package encode
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// TestFrameRoundTrip checks that a framed encoded stream decodes
+// identically to the unframed one.
+func TestFrameRoundTrip(t *testing.T) {
+	segs := []core.Segment{
+		{T0: 0, T1: 2, X0: []float64{1}, X1: []float64{3}, Points: 3},
+		{T0: 2, T1: 5, X0: []float64{3}, X1: []float64{-1}, Connected: true, Points: 4},
+		{T0: 7, T1: 9, X0: []float64{0.5}, X1: []float64{0.25}, Points: 2},
+	}
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	enc, err := NewEncoder(fw, []float64{0.5}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if err := enc.WriteSegment(s); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil { // one frame per segment batch
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dec, err := NewDecoder(NewFrameReader(bytes.NewReader(buf.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(segs) {
+		t.Fatalf("got %d segments, want %d", len(got), len(segs))
+	}
+	for i, s := range got {
+		w := segs[i]
+		if s.T0 != w.T0 || s.T1 != w.T1 || s.X0[0] != w.X0[0] || s.X1[0] != w.X1[0] ||
+			s.Connected != w.Connected || s.Points != w.Points {
+			t.Errorf("segment %d: got %+v, want %+v", i, s, w)
+		}
+	}
+}
+
+// TestFrameReaderBoundaries exercises partial reads across frames.
+func TestFrameReaderBoundaries(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	for _, chunk := range [][]byte{[]byte("hello"), nil, []byte(" "), []byte("world")} {
+		if _, err := fw.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(bytes.NewReader(buf.Bytes()))
+	got, err := io.ReadAll(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello world" {
+		t.Fatalf("got %q", got)
+	}
+	// A second read at clean EOF keeps returning io.EOF.
+	if _, err := fr.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("got %v, want io.EOF", err)
+	}
+}
+
+// TestFrameReaderTruncated reports io.ErrUnexpectedEOF for a frame cut
+// short mid-payload.
+func TestFrameReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if _, err := fw.Write([]byte("truncate me")); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	fr := NewFrameReader(bytes.NewReader(cut))
+	if _, err := io.ReadAll(fr); err != io.ErrUnexpectedEOF {
+		t.Fatalf("got %v, want io.ErrUnexpectedEOF", err)
+	}
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/encode"
+	"github.com/pla-go/pla/internal/gen"
+	"github.com/pla-go/pla/internal/tsdb"
+)
+
+// BenchmarkServerIngest measures the full network ingest path: N
+// concurrent clients filter a random walk locally and stream the
+// finalized segments over loopback TCP into the sharded archive. One op
+// is one complete round (clients × points), so ns/op tracks wall-clock
+// per round and the reported metrics give per-point throughput.
+func BenchmarkServerIngest(b *testing.B) {
+	for _, clients := range []int{1, 8} {
+		for _, points := range []int{2000, 10000} {
+			b.Run(fmt.Sprintf("clients=%d/points=%d", clients, points), func(b *testing.B) {
+				benchServerIngest(b, clients, points)
+			})
+		}
+	}
+}
+
+func benchServerIngest(b *testing.B, clients, points int) {
+	db := tsdb.New()
+	s := New(db, Config{Shards: 8, QueueDepth: 4096})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go s.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	signals := make([][]core.Point, clients)
+	for c := range signals {
+		signals[c] = gen.RandomWalk(gen.WalkConfig{N: points, P: 0.5, MaxDelta: 0.4, Seed: uint64(c + 1)})
+	}
+	b.SetBytes(encode.RawSize(clients*points, 1)) // raw samples: t + x
+	b.ResetTimer()
+	var wireBytes int64
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make([]error, clients)
+		bytes := make([]int64, clients)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				f, err := core.NewSwing([]float64{0.5})
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				cl, err := Dial(ln.Addr().String(), fmt.Sprintf("bench-%d-%d", i, c), f)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if err := cl.SendBatch(signals[c]); err != nil {
+					errs[c] = err
+					return
+				}
+				if _, err := cl.Close(); err != nil {
+					errs[c] = err
+				}
+				bytes[c] = cl.BytesSent()
+			}(c)
+		}
+		wg.Wait()
+		for c, err := range errs {
+			if err != nil {
+				b.Fatalf("client %d: %v", c, err)
+			}
+			wireBytes += bytes[c]
+		}
+	}
+	b.StopTimer()
+	perRound := float64(clients * points)
+	b.ReportMetric(perRound*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+	b.ReportMetric(float64(wireBytes)/float64(b.N), "wire_B/round")
+}

@@ -1,0 +1,371 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/encode"
+	"github.com/pla-go/pla/internal/transport"
+)
+
+// Client is the sensor side of an ingest session: it runs the filter
+// locally (only ε-bounded segments cross the wire) and streams finalized
+// segments to the server. Like the transport.Transmitter it wraps, a
+// Client is owned by one goroutine.
+type Client struct {
+	conn io.ReadWriteCloser
+	br   *bufio.Reader
+	tx   *transport.Transmitter
+	// cw counts bytes below the framing layer — actual wire traffic,
+	// unlike the transmitter's own counter which sits above the
+	// frame-length prefixes and the handshake.
+	cw     *encode.CountingWriter
+	closed bool
+}
+
+// Dial connects to a plad server and opens an ingest session writing
+// series name through filter f.
+func Dial(addr, name string, f core.Filter) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClient(conn, name, f)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient opens an ingest session over an existing connection (a
+// net.Pipe end in tests, a TLS wrapper in deployments). It blocks until
+// the server accepts or rejects the handshake.
+func NewClient(conn io.ReadWriteCloser, name string, f core.Filter) (*Client, error) {
+	cw := encode.NewCountingWriter(conn)
+	if err := writeHandshake(cw, magicIngest, name); err != nil {
+		return nil, err
+	}
+	tx, err := transport.NewTransmitter(encode.NewFrameWriter(cw), f)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	if err := readStatus(br); err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, br: br, tx: tx, cw: cw}, nil
+}
+
+// Send consumes one sample; finalized segments ship immediately.
+func (c *Client) Send(p core.Point) error {
+	if c.closed {
+		return ErrClosed
+	}
+	return c.tx.Send(p)
+}
+
+// SendBatch consumes a batch of samples with one wire flush.
+func (c *Client) SendBatch(ps []core.Point) error {
+	if c.closed {
+		return ErrClosed
+	}
+	return c.tx.SendBatch(ps)
+}
+
+// Stats exposes the local filter's counters.
+func (c *Client) Stats() core.Stats { return c.tx.Stats() }
+
+// BytesSent returns the bytes put on the wire so far, handshake and
+// frame prefixes included — the session's actual traffic, matching what
+// the server's shard metrics attribute to it.
+func (c *Client) BytesSent() int64 { return c.cw.BytesWritten() }
+
+// Close finishes the filter, ships the final segments and the stream
+// terminator, and blocks for the server's acknowledgement — when Close
+// returns a nil error, every finalized segment the ack counts as applied
+// is queryable in the archive.
+func (c *Client) Close() (Ack, error) {
+	if c.closed {
+		return Ack{}, ErrClosed
+	}
+	c.closed = true
+	defer c.conn.Close()
+	if err := c.tx.Close(); err != nil {
+		return Ack{}, err
+	}
+	return readAck(c.br)
+}
+
+// Aggregate is a queried statistic with its deterministic precision band:
+// the corresponding statistic of the original samples is guaranteed to be
+// ≥ Lo() for MIN, ≤ Hi() for MAX, and within the band for per-sample
+// reconstructions (see tsdb.AggregateResult for the fine print on MEAN).
+type Aggregate struct {
+	Value    float64
+	Epsilon  float64
+	Covered  float64
+	Segments int
+}
+
+// Lo returns Value − Epsilon, the band's lower edge.
+func (a Aggregate) Lo() float64 { return a.Value - a.Epsilon }
+
+// Hi returns Value + Epsilon, the band's upper edge.
+func (a Aggregate) Hi() float64 { return a.Value + a.Epsilon }
+
+// SeriesInfo is one row of a SERIES listing.
+type SeriesInfo struct {
+	Name     string
+	Dim      int
+	Constant bool
+	Segments int
+	Points   int
+}
+
+// QueryClient speaks the line-oriented query protocol. It is owned by one
+// goroutine; open several for concurrent queries.
+type QueryClient struct {
+	conn io.ReadWriteCloser
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// DialQuery connects to a plad server and opens a query session.
+func DialQuery(addr string) (*QueryClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	q, err := NewQueryClient(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return q, nil
+}
+
+// NewQueryClient opens a query session over an existing connection.
+func NewQueryClient(conn io.ReadWriteCloser) (*QueryClient, error) {
+	if err := writeHandshake(conn, magicQuery, ""); err != nil {
+		return nil, err
+	}
+	return &QueryClient{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+}
+
+// Close ends the session.
+func (q *QueryClient) Close() error {
+	fmt.Fprintln(q.bw, "QUIT")
+	q.bw.Flush()
+	return q.conn.Close()
+}
+
+// do sends one command and returns the fields of a single-line "OK"
+// response. A "no data" error maps to ErrNoData.
+func (q *QueryClient) do(cmd string) ([]string, error) {
+	if _, err := fmt.Fprintln(q.bw, cmd); err != nil {
+		return nil, err
+	}
+	if err := q.bw.Flush(); err != nil {
+		return nil, err
+	}
+	line, err := q.br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	line = strings.TrimSpace(line)
+	switch {
+	case line == "OK" || strings.HasPrefix(line, "OK "):
+		return strings.Fields(strings.TrimPrefix(line, "OK")), nil
+	case strings.HasPrefix(line, "ERR no data"):
+		return nil, fmt.Errorf("%w%s", ErrNoData, strings.TrimPrefix(line, "ERR no data"))
+	case strings.HasPrefix(line, "ERR "):
+		return nil, fmt.Errorf("%w: %s", ErrRejected, strings.TrimPrefix(line, "ERR "))
+	default:
+		return nil, fmt.Errorf("%w: unexpected reply %q", ErrProtocol, line)
+	}
+}
+
+// doMulti sends one command and returns the item lines of a listing
+// response (between "OK" and ".").
+func (q *QueryClient) doMulti(cmd string) ([]string, error) {
+	if _, err := q.do(cmd); err != nil {
+		return nil, err
+	}
+	var items []string
+	for {
+		line, err := q.br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated listing: %v", ErrProtocol, err)
+		}
+		line = strings.TrimSpace(line)
+		if line == "." {
+			return items, nil
+		}
+		items = append(items, line)
+	}
+}
+
+// At evaluates a series' reconstruction at time t. Every original sample
+// at t is within the series' ε of the returned vector, per dimension.
+func (q *QueryClient) At(series string, t float64) ([]float64, error) {
+	if err := validateName(series); err != nil {
+		return nil, err
+	}
+	fields, err := q.do(fmt.Sprintf("AT %s %s", series, floatWord(t)))
+	if err != nil {
+		return nil, err
+	}
+	return parseFloats(fields)
+}
+
+// Mean returns the time-weighted mean of the reconstruction.
+func (q *QueryClient) Mean(series string, dim int, t0, t1 float64) (Aggregate, error) {
+	return q.aggregate("MEAN", series, dim, t0, t1)
+}
+
+// Min returns the minimum of the reconstruction; any original sample in
+// range is ≥ the result's Lo().
+func (q *QueryClient) Min(series string, dim int, t0, t1 float64) (Aggregate, error) {
+	return q.aggregate("MIN", series, dim, t0, t1)
+}
+
+// Max returns the maximum of the reconstruction; any original sample in
+// range is ≤ the result's Hi().
+func (q *QueryClient) Max(series string, dim int, t0, t1 float64) (Aggregate, error) {
+	return q.aggregate("MAX", series, dim, t0, t1)
+}
+
+func (q *QueryClient) aggregate(op, series string, dim int, t0, t1 float64) (Aggregate, error) {
+	// Names travel unescaped in the line protocol; an embedded newline
+	// would inject a second command and desynchronise every later reply.
+	if err := validateName(series); err != nil {
+		return Aggregate{}, err
+	}
+	fields, err := q.do(fmt.Sprintf("%s %s %d %s %s", op, series, dim, floatWord(t0), floatWord(t1)))
+	if err != nil {
+		return Aggregate{}, err
+	}
+	if len(fields) != 4 {
+		return Aggregate{}, fmt.Errorf("%w: %s reply %q", ErrProtocol, op, fields)
+	}
+	vals, err := parseFloats(fields[:3])
+	if err != nil {
+		return Aggregate{}, err
+	}
+	segs, err := strconv.Atoi(fields[3])
+	if err != nil {
+		return Aggregate{}, fmt.Errorf("%w: %s reply %q", ErrProtocol, op, fields)
+	}
+	return Aggregate{Value: vals[0], Epsilon: vals[1], Covered: vals[2], Segments: segs}, nil
+}
+
+// Series lists the archive's series.
+func (q *QueryClient) Series() ([]SeriesInfo, error) {
+	items, err := q.doMulti("SERIES")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SeriesInfo, 0, len(items))
+	for _, it := range items {
+		f := strings.Fields(it)
+		if len(f) != 5 {
+			return nil, fmt.Errorf("%w: series row %q", ErrProtocol, it)
+		}
+		dim, e1 := strconv.Atoi(f[1])
+		segs, e2 := strconv.Atoi(f[3])
+		pts, e3 := strconv.Atoi(f[4])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return nil, fmt.Errorf("%w: series row %q", ErrProtocol, it)
+		}
+		out = append(out, SeriesInfo{Name: f[0], Dim: dim, Constant: f[2] == "1", Segments: segs, Points: pts})
+	}
+	return out, nil
+}
+
+// Scan returns the stored segments overlapping [t0, t1].
+func (q *QueryClient) Scan(series string, t0, t1 float64) ([]core.Segment, error) {
+	if err := validateName(series); err != nil {
+		return nil, err
+	}
+	items, err := q.doMulti(fmt.Sprintf("SCAN %s %s %s", series, floatWord(t0), floatWord(t1)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Segment, 0, len(items))
+	for _, it := range items {
+		f := strings.Fields(it)
+		// t0 t1 connected points x0... x1... — the vector split is implied
+		// by the row length.
+		if len(f) < 6 || (len(f)-4)%2 != 0 {
+			return nil, fmt.Errorf("%w: scan row %q", ErrProtocol, it)
+		}
+		times, err := parseFloats(f[:2])
+		if err != nil {
+			return nil, err
+		}
+		pts, err := strconv.Atoi(f[3])
+		if err != nil {
+			return nil, fmt.Errorf("%w: scan row %q", ErrProtocol, it)
+		}
+		d := (len(f) - 4) / 2
+		x0, err := parseFloats(f[4 : 4+d])
+		if err != nil {
+			return nil, err
+		}
+		x1, err := parseFloats(f[4+d:])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, core.Segment{
+			T0: times[0], T1: times[1], X0: x0, X1: x1,
+			Connected: f[2] == "1", Points: pts,
+		})
+	}
+	return out, nil
+}
+
+// Metrics returns the server's per-shard counters.
+func (q *QueryClient) Metrics() ([]ShardMetrics, error) {
+	items, err := q.doMulti("METRICS")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ShardMetrics, 0, len(items))
+	for _, it := range items {
+		f := strings.Fields(it)
+		if len(f) != 8 {
+			return nil, fmt.Errorf("%w: metrics row %q", ErrProtocol, it)
+		}
+		var n [8]int64
+		for i, s := range f {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: metrics row %q", ErrProtocol, it)
+			}
+			n[i] = v
+		}
+		out = append(out, ShardMetrics{
+			Shard: int(n[0]), Segments: n[1], Points: n[2], Rejected: n[3],
+			Dropped: n[4], Bytes: n[5], QueueLen: int(n[6]), QueueCap: int(n[7]),
+		})
+	}
+	return out, nil
+}
+
+func parseFloats(fields []string) ([]float64, error) {
+	out := make([]float64, len(fields))
+	for i, s := range fields {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad float %q", ErrProtocol, s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

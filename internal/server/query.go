@@ -1,0 +1,194 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+
+	"github.com/pla-go/pla/internal/tsdb"
+)
+
+// The query protocol is line oriented: one command per line, one
+// response. Single-valued responses are one line, "OK ..." or "ERR ...";
+// listing responses are an "OK" line, the items, and a lone "." line.
+// Floats travel as strconv 'g'/-1 so they round-trip exactly.
+//
+//	SERIES                       → items "name dim constant segments points"
+//	AT <series> <t>              → "OK v0 v1 ..." | "ERR no data ..."
+//	MEAN <series> <dim> <t0> <t1> → "OK value eps covered segments"
+//	MIN / MAX (same shape)       → "OK value eps covered segments"
+//	SCAN <series> <t0> <t1>      → items "t0 t1 connected points x0... x1..."
+//	METRICS                      → items "shard segments points rejected dropped bytes qlen qcap"
+//	QUIT                         → "OK bye", connection closes
+func (s *Server) serveQuery(conn net.Conn, br *bufio.Reader) {
+	w := bufio.NewWriter(conn)
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 0, 4096), 1<<16)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		args := strings.Fields(line)
+		cmd := strings.ToUpper(args[0])
+		if cmd == "QUIT" {
+			fmt.Fprintln(w, "OK bye")
+			w.Flush()
+			return
+		}
+		s.query(w, cmd, args[1:])
+		if w.Flush() != nil {
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// A read error or an over-long command line (Scanner ErrTooLong)
+		// — surface it, or the session just looks hung-then-closed.
+		s.logf("server: %s: query session: %v", conn.RemoteAddr(), err)
+	}
+}
+
+func (s *Server) query(w *bufio.Writer, cmd string, args []string) {
+	switch cmd {
+	case "SERIES":
+		fmt.Fprintln(w, "OK")
+		for _, name := range s.db.Names() {
+			if validateName(name) != nil {
+				// A series created locally by an embedder with a name the
+				// line protocol cannot carry (whitespace/control chars):
+				// unaddressable here, and emitting it raw would corrupt
+				// the listing for every field-splitting client.
+				continue
+			}
+			sr, err := s.db.Get(name)
+			if err != nil {
+				continue // dropped between Names and Get
+			}
+			st := sr.Stats()
+			fmt.Fprintf(w, "%s %d %s %d %d\n", name, st.Dim, boolWord(sr.Constant()), st.Segments, st.Points)
+		}
+		fmt.Fprintln(w, ".")
+	case "METRICS":
+		fmt.Fprintln(w, "OK")
+		for _, sm := range s.Metrics().Shards {
+			fmt.Fprintf(w, "%d %d %d %d %d %d %d %d\n",
+				sm.Shard, sm.Segments, sm.Points, sm.Rejected, sm.Dropped, sm.Bytes, sm.QueueLen, sm.QueueCap)
+		}
+		fmt.Fprintln(w, ".")
+	case "AT":
+		sr, rest, err := s.queriedSeries(args, 1)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		t, err := strconv.ParseFloat(rest[0], 64)
+		if err != nil {
+			fmt.Fprintf(w, "ERR bad time %q\n", rest[0])
+			return
+		}
+		x, ok := sr.At(t)
+		if !ok {
+			fmt.Fprintf(w, "ERR no data at %v\n", t)
+			return
+		}
+		fmt.Fprintf(w, "OK%s\n", floatsWord(x))
+	case "MEAN", "MIN", "MAX":
+		sr, rest, err := s.queriedSeries(args, 3)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		dim, err := strconv.Atoi(rest[0])
+		if err != nil {
+			fmt.Fprintf(w, "ERR bad dim %q\n", rest[0])
+			return
+		}
+		t0, err0 := strconv.ParseFloat(rest[1], 64)
+		t1, err1 := strconv.ParseFloat(rest[2], 64)
+		if err0 != nil || err1 != nil {
+			fmt.Fprintf(w, "ERR bad range %q %q\n", rest[1], rest[2])
+			return
+		}
+		var res tsdb.AggregateResult
+		switch cmd {
+		case "MEAN":
+			res, err = sr.Mean(dim, t0, t1)
+		case "MIN":
+			res, err = sr.Min(dim, t0, t1)
+		default:
+			res, err = sr.Max(dim, t0, t1)
+		}
+		if err != nil {
+			// The "no data" prefix is part of the protocol: clients map
+			// it to ErrNoData, distinct from other rejections.
+			if errors.Is(err, tsdb.ErrNoData) {
+				fmt.Fprintf(w, "ERR no data in [%v, %v]\n", t0, t1)
+			} else {
+				fmt.Fprintf(w, "ERR %v\n", err)
+			}
+			return
+		}
+		fmt.Fprintf(w, "OK %s %s %s %d\n",
+			floatWord(res.Value), floatWord(res.Epsilon), floatWord(res.Covered), res.Segments)
+	case "SCAN":
+		sr, rest, err := s.queriedSeries(args, 2)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		t0, err0 := strconv.ParseFloat(rest[0], 64)
+		t1, err1 := strconv.ParseFloat(rest[1], 64)
+		if err0 != nil || err1 != nil {
+			fmt.Fprintf(w, "ERR bad range %q %q\n", rest[0], rest[1])
+			return
+		}
+		segs, err := sr.Scan(t0, t1)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintln(w, "OK")
+		for _, seg := range segs {
+			fmt.Fprintf(w, "%s %s %s %d%s%s\n",
+				floatWord(seg.T0), floatWord(seg.T1), boolWord(seg.Connected), seg.Points,
+				floatsWord(seg.X0), floatsWord(seg.X1))
+		}
+		fmt.Fprintln(w, ".")
+	default:
+		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
+	}
+}
+
+// queriedSeries resolves args[0] as a series name and checks that exactly
+// want further arguments follow.
+func (s *Server) queriedSeries(args []string, want int) (*tsdb.Series, []string, error) {
+	if len(args) != want+1 {
+		return nil, nil, fmt.Errorf("want series + %d args, got %d", want, len(args))
+	}
+	sr, err := s.db.Get(args[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	return sr, args[1:], nil
+}
+
+func floatWord(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func floatsWord(x []float64) string {
+	var b strings.Builder
+	for _, v := range x {
+		b.WriteByte(' ')
+		b.WriteString(floatWord(v))
+	}
+	return b.String()
+}
+
+func boolWord(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
+}

@@ -1,0 +1,436 @@
+// Package server implements plad, a concurrent multi-client network
+// ingestion server for ε-filtered streams — the central repository of the
+// paper's monitoring scenario (Section 1). Many sensors connect over TCP,
+// each declaring a series name and a precision contract in a handshake;
+// only finalized segments cross the wire (the transport half the paper's
+// bandwidth argument rests on), and the server routes them through a
+// fixed pool of sharded workers — series-name hash → shard, one goroutine
+// per shard, bounded queues with a configurable overload policy — into a
+// shared tsdb archive that answers range and aggregate queries with the
+// ±ε bounds the precision contract guarantees.
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pla-go/pla/internal/encode"
+	"github.com/pla-go/pla/internal/tsdb"
+)
+
+// Config parameterises a Server. The zero value is usable.
+type Config struct {
+	// Shards is the number of filter workers (default 8). Segments of one
+	// series always land on one shard, so appends need no series lock
+	// contention across workers.
+	Shards int
+	// QueueDepth is each shard's bounded queue length in segments
+	// (default 1024).
+	QueueDepth int
+	// Policy selects backpressure (Block, default) or load shedding
+	// (DropNewest) when a shard queue is full.
+	Policy DropPolicy
+	// Logf, when set, receives one line per abnormal session end.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	return c
+}
+
+// Server accepts ingest and query sessions and owns the shard pool.
+// Create one with New; it is live (shards running) until Shutdown.
+type Server struct {
+	cfg    Config
+	db     *tsdb.Archive
+	shards []*shard
+
+	mu      sync.Mutex
+	lns     []net.Listener
+	conns   map[net.Conn]connKind
+	closing bool
+
+	connWG sync.WaitGroup
+
+	sessions atomic.Int64 // ingest sessions accepted over the lifetime
+	active   atomic.Int64 // ingest sessions currently streaming
+}
+
+// New returns a running server storing into db. Call Shutdown to stop the
+// shard workers.
+func New(db *tsdb.Archive, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, db: db, conns: make(map[net.Conn]connKind)}
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = newShard(i, cfg.QueueDepth)
+		go s.shards[i].run()
+	}
+	return s
+}
+
+// DB returns the archive the server stores into.
+func (s *Server) DB() *tsdb.Archive { return s.db }
+
+// Addr returns the first listener's address once Serve has been called
+// (nil before).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.lns) == 0 {
+		return nil
+	}
+	return s.lns[0].Addr()
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until it fails or the server shuts
+// down, in which case it returns ErrClosed. Serve may be called from
+// several goroutines with different listeners (loopback + external
+// interface); Shutdown closes all of them.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	s.lns = append(s.lns, ln)
+	s.mu.Unlock()
+	var delay time.Duration
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isClosing() {
+				return ErrClosed
+			}
+			// Transient accept failures (fd exhaustion under load) must
+			// not kill a daemon holding live sessions; back off and
+			// retry, net/http style.
+			if ne, ok := err.(net.Error); ok && ne.Temporary() {
+				if delay == 0 {
+					delay = 5 * time.Millisecond
+				} else if delay *= 2; delay > time.Second {
+					delay = time.Second
+				}
+				s.logf("server: accept: %v; retrying in %v", err, delay)
+				time.Sleep(delay)
+				continue
+			}
+			return err
+		}
+		delay = 0
+		if !s.track(conn) {
+			conn.Close()
+			return ErrClosed
+		}
+		go func() {
+			defer s.untrack(conn)
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// ServeConn runs one already-established connection (a net.Pipe end, a
+// connection from a custom listener) through the full session protocol,
+// blocking until the session ends. It refuses connections once Shutdown
+// has begun.
+func (s *Server) ServeConn(conn net.Conn) error {
+	if !s.track(conn) {
+		conn.Close()
+		return ErrClosed
+	}
+	defer s.untrack(conn)
+	s.serveConn(conn)
+	return nil
+}
+
+func (s *Server) isClosing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closing
+}
+
+// track registers a live connection, failing once shutdown has begun (the
+// connWG.Add must not race Shutdown's Wait).
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return false
+	}
+	s.connWG.Add(1)
+	s.conns[conn] = kindPending
+	return true
+}
+
+// connKind classifies a tracked connection for shutdown: only identified
+// ingest sessions carry segments worth draining; pending (pre-handshake)
+// and query connections are closed immediately.
+type connKind uint8
+
+const (
+	kindPending connKind = iota
+	kindIngest
+	kindQuery
+)
+
+// mark records what a tracked connection turned out to be. If shutdown
+// has already begun and the connection is not a drainable ingest
+// session, it is closed on the spot.
+func (s *Server) mark(conn net.Conn, kind connKind) {
+	s.mu.Lock()
+	if _, ok := s.conns[conn]; ok {
+		s.conns[conn] = kind
+	}
+	closing := s.closing
+	s.mu.Unlock()
+	if closing && kind != kindIngest {
+		conn.Close()
+	}
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.connWG.Done()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// handshakeTimeout bounds how long a fresh connection may take to
+// identify itself; an idle probe must not hold a graceful drain open.
+const handshakeTimeout = 10 * time.Second
+
+// serveConn dispatches one connection by its 4-byte session magic.
+func (s *Server) serveConn(conn net.Conn) {
+	cr := encode.NewCountingReader(conn)
+	br := bufio.NewReader(cr)
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		s.logf("server: %s: short magic: %v", conn.RemoteAddr(), err)
+		return
+	}
+	switch string(m[:]) {
+	case magicIngest:
+		s.serveIngest(conn, br, cr)
+	case magicQuery:
+		s.mark(conn, kindQuery)
+		conn.SetReadDeadline(time.Time{})
+		s.serveQuery(conn, br)
+	default:
+		writeStatusErr(conn, fmt.Sprintf("unknown session magic %q", m[:]))
+	}
+}
+
+// ingestSession carries one connection's per-segment outcome counters,
+// updated by the shard worker as the session's jobs are applied.
+type ingestSession struct {
+	applied  atomic.Int64
+	rejected atomic.Int64
+	dropped  atomic.Int64
+}
+
+func (is *ingestSession) ack() Ack {
+	return Ack{Applied: is.applied.Load(), Rejected: is.rejected.Load(), Dropped: is.dropped.Load()}
+}
+
+// serveIngest handles one ingest session: handshake, decode loop feeding
+// the series' shard, and the drain barrier behind the final ack.
+func (s *Server) serveIngest(conn net.Conn, br *bufio.Reader, cr *encode.CountingReader) {
+	name, err := readName(br)
+	if err != nil {
+		writeStatusErr(conn, err.Error())
+		return
+	}
+	dec, err := encode.NewDecoder(encode.NewFrameReader(br))
+	if err != nil {
+		writeStatusErr(conn, err.Error())
+		return
+	}
+	series, _, err := s.db.GetOrCreate(name, dec.Epsilon(), dec.Constant())
+	if err != nil {
+		writeStatusErr(conn, err.Error())
+		return
+	}
+	if err := writeStatusOK(conn); err != nil {
+		return
+	}
+	s.mark(conn, kindIngest)
+	conn.SetReadDeadline(time.Time{})
+
+	s.sessions.Add(1)
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	sess := &ingestSession{}
+	sh := s.shards[shardIndex(name, len(s.shards))]
+	var attributed int64
+	for {
+		seg, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Abrupt end: the client is gone or the stream is corrupt.
+			// Everything already enqueued still drains; there is no one
+			// left to ack.
+			s.logf("server: %s: ingest %q: %v", conn.RemoteAddr(), name, err)
+			return
+		}
+		delta := cr.BytesRead() - attributed
+		attributed = cr.BytesRead()
+		sh.enqueue(job{sess: sess, series: series, seg: seg, bytes: delta}, s.cfg.Policy)
+	}
+
+	// The stream terminator arrived: fence behind everything this session
+	// enqueued, then tell the client exactly what the archive holds. The
+	// barrier carries the tail bytes (terminator frame) so the shard's
+	// byte accounting covers the whole session.
+	barrier := make(chan struct{})
+	sh.enqueue(job{barrier: barrier, bytes: cr.BytesRead() - attributed}, Block)
+	<-barrier
+	if err := writeAck(conn, sess.ack()); err != nil {
+		s.logf("server: %s: ingest %q: ack: %v", conn.RemoteAddr(), name, err)
+	}
+}
+
+// Metrics is a point-in-time snapshot of the server's counters.
+type Metrics struct {
+	// Shards holds one entry per worker.
+	Shards []ShardMetrics
+	// Segments, Points, Rejected, Dropped and Bytes are totals over the
+	// shards.
+	Segments int64
+	Points   int64
+	Rejected int64
+	Dropped  int64
+	Bytes    int64
+	// ActiveSessions is the number of ingest sessions streaming right
+	// now; TotalSessions counts accepted ingest handshakes over the
+	// server's lifetime.
+	ActiveSessions int64
+	TotalSessions  int64
+}
+
+// Metrics snapshots every shard's counters.
+func (s *Server) Metrics() Metrics {
+	m := Metrics{
+		Shards:         make([]ShardMetrics, len(s.shards)),
+		ActiveSessions: s.active.Load(),
+		TotalSessions:  s.sessions.Load(),
+	}
+	for i, sh := range s.shards {
+		sm := sh.metrics()
+		m.Shards[i] = sm
+		m.Segments += sm.Segments
+		m.Points += sm.Points
+		m.Rejected += sm.Rejected
+		m.Dropped += sm.Dropped
+		m.Bytes += sm.Bytes
+	}
+	return m
+}
+
+// Shutdown gracefully stops the server: it stops accepting, closes query
+// sessions (which have nothing to drain), waits for live ingest sessions
+// to finish (force-closing their connections if ctx expires first), then
+// drains every shard queue into the archive before
+// returning — no finalized segment that reached a queue is lost, whatever
+// the context does. The returned error is ctx's if sessions had to be
+// force-closed, else nil. Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	wasClosing := s.closing
+	s.closing = true
+	lns := append([]net.Listener(nil), s.lns...)
+	s.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	// Only identified ingest sessions carry segments worth draining.
+	// Query sessions and pre-handshake connections (an idle port probe,
+	// a slow client) are closed now so they can't hold the drain open
+	// until the context expires.
+	s.mu.Lock()
+	for c, kind := range s.conns {
+		if kind != kindIngest {
+			c.Close()
+		}
+	}
+	s.mu.Unlock()
+	if wasClosing {
+		// A concurrent or repeated Shutdown: wait for the shards the
+		// first call is draining, but honour this call's own deadline —
+		// force-closing the remaining connections unblocks the first
+		// call's session wait too.
+		for _, sh := range s.shards {
+			select {
+			case <-sh.done:
+			case <-ctx.Done():
+				s.mu.Lock()
+				for c := range s.conns {
+					c.Close()
+				}
+				s.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		return nil
+	}
+
+	sessionsDone := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(sessionsDone)
+	}()
+	var forced error
+	select {
+	case <-sessionsDone:
+	case <-ctx.Done():
+		forced = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-sessionsDone
+	}
+
+	// All sessions are gone; nothing can enqueue any more. Closing the
+	// queues lets each worker drain to empty and exit.
+	for _, sh := range s.shards {
+		close(sh.jobs)
+	}
+	for _, sh := range s.shards {
+		<-sh.done
+	}
+	return forced
+}

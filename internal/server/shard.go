@@ -1,0 +1,141 @@
+package server
+
+import (
+	"hash/fnv"
+	"sync/atomic"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/tsdb"
+)
+
+// DropPolicy selects what an ingest session does when its shard's queue
+// is full.
+type DropPolicy int
+
+const (
+	// Block applies backpressure: the session goroutine blocks until the
+	// shard frees a slot, which in turn stalls the client's TCP stream.
+	// Nothing is lost; slow consumers slow producers.
+	Block DropPolicy = iota
+	// DropNewest sheds load: the incoming segment is counted and
+	// discarded, keeping the session (and the wire) moving. The final ack
+	// reports how many segments the session lost.
+	DropNewest
+)
+
+// String names the policy for flags and metrics output.
+func (p DropPolicy) String() string {
+	if p == DropNewest {
+		return "drop"
+	}
+	return "block"
+}
+
+// job is one unit of shard work: a finalized segment bound for a series,
+// or (when barrier is non-nil) a synchronisation point — the shard closes
+// the channel, proving every job enqueued before it has been applied.
+type job struct {
+	sess    *ingestSession
+	series  *tsdb.Series
+	seg     core.Segment
+	bytes   int64
+	barrier chan struct{}
+}
+
+// shard is one worker: a bounded queue drained by a single goroutine that
+// owns the appends for every series hashing to it, so per-series segment
+// order on the queue is preserved into the archive without extra locking.
+type shard struct {
+	id   int
+	jobs chan job
+	done chan struct{}
+
+	segments atomic.Int64 // segments applied
+	points   atomic.Int64 // original samples those segments represent
+	rejected atomic.Int64 // segments the archive refused (time order)
+	dropped  atomic.Int64 // segments shed by DropNewest
+	bytes    atomic.Int64 // wire bytes attributed to this shard
+}
+
+func newShard(id, depth int) *shard {
+	return &shard{id: id, jobs: make(chan job, depth), done: make(chan struct{})}
+}
+
+// run drains the queue until the jobs channel is closed (server drain).
+func (sh *shard) run() {
+	defer close(sh.done)
+	for j := range sh.jobs {
+		if j.barrier != nil {
+			close(j.barrier)
+			continue
+		}
+		if err := j.series.Append(j.seg); err != nil {
+			sh.rejected.Add(1)
+			if j.sess != nil {
+				j.sess.rejected.Add(1)
+			}
+			continue
+		}
+		sh.segments.Add(1)
+		sh.points.Add(int64(j.seg.Points))
+		if j.sess != nil {
+			j.sess.applied.Add(1)
+		}
+	}
+}
+
+// enqueue delivers j under the given policy, reporting whether it was
+// accepted. Barriers always block: a session's final sync must not be
+// shed, or its ack could run ahead of its segments. Bytes are counted on
+// arrival, before the policy decides — shed segments crossed the wire
+// too.
+func (sh *shard) enqueue(j job, policy DropPolicy) bool {
+	sh.bytes.Add(j.bytes)
+	if policy == Block || j.barrier != nil {
+		sh.jobs <- j
+		return true
+	}
+	select {
+	case sh.jobs <- j:
+		return true
+	default:
+		sh.dropped.Add(1)
+		if j.sess != nil {
+			j.sess.dropped.Add(1)
+		}
+		return false
+	}
+}
+
+// ShardMetrics is one shard's counters at a point in time.
+type ShardMetrics struct {
+	Shard    int
+	Segments int64 // segments applied to the archive
+	Points   int64 // original samples represented by those segments
+	Rejected int64 // segments the archive refused
+	Dropped  int64 // segments shed by the overload policy
+	Bytes    int64 // wire bytes attributed to this shard
+	QueueLen int   // jobs waiting right now
+	QueueCap int   // queue depth
+}
+
+func (sh *shard) metrics() ShardMetrics {
+	return ShardMetrics{
+		Shard:    sh.id,
+		Segments: sh.segments.Load(),
+		Points:   sh.points.Load(),
+		Rejected: sh.rejected.Load(),
+		Dropped:  sh.dropped.Load(),
+		Bytes:    sh.bytes.Load(),
+		QueueLen: len(sh.jobs),
+		QueueCap: cap(sh.jobs),
+	}
+}
+
+// shardIndex hashes a series name onto nShards workers (FNV-1a), keeping
+// every segment of one series on one goroutine.
+func shardIndex(name string, nShards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(nShards))
+}

@@ -56,6 +56,43 @@ func (t *Transmitter) Send(p core.Point) error {
 	return t.ship(segs)
 }
 
+// SendBatch consumes a batch of samples with a single wire flush at the
+// end, amortising the per-flush cost when the caller already has points
+// queued (a network client draining a buffer, a benchmark driving the
+// throughput path).
+func (t *Transmitter) SendBatch(ps []core.Point) error {
+	if t.closed {
+		return ErrClosed
+	}
+	wrote := false
+	for i := range ps {
+		segs, err := t.f.Push(ps[i])
+		if err != nil {
+			// Flush what was finalized before the bad point: the filter
+			// has consumed those samples, so withholding their segments
+			// would desynchronise the receiver from Stats(), unlike the
+			// per-point Send path which has already shipped them.
+			if wrote {
+				t.enc.Flush()
+			}
+			return err
+		}
+		for _, s := range segs {
+			if err := t.enc.WriteSegment(s); err != nil {
+				if wrote {
+					t.enc.Flush()
+				}
+				return err
+			}
+			wrote = true
+		}
+	}
+	if !wrote {
+		return nil
+	}
+	return t.enc.Flush()
+}
+
 // Close finishes the filter, ships the final segments and the stream
 // terminator, and flushes.
 func (t *Transmitter) Close() error {

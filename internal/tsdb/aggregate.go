@@ -73,7 +73,7 @@ func (s *Series) extremum(dim int, t0, t1 float64, max bool) (AggregateResult, e
 		}
 	}
 	if res.Segments == 0 {
-		return res, fmt.Errorf("%w: no data in [%v, %v]", ErrRange, t0, t1)
+		return res, fmt.Errorf("%w in [%v, %v]", ErrNoData, t0, t1)
 	}
 	res.Value = best
 	return res, nil
@@ -90,6 +90,7 @@ func (s *Series) Mean(dim int, t0, t1 float64) (AggregateResult, error) {
 	defer s.mu.RUnlock()
 	res := AggregateResult{Epsilon: s.eps[dim]}
 	integral := 0.0
+	instSum, instN := 0.0, 0
 	for _, seg := range s.segs {
 		if seg.T1 < t0 {
 			continue
@@ -102,13 +103,16 @@ func (s *Series) Mean(dim int, t0, t1 float64) (AggregateResult, error) {
 			continue
 		}
 		span := hi - lo
-		if span == 0 && seg.T0 != seg.T1 {
-			continue // grazing contact contributes nothing
-		}
 		res.Segments++
 		if span == 0 {
-			// Degenerate single-point segment: count it as an instant
-			// observation with zero measure; it cannot move the mean.
+			// Zero-measure overlap — a degenerate single-point segment,
+			// or a range grazing (or equalling) a single instant of a
+			// longer one. It cannot move a time-weighted mean, but if
+			// instants are all the range holds, their plain average is
+			// the mean (not a fabricated zero, and not ErrNoData: At
+			// and Min/Max answer at the same point).
+			instSum += seg.At(dim, lo)
+			instN++
 			continue
 		}
 		// ∫ of a line over [lo, hi] = trapezoid.
@@ -116,10 +120,13 @@ func (s *Series) Mean(dim int, t0, t1 float64) (AggregateResult, error) {
 		res.Covered += span
 	}
 	if res.Segments == 0 {
-		return res, fmt.Errorf("%w: no data in [%v, %v]", ErrRange, t0, t1)
+		return res, fmt.Errorf("%w in [%v, %v]", ErrNoData, t0, t1)
 	}
-	if res.Covered > 0 {
+	switch {
+	case res.Covered > 0:
 		res.Value = integral / res.Covered
+	case instN > 0:
+		res.Value = instSum / float64(instN)
 	}
 	return res, nil
 }

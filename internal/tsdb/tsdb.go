@@ -36,6 +36,14 @@ var (
 	ErrRange = errors.New("tsdb: invalid time range")
 	// ErrFormat reports a malformed archive file.
 	ErrFormat = errors.New("tsdb: malformed archive")
+	// ErrContract reports a series opened with a precision contract that
+	// does not match the stored one.
+	ErrContract = errors.New("tsdb: precision contract mismatch")
+	// ErrNoData reports a valid query range with no coverage. It wraps
+	// ErrRange, so existing Is(ErrRange) checks keep matching, while
+	// callers that must distinguish "nothing there" from "bad request"
+	// (the network query layer) can test for it specifically.
+	ErrNoData = fmt.Errorf("%w: no data", ErrRange)
 )
 
 // Archive holds many named series. It is safe for concurrent use.
@@ -72,9 +80,50 @@ func (a *Archive) Create(name string, eps []float64, constant bool) (*Series, er
 	if _, ok := a.series[name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
+	return a.createLocked(name, eps, constant), nil
+}
+
+// createLocked builds and registers a series; a.mu must be held.
+func (a *Archive) createLocked(name string, eps []float64, constant bool) *Series {
 	s := &Series{name: name, eps: append([]float64(nil), eps...), constant: constant}
 	a.series[name] = s
-	return s, nil
+	return s
+}
+
+// GetOrCreate returns the named series, creating it atomically if absent —
+// the handshake path for concurrent network ingestion, where many
+// connections may race to open the same series. An existing series is only
+// returned when its precision contract (ε vector and constant flag)
+// matches the declared one; a mismatch is ErrContract.
+func (a *Archive) GetOrCreate(name string, eps []float64, constant bool) (s *Series, created bool, err error) {
+	if len(eps) == 0 {
+		return nil, false, fmt.Errorf("%w: empty epsilon", ErrDim)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if s, ok := a.series[name]; ok {
+		if err := s.matches(eps, constant); err != nil {
+			return nil, false, err
+		}
+		return s, false, nil
+	}
+	return a.createLocked(name, eps, constant), true, nil
+}
+
+// matches checks a declared precision contract against the series'.
+func (s *Series) matches(eps []float64, constant bool) error {
+	if len(eps) != len(s.eps) {
+		return fmt.Errorf("%w: %q has dim %d, declared %d", ErrContract, s.name, len(s.eps), len(eps))
+	}
+	for i, e := range eps {
+		if e != s.eps[i] {
+			return fmt.Errorf("%w: %q has ε_%d = %v, declared %v", ErrContract, s.name, i, s.eps[i], e)
+		}
+	}
+	if constant != s.constant {
+		return fmt.Errorf("%w: %q constant=%v, declared %v", ErrContract, s.name, s.constant, constant)
+	}
+	return nil
 }
 
 // Get returns a series by name.

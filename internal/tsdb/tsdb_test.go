@@ -220,6 +220,23 @@ func TestAggregateSubrangeAndErrors(t *testing.T) {
 	if _, err := s.Min(2, 0, 1); !errors.Is(err, ErrDim) {
 		t.Fatalf("bad dim: %v", err)
 	}
+	// A range touching only a degenerate (instant) segment averages the
+	// instants instead of fabricating zero.
+	inst, err := New().Create("inst", []float64{0.25}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Append(core.Segment{T0: 5, T1: 5, X0: []float64{42}, X1: []float64{42}, Points: 1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Mean(0, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 42 || res.Covered != 0 || res.Segments != 1 {
+		t.Errorf("instant-only Mean = %+v, want Value 42, Covered 0, 1 segment", res)
+	}
+
 	if _, err := s.Mean(0, 5, 1); !errors.Is(err, ErrRange) {
 		t.Fatalf("bad range: %v", err)
 	}

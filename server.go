@@ -1,0 +1,65 @@
+package pla
+
+import (
+	"github.com/pla-go/pla/internal/server"
+)
+
+// Network ingestion (the plad server) re-exported for external
+// consumers: a Server collects many concurrent ε-filtered client
+// streams into one Archive and answers queries with ±ε bands.
+type (
+	// Server is the plad ingestion/query server. Create with NewServer,
+	// run with Serve/ListenAndServe, stop with Shutdown.
+	Server = server.Server
+	// ServerConfig parameterises a Server (shards, queue depth,
+	// overload policy).
+	ServerConfig = server.Config
+	// ServerMetrics is a snapshot of a server's counters.
+	ServerMetrics = server.Metrics
+	// ShardMetrics is one ingest worker's counters.
+	ShardMetrics = server.ShardMetrics
+	// DropPolicy selects backpressure or shedding when a shard queue
+	// is full.
+	DropPolicy = server.DropPolicy
+	// IngestClient is the sensor side of an ingest session.
+	IngestClient = server.Client
+	// QueryClient speaks the line-oriented query protocol.
+	QueryClient = server.QueryClient
+	// Ack is the server's end-of-stream accounting for one session.
+	Ack = server.Ack
+	// Aggregate is a queried statistic with its precision band.
+	Aggregate = server.Aggregate
+	// SeriesInfo is one row of a series listing.
+	SeriesInfo = server.SeriesInfo
+)
+
+// Overload policies.
+const (
+	// Block applies backpressure to the client stream.
+	Block = server.Block
+	// DropNewest sheds the incoming segment and counts it.
+	DropNewest = server.DropNewest
+)
+
+// Errors surfaced by the server and its clients.
+var (
+	// ErrServerClosed reports an operation on a shut-down server.
+	ErrServerClosed = server.ErrClosed
+	// ErrNoData reports a query range with no coverage.
+	ErrNoData = server.ErrNoData
+	// ErrRejected wraps a server-side rejection (bad handshake,
+	// contract mismatch, unknown series).
+	ErrRejected = server.ErrRejected
+)
+
+// NewServer returns a running ingestion server storing into db.
+func NewServer(db *Archive, cfg ServerConfig) *Server { return server.New(db, cfg) }
+
+// DialServer opens an ingest session for the named series, streaming
+// through filter f; only finalized segments cross the wire.
+func DialServer(addr, name string, f Filter) (*IngestClient, error) {
+	return server.Dial(addr, name, f)
+}
+
+// DialQuery opens a query session.
+func DialQuery(addr string) (*QueryClient, error) { return server.DialQuery(addr) }
