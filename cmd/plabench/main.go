@@ -6,7 +6,8 @@
 //	plabench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13]
 //	         [-quick] [-seed n] [-dump-sst file.csv]
 //	plabench -server-bench [-server-clients 8] [-server-points 20000]
-//	         [-server-rounds 5] [-server-shards 8] [-o BENCH.json]
+//	         [-server-rounds 5] [-server-shards 8]
+//	         [-server-sync mem,interval] [-o BENCH.json]
 //
 // -quick shrinks the synthetic workloads for a fast smoke run; the
 // canonical numbers in EXPERIMENTS.md come from the default sizes.
@@ -36,12 +37,13 @@ func main() {
 		srvPoints  = flag.Int("server-points", 20000, "points per client for -server-bench")
 		srvRounds  = flag.Int("server-rounds", 5, "measurement rounds for -server-bench (best is reported)")
 		srvShards  = flag.Int("server-shards", 8, "server shard count for -server-bench")
+		srvSync    = flag.String("server-sync", "mem,interval", "comma-separated durability modes for -server-bench: mem, off, interval, always")
 		out        = flag.String("o", "", "write the -server-bench snapshot as JSON to this file")
 	)
 	flag.Parse()
 
 	if *srvBench {
-		if err := serverBench(*srvClients, *srvPoints, *srvRounds, *srvShards, *out); err != nil {
+		if err := serverBench(*srvClients, *srvPoints, *srvRounds, *srvShards, *srvSync, *out); err != nil {
 			fatal(err)
 		}
 		return

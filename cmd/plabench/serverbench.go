@@ -6,20 +6,24 @@ import (
 	"fmt"
 	"net"
 	"os"
-	"sync"
+	"strings"
 	"time"
 
-	"github.com/pla-go/pla/internal/core"
 	"github.com/pla-go/pla/internal/encode"
-	"github.com/pla-go/pla/internal/gen"
+	"github.com/pla-go/pla/internal/loadgen"
 	"github.com/pla-go/pla/internal/server"
 	"github.com/pla-go/pla/internal/tsdb"
+	"github.com/pla-go/pla/internal/wal"
 )
 
 // ServerBenchResult is the JSON snapshot of one network-ingest
 // measurement, kept across PRs (BENCH_PR1.json, …) as a perf trajectory.
+// Sync records the durability mode: "mem" is the PR 1 in-memory
+// baseline; "off", "interval" and "always" run the write-ahead log under
+// the corresponding fsync policy.
 type ServerBenchResult struct {
 	Bench       string  `json:"bench"`
+	Sync        string  `json:"sync"`
 	Clients     int     `json:"clients"`
 	PointsEach  int     `json:"points_each"`
 	Rounds      int     `json:"rounds"`
@@ -33,86 +37,107 @@ type ServerBenchResult struct {
 	ByteRatio   float64 `json:"byte_ratio"` // raw sample bytes / wire bytes
 }
 
-// serverBench drives rounds × clients concurrent ingest sessions of a
-// random-walk workload through a loopback plad server and reports
-// aggregate throughput. The best (fastest) round is reported, matching
-// the usual benchmark convention.
-func serverBench(clients, points, rounds, shards int, outPath string) error {
+// serverBench measures the concurrent network-ingest path (via the shared
+// internal/loadgen driver the Go benchmark also uses) once per requested
+// sync mode and, with outPath, writes the results as a JSON array.
+func serverBench(clients, points, rounds, shards int, syncModes, outPath string) error {
 	if clients < 1 || points < 1 || rounds < 1 || shards < 1 {
 		return fmt.Errorf("server-bench needs ≥1 clients, points, rounds, and shards (got %d/%d/%d/%d)",
 			clients, points, rounds, shards)
 	}
-	db := tsdb.New()
-	s := server.New(db, server.Config{Shards: shards, QueueDepth: 4096})
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	var results []ServerBenchResult
+	for _, mode := range strings.Split(syncModes, ",") {
+		mode = strings.TrimSpace(mode)
+		if mode == "" {
+			continue
+		}
+		res, err := serverBenchMode(clients, points, rounds, shards, mode)
+		if err != nil {
+			return fmt.Errorf("mode %s: %w", mode, err)
+		}
+		fmt.Printf("server ingest [%s]: %d clients × %d points in %.6fs (%.0f points/s, %.1fx byte compression)\n",
+			mode, clients, points, res.Seconds, res.PointsPerS, res.ByteRatio)
+		results = append(results, res)
+	}
+	if outPath == "" {
+		return nil
+	}
+	f, err := os.Create(outPath)
 	if err != nil {
 		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote snapshot to %s\n", outPath)
+	return nil
+}
+
+// serverBenchMode runs rounds × clients concurrent ingest sessions of the
+// canonical random-walk workload through a loopback plad server in one
+// durability mode and reports the best (fastest) round, matching the
+// usual benchmark convention.
+func serverBenchMode(clients, points, rounds, shards int, mode string) (ServerBenchResult, error) {
+	cfg := server.Config{Shards: shards, QueueDepth: 4096}
+	if mode != "mem" {
+		policy, err := wal.ParseSyncPolicy(mode)
+		if err != nil {
+			return ServerBenchResult{}, err
+		}
+		dir, err := os.MkdirTemp("", "plabench-wal-")
+		if err != nil {
+			return ServerBenchResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.DataDir, cfg.Sync = dir, policy
+	}
+	db := tsdb.New()
+	s, err := server.New(db, cfg)
+	if err != nil {
+		return ServerBenchResult{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ServerBenchResult{}, err
 	}
 	go s.Serve(ln)
 	addr := ln.Addr().String()
 
-	signals := make([][]core.Point, clients)
-	for c := range signals {
-		signals[c] = gen.RandomWalk(gen.WalkConfig{N: points, P: 0.5, MaxDelta: 0.4, Seed: uint64(c + 1)})
-	}
-
+	signals := loadgen.Walks(clients, points)
 	best := time.Duration(1<<63 - 1)
 	var wireBytes, segments int64
 	for r := 0; r < rounds; r++ {
-		var (
-			wg     sync.WaitGroup
-			mu     sync.Mutex
-			rBytes int64
-			rSegs  int64
-			rErr   error
-		)
 		start := time.Now()
-		for c := 0; c < clients; c++ {
-			wg.Add(1)
-			go func(c int) {
-				defer wg.Done()
-				f, err := core.NewSwing([]float64{0.5})
-				if err == nil {
-					var cl *server.Client
-					cl, err = server.Dial(addr, fmt.Sprintf("bench-%d-%d", r, c), f)
-					if err == nil {
-						if err = cl.SendBatch(signals[c]); err == nil {
-							var ack server.Ack
-							ack, err = cl.Close()
-							mu.Lock()
-							rBytes += cl.BytesSent()
-							rSegs += ack.Applied
-							mu.Unlock()
-						}
-					}
-				}
-				if err != nil {
-					mu.Lock()
-					rErr = err
-					mu.Unlock()
-				}
-			}(c)
-		}
-		wg.Wait()
+		res, err := loadgen.Round(addr, fmt.Sprintf("bench-%s-%d", mode, r), signals)
 		elapsed := time.Since(start)
-		if rErr != nil {
-			return rErr
+		if err != nil {
+			return ServerBenchResult{}, err
+		}
+		if res.Rejected != 0 || res.Dropped != 0 {
+			return ServerBenchResult{}, fmt.Errorf("round %d: %d rejected, %d dropped", r, res.Rejected, res.Dropped)
 		}
 		if elapsed < best {
 			best = elapsed
-			wireBytes, segments = rBytes, rSegs
+			wireBytes, segments = res.WireBytes, res.Applied
 		}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := s.Shutdown(ctx); err != nil {
-		return err
+		return ServerBenchResult{}, err
 	}
 
 	total := clients * points
 	raw := encode.RawSize(total, 1)
-	res := ServerBenchResult{
+	return ServerBenchResult{
 		Bench:       "ServerIngest",
+		Sync:        mode,
 		Clients:     clients,
 		PointsEach:  points,
 		Rounds:      rounds,
@@ -124,25 +149,5 @@ func serverBench(clients, points, rounds, shards int, outPath string) error {
 		Seconds:     best.Seconds(),
 		PointsPerS:  float64(total) / best.Seconds(),
 		ByteRatio:   float64(raw) / float64(wireBytes),
-	}
-	fmt.Printf("server ingest: %d clients × %d points in %v (%.0f points/s, %.1fx byte compression)\n",
-		clients, points, best.Round(time.Microsecond), res.PointsPerS, res.ByteRatio)
-	if outPath == "" {
-		return nil
-	}
-	f, err := os.Create(outPath)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(res); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("wrote snapshot to %s\n", outPath)
-	return nil
+	}, nil
 }

@@ -6,17 +6,30 @@
 //
 // Usage:
 //
-//	plad [-addr :7070] [-shards 8] [-queue 1024] [-policy block|drop]
-//	plad -demo [-demo-clients 8] [-demo-points 2000]
+//	plad [-addr :7070] [-shards 8] [-queue 1024]
+//	     [-policy block|drop|drop-oldest]
+//	     [-data-dir DIR] [-sync always|interval|off] [-sync-every 50ms]
+//	     [-compact-bytes N]
+//	plad -demo [-demo-clients 8] [-demo-points 2000] [-data-dir DIR]
 //
 // Without -demo, plad serves until SIGINT/SIGTERM, then drains its shard
-// queues and exits. With -demo it starts a server on an ephemeral
-// loopback port, drives -demo-clients concurrent sensors through it
-// (synthetic signals from internal/gen, one filter kind per client,
-// round-robin), runs range and aggregate queries back, verifies the
-// precision bands against the generated ground truth, prints the
-// per-shard metrics, and exits non-zero on any violation — an end-to-end
-// self-check of the sensor → server → query loop.
+// queues and exits. With -data-dir the archive is durable: plad recovers
+// the directory on boot (snapshot load → WAL replay with torn-tail
+// truncation → serve), write-ahead-logs every segment, compacts the log
+// into fresh snapshots as it grows, and leaves a single clean snapshot
+// on graceful drain. Under -sync always a session's final ack is written
+// only after its segments are fsynced.
+//
+// With -demo it starts a server on an ephemeral loopback port, drives
+// -demo-clients concurrent sensors through it (synthetic signals from
+// internal/gen, one filter kind per client, round-robin), runs range and
+// aggregate queries back, verifies the precision bands against the
+// generated ground truth, prints the per-shard metrics, and exits
+// non-zero on any violation — an end-to-end self-check of the sensor →
+// server → query loop. Adding -data-dir extends the self-check with a
+// restart: after the drain the server is rebuilt from the data directory
+// alone and every series is verified segment-for-segment against the
+// pre-restart archive.
 package main
 
 import (
@@ -30,23 +43,31 @@ import (
 
 	"github.com/pla-go/pla/internal/server"
 	"github.com/pla-go/pla/internal/tsdb"
+	"github.com/pla-go/pla/internal/wal"
 )
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":7070", "listen address")
-		shards      = flag.Int("shards", 8, "filter worker shards")
-		queue       = flag.Int("queue", 1024, "per-shard queue depth (segments)")
-		policy      = flag.String("policy", "block", "overload policy: block (backpressure) or drop (shed newest)")
-		demo        = flag.Bool("demo", false, "run the loopback self-check demo and exit")
-		demoClients = flag.Int("demo-clients", 8, "concurrent sensors in the demo")
-		demoPoints  = flag.Int("demo-points", 2000, "points per demo sensor")
+		addr         = flag.String("addr", ":7070", "listen address")
+		shards       = flag.Int("shards", 8, "filter worker shards")
+		queue        = flag.Int("queue", 1024, "per-shard queue depth (segments)")
+		policy       = flag.String("policy", "block", "overload policy: block (backpressure), drop (shed newest) or drop-oldest (shed stalest)")
+		dataDir      = flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
+		syncPolicy   = flag.String("sync", "interval", "WAL fsync policy with -data-dir: always (ack-after-fsync), interval, off")
+		syncEvery    = flag.Duration("sync-every", 50*time.Millisecond, "background WAL flush/fsync cadence for -sync interval|off")
+		compactBytes = flag.Int64("compact-bytes", 64<<20, "snapshot+truncate the WAL when its tail exceeds this many bytes")
+		demo         = flag.Bool("demo", false, "run the loopback self-check demo and exit")
+		demoClients  = flag.Int("demo-clients", 8, "concurrent sensors in the demo")
+		demoPoints   = flag.Int("demo-points", 2000, "points per demo sensor")
 	)
 	flag.Parse()
 
 	cfg := server.Config{
-		Shards:     *shards,
-		QueueDepth: *queue,
+		Shards:       *shards,
+		QueueDepth:   *queue,
+		DataDir:      *dataDir,
+		SyncEvery:    *syncEvery,
+		CompactBytes: *compactBytes,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "plad: "+format+"\n", args...)
 		},
@@ -56,8 +77,17 @@ func main() {
 		cfg.Policy = server.Block
 	case "drop":
 		cfg.Policy = server.DropNewest
+	case "drop-oldest":
+		cfg.Policy = server.DropOldest
 	default:
-		fatal(fmt.Errorf("unknown -policy %q (want block or drop)", *policy))
+		fatal(fmt.Errorf("unknown -policy %q (want block, drop or drop-oldest)", *policy))
+	}
+	if *dataDir != "" {
+		sp, err := wal.ParseSyncPolicy(*syncPolicy)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Sync = sp
 	}
 
 	if *demo {
@@ -67,11 +97,18 @@ func main() {
 		return
 	}
 
-	s := server.New(tsdb.New(), cfg)
+	s, err := server.New(tsdb.New(), cfg)
+	if err != nil {
+		fatal(err)
+	}
 	done := make(chan error, 1)
 	go func() {
-		fmt.Printf("plad: listening on %s (%d shards, queue %d, policy %s)\n",
-			*addr, cfg.Shards, cfg.QueueDepth, cfg.Policy)
+		durable := "in-memory"
+		if cfg.DataDir != "" {
+			durable = fmt.Sprintf("data-dir %s, sync %s", cfg.DataDir, cfg.Sync)
+		}
+		fmt.Printf("plad: listening on %s (%d shards, queue %d, policy %s, %s)\n",
+			*addr, cfg.Shards, cfg.QueueDepth, cfg.Policy, durable)
 		done <- s.ListenAndServe(*addr)
 	}()
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/pla-go/pla/internal/server"
+	"github.com/pla-go/pla/internal/wal"
 )
 
 // TestDemo runs the full loopback self-check at a reduced size: any
@@ -21,12 +22,33 @@ func TestDemo(t *testing.T) {
 	}
 }
 
-// TestDemoDropPolicy smoke-tests the shed configuration end to end; with
-// a sane queue depth nothing is actually shed, so the bands still hold.
+// TestDemoDropPolicy smoke-tests the shed configurations end to end;
+// with a sane queue depth nothing is actually shed, so the bands still
+// hold.
 func TestDemoDropPolicy(t *testing.T) {
+	for _, policy := range []server.DropPolicy{server.DropNewest, server.DropOldest} {
+		var out bytes.Buffer
+		cfg := server.Config{Shards: 2, QueueDepth: 1024, Policy: policy}
+		if err := runDemo(&out, cfg, 4, 300); err != nil {
+			t.Fatalf("demo (%s): %v\noutput:\n%s", policy, err, out.String())
+		}
+	}
+}
+
+// TestDemoDurable runs the demo with a data directory: ingest, drain to
+// a snapshot, restart from disk, and verify segment-for-segment
+// equality — the full recovery loop in one self-check.
+func TestDemoDurable(t *testing.T) {
 	var out bytes.Buffer
-	cfg := server.Config{Shards: 2, QueueDepth: 1024, Policy: server.DropNewest}
-	if err := runDemo(&out, cfg, 4, 300); err != nil {
-		t.Fatalf("demo: %v\noutput:\n%s", err, out.String())
+	cfg := server.Config{
+		Shards:  4,
+		DataDir: t.TempDir(),
+		Sync:    wal.SyncAlways,
+	}
+	if err := runDemo(&out, cfg, 6, 400); err != nil {
+		t.Fatalf("durable demo: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "restart from") {
+		t.Errorf("durable demo output missing recovery verification:\n%s", out.String())
 	}
 }

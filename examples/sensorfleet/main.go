@@ -21,7 +21,10 @@ import (
 func main() {
 	// The repository: a sharded ingestion server over an in-memory
 	// archive. Four workers; a series always lands on the same worker.
-	srv := server.New(tsdb.New(), server.Config{Shards: 4, QueueDepth: 256})
+	srv, err := server.New(tsdb.New(), server.Config{Shards: 4, QueueDepth: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)

@@ -134,21 +134,21 @@ var (
 // recordings per disconnected segment (one if it is a degenerate single
 // point) and one per connected segment.
 func CountRecordings(segs []Segment, constant bool) int {
-	if constant {
-		return len(segs)
-	}
 	n := 0
 	for _, s := range segs {
-		switch {
-		case s.Connected:
-			n++
-		case s.T0 == s.T1:
-			n++
-		default:
-			n += 2
-		}
+		n += Recordings(s, constant)
 	}
 	return n
+}
+
+// Recordings returns the recordings one segment ships: one for a
+// piece-wise constant, connected, or single-point segment, two for a
+// disconnected line (Section 2.1).
+func Recordings(s Segment, constant bool) int {
+	if constant || s.Connected || s.T0 == s.T1 {
+		return 1
+	}
+	return 2
 }
 
 // UniformEpsilon returns a d-dimensional precision vector with every

@@ -1,0 +1,142 @@
+package encode
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestRecordRoundTrip writes a mix of record sizes (empty included) and
+// reads them back, checking payloads and the running clean offset.
+func TestRecordRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("alpha"),
+		{},
+		bytes.Repeat([]byte{0xAB}, 300), // multi-byte length prefix
+		[]byte("tail"),
+	}
+	var buf bytes.Buffer
+	rw := NewRecordWriter(&buf)
+	total := 0
+	for _, p := range payloads {
+		n, err := rw.WriteRecord(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total != buf.Len() {
+		t.Fatalf("reported %d bytes written, buffer holds %d", total, buf.Len())
+	}
+	rr := NewRecordReader(bytes.NewReader(buf.Bytes()))
+	for i, want := range payloads {
+		got, err := rr.ReadRecord()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d: got %q, want %q", i, got, want)
+		}
+	}
+	if _, err := rr.ReadRecord(); err != io.EOF {
+		t.Fatalf("after last record: got %v, want io.EOF", err)
+	}
+	if rr.Offset() != int64(buf.Len()) {
+		t.Fatalf("clean offset %d, want %d", rr.Offset(), buf.Len())
+	}
+}
+
+// TestRecordTornTail truncates the stream at every interior byte offset:
+// the reader must recover every full record before the cut, report
+// ErrTorn (never a clean EOF) for the partial one, and leave Offset at
+// the last record boundary.
+func TestRecordTornTail(t *testing.T) {
+	payloads := [][]byte{[]byte("first"), []byte("second record"), []byte("third")}
+	var buf bytes.Buffer
+	rw := NewRecordWriter(&buf)
+	var bounds []int64 // clean offsets after each record
+	for _, p := range payloads {
+		if _, err := rw.WriteRecord(p); err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, int64(buf.Len()))
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		rr := NewRecordReader(bytes.NewReader(full[:cut]))
+		whole, boundary := 0, cut == 0
+		for whole < len(bounds) && int64(cut) >= bounds[whole] {
+			if int64(cut) == bounds[whole] {
+				boundary = true
+			}
+			whole++ // records entirely before the cut
+		}
+		for i := 0; i < whole; i++ {
+			got, err := rr.ReadRecord()
+			if err != nil {
+				t.Fatalf("cut %d: record %d: %v", cut, i, err)
+			}
+			if !bytes.Equal(got, payloads[i]) {
+				t.Fatalf("cut %d: record %d corrupted", cut, i)
+			}
+		}
+		_, err := rr.ReadRecord()
+		if boundary {
+			// A cut exactly between records is indistinguishable from a
+			// clean close — and must read as one.
+			if err != io.EOF {
+				t.Fatalf("cut %d: got %v, want io.EOF at record boundary", cut, err)
+			}
+		} else if !errors.Is(err, ErrTorn) {
+			t.Fatalf("cut %d: got %v, want ErrTorn", cut, err)
+		}
+		wantOff := int64(0)
+		if whole > 0 {
+			wantOff = bounds[whole-1]
+		}
+		if rr.Offset() != wantOff {
+			t.Fatalf("cut %d: offset %d, want %d", cut, rr.Offset(), wantOff)
+		}
+	}
+}
+
+// TestRecordCorruption flips every byte of a two-record stream in turn:
+// reading must surface ErrTorn (or recover untouched records), never
+// panic, and never return a payload that fails the equality check
+// silently.
+func TestRecordCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	rw := NewRecordWriter(&buf)
+	if _, err := rw.WriteRecord([]byte("payload-one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rw.WriteRecord([]byte("payload-two")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for i := range full {
+		raw := append([]byte(nil), full...)
+		raw[i] ^= 0x5A
+		rr := NewRecordReader(bytes.NewReader(raw))
+		for {
+			p, err := rr.ReadRecord()
+			if err != nil {
+				break // io.EOF, ErrTorn — both acceptable ends
+			}
+			if s := string(p); s != "payload-one" && s != "payload-two" {
+				// A flipped length byte can reframe the stream, but the
+				// checksum must catch the reframed payload.
+				t.Fatalf("byte %d: corrupted payload %q passed the checksum", i, p)
+			}
+		}
+	}
+}
+
+// TestRecordTooLarge checks the writer refuses oversized records.
+func TestRecordTooLarge(t *testing.T) {
+	rw := NewRecordWriter(io.Discard)
+	if _, err := rw.WriteRecord(make([]byte, MaxFrame+1)); !errors.Is(err, ErrFormat) {
+		t.Fatalf("got %v, want ErrFormat", err)
+	}
+}

@@ -1,0 +1,92 @@
+// Package loadgen is the shared concurrent-ingest driver behind both the
+// Go benchmark (internal/server's BenchmarkServerIngest) and the JSON
+// perf trajectory (plabench -server-bench): one implementation of "N
+// clients filter a random walk and stream it over loopback TCP", so the
+// two measurements cannot drift apart.
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/gen"
+	"github.com/pla-go/pla/internal/server"
+)
+
+// Epsilon is the per-dimension precision width every driver client
+// filters with.
+const Epsilon = 0.5
+
+// Walks returns the canonical per-client workload: deterministic
+// one-dimensional random walks (seed c+1), points samples each.
+func Walks(clients, points int) [][]core.Point {
+	signals := make([][]core.Point, clients)
+	for c := range signals {
+		signals[c] = gen.RandomWalk(gen.WalkConfig{N: points, P: 0.5, MaxDelta: 0.4, Seed: uint64(c + 1)})
+	}
+	return signals
+}
+
+// Result aggregates one round's acknowledgements.
+type Result struct {
+	// WireBytes is the total bytes the clients put on the wire
+	// (handshakes and frame prefixes included).
+	WireBytes int64
+	// Applied, Rejected and Dropped sum the sessions' final acks.
+	Applied, Rejected, Dropped int64
+}
+
+// Round streams each signal through its own Swing(Epsilon) filter into
+// addr concurrently, one session per signal, series named
+// "<prefix>-<client>". It returns the summed acks once every session has
+// closed.
+func Round(addr, prefix string, signals [][]core.Point) (Result, error) {
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		res  Result
+		rerr error
+	)
+	for c := range signals {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ack, bytes, err := runClient(addr, fmt.Sprintf("%s-%d", prefix, c), signals[c])
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if rerr == nil {
+					rerr = fmt.Errorf("client %d: %w", c, err)
+				}
+				return
+			}
+			res.WireBytes += bytes
+			res.Applied += ack.Applied
+			res.Rejected += ack.Rejected
+			res.Dropped += ack.Dropped
+		}(c)
+	}
+	wg.Wait()
+	return res, rerr
+}
+
+// runClient drives one full ingest session.
+func runClient(addr, name string, signal []core.Point) (server.Ack, int64, error) {
+	f, err := core.NewSwing([]float64{Epsilon})
+	if err != nil {
+		return server.Ack{}, 0, err
+	}
+	cl, err := server.Dial(addr, name, f)
+	if err != nil {
+		return server.Ack{}, 0, err
+	}
+	if err := cl.SendBatch(signal); err != nil {
+		return server.Ack{}, 0, err
+	}
+	ack, err := cl.Close()
+	if err != nil {
+		return server.Ack{}, 0, err
+	}
+	return ack, cl.BytesSent(), nil
+}

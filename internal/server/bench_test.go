@@ -1,37 +1,53 @@
-package server
+package server_test
+
+// The benchmark lives in an external test package so it can share the
+// concurrent-ingest driver (internal/loadgen, which imports server)
+// with plabench -server-bench — one driver, so the Go benchmark and the
+// JSON perf trajectory measure the same thing.
 
 import (
 	"context"
 	"fmt"
 	"net"
-	"sync"
 	"testing"
 	"time"
 
-	"github.com/pla-go/pla/internal/core"
 	"github.com/pla-go/pla/internal/encode"
-	"github.com/pla-go/pla/internal/gen"
+	"github.com/pla-go/pla/internal/loadgen"
+	"github.com/pla-go/pla/internal/server"
 	"github.com/pla-go/pla/internal/tsdb"
+	"github.com/pla-go/pla/internal/wal"
 )
 
 // BenchmarkServerIngest measures the full network ingest path: N
 // concurrent clients filter a random walk locally and stream the
 // finalized segments over loopback TCP into the sharded archive. One op
 // is one complete round (clients × points), so ns/op tracks wall-clock
-// per round and the reported metrics give per-point throughput.
+// per round and the reported metrics give per-point throughput. The
+// durable variants add the write-ahead log under each sync policy.
 func BenchmarkServerIngest(b *testing.B) {
 	for _, clients := range []int{1, 8} {
 		for _, points := range []int{2000, 10000} {
 			b.Run(fmt.Sprintf("clients=%d/points=%d", clients, points), func(b *testing.B) {
-				benchServerIngest(b, clients, points)
+				benchServerIngest(b, clients, points, server.Config{Shards: 8, QueueDepth: 4096})
 			})
 		}
 	}
+	for _, sync := range []wal.SyncPolicy{wal.SyncInterval, wal.SyncAlways} {
+		b.Run(fmt.Sprintf("clients=8/points=10000/sync=%s", sync), func(b *testing.B) {
+			benchServerIngest(b, 8, 10000, server.Config{
+				Shards: 8, QueueDepth: 4096, DataDir: b.TempDir(), Sync: sync,
+			})
+		})
+	}
 }
 
-func benchServerIngest(b *testing.B, clients, points int) {
+func benchServerIngest(b *testing.B, clients, points int, cfg server.Config) {
 	db := tsdb.New()
-	s := New(db, Config{Shards: 8, QueueDepth: 4096})
+	s, err := server.New(db, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
@@ -43,48 +59,19 @@ func benchServerIngest(b *testing.B, clients, points int) {
 		s.Shutdown(ctx)
 	}()
 
-	signals := make([][]core.Point, clients)
-	for c := range signals {
-		signals[c] = gen.RandomWalk(gen.WalkConfig{N: points, P: 0.5, MaxDelta: 0.4, Seed: uint64(c + 1)})
-	}
+	signals := loadgen.Walks(clients, points)
 	b.SetBytes(encode.RawSize(clients*points, 1)) // raw samples: t + x
 	b.ResetTimer()
 	var wireBytes int64
 	for i := 0; i < b.N; i++ {
-		var wg sync.WaitGroup
-		errs := make([]error, clients)
-		bytes := make([]int64, clients)
-		for c := 0; c < clients; c++ {
-			wg.Add(1)
-			go func(c int) {
-				defer wg.Done()
-				f, err := core.NewSwing([]float64{0.5})
-				if err != nil {
-					errs[c] = err
-					return
-				}
-				cl, err := Dial(ln.Addr().String(), fmt.Sprintf("bench-%d-%d", i, c), f)
-				if err != nil {
-					errs[c] = err
-					return
-				}
-				if err := cl.SendBatch(signals[c]); err != nil {
-					errs[c] = err
-					return
-				}
-				if _, err := cl.Close(); err != nil {
-					errs[c] = err
-				}
-				bytes[c] = cl.BytesSent()
-			}(c)
+		res, err := loadgen.Round(ln.Addr().String(), fmt.Sprintf("bench-%d", i), signals)
+		if err != nil {
+			b.Fatal(err)
 		}
-		wg.Wait()
-		for c, err := range errs {
-			if err != nil {
-				b.Fatalf("client %d: %v", c, err)
-			}
-			wireBytes += bytes[c]
+		if res.Rejected != 0 || res.Dropped != 0 {
+			b.Fatalf("round %d: %d rejected, %d dropped", i, res.Rejected, res.Dropped)
 		}
+		wireBytes += res.WireBytes
 	}
 	b.StopTimer()
 	perRound := float64(clients * points)

@@ -22,9 +22,11 @@ import (
 
 	"github.com/pla-go/pla/internal/encode"
 	"github.com/pla-go/pla/internal/tsdb"
+	"github.com/pla-go/pla/internal/wal"
 )
 
-// Config parameterises a Server. The zero value is usable.
+// Config parameterises a Server. The zero value is usable (in-memory,
+// no durability).
 type Config struct {
 	// Shards is the number of filter workers (default 8). Segments of one
 	// series always land on one shard, so appends need no series lock
@@ -34,9 +36,26 @@ type Config struct {
 	// (default 1024).
 	QueueDepth int
 	// Policy selects backpressure (Block, default) or load shedding
-	// (DropNewest) when a shard queue is full.
+	// (DropNewest, DropOldest) when a shard queue is full.
 	Policy DropPolicy
-	// Logf, when set, receives one line per abnormal session end.
+	// DataDir, when set, makes the archive durable: New recovers the
+	// directory's snapshot + write-ahead log into db before serving,
+	// shard workers write every segment ahead of applying it, and
+	// Shutdown leaves a clean snapshot behind.
+	DataDir string
+	// Sync is the WAL fsync policy (wal.SyncInterval default). Under
+	// wal.SyncAlways a session's final ack is written only after its
+	// segments are fsynced.
+	Sync wal.SyncPolicy
+	// SyncEvery is the background flush/fsync cadence for the interval
+	// policies (default 50ms).
+	SyncEvery time.Duration
+	// CompactBytes triggers snapshot+truncate compaction when the WAL
+	// tail grows past it (default 64 MiB; negative disables automatic
+	// compaction).
+	CompactBytes int64
+	// Logf, when set, receives one line per abnormal session end and per
+	// recovery/compaction event.
 	Logf func(format string, args ...any)
 }
 
@@ -47,6 +66,9 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 1024
 	}
+	if c.CompactBytes == 0 {
+		c.CompactBytes = 64 << 20
+	}
 	return c
 }
 
@@ -56,6 +78,7 @@ type Server struct {
 	cfg    Config
 	db     *tsdb.Archive
 	shards []*shard
+	store  *wal.Store // nil without a DataDir
 
 	mu      sync.Mutex
 	lns     []net.Listener
@@ -64,21 +87,100 @@ type Server struct {
 
 	connWG sync.WaitGroup
 
+	compactStop chan struct{}
+	compactDone chan struct{}
+
 	sessions atomic.Int64 // ingest sessions accepted over the lifetime
 	active   atomic.Int64 // ingest sessions currently streaming
 }
 
-// New returns a running server storing into db. Call Shutdown to stop the
-// shard workers.
-func New(db *tsdb.Archive, cfg Config) *Server {
+// New returns a running server storing into db. With a DataDir it first
+// recovers the directory's prior state into db (which must be empty):
+// newest snapshot, then WAL replay with torn-tail truncation, then a
+// fresh write-ahead tail. Call Shutdown to stop the shard workers (and,
+// when durable, leave a clean snapshot).
+func New(db *tsdb.Archive, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, db: db, conns: make(map[net.Conn]connKind)}
+	if cfg.DataDir != "" {
+		st, stats, err := wal.Open(cfg.DataDir, db, wal.Options{
+			Policy:   cfg.Sync,
+			Interval: cfg.SyncEvery,
+			Logf:     cfg.Logf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: open data dir %s: %w", cfg.DataDir, err)
+		}
+		s.store = st
+		if !stats.Empty() {
+			s.logf("server: recovered %s: %d series from snapshot %d, %d wal files (%d segments replayed, %d skipped, %d rejected, %d torn bytes truncated)",
+				cfg.DataDir, stats.SnapshotSeries, stats.SnapshotSeq, stats.WALFiles,
+				stats.Replayed, stats.Skipped, stats.Rejected, stats.TruncatedBytes)
+		}
+	}
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
-		s.shards[i] = newShard(i, cfg.QueueDepth)
+		s.shards[i] = newShard(i, cfg.QueueDepth, s.store, s.logf)
 		go s.shards[i].run()
 	}
-	return s
+	if s.store != nil && cfg.CompactBytes > 0 {
+		s.compactStop = make(chan struct{})
+		s.compactDone = make(chan struct{})
+		go s.compactLoop()
+	}
+	return s, nil
+}
+
+// compactCheckEvery is how often the compactor looks at the WAL tail.
+const compactCheckEvery = 5 * time.Second
+
+// compactLoop snapshots and truncates the WAL whenever the tail outgrows
+// CompactBytes. It stops before Shutdown closes the shard queues.
+func (s *Server) compactLoop() {
+	defer close(s.compactDone)
+	t := time.NewTicker(compactCheckEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.compactStop:
+			return
+		case <-t.C:
+			if s.store.TailBytes() < s.cfg.CompactBytes {
+				continue
+			}
+			if err := s.compact(); err != nil {
+				s.logf("server: compaction: %v", err)
+			}
+		}
+	}
+}
+
+// compact rotates the WAL, fences every shard so all records in the
+// rotated file are applied, then snapshots through it. Ingestion keeps
+// flowing into the fresh tail the whole time; only the fence itself
+// briefly serialises with the queues.
+func (s *Server) compact() error {
+	oldSeq, err := s.store.Rotate()
+	if err != nil {
+		return err
+	}
+	s.fence()
+	return s.store.Snapshot(oldSeq)
+}
+
+// fence blocks until every job currently queued on every shard has been
+// applied. Commit errors are already logged by the workers and do not
+// block a fence: its callers snapshot the in-memory archive, which
+// supersedes whatever the log failed to commit.
+func (s *Server) fence() {
+	barriers := make([]chan error, len(s.shards))
+	for i, sh := range s.shards {
+		barriers[i] = make(chan error, 1)
+		sh.enqueue(job{barrier: barriers[i]}, Block)
+	}
+	for _, b := range barriers {
+		<-b
+	}
 }
 
 // DB returns the archive the server stores into.
@@ -313,10 +415,16 @@ func (s *Server) serveIngest(conn net.Conn, br *bufio.Reader, cr *encode.Countin
 	// The stream terminator arrived: fence behind everything this session
 	// enqueued, then tell the client exactly what the archive holds. The
 	// barrier carries the tail bytes (terminator frame) so the shard's
-	// byte accounting covers the whole session.
-	barrier := make(chan struct{})
+	// byte accounting covers the whole session, and brings back the WAL
+	// commit verdict: if the log could not be committed, the client gets
+	// an error, not an ack that overstates durability.
+	barrier := make(chan error, 1)
 	sh.enqueue(job{barrier: barrier, bytes: cr.BytesRead() - attributed}, Block)
-	<-barrier
+	if err := <-barrier; err != nil {
+		s.logf("server: %s: ingest %q: commit: %v", conn.RemoteAddr(), name, err)
+		writeStatusErr(conn, fmt.Sprintf("segments not durable: wal commit failed: %v", err))
+		return
+	}
 	if err := writeAck(conn, sess.ack()); err != nil {
 		s.logf("server: %s: ingest %q: ack: %v", conn.RemoteAddr(), name, err)
 	}
@@ -364,8 +472,10 @@ func (s *Server) Metrics() Metrics {
 // to finish (force-closing their connections if ctx expires first), then
 // drains every shard queue into the archive before
 // returning — no finalized segment that reached a queue is lost, whatever
-// the context does. The returned error is ctx's if sessions had to be
-// force-closed, else nil. Shutdown is idempotent.
+// the context does. When the server is durable, the drain ends with a
+// clean snapshot: the data directory is left holding a single snapshot
+// file and no write-ahead tail. The returned error is ctx's if sessions
+// had to be force-closed, else nil. Shutdown is idempotent.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	wasClosing := s.closing
@@ -424,6 +534,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-sessionsDone
 	}
 
+	// Sessions are gone; stop the compactor before closing the queues so
+	// an in-flight fence can finish (its barriers drain with the rest).
+	if s.compactStop != nil {
+		close(s.compactStop)
+		<-s.compactDone
+	}
+
 	// All sessions are gone; nothing can enqueue any more. Closing the
 	// queues lets each worker drain to empty and exit.
 	for _, sh := range s.shards {
@@ -431,6 +548,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	for _, sh := range s.shards {
 		<-sh.done
+	}
+	if s.store != nil {
+		if err := s.store.CloseSnapshot(); err != nil {
+			s.logf("server: final snapshot: %v", err)
+			if forced == nil {
+				forced = err
+			}
+		}
 	}
 	return forced
 }

@@ -7,6 +7,10 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -14,6 +18,7 @@ import (
 	"github.com/pla-go/pla/internal/core"
 	"github.com/pla-go/pla/internal/gen"
 	"github.com/pla-go/pla/internal/tsdb"
+	"github.com/pla-go/pla/internal/wal"
 )
 
 // startServer launches a server on an ephemeral loopback port and returns
@@ -21,7 +26,10 @@ import (
 func startServer(t *testing.T, cfg Config) (*Server, string) {
 	t.Helper()
 	db := tsdb.New()
-	s := New(db, cfg)
+	s, err := New(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -245,7 +253,10 @@ func TestConcurrentClientsEpsilonBound(t *testing.T) {
 func TestShutdownDrain(t *testing.T) {
 	db := tsdb.New()
 	// A tiny queue forces real backpressure through the drain path.
-	s := New(db, Config{Shards: 2, QueueDepth: 2})
+	s, err := New(db, Config{Shards: 2, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -339,7 +350,10 @@ func mustLinear(t *testing.T) core.Filter {
 // ServeConn — no sockets involved.
 func TestNetPipeSession(t *testing.T) {
 	db := tsdb.New()
-	s := New(db, Config{Shards: 1, QueueDepth: 8})
+	s, err := New(db, Config{Shards: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -514,7 +528,10 @@ func TestSeriesNameValidation(t *testing.T) {
 // hold a graceful drain open.
 func TestShutdownClosesQuerySessions(t *testing.T) {
 	db := tsdb.New()
-	s := New(db, Config{Shards: 1})
+	s, err := New(db, Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -571,7 +588,7 @@ func TestAggregateNoData(t *testing.T) {
 // TestDropNewestSheds verifies the shed path deterministically against a
 // shard whose worker is not draining.
 func TestDropNewestSheds(t *testing.T) {
-	sh := newShard(0, 2) // worker intentionally not started
+	sh := newShard(0, 2, nil, nil) // worker intentionally not started
 	db := tsdb.New()
 	sr, _, err := db.GetOrCreate("s", []float64{1}, false)
 	if err != nil {
@@ -599,5 +616,327 @@ func (sh *shard) run2(t *testing.T) {
 	sh.run()
 	if got := sh.segments.Load(); got != 2 {
 		t.Fatalf("applied %d, want 2", got)
+	}
+}
+
+// TestDropOldestSheds verifies the fresh-over-stale shed path against a
+// shard whose worker is not draining: the oldest queued segment goes, the
+// newest stays, and a queued barrier survives shedding.
+func TestDropOldestSheds(t *testing.T) {
+	sh := newShard(0, 2, nil, nil) // worker intentionally not started
+	db := tsdb.New()
+	sr, _, err := db.GetOrCreate("s", []float64{1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := &ingestSession{}
+	mkSeg := func(i int) core.Segment {
+		return core.Segment{T0: float64(i), T1: float64(i) + 0.5, X0: []float64{0}, X1: []float64{1}, Points: 2}
+	}
+	barrier := make(chan error, 1)
+	sh.enqueue(job{barrier: barrier}, DropOldest)
+	for i := 0; i < 3; i++ {
+		sh.enqueue(job{sess: sess, series: sr, seg: mkSeg(i)}, DropOldest)
+	}
+	// Queue cap 2 holding a barrier: segments 0 and 1 had to go; the
+	// barrier and segment 2 remain.
+	if got := sh.dropped.Load(); got != 2 {
+		t.Fatalf("dropped %d, want 2", got)
+	}
+	if got := sess.dropped.Load(); got != 2 {
+		t.Fatalf("session dropped %d, want 2", got)
+	}
+	close(sh.jobs)
+	sh.run()
+	select {
+	case <-barrier:
+	default:
+		t.Fatal("queued barrier was shed by DropOldest")
+	}
+	if got := sh.segments.Load(); got != 1 {
+		t.Fatalf("applied %d, want 1 (the newest)", got)
+	}
+	segs := sr.Segments()
+	if len(segs) != 1 || segs[0].T0 != 2 {
+		t.Fatalf("archive holds %+v, want only the newest segment (T0=2)", segs)
+	}
+}
+
+// copyDataDir clones a data directory byte for byte — the moral
+// equivalent of reading the disk after a crash, without racing the
+// still-open file handles of the "crashed" server.
+func copyDataDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestKillAndRestartDurability is the durability acceptance test: under
+// wal.SyncAlways, every batch acked before a hard crash must survive a
+// restart, segment for segment — including when the crash tears the last
+// WAL write in half.
+func TestKillAndRestartDurability(t *testing.T) {
+	dataDir := t.TempDir()
+	db := tsdb.New()
+	s, err := New(db, Config{Shards: 4, QueueDepth: 64, DataDir: dataDir, Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	// The server is never shut down cleanly in this test — that is the
+	// point — but the goroutines are reaped at the end.
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+
+	fleet := testFleet(8)
+	var wg sync.WaitGroup
+	acks := make([]Ack, len(fleet))
+	errs := make([]error, len(fleet))
+	for i, sn := range fleet {
+		wg.Add(1)
+		go func(i int, sn sensor) {
+			defer wg.Done()
+			acks[i], _, _, errs[i] = runSensor(addrOf(ln), sn)
+		}(i, sn)
+	}
+	wg.Wait()
+	var acked int64
+	for i := range fleet {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		acked += acks[i].Applied
+	}
+
+	// "Kill": copy the data directory out from under the live server and
+	// tear the copy's WAL tail, as a crash mid-write would.
+	crashed := copyDataDir(t, dataDir)
+	_, wals, err := walScan(crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wals) == 0 {
+		t.Fatal("no wal files written")
+	}
+	tail := wals[len(wals)-1]
+	f, err := os.OpenFile(tail, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x42, 0x13}); err != nil { // half a record
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Restart from the crashed copy and compare segment for segment with
+	// the live archive — everything acked was fsynced, so nothing may be
+	// missing or reordered.
+	db2 := tsdb.New()
+	s2, err := New(db2, Config{Shards: 4, DataDir: crashed, Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s2.Shutdown(ctx)
+	}()
+
+	var recovered int64
+	for _, sn := range fleet {
+		live, err := db.Get(sn.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := db2.Get(sn.name)
+		if err != nil {
+			t.Fatalf("series %q lost in crash: %v", sn.name, err)
+		}
+		lsegs, gsegs := live.Segments(), got.Segments()
+		if len(gsegs) != len(lsegs) {
+			t.Fatalf("%s: recovered %d segments, live archive has %d", sn.name, len(gsegs), len(lsegs))
+		}
+		for i := range lsegs {
+			l, g := lsegs[i], gsegs[i]
+			if l.T0 != g.T0 || l.T1 != g.T1 || l.Connected != g.Connected || l.Points != g.Points ||
+				fmt.Sprint(l.X0) != fmt.Sprint(g.X0) || fmt.Sprint(l.X1) != fmt.Sprint(g.X1) {
+				t.Fatalf("%s: segment %d differs after recovery:\nlive %+v\ngot  %+v", sn.name, i, l, g)
+			}
+		}
+		recovered += int64(len(gsegs))
+	}
+	if recovered != acked {
+		t.Fatalf("recovered %d segments, acks promised %d", recovered, acked)
+	}
+}
+
+// addrOf shortens ln.Addr().String().
+func addrOf(ln net.Listener) string { return ln.Addr().String() }
+
+// walScan lists a data directory's wal files in sequence order.
+func walScan(dir string) (snaps, wals []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".plaa"):
+			snaps = append(snaps, filepath.Join(dir, name))
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			wals = append(wals, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(snaps)
+	sort.Strings(wals)
+	return snaps, wals, nil
+}
+
+// TestGracefulDrainSnapshot checks that a durable server's Shutdown
+// leaves exactly one snapshot and no wal tail, and that a restart serves
+// the same data with a pure snapshot load.
+func TestGracefulDrainSnapshot(t *testing.T) {
+	dataDir := t.TempDir()
+	db := tsdb.New()
+	s, err := New(db, Config{Shards: 2, DataDir: dataDir, Sync: wal.SyncInterval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	fleet := testFleet(4)
+	for _, sn := range fleet {
+		if _, _, _, err := runSensor(addrOf(ln), sn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	snaps, wals, err := walScan(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || len(wals) != 0 {
+		t.Fatalf("after drain: %d snapshots, %d wal files; want exactly 1 snapshot", len(snaps), len(wals))
+	}
+
+	db2 := tsdb.New()
+	s2, err := New(db2, Config{Shards: 2, DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s2.Shutdown(ctx)
+	}()
+	for _, sn := range fleet {
+		live, err := db.Get(sn.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := db2.Get(sn.name)
+		if err != nil {
+			t.Fatalf("series %q missing after snapshot restart: %v", sn.name, err)
+		}
+		if got.Len() != live.Len() || got.Points() != live.Points() {
+			t.Fatalf("%s: %d segments/%d points after restart, want %d/%d",
+				sn.name, got.Len(), got.Points(), live.Len(), live.Points())
+		}
+	}
+}
+
+// TestCompactionUnderIngest forces automatic compaction while sessions
+// stream, then restarts and verifies nothing was lost across the
+// snapshot+truncate cycle.
+func TestCompactionUnderIngest(t *testing.T) {
+	dataDir := t.TempDir()
+	db := tsdb.New()
+	s, err := New(db, Config{Shards: 2, DataDir: dataDir, Sync: wal.SyncInterval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+
+	fleet := testFleet(6)
+	var wg sync.WaitGroup
+	errs := make([]error, len(fleet))
+	for i, sn := range fleet {
+		wg.Add(1)
+		go func(i int, sn sensor) {
+			defer wg.Done()
+			_, _, _, errs[i] = runSensor(addrOf(ln), sn)
+		}(i, sn)
+	}
+	// Compact concurrently with the ingest instead of waiting for the
+	// background ticker's cadence.
+	compactErr := make(chan error, 1)
+	go func() { compactErr <- s.compact() }()
+	wg.Wait()
+	if err := <-compactErr; err != nil {
+		t.Fatalf("compact during ingest: %v", err)
+	}
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	db2 := tsdb.New()
+	s2, err := New(db2, Config{Shards: 2, DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s2.Shutdown(ctx)
+	}()
+	for _, sn := range fleet {
+		live, _ := db.Get(sn.name)
+		got, err := db2.Get(sn.name)
+		if err != nil {
+			t.Fatalf("series %q lost across compaction: %v", sn.name, err)
+		}
+		if got.Len() != live.Len() {
+			t.Fatalf("%s: %d segments after restart, want %d", sn.name, got.Len(), live.Len())
+		}
 	}
 }

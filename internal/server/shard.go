@@ -6,6 +6,7 @@ import (
 
 	"github.com/pla-go/pla/internal/core"
 	"github.com/pla-go/pla/internal/tsdb"
+	"github.com/pla-go/pla/internal/wal"
 )
 
 // DropPolicy selects what an ingest session does when its shard's queue
@@ -21,44 +22,65 @@ const (
 	// discarded, keeping the session (and the wire) moving. The final ack
 	// reports how many segments the session lost.
 	DropNewest
+	// DropOldest sheds the other end of the queue: the incoming segment
+	// is kept and the oldest queued segment is discarded, preferring
+	// fresh data over stale — the right trade for live monitoring, where
+	// the newest reading matters most. Barriers are never shed.
+	DropOldest
 )
 
 // String names the policy for flags and metrics output.
 func (p DropPolicy) String() string {
-	if p == DropNewest {
+	switch p {
+	case DropNewest:
 		return "drop"
+	case DropOldest:
+		return "drop-oldest"
+	default:
+		return "block"
 	}
-	return "block"
 }
 
 // job is one unit of shard work: a finalized segment bound for a series,
-// or (when barrier is non-nil) a synchronisation point — the shard closes
-// the channel, proving every job enqueued before it has been applied.
+// or (when barrier is non-nil) a synchronisation point — the shard
+// commits the write-ahead log, sends the commit error if there was one,
+// and closes the channel, proving every job enqueued before it has been
+// applied (and, under wal.SyncAlways, fsynced). Receivers read one value:
+// nil means the barrier's durability promise holds.
 type job struct {
 	sess    *ingestSession
 	series  *tsdb.Series
 	seg     core.Segment
 	bytes   int64
-	barrier chan struct{}
+	barrier chan error
 }
 
 // shard is one worker: a bounded queue drained by a single goroutine that
 // owns the appends for every series hashing to it, so per-series segment
 // order on the queue is preserved into the archive without extra locking.
+// With a durable store, the worker writes each segment ahead of applying
+// it and commits the log at every barrier, so a session's final ack
+// implies its segments are as durable as the sync policy promises
+// (fsynced, under wal.SyncAlways).
 type shard struct {
-	id   int
-	jobs chan job
-	done chan struct{}
+	id    int
+	jobs  chan job
+	done  chan struct{}
+	store *wal.Store // nil for an in-memory server
+	logf  func(format string, args ...any)
 
 	segments atomic.Int64 // segments applied
 	points   atomic.Int64 // original samples those segments represent
-	rejected atomic.Int64 // segments the archive refused (time order)
-	dropped  atomic.Int64 // segments shed by DropNewest
+	rejected atomic.Int64 // segments refused (time order, or not durable)
+	dropped  atomic.Int64 // segments shed by DropNewest/DropOldest
 	bytes    atomic.Int64 // wire bytes attributed to this shard
 }
 
-func newShard(id, depth int) *shard {
-	return &shard{id: id, jobs: make(chan job, depth), done: make(chan struct{})}
+func newShard(id, depth int, store *wal.Store, logf func(format string, args ...any)) *shard {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &shard{id: id, jobs: make(chan job, depth), done: make(chan struct{}), store: store, logf: logf}
 }
 
 // run drains the queue until the jobs channel is closed (server drain).
@@ -66,8 +88,30 @@ func (sh *shard) run() {
 	defer close(sh.done)
 	for j := range sh.jobs {
 		if j.barrier != nil {
+			if sh.store != nil {
+				if err := sh.store.Commit(); err != nil {
+					// The segments are applied in memory but their
+					// durability is not what the policy promises — hand the
+					// error to whoever is waiting so an ingest session
+					// reports failure instead of a clean ack.
+					sh.logf("server: shard %d: wal commit: %v", sh.id, err)
+					j.barrier <- err
+				}
+			}
 			close(j.barrier)
 			continue
+		}
+		if sh.store != nil {
+			if err := sh.store.Append(j.series, j.seg); err != nil {
+				// Write-ahead failed, so applying would ack a segment a
+				// restart forgets. Refuse it instead: the ack stays honest.
+				sh.logf("server: shard %d: wal append %q: %v", sh.id, j.series.Name(), err)
+				sh.rejected.Add(1)
+				if j.sess != nil {
+					j.sess.rejected.Add(1)
+				}
+				continue
+			}
 		}
 		if err := j.series.Append(j.seg); err != nil {
 			sh.rejected.Add(1)
@@ -95,15 +139,51 @@ func (sh *shard) enqueue(j job, policy DropPolicy) bool {
 		sh.jobs <- j
 		return true
 	}
+	if policy == DropOldest {
+		return sh.enqueueDropOldest(j)
+	}
 	select {
 	case sh.jobs <- j:
 		return true
 	default:
-		sh.dropped.Add(1)
-		if j.sess != nil {
-			j.sess.dropped.Add(1)
-		}
+		sh.drop(j)
 		return false
+	}
+}
+
+// enqueueDropOldest keeps the incoming segment, shedding queued ones from
+// the head until it fits. A popped barrier is never shed: it is pushed
+// back behind the queue, which only ever closes it later — still after
+// everything its session enqueued. If the queue is wall-to-wall barriers
+// (as many live sessions as queue slots), shedding can't make room and
+// the policy degrades to Block.
+func (sh *shard) enqueueDropOldest(j job) bool {
+	for tries := 0; tries <= cap(sh.jobs); tries++ {
+		select {
+		case sh.jobs <- j:
+			return true
+		default:
+		}
+		select {
+		case old := <-sh.jobs:
+			if old.barrier != nil {
+				sh.jobs <- old
+			} else {
+				sh.drop(old)
+			}
+		default:
+			// Raced the worker to an empty queue; just retry the send.
+		}
+	}
+	sh.jobs <- j
+	return true
+}
+
+// drop counts one shed segment.
+func (sh *shard) drop(j job) {
+	sh.dropped.Add(1)
+	if j.sess != nil {
+		j.sess.dropped.Add(1)
 	}
 }
 
@@ -112,7 +192,7 @@ type ShardMetrics struct {
 	Shard    int
 	Segments int64 // segments applied to the archive
 	Points   int64 // original samples represented by those segments
-	Rejected int64 // segments the archive refused
+	Rejected int64 // segments refused (time order, or failed write-ahead)
 	Dropped  int64 // segments shed by the overload policy
 	Bytes    int64 // wire bytes attributed to this shard
 	QueueLen int   // jobs waiting right now

@@ -51,7 +51,8 @@ func (s *Series) extremum(dim int, t0, t1 float64, max bool) (AggregateResult, e
 	if max {
 		best = math.Inf(-1)
 	}
-	for _, seg := range s.segs {
+	for i, n := 0, s.store.Len(); i < n; i++ {
+		seg := s.store.Seg(i)
 		if seg.T1 < t0 {
 			continue
 		}
@@ -91,7 +92,8 @@ func (s *Series) Mean(dim int, t0, t1 float64) (AggregateResult, error) {
 	res := AggregateResult{Epsilon: s.eps[dim]}
 	integral := 0.0
 	instSum, instN := 0.0, 0
-	for _, seg := range s.segs {
+	for i, n := 0, s.store.Len(); i < n; i++ {
+		seg := s.store.Seg(i)
 		if seg.T1 < t0 {
 			continue
 		}
@@ -155,7 +157,10 @@ type SeriesStats struct {
 func (s *Series) Stats() SeriesStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	rec := core.CountRecordings(s.segs, s.constant)
+	rec := 0
+	for i, n := 0, s.store.Len(); i < n; i++ {
+		rec += core.Recordings(s.store.Seg(i), s.constant)
+	}
 	ratio := 0.0
 	if rec > 0 {
 		ratio = float64(s.points) / float64(rec)
@@ -163,7 +168,7 @@ func (s *Series) Stats() SeriesStats {
 	return SeriesStats{
 		Name:       s.name,
 		Dim:        len(s.eps),
-		Segments:   len(s.segs),
+		Segments:   s.store.Len(),
 		Recordings: rec,
 		Points:     s.points,
 		Ratio:      ratio,

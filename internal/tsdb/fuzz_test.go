@@ -1,0 +1,83 @@
+package tsdb
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// fuzzSeedArchive builds a small valid archive's bytes for the seed
+// corpus.
+func fuzzSeedArchive(tb testing.TB) []byte {
+	a := New()
+	s, err := a.Create("seed", []float64{0.5, 0.25}, false)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	segs := []core.Segment{
+		{T0: 0, T1: 1, X0: []float64{0, 1}, X1: []float64{1, 2}, Points: 5},
+		{T0: 1, T1: 3, X0: []float64{1, 2}, X1: []float64{0, 0}, Connected: true, Points: 8},
+		{T0: 5, T1: 5, X0: []float64{2, 2}, X1: []float64{2, 2}, Points: 1},
+	}
+	if err := s.Append(segs...); err != nil {
+		tb.Fatal(err)
+	}
+	c, err := a.Create("const", []float64{1}, true)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := c.Append(core.Segment{T0: 0, T1: 4, X0: []float64{7}, X1: []float64{7}, Points: 9}); err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadArchive feeds arbitrary bytes to the PLAA container decoder —
+// the snapshot half of the durable storage engine. It must never panic,
+// and anything it accepts must survive a re-encode/re-decode round trip.
+func FuzzReadArchive(f *testing.F) {
+	seed := fuzzSeedArchive(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2]) // truncated
+	f.Add([]byte("PLAA"))
+	f.Add([]byte("PLAA\x00"))
+	f.Add([]byte("NOPE\x01junk"))
+	corrupted := append([]byte(nil), seed...)
+	corrupted[len(corrupted)/3] ^= 0x80
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		a, err := ReadArchive(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := a.WriteTo(&buf); err != nil {
+			t.Fatalf("accepted archive failed to re-encode: %v", err)
+		}
+		b, err := ReadArchive(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded archive failed to decode: %v", err)
+		}
+		an, bn := a.Names(), b.Names()
+		if len(an) != len(bn) {
+			t.Fatalf("round trip changed series count: %d vs %d", len(an), len(bn))
+		}
+		for i, name := range an {
+			if bn[i] != name {
+				t.Fatalf("round trip changed series names: %v vs %v", an, bn)
+			}
+			as, _ := a.Get(name)
+			bs, _ := b.Get(name)
+			if as.Len() != bs.Len() || as.Points() != bs.Points() {
+				t.Fatalf("%s: round trip changed shape: %d/%d vs %d/%d",
+					name, as.Len(), as.Points(), bs.Len(), bs.Points())
+			}
+		}
+	})
+}

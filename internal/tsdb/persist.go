@@ -8,7 +8,6 @@ import (
 	"io"
 	"os"
 
-	"github.com/pla-go/pla/internal/core"
 	"github.com/pla-go/pla/internal/encode"
 )
 
@@ -48,7 +47,7 @@ func (a *Archive) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 		s.mu.RLock()
-		segs := append([]core.Segment(nil), s.segs...)
+		segs := s.store.Snapshot()
 		eps := s.eps
 		constant := s.constant
 		points := s.points
@@ -86,60 +85,74 @@ func (w *writeCounter) Write(p []byte) (int, error) {
 
 // ReadArchive deserialises an archive written by WriteTo.
 func ReadArchive(r io.Reader) (*Archive, error) {
+	a := New()
+	if err := ReadInto(a, r); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ReadInto deserialises an archive written by WriteTo into a, which keeps
+// its own segment-store factory — the recovery path for durable storage,
+// where the caller owns the (empty) archive the server will serve from.
+// A series that already exists in a is an error.
+func ReadInto(a *Archive, r io.Reader) error {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(archiveMagic))
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("%w: missing magic: %v", ErrFormat, err)
+		return fmt.Errorf("%w: missing magic: %v", ErrFormat, err)
 	}
 	if string(head) != archiveMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, head)
+		return fmt.Errorf("%w: bad magic %q", ErrFormat, head)
 	}
 	nSeries, err := binary.ReadUvarint(br)
 	if err != nil || nSeries > 1<<24 {
-		return nil, fmt.Errorf("%w: bad series count", ErrFormat)
+		return fmt.Errorf("%w: bad series count", ErrFormat)
 	}
-	a := New()
 	for i := uint64(0); i < nSeries; i++ {
 		nameLen, err := binary.ReadUvarint(br)
 		if err != nil || nameLen > 1<<16 {
-			return nil, fmt.Errorf("%w: bad name length", ErrFormat)
+			return fmt.Errorf("%w: bad name length", ErrFormat)
 		}
 		name := make([]byte, nameLen)
 		if _, err := io.ReadFull(br, name); err != nil {
-			return nil, fmt.Errorf("%w: truncated name: %v", ErrFormat, err)
+			return fmt.Errorf("%w: truncated name: %v", ErrFormat, err)
 		}
 		points, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("%w: bad point count", ErrFormat)
+			return fmt.Errorf("%w: bad point count", ErrFormat)
 		}
 		blobLen, err := binary.ReadUvarint(br)
 		if err != nil || blobLen > 1<<34 {
-			return nil, fmt.Errorf("%w: bad blob length", ErrFormat)
+			return fmt.Errorf("%w: bad blob length", ErrFormat)
 		}
-		blob := make([]byte, blobLen)
-		if _, err := io.ReadFull(br, blob); err != nil {
-			return nil, fmt.Errorf("%w: truncated blob: %v", ErrFormat, err)
+		// Grow with the stream rather than trusting the declared length: a
+		// corrupt header claiming a huge blob must fail on the missing
+		// bytes, not allocate them up front.
+		var blob bytes.Buffer
+		if _, err := io.CopyN(&blob, br, int64(blobLen)); err != nil {
+			return fmt.Errorf("%w: truncated blob: %v", ErrFormat, err)
 		}
-		dec, err := encode.NewDecoder(bytes.NewReader(blob))
+		dec, err := encode.NewDecoder(bytes.NewReader(blob.Bytes()))
 		if err != nil {
-			return nil, fmt.Errorf("%w: series %q: %v", ErrFormat, name, err)
+			return fmt.Errorf("%w: series %q: %v", ErrFormat, name, err)
 		}
 		segs, err := encode.ReadAll(dec)
 		if err != nil {
-			return nil, fmt.Errorf("%w: series %q: %v", ErrFormat, name, err)
+			return fmt.Errorf("%w: series %q: %v", ErrFormat, name, err)
 		}
 		s, err := a.Create(string(name), dec.Epsilon(), dec.Constant())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := s.Append(segs...); err != nil {
-			return nil, fmt.Errorf("%w: series %q: %v", ErrFormat, name, err)
+			return fmt.Errorf("%w: series %q: %v", ErrFormat, name, err)
 		}
 		s.mu.Lock()
 		s.points = int(points)
 		s.mu.Unlock()
 	}
-	return a, nil
+	return nil
 }
 
 // SaveFile writes the archive to path, replacing any existing file.

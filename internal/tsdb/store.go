@@ -1,0 +1,47 @@
+package tsdb
+
+import "github.com/pla-go/pla/internal/core"
+
+// SegmentStore is the container a Series keeps its ordered segments in.
+// Pulling it out as an interface separates the archive's query semantics
+// (time-order validation, locate, aggregate bands) from the physical
+// layout of the segments, so alternative layouts — a memory-mapped
+// region, a succinct packed encoding, a tiered hot/cold split — can slot
+// in without touching the query layer.
+//
+// Implementations need not be safe for concurrent use: Series serialises
+// every access under its own lock. Append is only called with segments
+// the Series has already validated (dimensionality and time order), in
+// non-decreasing T0 order.
+type SegmentStore interface {
+	// Append adds one validated segment after all existing ones.
+	Append(seg core.Segment)
+	// Len returns the number of stored segments.
+	Len() int
+	// Seg returns the i-th segment, 0 ≤ i < Len().
+	Seg(i int) core.Segment
+	// Snapshot returns a copy of all segments in order.
+	Snapshot() []core.Segment
+}
+
+// MemStore is the default SegmentStore: a plain in-memory slice.
+type MemStore struct {
+	segs []core.Segment
+}
+
+// NewMemStore returns an empty in-memory segment store.
+func NewMemStore() SegmentStore { return &MemStore{} }
+
+// Append implements SegmentStore.
+func (m *MemStore) Append(seg core.Segment) { m.segs = append(m.segs, seg) }
+
+// Len implements SegmentStore.
+func (m *MemStore) Len() int { return len(m.segs) }
+
+// Seg implements SegmentStore.
+func (m *MemStore) Seg(i int) core.Segment { return m.segs[i] }
+
+// Snapshot implements SegmentStore.
+func (m *MemStore) Snapshot() []core.Segment {
+	return append([]core.Segment(nil), m.segs...)
+}

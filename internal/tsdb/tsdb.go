@@ -49,13 +49,20 @@ var (
 // Archive holds many named series. It is safe for concurrent use.
 // Create one with New.
 type Archive struct {
-	mu     sync.RWMutex
-	series map[string]*Series
+	mu       sync.RWMutex
+	series   map[string]*Series
+	newStore func() SegmentStore
 }
 
-// New returns an empty archive.
+// New returns an empty archive backed by in-memory segment stores.
 func New() *Archive {
-	return &Archive{series: make(map[string]*Series)}
+	return NewWithStore(NewMemStore)
+}
+
+// NewWithStore returns an empty archive whose series keep their segments
+// in stores built by factory (one store per series).
+func NewWithStore(factory func() SegmentStore) *Archive {
+	return &Archive{series: make(map[string]*Series), newStore: factory}
 }
 
 // Series is one stored stream: ordered segments plus the precision
@@ -65,7 +72,7 @@ type Series struct {
 	name     string
 	eps      []float64
 	constant bool
-	segs     []core.Segment
+	store    SegmentStore
 	points   int // original samples represented
 }
 
@@ -85,7 +92,7 @@ func (a *Archive) Create(name string, eps []float64, constant bool) (*Series, er
 
 // createLocked builds and registers a series; a.mu must be held.
 func (a *Archive) createLocked(name string, eps []float64, constant bool) *Series {
-	s := &Series{name: name, eps: append([]float64(nil), eps...), constant: constant}
+	s := &Series{name: name, eps: append([]float64(nil), eps...), constant: constant, store: a.newStore()}
 	a.series[name] = s
 	return s
 }
@@ -206,10 +213,10 @@ func (s *Series) Append(segs ...core.Segment) error {
 		if seg.T1 < seg.T0 {
 			return fmt.Errorf("%w: segment ends before it starts", ErrOrder)
 		}
-		if n := len(s.segs); n > 0 && seg.T0 < s.segs[n-1].T0 {
-			return fmt.Errorf("%w: segment at %v after segment at %v", ErrOrder, seg.T0, s.segs[n-1].T0)
+		if n := s.store.Len(); n > 0 && seg.T0 < s.store.Seg(n-1).T0 {
+			return fmt.Errorf("%w: segment at %v after segment at %v", ErrOrder, seg.T0, s.store.Seg(n-1).T0)
 		}
-		s.segs = append(s.segs, seg)
+		s.store.Append(seg)
 		s.points += seg.Points
 	}
 	return nil
@@ -219,27 +226,35 @@ func (s *Series) Append(segs ...core.Segment) error {
 func (s *Series) Segments() []core.Segment {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return append([]core.Segment(nil), s.segs...)
+	return s.store.Snapshot()
 }
 
 // Len returns the number of stored segments.
 func (s *Series) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.segs)
+	return s.store.Len()
+}
+
+// Points returns the number of original samples the series represents.
+func (s *Series) Points() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.points
 }
 
 // Span returns the covered time span.
 func (s *Series) Span() (t0, t1 float64, ok bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if len(s.segs) == 0 {
+	n := s.store.Len()
+	if n == 0 {
 		return 0, 0, false
 	}
-	t0 = s.segs[0].T0
-	for _, seg := range s.segs {
-		if seg.T1 > t1 {
-			t1 = seg.T1
+	t0 = s.store.Seg(0).T0
+	for i := 0; i < n; i++ {
+		if s1 := s.store.Seg(i).T1; s1 > t1 {
+			t1 = s1
 		}
 	}
 	return t0, t1, true
@@ -247,15 +262,17 @@ func (s *Series) Span() (t0, t1 float64, ok bool) {
 
 // locate returns the index of a segment covering t, or -1.
 func (s *Series) locate(t float64) int {
-	i := sort.Search(len(s.segs), func(j int) bool { return s.segs[j].T0 > t }) - 1
+	i := sort.Search(s.store.Len(), func(j int) bool { return s.store.Seg(j).T0 > t }) - 1
 	if i < 0 {
 		return -1
 	}
-	if t <= s.segs[i].T1 {
+	if t <= s.store.Seg(i).T1 {
 		return i
 	}
-	if i > 0 && t >= s.segs[i-1].T0 && t <= s.segs[i-1].T1 {
-		return i - 1
+	if i > 0 {
+		if prev := s.store.Seg(i - 1); t >= prev.T0 && t <= prev.T1 {
+			return i - 1
+		}
 	}
 	return -1
 }
@@ -268,9 +285,10 @@ func (s *Series) At(t float64) ([]float64, bool) {
 	if i < 0 {
 		return nil, false
 	}
+	seg := s.store.Seg(i)
 	out := make([]float64, len(s.eps))
 	for d := range out {
-		out[d] = s.segs[i].At(d, t)
+		out[d] = seg.At(d, t)
 	}
 	return out, true
 }
@@ -283,7 +301,8 @@ func (s *Series) Scan(t0, t1 float64) ([]core.Segment, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []core.Segment
-	for _, seg := range s.segs {
+	for i, n := 0, s.store.Len(); i < n; i++ {
+		seg := s.store.Seg(i)
 		if seg.T1 >= t0 && seg.T0 <= t1 {
 			out = append(out, seg)
 		}

@@ -1,0 +1,401 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/encode"
+	"github.com/pla-go/pla/internal/tsdb"
+)
+
+// Store binds an archive to its data directory: the write-ahead tail the
+// ingest path appends to, and the snapshot generation recovery starts
+// from. Open performs recovery; the server then writes ahead with Append,
+// fences and calls Rotate+Snapshot to compact, and ends with
+// CloseSnapshot on a graceful drain.
+type Store struct {
+	db   *tsdb.Archive
+	dir  string
+	opts Options
+	log  *Log
+
+	compact sync.Mutex // serialises Rotate+Snapshot sequences
+}
+
+// RecoverStats reports what Open found in the data directory.
+type RecoverStats struct {
+	// SnapshotSeq is the sequence of the loaded snapshot (0 if none).
+	SnapshotSeq uint64
+	// SnapshotSeries is the number of series the snapshot held.
+	SnapshotSeries int
+	// WALFiles is the number of wal files replayed.
+	WALFiles int
+	// Replayed is the number of records applied to the archive.
+	Replayed int
+	// Skipped is the number of records the snapshot already covered.
+	Skipped int
+	// Rejected is the number of records the archive refused on replay
+	// (the same out-of-order segments it refused live).
+	Rejected int
+	// TruncatedBytes is the torn tail dropped from the last wal file.
+	TruncatedBytes int64
+}
+
+// Empty reports whether recovery found any prior state.
+func (rs RecoverStats) Empty() bool {
+	return rs.SnapshotSeries == 0 && rs.WALFiles == 0
+}
+
+// Open recovers the data directory into db (which must be empty) and
+// opens a fresh write-ahead tail: newest readable snapshot first, then
+// every remaining wal file in sequence order with torn-tail truncation.
+// The directory is created if absent.
+func Open(dir string, db *tsdb.Archive, opts Options) (*Store, RecoverStats, error) {
+	opts = opts.withDefaults()
+	var stats RecoverStats
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, stats, err
+	}
+	snaps, wals, err := scanDir(dir, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// Load the newest snapshot that parses cleanly; older generations
+	// only survive in the directory after a crash mid-compaction, and a
+	// half-written one is skipped the same way (with a loud warning).
+	maxSeq := uint64(0)
+	for i := len(snaps) - 1; i >= 0; i-- {
+		sn := snaps[i]
+		if sn.seq > maxSeq {
+			maxSeq = sn.seq
+		}
+		if stats.SnapshotSeries > 0 || sn.seq < stats.SnapshotSeq {
+			continue
+		}
+		n, err := loadSnapshot(sn.path, db)
+		if err != nil {
+			opts.logf("wal: snapshot %s unreadable, trying older: %v", filepath.Base(sn.path), err)
+			continue
+		}
+		stats.SnapshotSeq, stats.SnapshotSeries = sn.seq, n
+	}
+
+	// Replay every wal file in sequence order. Files at or below the
+	// snapshot's sequence are normally deleted by compaction; if a crash
+	// kept them around, the per-record index check skips everything the
+	// snapshot already covers.
+	for _, wf := range wals {
+		if wf.seq > maxSeq {
+			maxSeq = wf.seq
+		}
+		if err := replayFile(wf.path, wf.seq, db, &stats, opts); err != nil {
+			return nil, stats, err
+		}
+	}
+
+	l, err := openLog(dir, maxSeq+1, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	syncDir(dir, opts)
+	return &Store{db: db, dir: dir, opts: opts, log: l}, stats, nil
+}
+
+// DB returns the archive the store recovers into and snapshots from.
+func (st *Store) DB() *tsdb.Archive { return st.db }
+
+// Append writes one segment ahead of its apply to s. It must be called
+// by the single goroutine that owns appends for s (the shard worker), so
+// the recorded index matches the position the apply will use.
+func (st *Store) Append(s *tsdb.Series, seg core.Segment) error {
+	return st.log.Append(s.Name(), s.Epsilon(), s.Constant(), s.Len(), seg)
+}
+
+// Commit is the ack barrier: under SyncAlways it returns only after the
+// log is fsynced.
+func (st *Store) Commit() error { return st.log.Commit() }
+
+// Sync flushes and fsyncs the log regardless of policy.
+func (st *Store) Sync() error { return st.log.Sync() }
+
+// TailBytes returns the current wal file's size, the compaction trigger.
+func (st *Store) TailBytes() int64 { return st.log.TailBytes() }
+
+// Rotate closes the current wal file and opens the next sequence,
+// returning the closed file's sequence — the argument for Snapshot once
+// every record in it has been applied (the caller fences its appliers in
+// between).
+func (st *Store) Rotate() (uint64, error) { return st.log.Rotate() }
+
+// Snapshot writes the archive's current state as the snapshot for
+// throughSeq and removes the wal files (sequence ≤ throughSeq) and older
+// snapshots it supersedes. The caller must guarantee every record in
+// those wal files has been applied to the archive — rotate, fence the
+// appliers, then snapshot.
+func (st *Store) Snapshot(throughSeq uint64) error {
+	st.compact.Lock()
+	defer st.compact.Unlock()
+	if err := writeSnapshot(st.dir, throughSeq, st.db, st.opts); err != nil {
+		return err
+	}
+	st.removeObsolete(throughSeq)
+	return nil
+}
+
+// CloseSnapshot ends the store on a graceful drain: it closes the log,
+// writes a final snapshot covering everything, and removes every wal
+// file — leaving the directory holding exactly one snapshot.
+func (st *Store) CloseSnapshot() error {
+	st.compact.Lock()
+	defer st.compact.Unlock()
+	seq := st.log.Seq()
+	if err := st.log.Close(); err != nil && !errors.Is(err, ErrClosed) {
+		return err
+	}
+	if err := writeSnapshot(st.dir, seq, st.db, st.opts); err != nil {
+		return err
+	}
+	st.removeObsolete(seq)
+	return nil
+}
+
+// Close ends the store without snapshotting (error paths; recovery will
+// replay the tail).
+func (st *Store) Close() error {
+	err := st.log.Close()
+	if errors.Is(err, ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+// removeObsolete deletes wal files with sequence ≤ throughSeq and
+// snapshots older than throughSeq. Failures are logged: a leftover file
+// costs replay time on the next boot, not correctness.
+func (st *Store) removeObsolete(throughSeq uint64) {
+	snaps, wals, err := scanDir(st.dir, st.opts)
+	if err != nil {
+		st.opts.logf("wal: compaction scan: %v", err)
+		return
+	}
+	for _, wf := range wals {
+		if wf.seq <= throughSeq {
+			if err := os.Remove(wf.path); err != nil {
+				st.opts.logf("wal: remove %s: %v", filepath.Base(wf.path), err)
+			}
+		}
+	}
+	for _, sn := range snaps {
+		if sn.seq < throughSeq {
+			if err := os.Remove(sn.path); err != nil {
+				st.opts.logf("wal: remove %s: %v", filepath.Base(sn.path), err)
+			}
+		}
+	}
+	syncDir(st.dir, st.opts)
+}
+
+// seqFile is one sequence-numbered file in the data directory.
+type seqFile struct {
+	seq  uint64
+	path string
+}
+
+// scanDir lists the directory's snapshots and wal files in ascending
+// sequence order, removing leftover temporaries from an interrupted
+// snapshot write.
+func scanDir(dir string, opts Options) (snaps, wals []seqFile, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		path := filepath.Join(dir, name)
+		var seq uint64
+		switch {
+		case filepath.Ext(name) == ".tmp":
+			opts.logf("wal: removing interrupted snapshot %s", name)
+			os.Remove(path)
+		case matchSeq(name, walPattern, &seq):
+			wals = append(wals, seqFile{seq, path})
+		case matchSeq(name, snapPattern, &seq):
+			snaps = append(snaps, seqFile{seq, path})
+		}
+	}
+	sort.Slice(wals, func(i, j int) bool { return wals[i].seq < wals[j].seq })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq < snaps[j].seq })
+	return snaps, wals, nil
+}
+
+// matchSeq parses a sequence-numbered file name against a
+// "<prefix>%08d<suffix>" pattern. The digits are parsed directly
+// (Sscanf's %08d would stop at eight digits and reject sequences that
+// outgrew the zero padding).
+func matchSeq(name, pattern string, seq *uint64) bool {
+	i := strings.Index(pattern, "%08d")
+	if i < 0 {
+		return false
+	}
+	digits, ok := strings.CutPrefix(name, pattern[:i])
+	if !ok {
+		return false
+	}
+	digits, ok = strings.CutSuffix(digits, pattern[i+len("%08d"):])
+	if !ok || len(digits) < 8 {
+		return false
+	}
+	v, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return false
+	}
+	*seq = v
+	return true
+}
+
+// loadSnapshot reads a snapshot into db in one pass. db is empty on
+// entry (Open's contract), so a decode failure rolls back by dropping
+// whatever series the partial read created — recovery can then fall
+// back to an older snapshot without a half-populated archive.
+func loadSnapshot(path string, db *tsdb.Archive) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if err := tsdb.ReadInto(db, bufio.NewReaderSize(f, 1<<16)); err != nil {
+		for _, name := range db.Names() {
+			db.Drop(name)
+		}
+		return 0, err
+	}
+	return len(db.Names()), nil
+}
+
+// writeSnapshot writes db as the snapshot for seq: temporary file, fsync,
+// atomic rename, directory fsync.
+func writeSnapshot(dir string, seq uint64, db *tsdb.Archive, opts Options) error {
+	final := filepath.Join(dir, fmt.Sprintf(snapPattern, seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if _, err := db.WriteTo(bw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(dir, opts)
+	return nil
+}
+
+// replayFile applies one wal file's records to db, truncating a torn
+// tail in place so the next boot replays it cleanly. wantSeq is the
+// sequence the file name claims; a header that disagrees means the file
+// was renamed or restored out of place, and replaying it in this
+// position would interleave segments out of order.
+func replayFile(path string, wantSeq uint64, db *tsdb.Archive, stats *RecoverStats, opts Options) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if info.Size() == 0 {
+		// A crash between file creation and the first flush.
+		return nil
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	hdrSeq, headerLen, err := readHeader(br)
+	if err != nil {
+		// The header never made it to disk whole; nothing after it can be
+		// framed, so the file holds no recoverable records.
+		opts.logf("wal: %s: %v; ignoring file", filepath.Base(path), err)
+		return nil
+	}
+	if hdrSeq != wantSeq {
+		opts.logf("wal: %s: header claims sequence %d; file renamed or restored out of place, ignoring it",
+			filepath.Base(path), hdrSeq)
+		return nil
+	}
+	stats.WALFiles++
+	rr := encode.NewRecordReader(br)
+	for {
+		payload, err := rr.ReadRecord()
+		if err == io.EOF {
+			return nil
+		}
+		if errors.Is(err, encode.ErrTorn) {
+			keep := int64(headerLen) + rr.Offset()
+			dropped := info.Size() - keep
+			opts.logf("wal: %s: torn tail, truncating %d bytes: %v", filepath.Base(path), dropped, err)
+			stats.TruncatedBytes += dropped
+			if terr := os.Truncate(path, keep); terr != nil {
+				return fmt.Errorf("wal: truncate %s: %w", path, terr)
+			}
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		rec, err := parseRecord(payload)
+		if err != nil {
+			// The checksum passed but the payload does not parse — a
+			// writer bug or version skew, not a torn write. Keep the file
+			// for inspection and stop replaying it.
+			opts.logf("wal: %s: unparseable record, stopping replay of this file: %v", filepath.Base(path), err)
+			return nil
+		}
+		s, _, err := db.GetOrCreate(rec.name, rec.eps, rec.constant)
+		if err != nil {
+			stats.Rejected++
+			opts.logf("wal: replay %q: %v", rec.name, err)
+			continue
+		}
+		if rec.idx < s.Len() {
+			stats.Skipped++ // the snapshot already covers this record
+			continue
+		}
+		if err := s.Append(rec.seg); err != nil {
+			stats.Rejected++ // the same rejection the live apply produced
+			continue
+		}
+		stats.Replayed++
+	}
+}

@@ -1,0 +1,489 @@
+// Package wal is the durable storage engine behind the plad server: an
+// append-only, checksummed segment log plus periodic PLAA snapshots.
+//
+// The paper's premise (Section 1) is that PLA segments — not resampled
+// points — are the repository format for monitoring streams, so
+// durability is built directly on the segment wire format: every record
+// is one (series, contract, segment) entry, checksummed with the
+// internal/encode record framing, and a snapshot is the archive's own
+// container format. A data directory holds at most one snapshot
+// generation and the write-ahead tail that follows it:
+//
+//	data/
+//	  snap-00000007.plaa   archive state through wal seq 7
+//	  wal-00000008.log     segments appended since that snapshot
+//
+// Recovery loads the newest readable snapshot, replays every remaining
+// wal file in sequence order (truncating a torn tail left by a crash
+// mid-write), and opens a fresh tail. Records carry the index the
+// segment expects to land at in its series, so replaying a wal file that
+// partially overlaps a snapshot — the state a crash during compaction
+// leaves behind — deduplicates exactly instead of double-appending.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/encode"
+)
+
+// SyncPolicy selects when the log reaches stable storage.
+type SyncPolicy int
+
+const (
+	// SyncInterval (the default) flushes and fsyncs on a background
+	// cadence (Options.Interval). A crash can lose at most the last
+	// interval's worth of acknowledged batches.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs before every commit acknowledgement: an acked
+	// batch is on stable storage before the client hears about it.
+	SyncAlways
+	// SyncOff flushes to the OS on the background cadence but never
+	// fsyncs; the OS decides when bytes reach the disk.
+	SyncOff
+)
+
+// String names the policy for flags and metrics output.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncOff:
+		return "off"
+	default:
+		return "interval"
+	}
+}
+
+// ParseSyncPolicy maps a flag word onto a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval or off)", s)
+	}
+}
+
+// Errors returned by the log.
+var (
+	// ErrClosed reports an append to a closed log.
+	ErrClosed = errors.New("wal: log closed")
+	// ErrCorrupt reports an unreadable wal or snapshot file.
+	ErrCorrupt = errors.New("wal: corrupt file")
+)
+
+// File naming and header. The sequence number in the name is
+// authoritative; the copy in the header guards against renamed files.
+const (
+	walPattern  = "wal-%08d.log"
+	snapPattern = "snap-%08d.plaa"
+	walMagic    = "PLAW"
+	walVersion  = byte(1)
+)
+
+// Record payload flags.
+const (
+	recConstant  byte = 1 << 0
+	recConnected byte = 1 << 1
+)
+
+// Options parameterises a Log.
+type Options struct {
+	// Policy is the fsync policy (default SyncInterval).
+	Policy SyncPolicy
+	// Interval is the background flush/fsync cadence for SyncInterval and
+	// SyncOff (default 50ms).
+	Interval time.Duration
+	// Logf, when set, receives one line per recovery or compaction event.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 50 * time.Millisecond
+	}
+	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Log is the append-only segment log. Appends from concurrent shard
+// workers are serialised internally; one background goroutine runs the
+// flush cadence for the interval policies.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File
+	bw     *bufio.Writer
+	rw     *encode.RecordWriter
+	seq    uint64
+	tail   int64 // bytes appended to the current file (header included)
+	closed bool
+
+	flushErr error // first background flush failure, surfaced on Commit
+
+	stop    chan struct{}
+	flusher sync.WaitGroup
+
+	buf []byte // record payload scratch, reused under mu
+}
+
+// openLog creates the wal file for seq in dir and starts the flusher.
+func openLog(dir string, seq uint64, opts Options) (*Log, error) {
+	l := &Log{dir: dir, opts: opts.withDefaults(), stop: make(chan struct{})}
+	if err := l.openFile(seq); err != nil {
+		return nil, err
+	}
+	l.flusher.Add(1)
+	go l.runFlusher()
+	return l, nil
+}
+
+// openFile creates and headers the wal file for seq; l.mu must be held
+// (or the log not yet shared).
+func (l *Log) openFile(seq uint64) error {
+	path := filepath.Join(l.dir, fmt.Sprintf(walPattern, seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	n, err := writeHeader(bw, seq)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.bw, l.rw = f, bw, encode.NewRecordWriter(bw)
+	l.seq, l.tail = seq, int64(n)
+	return nil
+}
+
+// writeHeader emits the wal file header, returning its length.
+func writeHeader(bw *bufio.Writer, seq uint64) (int, error) {
+	if _, err := bw.WriteString(walMagic); err != nil {
+		return 0, err
+	}
+	if err := bw.WriteByte(walVersion); err != nil {
+		return 0, err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], seq)
+	if _, err := bw.Write(tmp[:n]); err != nil {
+		return 0, err
+	}
+	return len(walMagic) + 1 + n, nil
+}
+
+// readHeader validates a wal file header, returning its sequence number
+// and length.
+func readHeader(br *bufio.Reader) (seq uint64, n int, err error) {
+	head := make([]byte, len(walMagic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return 0, 0, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if string(head[:len(walMagic)]) != walMagic {
+		return 0, 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, head[:len(walMagic)])
+	}
+	if head[len(walMagic)] != walVersion {
+		return 0, 0, fmt.Errorf("%w: unknown version %d", ErrCorrupt, head[len(walMagic)])
+	}
+	seq, k, err := encode.ReadUvarintCounted(br)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: bad sequence: %v", ErrCorrupt, err)
+	}
+	return seq, len(walMagic) + 1 + k, nil
+}
+
+// Append writes one (series, contract, segment) record. idx is the
+// position the segment expects to land at in its series (the series
+// length just before the apply); replay uses it to skip records a
+// snapshot already covers. Append does not flush — durability follows
+// the sync policy at the next Commit or flusher tick.
+func (l *Log) Append(name string, eps []float64, constant bool, idx int, seg core.Segment) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.buf = appendRecord(l.buf[:0], name, eps, constant, idx, seg)
+	n, err := l.rw.WriteRecord(l.buf)
+	l.tail += int64(n)
+	return err
+}
+
+// Commit makes everything appended so far as durable as the policy
+// promises: under SyncAlways it flushes and fsyncs before returning (the
+// ack-after-fsync barrier); under the interval policies it is a no-op
+// apart from surfacing any background flush failure.
+func (l *Log) Commit() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.opts.Policy == SyncAlways {
+		return l.syncLocked()
+	}
+	return l.flushErr
+}
+
+// Sync flushes and fsyncs regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.bw.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// TailBytes returns the size of the current wal file, the compaction
+// trigger.
+func (l *Log) TailBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tail
+}
+
+// Seq returns the current wal file's sequence number.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Rotate syncs and closes the current wal file and opens the next
+// sequence, returning the sequence number of the file it closed. Appends
+// racing a rotation land in one file or the other, never in between.
+func (l *Log) Rotate() (oldSeq uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if err := l.syncLocked(); err != nil {
+		return l.seq, err
+	}
+	if err := l.f.Close(); err != nil {
+		return l.seq, err
+	}
+	oldSeq = l.seq
+	if err := l.openFile(oldSeq + 1); err != nil {
+		// The log is unusable until reopened; mark closed so appends fail
+		// loudly instead of writing into a closed file.
+		l.closed = true
+		return oldSeq, err
+	}
+	syncDir(l.dir, l.opts)
+	return oldSeq, nil
+}
+
+// Close stops the flusher, syncs and closes the file. The log is
+// unusable afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.closed = true
+	err := l.bw.Flush()
+	if serr := l.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.mu.Unlock()
+	close(l.stop)
+	l.flusher.Wait()
+	return err
+}
+
+// runFlusher is the background flush/fsync cadence for the interval
+// policies. Under SyncAlways it still flushes periodically so a session
+// that never commits (crash before Close) loses as little as possible.
+func (l *Log) runFlusher() {
+	defer l.flusher.Done()
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if l.closed {
+				l.mu.Unlock()
+				return
+			}
+			err := l.bw.Flush()
+			if err == nil && l.opts.Policy == SyncInterval {
+				err = l.f.Sync()
+			}
+			if err != nil && l.flushErr == nil {
+				l.flushErr = err
+				l.opts.logf("wal: background flush: %v", err)
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// appendRecord encodes one record payload:
+//
+//	flags (bit0 constant, bit1 connected) | uvarint nameLen | name |
+//	uvarint dim | dim × float64 ε | uvarint idx | uvarint points |
+//	float64 t0 | float64 t1 | dim × float64 x0 | dim × float64 x1
+func appendRecord(buf []byte, name string, eps []float64, constant bool, idx int, seg core.Segment) []byte {
+	var flags byte
+	if constant {
+		flags |= recConstant
+	}
+	if seg.Connected {
+		flags |= recConnected
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(name)))
+	buf = append(buf, name...)
+	buf = binary.AppendUvarint(buf, uint64(len(eps)))
+	for _, e := range eps {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e))
+	}
+	buf = binary.AppendUvarint(buf, uint64(idx))
+	pts := seg.Points
+	if pts < 0 {
+		pts = 0
+	}
+	buf = binary.AppendUvarint(buf, uint64(pts))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(seg.T0))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(seg.T1))
+	for _, v := range seg.X0 {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	for _, v := range seg.X1 {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// record is one decoded wal entry.
+type record struct {
+	name     string
+	eps      []float64
+	constant bool
+	idx      int
+	seg      core.Segment
+}
+
+// parseRecord decodes a record payload produced by appendRecord.
+func parseRecord(p []byte) (record, error) {
+	var r record
+	if len(p) < 1 {
+		return r, fmt.Errorf("%w: empty record", ErrCorrupt)
+	}
+	flags := p[0]
+	r.constant = flags&recConstant != 0
+	r.seg.Connected = flags&recConnected != 0
+	p = p[1:]
+	nameLen, p, err := takeUvarint(p)
+	if err != nil || nameLen > 1<<16 || uint64(len(p)) < nameLen {
+		return r, fmt.Errorf("%w: bad name length", ErrCorrupt)
+	}
+	r.name = string(p[:nameLen])
+	p = p[nameLen:]
+	dim, p, err := takeUvarint(p)
+	if err != nil || dim == 0 || dim > 1<<20 {
+		return r, fmt.Errorf("%w: bad dimensionality", ErrCorrupt)
+	}
+	if r.eps, p, err = takeFloats(p, int(dim)); err != nil {
+		return r, fmt.Errorf("%w: truncated epsilon", ErrCorrupt)
+	}
+	idx, p, err := takeUvarint(p)
+	if err != nil || idx > 1<<40 {
+		return r, fmt.Errorf("%w: bad index", ErrCorrupt)
+	}
+	r.idx = int(idx)
+	pts, p, err := takeUvarint(p)
+	if err != nil || pts > 1<<40 {
+		return r, fmt.Errorf("%w: bad point count", ErrCorrupt)
+	}
+	r.seg.Points = int(pts)
+	var times []float64
+	if times, p, err = takeFloats(p, 2); err != nil {
+		return r, fmt.Errorf("%w: truncated times", ErrCorrupt)
+	}
+	r.seg.T0, r.seg.T1 = times[0], times[1]
+	if r.seg.X0, p, err = takeFloats(p, int(dim)); err != nil {
+		return r, fmt.Errorf("%w: truncated x0", ErrCorrupt)
+	}
+	if r.seg.X1, p, err = takeFloats(p, int(dim)); err != nil {
+		return r, fmt.Errorf("%w: truncated x1", ErrCorrupt)
+	}
+	if len(p) != 0 {
+		return r, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(p))
+	}
+	return r, nil
+}
+
+func takeUvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, p, fmt.Errorf("%w: bad uvarint", ErrCorrupt)
+	}
+	return v, p[n:], nil
+}
+
+func takeFloats(p []byte, n int) ([]float64, []byte, error) {
+	if len(p) < 8*n {
+		return nil, p, fmt.Errorf("%w: truncated floats", ErrCorrupt)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+	}
+	return out, p[8*n:], nil
+}
+
+// syncDir fsyncs a directory so renames and creates inside it are
+// durable. Failures are logged, not fatal: some filesystems reject
+// directory fsync and the data files themselves are already synced.
+func syncDir(dir string, opts Options) {
+	d, err := os.Open(dir)
+	if err != nil {
+		opts.logf("wal: sync dir: %v", err)
+		return
+	}
+	if err := d.Sync(); err != nil {
+		opts.logf("wal: sync dir: %v", err)
+	}
+	d.Close()
+}

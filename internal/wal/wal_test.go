@@ -1,0 +1,442 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/tsdb"
+)
+
+// testSeg builds the i-th segment of a deterministic one-dimensional
+// sequence: disconnected lines on [2i, 2i+1].
+func testSeg(i int) core.Segment {
+	t0 := float64(2 * i)
+	return core.Segment{
+		T0: t0, T1: t0 + 1,
+		X0:     []float64{math.Sin(t0)},
+		X1:     []float64{math.Sin(t0) + 0.5},
+		Points: 10 + i,
+	}
+}
+
+// appendN write-aheads and applies n segments to series name in both the
+// store and a reference archive.
+func appendN(t *testing.T, st *Store, ref *tsdb.Archive, name string, lo, n int) {
+	t.Helper()
+	eps := []float64{0.25}
+	s, _, err := st.DB().GetOrCreate(name, eps, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, _, err := ref.GetOrCreate(name, eps, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := lo; i < lo+n; i++ {
+		seg := testSeg(i)
+		if err := st.Append(s, seg); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(seg); err != nil {
+			t.Fatal(err)
+		}
+		if err := rs.Append(seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// mustEqualArchives compares two archives segment for segment.
+func mustEqualArchives(t *testing.T, got, want *tsdb.Archive) {
+	t.Helper()
+	gn, wn := got.Names(), want.Names()
+	if fmt.Sprint(gn) != fmt.Sprint(wn) {
+		t.Fatalf("series %v, want %v", gn, wn)
+	}
+	for _, name := range wn {
+		gs, _ := got.Get(name)
+		ws, _ := want.Get(name)
+		gsegs, wsegs := gs.Segments(), ws.Segments()
+		if len(gsegs) != len(wsegs) {
+			t.Fatalf("%s: %d segments, want %d", name, len(gsegs), len(wsegs))
+		}
+		for i := range wsegs {
+			g, w := gsegs[i], wsegs[i]
+			if g.T0 != w.T0 || g.T1 != w.T1 || g.Connected != w.Connected || g.Points != w.Points ||
+				fmt.Sprint(g.X0) != fmt.Sprint(w.X0) || fmt.Sprint(g.X1) != fmt.Sprint(w.X1) {
+				t.Fatalf("%s: segment %d differs: got %+v, want %+v", name, i, g, w)
+			}
+		}
+		if gs.Points() != ws.Points() {
+			t.Fatalf("%s: points %d, want %d", name, gs.Points(), ws.Points())
+		}
+	}
+}
+
+func openStore(t *testing.T, dir string, policy SyncPolicy) (*Store, RecoverStats) {
+	t.Helper()
+	st, stats, err := Open(dir, tsdb.New(), Options{Policy: policy, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, stats
+}
+
+// TestReplayFromTail closes the log without any snapshot and recovers
+// everything from the wal alone.
+func TestReplayFromTail(t *testing.T) {
+	dir := t.TempDir()
+	ref := tsdb.New()
+	st, stats := openStore(t, dir, SyncAlways)
+	if !stats.Empty() {
+		t.Fatalf("fresh dir not empty: %+v", stats)
+	}
+	appendN(t, st, ref, "a", 0, 7)
+	appendN(t, st, ref, "b", 0, 3)
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, stats := openStore(t, dir, SyncAlways)
+	defer st2.Close()
+	if stats.Replayed != 10 || stats.Skipped != 0 || stats.Rejected != 0 {
+		t.Fatalf("replay stats %+v, want 10 replayed", stats)
+	}
+	mustEqualArchives(t, st2.DB(), ref)
+}
+
+// TestTornTailTruncation cuts the wal mid-record: recovery must keep the
+// whole records, truncate the torn bytes in place, and a second recovery
+// must see a clean file.
+func TestTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	ref := tsdb.New()
+	st, _ := openStore(t, dir, SyncAlways)
+	appendN(t, st, ref, "series", 0, 5)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last record: chop 3 bytes off the only wal file.
+	_, wals, err := scanDir(dir, Options{})
+	if err != nil || len(wals) != 1 {
+		t.Fatalf("scan: %v, %d wal files", err, len(wals))
+	}
+	info, err := os.Stat(wals[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(wals[0].path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	// The reference loses its last segment too.
+	wantRef := tsdb.New()
+	ws, _, _ := wantRef.GetOrCreate("series", []float64{0.25}, false)
+	for i := 0; i < 4; i++ {
+		if err := ws.Append(testSeg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st2, stats := openStore(t, dir, SyncAlways)
+	if stats.Replayed != 4 || stats.TruncatedBytes == 0 {
+		t.Fatalf("stats %+v, want 4 replayed and a truncated tail", stats)
+	}
+	mustEqualArchives(t, st2.DB(), wantRef)
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// After truncation the old file replays with no torn tail.
+	st3, stats := openStore(t, dir, SyncAlways)
+	defer st3.Close()
+	if stats.TruncatedBytes != 0 || stats.Replayed != 4 {
+		t.Fatalf("second recovery stats %+v, want clean 4-record replay", stats)
+	}
+	mustEqualArchives(t, st3.DB(), wantRef)
+}
+
+// TestSnapshotPlusTail compacts mid-stream and verifies recovery from
+// snapshot + fresh tail matches the reference archive exactly.
+func TestSnapshotPlusTail(t *testing.T) {
+	dir := t.TempDir()
+	ref := tsdb.New()
+	st, _ := openStore(t, dir, SyncAlways)
+	appendN(t, st, ref, "a", 0, 6)
+	appendN(t, st, ref, "b", 0, 4)
+
+	// Compact: rotate, (no concurrent appliers to fence here), snapshot.
+	oldSeq, err := st.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Snapshot(oldSeq); err != nil {
+		t.Fatal(err)
+	}
+	// The superseded wal file must be gone.
+	_, wals, _ := scanDir(dir, Options{})
+	for _, wf := range wals {
+		if wf.seq <= oldSeq {
+			t.Fatalf("wal seq %d survived compaction", wf.seq)
+		}
+	}
+
+	appendN(t, st, ref, "a", 6, 3) // tail after the snapshot
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, stats := openStore(t, dir, SyncAlways)
+	defer st2.Close()
+	if stats.SnapshotSeries != 2 || stats.Replayed != 3 {
+		t.Fatalf("stats %+v, want 2 snapshot series + 3 replayed", stats)
+	}
+	mustEqualArchives(t, st2.DB(), ref)
+}
+
+// TestCrashMidCompaction restores the pre-snapshot wal file after the
+// snapshot committed — the overlap a crash between rename and cleanup
+// leaves — and verifies the per-record index dedups the replay.
+func TestCrashMidCompaction(t *testing.T) {
+	dir := t.TempDir()
+	ref := tsdb.New()
+	st, _ := openStore(t, dir, SyncAlways)
+	appendN(t, st, ref, "dup", 0, 5)
+
+	oldSeq, err := st.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Save the rotated wal before Snapshot deletes it.
+	_, wals, _ := scanDir(dir, Options{})
+	var oldPath string
+	var oldBytes []byte
+	for _, wf := range wals {
+		if wf.seq == oldSeq {
+			oldPath = wf.path
+			if oldBytes, err = os.ReadFile(wf.path); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if oldPath == "" {
+		t.Fatal("rotated wal not found")
+	}
+	if err := st.Snapshot(oldSeq); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, st, ref, "dup", 5, 2)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash-before-cleanup state.
+	if err := os.WriteFile(oldPath, oldBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, stats := openStore(t, dir, SyncAlways)
+	defer st2.Close()
+	if stats.Skipped != 5 {
+		t.Fatalf("stats %+v, want 5 skipped (snapshot overlap)", stats)
+	}
+	mustEqualArchives(t, st2.DB(), ref)
+}
+
+// TestRecoverySurvivesCorruptSnapshot scribbles over the newest snapshot:
+// recovery must fall back to the older generation + wal replay rather
+// than load garbage or fail.
+func TestRecoverySurvivesCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	ref := tsdb.New()
+	st, _ := openStore(t, dir, SyncAlways)
+	appendN(t, st, ref, "s", 0, 4)
+	oldSeq, err := st.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Snapshot(oldSeq); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, st, ref, "s", 4, 2)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, _, _ := scanDir(dir, Options{})
+	if len(snaps) != 1 {
+		t.Fatalf("%d snapshots, want 1", len(snaps))
+	}
+	if err := os.WriteFile(snaps[0].path, []byte("PLAAgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The snapshot is gone for good, and so are the wal files it
+	// superseded — only the post-snapshot tail can come back.
+	st2, stats := openStore(t, dir, SyncAlways)
+	defer st2.Close()
+	if stats.SnapshotSeries != 0 || stats.Replayed != 2 {
+		t.Fatalf("stats %+v, want 0 snapshot series + 2 replayed", stats)
+	}
+	want := tsdb.New()
+	wsr, _, _ := want.GetOrCreate("s", []float64{0.25}, false)
+	for i := 4; i < 6; i++ {
+		if err := wsr.Append(testSeg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustEqualArchives(t, st2.DB(), want)
+}
+
+// TestCloseSnapshot drains to a single snapshot file and recovers from it
+// with no wal replay.
+func TestCloseSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	ref := tsdb.New()
+	st, _ := openStore(t, dir, SyncInterval)
+	appendN(t, st, ref, "x", 0, 8)
+	appendN(t, st, ref, "y", 0, 2)
+	if err := st.CloseSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, wals, err := scanDir(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || len(wals) != 0 {
+		t.Fatalf("after CloseSnapshot: %d snapshots, %d wals; want 1, 0", len(snaps), len(wals))
+	}
+
+	st2, stats := openStore(t, dir, SyncInterval)
+	defer st2.Close()
+	if stats.SnapshotSeries != 2 || stats.Replayed != 0 || stats.WALFiles != 0 {
+		t.Fatalf("stats %+v, want pure snapshot recovery", stats)
+	}
+	mustEqualArchives(t, st2.DB(), ref)
+}
+
+// TestRejectedReplayDeterminism write-aheads an out-of-order segment the
+// archive refuses; replay must refuse it identically instead of storing
+// it.
+func TestRejectedReplayDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir, SyncAlways)
+	eps := []float64{0.25}
+	s, _, err := st.DB().GetOrCreate("r", eps, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, bad := testSeg(3), testSeg(1) // bad starts before good
+	for _, seg := range []core.Segment{good, bad} {
+		if err := st.Append(s, seg); err != nil {
+			t.Fatal(err)
+		}
+		s.Append(seg) // second append fails: out of order — mirrored on replay
+	}
+	if s.Len() != 1 {
+		t.Fatalf("live series has %d segments, want 1", s.Len())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, stats := openStore(t, dir, SyncAlways)
+	defer st2.Close()
+	if stats.Replayed != 1 || stats.Rejected != 1 {
+		t.Fatalf("stats %+v, want 1 replayed + 1 rejected", stats)
+	}
+	s2, err := st2.DB().Get("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("replayed series has %d segments, want 1", s2.Len())
+	}
+}
+
+// TestAppendAfterClose checks the closed-log guard.
+func TestAppendAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir, SyncOff)
+	s, _, err := st.DB().GetOrCreate("c", []float64{1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(s, testSeg(0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestMatchSeqWideSequences checks the file-name parser past the zero
+// padding: Sprintf widens beyond 8 digits, and scanning must keep up.
+func TestMatchSeqWideSequences(t *testing.T) {
+	for _, seq := range []uint64{0, 1, 99999999, 100000000, 123456789012} {
+		name := fmt.Sprintf(walPattern, seq)
+		var got uint64
+		if !matchSeq(name, walPattern, &got) || got != seq {
+			t.Errorf("matchSeq(%q) = %v (seq %d), want %d", name, matchSeq(name, walPattern, &got), got, seq)
+		}
+	}
+	var v uint64
+	for _, bad := range []string{"wal-1234567.log", "wal--0000001.log", "wal-+1234567.log", "wal-0000000x.log"} {
+		if matchSeq(bad, walPattern, &v) {
+			t.Errorf("matchSeq accepted %q", bad)
+		}
+	}
+}
+
+// TestReplaySkipsRenamedFile: a wal file whose header sequence disagrees
+// with its name (a restore put it in the wrong place) must be ignored,
+// not replayed out of order.
+func TestReplaySkipsRenamedFile(t *testing.T) {
+	dir := t.TempDir()
+	ref := tsdb.New()
+	st, _ := openStore(t, dir, SyncAlways)
+	appendN(t, st, ref, "s", 0, 3)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, wals, err := scanDir(dir, Options{})
+	if err != nil || len(wals) != 1 {
+		t.Fatalf("scan: %v (%d files)", err, len(wals))
+	}
+	// Pretend a backup restored seq 1 as seq 9.
+	renamed := filepath.Join(dir, fmt.Sprintf(walPattern, uint64(9)))
+	if err := os.Rename(wals[0].path, renamed); err != nil {
+		t.Fatal(err)
+	}
+	st2, stats := openStore(t, dir, SyncAlways)
+	defer st2.Close()
+	if stats.Replayed != 0 || stats.WALFiles != 0 {
+		t.Fatalf("stats %+v, want the renamed file ignored", stats)
+	}
+}
+
+// TestScanDirIgnoresStrangers checks unrelated files neither replay nor
+// get deleted by compaction cleanup.
+func TestScanDirIgnoresStrangers(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"README", "wal-junk.log", "snap-1.plaa", "wal-00000001.log.bak"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps, wals, err := scanDir(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 0 || len(wals) != 0 {
+		t.Fatalf("scan picked up strangers: %v %v", snaps, wals)
+	}
+}

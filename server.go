@@ -2,6 +2,7 @@ package pla
 
 import (
 	"github.com/pla-go/pla/internal/server"
+	"github.com/pla-go/pla/internal/wal"
 )
 
 // Network ingestion (the plad server) re-exported for external
@@ -21,6 +22,9 @@ type (
 	// DropPolicy selects backpressure or shedding when a shard queue
 	// is full.
 	DropPolicy = server.DropPolicy
+	// SyncPolicy selects when the write-ahead log reaches stable
+	// storage (ServerConfig.Sync, with ServerConfig.DataDir).
+	SyncPolicy = wal.SyncPolicy
 	// IngestClient is the sensor side of an ingest session.
 	IngestClient = server.Client
 	// QueryClient speaks the line-oriented query protocol.
@@ -39,6 +43,18 @@ const (
 	Block = server.Block
 	// DropNewest sheds the incoming segment and counts it.
 	DropNewest = server.DropNewest
+	// DropOldest sheds the oldest queued segment, keeping the newest.
+	DropOldest = server.DropOldest
+)
+
+// WAL sync policies for durable servers (ServerConfig.DataDir).
+const (
+	// SyncInterval fsyncs on a background cadence (the default).
+	SyncInterval = wal.SyncInterval
+	// SyncAlways fsyncs before acknowledging a session's stream end.
+	SyncAlways = wal.SyncAlways
+	// SyncOff leaves syncing to the operating system.
+	SyncOff = wal.SyncOff
 )
 
 // Errors surfaced by the server and its clients.
@@ -52,8 +68,11 @@ var (
 	ErrRejected = server.ErrRejected
 )
 
-// NewServer returns a running ingestion server storing into db.
-func NewServer(db *Archive, cfg ServerConfig) *Server { return server.New(db, cfg) }
+// NewServer returns a running ingestion server storing into db. With
+// cfg.DataDir set the server is durable: prior state is recovered into
+// db (which must be empty) before serving, every segment is written
+// ahead to a checksummed log, and Shutdown leaves a clean snapshot.
+func NewServer(db *Archive, cfg ServerConfig) (*Server, error) { return server.New(db, cfg) }
 
 // DialServer opens an ingest session for the named series, streaming
 // through filter f; only finalized segments cross the wire.
