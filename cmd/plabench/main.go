@@ -5,15 +5,19 @@
 //
 //	plabench [-experiment all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13]
 //	         [-quick] [-seed n] [-dump-sst file.csv]
-//	plabench -server-bench [-server-clients 8] [-server-points 20000]
+//	plabench -server-bench [-server-clients 8,64] [-server-points 20000,2500]
 //	         [-server-rounds 5] [-server-shards 8]
-//	         [-server-sync mem,interval] [-o BENCH.json]
+//	         [-server-sync mem,interval,always] [-o BENCH.json]
 //
 // -quick shrinks the synthetic workloads for a fast smoke run; the
 // canonical numbers in EXPERIMENTS.md come from the default sizes.
 // -server-bench measures the plad network ingest path (concurrent
-// clients over loopback TCP into the sharded archive) and, with -o,
-// writes a JSON snapshot for cross-PR perf tracking.
+// clients over loopback TCP into the sharded archive) once per
+// (workload × sync mode) — -server-clients/-server-points are parallel
+// comma-separated lists, so one run can cover both the few-big-sessions
+// and many-small-sessions (fsync-bound, where group commit shows)
+// shapes — and, with -o, writes a JSON snapshot for cross-PR perf
+// tracking.
 package main
 
 import (
@@ -33,11 +37,11 @@ func main() {
 		dumpSST    = flag.String("dump-sst", "", "write the Figure 6 series as CSV to this file and exit")
 
 		srvBench   = flag.Bool("server-bench", false, "measure the plad network ingest path and exit")
-		srvClients = flag.Int("server-clients", 8, "concurrent ingest clients for -server-bench")
-		srvPoints  = flag.Int("server-points", 20000, "points per client for -server-bench")
+		srvClients = flag.String("server-clients", "8", "comma-separated concurrent-client counts for -server-bench (parallel with -server-points)")
+		srvPoints  = flag.String("server-points", "20000", "comma-separated points-per-client counts for -server-bench")
 		srvRounds  = flag.Int("server-rounds", 5, "measurement rounds for -server-bench (best is reported)")
 		srvShards  = flag.Int("server-shards", 8, "server shard count for -server-bench")
-		srvSync    = flag.String("server-sync", "mem,interval", "comma-separated durability modes for -server-bench: mem, off, interval, always")
+		srvSync    = flag.String("server-sync", "mem,interval,always", "comma-separated durability modes for -server-bench: mem, off, interval, always")
 		out        = flag.String("o", "", "write the -server-bench snapshot as JSON to this file")
 	)
 	flag.Parse()

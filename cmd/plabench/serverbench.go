@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -39,25 +40,42 @@ type ServerBenchResult struct {
 
 // serverBench measures the concurrent network-ingest path (via the shared
 // internal/loadgen driver the Go benchmark also uses) once per requested
-// sync mode and, with outPath, writes the results as a JSON array.
-func serverBench(clients, points, rounds, shards int, syncModes, outPath string) error {
-	if clients < 1 || points < 1 || rounds < 1 || shards < 1 {
-		return fmt.Errorf("server-bench needs ≥1 clients, points, rounds, and shards (got %d/%d/%d/%d)",
-			clients, points, rounds, shards)
+// (workload × sync mode) pair and, with outPath, writes the results as a
+// JSON array. clientsList and pointsList are parallel comma-separated
+// lists: "8,64" clients with "20000,2500" points runs two workloads —
+// the second (many sessions, few points each) is the fsync-bound shape
+// where group commit shows.
+func serverBench(clientsList, pointsList string, rounds, shards int, syncModes, outPath string) error {
+	clientCounts, err := atoiList(clientsList)
+	if err != nil {
+		return fmt.Errorf("bad -server-clients: %w", err)
+	}
+	pointCounts, err := atoiList(pointsList)
+	if err != nil {
+		return fmt.Errorf("bad -server-points: %w", err)
+	}
+	if len(clientCounts) != len(pointCounts) {
+		return fmt.Errorf("-server-clients lists %d workloads, -server-points %d", len(clientCounts), len(pointCounts))
+	}
+	if rounds < 1 || shards < 1 {
+		return fmt.Errorf("server-bench needs ≥1 rounds and shards (got %d/%d)", rounds, shards)
 	}
 	var results []ServerBenchResult
-	for _, mode := range strings.Split(syncModes, ",") {
-		mode = strings.TrimSpace(mode)
-		if mode == "" {
-			continue
+	for i, clients := range clientCounts {
+		points := pointCounts[i]
+		for _, mode := range strings.Split(syncModes, ",") {
+			mode = strings.TrimSpace(mode)
+			if mode == "" {
+				continue
+			}
+			res, err := serverBenchMode(clients, points, rounds, shards, mode)
+			if err != nil {
+				return fmt.Errorf("mode %s: %w", mode, err)
+			}
+			fmt.Printf("server ingest [%s]: %d clients × %d points in %.6fs (%.0f points/s, %.1fx byte compression)\n",
+				mode, clients, points, res.Seconds, res.PointsPerS, res.ByteRatio)
+			results = append(results, res)
 		}
-		res, err := serverBenchMode(clients, points, rounds, shards, mode)
-		if err != nil {
-			return fmt.Errorf("mode %s: %w", mode, err)
-		}
-		fmt.Printf("server ingest [%s]: %d clients × %d points in %.6fs (%.0f points/s, %.1fx byte compression)\n",
-			mode, clients, points, res.Seconds, res.PointsPerS, res.ByteRatio)
-		results = append(results, res)
 	}
 	if outPath == "" {
 		return nil
@@ -77,6 +95,26 @@ func serverBench(clients, points, rounds, shards int, syncModes, outPath string)
 	}
 	fmt.Printf("wrote snapshot to %s\n", outPath)
 	return nil
+}
+
+// atoiList parses a comma-separated list of positive ints.
+func atoiList(s string) ([]int, error) {
+	var out []int
+	for _, w := range strings.Split(s, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue
+		}
+		v, err := strconv.Atoi(w)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("%q is not a positive integer", w)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
 }
 
 // serverBenchMode runs rounds × clients concurrent ingest sessions of the

@@ -205,6 +205,14 @@ func runDemo(w io.Writer, cfg server.Config, clients, points int) error {
 		if err := verifyRecovery(w, cfg, db); err != nil {
 			return err
 		}
+		// Restart once more with a different shard count: the partitioned
+		// logs must migrate into the new sharding without losing a
+		// segment.
+		resharded := cfg
+		resharded.Shards = cfg.Shards*2 + 1
+		if err := verifyRecovery(w, resharded, db); err != nil {
+			return fmt.Errorf("reshard %d→%d: %w", cfg.Shards, resharded.Shards, err)
+		}
 	}
 	return nil
 }
@@ -253,7 +261,7 @@ func verifyRecovery(w io.Writer, cfg server.Config, want *tsdb.Archive) error {
 		}
 		segs += len(gsegs)
 	}
-	fmt.Fprintf(w, "restart from %s verified: %d series, %d segments identical ✓\n",
-		cfg.DataDir, len(names), segs)
+	fmt.Fprintf(w, "restart from %s (%d shards) verified: %d series, %d segments identical ✓\n",
+		cfg.DataDir, cfg.Shards, len(names), segs)
 	return nil
 }

@@ -9,16 +9,23 @@
 //	plad [-addr :7070] [-shards 8] [-queue 1024]
 //	     [-policy block|drop|drop-oldest]
 //	     [-data-dir DIR] [-sync always|interval|off] [-sync-every 50ms]
-//	     [-compact-bytes N]
+//	     [-compact-bytes N] [-retain T] [-http ADDR]
 //	plad -demo [-demo-clients 8] [-demo-points 2000] [-data-dir DIR]
 //
 // Without -demo, plad serves until SIGINT/SIGTERM, then drains its shard
-// queues and exits. With -data-dir the archive is durable: plad recovers
-// the directory on boot (snapshot load → WAL replay with torn-tail
-// truncation → serve), write-ahead-logs every segment, compacts the log
-// into fresh snapshots as it grows, and leaves a single clean snapshot
-// on graceful drain. Under -sync always a session's final ack is written
-// only after its segments are fsynced.
+// queues and exits. With -data-dir the archive is durable through a
+// partitioned commit pipeline: each ingest shard owns its own
+// `shard-<k>/` write-ahead log, so appends and fsyncs run in parallel,
+// and under -sync always each shard batches every session barrier
+// queued since its last sync into one fsync (group commit). On boot
+// plad recovers all partitions concurrently (snapshot load → WAL replay
+// with torn-tail truncation → serve), transparently migrating a
+// pre-partitioning single-log directory or a directory written with a
+// different -shards value. Each shard compacts its own log into fresh
+// snapshots as it grows (dropping segments older than the -retain
+// window, if set), and a graceful drain leaves one clean snapshot per
+// shard. -http serves /metrics (Prometheus text: per-shard queue depth,
+// drops, WAL bytes, fsync and group-commit counts) and /healthz.
 //
 // With -demo it starts a server on an ephemeral loopback port, drives
 // -demo-clients concurrent sensors through it (synthetic signals from
@@ -36,6 +43,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -55,7 +64,9 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
 		syncPolicy   = flag.String("sync", "interval", "WAL fsync policy with -data-dir: always (ack-after-fsync), interval, off")
 		syncEvery    = flag.Duration("sync-every", 50*time.Millisecond, "background WAL flush/fsync cadence for -sync interval|off")
-		compactBytes = flag.Int64("compact-bytes", 64<<20, "snapshot+truncate the WAL when its tail exceeds this many bytes")
+		compactBytes = flag.Int64("compact-bytes", 64<<20, "snapshot+truncate a shard's WAL when its tail exceeds this many bytes")
+		retain       = flag.Float64("retain", 0, "retention window in stream-time units; compaction drops older segments (0 = keep everything)")
+		httpAddr     = flag.String("http", "", "serve /metrics and /healthz on this address (empty = disabled)")
 		demo         = flag.Bool("demo", false, "run the loopback self-check demo and exit")
 		demoClients  = flag.Int("demo-clients", 8, "concurrent sensors in the demo")
 		demoPoints   = flag.Int("demo-points", 2000, "points per demo sensor")
@@ -63,11 +74,12 @@ func main() {
 	flag.Parse()
 
 	cfg := server.Config{
-		Shards:       *shards,
-		QueueDepth:   *queue,
-		DataDir:      *dataDir,
-		SyncEvery:    *syncEvery,
-		CompactBytes: *compactBytes,
+		Shards:         *shards,
+		QueueDepth:     *queue,
+		DataDir:        *dataDir,
+		SyncEvery:      *syncEvery,
+		CompactBytes:   *compactBytes,
+		RetainSegments: *retain,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "plad: "+format+"\n", args...)
 		},
@@ -101,6 +113,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var httpLn net.Listener
+	if *httpAddr != "" {
+		httpLn, err = net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal(fmt.Errorf("http listener: %w", err))
+		}
+		fmt.Printf("plad: metrics on http://%s/metrics\n", httpLn.Addr())
+		go http.Serve(httpLn, s.Handler())
+	}
 	done := make(chan error, 1)
 	go func() {
 		durable := "in-memory"
@@ -126,6 +147,9 @@ func main() {
 			// sessions had to be force-closed at the deadline. A routine
 			// restart of a busy daemon is not a failure.
 			fmt.Fprintln(os.Stderr, "plad: drain deadline reached, open sessions force-closed:", err)
+		}
+		if httpLn != nil {
+			httpLn.Close()
 		}
 		m := s.Metrics()
 		fmt.Printf("plad: stored %d segments (%d points, %d B on the wire) across %d sessions\n",

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the server's observability endpoint: `/metrics` in the
+// Prometheus text exposition format (per-shard queue depth, drops,
+// applied segments, WAL bytes and fsync counts — everything
+// ShardMetrics carries) and `/healthz`, which reports 200 while the
+// server accepts sessions and 503 once a drain has begun. plad serves
+// it on -http; embedders can mount it on their own mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.serveHealthz)
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	return mux
+}
+
+func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.isClosing() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP plad_sessions_active Ingest sessions streaming right now.\n# TYPE plad_sessions_active gauge\nplad_sessions_active %d\n", m.ActiveSessions)
+	fmt.Fprintf(w, "# HELP plad_sessions_total Ingest handshakes accepted over the server's lifetime.\n# TYPE plad_sessions_total counter\nplad_sessions_total %d\n", m.TotalSessions)
+
+	emit := func(name, typ, help string, val func(ShardMetrics) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, sm := range m.Shards {
+			fmt.Fprintf(w, "%s{shard=%s} %d\n", name, strconv.Quote(strconv.Itoa(sm.Shard)), val(sm))
+		}
+	}
+	gauge := func(name, help string, val func(ShardMetrics) int64) { emit(name, "gauge", help, val) }
+	counter := func(name, help string, val func(ShardMetrics) int64) { emit(name, "counter", help, val) }
+
+	gauge("plad_shard_queue_depth", "Jobs waiting on the shard queue right now.",
+		func(sm ShardMetrics) int64 { return int64(sm.QueueLen) })
+	gauge("plad_shard_queue_capacity", "Shard queue capacity.",
+		func(sm ShardMetrics) int64 { return int64(sm.QueueCap) })
+	counter("plad_shard_segments_total", "Segments applied to the archive.",
+		func(sm ShardMetrics) int64 { return sm.Segments })
+	counter("plad_shard_points_total", "Original samples represented by applied segments.",
+		func(sm ShardMetrics) int64 { return sm.Points })
+	counter("plad_shard_rejected_total", "Segments refused (time order, or failed write-ahead).",
+		func(sm ShardMetrics) int64 { return sm.Rejected })
+	counter("plad_shard_dropped_total", "Segments shed by the overload policy.",
+		func(sm ShardMetrics) int64 { return sm.Dropped })
+	counter("plad_shard_wire_bytes_total", "Wire bytes attributed to the shard.",
+		func(sm ShardMetrics) int64 { return sm.Bytes })
+	counter("plad_shard_barriers_total", "Barriers acknowledged (session stream ends and fences).",
+		func(sm ShardMetrics) int64 { return sm.Barriers })
+	counter("plad_shard_commits_total", "WAL commit batches; barriers/commits is the group-commit factor.",
+		func(sm ShardMetrics) int64 { return sm.Commits })
+	counter("plad_shard_wal_bytes_total", "Bytes appended to the shard's WAL partition.",
+		func(sm ShardMetrics) int64 { return sm.WALBytes })
+	counter("plad_shard_wal_fsyncs_total", "Fsyncs issued by the shard's WAL partition.",
+		func(sm ShardMetrics) int64 { return sm.Fsyncs })
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"github.com/pla-go/pla/internal/gen"
+)
+
+// rawQuery drives the line protocol directly — no client library — so
+// the server-side error branches are exercised exactly as a hand-typed
+// or buggy client would hit them.
+type rawQuery struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func dialRawQuery(t *testing.T, addr string) *rawQuery {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	if _, err := conn.Write([]byte(magicQuery)); err != nil {
+		t.Fatal(err)
+	}
+	return &rawQuery{conn: conn, br: bufio.NewReader(conn)}
+}
+
+// line sends one command and returns the first response line.
+func (rq *rawQuery) line(t *testing.T, cmd string) string {
+	t.Helper()
+	if _, err := fmt.Fprintf(rq.conn, "%s\n", cmd); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := rq.br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("%s: read response: %v", cmd, err)
+	}
+	return strings.TrimRight(resp, "\n")
+}
+
+// TestQueryProtocolErrorBranches walks every textual rejection the query
+// dispatcher can produce: unknown series, malformed numbers and ranges,
+// wrong argument counts, empty windows, unknown commands — each must
+// answer one "ERR ..." line and leave the session usable.
+func TestQueryProtocolErrorBranches(t *testing.T) {
+	_, addr := startServer(t, Config{Shards: 2})
+
+	// One covered series so the "known series, bad arguments" branches
+	// are reachable.
+	c, err := Dial(addr, "known", mustLinear(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range gen.Sine(50, 2, 10, 0, 1) { // covers [0, 49]
+		if err := c.Send(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rq := dialRawQuery(t, addr)
+	cases := []struct {
+		cmd      string
+		wantPfx  string
+		describe string
+	}{
+		{"AT missing 5", "ERR ", "unknown series"},
+		{"MEAN missing 0 0 10", "ERR ", "unknown series (aggregate)"},
+		{"SCAN missing 0 10", "ERR ", "unknown series (scan)"},
+		{"AT known", "ERR ", "missing arguments"},
+		{"AT known 1 2", "ERR ", "too many arguments"},
+		{"AT known notatime", "ERR bad time", "malformed time"},
+		{"AT known 1e9", "ERR no data", "uncovered time"},
+		{"MEAN known x 0 10", "ERR bad dim", "malformed dim"},
+		{"MEAN known 7 0 10", "ERR ", "out-of-range dim"},
+		{"MEAN known 0 zero ten", "ERR bad range", "malformed range"},
+		{"MEAN known 0 40 2", "ERR ", "inverted range"},
+		{"MEAN known 0 5000 6000", "ERR no data", "empty window"},
+		{"MIN known 0 nan nan", "ERR ", "NaN range"},
+		{"MAX known 0 5000 6000", "ERR no data", "empty window (max)"},
+		{"SCAN known zero ten", "ERR bad range", "malformed scan range"},
+		{"SCAN known 40 2", "ERR ", "inverted scan range"},
+		{"SCAN known", "ERR ", "scan arity"},
+		{"FROB known", "ERR unknown command", "unknown command"},
+	}
+	for _, tc := range cases {
+		resp := rq.line(t, tc.cmd)
+		if !strings.HasPrefix(resp, tc.wantPfx) {
+			t.Errorf("%s (%q): response %q, want prefix %q", tc.describe, tc.cmd, resp, tc.wantPfx)
+		}
+		if strings.HasPrefix(resp, "OK") {
+			t.Errorf("%s (%q): accepted with %q", tc.describe, tc.cmd, resp)
+		}
+	}
+
+	// The session survives every rejection: a well-formed command still
+	// answers, and QUIT closes cleanly.
+	if resp := rq.line(t, "AT known 5"); !strings.HasPrefix(resp, "OK ") {
+		t.Errorf("session broken after error branches: AT answered %q", resp)
+	}
+	if resp := rq.line(t, "QUIT"); resp != "OK bye" {
+		t.Errorf("QUIT answered %q", resp)
+	}
+}
+
+// TestQueryEmptyWindowAggregates pins the distinguished "no data" error
+// for every aggregate over a covered series' empty sub-window — clients
+// map that prefix to ErrNoData, so the wording is part of the protocol.
+func TestQueryEmptyWindowAggregates(t *testing.T) {
+	_, addr := startServer(t, Config{Shards: 1})
+	c, err := Dial(addr, "sparse", mustLinear(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range gen.Sine(30, 2, 10, 0, 3) { // covers [0, 29]
+		if err := c.Send(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rq := dialRawQuery(t, addr)
+	for _, cmd := range []string{"MEAN", "MIN", "MAX"} {
+		resp := rq.line(t, cmd+" sparse 0 1000 2000")
+		if !strings.HasPrefix(resp, "ERR no data") {
+			t.Errorf("%s over empty window answered %q, want \"ERR no data ...\"", cmd, resp)
+		}
+	}
+}

@@ -50,10 +50,17 @@ type Config struct {
 	// SyncEvery is the background flush/fsync cadence for the interval
 	// policies (default 50ms).
 	SyncEvery time.Duration
-	// CompactBytes triggers snapshot+truncate compaction when the WAL
-	// tail grows past it (default 64 MiB; negative disables automatic
-	// compaction).
+	// CompactBytes triggers snapshot+truncate compaction of a shard when
+	// that shard's WAL tail grows past it (default 64 MiB; negative
+	// disables automatic compaction). Each shard compacts independently:
+	// rotate its own log, fence only its own worker, snapshot only its
+	// own series.
 	CompactBytes int64
+	// RetainSegments, when positive, is the retention window in
+	// stream-time units: compaction (and recovery) drops a series'
+	// oldest segments once their end time falls more than this far
+	// behind the series' newest covered time. Zero keeps everything.
+	RetainSegments float64
 	// Logf, when set, receives one line per abnormal session end and per
 	// recovery/compaction event.
 	Logf func(format string, args ...any)
@@ -96,16 +103,19 @@ type Server struct {
 
 // New returns a running server storing into db. With a DataDir it first
 // recovers the directory's prior state into db (which must be empty):
-// newest snapshot, then WAL replay with torn-tail truncation, then a
+// every shard partition replays concurrently (newest snapshot, then WAL
+// replay with torn-tail truncation), a legacy single-log directory or a
+// shard-count change is migrated in one shot, and each shard opens a
 // fresh write-ahead tail. Call Shutdown to stop the shard workers (and,
-// when durable, leave a clean snapshot).
+// when durable, leave a clean snapshot per shard).
 func New(db *tsdb.Archive, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, db: db, conns: make(map[net.Conn]connKind)}
 	if cfg.DataDir != "" {
-		st, stats, err := wal.Open(cfg.DataDir, db, wal.Options{
+		st, stats, err := wal.Open(cfg.DataDir, cfg.Shards, db, wal.Options{
 			Policy:   cfg.Sync,
 			Interval: cfg.SyncEvery,
+			Retain:   cfg.RetainSegments,
 			Logf:     cfg.Logf,
 		})
 		if err != nil {
@@ -113,14 +123,24 @@ func New(db *tsdb.Archive, cfg Config) (*Server, error) {
 		}
 		s.store = st
 		if !stats.Empty() {
-			s.logf("server: recovered %s: %d series from snapshot %d, %d wal files (%d segments replayed, %d skipped, %d rejected, %d torn bytes truncated)",
-				cfg.DataDir, stats.SnapshotSeries, stats.SnapshotSeq, stats.WALFiles,
-				stats.Replayed, stats.Skipped, stats.Rejected, stats.TruncatedBytes)
+			migrated := ""
+			if stats.Migrated {
+				migrated = fmt.Sprintf("; migrated layout to %d shards (%d duplicate series reconciled)",
+					cfg.Shards, stats.Reconciled)
+			}
+			s.logf("server: recovered %s: %d series from snapshots across %d log dirs, %d wal files (%d segments replayed, %d skipped, %d rejected, %d torn bytes truncated, %d aged out)%s",
+				cfg.DataDir, stats.SnapshotSeries, stats.Dirs, stats.WALFiles,
+				stats.Replayed, stats.Skipped, stats.Rejected, stats.TruncatedBytes,
+				stats.RetentionDropped, migrated)
 		}
 	}
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
-		s.shards[i] = newShard(i, cfg.QueueDepth, s.store, s.logf)
+		var wsh *wal.Shard
+		if s.store != nil {
+			wsh = s.store.Shard(i)
+		}
+		s.shards[i] = newShard(i, cfg.QueueDepth, wsh, s.logf)
 		go s.shards[i].run()
 	}
 	if s.store != nil && cfg.CompactBytes > 0 {
@@ -134,8 +154,10 @@ func New(db *tsdb.Archive, cfg Config) (*Server, error) {
 // compactCheckEvery is how often the compactor looks at the WAL tail.
 const compactCheckEvery = 5 * time.Second
 
-// compactLoop snapshots and truncates the WAL whenever the tail outgrows
-// CompactBytes. It stops before Shutdown closes the shard queues.
+// compactLoop snapshots and truncates each shard's WAL whenever that
+// shard's tail outgrows CompactBytes. Shards compact independently — a
+// hot shard rewriting its partition never stalls the others. It stops
+// before Shutdown closes the shard queues.
 func (s *Server) compactLoop() {
 	defer close(s.compactDone)
 	t := time.NewTicker(compactCheckEvery)
@@ -145,42 +167,51 @@ func (s *Server) compactLoop() {
 		case <-s.compactStop:
 			return
 		case <-t.C:
-			if s.store.TailBytes() < s.cfg.CompactBytes {
-				continue
-			}
-			if err := s.compact(); err != nil {
-				s.logf("server: compaction: %v", err)
+			for k := range s.shards {
+				if s.shards[k].store.TailBytes() < s.cfg.CompactBytes {
+					continue
+				}
+				if err := s.compactShard(k); err != nil {
+					s.logf("server: compaction (shard %d): %v", k, err)
+				}
 			}
 		}
 	}
 }
 
-// compact rotates the WAL, fences every shard so all records in the
-// rotated file are applied, then snapshots through it. Ingestion keeps
-// flowing into the fresh tail the whole time; only the fence itself
-// briefly serialises with the queues.
-func (s *Server) compact() error {
-	oldSeq, err := s.store.Rotate()
+// compactShard rotates shard k's WAL, fences that shard's worker so all
+// records in the rotated file are applied, then snapshots the shard's
+// series through it. Ingestion on every other shard keeps flowing the
+// whole time; only this shard's queue briefly serialises with the fence.
+func (s *Server) compactShard(k int) error {
+	sh := s.shards[k]
+	oldSeq, err := sh.store.Rotate()
 	if err != nil {
 		return err
 	}
-	s.fence()
-	return s.store.Snapshot(oldSeq)
+	s.fenceShard(k)
+	return sh.store.Snapshot(oldSeq)
 }
 
-// fence blocks until every job currently queued on every shard has been
+// compact compacts every shard — the whole-archive snapshot sweep tests
+// and tooling use; the background loop compacts shards one by one.
+func (s *Server) compact() error {
+	for k := range s.shards {
+		if err := s.compactShard(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fenceShard blocks until every job currently queued on shard k has been
 // applied. Commit errors are already logged by the workers and do not
 // block a fence: its callers snapshot the in-memory archive, which
 // supersedes whatever the log failed to commit.
-func (s *Server) fence() {
-	barriers := make([]chan error, len(s.shards))
-	for i, sh := range s.shards {
-		barriers[i] = make(chan error, 1)
-		sh.enqueue(job{barrier: barriers[i]}, Block)
-	}
-	for _, b := range barriers {
-		<-b
-	}
+func (s *Server) fenceShard(k int) {
+	b := make(chan error, 1)
+	s.shards[k].enqueue(job{barrier: b}, Block)
+	<-b
 }
 
 // DB returns the archive the server stores into.
@@ -394,6 +425,8 @@ func (s *Server) serveIngest(conn net.Conn, br *bufio.Reader, cr *encode.Countin
 
 	sess := &ingestSession{}
 	sh := s.shards[shardIndex(name, len(s.shards))]
+	sh.active.Add(1) // the committer lingers only while sessions could still join a batch
+	defer sh.active.Add(-1)
 	var attributed int64
 	for {
 		seg, err := dec.Next()

@@ -662,17 +662,218 @@ func TestDropOldestSheds(t *testing.T) {
 	}
 }
 
-// copyDataDir clones a data directory byte for byte — the moral
-// equivalent of reading the disk after a crash, without racing the
-// still-open file handles of the "crashed" server.
+// TestDropOldestSustainedOverload pushes an order of magnitude more
+// segments than the queue holds through the shed path, with barriers
+// interleaved: the freshest segments must survive, every stale one is
+// counted, and no barrier is ever shed however long the overload lasts.
+func TestDropOldestSustainedOverload(t *testing.T) {
+	const depth, total, nBarriers = 8, 64, 2
+	sh := newShard(0, depth, nil, nil) // worker intentionally not started
+	db := tsdb.New()
+	sr, _, err := db.GetOrCreate("s", []float64{1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := &ingestSession{}
+	mkSeg := func(i int) core.Segment {
+		return core.Segment{T0: float64(i), T1: float64(i) + 0.5, X0: []float64{0}, X1: []float64{1}, Points: 2}
+	}
+	// Barriers go in first (they enqueue with Block semantics and must
+	// never be shed); the flood then churns the whole queue many times
+	// over, repeatedly popping the barriers off the head and proving the
+	// re-push keeps them alive through sustained shedding.
+	barriers := make([]chan error, nBarriers)
+	for i := range barriers {
+		barriers[i] = make(chan error, 1)
+		sh.enqueue(job{barrier: barriers[i]}, DropOldest)
+	}
+	for i := 0; i < total; i++ {
+		sh.enqueue(job{sess: sess, series: sr, seg: mkSeg(i)}, DropOldest)
+	}
+	// The queue holds the barriers (never shed) plus the freshest
+	// segments that fit around them.
+	wantKept := depth - len(barriers)
+	if got := sess.dropped.Load(); got != int64(total-wantKept) {
+		t.Fatalf("dropped %d, want %d", got, total-wantKept)
+	}
+	close(sh.jobs)
+	sh.run()
+	for i, b := range barriers {
+		select {
+		case err, ok := <-b:
+			if ok && err != nil {
+				t.Fatalf("barrier %d reported %v", i, err)
+			}
+		default:
+			t.Fatalf("barrier %d was shed under sustained overload", i)
+		}
+	}
+	segs := sr.Segments()
+	if len(segs) != wantKept {
+		t.Fatalf("archive holds %d segments, want the %d freshest", len(segs), wantKept)
+	}
+	// Survivors are exactly the tail of the stream.
+	for i, seg := range segs {
+		if want := float64(total - wantKept + i); seg.T0 != want {
+			t.Fatalf("survivor %d starts at %v, want %v (freshest data must win)", i, seg.T0, want)
+		}
+	}
+	if got := sh.barriers.Load(); got != int64(len(barriers)) {
+		t.Fatalf("acked %d barriers, want %d", got, len(barriers))
+	}
+}
+
+// TestGroupCommitBatchesBarriers proves the group-commit contract
+// deterministically: many barriers queued behind segments drain in one
+// pass and share a single WAL commit (one fsync under SyncAlways), and
+// every waiter is acknowledged.
+func TestGroupCommitBatchesBarriers(t *testing.T) {
+	st, _, err := wal.Open(t.TempDir(), 1, tsdb.New(), wal.Options{Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sh := newShard(0, 64, st.Shard(0), nil) // worker not started: jobs pile up
+	sr, _, err := st.DB().GetOrCreate("g", []float64{1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsyncs0 := st.Shard(0).Metrics().Fsyncs
+	var barriers []chan error
+	for i := 0; i < 8; i++ {
+		sh.enqueue(job{series: sr, seg: core.Segment{
+			T0: float64(i), T1: float64(i) + 0.5, X0: []float64{0}, X1: []float64{1}, Points: 2,
+		}}, Block)
+		b := make(chan error, 1)
+		barriers = append(barriers, b)
+		sh.enqueue(job{barrier: b}, Block)
+	}
+	close(sh.jobs)
+	sh.run() // drains everything in one greedy pass
+
+	for i, b := range barriers {
+		if err, ok := <-b; ok && err != nil {
+			t.Fatalf("barrier %d: %v", i, err)
+		}
+	}
+	if got := sh.commits.Load(); got != 1 {
+		t.Fatalf("%d commit batches for 8 barriers, want 1 (group commit)", got)
+	}
+	if got := sh.barriers.Load(); got != 8 {
+		t.Fatalf("acked %d barriers, want 8", got)
+	}
+	if got := st.Shard(0).Metrics().Fsyncs - fsyncs0; got != 1 {
+		t.Fatalf("%d fsyncs for 8 barriers, want 1", got)
+	}
+	if got := sh.segments.Load(); got != 8 {
+		t.Fatalf("applied %d segments, want 8", got)
+	}
+}
+
+// TestRetentionEndToEnd runs retention through the server path: ingest,
+// compact with a window, verify the old segments left both the archive
+// and (after restart) the disk.
+func TestRetentionEndToEnd(t *testing.T) {
+	dataDir := t.TempDir()
+	db := tsdb.New()
+	// testFleet signals cover t ∈ [0, 599]; retain the last 100 units.
+	s, err := New(db, Config{Shards: 2, DataDir: dataDir, Sync: wal.SyncAlways, RetainSegments: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	fleet := testFleet(4)
+	for _, sn := range fleet {
+		if _, _, _, err := runSensor(addrOf(ln), sn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := make(map[string]int)
+	for _, sn := range fleet {
+		sr, err := db.Get(sn.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full[sn.name] = sr.Len()
+	}
+	if err := s.compact(); err != nil {
+		t.Fatal(err)
+	}
+	for _, sn := range fleet {
+		sr, err := db.Get(sn.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Len() >= full[sn.name] {
+			t.Errorf("%s: %d segments after retention compaction, had %d — nothing aged out", sn.name, sr.Len(), full[sn.name])
+		}
+		segs := sr.Segments()
+		if len(segs) == 0 {
+			t.Fatalf("%s: retention emptied the series", sn.name)
+		}
+		_, end, _ := sr.Span()
+		if segs[0].T1 < end-100 {
+			t.Errorf("%s: oldest surviving segment ends at %v, window floor %v", sn.name, segs[0].T1, end-100)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restart serves the pruned state, not the full history.
+	db2 := tsdb.New()
+	s2, err := New(db2, Config{Shards: 2, DataDir: dataDir, RetainSegments: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s2.Shutdown(ctx)
+	}()
+	for _, sn := range fleet {
+		live, _ := db.Get(sn.name)
+		got, err := db2.Get(sn.name)
+		if err != nil {
+			t.Fatalf("%s lost across retention restart: %v", sn.name, err)
+		}
+		if got.Len() != live.Len() {
+			t.Errorf("%s: %d segments after restart, want %d", sn.name, got.Len(), live.Len())
+		}
+	}
+}
+
+// copyDataDir clones a data directory byte for byte (shard subdirs
+// included) — the moral equivalent of reading the disk after a crash,
+// without racing the still-open file handles of the "crashed" server.
 func copyDataDir(t *testing.T, src string) string {
 	t.Helper()
 	dst := t.TempDir()
+	copyTree(t, src, dst)
+	return dst
+}
+
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
 	entries, err := os.ReadDir(src)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
+		if e.IsDir() {
+			sub := filepath.Join(dst, e.Name())
+			if err := os.MkdirAll(sub, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			copyTree(t, filepath.Join(src, e.Name()), sub)
+			continue
+		}
 		raw, err := os.ReadFile(filepath.Join(src, e.Name()))
 		if err != nil {
 			t.Fatal(err)
@@ -681,7 +882,6 @@ func copyDataDir(t *testing.T, src string) string {
 			t.Fatal(err)
 		}
 	}
-	return dst
 }
 
 // TestKillAndRestartDurability is the durability acceptance test: under
@@ -729,7 +929,7 @@ func TestKillAndRestartDurability(t *testing.T) {
 	}
 
 	// "Kill": copy the data directory out from under the live server and
-	// tear the copy's WAL tail, as a crash mid-write would.
+	// tear every shard's WAL tail, as a crash mid-write would.
 	crashed := copyDataDir(t, dataDir)
 	_, wals, err := walScan(crashed)
 	if err != nil {
@@ -738,75 +938,82 @@ func TestKillAndRestartDurability(t *testing.T) {
 	if len(wals) == 0 {
 		t.Fatal("no wal files written")
 	}
-	tail := wals[len(wals)-1]
-	f, err := os.OpenFile(tail, os.O_APPEND|os.O_WRONLY, 0o644)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := f.Write([]byte{0x42, 0x13}); err != nil { // half a record
-		t.Fatal(err)
-	}
-	f.Close()
-
-	// Restart from the crashed copy and compare segment for segment with
-	// the live archive — everything acked was fsynced, so nothing may be
-	// missing or reordered.
-	db2 := tsdb.New()
-	s2, err := New(db2, Config{Shards: 4, DataDir: crashed, Sync: wal.SyncAlways})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		s2.Shutdown(ctx)
-	}()
-
-	var recovered int64
-	for _, sn := range fleet {
-		live, err := db.Get(sn.name)
+	for _, tail := range wals {
+		f, err := os.OpenFile(tail, os.O_APPEND|os.O_WRONLY, 0o644)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := db2.Get(sn.name)
-		if err != nil {
-			t.Fatalf("series %q lost in crash: %v", sn.name, err)
+		if _, err := f.Write([]byte{0x42, 0x13}); err != nil { // half a record
+			t.Fatal(err)
 		}
-		lsegs, gsegs := live.Segments(), got.Segments()
-		if len(gsegs) != len(lsegs) {
-			t.Fatalf("%s: recovered %d segments, live archive has %d", sn.name, len(gsegs), len(lsegs))
-		}
-		for i := range lsegs {
-			l, g := lsegs[i], gsegs[i]
-			if l.T0 != g.T0 || l.T1 != g.T1 || l.Connected != g.Connected || l.Points != g.Points ||
-				fmt.Sprint(l.X0) != fmt.Sprint(g.X0) || fmt.Sprint(l.X1) != fmt.Sprint(g.X1) {
-				t.Fatalf("%s: segment %d differs after recovery:\nlive %+v\ngot  %+v", sn.name, i, l, g)
-			}
-		}
-		recovered += int64(len(gsegs))
+		f.Close()
 	}
-	if recovered != acked {
-		t.Fatalf("recovered %d segments, acks promised %d", recovered, acked)
+
+	// Restart from the crashed copy twice — once with the same shard
+	// count (pure per-shard recovery) and once with a different one (the
+	// replay-into-new-sharding migration) — and compare segment for
+	// segment with the live archive: everything acked was fsynced, so
+	// nothing may be missing or reordered either way.
+	for _, shards := range []int{4, 3} {
+		crashedCopy := copyDataDir(t, crashed)
+		db2 := tsdb.New()
+		s2, err := New(db2, Config{Shards: shards, DataDir: crashedCopy, Sync: wal.SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recovered int64
+		for _, sn := range fleet {
+			live, err := db.Get(sn.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := db2.Get(sn.name)
+			if err != nil {
+				t.Fatalf("shards=%d: series %q lost in crash: %v", shards, sn.name, err)
+			}
+			lsegs, gsegs := live.Segments(), got.Segments()
+			if len(gsegs) != len(lsegs) {
+				t.Fatalf("shards=%d: %s: recovered %d segments, live archive has %d", shards, sn.name, len(gsegs), len(lsegs))
+			}
+			for i := range lsegs {
+				l, g := lsegs[i], gsegs[i]
+				if l.T0 != g.T0 || l.T1 != g.T1 || l.Connected != g.Connected || l.Points != g.Points ||
+					fmt.Sprint(l.X0) != fmt.Sprint(g.X0) || fmt.Sprint(l.X1) != fmt.Sprint(g.X1) {
+					t.Fatalf("shards=%d: %s: segment %d differs after recovery:\nlive %+v\ngot  %+v", shards, sn.name, i, l, g)
+				}
+			}
+			recovered += int64(len(gsegs))
+		}
+		if recovered != acked {
+			t.Fatalf("shards=%d: recovered %d segments, acks promised %d", shards, recovered, acked)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		s2.Shutdown(ctx)
+		cancel()
 	}
 }
 
 // addrOf shortens ln.Addr().String().
 func addrOf(ln net.Listener) string { return ln.Addr().String() }
 
-// walScan lists a data directory's wal files in sequence order.
+// walScan lists a data directory's wal and snapshot files in path order,
+// descending into the per-shard partition directories.
 func walScan(dir string) (snaps, wals []string, err error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, nil, err
-	}
-	for _, e := range entries {
-		name := e.Name()
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		name := d.Name()
 		switch {
 		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".plaa"):
-			snaps = append(snaps, filepath.Join(dir, name))
+			snaps = append(snaps, path)
 		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
-			wals = append(wals, filepath.Join(dir, name))
+			wals = append(wals, path)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	sort.Strings(snaps)
 	sort.Strings(wals)
@@ -844,8 +1051,8 @@ func TestGracefulDrainSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(snaps) != 1 || len(wals) != 0 {
-		t.Fatalf("after drain: %d snapshots, %d wal files; want exactly 1 snapshot", len(snaps), len(wals))
+	if len(snaps) != 2 || len(wals) != 0 {
+		t.Fatalf("after drain: %d snapshots, %d wal files; want exactly 1 snapshot per shard (2)", len(snaps), len(wals))
 	}
 
 	db2 := tsdb.New()

@@ -1,8 +1,8 @@
 package server
 
 import (
-	"hash/fnv"
 	"sync/atomic"
+	"time"
 
 	"github.com/pla-go/pla/internal/core"
 	"github.com/pla-go/pla/internal/tsdb"
@@ -43,7 +43,7 @@ func (p DropPolicy) String() string {
 
 // job is one unit of shard work: a finalized segment bound for a series,
 // or (when barrier is non-nil) a synchronisation point — the shard
-// commits the write-ahead log, sends the commit error if there was one,
+// commits its write-ahead log, sends the commit error if there was one,
 // and closes the channel, proving every job enqueued before it has been
 // applied (and, under wal.SyncAlways, fsynced). Receivers read one value:
 // nil means the barrier's durability promise holds.
@@ -59,73 +59,230 @@ type job struct {
 // owns the appends for every series hashing to it, so per-series segment
 // order on the queue is preserved into the archive without extra locking.
 // With a durable store, the worker writes each segment ahead of applying
-// it and commits the log at every barrier, so a session's final ack
-// implies its segments are as durable as the sync policy promises
-// (fsynced, under wal.SyncAlways).
+// it into its own partition of the write-ahead log (the wal.Shard with
+// the same index), and barriers commit through a two-stage group-commit
+// pipeline: the worker never fsyncs inline — it collects the barriers
+// found in each greedy drain of its queue into a batch and hands the
+// batch to the shard's committer goroutine, which folds every batch
+// queued behind an in-flight fsync into the next one. One fsync under
+// wal.SyncAlways therefore acknowledges every session barrier that
+// arrived while the previous fsync ran, and segment application never
+// stalls on the disk. A session's final ack still implies its segments
+// are as durable as the sync policy promises: the worker appends a
+// session's records before handing its barrier over, and the committer
+// fsyncs before acking.
 type shard struct {
-	id    int
-	jobs  chan job
-	done  chan struct{}
-	store *wal.Store // nil for an in-memory server
-	logf  func(format string, args ...any)
+	id       int
+	jobs     chan job
+	done     chan struct{}
+	commitCh chan []chan error // barrier batches bound for the committer
+	synced   chan struct{}     // closed when the committer has drained
+	store    *wal.Shard        // nil for an in-memory server
+	logf     func(format string, args ...any)
 
 	segments atomic.Int64 // segments applied
 	points   atomic.Int64 // original samples those segments represent
 	rejected atomic.Int64 // segments refused (time order, or not durable)
 	dropped  atomic.Int64 // segments shed by DropNewest/DropOldest
 	bytes    atomic.Int64 // wire bytes attributed to this shard
+	barriers atomic.Int64 // barriers acknowledged
+	commits  atomic.Int64 // commit batches (≤ barriers: the group-commit win)
+	active   atomic.Int64 // ingest sessions currently bound to this shard
 }
 
-func newShard(id, depth int, store *wal.Store, logf func(format string, args ...any)) *shard {
+func newShard(id, depth int, store *wal.Shard, logf func(format string, args ...any)) *shard {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &shard{id: id, jobs: make(chan job, depth), done: make(chan struct{}), store: store, logf: logf}
+	return &shard{
+		id:       id,
+		jobs:     make(chan job, depth),
+		done:     make(chan struct{}),
+		commitCh: make(chan []chan error, 16),
+		synced:   make(chan struct{}),
+		store:    store,
+		logf:     logf,
+	}
 }
 
 // run drains the queue until the jobs channel is closed (server drain).
+// Barriers are not committed one by one: after each blocking receive the
+// worker greedily drains whatever else is already queued — bounded by
+// one queue's worth, so a saturating producer cannot starve an ack —
+// and hands the barriers it collected to the committer as one batch.
+// run returns only after the committer has acknowledged everything.
 func (sh *shard) run() {
 	defer close(sh.done)
-	for j := range sh.jobs {
-		if j.barrier != nil {
-			if sh.store != nil {
-				if err := sh.store.Commit(); err != nil {
-					// The segments are applied in memory but their
-					// durability is not what the policy promises — hand the
-					// error to whoever is waiting so an ingest session
-					// reports failure instead of a clean ack.
-					sh.logf("server: shard %d: wal commit: %v", sh.id, err)
-					j.barrier <- err
-				}
-			}
-			close(j.barrier)
-			continue
+	go sh.committer()
+	var pending []chan error
+	open := true
+	for open {
+		j, ok := <-sh.jobs
+		if !ok {
+			break
 		}
-		if sh.store != nil {
-			if err := sh.store.Append(j.series, j.seg); err != nil {
-				// Write-ahead failed, so applying would ack a segment a
-				// restart forgets. Refuse it instead: the ack stays honest.
-				sh.logf("server: shard %d: wal append %q: %v", sh.id, j.series.Name(), err)
-				sh.rejected.Add(1)
-				if j.sess != nil {
-					j.sess.rejected.Add(1)
+		pending = sh.apply(j, pending)
+	drain:
+		for budget := cap(sh.jobs); budget > 0; budget-- {
+			select {
+			case j, ok := <-sh.jobs:
+				if !ok {
+					open = false
+					break drain
 				}
-				continue
+				pending = sh.apply(j, pending)
+			default:
+				break drain
 			}
 		}
-		if err := j.series.Append(j.seg); err != nil {
+		if len(pending) > 0 {
+			sh.commitCh <- pending
+			pending = nil // the committer owns the batch now
+		}
+	}
+	close(sh.commitCh)
+	<-sh.synced
+}
+
+// The committer lingers a small multiple of the observed commit cost
+// before syncing, capped: batching effort scales with what a sync
+// actually costs on this disk. On a journal where an fsync runs ~300µs
+// the linger reaches a few ms and folds a whole burst of session ends
+// into one sync; on a fast device (or the no-fsync interval policies,
+// where commits are ~ns) it rounds to nothing and barriers ack
+// immediately.
+const (
+	commitLingerFactor = 8
+	maxCommitLinger    = 5 * time.Millisecond
+)
+
+// committer is the second pipeline stage: it turns batches of barriers
+// into wal commits. While one fsync runs, further batches pile up on
+// commitCh and are folded into the next commit; on top of that the
+// committer lingers for about one observed commit duration before
+// syncing, so barriers whose arrivals are spread wider than the fsync
+// itself still share one. The linger is an EWMA of measured commit
+// time — on a log whose commits are free (the interval policies, or a
+// fast disk) it stays at zero and barriers ack immediately; the slower
+// the journal, the harder the batching, which is the group-commit
+// property. The worker goroutine never blocks on any of this.
+func (sh *shard) committer() {
+	defer close(sh.synced)
+	var linger time.Duration
+	open := true
+	for open {
+		batch, ok := <-sh.commitCh
+		if !ok {
+			return
+		}
+		// Linger only while other sessions on this shard could still
+		// join the batch: when every live session's barrier is already
+		// collected (in particular the last session of a drain-down),
+		// waiting can't grow the batch, so sync now.
+		if linger > 0 && open && sh.active.Load() > int64(len(batch)) {
+			timer := time.NewTimer(linger)
+		wait:
+			for {
+				select {
+				case more, ok := <-sh.commitCh:
+					if !ok {
+						open = false
+						break wait
+					}
+					batch = append(batch, more...)
+					if sh.active.Load() <= int64(len(batch)) {
+						break wait
+					}
+				case <-timer.C:
+					break wait
+				}
+			}
+			timer.Stop()
+		}
+	merge:
+		for {
+			select {
+			case more, ok := <-sh.commitCh:
+				if !ok {
+					open = false
+					break merge
+				}
+				batch = append(batch, more...)
+			default:
+				break merge
+			}
+		}
+		took := sh.commit(batch)
+		if linger = (linger + commitLingerFactor*took) / 2; linger > maxCommitLinger {
+			linger = maxCommitLinger
+		}
+	}
+}
+
+// apply processes one job: a segment is written ahead and applied; a
+// barrier is deferred onto the pending batch for the next commit.
+func (sh *shard) apply(j job, pending []chan error) []chan error {
+	if j.barrier != nil {
+		return append(pending, j.barrier)
+	}
+	if sh.store != nil {
+		if err := sh.store.Append(j.series, j.seg); err != nil {
+			// Write-ahead failed, so applying would ack a segment a
+			// restart forgets. Refuse it instead: the ack stays honest.
+			sh.logf("server: shard %d: wal append %q: %v", sh.id, j.series.Name(), err)
 			sh.rejected.Add(1)
 			if j.sess != nil {
 				j.sess.rejected.Add(1)
 			}
-			continue
-		}
-		sh.segments.Add(1)
-		sh.points.Add(int64(j.seg.Points))
-		if j.sess != nil {
-			j.sess.applied.Add(1)
+			return pending
 		}
 	}
+	if err := j.series.Append(j.seg); err != nil {
+		sh.rejected.Add(1)
+		if j.sess != nil {
+			j.sess.rejected.Add(1)
+		}
+		return pending
+	}
+	sh.segments.Add(1)
+	sh.points.Add(int64(j.seg.Points))
+	if j.sess != nil {
+		j.sess.applied.Add(1)
+	}
+	return pending
+}
+
+// commit acknowledges one batch of barriers behind a single wal commit,
+// returning how long the commit itself took (the committer's linger
+// feedback). Under wal.SyncAlways that is one fsync however many
+// sessions are waiting; a commit error reaches every waiter, so no ack
+// overstates durability.
+func (sh *shard) commit(batch []chan error) time.Duration {
+	if len(batch) == 0 {
+		return 0
+	}
+	var err error
+	var took time.Duration
+	if sh.store != nil {
+		sh.commits.Add(1)
+		start := time.Now()
+		err = sh.store.Commit()
+		took = time.Since(start)
+		if err != nil {
+			// The segments are applied in memory but their durability is
+			// not what the policy promises — hand the error to whoever is
+			// waiting so ingest sessions report failure, not a clean ack.
+			sh.logf("server: shard %d: wal commit: %v", sh.id, err)
+		}
+	}
+	sh.barriers.Add(int64(len(batch)))
+	for _, b := range batch {
+		if err != nil {
+			b <- err
+		}
+		close(b)
+	}
+	return took
 }
 
 // enqueue delivers j under the given policy, reporting whether it was
@@ -197,10 +354,14 @@ type ShardMetrics struct {
 	Bytes    int64 // wire bytes attributed to this shard
 	QueueLen int   // jobs waiting right now
 	QueueCap int   // queue depth
+	Barriers int64 // barriers acknowledged (session stream ends + fences)
+	Commits  int64 // wal commit batches; Barriers/Commits is the group-commit factor
+	WALBytes int64 // bytes appended to this shard's wal partition
+	Fsyncs   int64 // fsyncs issued by this shard's wal partition
 }
 
 func (sh *shard) metrics() ShardMetrics {
-	return ShardMetrics{
+	m := ShardMetrics{
 		Shard:    sh.id,
 		Segments: sh.segments.Load(),
 		Points:   sh.points.Load(),
@@ -209,13 +370,19 @@ func (sh *shard) metrics() ShardMetrics {
 		Bytes:    sh.bytes.Load(),
 		QueueLen: len(sh.jobs),
 		QueueCap: cap(sh.jobs),
+		Barriers: sh.barriers.Load(),
+		Commits:  sh.commits.Load(),
 	}
+	if sh.store != nil {
+		lm := sh.store.Metrics()
+		m.WALBytes, m.Fsyncs = lm.Bytes, lm.Fsyncs
+	}
+	return m
 }
 
-// shardIndex hashes a series name onto nShards workers (FNV-1a), keeping
-// every segment of one series on one goroutine.
+// shardIndex routes a series name onto nShards workers — the same
+// FNV-1a hash the partitioned log uses, so a shard's wal partition holds
+// exactly the series that shard's worker owns.
 func shardIndex(name string, nShards int) int {
-	h := fnv.New32a()
-	h.Write([]byte(name))
-	return int(h.Sum32() % uint32(nShards))
+	return wal.ShardIndex(name, nShards)
 }

@@ -23,6 +23,21 @@ const archiveMagic = "PLAA"
 // WriteTo serialises the whole archive. It returns the number of bytes
 // written.
 func (a *Archive) WriteTo(w io.Writer) (int64, error) {
+	return a.WriteSeriesTo(w, a.Names())
+}
+
+// WriteSeriesTo serialises just the named series, in the given order —
+// the subset writer behind per-shard snapshots, where each partition
+// persists only the series it owns. Names that no longer exist (dropped
+// since the caller listed them) are skipped, so a snapshot cannot fail
+// on a racing delete.
+func (a *Archive) WriteSeriesTo(w io.Writer, names []string) (int64, error) {
+	series := make([]*Series, 0, len(names))
+	for _, name := range names {
+		if s, err := a.Get(name); err == nil {
+			series = append(series, s)
+		}
+	}
 	bw := bufio.NewWriter(w)
 	var n int64
 	count := func(k int, err error) error {
@@ -32,20 +47,16 @@ func (a *Archive) WriteTo(w io.Writer) (int64, error) {
 	if err := count(bw.WriteString(archiveMagic)); err != nil {
 		return n, err
 	}
-	names := a.Names()
 	var tmp [binary.MaxVarintLen64]byte
 	putUvarint := func(v uint64) error {
 		k := binary.PutUvarint(tmp[:], v)
 		return count(bw.Write(tmp[:k]))
 	}
-	if err := putUvarint(uint64(len(names))); err != nil {
+	if err := putUvarint(uint64(len(series))); err != nil {
 		return n, err
 	}
-	for _, name := range names {
-		s, err := a.Get(name)
-		if err != nil {
-			return n, err
-		}
+	for _, s := range series {
+		name := s.name
 		s.mu.RLock()
 		segs := s.store.Snapshot()
 		eps := s.eps

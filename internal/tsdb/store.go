@@ -22,6 +22,11 @@ type SegmentStore interface {
 	Seg(i int) core.Segment
 	// Snapshot returns a copy of all segments in order.
 	Snapshot() []core.Segment
+	// DropHead removes the n oldest segments (retention), n ≤ Len().
+	// Implementations must clear the Connected flag on the surviving
+	// head: its predecessor is gone, and the wire format refuses a
+	// connected segment with nothing to chain to.
+	DropHead(n int)
 }
 
 // MemStore is the default SegmentStore: a plain in-memory slice.
@@ -44,4 +49,18 @@ func (m *MemStore) Seg(i int) core.Segment { return m.segs[i] }
 // Snapshot implements SegmentStore.
 func (m *MemStore) Snapshot() []core.Segment {
 	return append([]core.Segment(nil), m.segs...)
+}
+
+// DropHead implements SegmentStore. The survivors are copied down so the
+// dropped segments do not pin the backing array.
+func (m *MemStore) DropHead(n int) {
+	if n <= 0 {
+		return
+	}
+	if n >= len(m.segs) {
+		m.segs = m.segs[:0]
+		return
+	}
+	m.segs = append(m.segs[:0], m.segs[n:]...)
+	m.segs[0].Connected = false
 }

@@ -222,6 +222,36 @@ func (s *Series) Append(segs ...core.Segment) error {
 	return nil
 }
 
+// DropBefore removes the oldest stored segments whose coverage ends
+// before t, returning how many were dropped — the retention primitive.
+// It stops at the first segment that reaches t, so a long segment
+// spanning the cutoff (and anything after it) survives, and the series
+// keeps serving a contiguous, time-ordered suffix.
+func (s *Series) DropBefore(t float64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for n < s.store.Len() && s.store.Seg(n).T1 < t {
+		s.points -= s.store.Seg(n).Points
+		n++
+	}
+	if n > 0 {
+		s.store.DropHead(n)
+	}
+	return n
+}
+
+// Last returns the newest stored segment.
+func (s *Series) Last() (core.Segment, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := s.store.Len()
+	if n == 0 {
+		return core.Segment{}, false
+	}
+	return s.store.Seg(n - 1), true
+}
+
 // Segments returns a copy of the stored segments.
 func (s *Series) Segments() []core.Segment {
 	s.mu.RLock()
@@ -234,6 +264,16 @@ func (s *Series) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.store.Len()
+}
+
+// SetPoints overrides the original-sample counter. Recovery uses it to
+// carry the count across archive rebuilds, where the segments alone
+// cannot reproduce it (each knows its own Points, but drops and merges
+// shift the total).
+func (s *Series) SetPoints(n int) {
+	s.mu.Lock()
+	s.points = n
+	s.mu.Unlock()
 }
 
 // Points returns the number of original samples the series represents.

@@ -12,7 +12,7 @@ import (
 // fuzzSeedWAL builds a small valid wal file's bytes for the seed corpus.
 func fuzzSeedWAL(tb testing.TB) []byte {
 	dir := tb.TempDir()
-	st, _, err := Open(dir, tsdb.New(), Options{Policy: SyncAlways})
+	st, _, err := Open(dir, 1, tsdb.New(), Options{Policy: SyncAlways})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func fuzzSeedWAL(tb testing.TB) []byte {
 	if err := st.Close(); err != nil {
 		tb.Fatal(err)
 	}
-	_, wals, err := scanDir(dir, Options{})
+	_, wals, err := scanDir(shard0Dir(dir), Options{})
 	if err != nil || len(wals) != 1 {
 		tb.Fatalf("seed scan: %v (%d files)", err, len(wals))
 	}
@@ -42,8 +42,8 @@ func fuzzSeedWAL(tb testing.TB) []byte {
 	return raw
 }
 
-// FuzzWALReplay feeds arbitrary bytes to recovery as a wal file: it must
-// never panic, and whatever it recovers (after its own torn-tail
+// FuzzWALReplay feeds arbitrary bytes to recovery as a shard's wal file:
+// it must never panic, and whatever it recovers (after its own torn-tail
 // truncation) must recover identically a second time — replay is
 // idempotent on its own output.
 func FuzzWALReplay(f *testing.F) {
@@ -61,11 +61,15 @@ func FuzzWALReplay(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		dir := t.TempDir()
-		path := filepath.Join(dir, fmt.Sprintf(walPattern, uint64(1)))
+		sdir := shard0Dir(dir)
+		if err := os.MkdirAll(sdir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(sdir, fmt.Sprintf(walPattern, uint64(1)))
 		if err := os.WriteFile(path, raw, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		st, stats, err := Open(dir, tsdb.New(), Options{})
+		st, stats, err := Open(dir, 1, tsdb.New(), Options{})
 		if err != nil {
 			return // I/O-level failure is acceptable; panics are not
 		}
@@ -74,7 +78,7 @@ func FuzzWALReplay(f *testing.F) {
 		}
 		// Second recovery over the truncated file must be clean and agree.
 		// Drop the tail file Open created so only the fuzzed file replays.
-		_, wals, err := scanDir(dir, Options{})
+		_, wals, err := scanDir(sdir, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,7 +87,7 @@ func FuzzWALReplay(f *testing.F) {
 				os.Remove(wf.path)
 			}
 		}
-		st2, stats2, err := Open(dir, tsdb.New(), Options{})
+		st2, stats2, err := Open(dir, 1, tsdb.New(), Options{})
 		if err != nil {
 			t.Fatalf("second recovery failed: %v", err)
 		}

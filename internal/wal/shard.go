@@ -1,0 +1,161 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/tsdb"
+)
+
+// Shard is one partition of a Store: its own directory under the data
+// dir (`shard-<k>/`), holding at most one snapshot generation plus the
+// write-ahead tail that follows it — exactly the single-log layout, one
+// copy per ingest shard. Appends and fsyncs on different shards never
+// contend: each Shard owns its own file, mutex and flusher, so the
+// commit pipeline parallelises across partitions.
+//
+// A Shard persists only the series that hash to it (ShardIndex), which
+// is the same routing the server's shard workers use — the worker that
+// owns a series' appends is the only writer of its partition's log.
+type Shard struct {
+	db   *tsdb.Archive
+	dir  string
+	k, n int
+	opts Options
+	log  *Log
+}
+
+// shardDirName returns the directory name of partition k.
+func shardDirName(k int) string {
+	return "shard-" + strconv.Itoa(k)
+}
+
+// Index returns the shard's partition index.
+func (sh *Shard) Index() int { return sh.k }
+
+// Append writes one segment ahead of its apply to s. It must be called
+// by the single goroutine that owns appends for s (the shard worker), so
+// the recorded index matches the position the apply will use.
+func (sh *Shard) Append(s *tsdb.Series, seg core.Segment) error {
+	return sh.log.Append(s.Name(), s.Epsilon(), s.Constant(), s.Len(), seg)
+}
+
+// Commit is the ack barrier: under SyncAlways it returns only after the
+// shard's log is fsynced. One Commit covers every Append since the last
+// one, which is what makes group commit work — the worker batches all
+// barriers queued since the last sync into a single call.
+func (sh *Shard) Commit() error { return sh.log.Commit() }
+
+// Sync flushes and fsyncs the shard's log regardless of policy.
+func (sh *Shard) Sync() error { return sh.log.Sync() }
+
+// TailBytes returns the current wal file's size, the per-shard
+// compaction trigger.
+func (sh *Shard) TailBytes() int64 { return sh.log.TailBytes() }
+
+// Metrics snapshots the shard log's cumulative I/O counters.
+func (sh *Shard) Metrics() LogMetrics { return sh.log.Metrics() }
+
+// Rotate closes the shard's current wal file and opens the next
+// sequence, returning the closed file's sequence — the argument for
+// Snapshot once every record in it has been applied (the caller fences
+// this shard's worker in between; other shards keep flowing).
+func (sh *Shard) Rotate() (uint64, error) { return sh.log.Rotate() }
+
+// ownedNames lists the archive's series that hash to this shard.
+func (sh *Shard) ownedNames() []string {
+	var names []string
+	for _, name := range sh.db.Names() {
+		if ShardIndex(name, sh.n) == sh.k {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// pruneRetention applies the retention window to this shard's series,
+// returning how many segments it dropped.
+func (sh *Shard) pruneRetention() int {
+	if sh.opts.Retain <= 0 {
+		return 0
+	}
+	dropped := 0
+	for _, name := range sh.ownedNames() {
+		s, err := sh.db.Get(name)
+		if err != nil {
+			continue
+		}
+		if _, end, ok := s.Span(); ok {
+			dropped += s.DropBefore(end - sh.opts.Retain)
+		}
+	}
+	return dropped
+}
+
+// Snapshot writes this shard's current series as the snapshot for
+// throughSeq and removes the shard's wal files (sequence ≤ throughSeq)
+// and older snapshots it supersedes. The caller must guarantee every
+// record in those wal files has been applied to the archive — rotate,
+// fence this shard's worker, then snapshot. With a retention window
+// configured, out-of-window segments are dropped first, so they leave
+// both the archive and the disk in the same stroke.
+func (sh *Shard) Snapshot(throughSeq uint64) error {
+	if n := sh.pruneRetention(); n > 0 {
+		sh.opts.logf("wal: %s: retention dropped %d segments", shardDirName(sh.k), n)
+	}
+	if err := writeSnapshot(sh.dir, throughSeq, sh.db, sh.ownedNames(), sh.opts); err != nil {
+		return err
+	}
+	sh.removeObsolete(throughSeq)
+	return nil
+}
+
+// closeSnapshot ends the shard on a graceful drain: close the log, write
+// a final snapshot covering everything, and remove every wal file —
+// leaving the shard directory holding exactly one snapshot.
+func (sh *Shard) closeSnapshot() error {
+	seq := sh.log.Seq()
+	if err := sh.log.Close(); err != nil && !errors.Is(err, ErrClosed) {
+		return err
+	}
+	return sh.Snapshot(seq)
+}
+
+// close ends the shard without snapshotting (error paths; recovery will
+// replay the tail).
+func (sh *Shard) close() error {
+	err := sh.log.Close()
+	if errors.Is(err, ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+// removeObsolete deletes the shard's wal files with sequence ≤
+// throughSeq and snapshots older than throughSeq. Failures are logged: a
+// leftover file costs replay time on the next boot, not correctness.
+func (sh *Shard) removeObsolete(throughSeq uint64) {
+	snaps, wals, err := scanDir(sh.dir, sh.opts)
+	if err != nil {
+		sh.opts.logf("wal: compaction scan: %v", err)
+		return
+	}
+	for _, wf := range wals {
+		if wf.seq <= throughSeq {
+			if err := os.Remove(wf.path); err != nil {
+				sh.opts.logf("wal: remove %s: %v", filepath.Base(wf.path), err)
+			}
+		}
+	}
+	for _, sn := range snaps {
+		if sn.seq < throughSeq {
+			if err := os.Remove(sn.path); err != nil {
+				sh.opts.logf("wal: remove %s: %v", filepath.Base(sn.path), err)
+			}
+		}
+	}
+	syncDir(sh.dir, sh.opts)
+}

@@ -17,37 +17,55 @@ import (
 	"github.com/pla-go/pla/internal/tsdb"
 )
 
-// Store binds an archive to its data directory: the write-ahead tail the
-// ingest path appends to, and the snapshot generation recovery starts
-// from. Open performs recovery; the server then writes ahead with Append,
-// fences and calls Rotate+Snapshot to compact, and ends with
-// CloseSnapshot on a graceful drain.
+// Store binds an archive to its data directory as a partitioned commit
+// pipeline: one Shard per ingest shard, each owning its own
+// `shard-<k>/` log file set, so appends and fsyncs on different shards
+// run in parallel instead of funnelling through one mutex and one file.
+// Open performs recovery — every partition replays concurrently before
+// merging into the archive — and transparently migrates two legacy
+// layouts in one shot: a single-log data dir written before
+// partitioning, and shard directories written with a different shard
+// count than the current one. The server then writes ahead through each
+// shard's handle, compacts partitions independently (rotate + fence +
+// snapshot per shard), and ends with CloseSnapshot on a graceful drain.
 type Store struct {
-	db   *tsdb.Archive
-	dir  string
-	opts Options
-	log  *Log
-
-	compact sync.Mutex // serialises Rotate+Snapshot sequences
+	db     *tsdb.Archive
+	dir    string
+	opts   Options
+	shards []*Shard
 }
 
-// RecoverStats reports what Open found in the data directory.
+// RecoverStats reports what Open found in the data directory, summed
+// over every partition it recovered.
 type RecoverStats struct {
-	// SnapshotSeq is the sequence of the loaded snapshot (0 if none).
-	SnapshotSeq uint64
-	// SnapshotSeries is the number of series the snapshot held.
+	// Dirs is the number of log directories recovered (a legacy
+	// single-log root counts as one).
+	Dirs int
+	// SnapshotSeries is the number of series loaded from snapshots.
 	SnapshotSeries int
 	// WALFiles is the number of wal files replayed.
 	WALFiles int
 	// Replayed is the number of records applied to the archive.
 	Replayed int
-	// Skipped is the number of records the snapshot already covered.
+	// Skipped is the number of records a snapshot already covered.
 	Skipped int
 	// Rejected is the number of records the archive refused on replay
 	// (the same out-of-order segments it refused live).
 	Rejected int
-	// TruncatedBytes is the torn tail dropped from the last wal file.
+	// TruncatedBytes is the torn tails dropped across all wal files.
 	TruncatedBytes int64
+	// Migrated reports that the on-disk layout did not match the current
+	// sharding (a pre-partitioning single log, or logs written with a
+	// different shard count) and was re-baselined into fresh per-shard
+	// snapshots during Open.
+	Migrated bool
+	// Reconciled is the number of series found in more than one
+	// partition during a migration (the state a crash mid-migration
+	// leaves); the longest copy wins.
+	Reconciled int
+	// RetentionDropped is the number of segments the retention window
+	// removed during recovery.
+	RetentionDropped int
 }
 
 // Empty reports whether recovery found any prior state.
@@ -55,168 +73,398 @@ func (rs RecoverStats) Empty() bool {
 	return rs.SnapshotSeries == 0 && rs.WALFiles == 0
 }
 
+// add accumulates one partition's recovery outcome.
+func (rs *RecoverStats) add(o RecoverStats) {
+	rs.Dirs += o.Dirs
+	rs.SnapshotSeries += o.SnapshotSeries
+	rs.WALFiles += o.WALFiles
+	rs.Replayed += o.Replayed
+	rs.Skipped += o.Skipped
+	rs.Rejected += o.Rejected
+	rs.TruncatedBytes += o.TruncatedBytes
+}
+
+// recoveryUnit is one directory holding a snapshot generation + wal
+// tail: a shard dir, or the data-dir root for the legacy single-log
+// layout (shard == -1).
+type recoveryUnit struct {
+	dir    string
+	shard  int
+	staged *tsdb.Archive
+	stats  RecoverStats
+	maxSeq uint64
+	err    error
+}
+
 // Open recovers the data directory into db (which must be empty) and
-// opens a fresh write-ahead tail: newest readable snapshot first, then
-// every remaining wal file in sequence order with torn-tail truncation.
-// The directory is created if absent.
-func Open(dir string, db *tsdb.Archive, opts Options) (*Store, RecoverStats, error) {
+// opens a fresh write-ahead tail per shard. Every existing partition —
+// including ones outside the current shard count, and a legacy
+// single-log root — is recovered concurrently into its own staging
+// archive (newest readable snapshot, then wal replay with torn-tail
+// truncation), then merged into db in deterministic order. If the
+// layout does not match nShards, the state is re-baselined: fresh
+// per-shard snapshots are written under the current sharding first, and
+// only then are the superseded files deleted, so a crash at any point
+// leaves a recoverable directory. The directory is created if absent.
+func Open(dir string, nShards int, db *tsdb.Archive, opts Options) (*Store, RecoverStats, error) {
+	if nShards <= 0 {
+		nShards = 1
+	}
 	opts = opts.withDefaults()
 	var stats RecoverStats
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, stats, err
 	}
-	snaps, wals, err := scanDir(dir, opts)
+
+	units, err := discoverUnits(dir)
 	if err != nil {
 		return nil, stats, err
 	}
 
-	// Load the newest snapshot that parses cleanly; older generations
-	// only survive in the directory after a crash mid-compaction, and a
-	// half-written one is skipped the same way (with a loud warning).
-	maxSeq := uint64(0)
-	for i := len(snaps) - 1; i >= 0; i-- {
-		sn := snaps[i]
-		if sn.seq > maxSeq {
-			maxSeq = sn.seq
+	// Parallel recovery: each partition replays into its own staging
+	// archive, so an 8-shard boot costs one shard's replay time, not
+	// eight.
+	var wg sync.WaitGroup
+	for _, u := range units {
+		wg.Add(1)
+		go func(u *recoveryUnit) {
+			defer wg.Done()
+			u.staged = tsdb.New()
+			u.stats, u.maxSeq, u.err = recoverDir(u.dir, u.staged, opts)
+		}(u)
+	}
+	wg.Wait()
+
+	// Merge in deterministic order — legacy root first, then shard dirs
+	// ascending — so duplicate resolution does not depend on goroutine
+	// scheduling.
+	migrate := false
+	maxSeq := make([]uint64, nShards)
+	for _, u := range units {
+		if u.err != nil {
+			return nil, stats, u.err
 		}
-		if stats.SnapshotSeries > 0 || sn.seq < stats.SnapshotSeq {
-			continue
+		stats.add(u.stats)
+		if u.shard >= 0 && u.shard < nShards {
+			maxSeq[u.shard] = u.maxSeq
+		} else {
+			// A legacy root log, or a shard dir beyond the current count:
+			// its contents must move to the partitions that now own them.
+			migrate = true
 		}
-		n, err := loadSnapshot(sn.path, db)
-		if err != nil {
-			opts.logf("wal: snapshot %s unreadable, trying older: %v", filepath.Base(sn.path), err)
-			continue
+		for _, name := range u.staged.Names() {
+			if u.shard != ShardIndex(name, nShards) {
+				migrate = true
+			}
+			reconciled, err := mergeSeries(db, u.staged, name)
+			if err != nil {
+				return nil, stats, err
+			}
+			if reconciled {
+				stats.Reconciled++
+				migrate = true
+			}
 		}
-		stats.SnapshotSeq, stats.SnapshotSeries = sn.seq, n
 	}
 
-	// Replay every wal file in sequence order. Files at or below the
-	// snapshot's sequence are normally deleted by compaction; if a crash
-	// kept them around, the per-record index check skips everything the
-	// snapshot already covers.
-	for _, wf := range wals {
-		if wf.seq > maxSeq {
-			maxSeq = wf.seq
-		}
-		if err := replayFile(wf.path, wf.seq, db, &stats, opts); err != nil {
+	st := &Store{db: db, dir: dir, opts: opts, shards: make([]*Shard, nShards)}
+	for k := range st.shards {
+		st.shards[k] = &Shard{db: db, dir: filepath.Join(dir, shardDirName(k)), k: k, n: nShards, opts: opts}
+		if err := os.MkdirAll(st.shards[k].dir, 0o755); err != nil {
 			return nil, stats, err
 		}
 	}
 
-	l, err := openLog(dir, maxSeq+1, opts)
-	if err != nil {
-		return nil, stats, err
+	// Recovery applies the retention window once, so segments that aged
+	// out while the server was down (or resurfaced from a
+	// crash-interrupted compaction) do not serve again. Pruning shrinks
+	// the in-memory series while the old files still reconstruct the
+	// unpruned state, which would desynchronise the idx space new
+	// appends are logged under — a later replay would then skip
+	// fsync-acked records as "already covered" — so any drop forces the
+	// same re-baseline a migration does: fresh snapshots of the pruned
+	// state supersede every old file before the new tails open.
+	for _, sh := range st.shards {
+		stats.RetentionDropped += sh.pruneRetention()
+	}
+	if stats.RetentionDropped > 0 {
+		migrate = true
+	}
+
+	if migrate {
+		stats.Migrated = true
+		if err := st.rebaseline(units, maxSeq); err != nil {
+			return nil, stats, err
+		}
+	}
+
+	for k, sh := range st.shards {
+		l, err := openLog(sh.dir, maxSeq[k]+1, opts)
+		if err != nil {
+			st.closeOpened(k)
+			return nil, stats, err
+		}
+		sh.log = l
+		syncDir(sh.dir, opts)
 	}
 	syncDir(dir, opts)
-	return &Store{db: db, dir: dir, opts: opts, log: l}, stats, nil
+	return st, stats, nil
+}
+
+// closeOpened closes the logs of shards below k after a partial Open.
+func (st *Store) closeOpened(k int) {
+	for _, sh := range st.shards[:k] {
+		sh.close()
+	}
+}
+
+// discoverUnits lists the recovery units under dir: the root itself if
+// it holds legacy single-log files, plus every `shard-<k>` directory.
+func discoverUnits(dir string) ([]*recoveryUnit, error) {
+	var units []*recoveryUnit
+	snaps, wals, err := scanDir(dir, Options{})
+	if err != nil {
+		return nil, err
+	}
+	if len(snaps)+len(wals) > 0 {
+		units = append(units, &recoveryUnit{dir: dir, shard: -1})
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		k, ok := strings.CutPrefix(e.Name(), "shard-")
+		if !ok {
+			continue
+		}
+		idx, err := strconv.Atoi(k)
+		if err != nil || idx < 0 || strconv.Itoa(idx) != k {
+			continue
+		}
+		units = append(units, &recoveryUnit{dir: filepath.Join(dir, e.Name()), shard: idx})
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].shard < units[j].shard })
+	return units, nil
+}
+
+// mergeSeries moves one recovered series from a staging archive into db.
+// When the series already exists — only possible while merging the
+// duplicate partitions a crash mid-migration (or an undeletable stale
+// file) leaves — the most recent copy wins: whichever covers the later
+// end time, with segment count as the tiebreak. Recency, not length,
+// because retention can legally shrink the fresh copy below a stale
+// unpruned leftover, and the fresh copy is the one holding any
+// fsync-acked appends made since. Returns whether a duplicate was
+// reconciled.
+func mergeSeries(db *tsdb.Archive, staged *tsdb.Archive, name string) (bool, error) {
+	src, err := staged.Get(name)
+	if err != nil {
+		return false, err
+	}
+	dst, created, err := db.GetOrCreate(name, src.Epsilon(), src.Constant())
+	if err != nil {
+		return false, fmt.Errorf("wal: merge %q: %w", name, err)
+	}
+	if !created {
+		if !newerSeries(src, dst) {
+			return true, nil // dst is at least as recent
+		}
+		// Replace wholesale: rebuilding from the winning copy is simpler
+		// to prove correct than splicing suffixes.
+		if err := db.Drop(name); err != nil {
+			return true, err
+		}
+		if dst, err = db.Create(name, src.Epsilon(), src.Constant()); err != nil {
+			return true, err
+		}
+		if err := copySeries(dst, src); err != nil {
+			return true, err
+		}
+		return true, nil
+	}
+	return false, copySeries(dst, src)
+}
+
+// newerSeries reports whether a's copy of a series supersedes b's: it
+// covers a later end time, or the same end with more segments.
+func newerSeries(a, b *tsdb.Series) bool {
+	al, aok := a.Last()
+	bl, bok := b.Last()
+	switch {
+	case !aok:
+		return false
+	case !bok:
+		return true
+	case al.T1 != bl.T1:
+		return al.T1 > bl.T1
+	default:
+		return a.Len() > b.Len()
+	}
+}
+
+// sameSegment reports whether two segments are byte-for-byte the same
+// recording.
+func sameSegment(a, b core.Segment) bool {
+	if a.T0 != b.T0 || a.T1 != b.T1 || a.Connected != b.Connected || a.Points != b.Points ||
+		len(a.X0) != len(b.X0) || len(a.X1) != len(b.X1) {
+		return false
+	}
+	for d := range a.X0 {
+		if a.X0[d] != b.X0[d] || a.X1[d] != b.X1[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// copySeries appends src's segments and sample count onto the freshly
+// created dst.
+func copySeries(dst, src *tsdb.Series) error {
+	if err := dst.Append(src.Segments()...); err != nil {
+		return fmt.Errorf("wal: merge %q: %w", src.Name(), err)
+	}
+	dst.SetPoints(src.Points())
+	return nil
+}
+
+// rebaseline rewrites the archive as fresh per-shard snapshots under the
+// current sharding, then deletes the superseded layout. Write-new before
+// delete-old: a crash in between leaves duplicates, which the next Open
+// detects (Reconciled) and re-baselines again — the migration is
+// idempotent, never lossy.
+func (st *Store) rebaseline(units []*recoveryUnit, maxSeq []uint64) error {
+	for k, sh := range st.shards {
+		if err := writeSnapshot(sh.dir, maxSeq[k], st.db, sh.ownedNames(), st.opts); err != nil {
+			return err
+		}
+	}
+	for _, u := range units {
+		if u.shard >= 0 && u.shard < len(st.shards) {
+			// A kept partition: its fresh snapshot at maxSeq supersedes
+			// every wal file ≤ maxSeq and every older snapshot.
+			st.shards[u.shard].removeObsolete(maxSeq[u.shard])
+			continue
+		}
+		// The legacy root or a stray shard dir: every recognised file is
+		// superseded by the new snapshots.
+		snaps, wals, err := scanDir(u.dir, st.opts)
+		if err != nil {
+			st.opts.logf("wal: migration scan %s: %v", u.dir, err)
+			continue
+		}
+		for _, f := range append(snaps, wals...) {
+			if err := os.Remove(f.path); err != nil {
+				st.opts.logf("wal: migration remove %s: %v", f.path, err)
+			}
+		}
+		if u.shard >= 0 {
+			// Best effort: the stray dir is empty unless a stranger file
+			// lives there, in which case it harmlessly stays.
+			os.Remove(u.dir)
+		}
+		syncDir(st.dir, st.opts)
+	}
+	st.opts.logf("wal: migrated %s to %d-shard layout", st.dir, len(st.shards))
+	return nil
 }
 
 // DB returns the archive the store recovers into and snapshots from.
 func (st *Store) DB() *tsdb.Archive { return st.db }
 
-// Append writes one segment ahead of its apply to s. It must be called
-// by the single goroutine that owns appends for s (the shard worker), so
-// the recorded index matches the position the apply will use.
+// NumShards returns the partition count.
+func (st *Store) NumShards() int { return len(st.shards) }
+
+// Shard returns partition k's handle — the write-ahead interface for the
+// ingest shard with the same index.
+func (st *Store) Shard(k int) *Shard { return st.shards[k] }
+
+// Append routes one write-ahead record to the shard that owns s. Callers
+// holding a per-shard handle (the server's workers) should append
+// through it directly.
 func (st *Store) Append(s *tsdb.Series, seg core.Segment) error {
-	return st.log.Append(s.Name(), s.Epsilon(), s.Constant(), s.Len(), seg)
+	return st.shards[ShardIndex(s.Name(), len(st.shards))].Append(s, seg)
 }
 
-// Commit is the ack barrier: under SyncAlways it returns only after the
-// log is fsynced.
-func (st *Store) Commit() error { return st.log.Commit() }
-
-// Sync flushes and fsyncs the log regardless of policy.
-func (st *Store) Sync() error { return st.log.Sync() }
-
-// TailBytes returns the current wal file's size, the compaction trigger.
-func (st *Store) TailBytes() int64 { return st.log.TailBytes() }
-
-// Rotate closes the current wal file and opens the next sequence,
-// returning the closed file's sequence — the argument for Snapshot once
-// every record in it has been applied (the caller fences its appliers in
-// between).
-func (st *Store) Rotate() (uint64, error) { return st.log.Rotate() }
-
-// Snapshot writes the archive's current state as the snapshot for
-// throughSeq and removes the wal files (sequence ≤ throughSeq) and older
-// snapshots it supersedes. The caller must guarantee every record in
-// those wal files has been applied to the archive — rotate, fence the
-// appliers, then snapshot.
-func (st *Store) Snapshot(throughSeq uint64) error {
-	st.compact.Lock()
-	defer st.compact.Unlock()
-	if err := writeSnapshot(st.dir, throughSeq, st.db, st.opts); err != nil {
-		return err
+// Commit commits every shard, returning the first error.
+func (st *Store) Commit() error {
+	var first error
+	for _, sh := range st.shards {
+		if err := sh.Commit(); err != nil && first == nil {
+			first = err
+		}
 	}
-	st.removeObsolete(throughSeq)
-	return nil
+	return first
 }
 
-// CloseSnapshot ends the store on a graceful drain: it closes the log,
-// writes a final snapshot covering everything, and removes every wal
-// file — leaving the directory holding exactly one snapshot.
+// Sync flushes and fsyncs every shard's log regardless of policy.
+func (st *Store) Sync() error {
+	var first error
+	for _, sh := range st.shards {
+		if err := sh.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// TailBytes sums the current wal file sizes across shards.
+func (st *Store) TailBytes() int64 {
+	var n int64
+	for _, sh := range st.shards {
+		n += sh.TailBytes()
+	}
+	return n
+}
+
+// CloseSnapshot ends the store on a graceful drain: every shard (in
+// parallel) closes its log, writes a final snapshot covering everything,
+// and removes its wal files — leaving each shard directory holding
+// exactly one snapshot.
 func (st *Store) CloseSnapshot() error {
-	st.compact.Lock()
-	defer st.compact.Unlock()
-	seq := st.log.Seq()
-	if err := st.log.Close(); err != nil && !errors.Is(err, ErrClosed) {
-		return err
+	errs := make([]error, len(st.shards))
+	var wg sync.WaitGroup
+	for i, sh := range st.shards {
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			errs[i] = sh.closeSnapshot()
+		}(i, sh)
 	}
-	if err := writeSnapshot(st.dir, seq, st.db, st.opts); err != nil {
-		return err
-	}
-	st.removeObsolete(seq)
-	return nil
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // Close ends the store without snapshotting (error paths; recovery will
-// replay the tail).
+// replay the tails).
 func (st *Store) Close() error {
-	err := st.log.Close()
-	if errors.Is(err, ErrClosed) {
-		return nil
-	}
-	return err
-}
-
-// removeObsolete deletes wal files with sequence ≤ throughSeq and
-// snapshots older than throughSeq. Failures are logged: a leftover file
-// costs replay time on the next boot, not correctness.
-func (st *Store) removeObsolete(throughSeq uint64) {
-	snaps, wals, err := scanDir(st.dir, st.opts)
-	if err != nil {
-		st.opts.logf("wal: compaction scan: %v", err)
-		return
-	}
-	for _, wf := range wals {
-		if wf.seq <= throughSeq {
-			if err := os.Remove(wf.path); err != nil {
-				st.opts.logf("wal: remove %s: %v", filepath.Base(wf.path), err)
-			}
+	var first error
+	for _, sh := range st.shards {
+		if err := sh.close(); err != nil && first == nil {
+			first = err
 		}
 	}
-	for _, sn := range snaps {
-		if sn.seq < throughSeq {
-			if err := os.Remove(sn.path); err != nil {
-				st.opts.logf("wal: remove %s: %v", filepath.Base(sn.path), err)
-			}
-		}
-	}
-	syncDir(st.dir, st.opts)
+	return first
 }
 
-// seqFile is one sequence-numbered file in the data directory.
+// seqFile is one sequence-numbered file in a log directory.
 type seqFile struct {
 	seq  uint64
 	path string
 }
 
-// scanDir lists the directory's snapshots and wal files in ascending
+// scanDir lists a directory's snapshots and wal files in ascending
 // sequence order, removing leftover temporaries from an interrupted
 // snapshot write.
 func scanDir(dir string, opts Options) (snaps, wals []seqFile, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil
+		}
 		return nil, nil, err
 	}
 	for _, e := range entries {
@@ -266,10 +514,62 @@ func matchSeq(name, pattern string, seq *uint64) bool {
 	return true
 }
 
+// recoverDir recovers one log directory into db: newest readable
+// snapshot first, then every remaining wal file in sequence order with
+// torn-tail truncation. It returns the directory's stats and highest
+// sequence number seen (snapshot or wal).
+func recoverDir(dir string, db *tsdb.Archive, opts Options) (RecoverStats, uint64, error) {
+	var stats RecoverStats
+	snaps, wals, err := scanDir(dir, opts)
+	if err != nil {
+		return stats, 0, err
+	}
+	if len(snaps)+len(wals) == 0 {
+		return stats, 0, nil
+	}
+	stats.Dirs = 1
+
+	// Load the newest snapshot that parses cleanly; older generations
+	// only survive in the directory after a crash mid-compaction, and a
+	// half-written one is skipped the same way (with a loud warning).
+	maxSeq := uint64(0)
+	loaded := false
+	for i := len(snaps) - 1; i >= 0; i-- {
+		sn := snaps[i]
+		if sn.seq > maxSeq {
+			maxSeq = sn.seq
+		}
+		if loaded {
+			continue
+		}
+		n, err := loadSnapshot(sn.path, db)
+		if err != nil {
+			opts.logf("wal: snapshot %s unreadable, trying older: %v", filepath.Base(sn.path), err)
+			continue
+		}
+		loaded = true
+		stats.SnapshotSeries = n
+	}
+
+	// Replay every wal file in sequence order. Files at or below the
+	// snapshot's sequence are normally deleted by compaction; if a crash
+	// kept them around, the per-record index check skips everything the
+	// snapshot already covers.
+	for _, wf := range wals {
+		if wf.seq > maxSeq {
+			maxSeq = wf.seq
+		}
+		if err := replayFile(wf.path, wf.seq, db, &stats, opts); err != nil {
+			return stats, maxSeq, err
+		}
+	}
+	return stats, maxSeq, nil
+}
+
 // loadSnapshot reads a snapshot into db in one pass. db is empty on
-// entry (Open's contract), so a decode failure rolls back by dropping
-// whatever series the partial read created — recovery can then fall
-// back to an older snapshot without a half-populated archive.
+// entry (recoverDir's contract), so a decode failure rolls back by
+// dropping whatever series the partial read created — recovery can then
+// fall back to an older snapshot without a half-populated archive.
 func loadSnapshot(path string, db *tsdb.Archive) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -285,9 +585,9 @@ func loadSnapshot(path string, db *tsdb.Archive) (int, error) {
 	return len(db.Names()), nil
 }
 
-// writeSnapshot writes db as the snapshot for seq: temporary file, fsync,
-// atomic rename, directory fsync.
-func writeSnapshot(dir string, seq uint64, db *tsdb.Archive, opts Options) error {
+// writeSnapshot writes the named series of db as dir's snapshot for seq:
+// temporary file, fsync, atomic rename, directory fsync.
+func writeSnapshot(dir string, seq uint64, db *tsdb.Archive, names []string, opts Options) error {
 	final := filepath.Join(dir, fmt.Sprintf(snapPattern, seq))
 	tmp := final + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
@@ -295,7 +595,7 @@ func writeSnapshot(dir string, seq uint64, db *tsdb.Archive, opts Options) error
 		return err
 	}
 	bw := bufio.NewWriterSize(f, 1<<16)
-	if _, err := db.WriteTo(bw); err != nil {
+	if _, err := db.WriteSeriesTo(bw, names); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -391,6 +691,19 @@ func replayFile(path string, wantSeq uint64, db *tsdb.Archive, stats *RecoverSta
 		if rec.idx < s.Len() {
 			stats.Skipped++ // the snapshot already covers this record
 			continue
+		}
+		if rec.idx > s.Len() {
+			// The record claims a position beyond the series' end: the
+			// idx space shifted under a retention prune (live compaction
+			// logs the tail with pre-prune indices until the next
+			// snapshot). Every such record is either older than the
+			// series' end — the time-order rejection below handles it —
+			// or the one that slips past that check: an exact duplicate
+			// of the current last segment, skipped here as covered.
+			if last, ok := s.Last(); ok && sameSegment(last, rec.seg) {
+				stats.Skipped++
+				continue
+			}
 		}
 		if err := s.Append(rec.seg); err != nil {
 			stats.Rejected++ // the same rejection the live apply produced

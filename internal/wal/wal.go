@@ -26,16 +26,28 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/pla-go/pla/internal/core"
 	"github.com/pla-go/pla/internal/encode"
 )
+
+// ShardIndex hashes a series name onto n partitions (FNV-1a). It is the
+// single routing function shared by the server's ingest shards and the
+// partitioned log, so shard k's log and snapshot hold exactly the series
+// shard k's worker owns — appends never cross a partition boundary.
+func ShardIndex(name string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(n))
+}
 
 // SyncPolicy selects when the log reaches stable storage.
 type SyncPolicy int
@@ -102,13 +114,19 @@ const (
 	recConnected byte = 1 << 1
 )
 
-// Options parameterises a Log.
+// Options parameterises a Log (and, through Open, every shard of a
+// partitioned Store).
 type Options struct {
 	// Policy is the fsync policy (default SyncInterval).
 	Policy SyncPolicy
 	// Interval is the background flush/fsync cadence for SyncInterval and
 	// SyncOff (default 50ms).
 	Interval time.Duration
+	// Retain, when positive, is the retention window in stream-time
+	// units: compaction (and recovery) drops a series' oldest segments
+	// once their end time falls more than Retain behind the series' own
+	// newest covered time. Zero keeps everything.
+	Retain float64
 	// Logf, when set, receives one line per recovery or compaction event.
 	Logf func(format string, args ...any)
 }
@@ -139,7 +157,12 @@ type Log struct {
 	rw     *encode.RecordWriter
 	seq    uint64
 	tail   int64 // bytes appended to the current file (header included)
+	total  int64 // bytes appended over the log's lifetime, across rotations
 	closed bool
+
+	// fsyncs counts fsyncs actually issued (commits and the background
+	// cadence). Atomic: Commit syncs outside mu so appends keep flowing.
+	fsyncs atomic.Int64
 
 	flushErr error // first background flush failure, surfaced on Commit
 
@@ -176,6 +199,7 @@ func (l *Log) openFile(seq uint64) error {
 	}
 	l.f, l.bw, l.rw = f, bw, encode.NewRecordWriter(bw)
 	l.seq, l.tail = seq, int64(n)
+	l.total += int64(n)
 	return nil
 }
 
@@ -229,23 +253,47 @@ func (l *Log) Append(name string, eps []float64, constant bool, idx int, seg cor
 	l.buf = appendRecord(l.buf[:0], name, eps, constant, idx, seg)
 	n, err := l.rw.WriteRecord(l.buf)
 	l.tail += int64(n)
+	l.total += int64(n)
 	return err
 }
 
 // Commit makes everything appended so far as durable as the policy
 // promises: under SyncAlways it flushes and fsyncs before returning (the
 // ack-after-fsync barrier); under the interval policies it is a no-op
-// apart from surfacing any background flush failure.
+// apart from surfacing any background flush failure. The fsync runs
+// outside the log mutex, so appends keep flowing into the buffer while
+// the disk syncs — the commit pipeline stalls on the journal, not the
+// shard worker. Commit is not reentrant (each shard has exactly one
+// committer); a commit racing Rotate or Close is safe because both sync
+// everything before closing the file.
 func (l *Log) Commit() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return ErrClosed
 	}
-	if l.opts.Policy == SyncAlways {
-		return l.syncLocked()
+	if l.opts.Policy != SyncAlways {
+		err := l.flushErr
+		l.mu.Unlock()
+		return err
 	}
-	return l.flushErr
+	err := l.bw.Flush()
+	f := l.f
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		if errors.Is(err, os.ErrClosed) {
+			// The file was rotated or closed under us; both paths fsync
+			// before closing, so everything this commit covers is already
+			// durable.
+			return nil
+		}
+		return err
+	}
+	l.fsyncs.Add(1)
+	return nil
 }
 
 // Sync flushes and fsyncs regardless of policy.
@@ -262,7 +310,31 @@ func (l *Log) syncLocked() error {
 	if err := l.bw.Flush(); err != nil {
 		return err
 	}
-	return l.f.Sync()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.fsyncs.Add(1)
+	return nil
+}
+
+// LogMetrics is a log's cumulative I/O counters — per-shard observability
+// for the commit pipeline (one partition, one log, one set of counters).
+type LogMetrics struct {
+	// Bytes counts everything appended over the log's lifetime, headers
+	// included, across rotations.
+	Bytes int64
+	// Fsyncs counts fsync calls: every Commit under SyncAlways (one per
+	// group-commit batch, not per barrier), every explicit Sync or
+	// Rotate, and the background cadence under SyncInterval.
+	Fsyncs int64
+}
+
+// Metrics snapshots the log's cumulative counters.
+func (l *Log) Metrics() LogMetrics {
+	l.mu.Lock()
+	total := l.total
+	l.mu.Unlock()
+	return LogMetrics{Bytes: total, Fsyncs: l.fsyncs.Load()}
 }
 
 // TailBytes returns the size of the current wal file, the compaction
@@ -316,7 +388,9 @@ func (l *Log) Close() error {
 	}
 	l.closed = true
 	err := l.bw.Flush()
-	if serr := l.f.Sync(); err == nil {
+	if serr := l.f.Sync(); serr == nil {
+		l.fsyncs.Add(1)
+	} else if err == nil {
 		err = serr
 	}
 	if cerr := l.f.Close(); err == nil {
@@ -347,7 +421,9 @@ func (l *Log) runFlusher() {
 			}
 			err := l.bw.Flush()
 			if err == nil && l.opts.Policy == SyncInterval {
-				err = l.f.Sync()
+				if err = l.f.Sync(); err == nil {
+					l.fsyncs.Add(1)
+				}
 			}
 			if err != nil && l.flushErr == nil {
 				l.flushErr = err

@@ -80,12 +80,20 @@ func mustEqualArchives(t *testing.T, got, want *tsdb.Archive) {
 
 func openStore(t *testing.T, dir string, policy SyncPolicy) (*Store, RecoverStats) {
 	t.Helper()
-	st, stats, err := Open(dir, tsdb.New(), Options{Policy: policy, Logf: t.Logf})
+	return openStoreN(t, dir, 1, policy)
+}
+
+func openStoreN(t *testing.T, dir string, nShards int, policy SyncPolicy) (*Store, RecoverStats) {
+	t.Helper()
+	st, stats, err := Open(dir, nShards, tsdb.New(), Options{Policy: policy, Logf: t.Logf})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return st, stats
 }
+
+// shard0Dir is the partition directory most single-shard tests poke at.
+func shard0Dir(dir string) string { return filepath.Join(dir, shardDirName(0)) }
 
 // TestReplayFromTail closes the log without any snapshot and recovers
 // everything from the wal alone.
@@ -110,6 +118,9 @@ func TestReplayFromTail(t *testing.T) {
 	if stats.Replayed != 10 || stats.Skipped != 0 || stats.Rejected != 0 {
 		t.Fatalf("replay stats %+v, want 10 replayed", stats)
 	}
+	if stats.Migrated {
+		t.Fatalf("same-shard-count recovery migrated: %+v", stats)
+	}
 	mustEqualArchives(t, st2.DB(), ref)
 }
 
@@ -126,7 +137,7 @@ func TestTornTailTruncation(t *testing.T) {
 	}
 
 	// Tear the last record: chop 3 bytes off the only wal file.
-	_, wals, err := scanDir(dir, Options{})
+	_, wals, err := scanDir(shard0Dir(dir), Options{})
 	if err != nil || len(wals) != 1 {
 		t.Fatalf("scan: %v, %d wal files", err, len(wals))
 	}
@@ -174,15 +185,16 @@ func TestSnapshotPlusTail(t *testing.T) {
 	appendN(t, st, ref, "b", 0, 4)
 
 	// Compact: rotate, (no concurrent appliers to fence here), snapshot.
-	oldSeq, err := st.Rotate()
+	sh := st.Shard(0)
+	oldSeq, err := sh.Rotate()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Snapshot(oldSeq); err != nil {
+	if err := sh.Snapshot(oldSeq); err != nil {
 		t.Fatal(err)
 	}
 	// The superseded wal file must be gone.
-	_, wals, _ := scanDir(dir, Options{})
+	_, wals, _ := scanDir(shard0Dir(dir), Options{})
 	for _, wf := range wals {
 		if wf.seq <= oldSeq {
 			t.Fatalf("wal seq %d survived compaction", wf.seq)
@@ -211,12 +223,13 @@ func TestCrashMidCompaction(t *testing.T) {
 	st, _ := openStore(t, dir, SyncAlways)
 	appendN(t, st, ref, "dup", 0, 5)
 
-	oldSeq, err := st.Rotate()
+	sh := st.Shard(0)
+	oldSeq, err := sh.Rotate()
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Save the rotated wal before Snapshot deletes it.
-	_, wals, _ := scanDir(dir, Options{})
+	_, wals, _ := scanDir(shard0Dir(dir), Options{})
 	var oldPath string
 	var oldBytes []byte
 	for _, wf := range wals {
@@ -230,7 +243,7 @@ func TestCrashMidCompaction(t *testing.T) {
 	if oldPath == "" {
 		t.Fatal("rotated wal not found")
 	}
-	if err := st.Snapshot(oldSeq); err != nil {
+	if err := sh.Snapshot(oldSeq); err != nil {
 		t.Fatal(err)
 	}
 	appendN(t, st, ref, "dup", 5, 2)
@@ -258,11 +271,12 @@ func TestRecoverySurvivesCorruptSnapshot(t *testing.T) {
 	ref := tsdb.New()
 	st, _ := openStore(t, dir, SyncAlways)
 	appendN(t, st, ref, "s", 0, 4)
-	oldSeq, err := st.Rotate()
+	sh := st.Shard(0)
+	oldSeq, err := sh.Rotate()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Snapshot(oldSeq); err != nil {
+	if err := sh.Snapshot(oldSeq); err != nil {
 		t.Fatal(err)
 	}
 	appendN(t, st, ref, "s", 4, 2)
@@ -270,7 +284,7 @@ func TestRecoverySurvivesCorruptSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	snaps, _, _ := scanDir(dir, Options{})
+	snaps, _, _ := scanDir(shard0Dir(dir), Options{})
 	if len(snaps) != 1 {
 		t.Fatalf("%d snapshots, want 1", len(snaps))
 	}
@@ -295,8 +309,8 @@ func TestRecoverySurvivesCorruptSnapshot(t *testing.T) {
 	mustEqualArchives(t, st2.DB(), want)
 }
 
-// TestCloseSnapshot drains to a single snapshot file and recovers from it
-// with no wal replay.
+// TestCloseSnapshot drains to a single snapshot file per shard and
+// recovers from it with no wal replay.
 func TestCloseSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	ref := tsdb.New()
@@ -307,7 +321,7 @@ func TestCloseSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	snaps, wals, err := scanDir(dir, Options{})
+	snaps, wals, err := scanDir(shard0Dir(dir), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,12 +421,12 @@ func TestReplaySkipsRenamedFile(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	_, wals, err := scanDir(dir, Options{})
+	_, wals, err := scanDir(shard0Dir(dir), Options{})
 	if err != nil || len(wals) != 1 {
 		t.Fatalf("scan: %v (%d files)", err, len(wals))
 	}
 	// Pretend a backup restored seq 1 as seq 9.
-	renamed := filepath.Join(dir, fmt.Sprintf(walPattern, uint64(9)))
+	renamed := filepath.Join(shard0Dir(dir), fmt.Sprintf(walPattern, uint64(9)))
 	if err := os.Rename(wals[0].path, renamed); err != nil {
 		t.Fatal(err)
 	}
@@ -438,5 +452,546 @@ func TestScanDirIgnoresStrangers(t *testing.T) {
 	}
 	if len(snaps) != 0 || len(wals) != 0 {
 		t.Fatalf("scan picked up strangers: %v %v", snaps, wals)
+	}
+}
+
+// manyShardsFill writes series spread across every partition of a
+// multi-shard store, mirroring into ref.
+func manyShardsFill(t *testing.T, st *Store, ref *tsdb.Archive, series, segs int) {
+	t.Helper()
+	for i := 0; i < series; i++ {
+		appendN(t, st, ref, fmt.Sprintf("series-%02d", i), 0, segs)
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionedLayout verifies a multi-shard store splits its files by
+// series hash: every shard dir holds only records for series it owns.
+func TestPartitionedLayout(t *testing.T) {
+	dir := t.TempDir()
+	ref := tsdb.New()
+	st, _ := openStoreN(t, dir, 4, SyncAlways)
+	manyShardsFill(t, st, ref, 16, 3)
+	if err := st.CloseSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every shard dir holds exactly one snapshot, and loading it alone
+	// yields only series hashing to that shard.
+	total := 0
+	for k := 0; k < 4; k++ {
+		sdir := filepath.Join(dir, shardDirName(k))
+		snaps, wals, err := scanDir(sdir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snaps) != 1 || len(wals) != 0 {
+			t.Fatalf("shard %d: %d snapshots, %d wals; want 1, 0", k, len(snaps), len(wals))
+		}
+		part := tsdb.New()
+		n, err := loadSnapshot(snaps[0].path, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range part.Names() {
+			if ShardIndex(name, 4) != k {
+				t.Errorf("series %s in shard %d, owns %d", name, k, ShardIndex(name, 4))
+			}
+		}
+		total += n
+	}
+	if total != 16 {
+		t.Fatalf("shards hold %d series total, want 16", total)
+	}
+
+	st2, stats := openStoreN(t, dir, 4, SyncAlways)
+	defer st2.Close()
+	if stats.Migrated || stats.Dirs != 4 || stats.SnapshotSeries != 16 {
+		t.Fatalf("recovery stats %+v, want 4 clean dirs, 16 snapshot series", stats)
+	}
+	mustEqualArchives(t, st2.DB(), ref)
+}
+
+// TestShardCountChange replays logs written with one shard count into a
+// different sharding, both growing and shrinking — the restart-with-new
+// `-shards` case. The first reopen migrates (fresh per-shard snapshots
+// under the new layout); a second reopen must be clean.
+func TestShardCountChange(t *testing.T) {
+	for _, tc := range []struct{ from, to int }{{4, 2}, {2, 8}, {3, 1}} {
+		t.Run(fmt.Sprintf("%d_to_%d", tc.from, tc.to), func(t *testing.T) {
+			dir := t.TempDir()
+			ref := tsdb.New()
+			st, _ := openStoreN(t, dir, tc.from, SyncAlways)
+			manyShardsFill(t, st, ref, 12, 4)
+			// Close WITHOUT a snapshot: the new sharding must replay raw
+			// per-shard tails written under the old sharding.
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			st2, stats := openStoreN(t, dir, tc.to, SyncAlways)
+			if !stats.Migrated {
+				t.Fatalf("shard count %d→%d did not migrate: %+v", tc.from, tc.to, stats)
+			}
+			mustEqualArchives(t, st2.DB(), ref)
+			appendN(t, st2, ref, "post-migrate", 0, 2)
+			if err := st2.CloseSnapshot(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Old-layout dirs beyond the new count are gone.
+			for k := tc.to; k < tc.from; k++ {
+				if _, err := os.Stat(filepath.Join(dir, shardDirName(k))); !os.IsNotExist(err) {
+					t.Errorf("stray shard dir %d survived migration (err=%v)", k, err)
+				}
+			}
+
+			st3, stats := openStoreN(t, dir, tc.to, SyncAlways)
+			defer st3.Close()
+			if stats.Migrated || stats.Reconciled != 0 {
+				t.Fatalf("second reopen migrated again: %+v", stats)
+			}
+			mustEqualArchives(t, st3.DB(), ref)
+		})
+	}
+}
+
+// TestLegacySingleLogMigration boots a partitioned store on a PR 2
+// layout — snapshot + wal directly in the data dir root — and verifies
+// the one-shot migration: recovered archive identical, root files gone,
+// per-shard snapshots written, second boot clean.
+func TestLegacySingleLogMigration(t *testing.T) {
+	dir := t.TempDir()
+	ref := tsdb.New()
+	// Fabricate the legacy layout with a 1-shard store, then promote its
+	// partition files to the root, as PR 2 wrote them.
+	st, _ := openStore(t, dir, SyncAlways)
+	manyShardsFill(t, st, ref, 8, 3)
+	sh := st.Shard(0)
+	oldSeq, err := sh.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Snapshot(oldSeq); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, st, ref, "series-00", 3, 2)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, wals, err := scanDir(shard0Dir(dir), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range append(snaps, wals...) {
+		if err := os.Rename(f.path, filepath.Join(dir, filepath.Base(f.path))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Remove(shard0Dir(dir)); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, stats := openStoreN(t, dir, 4, SyncAlways)
+	if !stats.Migrated {
+		t.Fatalf("legacy layout did not migrate: %+v", stats)
+	}
+	mustEqualArchives(t, st2.DB(), ref)
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Root holds no log files any more; the state lives in shard dirs.
+	rootSnaps, rootWals, err := scanDir(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rootSnaps)+len(rootWals) != 0 {
+		t.Fatalf("legacy root files survived migration: %v %v", rootSnaps, rootWals)
+	}
+
+	st3, stats := openStoreN(t, dir, 4, SyncAlways)
+	defer st3.Close()
+	if stats.Migrated {
+		t.Fatalf("second boot migrated again: %+v", stats)
+	}
+	mustEqualArchives(t, st3.DB(), ref)
+}
+
+// TestCrashMidMigrationReconciles interrupts a migration after the new
+// snapshots are written but before the old layout is deleted: the same
+// series then exists in two places, and the next boot must keep the
+// longest copy exactly once.
+func TestCrashMidMigrationReconciles(t *testing.T) {
+	dir := t.TempDir()
+	ref := tsdb.New()
+	st, _ := openStoreN(t, dir, 2, SyncAlways)
+	manyShardsFill(t, st, ref, 6, 3)
+	if err := st.CloseSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate every shard snapshot into the root as a stale "legacy"
+	// copy — the overlap state a crash between write-new and delete-old
+	// leaves (here the copies are equal-length; longest-wins keeps one).
+	for k := 0; k < 2; k++ {
+		snaps, _, err := scanDir(filepath.Join(dir, shardDirName(k)), Options{})
+		if err != nil || len(snaps) != 1 {
+			t.Fatalf("shard %d scan: %v (%d snaps)", k, err, len(snaps))
+		}
+		raw, err := os.ReadFile(snaps[0].path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := filepath.Join(dir, fmt.Sprintf(snapPattern, uint64(k+1)))
+		if err := os.WriteFile(dst, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st2, stats := openStoreN(t, dir, 2, SyncAlways)
+	if !stats.Migrated || stats.Reconciled == 0 {
+		t.Fatalf("overlap boot stats %+v, want migration with reconciled duplicates", stats)
+	}
+	mustEqualArchives(t, st2.DB(), ref)
+	if err := st2.CloseSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	st3, stats := openStoreN(t, dir, 2, SyncAlways)
+	defer st3.Close()
+	if stats.Migrated || stats.Reconciled != 0 {
+		t.Fatalf("post-reconcile boot migrated again: %+v", stats)
+	}
+	mustEqualArchives(t, st3.DB(), ref)
+}
+
+// TestRetentionCompaction configures a retention window and verifies
+// compaction drops exactly the segments whose end time aged out — from
+// the live archive, the snapshot, and the recovered state alike.
+func TestRetentionCompaction(t *testing.T) {
+	dir := t.TempDir()
+	db := tsdb.New()
+	// testSeg(i) covers [2i, 2i+1]; 10 segments end at t=19. Retain 6
+	// time units: segments ending before 19-6=13 (i ≤ 5) must go.
+	st, _, err := Open(dir, 1, db, Options{Policy: SyncAlways, Retain: 6, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := db.GetOrCreate("aging", []float64{0.25}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := st.Append(s, testSeg(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(testSeg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh := st.Shard(0)
+	oldSeq, err := sh.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Snapshot(oldSeq); err != nil {
+		t.Fatal(err)
+	}
+
+	segs := s.Segments()
+	if len(segs) != 4 {
+		t.Fatalf("after retention compaction: %d segments, want 4 (i=6..9)", len(segs))
+	}
+	if segs[0].T0 != 12 {
+		t.Fatalf("oldest surviving segment starts at %v, want 12", segs[0].T0)
+	}
+	if err := st.CloseSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, stats, err := Open(dir, 1, tsdb.New(), Options{Policy: SyncAlways, Retain: 6, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	s2, err := st2.DB().Get("aging")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 4 {
+		t.Fatalf("recovered %d segments, want 4 (stats %+v)", s2.Len(), stats)
+	}
+}
+
+// TestRetentionAppliedOnRecovery: segments that aged out while the store
+// was closed are pruned during Open, not served until the next
+// compaction.
+func TestRetentionAppliedOnRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir, SyncAlways)
+	s, _, err := st.DB().GetOrCreate("aging", []float64{0.25}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := st.Append(s, testSeg(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(testSeg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil { // no snapshot: raw tail replay
+		t.Fatal(err)
+	}
+
+	st2, stats, err := Open(dir, 1, tsdb.New(), Options{Policy: SyncAlways, Retain: 6, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if stats.RetentionDropped != 6 {
+		t.Fatalf("recovery dropped %d segments, want 6 (stats %+v)", stats.RetentionDropped, stats)
+	}
+	s2, err := st2.DB().Get("aging")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 4 {
+		t.Fatalf("recovered %d segments, want 4", s2.Len())
+	}
+}
+
+// TestRetentionRecoveryPreservesNewAppends is the regression test for
+// an acked-data-loss bug: recovery-time pruning shrinks the in-memory
+// series while the old files still reconstruct the unpruned state, so
+// without a re-baseline the post-boot appends would be logged with idx
+// values a later replay's dedup mistakes for already-covered records.
+func TestRetentionRecoveryPreservesNewAppends(t *testing.T) {
+	dir := t.TempDir()
+	// Boot 1 (no retention): 10 segments on the raw tail, no snapshot.
+	st, _ := openStore(t, dir, SyncAlways)
+	s, _, err := st.DB().GetOrCreate("aging", []float64{0.25}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := st.Append(s, testSeg(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(testSeg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot 2 (retention): the recovery prune drops 6 segments, then new
+	// fsync-acked appends land — their recorded indices must survive the
+	// next crash.
+	st2, stats, err := Open(dir, 1, tsdb.New(), Options{Policy: SyncAlways, Retain: 6, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RetentionDropped != 6 || !stats.Migrated {
+		t.Fatalf("boot 2 stats %+v, want 6 dropped with a re-baseline", stats)
+	}
+	s2, err := st2.DB().Get("aging")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 12; i++ {
+		if err := st2.Append(s2, testSeg(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.Append(testSeg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil { // crash: no snapshot of the appends
+		t.Fatal(err)
+	}
+
+	// Boot 3: the acked appends are there (retention prunes the window
+	// forward, but never the newest segments).
+	st3, _, err := Open(dir, 1, tsdb.New(), Options{Policy: SyncAlways, Retain: 6, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	s3, err := st3.DB().Get("aging")
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := s3.Segments()
+	if len(segs) == 0 || segs[len(segs)-1].T0 != 22 {
+		t.Fatalf("acked appends lost across retention recovery: %d segments, last %+v", len(segs), segs[len(segs)-1:])
+	}
+	if segs[0].T1 < 23-6 {
+		t.Fatalf("retention window not applied: oldest segment %+v", segs[0])
+	}
+}
+
+// TestRetentionLiveCompactionNoDuplicates is the regression test for a
+// replay-duplication bug: live compaction rotates first and prunes
+// inside Snapshot, so a record logged into the fresh tail between the
+// two carries a pre-prune index. After a crash, that record claims a
+// position beyond the pruned series' end and its T0 equals the last
+// segment's — the one shape the time-order rejection cannot catch —
+// and must be recognised as a duplicate, not appended twice.
+func TestRetentionLiveCompactionNoDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	db := tsdb.New()
+	st, _, err := Open(dir, 1, db, Options{Policy: SyncAlways, Retain: 6, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := db.GetOrCreate("live", []float64{0.25}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := st.Append(s, testSeg(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(testSeg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh := st.Shard(0)
+	oldSeq, err := sh.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worker keeps ingesting between the rotate and the snapshot:
+	// seg10 lands in the fresh tail with idx 10 (pre-prune length).
+	if err := st.Append(s, testSeg(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(testSeg(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Snapshot(oldSeq); err != nil { // prunes, then snapshots
+		t.Fatal(err)
+	}
+	wantLen := s.Len()
+	wantPoints := s.Points()
+	if err := st.Close(); err != nil { // crash: the fresh tail survives
+		t.Fatal(err)
+	}
+
+	st2, stats, err := Open(dir, 1, tsdb.New(), Options{Policy: SyncAlways, Retain: 6, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	s2, err := st2.DB().Get("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != wantLen || s2.Points() != wantPoints {
+		t.Fatalf("recovered %d segments / %d points, want %d / %d (stats %+v) — tail record duplicated",
+			s2.Len(), s2.Points(), wantLen, wantPoints, stats)
+	}
+	segs := s2.Segments()
+	for i := 1; i < len(segs); i++ {
+		if segs[i].T0 == segs[i-1].T0 && segs[i].T1 == segs[i-1].T1 {
+			t.Fatalf("duplicate segment after recovery: %+v", segs[i])
+		}
+	}
+}
+
+// TestMergePrefersNewerCopy is the regression test for duplicate
+// reconciliation under retention: a stale unpruned leftover can hold
+// MORE segments than the pruned-but-extended fresh copy, so recency
+// (latest covered end time), not length, must decide which survives.
+func TestMergePrefersNewerCopy(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Logf: t.Logf}.withDefaults()
+	// Stale legacy copy in the root: segments 0..9 (10 segments, ends
+	// at t=19).
+	stale := tsdb.New()
+	ss, _, err := stale.GetOrCreate("d", []float64{0.25}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := ss.Append(testSeg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := writeSnapshot(dir, 1, stale, []string{"d"}, opts); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh shard copy: pruned to segments 6..11 (6 segments, but ends
+	// at t=23 — it holds the acked appends made after the migration).
+	fresh := tsdb.New()
+	fs, _, err := fresh.GetOrCreate("d", []float64{0.25}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 6; i < 12; i++ {
+		if err := fs.Append(testSeg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sdir := shard0Dir(dir)
+	if err := os.MkdirAll(sdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshot(sdir, 1, fresh, []string{"d"}, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	st, stats, err := Open(dir, 1, tsdb.New(), Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if stats.Reconciled != 1 || !stats.Migrated {
+		t.Fatalf("stats %+v, want one reconciled duplicate + migration", stats)
+	}
+	s, err := st.DB().Get("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := s.Segments()
+	if len(segs) != 6 || segs[len(segs)-1].T1 != 23 {
+		t.Fatalf("merge kept %d segments ending at %v, want the fresh copy (6 segments through t=23)",
+			len(segs), segs[len(segs)-1].T1)
+	}
+}
+
+// TestLogMetricsCount checks the per-shard observability counters: bytes
+// grow with appends and fsyncs count commits.
+func TestLogMetricsCount(t *testing.T) {
+	dir := t.TempDir()
+	ref := tsdb.New()
+	st, _ := openStore(t, dir, SyncAlways)
+	defer st.Close()
+	m0 := st.Shard(0).Metrics()
+	if m0.Bytes == 0 { // header already written
+		t.Fatal("fresh log reports zero bytes")
+	}
+	appendN(t, st, ref, "m", 0, 4)
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	m := st.Shard(0).Metrics()
+	if m.Bytes <= m0.Bytes {
+		t.Fatalf("bytes did not grow: %d -> %d", m0.Bytes, m.Bytes)
+	}
+	if m.Fsyncs < 2 {
+		t.Fatalf("fsyncs %d, want ≥ 2 (one per SyncAlways commit)", m.Fsyncs)
 	}
 }
