@@ -1,0 +1,33 @@
+# The verify target is the single source of truth for "does this tree
+# pass": CI runs exactly `make verify`, so local runs and the gate
+# cannot drift. It mirrors the tier-1 command (go build && go test)
+# plus the formatting gate.
+
+GO ?= go
+
+.PHONY: verify fmt-check build test race bench-smoke
+
+verify: fmt-check
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) run ./cmd/plabench -server-bench -server-clients 4,16 -server-points 4000,1000 \
+		-server-rounds 2 -server-sync mem,always -server-lag 0,10,100 -server-lag-eps 0.5 \
+		-o bench-smoke.json

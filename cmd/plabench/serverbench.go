@@ -36,6 +36,15 @@ type ServerBenchResult struct {
 	Seconds     float64 `json:"seconds"`
 	PointsPerS  float64 `json:"points_per_s"`
 	ByteRatio   float64 `json:"byte_ratio"` // raw sample bytes / wire bytes
+
+	// Lag-workload fields (Bench "ServerIngestLag"): the ε the sessions
+	// filtered with, the m_max_lag bound they advertised (0 =
+	// unbounded), and how many provisional receiver updates the bound
+	// cost — the compression-vs-freshness trade-off of §3.3/§4.3 on the
+	// live server path.
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	MaxLag     int     `json:"max_lag,omitempty"`
+	LagFlushes int64   `json:"lag_flushes,omitempty"`
 }
 
 // serverBench measures the concurrent network-ingest path (via the shared
@@ -45,7 +54,7 @@ type ServerBenchResult struct {
 // lists: "8,64" clients with "20000,2500" points runs two workloads —
 // the second (many sessions, few points each) is the fsync-bound shape
 // where group commit shows.
-func serverBench(clientsList, pointsList string, rounds, shards int, syncModes, outPath string) error {
+func serverBench(clientsList, pointsList string, rounds, shards int, syncModes, lagList, lagEpsList, outPath string) error {
 	clientCounts, err := atoiList(clientsList)
 	if err != nil {
 		return fmt.Errorf("bad -server-clients: %w", err)
@@ -77,6 +86,19 @@ func serverBench(clientsList, pointsList string, rounds, shards int, syncModes, 
 			results = append(results, res)
 		}
 	}
+	if lagList != "" {
+		// The lag sweep multiplies configs (ε × m), so it runs one
+		// canonical shape: the first -server-clients/-server-points pair.
+		if len(clientCounts) > 1 {
+			fmt.Printf("lag workload: using the first shape only (%d clients × %d points)\n",
+				clientCounts[0], pointCounts[0])
+		}
+		lag, err := lagBench(clientCounts[0], pointCounts[0], rounds, shards, lagList, lagEpsList)
+		if err != nil {
+			return fmt.Errorf("lag workload: %w", err)
+		}
+		results = append(results, lag...)
+	}
 	if outPath == "" {
 		return nil
 	}
@@ -97,17 +119,103 @@ func serverBench(clientsList, pointsList string, rounds, shards int, syncModes, 
 	return nil
 }
 
-// atoiList parses a comma-separated list of positive ints.
-func atoiList(s string) ([]int, error) {
-	var out []int
+// lagBench measures the §3.3/§4.3 compression-vs-lag trade-off on the
+// live server path: an ε sweep at every requested m_max_lag bound (0 =
+// unbounded, the ∞ row), lag-bounded swing sessions over loopback TCP
+// into an in-memory server. Tighter bounds buy freshness with
+// provisional receiver updates, which cost wire bytes; the recorded
+// byte ratios and update counts quantify exactly that.
+func lagBench(clients, points, rounds, shards int, lagList, lagEpsList string) ([]ServerBenchResult, error) {
+	lags, err := atoiList0(lagList)
+	if err != nil {
+		return nil, fmt.Errorf("bad -server-lag: %w", err)
+	}
+	epsList, err := atofList(lagEpsList)
+	if err != nil {
+		return nil, fmt.Errorf("bad -server-lag-eps: %w", err)
+	}
+	db := tsdb.New()
+	s, err := server.New(db, server.Config{Shards: shards, QueueDepth: 4096})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go s.Serve(ln)
+	addr := ln.Addr().String()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	signals := loadgen.Walks(clients, points)
+	var results []ServerBenchResult
+	for _, eps := range epsList {
+		for _, m := range lags {
+			best := time.Duration(1<<63 - 1)
+			var bestRes loadgen.Result
+			for r := 0; r < rounds; r++ {
+				opt := loadgen.Options{Kind: "swing", Epsilon: eps, MaxLag: m}
+				start := time.Now()
+				res, err := loadgen.RoundOpts(addr, fmt.Sprintf("lag-e%v-m%d-%d", eps, m, r), signals, opt)
+				elapsed := time.Since(start)
+				if err != nil {
+					return nil, err
+				}
+				if res.Rejected != 0 || res.Dropped != 0 {
+					return nil, fmt.Errorf("lag round %d: %d rejected, %d dropped", r, res.Rejected, res.Dropped)
+				}
+				if elapsed < best {
+					best, bestRes = elapsed, res
+				}
+			}
+			total := clients * points
+			raw := encode.RawSize(total, 1)
+			label := fmt.Sprintf("m=%d", m)
+			if m == 0 {
+				label = "m=∞"
+			}
+			fmt.Printf("server ingest lag [ε=%g %s]: %d clients × %d points in %.6fs (%.0f points/s, %.1fx byte compression, %d lag flushes)\n",
+				eps, label, clients, points, best.Seconds(), float64(total)/best.Seconds(),
+				float64(raw)/float64(bestRes.WireBytes), bestRes.LagFlushes)
+			results = append(results, ServerBenchResult{
+				Bench:       "ServerIngestLag",
+				Sync:        "mem",
+				Clients:     clients,
+				PointsEach:  points,
+				Rounds:      rounds,
+				Shards:      shards,
+				TotalPoints: total,
+				Segments:    bestRes.Applied,
+				WireBytes:   bestRes.WireBytes,
+				RawBytes:    raw,
+				Seconds:     best.Seconds(),
+				PointsPerS:  float64(total) / best.Seconds(),
+				ByteRatio:   float64(raw) / float64(bestRes.WireBytes),
+				Epsilon:     eps,
+				MaxLag:      m,
+				LagFlushes:  bestRes.LagFlushes,
+			})
+		}
+	}
+	return results, nil
+}
+
+// parseList splits a comma-separated list, parsing each trimmed
+// non-empty element with parse (which rejects out-of-range values).
+func parseList[T any](s string, parse func(string) (T, error)) ([]T, error) {
+	var out []T
 	for _, w := range strings.Split(s, ",") {
 		w = strings.TrimSpace(w)
 		if w == "" {
 			continue
 		}
-		v, err := strconv.Atoi(w)
-		if err != nil || v < 1 {
-			return nil, fmt.Errorf("%q is not a positive integer", w)
+		v, err := parse(w)
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, v)
 	}
@@ -115,6 +223,40 @@ func atoiList(s string) ([]int, error) {
 		return nil, fmt.Errorf("empty list")
 	}
 	return out, nil
+}
+
+// atoiList parses a comma-separated list of positive ints.
+func atoiList(s string) ([]int, error) {
+	return parseList(s, func(w string) (int, error) {
+		v, err := strconv.Atoi(w)
+		if err != nil || v < 1 {
+			return 0, fmt.Errorf("%q is not a positive integer", w)
+		}
+		return v, nil
+	})
+}
+
+// atoiList0 parses a comma-separated list of non-negative ints (0 is
+// the unbounded lag row).
+func atoiList0(s string) ([]int, error) {
+	return parseList(s, func(w string) (int, error) {
+		v, err := strconv.Atoi(w)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("%q is not a non-negative integer", w)
+		}
+		return v, nil
+	})
+}
+
+// atofList parses a comma-separated list of positive floats.
+func atofList(s string) ([]float64, error) {
+	return parseList(s, func(w string) (float64, error) {
+		v, err := strconv.ParseFloat(w, 64)
+		if err != nil || v <= 0 {
+			return 0, fmt.Errorf("%q is not a positive number", w)
+		}
+		return v, nil
+	})
 }
 
 // serverBenchMode runs rounds × clients concurrent ingest sessions of the

@@ -21,15 +21,17 @@ type demoSensor struct {
 	name   string
 	kind   string
 	eps    float64
+	maxLag int // swing/slide sensors stream lag-bounded when > 0
 	signal []core.Point
 }
 
-func demoFleet(clients, points int) []demoSensor {
+func demoFleet(clients, points, maxLag int) []demoSensor {
 	kinds := []string{"cache", "linear", "swing", "slide"}
 	fleet := make([]demoSensor, clients)
 	for i := range fleet {
 		seed := uint64(i + 1)
 		var signal []core.Point
+		lag := 0
 		switch i % 4 {
 		case 0:
 			signal = gen.Sine(points, 10, float64(points)/8, 0.05, seed)
@@ -37,20 +39,23 @@ func demoFleet(clients, points int) []demoSensor {
 			signal = gen.Steps(points, 40, 5, seed)
 		case 2:
 			signal = gen.RandomWalk(gen.WalkConfig{N: points, P: 0.5, MaxDelta: 0.4, Seed: seed})
+			lag = maxLag
 		default:
 			signal = gen.SSTLike(points, seed)
+			lag = maxLag
 		}
 		fleet[i] = demoSensor{
 			name:   fmt.Sprintf("sensor-%02d", i),
 			kind:   kinds[i%4],
 			eps:    0.25,
+			maxLag: lag,
 			signal: signal,
 		}
 	}
 	return fleet
 }
 
-func demoFilter(kind string, eps float64) (core.Filter, error) {
+func demoFilter(kind string, eps float64, maxLag int) (core.Filter, error) {
 	e := []float64{eps}
 	switch kind {
 	case "cache":
@@ -58,8 +63,14 @@ func demoFilter(kind string, eps float64) (core.Filter, error) {
 	case "linear":
 		return core.NewLinear(e)
 	case "swing":
+		if maxLag > 0 {
+			return core.NewSwing(e, core.WithSwingMaxLag(maxLag))
+		}
 		return core.NewSwing(e)
 	default:
+		if maxLag > 0 {
+			return core.NewSlide(e, core.WithSlideMaxLag(maxLag))
+		}
 		return core.NewSlide(e)
 	}
 }
@@ -68,9 +79,12 @@ func demoFilter(kind string, eps float64) (core.Filter, error) {
 // verifies the precision contract end to end. With a DataDir configured
 // it finishes by restarting the server from the data directory alone and
 // verifying the recovered archive segment for segment.
-func runDemo(w io.Writer, cfg server.Config, clients, points int) error {
+func runDemo(w io.Writer, cfg server.Config, clients, points, maxLag int) error {
 	if clients < 1 || points < 10 {
 		return fmt.Errorf("demo needs ≥1 client and ≥10 points")
+	}
+	if maxLag < 0 || maxLag == 1 {
+		return fmt.Errorf("-demo-max-lag must be ≥2 (or 0 to disable)")
 	}
 	db := tsdb.New()
 	s, err := server.New(db, cfg)
@@ -85,7 +99,7 @@ func runDemo(w io.Writer, cfg server.Config, clients, points int) error {
 	addr := ln.Addr().String()
 	fmt.Fprintf(w, "plad demo: server on %s, %d clients × %d points\n", addr, clients, points)
 
-	fleet := demoFleet(clients, points)
+	fleet := demoFleet(clients, points, maxLag)
 	start := time.Now()
 	var wg sync.WaitGroup
 	acks := make([]server.Ack, len(fleet))
@@ -95,7 +109,7 @@ func runDemo(w io.Writer, cfg server.Config, clients, points int) error {
 		wg.Add(1)
 		go func(i int, sn demoSensor) {
 			defer wg.Done()
-			f, err := demoFilter(sn.kind, sn.eps)
+			f, err := demoFilter(sn.kind, sn.eps, sn.maxLag)
 			if err != nil {
 				errs[i] = err
 				return
@@ -191,6 +205,27 @@ func runDemo(w io.Writer, cfg server.Config, clients, points int) error {
 		totalPoints, m.Segments, m.Bytes,
 		float64(encode.RawSize(totalPoints, 1))/math.Max(float64(m.Bytes), 1),
 		elapsed.Round(time.Millisecond), float64(totalPoints)/elapsed.Seconds())
+
+	// Lag-bounded sensors drained cleanly: every advertised bound must be
+	// on record with a fully finalized, staleness-free series behind it.
+	lagged := 0
+	for _, sn := range fleet {
+		if sn.maxLag == 0 {
+			continue
+		}
+		info, err := q.Lag(sn.name)
+		if err != nil {
+			return fmt.Errorf("%s: LAG: %w", sn.name, err)
+		}
+		if info.Bound != int64(sn.maxLag) || info.Pending != 0 || info.Stale != 0 ||
+			info.Covered != int64(len(sn.signal)) {
+			return fmt.Errorf("%s: lag accounting off after drain: %+v", sn.name, info)
+		}
+		lagged++
+	}
+	if lagged > 0 {
+		fmt.Fprintf(w, "\n%d lag-bounded sessions (m=%d) drained staleness-free ✓\n", lagged, maxLag)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

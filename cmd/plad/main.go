@@ -10,7 +10,8 @@
 //	     [-policy block|drop|drop-oldest]
 //	     [-data-dir DIR] [-sync always|interval|off] [-sync-every 50ms]
 //	     [-compact-bytes N] [-retain T] [-http ADDR]
-//	plad -demo [-demo-clients 8] [-demo-points 2000] [-data-dir DIR]
+//	plad -demo [-demo-clients 8] [-demo-points 2000] [-demo-max-lag 25]
+//	     [-data-dir DIR]
 //
 // Without -demo, plad serves until SIGINT/SIGTERM, then drains its shard
 // queues and exits. With -data-dir the archive is durable through a
@@ -29,11 +30,13 @@
 //
 // With -demo it starts a server on an ephemeral loopback port, drives
 // -demo-clients concurrent sensors through it (synthetic signals from
-// internal/gen, one filter kind per client, round-robin), runs range and
-// aggregate queries back, verifies the precision bands against the
-// generated ground truth, prints the per-shard metrics, and exits
-// non-zero on any violation — an end-to-end self-check of the sensor →
-// server → query loop. Adding -data-dir extends the self-check with a
+// internal/gen, one filter kind per client, round-robin; the swing and
+// slide sensors stream lag-bounded at -demo-max-lag, exercising the
+// provisional-update path), runs range and aggregate queries back,
+// verifies the precision bands against the generated ground truth and
+// the lag accounting (bound on record, zero staleness after the drain),
+// prints the per-shard metrics, and exits non-zero on any violation —
+// an end-to-end self-check of the sensor → server → query loop. Adding -data-dir extends the self-check with a
 // restart: after the drain the server is rebuilt from the data directory
 // alone and every series is verified segment-for-segment against the
 // pre-restart archive.
@@ -70,6 +73,7 @@ func main() {
 		demo         = flag.Bool("demo", false, "run the loopback self-check demo and exit")
 		demoClients  = flag.Int("demo-clients", 8, "concurrent sensors in the demo")
 		demoPoints   = flag.Int("demo-points", 2000, "points per demo sensor")
+		demoMaxLag   = flag.Int("demo-max-lag", 25, "m_max_lag bound the demo's swing/slide sensors advertise (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -103,7 +107,7 @@ func main() {
 	}
 
 	if *demo {
-		if err := runDemo(os.Stdout, cfg, *demoClients, *demoPoints); err != nil {
+		if err := runDemo(os.Stdout, cfg, *demoClients, *demoPoints, *demoMaxLag); err != nil {
 			fatal(err)
 		}
 		return

@@ -14,11 +14,14 @@ import (
 func TestDemo(t *testing.T) {
 	var out bytes.Buffer
 	cfg := server.Config{Shards: 4, QueueDepth: 128}
-	if err := runDemo(&out, cfg, 9, 400); err != nil {
+	if err := runDemo(&out, cfg, 9, 400, 25); err != nil {
 		t.Fatalf("demo: %v\noutput:\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "all precision bands verified") {
 		t.Errorf("demo output missing verification line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "drained staleness-free") {
+		t.Errorf("demo output missing lag-bounded verification line:\n%s", out.String())
 	}
 }
 
@@ -29,7 +32,7 @@ func TestDemoDropPolicy(t *testing.T) {
 	for _, policy := range []server.DropPolicy{server.DropNewest, server.DropOldest} {
 		var out bytes.Buffer
 		cfg := server.Config{Shards: 2, QueueDepth: 1024, Policy: policy}
-		if err := runDemo(&out, cfg, 4, 300); err != nil {
+		if err := runDemo(&out, cfg, 4, 300, 25); err != nil {
 			t.Fatalf("demo (%s): %v\noutput:\n%s", policy, err, out.String())
 		}
 	}
@@ -45,7 +48,7 @@ func TestDemoDurable(t *testing.T) {
 		DataDir: t.TempDir(),
 		Sync:    wal.SyncAlways,
 	}
-	if err := runDemo(&out, cfg, 6, 400); err != nil {
+	if err := runDemo(&out, cfg, 6, 400, 25); err != nil {
 		t.Fatalf("durable demo: %v\noutput:\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "restart from") {

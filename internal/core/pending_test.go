@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// pendingSignal is a deterministic SST-like series: slow oscillation
+// plus noise, so intervals of many lengths occur (internal/gen cannot be
+// imported here — it depends on this package).
+func pendingSignal(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Point, n)
+	for i := range out {
+		t := float64(i)
+		x := 12 + 3*math.Sin(t/40) + 0.5*math.Sin(t/7) + 0.05*rng.NormFloat64()
+		out[i] = Point{T: t, X: []float64{x}}
+	}
+	return out
+}
+
+// pendingFilter is the provisional-update surface the transport layer
+// relies on.
+type pendingFilter interface {
+	Filter
+	Pending() []Segment
+}
+
+// checkPending verifies the two invariants provisional updates rest on,
+// at one instant of a stream: the finalized and pending segments
+// together account for every consumed point, and every raw point whose
+// time a pending segment covers is within ε of that segment.
+func checkPending(t *testing.T, f pendingFilter, finalPts int, seen []Point, eps []float64) {
+	t.Helper()
+	pend := f.Pending()
+	got := finalPts
+	for _, s := range pend {
+		if !s.Provisional {
+			t.Fatalf("Pending returned a non-provisional segment %+v", s)
+		}
+		got += s.Points
+	}
+	if got != len(seen) {
+		t.Fatalf("finalized %d + pending cover %d of %d consumed points", finalPts, got-finalPts, len(seen))
+	}
+	for _, p := range seen {
+		for _, s := range pend {
+			if p.T < s.T0 || p.T > s.T1 {
+				continue
+			}
+			for d := range eps {
+				if diff := math.Abs(s.At(d, p.T) - p.X[d]); diff > eps[d]+1e-9 {
+					t.Fatalf("pending segment strays %v from covered point at t=%v (ε=%v)", diff, p.T, eps[d])
+				}
+			}
+		}
+	}
+}
+
+func testPendingInvariants(t *testing.T, mk func() (pendingFilter, error), eps []float64) {
+	t.Helper()
+	signal := pendingSignal(900, 23)
+	f, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalPts := 0
+	for i, p := range signal {
+		segs, err := f.Push(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range segs {
+			finalPts += s.Points
+		}
+		if i%7 == 0 {
+			checkPending(t, f, finalPts, signal[:i+1], eps)
+		}
+	}
+	checkPending(t, f, finalPts, signal, eps)
+	final, err := f.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range final {
+		finalPts += s.Points
+	}
+	if finalPts != len(signal) {
+		t.Fatalf("finalized %d of %d points", finalPts, len(signal))
+	}
+	if pend := f.Pending(); pend != nil {
+		t.Fatalf("Pending after Finish returned %d segments", len(pend))
+	}
+}
+
+func TestSwingPendingInvariants(t *testing.T) {
+	eps := []float64{0.08}
+	testPendingInvariants(t, func() (pendingFilter, error) { return NewSwing(eps) }, eps)
+}
+
+func TestSwingPendingInvariantsMaxLag(t *testing.T) {
+	eps := []float64{0.08}
+	testPendingInvariants(t, func() (pendingFilter, error) { return NewSwing(eps, WithSwingMaxLag(12)) }, eps)
+}
+
+func TestSlidePendingInvariants(t *testing.T) {
+	eps := []float64{0.08}
+	testPendingInvariants(t, func() (pendingFilter, error) { return NewSlide(eps) }, eps)
+}
+
+func TestSlidePendingInvariantsMaxLag(t *testing.T) {
+	eps := []float64{0.08}
+	testPendingInvariants(t, func() (pendingFilter, error) { return NewSlide(eps, WithSlideMaxLag(12)) }, eps)
+}
+
+// TestPendingFirstPoint pins the degenerate shapes: one point pending,
+// and nothing pending before the stream starts.
+func TestPendingFirstPoint(t *testing.T) {
+	for _, mk := range []func() (pendingFilter, error){
+		func() (pendingFilter, error) { return NewSwing([]float64{1}) },
+		func() (pendingFilter, error) { return NewSlide([]float64{1}) },
+	} {
+		f, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pend := f.Pending(); pend != nil {
+			t.Fatalf("empty filter pending: %v", pend)
+		}
+		if _, err := f.Push(Point{T: 1, X: []float64{5}}); err != nil {
+			t.Fatal(err)
+		}
+		pend := f.Pending()
+		if len(pend) != 1 || pend[0].Points != 1 || pend[0].T0 != 1 || pend[0].T1 != 1 {
+			t.Fatalf("single-point pending: %+v", pend)
+		}
+		if pend[0].X0[0] != 5 || !pend[0].Provisional {
+			t.Fatalf("single-point pending: %+v", pend[0])
+		}
+	}
+}

@@ -658,3 +658,61 @@ func clamp(v float64, lo, hi float64) float64 {
 // current interval's line after an m_max_lag flush. While true, the
 // receiver's model already covers newly arriving points.
 func (s *Slide) InLagMode() bool { return s.lagMode }
+
+// Pending returns the provisional receiver-update segments covering every
+// point the filter has consumed but not yet finalized. Because the slide
+// filter emits segments one boundary late, that is up to two segments:
+// the previous interval's decided-but-unclosed line, and the current
+// interval approximated by its announced lag line or MSE-best candidate.
+// Every returned segment stays within ε of the points it covers (any
+// line in the candidate pencil does); all are superseded by the final
+// segments that eventually close their intervals. Pending returns nil
+// when nothing is outstanding.
+func (s *Slide) Pending() []Segment {
+	if s.finished || !s.haveFirst {
+		return nil
+	}
+	var out []Segment
+	if s.havePrev {
+		out = append(out, Segment{
+			T0: s.prevStart.T, T1: s.prevLastT,
+			X0: copyVec(s.prevStart.X), X1: evalLines(s.prevLine, s.prevLastT),
+			Connected: s.prevStartConn,
+			Points:    s.prevCount, Provisional: true,
+		})
+	}
+	switch {
+	case s.lagMode:
+		out = append(out, Segment{
+			T0: s.lagStart.T, T1: s.last.T,
+			X0: copyVec(s.lagStart.X), X1: evalLines(s.lagLine, s.last.T),
+			Connected: s.lagStartConn,
+			Points:    s.count, Provisional: true,
+		})
+	case !s.haveLines:
+		out = append(out, Segment{
+			T0: s.firstPt.T, T1: s.firstPt.T,
+			X0: copyVec(s.firstPt.X), X1: copyVec(s.firstPt.X),
+			Points: 1, Provisional: true,
+		})
+	default:
+		g := make([]geom.Line, s.dim)
+		for i := 0; i < s.dim; i++ {
+			z, ok := s.u[i].IntersectPoint(s.l[i])
+			if !ok {
+				// u and l numerically parallel: take the midline.
+				mid := (s.u[i].Eval(s.last.T) + s.l[i].Eval(s.last.T)) / 2
+				g[i] = geom.WithSlope((s.u[i].A+s.l[i].A)/2, geom.P{T: s.last.T, X: mid})
+				continue
+			}
+			lo, hi := minmax(s.u[i].A, s.l[i].A)
+			g[i] = geom.WithSlope(clamp(s.mseSlope(i, z), lo, hi), z)
+		}
+		out = append(out, Segment{
+			T0: s.firstPt.T, T1: s.last.T,
+			X0: evalLines(g, s.firstPt.T), X1: evalLines(g, s.last.T),
+			Points: s.count, Provisional: true,
+		})
+	}
+	return out
+}

@@ -338,3 +338,43 @@ func (s *Swing) fitsLag(p Point) bool {
 // announced line. While true, the receiver's model already covers newly
 // arriving points.
 func (s *Swing) InLagMode() bool { return s.lagMode }
+
+// Pending returns the provisional receiver-update segment covering every
+// point the filter has consumed but not yet finalized: the current
+// interval approximated by the announced line (after an m_max_lag flush)
+// or the MSE-best candidate line (before one). Any candidate line
+// represents the whole interval within ε, so the returned segment keeps
+// the precision guarantee; it is superseded by the final segment that
+// closes the interval. Pending returns nil when nothing is outstanding.
+func (s *Swing) Pending() []Segment {
+	if s.finished || !s.havePivot {
+		return nil
+	}
+	if !s.haveLines {
+		if s.emitted > 0 {
+			// The pivot is the previous segment's end point, already covered.
+			return nil
+		}
+		return []Segment{{
+			T0: s.pivot.T, T1: s.pivot.T,
+			X0: copyVec(s.pivot.X), X1: copyVec(s.pivot.X),
+			Points: 1, Provisional: true,
+		}}
+	}
+	slope := s.lagSlope
+	if !s.lagMode {
+		slope = s.bestSlope()
+	}
+	dt := s.last.T - s.pivot.T
+	end := make([]float64, s.dim)
+	for i := range end {
+		end[i] = s.pivot.X[i] + slope[i]*dt
+	}
+	return []Segment{{
+		T0: s.pivot.T, T1: s.last.T,
+		X0: copyVec(s.pivot.X), X1: end,
+		Connected:   s.emitted > 0,
+		Points:      s.count,
+		Provisional: true,
+	}}
+}

@@ -36,6 +36,16 @@ type Segment struct {
 	// Points is the number of original data points the segment
 	// approximates (diagnostic only; not needed for reconstruction).
 	Points int
+
+	// Provisional marks a max-lag receiver update (Sections 3.3, 4.3): the
+	// filter's current best line for a still-open filtering interval,
+	// announced early so the receiver never trails the sender by more than
+	// m_max_lag points. A provisional segment keeps the ±ε guarantee for
+	// every point it covers, but it is superseded — replaced, possibly
+	// with a different end point — by the final segment that eventually
+	// closes the interval, so stores treat it as a transient tail and
+	// never persist it.
+	Provisional bool
 }
 
 // At returns the segment's value in dimension i at time t (extrapolating

@@ -16,6 +16,9 @@ type Decoder struct {
 	br       *bufio.Reader
 	dim      int
 	constant bool
+	version  int
+	kind     FilterKind
+	maxLag   int
 	eps      []float64
 	lastT    float64
 	lastX    []float64
@@ -24,14 +27,21 @@ type Decoder struct {
 	buf      [8]byte
 }
 
-// NewDecoder reads and validates the stream header.
+// NewDecoder reads and validates the stream header, accepting both the
+// v1 and the extended v2 (filter kind + max-lag) handshakes.
 func NewDecoder(r io.Reader) (*Decoder, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("%w: missing magic: %v", ErrFormat, err)
 	}
-	if string(head) != magic {
+	version := 0
+	switch string(head) {
+	case magic:
+		version = 1
+	case magicV2:
+		version = 2
+	default:
 		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, head)
 	}
 	flags, err := br.ReadByte()
@@ -46,6 +56,7 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 		br:       br,
 		dim:      int(dim64),
 		constant: flags&flagConstant != 0,
+		version:  version,
 		eps:      make([]float64, dim64),
 	}
 	for i := range d.eps {
@@ -54,6 +65,20 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 			return nil, fmt.Errorf("%w: truncated epsilon", ErrFormat)
 		}
 		d.eps[i] = v
+	}
+	if version >= 2 {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated header: %v", ErrFormat, err)
+		}
+		// Unknown kinds are forward compatible: the receiver only needs
+		// the bound, not the family, to account for staleness.
+		d.kind = FilterKind(kind)
+		lag, err := binary.ReadUvarint(br)
+		if err != nil || lag > maxMaxLag {
+			return nil, fmt.Errorf("%w: bad max lag", ErrFormat)
+		}
+		d.maxLag = int(lag)
 	}
 	return d, nil
 }
@@ -66,6 +91,17 @@ func (d *Decoder) Constant() bool { return d.constant }
 
 // Epsilon returns the per-dimension precision widths from the header.
 func (d *Decoder) Epsilon() []float64 { return d.eps }
+
+// Version returns the stream header version (1 or 2).
+func (d *Decoder) Version() int { return d.version }
+
+// Kind returns the sender's advertised filter family (KindUnknown on v1
+// streams).
+func (d *Decoder) Kind() FilterKind { return d.kind }
+
+// MaxLag returns the sender's advertised m_max_lag bound in points
+// (0 = unbounded, and always 0 on v1 streams).
+func (d *Decoder) MaxLag() int { return d.maxLag }
 
 func (d *Decoder) readFloat() (float64, error) {
 	if _, err := io.ReadFull(d.br, d.buf[:]); err != nil {
@@ -153,6 +189,28 @@ func (d *Decoder) Next() (core.Segment, error) {
 		if s.X1, err = d.readVec(); err != nil {
 			return s, fmt.Errorf("%w: truncated segment", ErrFormat)
 		}
+	case opUpdate:
+		// Provisional updates are a v2 extension; on a v1 stream the op
+		// is as malformed as it would be to a v1 decoder.
+		if d.version < 2 {
+			return s, fmt.Errorf("%w: unknown op %d", ErrFormat, op)
+		}
+		if s.T0, err = d.readFloat(); err != nil {
+			return s, fmt.Errorf("%w: truncated update", ErrFormat)
+		}
+		if s.X0, err = d.readVec(); err != nil {
+			return s, fmt.Errorf("%w: truncated update", ErrFormat)
+		}
+		if s.T1, err = d.readFloat(); err != nil {
+			return s, fmt.Errorf("%w: truncated update", ErrFormat)
+		}
+		if s.X1, err = d.readVec(); err != nil {
+			return s, fmt.Errorf("%w: truncated update", ErrFormat)
+		}
+		s.Provisional = true
+		// The chain state is deliberately not advanced: the final segment
+		// superseding this update chains to the last finalized segment.
+		return s, nil
 	default:
 		return s, fmt.Errorf("%w: unknown op %d", ErrFormat, op)
 	}

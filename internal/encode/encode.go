@@ -10,16 +10,28 @@
 //
 //	header:  magic "PLA1" | flags (bit0: constant) | uvarint dim |
 //	         dim × float64 ε
+//	v2:      magic "PLA2" | flags | uvarint dim | dim × float64 ε |
+//	         kind byte | uvarint maxLag
 //	segment: op byte | uvarint points | payload
 //	  opDisconnected: t0, x0[dim], t1, x1[dim]
 //	  opConnected:    t1, x1[dim]          (t0/x0 = previous end)
 //	  opConstant:     t0, t1, x[dim]
 //	  opPoint:        t, x[dim]            (degenerate single point)
+//	  opUpdate:       t0, x0[dim], t1, x1[dim]   (provisional; v2 only)
 //	  opEnd:          stream terminator (no points field)
 //
 // The points field carries Segment.Points, the number of original
 // samples the segment represents, so receivers can report compression
 // ratios without seeing the raw stream.
+//
+// Version 2 extends the handshake for max-lag streaming (Sections 3.3,
+// 4.3): the header additionally advertises the sender's filter kind and
+// its m_max_lag bound, and the opUpdate record carries a provisional
+// receiver update — the filter's current line for a still-open interval,
+// superseded by the final segment that closes it. Provisional updates do
+// not participate in connected-segment chaining. A sender with no
+// max-lag bound emits a v1 header, so streams that never use the
+// extension stay readable by v1 decoders.
 package encode
 
 import (
@@ -33,7 +45,10 @@ import (
 	"github.com/pla-go/pla/internal/core"
 )
 
-const magic = "PLA1"
+const (
+	magic   = "PLA1"
+	magicV2 = "PLA2"
+)
 
 const (
 	opEnd byte = iota
@@ -41,9 +56,72 @@ const (
 	opConnected
 	opConstant
 	opPoint
+	opUpdate
 )
 
 const flagConstant byte = 1 << 0
+
+// maxMaxLag bounds the advertised m_max_lag a decoder accepts; anything
+// larger is a malformed header, not a plausible bound. (It must fit an
+// int on 32-bit platforms.)
+const maxMaxLag = 1<<31 - 1
+
+// FilterKind names the filter family behind a v2 stream, advertised in
+// the handshake so the receiver knows how to interpret the max-lag bound.
+type FilterKind byte
+
+// Filter kinds carried by the v2 header. KindUnknown is what a v1 stream
+// reports and what forward-compatible decoders fall back to.
+const (
+	KindUnknown FilterKind = iota
+	KindSwing
+	KindSlide
+	KindCache
+)
+
+// String names the kind for flags and logs.
+func (k FilterKind) String() string {
+	switch k {
+	case KindSwing:
+		return "swing"
+	case KindSlide:
+		return "slide"
+	case KindCache:
+		return "cache"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseFilterKind maps a flag word to a FilterKind.
+func ParseFilterKind(s string) (FilterKind, error) {
+	switch s {
+	case "swing":
+		return KindSwing, nil
+	case "slide":
+		return KindSlide, nil
+	case "cache":
+		return KindCache, nil
+	default:
+		return KindUnknown, fmt.Errorf("unknown filter kind %q (want swing, slide or cache)", s)
+	}
+}
+
+// Header parameterises a stream's handshake. The zero Kind/MaxLag
+// produce a version-1 header, so plain streams remain readable by old
+// decoders; a positive MaxLag selects version 2, which additionally
+// advertises the filter kind and the lag bound.
+type Header struct {
+	// Epsilon is the per-dimension precision contract (required).
+	Epsilon []float64
+	// Constant marks piece-wise constant (cache filter) output.
+	Constant bool
+	// Kind is the sender's filter family; transmitted only on v2 streams.
+	Kind FilterKind
+	// MaxLag is the sender's m_max_lag bound in points (0 = unbounded).
+	// A positive bound selects the v2 header and allows WriteUpdate.
+	MaxLag int
+}
 
 // Errors returned by the codec.
 var (
@@ -56,12 +134,14 @@ var (
 	ErrChain = errors.New("encode: connected segment does not chain")
 )
 
-// Encoder serialises segments. Create with NewEncoder.
+// Encoder serialises segments. Create with NewEncoder or
+// NewEncoderHeader.
 type Encoder struct {
 	cw       *CountingWriter
 	bw       *bufio.Writer
 	dim      int
 	constant bool
+	version  int
 	lastT    float64
 	lastX    []float64
 	haveLast bool
@@ -69,38 +149,66 @@ type Encoder struct {
 	buf      [8]byte
 }
 
-// NewEncoder writes the stream header for a dim-dimensional signal with
-// the given precision widths and returns an encoder. constant marks
-// piece-wise constant (cache filter) output.
+// NewEncoder writes a version-1 stream header for a dim-dimensional
+// signal with the given precision widths and returns an encoder.
+// constant marks piece-wise constant (cache filter) output.
 func NewEncoder(w io.Writer, eps []float64, constant bool) (*Encoder, error) {
-	if len(eps) == 0 {
+	return NewEncoderHeader(w, Header{Epsilon: eps, Constant: constant})
+}
+
+// NewEncoderHeader writes the stream header described by h and returns
+// an encoder. With a positive MaxLag the header is version 2 (filter
+// kind and lag bound advertised, provisional updates allowed); otherwise
+// it is the version-1 header old decoders accept.
+func NewEncoderHeader(w io.Writer, h Header) (*Encoder, error) {
+	if len(h.Epsilon) == 0 {
 		return nil, fmt.Errorf("%w: empty epsilon", ErrFormat)
+	}
+	if h.MaxLag < 0 || h.MaxLag > maxMaxLag {
+		return nil, fmt.Errorf("%w: max lag %d out of range", ErrFormat, h.MaxLag)
 	}
 	cw := NewCountingWriter(w)
 	bw := bufio.NewWriter(cw)
-	e := &Encoder{cw: cw, bw: bw, dim: len(eps), constant: constant}
-	if _, err := bw.WriteString(magic); err != nil {
+	e := &Encoder{cw: cw, bw: bw, dim: len(h.Epsilon), constant: h.Constant, version: 1}
+	m := magic
+	if h.MaxLag > 0 {
+		e.version = 2
+		m = magicV2
+	}
+	if _, err := bw.WriteString(m); err != nil {
 		return nil, err
 	}
 	var flags byte
-	if constant {
+	if h.Constant {
 		flags |= flagConstant
 	}
 	if err := bw.WriteByte(flags); err != nil {
 		return nil, err
 	}
 	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(tmp[:], uint64(len(eps)))
+	n := binary.PutUvarint(tmp[:], uint64(len(h.Epsilon)))
 	if _, err := bw.Write(tmp[:n]); err != nil {
 		return nil, err
 	}
-	for _, v := range eps {
+	for _, v := range h.Epsilon {
 		if err := e.writeFloat(v); err != nil {
+			return nil, err
+		}
+	}
+	if e.version >= 2 {
+		if err := bw.WriteByte(byte(h.Kind)); err != nil {
+			return nil, err
+		}
+		n = binary.PutUvarint(tmp[:], uint64(h.MaxLag))
+		if _, err := bw.Write(tmp[:n]); err != nil {
 			return nil, err
 		}
 	}
 	return e, nil
 }
+
+// Version returns the stream header version written (1 or 2).
+func (e *Encoder) Version() int { return e.version }
 
 func (e *Encoder) writeFloat(v float64) error {
 	binary.LittleEndian.PutUint64(e.buf[:], math.Float64bits(v))
@@ -129,10 +237,14 @@ func (e *Encoder) writePoints(n int) error {
 }
 
 // WriteSegment appends one segment to the stream. Connected segments are
-// validated against the previous segment's end point.
+// validated against the previous segment's end point. A segment marked
+// Provisional is routed through WriteUpdate.
 func (e *Encoder) WriteSegment(s core.Segment) error {
 	if e.closed {
 		return ErrClosed
+	}
+	if s.Provisional {
+		return e.WriteUpdate(s)
 	}
 	if s.Dim() != e.dim || len(s.X1) != e.dim {
 		return fmt.Errorf("%w: segment dim %d, stream dim %d", ErrFormat, s.Dim(), e.dim)
@@ -207,6 +319,40 @@ func (e *Encoder) WriteSegment(s core.Segment) error {
 	e.lastX = append(e.lastX[:0], s.X1...)
 	e.haveLast = true
 	return nil
+}
+
+// WriteUpdate appends one provisional receiver update — the max-lag
+// announcement of a still-open interval's line. Updates need a v2 stream
+// (a v1 decoder would reject the op), always carry explicit end points,
+// and deliberately leave the connected-segment chain state untouched:
+// the final segment that supersedes the update still chains to the last
+// finalized segment.
+func (e *Encoder) WriteUpdate(s core.Segment) error {
+	if e.closed {
+		return ErrClosed
+	}
+	if e.version < 2 {
+		return fmt.Errorf("%w: provisional update on a v%d stream (need a max-lag header)", ErrFormat, e.version)
+	}
+	if s.Dim() != e.dim || len(s.X1) != e.dim {
+		return fmt.Errorf("%w: segment dim %d, stream dim %d", ErrFormat, s.Dim(), e.dim)
+	}
+	if err := e.bw.WriteByte(opUpdate); err != nil {
+		return err
+	}
+	if err := e.writePoints(s.Points); err != nil {
+		return err
+	}
+	if err := e.writeFloat(s.T0); err != nil {
+		return err
+	}
+	if err := e.writeVec(s.X0); err != nil {
+		return err
+	}
+	if err := e.writeFloat(s.T1); err != nil {
+		return err
+	}
+	return e.writeVec(s.X1)
 }
 
 // Flush pushes any buffered bytes to the underlying writer, making every

@@ -1,0 +1,221 @@
+package encode
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// TestHeaderV1Compat pins the compatibility matrix's sender half: a
+// stream with no max-lag bound must carry the version-1 header byte for
+// byte, whatever constructor built it, so decoders predating the v2
+// handshake keep accepting everything a bound-less client sends.
+func TestHeaderV1Compat(t *testing.T) {
+	seg := core.Segment{T0: 0, T1: 1, X0: []float64{1}, X1: []float64{2}, Points: 5}
+
+	var plain, viaHeader bytes.Buffer
+	e1, err := NewEncoder(&plain, []float64{0.5}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEncoderHeader(&viaHeader, Header{Epsilon: []float64{0.5}, Kind: KindSwing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []*Encoder{e1, e2} {
+		if e.Version() != 1 {
+			t.Fatalf("bound-less stream got version %d", e.Version())
+		}
+		if err := e.WriteSegment(seg); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(plain.Bytes(), viaHeader.Bytes()) {
+		t.Fatal("NewEncoderHeader without a bound diverged from the v1 encoding")
+	}
+	if !bytes.HasPrefix(plain.Bytes(), []byte(magic)) {
+		t.Fatalf("v1 stream starts with %q", plain.Bytes()[:4])
+	}
+
+	d, err := NewDecoder(bytes.NewReader(plain.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Version() != 1 || d.Kind() != KindUnknown || d.MaxLag() != 0 {
+		t.Fatalf("v1 header decoded as version=%d kind=%v maxlag=%d", d.Version(), d.Kind(), d.MaxLag())
+	}
+}
+
+// TestHeaderV2RoundTrip drives the extended handshake end to end: kind
+// and bound survive, provisional updates decode with the flag set, and
+// the connected-segment chain skips over them — the final segment that
+// supersedes an update still chains to the last finalized end point.
+func TestHeaderV2RoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := NewEncoderHeader(&buf, Header{Epsilon: []float64{0.5, 0.25}, Kind: KindSlide, MaxLag: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Version() != 2 {
+		t.Fatalf("lag-bounded stream got version %d", e.Version())
+	}
+	final1 := core.Segment{T0: 0, T1: 2, X0: []float64{1, 1}, X1: []float64{2, 0}, Points: 7}
+	update := core.Segment{T0: 2, T1: 5, X0: []float64{2, 0}, X1: []float64{4, -1}, Points: 9, Provisional: true}
+	final2 := core.Segment{T0: 2, T1: 6, X0: []float64{2, 0}, X1: []float64{5, -2}, Points: 12, Connected: true}
+	if err := e.WriteSegment(final1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteSegment(update); err != nil { // routed through WriteUpdate
+		t.Fatal(err)
+	}
+	if err := e.WriteSegment(final2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte(magicV2)) {
+		t.Fatalf("v2 stream starts with %q", buf.Bytes()[:4])
+	}
+
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Version() != 2 || d.Kind() != KindSlide || d.MaxLag() != 10 {
+		t.Fatalf("v2 header decoded as version=%d kind=%v maxlag=%d", d.Version(), d.Kind(), d.MaxLag())
+	}
+	segs, err := ReadAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 {
+		t.Fatalf("decoded %d segments, want 3", len(segs))
+	}
+	if segs[0].Provisional || !segs[1].Provisional || segs[2].Provisional {
+		t.Fatalf("provisional flags: %v %v %v", segs[0].Provisional, segs[1].Provisional, segs[2].Provisional)
+	}
+	if !segs[2].Connected || segs[2].T0 != final1.T1 || segs[2].X0[0] != final1.X1[0] {
+		t.Fatalf("chained final after update resolved to T0=%v X0=%v, want the pre-update end %v %v",
+			segs[2].T0, segs[2].X0, final1.T1, final1.X1)
+	}
+}
+
+// TestUpdateNeedsV2 pins the version gate from both ends: an encoder
+// without the max-lag header refuses to write updates, and a v1 stream
+// carrying the update op is rejected exactly as a v1 decoder would.
+func TestUpdateNeedsV2(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := NewEncoder(&buf, []float64{1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	update := core.Segment{T0: 0, T1: 1, X0: []float64{0}, X1: []float64{1}, Provisional: true}
+	if err := e.WriteSegment(update); !errors.Is(err, ErrFormat) {
+		t.Fatalf("provisional update on a v1 stream: %v", err)
+	}
+
+	// Splice the op into a v1 stream by hand; the decoder must reject it.
+	e2, err := NewEncoder(&buf, []float64{1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write([]byte{opUpdate, 0})
+	for i := 0; i < 4*8; i++ {
+		buf.WriteByte(0)
+	}
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Next(); err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Fatalf("v1 decoder accepted the update op: %v", err)
+	}
+}
+
+// TestV2TruncationEveryOffset mirrors the v1 truncation sweep for the
+// extended handshake and the update op.
+func TestV2TruncationEveryOffset(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := NewEncoderHeader(&buf, Header{Epsilon: []float64{0.5}, Kind: KindSwing, MaxLag: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := []core.Segment{
+		{T0: 0, T1: 3, X0: []float64{0}, X1: []float64{3}, Points: 4},
+		{T0: 3, T1: 6, X0: []float64{3}, X1: []float64{2}, Points: 4, Provisional: true},
+		{T0: 3, T1: 8, X0: []float64{3}, X1: []float64{1}, Points: 6, Connected: true},
+	}
+	for _, s := range segs {
+		if err := e.WriteSegment(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 0; cut < len(raw); cut++ {
+		if err := drain(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d decoded cleanly", cut, len(raw))
+		}
+	}
+	if err := drain(raw); err != nil {
+		t.Fatalf("full stream failed: %v", err)
+	}
+}
+
+// FuzzHandshake throws arbitrary bytes at the header parser and the
+// segment loop behind it: decoding must never panic, hang, or
+// over-allocate, whichever header version the noise claims to be.
+func FuzzHandshake(f *testing.F) {
+	// Seed with valid v1 and v2 streams plus their bare headers.
+	var v1, v2 bytes.Buffer
+	e1, err := NewEncoder(&v1, []float64{0.5}, false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	e1.WriteSegment(core.Segment{T0: 0, T1: 1, X0: []float64{0}, X1: []float64{1}, Points: 2})
+	e1.Close()
+	e2, err := NewEncoderHeader(&v2, Header{Epsilon: []float64{0.5, 1}, Kind: KindSlide, MaxLag: 100})
+	if err != nil {
+		f.Fatal(err)
+	}
+	e2.WriteSegment(core.Segment{T0: 0, T1: 1, X0: []float64{0, 0}, X1: []float64{1, 1}, Points: 2})
+	e2.WriteSegment(core.Segment{T0: 1, T1: 3, X0: []float64{1, 1}, X1: []float64{2, 0}, Points: 5, Provisional: true})
+	e2.Close()
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes())
+	f.Add(v1.Bytes()[:6])
+	f.Add(v2.Bytes()[:6])
+	f.Add([]byte(magicV2))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		d, err := NewDecoder(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if d.MaxLag() < 0 || d.Dim() <= 0 {
+			t.Fatalf("accepted header with maxlag=%d dim=%d", d.MaxLag(), d.Dim())
+		}
+		for {
+			if _, err := d.Next(); err != nil {
+				if err == io.EOF {
+					return
+				}
+				return
+			}
+		}
+	})
+}

@@ -28,6 +28,34 @@ func Walks(clients, points int) [][]core.Point {
 	return signals
 }
 
+// Options parameterises a driver round. The zero value reproduces the
+// canonical workload: unbounded swing filters at Epsilon, one batched
+// send per session.
+type Options struct {
+	// Kind selects the filter family ("swing" when empty; "slide",
+	// "cache").
+	Kind string
+	// Epsilon overrides the per-dimension precision width (the package
+	// Epsilon constant when 0).
+	Epsilon float64
+	// MaxLag bounds each session's receiver lag to m points (0 =
+	// unbounded). Lag-bounded sessions advertise the bound in the
+	// handshake and ship provisional updates, measuring the
+	// compression-vs-freshness trade-off on the wire.
+	MaxLag int
+	// FlushEvery, when positive, sends the signal in chunks of this many
+	// points with a heartbeat Flush between chunks — the quiet-stream
+	// cadence of a real sensor, forcing pending-window emission.
+	FlushEvery int
+}
+
+func (o Options) epsilon() float64 {
+	if o.Epsilon > 0 {
+		return o.Epsilon
+	}
+	return Epsilon
+}
+
 // Result aggregates one round's acknowledgements.
 type Result struct {
 	// WireBytes is the total bytes the clients put on the wire
@@ -35,6 +63,9 @@ type Result struct {
 	WireBytes int64
 	// Applied, Rejected and Dropped sum the sessions' final acks.
 	Applied, Rejected, Dropped int64
+	// LagFlushes sums the filters' max-lag receiver updates (0 for
+	// unbounded rounds).
+	LagFlushes int64
 }
 
 // Round streams each signal through its own Swing(Epsilon) filter into
@@ -42,6 +73,11 @@ type Result struct {
 // "<prefix>-<client>". It returns the summed acks once every session has
 // closed.
 func Round(addr, prefix string, signals [][]core.Point) (Result, error) {
+	return RoundOpts(addr, prefix, signals, Options{})
+}
+
+// RoundOpts is Round with an explicit workload configuration.
+func RoundOpts(addr, prefix string, signals [][]core.Point, opt Options) (Result, error) {
 	var (
 		wg   sync.WaitGroup
 		mu   sync.Mutex
@@ -52,7 +88,7 @@ func Round(addr, prefix string, signals [][]core.Point) (Result, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			ack, bytes, err := runClient(addr, fmt.Sprintf("%s-%d", prefix, c), signals[c])
+			one, err := runClient(addr, fmt.Sprintf("%s-%d", prefix, c), signals[c], opt)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -61,10 +97,11 @@ func Round(addr, prefix string, signals [][]core.Point) (Result, error) {
 				}
 				return
 			}
-			res.WireBytes += bytes
-			res.Applied += ack.Applied
-			res.Rejected += ack.Rejected
-			res.Dropped += ack.Dropped
+			res.WireBytes += one.WireBytes
+			res.Applied += one.Applied
+			res.Rejected += one.Rejected
+			res.Dropped += one.Dropped
+			res.LagFlushes += one.LagFlushes
 		}(c)
 	}
 	wg.Wait()
@@ -72,21 +109,37 @@ func Round(addr, prefix string, signals [][]core.Point) (Result, error) {
 }
 
 // runClient drives one full ingest session.
-func runClient(addr, name string, signal []core.Point) (server.Ack, int64, error) {
-	f, err := core.NewSwing([]float64{Epsilon})
+func runClient(addr, name string, signal []core.Point, opt Options) (Result, error) {
+	spec := server.FilterSpec{Kind: opt.Kind, Epsilon: []float64{opt.epsilon()}, MaxLag: opt.MaxLag}
+	cl, err := server.DialSpec(addr, name, spec)
 	if err != nil {
-		return server.Ack{}, 0, err
+		return Result{}, err
 	}
-	cl, err := server.Dial(addr, name, f)
-	if err != nil {
-		return server.Ack{}, 0, err
+	if opt.FlushEvery > 0 {
+		for len(signal) > 0 {
+			n := opt.FlushEvery
+			if n > len(signal) {
+				n = len(signal)
+			}
+			if err := cl.SendBatch(signal[:n]); err != nil {
+				return Result{}, err
+			}
+			if err := cl.Flush(); err != nil {
+				return Result{}, err
+			}
+			signal = signal[n:]
+		}
+	} else if err := cl.SendBatch(signal); err != nil {
+		return Result{}, err
 	}
-	if err := cl.SendBatch(signal); err != nil {
-		return server.Ack{}, 0, err
-	}
+	stats := cl.Stats()
 	ack, err := cl.Close()
 	if err != nil {
-		return server.Ack{}, 0, err
+		return Result{}, err
 	}
-	return ack, cl.BytesSent(), nil
+	return Result{
+		WireBytes: cl.BytesSent(),
+		Applied:   ack.Applied, Rejected: ack.Rejected, Dropped: ack.Dropped,
+		LagFlushes: int64(stats.LagFlushes),
+	}, nil
 }

@@ -43,6 +43,63 @@ func Dial(addr, name string, f core.Filter) (*Client, error) {
 	return c, nil
 }
 
+// FilterSpec names a filter configuration, so callers (flags, config
+// files, the load generator) can construct lag-bounded swing/slide
+// filters without importing the filter constructors.
+type FilterSpec struct {
+	// Kind selects the filter family: "swing" (default when empty),
+	// "slide" or "cache".
+	Kind string
+	// Epsilon is the per-dimension precision contract.
+	Epsilon []float64
+	// MaxLag bounds the receiver lag to m points (Sections 3.3, 4.3);
+	// 0 leaves the filter unbounded. Sessions opened with a bound
+	// advertise it in the handshake and ship provisional receiver
+	// updates, so the server's archive never trails the sensor by m or
+	// more points.
+	MaxLag int
+}
+
+// NewFilter constructs the described filter.
+func (fs FilterSpec) NewFilter() (core.Filter, error) {
+	kind := fs.Kind
+	if kind == "" {
+		kind = "swing"
+	}
+	switch kind {
+	case "swing":
+		var opts []core.SwingOption
+		if fs.MaxLag > 0 {
+			opts = append(opts, core.WithSwingMaxLag(fs.MaxLag))
+		}
+		return core.NewSwing(fs.Epsilon, opts...)
+	case "slide":
+		var opts []core.SlideOption
+		if fs.MaxLag > 0 {
+			opts = append(opts, core.WithSlideMaxLag(fs.MaxLag))
+		}
+		return core.NewSlide(fs.Epsilon, opts...)
+	case "cache":
+		if fs.MaxLag > 0 {
+			return nil, fmt.Errorf("%w: the cache filter has no max-lag variant", core.ErrMaxLag)
+		}
+		return core.NewCache(fs.Epsilon)
+	default:
+		return nil, fmt.Errorf("unknown filter kind %q (want swing, slide or cache)", fs.Kind)
+	}
+}
+
+// DialSpec connects to a plad server and opens an ingest session through
+// a filter built from spec — the by-name construction path for
+// lag-bounded clients.
+func DialSpec(addr, name string, spec FilterSpec) (*Client, error) {
+	f, err := spec.NewFilter()
+	if err != nil {
+		return nil, err
+	}
+	return Dial(addr, name, f)
+}
+
 // NewClient opens an ingest session over an existing connection (a
 // net.Pipe end in tests, a TLS wrapper in deployments). It blocks until
 // the server accepts or rejects the handshake.
@@ -78,6 +135,19 @@ func (c *Client) SendBatch(ps []core.Point) error {
 	return c.tx.SendBatch(ps)
 }
 
+// Flush ships a provisional receiver update covering every sample the
+// filter has consumed that no shipped segment covers yet — the
+// heartbeat that keeps the server's archive fresh when a lag-bounded
+// stream goes quiet mid-interval (a sensor with nothing new to say
+// would otherwise leave its last announcement's window open
+// indefinitely). It is a no-op on sessions without a max-lag bound.
+func (c *Client) Flush() error {
+	if c.closed {
+		return ErrClosed
+	}
+	return c.tx.FlushPending()
+}
+
 // Stats exposes the local filter's counters.
 func (c *Client) Stats() core.Stats { return c.tx.Stats() }
 
@@ -111,6 +181,13 @@ type Aggregate struct {
 	Epsilon  float64
 	Covered  float64
 	Segments int
+	// Stale is the series' staleness at query time: how many samples the
+	// sender has consumed that finalized coverage trails (lag-bounded
+	// sessions keep it ≤ their advertised m). It distinguishes a flat
+	// signal — whose value genuinely has not moved — from a lagging
+	// filter still sitting on an open interval. Older servers do not
+	// report it; it is then 0.
+	Stale int64
 }
 
 // Lo returns Value − Epsilon, the band's lower edge.
@@ -251,7 +328,8 @@ func (q *QueryClient) aggregate(op, series string, dim int, t0, t1 float64) (Agg
 	if err != nil {
 		return Aggregate{}, err
 	}
-	if len(fields) != 4 {
+	// 4 fields from servers predating the staleness extension, 5 since.
+	if len(fields) != 4 && len(fields) != 5 {
 		return Aggregate{}, fmt.Errorf("%w: %s reply %q", ErrProtocol, op, fields)
 	}
 	vals, err := parseFloats(fields[:3])
@@ -262,7 +340,54 @@ func (q *QueryClient) aggregate(op, series string, dim int, t0, t1 float64) (Agg
 	if err != nil {
 		return Aggregate{}, fmt.Errorf("%w: %s reply %q", ErrProtocol, op, fields)
 	}
-	return Aggregate{Value: vals[0], Epsilon: vals[1], Covered: vals[2], Segments: segs}, nil
+	agg := Aggregate{Value: vals[0], Epsilon: vals[1], Covered: vals[2], Segments: segs}
+	if len(fields) == 5 {
+		if agg.Stale, err = strconv.ParseInt(fields[4], 10, 64); err != nil {
+			return Aggregate{}, fmt.Errorf("%w: %s reply %q", ErrProtocol, op, fields)
+		}
+	}
+	return agg, nil
+}
+
+// LagInfo is a series' freshness accounting as reported by LAG.
+type LagInfo struct {
+	// Consumed is the high-water of samples the series has represented,
+	// provisional coverage included — how far the sender is known to
+	// have gotten.
+	Consumed int64
+	// Covered is the samples finalized segments represent.
+	Covered int64
+	// Pending is the samples covered only by provisional (max-lag)
+	// announcements right now.
+	Pending int64
+	// Stale is Consumed − Covered, the window a lag-bounded session
+	// keeps ≤ its advertised m.
+	Stale int64
+	// Bound is the last m_max_lag bound an ingest session advertised for
+	// the series (0 = none).
+	Bound int64
+}
+
+// Lag returns the series' freshness accounting, distinguishing a flat
+// signal from a lagging filter.
+func (q *QueryClient) Lag(series string) (LagInfo, error) {
+	if err := validateName(series); err != nil {
+		return LagInfo{}, err
+	}
+	fields, err := q.do("LAG " + series)
+	if err != nil {
+		return LagInfo{}, err
+	}
+	if len(fields) != 5 {
+		return LagInfo{}, fmt.Errorf("%w: LAG reply %q", ErrProtocol, fields)
+	}
+	var n [5]int64
+	for i, f := range fields {
+		if n[i], err = strconv.ParseInt(f, 10, 64); err != nil {
+			return LagInfo{}, fmt.Errorf("%w: LAG reply %q", ErrProtocol, fields)
+		}
+	}
+	return LagInfo{Consumed: n[0], Covered: n[1], Pending: n[2], Stale: n[3], Bound: n[4]}, nil
 }
 
 // Series lists the archive's series.
@@ -300,9 +425,18 @@ func (q *QueryClient) Scan(series string, t0, t1 float64) ([]core.Segment, error
 	out := make([]core.Segment, 0, len(items))
 	for _, it := range items {
 		f := strings.Fields(it)
-		// t0 t1 connected points x0... x1... — the vector split is implied
-		// by the row length.
-		if len(f) < 6 || (len(f)-4)%2 != 0 {
+		// t0 t1 connected points provisional x0... x1... — the vector
+		// split is implied by the row length. Rows from servers predating
+		// the provisional flag lack that field; the two shapes differ in
+		// parity (4+2d vs 5+2d fields), so the row length disambiguates.
+		provisional := false
+		vecs := 4
+		switch {
+		case len(f) >= 7 && (len(f)-5)%2 == 0:
+			provisional = f[4] == "1"
+			vecs = 5
+		case len(f) >= 6 && (len(f)-4)%2 == 0:
+		default:
 			return nil, fmt.Errorf("%w: scan row %q", ErrProtocol, it)
 		}
 		times, err := parseFloats(f[:2])
@@ -313,18 +447,18 @@ func (q *QueryClient) Scan(series string, t0, t1 float64) ([]core.Segment, error
 		if err != nil {
 			return nil, fmt.Errorf("%w: scan row %q", ErrProtocol, it)
 		}
-		d := (len(f) - 4) / 2
-		x0, err := parseFloats(f[4 : 4+d])
+		d := (len(f) - vecs) / 2
+		x0, err := parseFloats(f[vecs : vecs+d])
 		if err != nil {
 			return nil, err
 		}
-		x1, err := parseFloats(f[4+d:])
+		x1, err := parseFloats(f[vecs+d:])
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, core.Segment{
 			T0: times[0], T1: times[1], X0: x0, X1: x1,
-			Connected: f[2] == "1", Points: pts,
+			Connected: f[2] == "1", Points: pts, Provisional: provisional,
 		})
 	}
 	return out, nil
@@ -339,10 +473,11 @@ func (q *QueryClient) Metrics() ([]ShardMetrics, error) {
 	out := make([]ShardMetrics, 0, len(items))
 	for _, it := range items {
 		f := strings.Fields(it)
-		if len(f) != 8 {
+		// 8 fields from servers predating the lag gauges, 11 since.
+		if len(f) != 8 && len(f) != 11 {
 			return nil, fmt.Errorf("%w: metrics row %q", ErrProtocol, it)
 		}
-		var n [8]int64
+		n := make([]int64, len(f))
 		for i, s := range f {
 			v, err := strconv.ParseInt(s, 10, 64)
 			if err != nil {
@@ -350,10 +485,14 @@ func (q *QueryClient) Metrics() ([]ShardMetrics, error) {
 			}
 			n[i] = v
 		}
-		out = append(out, ShardMetrics{
+		sm := ShardMetrics{
 			Shard: int(n[0]), Segments: n[1], Points: n[2], Rejected: n[3],
 			Dropped: n[4], Bytes: n[5], QueueLen: int(n[6]), QueueCap: int(n[7]),
-		})
+		}
+		if len(n) == 11 {
+			sm.LagSessions, sm.LagPoints, sm.LagUpdates = n[8], n[9], n[10]
+		}
+		out = append(out, sm)
 	}
 	return out, nil
 }

@@ -66,4 +66,10 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		func(sm ShardMetrics) int64 { return sm.WALBytes })
 	counter("plad_shard_wal_fsyncs_total", "Fsyncs issued by the shard's WAL partition.",
 		func(sm ShardMetrics) int64 { return sm.Fsyncs })
+	gauge("plad_shard_lag_sessions", "Active ingest sessions that advertised a max-lag bound.",
+		func(sm ShardMetrics) int64 { return sm.LagSessions })
+	gauge("plad_shard_lag_pending_points", "Points covered only provisionally across the shard's lag-bounded sessions (last received minus last finalized; each session's staleness stays below its advertised bound).",
+		func(sm ShardMetrics) int64 { return sm.LagPoints })
+	counter("plad_shard_lag_updates_total", "Provisional max-lag receiver updates applied.",
+		func(sm ShardMetrics) int64 { return sm.LagUpdates })
 }

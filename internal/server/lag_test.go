@@ -1,0 +1,342 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/gen"
+	"github.com/pla-go/pla/internal/stream"
+)
+
+// eventually polls cond until it holds or the deadline passes; the
+// ingest pipeline is asynchronous (shard queues), so state checks after
+// a wire flush need a grace window.
+func eventually(t *testing.T, d time.Duration, cond func() (bool, string)) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		ok, msg := cond()
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// quietThenBursty is the lag acceptance workload: a long near-linear
+// ramp an ε=0.5 filter swallows into one endless interval (the receiver
+// of an unbounded stream would see nothing for hundreds of points),
+// followed by a jagged burst that closes intervals rapidly.
+func quietThenBursty(n int) []core.Point {
+	out := make([]core.Point, n)
+	for i := range out {
+		t := float64(i)
+		var x float64
+		if i < n/2 {
+			x = 0.001 * t // quiet: one filtering interval, forever
+		} else {
+			x = 0.001*float64(n/2) + 3*float64(i%2) + 0.5*float64(i%5) // bursty zigzag
+		}
+		out[i] = core.Point{T: t, X: []float64{x}}
+	}
+	return out
+}
+
+// metricsGauge sums a per-shard Prometheus gauge from /metrics output.
+func metricsGauge(body, name string) (int64, bool) {
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + `\{[^}]*\} (-?\d+)$`)
+	sum, found := int64(0), false
+	for _, m := range re.FindAllStringSubmatch(body, -1) {
+		v, err := strconv.ParseInt(m[1], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		sum += v
+		found = true
+	}
+	return sum, found
+}
+
+// TestLagBoundedEndToEnd is the acceptance loop: a session advertising
+// m=10 streams a quiet-then-bursty signal through a real listener, and
+// at every point the queried archive trails the sent stream by fewer
+// than m points — while /metrics exposes the per-shard staleness gauge,
+// and a heartbeat Flush closes the residual window on demand.
+func TestLagBoundedEndToEnd(t *testing.T) {
+	const m = 10
+	srv, addr := startServer(t, Config{Shards: 4})
+	web := httptest.NewServer(srv.Handler())
+	defer web.Close()
+
+	cl, err := DialSpec(addr, "lagged", FilterSpec{Kind: "swing", Epsilon: []float64{0.5}, MaxLag: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := DialQuery(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	signal := quietThenBursty(600)
+	sawPending := false
+	for i, p := range signal {
+		if err := cl.Send(p); err != nil {
+			t.Fatal(err)
+		}
+		sent := int64(i + 1)
+		eventually(t, 5*time.Second, func() (bool, string) {
+			info, err := q.Lag("lagged")
+			if err != nil {
+				return false, fmt.Sprintf("LAG after point %d: %v", i, err)
+			}
+			covered := info.Covered + info.Pending
+			if info.Pending > 0 {
+				sawPending = true
+			}
+			if sent-covered >= m {
+				return false, fmt.Sprintf("after point %d the archive covers %d (final %d + pending %d) — trails by %d ≥ m=%d",
+					i, covered, info.Covered, info.Pending, sent-covered, m)
+			}
+			return true, ""
+		})
+	}
+	if !sawPending {
+		t.Fatal("the quiet phase never surfaced provisional coverage — the lag path was not exercised")
+	}
+
+	// The advertised bound is visible, and the staleness gauge is on
+	// /metrics while the session holds an open window.
+	info, err := q.Lag("lagged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Bound != m {
+		t.Fatalf("advertised bound %d, want %d", info.Bound, m)
+	}
+	resp, err := http.Get(web.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sessions, ok := metricsGauge(string(body), "plad_shard_lag_sessions"); !ok || sessions != 1 {
+		t.Fatalf("plad_shard_lag_sessions = %d (found %v), want 1", sessions, ok)
+	}
+	if _, ok := metricsGauge(string(body), "plad_shard_lag_pending_points"); !ok {
+		t.Fatal("/metrics lacks plad_shard_lag_pending_points")
+	}
+	if upd, ok := metricsGauge(string(body), "plad_shard_lag_updates_total"); !ok || upd == 0 {
+		t.Fatalf("plad_shard_lag_updates_total = %d (found %v), want > 0", upd, ok)
+	}
+
+	// A heartbeat flush forces the pending window shut without new data —
+	// the quiet-stream guarantee.
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(len(signal))
+	eventually(t, 5*time.Second, func() (bool, string) {
+		info, err := q.Lag("lagged")
+		if err != nil {
+			return false, err.Error()
+		}
+		if info.Covered+info.Pending != total {
+			return false, fmt.Sprintf("after heartbeat coverage is %d+%d of %d", info.Covered, info.Pending, total)
+		}
+		return true, ""
+	})
+
+	// Aggregates report the staleness field while the window is open.
+	agg, err := q.Max("lagged", 0, 0, float64(len(signal)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Stale < 0 || agg.Stale >= m {
+		t.Fatalf("aggregate staleness %d outside [0, m)", agg.Stale)
+	}
+
+	// Closing finalizes everything: no provisional tail, no staleness,
+	// every point accounted, and the gauges settle to zero.
+	ack, err := cl.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Rejected != 0 || ack.Dropped != 0 {
+		t.Fatalf("ack: %+v", ack)
+	}
+	eventually(t, 5*time.Second, func() (bool, string) {
+		info, err := q.Lag("lagged")
+		if err != nil {
+			return false, err.Error()
+		}
+		if info.Pending != 0 || info.Stale != 0 || info.Covered != total || info.Consumed != total {
+			return false, fmt.Sprintf("after close: %+v", info)
+		}
+		return true, ""
+	})
+	segs, err := q.Scan("lagged", 0, float64(len(signal)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if s.Provisional {
+			t.Fatal("provisional segment survived session close")
+		}
+	}
+	for _, i := range []int{0, 150, 299, 300, 450, 599} {
+		x, err := q.At("lagged", signal[i].T)
+		if err != nil {
+			t.Fatalf("At(%v): %v", signal[i].T, err)
+		}
+		if math.Abs(x[0]-signal[i].X[0]) > 0.5+1e-9 {
+			t.Fatalf("At(%v) = %v strays from %v beyond ε", signal[i].T, x[0], signal[i].X[0])
+		}
+	}
+	sms, err := q.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lagSessions, lagPoints, lagUpdates int64
+	for _, sm := range sms {
+		lagSessions += sm.LagSessions
+		lagPoints += sm.LagPoints
+		lagUpdates += sm.LagUpdates
+	}
+	if lagSessions != 0 || lagPoints != 0 {
+		t.Fatalf("gauges did not settle: sessions=%d points=%d", lagSessions, lagPoints)
+	}
+	if lagUpdates == 0 {
+		t.Fatal("no provisional updates were applied")
+	}
+}
+
+// TestLagBoundedSlideSession runs the slide family through the same
+// loop at a checkpointed cadence, with MeasureLag pinning the paper-side
+// semantics on an identical filter: the spacing between receiver
+// updates never exceeds m, and neither does the archive's trail.
+func TestLagBoundedSlideSession(t *testing.T) {
+	const m = 20
+	_, addr := startServer(t, Config{Shards: 2})
+	signal := gen.SSTLike(1500, 77)
+
+	ref, err := core.NewSlide([]float64{0.1}, core.WithSlideMaxLag(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := stream.MeasureLag(ref, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxPoints > m {
+		t.Fatalf("MeasureLag reports %d-point spacing > m=%d", rep.MaxPoints, m)
+	}
+
+	cl, err := DialSpec(addr, "sst", FilterSpec{Kind: "slide", Epsilon: []float64{0.1}, MaxLag: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := DialQuery(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	for i, p := range signal {
+		if err := cl.Send(p); err != nil {
+			t.Fatal(err)
+		}
+		if i%100 != 0 {
+			continue
+		}
+		sent := int64(i + 1)
+		eventually(t, 5*time.Second, func() (bool, string) {
+			info, err := q.Lag("sst")
+			if err != nil {
+				return false, err.Error()
+			}
+			if covered := info.Covered + info.Pending; sent-covered >= m {
+				return false, fmt.Sprintf("after point %d coverage %d trails by ≥ m", i, covered)
+			}
+			return true, ""
+		})
+	}
+	if _, err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, 5*time.Second, func() (bool, string) {
+		info, err := q.Lag("sst")
+		if err != nil {
+			return false, err.Error()
+		}
+		if info.Covered != int64(len(signal)) || info.Stale != 0 {
+			return false, fmt.Sprintf("after close: %+v", info)
+		}
+		return true, ""
+	})
+}
+
+// TestUnboundedSessionUnchanged pins the compatibility half at the
+// session level: a pre-extension client (plain Dial, no bound) speaks
+// the v1 handshake and sees exactly the old behavior — no lag gauges,
+// no provisional rows, bound 0.
+func TestUnboundedSessionUnchanged(t *testing.T) {
+	_, addr := startServer(t, Config{Shards: 2})
+	f, err := core.NewSwing([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(addr, "plain", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signal := gen.RandomWalk(gen.WalkConfig{N: 2000, P: 0.5, MaxDelta: 0.4, Seed: 11})
+	if err := cl.SendBatch(signal); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(); err != nil { // no-op without a bound
+		t.Fatal(err)
+	}
+	ack, err := cl.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Applied == 0 {
+		t.Fatal("nothing applied")
+	}
+	q, err := DialQuery(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	info, err := q.Lag("plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Bound != 0 || info.Pending != 0 || info.Stale != 0 || info.Covered != int64(len(signal)) {
+		t.Fatalf("unbounded session lag info: %+v", info)
+	}
+	sms, err := q.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sm := range sms {
+		if sm.LagSessions != 0 || sm.LagPoints != 0 || sm.LagUpdates != 0 {
+			t.Fatalf("unbounded session touched lag gauges: %+v", sm)
+		}
+	}
+}

@@ -18,11 +18,29 @@ import (
 //
 //	SERIES                       → items "name dim constant segments points"
 //	AT <series> <t>              → "OK v0 v1 ..." | "ERR no data ..."
-//	MEAN <series> <dim> <t0> <t1> → "OK value eps covered segments"
-//	MIN / MAX (same shape)       → "OK value eps covered segments"
-//	SCAN <series> <t0> <t1>      → items "t0 t1 connected points x0... x1..."
-//	METRICS                      → items "shard segments points rejected dropped bytes qlen qcap"
+//	MEAN <series> <dim> <t0> <t1> → "OK value eps covered segments stale"
+//	MIN / MAX (same shape)       → "OK value eps covered segments stale"
+//	SCAN <series> <t0> <t1>      → items "t0 t1 connected points provisional x0... x1..."
+//	LAG <series>                 → "OK consumed final pending stale bound"
+//	METRICS                      → items "shard segments points rejected dropped bytes qlen qcap lagsess lagpts lagupd"
 //	QUIT                         → "OK bye", connection closes
+//
+// The stale field of the aggregates is the series-level staleness at
+// query time — how many consumed samples finalized coverage trails (see
+// tsdb.Series.Staleness) — so a caller can tell a genuinely flat signal
+// (stale ≈ 0 or bounded by the advertised m) from a lagging filter
+// still sitting on an open interval. LAG breaks the same accounting
+// out in full: samples consumed, finally covered, provisionally
+// covered, the staleness, and the last advertised m_max_lag bound.
+//
+// Reply widening: the staleness extension appended fields to the
+// aggregate replies (4 → 5), METRICS rows (8 → 11) and SCAN rows (the
+// provisional flag). The bundled QueryClient accepts both the old and
+// the new shapes, but query clients predating the extension need
+// upgrading alongside the server — the line protocol carries no
+// version for the server to key reply shapes on. The ingest protocol
+// is unaffected (its compatibility runs through the PLA1/PLA2 encode
+// handshake).
 func (s *Server) serveQuery(conn net.Conn, br *bufio.Reader) {
 	w := bufio.NewWriter(conn)
 	sc := bufio.NewScanner(br)
@@ -74,10 +92,19 @@ func (s *Server) query(w *bufio.Writer, cmd string, args []string) {
 	case "METRICS":
 		fmt.Fprintln(w, "OK")
 		for _, sm := range s.Metrics().Shards {
-			fmt.Fprintf(w, "%d %d %d %d %d %d %d %d\n",
-				sm.Shard, sm.Segments, sm.Points, sm.Rejected, sm.Dropped, sm.Bytes, sm.QueueLen, sm.QueueCap)
+			fmt.Fprintf(w, "%d %d %d %d %d %d %d %d %d %d %d\n",
+				sm.Shard, sm.Segments, sm.Points, sm.Rejected, sm.Dropped, sm.Bytes, sm.QueueLen, sm.QueueCap,
+				sm.LagSessions, sm.LagPoints, sm.LagUpdates)
 		}
 		fmt.Fprintln(w, ".")
+	case "LAG":
+		sr, _, err := s.queriedSeries(args, 0)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintf(w, "OK %d %d %d %d %d\n",
+			sr.Consumed(), sr.FinalPoints(), sr.PendingPoints(), sr.Staleness(), sr.LagHint())
 	case "AT":
 		sr, rest, err := s.queriedSeries(args, 1)
 		if err != nil {
@@ -131,8 +158,8 @@ func (s *Server) query(w *bufio.Writer, cmd string, args []string) {
 			}
 			return
 		}
-		fmt.Fprintf(w, "OK %s %s %s %d\n",
-			floatWord(res.Value), floatWord(res.Epsilon), floatWord(res.Covered), res.Segments)
+		fmt.Fprintf(w, "OK %s %s %s %d %d\n",
+			floatWord(res.Value), floatWord(res.Epsilon), floatWord(res.Covered), res.Segments, sr.Staleness())
 	case "SCAN":
 		sr, rest, err := s.queriedSeries(args, 2)
 		if err != nil {
@@ -152,9 +179,9 @@ func (s *Server) query(w *bufio.Writer, cmd string, args []string) {
 		}
 		fmt.Fprintln(w, "OK")
 		for _, seg := range segs {
-			fmt.Fprintf(w, "%s %s %s %d%s%s\n",
+			fmt.Fprintf(w, "%s %s %s %d %s%s%s\n",
 				floatWord(seg.T0), floatWord(seg.T1), boolWord(seg.Connected), seg.Points,
-				floatsWord(seg.X0), floatsWord(seg.X1))
+				boolWord(seg.Provisional), floatsWord(seg.X0), floatsWord(seg.X1))
 		}
 		fmt.Fprintln(w, ".")
 	default:

@@ -427,6 +427,17 @@ func (s *Server) serveIngest(conn net.Conn, br *bufio.Reader, cr *encode.Countin
 	sh := s.shards[shardIndex(name, len(s.shards))]
 	sh.active.Add(1) // the committer lingers only while sessions could still join a batch
 	defer sh.active.Add(-1)
+	if m := dec.MaxLag(); m > 0 {
+		// A v2 handshake advertising a lag bound: surface it on the
+		// series and count the session. The staleness gauge itself is
+		// worker-owned per-series state (shard.trackPending), so it
+		// needs no session bookkeeping: a clean close finalizes the
+		// tail (gauge falls to zero), and an abrupt death leaves the
+		// provisional points it really did leave in the archive.
+		series.SetLagHint(m)
+		sh.lagSessions.Add(1)
+		defer sh.lagSessions.Add(-1)
+	}
 	var attributed int64
 	for {
 		seg, err := dec.Next()

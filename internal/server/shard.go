@@ -80,6 +80,13 @@ type shard struct {
 	store    *wal.Shard        // nil for an in-memory server
 	logf     func(format string, args ...any)
 
+	// pendingSeries tracks, per series this worker has applied
+	// provisional updates for, the provisional window last observed —
+	// the worker-owned state behind the lagPoints gauge. Keyed by
+	// series (not session) so several sessions feeding one series
+	// cannot double-count; touched only by the worker goroutine.
+	pendingSeries map[string]int64
+
 	segments atomic.Int64 // segments applied
 	points   atomic.Int64 // original samples those segments represent
 	rejected atomic.Int64 // segments refused (time order, or not durable)
@@ -88,6 +95,10 @@ type shard struct {
 	barriers atomic.Int64 // barriers acknowledged
 	commits  atomic.Int64 // commit batches (≤ barriers: the group-commit win)
 	active   atomic.Int64 // ingest sessions currently bound to this shard
+
+	lagSessions atomic.Int64 // active sessions advertising a max-lag bound
+	lagPoints   atomic.Int64 // Σ provisional-only covered points over those sessions
+	lagUpdates  atomic.Int64 // provisional receiver updates applied
 }
 
 func newShard(id, depth int, store *wal.Shard, logf func(format string, args ...any)) *shard {
@@ -95,13 +106,14 @@ func newShard(id, depth int, store *wal.Shard, logf func(format string, args ...
 		logf = func(string, ...any) {}
 	}
 	return &shard{
-		id:       id,
-		jobs:     make(chan job, depth),
-		done:     make(chan struct{}),
-		commitCh: make(chan []chan error, 16),
-		synced:   make(chan struct{}),
-		store:    store,
-		logf:     logf,
+		id:            id,
+		jobs:          make(chan job, depth),
+		done:          make(chan struct{}),
+		commitCh:      make(chan []chan error, 16),
+		synced:        make(chan struct{}),
+		store:         store,
+		logf:          logf,
+		pendingSeries: make(map[string]int64),
 	}
 }
 
@@ -220,10 +232,28 @@ func (sh *shard) committer() {
 }
 
 // apply processes one job: a segment is written ahead and applied; a
-// barrier is deferred onto the pending batch for the next commit.
+// barrier is deferred onto the pending batch for the next commit. A
+// provisional (max-lag) update skips the write-ahead log — it is
+// transient wire state the next final segment supersedes, and losing it
+// in a crash only resets a freshness gauge — and is applied through the
+// series' supersede path instead of the ordered append.
 func (sh *shard) apply(j job, pending []chan error) []chan error {
 	if j.barrier != nil {
 		return append(pending, j.barrier)
+	}
+	// Any apply may grow or supersede the series' provisional tail;
+	// refresh the staleness gauge on the way out.
+	defer sh.trackPending(j.series, j.seg.Provisional)
+	if j.seg.Provisional {
+		if err := j.series.AppendProvisional(j.seg); err != nil {
+			sh.rejected.Add(1)
+			if j.sess != nil {
+				j.sess.rejected.Add(1)
+			}
+		} else {
+			sh.lagUpdates.Add(1)
+		}
+		return pending
 	}
 	if sh.store != nil {
 		if err := sh.store.Append(j.series, j.seg); err != nil {
@@ -250,6 +280,30 @@ func (sh *shard) apply(j job, pending []chan error) []chan error {
 		j.sess.applied.Add(1)
 	}
 	return pending
+}
+
+// trackPending refreshes the staleness gauge after an apply may have
+// changed a series' provisional tail (a final append supersedes it, a
+// provisional append replaces or extends it). A series enters the
+// tracked set at its first provisional update and its entry falls back
+// to zero once finalized segments take over, so the gauge is exactly
+// the provisional-only points across this worker's series. (Retention
+// pruning can shrink a tracked tail from the compaction goroutine; the
+// gauge catches up at the series' next apply.)
+func (sh *shard) trackPending(s *tsdb.Series, provisional bool) {
+	old, tracked := sh.pendingSeries[s.Name()]
+	if !tracked && !provisional {
+		return
+	}
+	now := int64(s.PendingPoints())
+	if now == 0 {
+		// Finalized (or pruned) back to zero: release the entry so the
+		// tracked set stays proportional to series with live tails.
+		delete(sh.pendingSeries, s.Name())
+	} else {
+		sh.pendingSeries[s.Name()] = now
+	}
+	sh.lagPoints.Add(now - old)
 }
 
 // commit acknowledges one batch of barriers behind a single wal commit,
@@ -347,7 +401,7 @@ func (sh *shard) drop(j job) {
 // ShardMetrics is one shard's counters at a point in time.
 type ShardMetrics struct {
 	Shard    int
-	Segments int64 // segments applied to the archive
+	Segments int64 // finalized segments applied to the archive
 	Points   int64 // original samples represented by those segments
 	Rejected int64 // segments refused (time order, or failed write-ahead)
 	Dropped  int64 // segments shed by the overload policy
@@ -358,20 +412,32 @@ type ShardMetrics struct {
 	Commits  int64 // wal commit batches; Barriers/Commits is the group-commit factor
 	WALBytes int64 // bytes appended to this shard's wal partition
 	Fsyncs   int64 // fsyncs issued by this shard's wal partition
+
+	// LagSessions counts the shard's active sessions that advertised an
+	// m_max_lag bound; LagPoints sums, over the shard's series, the
+	// points held only provisionally — last-received minus
+	// last-finalized, the staleness each session's bound caps; and
+	// LagUpdates counts provisional receiver updates applied.
+	LagSessions int64
+	LagPoints   int64
+	LagUpdates  int64
 }
 
 func (sh *shard) metrics() ShardMetrics {
 	m := ShardMetrics{
-		Shard:    sh.id,
-		Segments: sh.segments.Load(),
-		Points:   sh.points.Load(),
-		Rejected: sh.rejected.Load(),
-		Dropped:  sh.dropped.Load(),
-		Bytes:    sh.bytes.Load(),
-		QueueLen: len(sh.jobs),
-		QueueCap: cap(sh.jobs),
-		Barriers: sh.barriers.Load(),
-		Commits:  sh.commits.Load(),
+		Shard:       sh.id,
+		Segments:    sh.segments.Load(),
+		Points:      sh.points.Load(),
+		Rejected:    sh.rejected.Load(),
+		Dropped:     sh.dropped.Load(),
+		Bytes:       sh.bytes.Load(),
+		QueueLen:    len(sh.jobs),
+		QueueCap:    cap(sh.jobs),
+		Barriers:    sh.barriers.Load(),
+		Commits:     sh.commits.Load(),
+		LagSessions: sh.lagSessions.Load(),
+		LagPoints:   sh.lagPoints.Load(),
+		LagUpdates:  sh.lagUpdates.Load(),
 	}
 	if sh.store != nil {
 		lm := sh.store.Metrics()

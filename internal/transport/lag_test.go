@@ -1,0 +1,245 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/encode"
+	"github.com/pla-go/pla/internal/gen"
+	"github.com/pla-go/pla/internal/recon"
+)
+
+// lockedBuf is a writer the test can snapshot between sends.
+type lockedBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuf) snapshot() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+// decodeCovered replays the bytes shipped so far (always a whole number
+// of segments: every Send ends in a flush) and returns how many points
+// the receiver's model would cover, applying the provisional-supersede
+// rules, plus the live segment set.
+func decodeCovered(t *testing.T, raw []byte) (int, []core.Segment) {
+	t.Helper()
+	d, err := encode.NewDecoder(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []core.Segment
+	for {
+		s, err := d.Next()
+		if err != nil {
+			// io.EOF is the terminator; anything else is the cut at the
+			// live end of the stream — both end the replay.
+			break
+		}
+		if s.Provisional {
+			for n := len(segs); n > 0 && segs[n-1].Provisional && segs[n-1].T1 > s.T0; n-- {
+				segs = segs[:n-1]
+			}
+		} else {
+			for n := len(segs); n > 0 && segs[n-1].Provisional; n-- {
+				segs = segs[:n-1]
+			}
+		}
+		segs = append(segs, s)
+	}
+	covered := 0
+	for _, s := range segs {
+		covered += s.Points
+	}
+	return covered, segs
+}
+
+// TestTransmitterBoundsReceiverLag is the wire-level max-lag guarantee:
+// with m = 10, after every single Send the bytes on the wire cover all
+// but at most m−1 consumed points — for both filter families, across
+// signals with long flat stretches (where unbounded filters lag
+// arbitrarily).
+func TestTransmitterBoundsReceiverLag(t *testing.T) {
+	const m = 10
+	signal := gen.SSTLike(1200, 31)
+	for _, tc := range []struct {
+		name string
+		mk   func() (core.Filter, error)
+	}{
+		{"swing", func() (core.Filter, error) {
+			return core.NewSwing([]float64{0.5}, core.WithSwingMaxLag(m))
+		}},
+		{"slide", func() (core.Filter, error) {
+			return core.NewSlide([]float64{0.5}, core.WithSlideMaxLag(m))
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf lockedBuf
+			tx, err := NewTransmitter(&buf, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tx.MaxLag() != m {
+				t.Fatalf("transmitter bound %d, want %d", tx.MaxLag(), m)
+			}
+			worst := 0
+			for i, p := range signal {
+				if err := tx.Send(p); err != nil {
+					t.Fatal(err)
+				}
+				if u := int(tx.Unshipped()); u > worst {
+					worst = u
+				}
+				if i%50 == 0 {
+					covered, _ := decodeCovered(t, buf.snapshot())
+					if lag := i + 1 - covered; lag >= m {
+						t.Fatalf("after point %d the wire covers %d — receiver trails by %d ≥ m=%d", i+1, covered, lag, m)
+					}
+				}
+			}
+			if worst >= m {
+				t.Fatalf("unshipped window reached %d ≥ m=%d", worst, m)
+			}
+			if err := tx.Close(); err != nil {
+				t.Fatal(err)
+			}
+			covered, segs := decodeCovered(t, buf.snapshot())
+			if covered != len(signal) {
+				t.Fatalf("final stream covers %d of %d points", covered, len(signal))
+			}
+			for _, s := range segs {
+				if s.Provisional {
+					t.Fatal("provisional segment survived the final stream")
+				}
+			}
+			model, err := recon.NewModel(segs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := recon.CheckPrecision(signal, model, []float64{0.5}, 1e-6); err != nil {
+				t.Fatalf("lag-bounded stream broke the guarantee: %v", err)
+			}
+		})
+	}
+}
+
+// TestFlushPendingHeartbeat covers the quiet-stream hole: fewer than m
+// points consumed, nothing on the wire beyond the header — one
+// FlushPending ships the provisional update so the receiver catches up.
+func TestFlushPendingHeartbeat(t *testing.T) {
+	const m = 100
+	f, err := core.NewSwing([]float64{0.5}, core.WithSwingMaxLag(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf lockedBuf
+	tx, err := NewTransmitter(&buf, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signal := gen.RandomWalk(gen.WalkConfig{N: 7, P: 0.5, MaxDelta: 0.1, Seed: 3})
+	for _, p := range signal {
+		if err := tx.Send(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if covered, _ := decodeCovered(t, buf.snapshot()); covered != 0 {
+		t.Fatalf("quiet stream already covered %d points", covered)
+	}
+	if err := tx.FlushPending(); err != nil {
+		t.Fatal(err)
+	}
+	covered, segs := decodeCovered(t, buf.snapshot())
+	if covered != len(signal) {
+		t.Fatalf("after heartbeat the wire covers %d of %d points", covered, len(signal))
+	}
+	if len(segs) == 0 || !segs[len(segs)-1].Provisional {
+		t.Fatalf("heartbeat did not ship a provisional update: %+v", segs)
+	}
+	// Idempotent while nothing new arrived.
+	before := len(buf.snapshot())
+	if err := tx.FlushPending(); err != nil {
+		t.Fatal(err)
+	}
+	if after := len(buf.snapshot()); after != before {
+		t.Fatalf("redundant heartbeat wrote %d bytes", after-before)
+	}
+	if err := tx.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlushPendingUnboundedNoop pins the v1 path: without a bound the
+// heartbeat is a no-op and the stream stays version 1.
+func TestFlushPendingUnboundedNoop(t *testing.T) {
+	f, err := core.NewSwing([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf lockedBuf
+	tx, err := NewTransmitter(&buf, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.snapshot(), []byte("PLA1")) {
+		t.Fatalf("unbounded stream header %q", buf.snapshot()[:4])
+	}
+	if err := tx.Send(core.Point{T: 1, X: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	before := len(buf.snapshot())
+	if err := tx.FlushPending(); err != nil {
+		t.Fatal(err)
+	}
+	if after := len(buf.snapshot()); after != before {
+		t.Fatalf("unbounded heartbeat wrote %d bytes", after-before)
+	}
+	if err := tx.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLagBoundedLiveLink runs a lag-bounded stream through the live
+// Receiver: mid-stream the receiver's covered span must track the
+// sender, and provisional segments must answer At within ε.
+func TestLagBoundedLiveLink(t *testing.T) {
+	const m = 10
+	pr, pw := io.Pipe()
+	signal := gen.SSTLike(1000, 9)
+	eps := []float64{0.1}
+	f, err := core.NewSlide(eps, core.WithSlideMaxLag(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := runLink(t, pw, pr, f, signal)
+	model, err := recon.NewModel(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recon.CheckPrecision(signal, model, eps, 1e-6); err != nil {
+		t.Fatalf("receiver-side guarantee broken: %v", err)
+	}
+	n := 0
+	for _, s := range segs {
+		n += s.Points
+	}
+	if n != len(signal) {
+		t.Fatalf("receiver accounted %d of %d points", n, len(signal))
+	}
+}

@@ -23,28 +23,113 @@ var ErrClosed = errors.New("transport: transmitter closed")
 // Transmitter pushes samples through a filter and ships every finalized
 // segment over the wire immediately (one flush per batch of segments).
 // It is not safe for concurrent use; one goroutine owns a transmitter.
+//
+// When the filter carries an m_max_lag bound (WithSwingMaxLag /
+// WithSlideMaxLag), the transmitter opens a v2 stream advertising the
+// filter kind and the bound, and enforces the bound on the wire: as
+// soon as the number of consumed-but-unshipped points reaches m it
+// ships the filter's provisional receiver update (Sections 3.3, 4.3),
+// so a receiver applying the stream never trails the sender by m or
+// more points. FlushPending forces the same update early — the
+// heartbeat for a stream going quiet mid-interval.
 type Transmitter struct {
-	f      core.Filter
-	enc    *encode.Encoder
-	closed bool
+	f       core.Filter
+	pending interface{ Pending() []core.Segment }
+	enc     *encode.Encoder
+	maxLag  int
+	pushed  int64 // samples consumed by the filter
+	final   int64 // samples covered by shipped finalized segments
+	// provCover is the samples the last provisional update still covers
+	// on the receiver. It mirrors the supersede rule: a provisional ship
+	// covers everything consumed, and any finalized segment voids the
+	// whole provisional tail (receivers drop it), so coverage can dip
+	// and the bound check re-ships within the same Send.
+	provCover int64
+	closed    bool
 }
 
 // NewTransmitter writes the stream header for f's precision contract and
 // returns a transmitter. constant must be set when f is a cache filter.
 func NewTransmitter(w io.Writer, f core.Filter) (*Transmitter, error) {
-	_, constant := f.(*core.Cache)
-	enc, err := encode.NewEncoder(w, f.Epsilon(), constant)
+	h := encode.Header{Epsilon: f.Epsilon()}
+	switch f.(type) {
+	case *core.Swing:
+		h.Kind = encode.KindSwing
+	case *core.Slide:
+		h.Kind = encode.KindSlide
+	case *core.Cache:
+		h.Kind = encode.KindCache
+		h.Constant = true
+	}
+	t := &Transmitter{f: f}
+	if ml, ok := f.(interface{ MaxLag() int }); ok {
+		if pf, ok := f.(interface{ Pending() []core.Segment }); ok && ml.MaxLag() > 0 {
+			t.maxLag = ml.MaxLag()
+			t.pending = pf
+			h.MaxLag = t.maxLag
+		}
+	}
+	enc, err := encode.NewEncoderHeader(w, h)
 	if err != nil {
 		return nil, err
 	}
+	t.enc = enc
 	if err := enc.Flush(); err != nil { // make the header visible now
 		return nil, err
 	}
-	return &Transmitter{f: f, enc: enc}, nil
+	return t, nil
 }
 
-// Send consumes one sample; any segments the filter finalizes are written
-// and flushed before Send returns.
+// MaxLag returns the enforced m_max_lag bound (0 when unbounded).
+func (t *Transmitter) MaxLag() int { return t.maxLag }
+
+// Unshipped returns how many consumed samples no shipped segment —
+// final or provisional — covers yet; with a max-lag bound this stays
+// below it between calls.
+func (t *Transmitter) Unshipped() int64 { return t.pushed - t.final - t.provCover }
+
+// write serialises finalized segments without flushing. Each finalized
+// segment advances the final coverage and voids any outstanding
+// provisional coverage (the receiver drops the superseded tail).
+func (t *Transmitter) write(segs []core.Segment) (bool, error) {
+	for _, s := range segs {
+		if err := t.enc.WriteSegment(s); err != nil {
+			return len(segs) > 0, err
+		}
+		t.final += int64(s.Points)
+		t.provCover = 0
+	}
+	return len(segs) > 0, nil
+}
+
+// maybeUpdate ships the provisional receiver update once the unshipped
+// window reaches the max-lag bound.
+func (t *Transmitter) maybeUpdate() (bool, error) {
+	if t.maxLag == 0 || t.Unshipped() < int64(t.maxLag) {
+		return false, nil
+	}
+	return t.shipPending()
+}
+
+// shipPending writes the filter's current provisional segments (without
+// flushing); they cover every consumed point no final segment does.
+func (t *Transmitter) shipPending() (bool, error) {
+	segs := t.pending.Pending()
+	if len(segs) == 0 {
+		return false, nil
+	}
+	for _, s := range segs {
+		if err := t.enc.WriteUpdate(s); err != nil {
+			return true, err
+		}
+	}
+	t.provCover = t.pushed - t.final
+	return true, nil
+}
+
+// Send consumes one sample; any segments the filter finalizes — and, on
+// a lag-bounded stream, any provisional update the bound requires — are
+// written and flushed before Send returns.
 func (t *Transmitter) Send(p core.Point) error {
 	if t.closed {
 		return ErrClosed
@@ -53,13 +138,33 @@ func (t *Transmitter) Send(p core.Point) error {
 	if err != nil {
 		return err
 	}
-	return t.ship(segs)
+	t.pushed++
+	wrote, err := t.write(segs)
+	if err != nil {
+		if wrote {
+			t.enc.Flush()
+		}
+		return err
+	}
+	updated, err := t.maybeUpdate()
+	if err != nil {
+		if wrote || updated {
+			t.enc.Flush()
+		}
+		return err
+	}
+	if !wrote && !updated {
+		return nil
+	}
+	return t.enc.Flush()
 }
 
 // SendBatch consumes a batch of samples with a single wire flush at the
 // end, amortising the per-flush cost when the caller already has points
 // queued (a network client draining a buffer, a benchmark driving the
-// throughput path).
+// throughput path). Lag-bound provisional updates are still written at
+// the exact point that crosses the bound; they reach the wire with the
+// batch's flush.
 func (t *Transmitter) SendBatch(ps []core.Point) error {
 	if t.closed {
 		return ErrClosed
@@ -77,15 +182,45 @@ func (t *Transmitter) SendBatch(ps []core.Point) error {
 			}
 			return err
 		}
-		for _, s := range segs {
-			if err := t.enc.WriteSegment(s); err != nil {
-				if wrote {
-					t.enc.Flush()
-				}
-				return err
+		t.pushed++
+		w, err := t.write(segs)
+		wrote = wrote || w
+		if err != nil {
+			if wrote {
+				t.enc.Flush()
 			}
-			wrote = true
+			return err
 		}
+		u, err := t.maybeUpdate()
+		wrote = wrote || u
+		if err != nil {
+			if wrote {
+				t.enc.Flush()
+			}
+			return err
+		}
+	}
+	if !wrote {
+		return nil
+	}
+	return t.enc.Flush()
+}
+
+// FlushPending ships the provisional receiver update covering every
+// consumed-but-unshipped point, regardless of how far below the bound
+// the window is — the heartbeat that keeps a quiet stream's receiver
+// fresh mid-interval. It is a no-op on streams without a max-lag bound
+// or with nothing outstanding.
+func (t *Transmitter) FlushPending() error {
+	if t.closed {
+		return ErrClosed
+	}
+	if t.maxLag == 0 || t.Unshipped() == 0 {
+		return nil
+	}
+	wrote, err := t.shipPending()
+	if err != nil {
+		return err
 	}
 	if !wrote {
 		return nil
@@ -178,6 +313,21 @@ func (r *Receiver) Run() error {
 			return err
 		}
 		r.mu.Lock()
+		// Provisional (max-lag) announcements are superseded: a final
+		// segment replaces the whole provisional tail it re-covers, and a
+		// re-announcement replaces the provisional segments it overlaps
+		// or re-pivots (starts at or after — the degenerate single-point
+		// announcement case).
+		if seg.Provisional {
+			for n := len(r.segs); n > 0 && r.segs[n-1].Provisional &&
+				(r.segs[n-1].T1 > seg.T0 || r.segs[n-1].T0 >= seg.T0); n-- {
+				r.segs = r.segs[:n-1]
+			}
+		} else {
+			for n := len(r.segs); n > 0 && r.segs[n-1].Provisional; n-- {
+				r.segs = r.segs[:n-1]
+			}
+		}
 		r.segs = append(r.segs, seg)
 		r.mu.Unlock()
 	}

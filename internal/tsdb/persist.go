@@ -59,9 +59,14 @@ func (a *Archive) WriteSeriesTo(w io.Writer, names []string) (int64, error) {
 		name := s.name
 		s.mu.RLock()
 		segs := s.store.Snapshot()
+		// A provisional (max-lag) tail is transient wire state: the
+		// sender supersedes it with finalized segments, so persisting it
+		// would freeze an announcement as fact. Snapshots carry only the
+		// finalized prefix and its point count.
+		segs = segs[:len(segs)-s.provisional]
 		eps := s.eps
 		constant := s.constant
-		points := s.points
+		points := s.points - s.provPoints
 		s.mu.RUnlock()
 
 		var blob writeCounter
@@ -161,6 +166,7 @@ func ReadInto(a *Archive, r io.Reader) error {
 		}
 		s.mu.Lock()
 		s.points = int(points)
+		s.consumed = s.points
 		s.mu.Unlock()
 	}
 	return nil

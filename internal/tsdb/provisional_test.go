@@ -1,0 +1,242 @@
+package tsdb
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+func seg(t0, t1, x0, x1 float64, pts int) core.Segment {
+	return core.Segment{T0: t0, T1: t1, X0: []float64{x0}, X1: []float64{x1}, Points: pts}
+}
+
+func prov(t0, t1, x0, x1 float64, pts int) core.Segment {
+	s := seg(t0, t1, x0, x1, pts)
+	s.Provisional = true
+	return s
+}
+
+func newSeries(t *testing.T) *Series {
+	t.Helper()
+	a := New()
+	s, err := a.Create("s", []float64{0.5}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestProvisionalSupersede drives the replace rules: a re-announcement
+// replaces the provisional segments it overlaps, a finalized append
+// replaces the whole provisional tail, and the freshness counters track
+// every step.
+func TestProvisionalSupersede(t *testing.T) {
+	s := newSeries(t)
+	if err := s.Append(seg(0, 10, 0, 1, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendProvisional(prov(10, 15, 1, 2, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.FinalLen() != 1 || s.Points() != 28 || s.PendingPoints() != 8 {
+		t.Fatalf("after announce: len=%d final=%d points=%d pending=%d", s.Len(), s.FinalLen(), s.Points(), s.PendingPoints())
+	}
+	if s.Consumed() != 28 || s.Staleness() != 8 {
+		t.Fatalf("after announce: consumed=%d stale=%d", s.Consumed(), s.Staleness())
+	}
+
+	// A wider re-announcement of the same interval replaces the old one.
+	if err := s.AppendProvisional(prov(10, 18, 1, 2.5, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.PendingPoints() != 12 || s.Points() != 32 || s.Consumed() != 32 {
+		t.Fatalf("after re-announce: len=%d pending=%d points=%d consumed=%d", s.Len(), s.PendingPoints(), s.Points(), s.Consumed())
+	}
+
+	// A contiguous provisional (slide ships prev + current) is kept.
+	if err := s.AppendProvisional(prov(18, 22, 2.5, 3, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.PendingPoints() != 17 {
+		t.Fatalf("after contiguous announce: len=%d pending=%d", s.Len(), s.PendingPoints())
+	}
+
+	// The finalized segment supersedes the whole provisional tail — even
+	// where it ends earlier than the announcement did.
+	if err := s.Append(seg(10, 16, 1, 2.2, 14)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.FinalLen() != 2 || s.PendingPoints() != 0 {
+		t.Fatalf("after final: len=%d final=%d pending=%d", s.Len(), s.FinalLen(), s.PendingPoints())
+	}
+	if s.Points() != 34 || s.FinalPoints() != 34 {
+		t.Fatalf("after final: points=%d final=%d", s.Points(), s.FinalPoints())
+	}
+	// The high-water remembers the sender got to 37 (20+12+5); the
+	// finals so far cover 34 of those.
+	if s.Consumed() != 37 || s.Staleness() != 3 {
+		t.Fatalf("after final: consumed=%d stale=%d", s.Consumed(), s.Staleness())
+	}
+
+	// Queries see provisional coverage while it lasts.
+	if err := s.AppendProvisional(prov(16, 30, 2.2, 4, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if x, ok := s.At(25); !ok || x[0] < 2.2 || x[0] > 4 {
+		t.Fatalf("At over provisional tail: %v %v", x, ok)
+	}
+	segs, err := s.Scan(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 || !segs[2].Provisional || segs[0].Provisional {
+		t.Fatalf("scan provisional flags: %+v", segs)
+	}
+}
+
+// TestProvisionalDegenerateSupersede pins the single-point announcement
+// case: a first-point heartbeat ships a degenerate [t, t] update, and
+// the next announcement from the same pivot must replace it, not stack
+// on it (stacking would double-count consumed points and inflate
+// staleness past the advertised bound forever).
+func TestProvisionalDegenerateSupersede(t *testing.T) {
+	s := newSeries(t)
+	if err := s.AppendProvisional(prov(0, 0, 1, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendProvisional(prov(0, 5, 1, 2, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 || s.PendingPoints() != 6 || s.Consumed() != 6 {
+		t.Fatalf("degenerate announcement stacked: len=%d pending=%d consumed=%d",
+			s.Len(), s.PendingPoints(), s.Consumed())
+	}
+	if err := s.Append(seg(0, 5, 1, 2, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Staleness() != 0 || s.Points() != 6 {
+		t.Fatalf("after finalize: stale=%d points=%d", s.Staleness(), s.Points())
+	}
+}
+
+// TestRejectedAppendKeepsProvisionalTail pins the validate-before-
+// mutate rule: a final segment the series refuses (an interleaving
+// writer out of time order) must not cost the still-valid provisional
+// coverage, and a refused provisional update must not disturb the
+// existing tail either.
+func TestRejectedAppendKeepsProvisionalTail(t *testing.T) {
+	s := newSeries(t)
+	if err := s.Append(seg(0, 10, 0, 1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendProvisional(prov(10, 15, 1, 2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(seg(-5, -1, 0, 0, 2)); !errors.Is(err, ErrOrder) {
+		t.Fatalf("out-of-order final accepted: %v", err)
+	}
+	if s.PendingPoints() != 4 || s.Len() != 2 {
+		t.Fatalf("rejected final destroyed the provisional tail: pending=%d len=%d", s.PendingPoints(), s.Len())
+	}
+	bad := prov(12, 20, 0, 0, 3)
+	bad.X0 = []float64{0, 0} // wrong dimensionality
+	bad.X1 = []float64{0, 0}
+	if err := s.AppendProvisional(bad); !errors.Is(err, ErrDim) {
+		t.Fatalf("bad-dim provisional accepted: %v", err)
+	}
+	if s.PendingPoints() != 4 || s.Len() != 2 {
+		t.Fatalf("rejected update disturbed the tail: pending=%d len=%d", s.PendingPoints(), s.Len())
+	}
+}
+
+// TestProvisionalOrderStillEnforced verifies provisional appends keep
+// the series' time-order invariant.
+func TestProvisionalOrderStillEnforced(t *testing.T) {
+	s := newSeries(t)
+	if err := s.Append(seg(0, 10, 0, 1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendProvisional(prov(-5, 8, 0, 0, 2)); !errors.Is(err, ErrOrder) {
+		t.Fatalf("out-of-order provisional accepted: %v", err)
+	}
+	if err := s.AppendProvisional(prov(12, 9, 0, 0, 2)); !errors.Is(err, ErrOrder) {
+		t.Fatalf("backwards provisional accepted: %v", err)
+	}
+}
+
+// TestSnapshotExcludesProvisional pins persistence: a snapshot carries
+// only the finalized prefix, and a recovered series restarts with a
+// settled freshness high-water.
+func TestSnapshotExcludesProvisional(t *testing.T) {
+	a := New()
+	s, err := a.Create("s", []float64{0.5}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(seg(0, 10, 0, 1, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendProvisional(prov(10, 15, 1, 2, 8)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadArchive(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := b.Get("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 || rs.Points() != 20 || rs.PendingPoints() != 0 {
+		t.Fatalf("recovered: len=%d points=%d pending=%d", rs.Len(), rs.Points(), rs.PendingPoints())
+	}
+	if rs.Consumed() != 20 || rs.Staleness() != 0 {
+		t.Fatalf("recovered freshness: consumed=%d stale=%d", rs.Consumed(), rs.Staleness())
+	}
+	// The live series still holds its provisional tail.
+	if s.Len() != 2 || s.PendingPoints() != 8 {
+		t.Fatalf("snapshot disturbed the live series: len=%d pending=%d", s.Len(), s.PendingPoints())
+	}
+}
+
+// TestDropBeforeThroughProvisionalTail exercises retention reaching into
+// a provisional suffix.
+func TestDropBeforeThroughProvisionalTail(t *testing.T) {
+	s := newSeries(t)
+	if err := s.Append(seg(0, 10, 0, 1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendProvisional(prov(10, 12, 1, 1.5, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.DropBefore(11); n != 1 {
+		t.Fatalf("dropped %d, want the finalized head only", n)
+	}
+	if s.Len() != 1 || s.PendingPoints() != 3 || s.Points() != 3 {
+		t.Fatalf("after head drop: len=%d pending=%d points=%d", s.Len(), s.PendingPoints(), s.Points())
+	}
+	if n := s.DropBefore(100); n != 1 {
+		t.Fatalf("dropped %d, want the provisional tail", n)
+	}
+	if s.Len() != 0 || s.PendingPoints() != 0 || s.Points() != 0 || s.Staleness() != 0 {
+		t.Fatalf("after full drop: len=%d pending=%d points=%d stale=%d", s.Len(), s.PendingPoints(), s.Points(), s.Staleness())
+	}
+}
+
+// TestLagHint round-trips the advertised bound.
+func TestLagHint(t *testing.T) {
+	s := newSeries(t)
+	if s.LagHint() != 0 {
+		t.Fatalf("fresh series lag hint %d", s.LagHint())
+	}
+	s.SetLagHint(25)
+	if s.LagHint() != 25 {
+		t.Fatalf("lag hint %d, want 25", s.LagHint())
+	}
+}

@@ -27,6 +27,10 @@ type SegmentStore interface {
 	// head: its predecessor is gone, and the wire format refuses a
 	// connected segment with nothing to chain to.
 	DropHead(n int)
+	// DropTail removes the n newest segments, n ≤ Len() — the
+	// supersede primitive behind provisional (max-lag) tails, which are
+	// replaced wholesale when the finalized segments arrive.
+	DropTail(n int)
 }
 
 // MemStore is the default SegmentStore: a plain in-memory slice.
@@ -63,4 +67,16 @@ func (m *MemStore) DropHead(n int) {
 	}
 	m.segs = append(m.segs[:0], m.segs[n:]...)
 	m.segs[0].Connected = false
+}
+
+// DropTail implements SegmentStore.
+func (m *MemStore) DropTail(n int) {
+	if n <= 0 {
+		return
+	}
+	if n >= len(m.segs) {
+		m.segs = m.segs[:0]
+		return
+	}
+	m.segs = m.segs[:len(m.segs)-n]
 }

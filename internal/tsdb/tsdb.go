@@ -67,13 +67,28 @@ func NewWithStore(factory func() SegmentStore) *Archive {
 
 // Series is one stored stream: ordered segments plus the precision
 // contract they were produced under.
+//
+// A series may end in a short run of provisional segments — max-lag
+// receiver updates (Sections 3.3, 4.3) announcing the sender's current
+// line for still-open filtering intervals. Provisional segments answer
+// queries like any other (they keep the ±ε guarantee for the points
+// they cover) but are transient: finalized segments supersede them, and
+// snapshots never persist them. The series additionally tracks a
+// consumed high-water mark — the most points (final + provisional) it
+// has ever represented — so staleness (how far finalized coverage
+// trails what the sender has consumed) is observable even while
+// provisional tails come and go.
 type Series struct {
-	mu       sync.RWMutex
-	name     string
-	eps      []float64
-	constant bool
-	store    SegmentStore
-	points   int // original samples represented
+	mu          sync.RWMutex
+	name        string
+	eps         []float64
+	constant    bool
+	store       SegmentStore
+	points      int // original samples represented, provisional included
+	provisional int // trailing provisional segments in the store
+	provPoints  int // samples those provisional segments represent
+	consumed    int // high-water of points: most samples ever represented
+	lagHint     int // last advertised m_max_lag bound (0 = none/unbounded)
 }
 
 // Create adds an empty series with the given precision contract.
@@ -185,6 +200,7 @@ func (a *Archive) Ingest(name string, f core.Filter, signal []core.Point) (*Seri
 	}
 	s.mu.Lock()
 	s.points = f.Stats().Points
+	s.consumed = s.points
 	s.mu.Unlock()
 	return s, nil
 }
@@ -201,25 +217,117 @@ func (s *Series) Constant() bool { return s.constant }
 // Dim returns the series dimensionality.
 func (s *Series) Dim() int { return len(s.eps) }
 
-// Append stores segments, which must arrive in time order and match the
-// series dimensionality.
+// Append stores finalized segments, which must arrive in time order and
+// match the series dimensionality. Any provisional tail is dropped:
+// finalized segments supersede the announcements that preceded them
+// (the sender re-covers the same interval, possibly with a different
+// end point). The whole batch is validated against the post-supersede
+// state before anything mutates, so a rejected segment never costs the
+// series its still-valid provisional coverage.
 func (s *Series) Append(segs ...core.Segment) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if len(segs) > 0 {
+		// The first segment must follow the last surviving (finalized)
+		// segment; the rest chain among themselves.
+		if err := s.validateLocked(segs[0], s.store.Len()-s.provisional-1); err != nil {
+			return err
+		}
+		for i := 1; i < len(segs); i++ {
+			if err := validateSeg(segs[i], len(s.eps), segs[i-1].T0, true); err != nil {
+				return err
+			}
+		}
+	}
+	if s.provisional > 0 {
+		s.dropProvisionalLocked(s.provisional)
+	}
 	for _, seg := range segs {
-		if seg.Dim() != len(s.eps) || len(seg.X1) != len(s.eps) {
-			return fmt.Errorf("%w: segment dim %d, series dim %d", ErrDim, seg.Dim(), len(s.eps))
-		}
-		if seg.T1 < seg.T0 {
-			return fmt.Errorf("%w: segment ends before it starts", ErrOrder)
-		}
-		if n := s.store.Len(); n > 0 && seg.T0 < s.store.Seg(n-1).T0 {
-			return fmt.Errorf("%w: segment at %v after segment at %v", ErrOrder, seg.T0, s.store.Seg(n-1).T0)
-		}
-		s.store.Append(seg)
-		s.points += seg.Points
+		seg.Provisional = false
+		s.storeLocked(seg)
 	}
 	return nil
+}
+
+// AppendProvisional stores one provisional receiver update. Trailing
+// provisional segments it supersedes are dropped — any that overlap
+// it, or start at or after its start (a degenerate single-point
+// announcement re-announced from the same pivot) — so provisional
+// segments always form a disjoint suffix behind the finalized ones,
+// while a contiguous announcement batch (slide ships previous +
+// current interval back to back) is kept whole. Validation runs before
+// the drop, so a rejected update leaves the existing tail untouched.
+func (s *Series) AppendProvisional(seg core.Segment) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	drop := 0
+	for drop < s.provisional {
+		tail := s.store.Seg(s.store.Len() - 1 - drop)
+		if tail.T1 <= seg.T0 && tail.T0 < seg.T0 {
+			break
+		}
+		drop++
+	}
+	if err := s.validateLocked(seg, s.store.Len()-1-drop); err != nil {
+		return err
+	}
+	s.dropProvisionalLocked(drop)
+	seg.Provisional = true
+	s.storeLocked(seg)
+	return nil
+}
+
+// validateLocked checks seg against the series contract and against the
+// segment at index prev (the one it would follow; prev < 0 means it
+// would be first). s.mu must be held.
+func (s *Series) validateLocked(seg core.Segment, prev int) error {
+	prevT0 := 0.0
+	havePrev := prev >= 0
+	if havePrev {
+		prevT0 = s.store.Seg(prev).T0
+	}
+	return validateSeg(seg, len(s.eps), prevT0, havePrev)
+}
+
+// validateSeg is the segment-acceptance rule: matching dimensionality,
+// a forward span, and a start no earlier than its predecessor's.
+func validateSeg(seg core.Segment, dim int, prevT0 float64, havePrev bool) error {
+	if seg.Dim() != dim || len(seg.X1) != dim {
+		return fmt.Errorf("%w: segment dim %d, series dim %d", ErrDim, seg.Dim(), dim)
+	}
+	if seg.T1 < seg.T0 {
+		return fmt.Errorf("%w: segment ends before it starts", ErrOrder)
+	}
+	if havePrev && seg.T0 < prevT0 {
+		return fmt.Errorf("%w: segment at %v after segment at %v", ErrOrder, seg.T0, prevT0)
+	}
+	return nil
+}
+
+// storeLocked appends a validated segment and advances the counters;
+// s.mu must be held.
+func (s *Series) storeLocked(seg core.Segment) {
+	s.store.Append(seg)
+	s.points += seg.Points
+	if seg.Provisional {
+		s.provisional++
+		s.provPoints += seg.Points
+	}
+	if s.points > s.consumed {
+		s.consumed = s.points
+	}
+}
+
+// dropProvisionalLocked removes the n newest provisional segments;
+// s.mu must be held and n ≤ s.provisional.
+func (s *Series) dropProvisionalLocked(n int) {
+	for i := 0; i < n; i++ {
+		pts := s.store.Seg(s.store.Len() - 1 - i).Points
+		s.points -= pts
+		s.provPoints -= pts
+	}
+	s.store.DropTail(n)
+	s.provisional -= n
 }
 
 // DropBefore removes the oldest stored segments whose coverage ends
@@ -230,13 +338,25 @@ func (s *Series) Append(segs ...core.Segment) error {
 func (s *Series) DropBefore(t float64) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := 0
+	n, dropped := 0, 0
 	for n < s.store.Len() && s.store.Seg(n).T1 < t {
-		s.points -= s.store.Seg(n).Points
+		seg := s.store.Seg(n)
+		s.points -= seg.Points
+		dropped += seg.Points
+		if seg.Provisional {
+			s.provisional--
+			s.provPoints -= seg.Points
+		}
 		n++
 	}
 	if n > 0 {
 		s.store.DropHead(n)
+		// Retention forgets the dropped samples entirely; shrink the
+		// consumed high-water in step so staleness keeps measuring the
+		// recent uncovered window, not the whole retired history.
+		if s.consumed -= dropped; s.consumed < s.points {
+			s.consumed = s.points
+		}
 	}
 	return n
 }
@@ -269,18 +389,86 @@ func (s *Series) Len() int {
 // SetPoints overrides the original-sample counter. Recovery uses it to
 // carry the count across archive rebuilds, where the segments alone
 // cannot reproduce it (each knows its own Points, but drops and merges
-// shift the total).
+// shift the total). The consumed high-water restarts from the same
+// count: recovery never restores provisional tails, so there is nothing
+// outstanding to measure staleness against.
 func (s *Series) SetPoints(n int) {
 	s.mu.Lock()
 	s.points = n
+	s.consumed = n
 	s.mu.Unlock()
 }
 
-// Points returns the number of original samples the series represents.
+// Points returns the number of original samples the series represents,
+// provisional coverage included.
 func (s *Series) Points() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.points
+}
+
+// FinalPoints returns the samples represented by finalized segments
+// only.
+func (s *Series) FinalPoints() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.points - s.provPoints
+}
+
+// PendingPoints returns the samples covered only provisionally — the
+// receiver's current max-lag window.
+func (s *Series) PendingPoints() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.provPoints
+}
+
+// FinalLen returns the number of finalized stored segments (the index
+// space durable logs record positions in; provisional tails are never
+// logged).
+func (s *Series) FinalLen() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store.Len() - s.provisional
+}
+
+// Consumed returns the consumed high-water mark: the most samples this
+// series has ever represented, final or provisional. It only moves
+// forward (retention aside), so a finalized segment that supersedes a
+// longer provisional announcement does not hide that the sender got
+// further.
+func (s *Series) Consumed() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.consumed
+}
+
+// Staleness returns how many consumed samples finalized coverage
+// trails: Consumed() − FinalPoints(). For a session honouring an
+// m_max_lag bound this stays ≤ m; for an unbounded session it is the
+// sender's current filtering-interval length (unknowable here, so 0
+// until segments arrive). It distinguishes "flat signal" (large
+// segments, staleness bounded) from "lagging filter" only when the
+// sender announces provisional updates.
+func (s *Series) Staleness() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.consumed - (s.points - s.provPoints)
+}
+
+// SetLagHint records the m_max_lag bound the most recent ingest session
+// advertised for this series (informational, surfaced by LAG queries).
+func (s *Series) SetLagHint(m int) {
+	s.mu.Lock()
+	s.lagHint = m
+	s.mu.Unlock()
+}
+
+// LagHint returns the last advertised m_max_lag bound (0 = none).
+func (s *Series) LagHint() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lagHint
 }
 
 // Span returns the covered time span.

@@ -38,9 +38,11 @@ func (sh *Shard) Index() int { return sh.k }
 
 // Append writes one segment ahead of its apply to s. It must be called
 // by the single goroutine that owns appends for s (the shard worker), so
-// the recorded index matches the position the apply will use.
+// the recorded index matches the position the apply will use. The index
+// counts finalized segments only: provisional (max-lag) tails are never
+// logged or snapshotted, so replay positions must not see them.
 func (sh *Shard) Append(s *tsdb.Series, seg core.Segment) error {
-	return sh.log.Append(s.Name(), s.Epsilon(), s.Constant(), s.Len(), seg)
+	return sh.log.Append(s.Name(), s.Epsilon(), s.Constant(), s.FinalLen(), seg)
 }
 
 // Commit is the ack barrier: under SyncAlways it returns only after the

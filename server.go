@@ -35,6 +35,11 @@ type (
 	Aggregate = server.Aggregate
 	// SeriesInfo is one row of a series listing.
 	SeriesInfo = server.SeriesInfo
+	// FilterSpec names a filter configuration (kind, ε, max lag) for
+	// by-name construction.
+	FilterSpec = server.FilterSpec
+	// LagInfo is a series' freshness accounting as reported by LAG.
+	LagInfo = server.LagInfo
 )
 
 // Overload policies.
@@ -75,9 +80,19 @@ var (
 func NewServer(db *Archive, cfg ServerConfig) (*Server, error) { return server.New(db, cfg) }
 
 // DialServer opens an ingest session for the named series, streaming
-// through filter f; only finalized segments cross the wire.
+// through filter f; only finalized segments cross the wire — plus, for
+// a filter carrying a max-lag bound (WithSwingMaxLag/WithSlideMaxLag),
+// the provisional receiver updates that keep the server's archive from
+// trailing the sensor by m or more points (§3.3/§4.3). Lag-bounded
+// sessions may call Flush to heartbeat a quiet stream.
 func DialServer(addr, name string, f Filter) (*IngestClient, error) {
 	return server.Dial(addr, name, f)
+}
+
+// DialServerSpec is DialServer with the filter constructed by name from
+// spec.
+func DialServerSpec(addr, name string, spec FilterSpec) (*IngestClient, error) {
+	return server.DialSpec(addr, name, spec)
 }
 
 // DialQuery opens a query session.
