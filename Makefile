@@ -5,7 +5,13 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check build test race bench-smoke
+# Coverage floors, set just under the baseline measured when the gate
+# was added (PR 5) so coverage can only ratchet upward. Raise a floor
+# when a PR meaningfully lifts a package; never lower one to make a
+# build pass.
+COVER_FLOORS = internal/core:95 internal/tsdb:83 internal/tsdb/mmapstore:80 internal/wal:70
+
+.PHONY: verify fmt-check build test race bench-smoke cover-check oracle-sweep
 
 verify: fmt-check
 	$(GO) vet ./...
@@ -29,5 +35,22 @@ race:
 
 bench-smoke:
 	$(GO) run ./cmd/plabench -server-bench -server-clients 4,16 -server-points 4000,1000 \
-		-server-rounds 2 -server-sync mem,always -server-lag 0,10,100 -server-lag-eps 0.5 \
+		-server-rounds 2 -server-sync mem,always -server-store mem,mmap \
+		-server-lag 0,10,100 -server-lag-eps 0.5 \
 		-o bench-smoke.json
+
+cover-check:
+	@fail=0; \
+	for spec in $(COVER_FLOORS); do \
+		pkg=$${spec%%:*}; min=$${spec##*:}; \
+		pct=$$($(GO) test -count=1 -coverprofile=/dev/null -cover ./$$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover-check: no coverage reported for $$pkg"; fail=1; continue; fi; \
+		if awk -v p=$$pct -v m=$$min 'BEGIN{exit !(p>=m)}'; then \
+			echo "cover-check: $$pkg $$pct% (floor $$min%)"; \
+		else \
+			echo "cover-check: $$pkg $$pct% UNDER floor $$min%"; fail=1; \
+		fi; \
+	done; exit $$fail
+
+oracle-sweep:
+	PLA_ORACLE_TRIALS=800 $(GO) test -run TestOracle -count=1 ./internal/core

@@ -42,6 +42,7 @@ func main() {
 		srvRounds  = flag.Int("server-rounds", 5, "measurement rounds for -server-bench (best is reported)")
 		srvShards  = flag.Int("server-shards", 8, "server shard count for -server-bench")
 		srvSync    = flag.String("server-sync", "mem,interval,always", "comma-separated durability modes for -server-bench: mem, off, interval, always")
+		srvStore   = flag.String("server-store", "mem", "comma-separated store backends for -server-bench: mem, mmap (mmap skips the sync=mem row)")
 		srvLag     = flag.String("server-lag", "", "comma-separated m_max_lag bounds for the lag-bounded -server-bench workload (0 = unbounded; empty disables)")
 		srvLagEps  = flag.String("server-lag-eps", "0.1,0.5,2", "comma-separated ε values swept per -server-lag bound")
 		out        = flag.String("o", "", "write the -server-bench snapshot as JSON to this file")
@@ -49,7 +50,7 @@ func main() {
 	flag.Parse()
 
 	if *srvBench {
-		if err := serverBench(*srvClients, *srvPoints, *srvRounds, *srvShards, *srvSync, *srvLag, *srvLagEps, *out); err != nil {
+		if err := serverBench(*srvClients, *srvPoints, *srvRounds, *srvShards, *srvSync, *srvStore, *srvLag, *srvLagEps, *out); err != nil {
 			fatal(err)
 		}
 		return

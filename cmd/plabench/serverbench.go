@@ -23,8 +23,11 @@ import (
 // baseline; "off", "interval" and "always" run the write-ahead log under
 // the corresponding fsync policy.
 type ServerBenchResult struct {
-	Bench       string  `json:"bench"`
-	Sync        string  `json:"sync"`
+	Bench string `json:"bench"`
+	Sync  string `json:"sync"`
+	// Store is the segment-store backend ("mem" heap slices, "mmap"
+	// memory-mapped sealed extents). Empty means "mem" (pre-PR 5 rows).
+	Store       string  `json:"store,omitempty"`
 	Clients     int     `json:"clients"`
 	PointsEach  int     `json:"points_each"`
 	Rounds      int     `json:"rounds"`
@@ -45,6 +48,13 @@ type ServerBenchResult struct {
 	Epsilon    float64 `json:"epsilon,omitempty"`
 	MaxLag     int     `json:"max_lag,omitempty"`
 	LagFlushes int64   `json:"lag_flushes,omitempty"`
+
+	// Cold-start fields (durable modes only): how long a fresh server
+	// took to recover the drained data directory, and how many segments
+	// that recovery brought back. This is where the mmap backend's
+	// O(map + replay tail) start shows against the snapshot decode.
+	RecoverSeconds    float64 `json:"recover_seconds,omitempty"`
+	RecoveredSegments int     `json:"recovered_segments,omitempty"`
 }
 
 // serverBench measures the concurrent network-ingest path (via the shared
@@ -54,7 +64,7 @@ type ServerBenchResult struct {
 // lists: "8,64" clients with "20000,2500" points runs two workloads —
 // the second (many sessions, few points each) is the fsync-bound shape
 // where group commit shows.
-func serverBench(clientsList, pointsList string, rounds, shards int, syncModes, lagList, lagEpsList, outPath string) error {
+func serverBench(clientsList, pointsList string, rounds, shards int, syncModes, storeList, lagList, lagEpsList, outPath string) error {
 	clientCounts, err := atoiList(clientsList)
 	if err != nil {
 		return fmt.Errorf("bad -server-clients: %w", err)
@@ -69,21 +79,41 @@ func serverBench(clientsList, pointsList string, rounds, shards int, syncModes, 
 	if rounds < 1 || shards < 1 {
 		return fmt.Errorf("server-bench needs ≥1 rounds and shards (got %d/%d)", rounds, shards)
 	}
+	var stores []string
+	for _, st := range strings.Split(storeList, ",") {
+		if st = strings.TrimSpace(st); st != "" {
+			stores = append(stores, st)
+		}
+	}
+	if len(stores) == 0 {
+		stores = []string{"mem"}
+	}
 	var results []ServerBenchResult
 	for i, clients := range clientCounts {
 		points := pointCounts[i]
-		for _, mode := range strings.Split(syncModes, ",") {
-			mode = strings.TrimSpace(mode)
-			if mode == "" {
-				continue
+		for _, store := range stores {
+			for _, mode := range strings.Split(syncModes, ",") {
+				mode = strings.TrimSpace(mode)
+				if mode == "" {
+					continue
+				}
+				if store == "mmap" && mode == "mem" {
+					// The extent store needs a data directory; the pure
+					// in-memory row only exists for the mem backend.
+					continue
+				}
+				res, err := serverBenchMode(clients, points, rounds, shards, mode, store)
+				if err != nil {
+					return fmt.Errorf("store %s mode %s: %w", store, mode, err)
+				}
+				cold := ""
+				if res.RecoverSeconds > 0 {
+					cold = fmt.Sprintf(", cold start %.6fs for %d segments", res.RecoverSeconds, res.RecoveredSegments)
+				}
+				fmt.Printf("server ingest [%s/%s]: %d clients × %d points in %.6fs (%.0f points/s, %.1fx byte compression%s)\n",
+					store, mode, clients, points, res.Seconds, res.PointsPerS, res.ByteRatio, cold)
+				results = append(results, res)
 			}
-			res, err := serverBenchMode(clients, points, rounds, shards, mode)
-			if err != nil {
-				return fmt.Errorf("mode %s: %w", mode, err)
-			}
-			fmt.Printf("server ingest [%s]: %d clients × %d points in %.6fs (%.0f points/s, %.1fx byte compression)\n",
-				mode, clients, points, res.Seconds, res.PointsPerS, res.ByteRatio)
-			results = append(results, res)
 		}
 	}
 	if lagList != "" {
@@ -261,10 +291,18 @@ func atofList(s string) ([]float64, error) {
 
 // serverBenchMode runs rounds × clients concurrent ingest sessions of the
 // canonical random-walk workload through a loopback plad server in one
-// durability mode and reports the best (fastest) round, matching the
-// usual benchmark convention.
-func serverBenchMode(clients, points, rounds, shards int, mode string) (ServerBenchResult, error) {
-	cfg := server.Config{Shards: shards, QueueDepth: 4096}
+// (durability mode × store backend) combination and reports the best
+// (fastest) round, matching the usual benchmark convention. Durable
+// combinations end with a cold-start measurement: the drained data
+// directory is recovered by a fresh server and the recovery wall time
+// recorded — the mem backend pays a snapshot decode there, the mmap
+// backend a map plus (empty) tail replay.
+func serverBenchMode(clients, points, rounds, shards int, mode, store string) (ServerBenchResult, error) {
+	backend, err := server.ParseStoreBackend(store)
+	if err != nil {
+		return ServerBenchResult{}, err
+	}
+	cfg := server.Config{Shards: shards, QueueDepth: 4096, StoreBackend: backend}
 	if mode != "mem" {
 		policy, err := wal.ParseSyncPolicy(mode)
 		if err != nil {
@@ -277,8 +315,7 @@ func serverBenchMode(clients, points, rounds, shards int, mode string) (ServerBe
 		defer os.RemoveAll(dir)
 		cfg.DataDir, cfg.Sync = dir, policy
 	}
-	db := tsdb.New()
-	s, err := server.New(db, cfg)
+	s, err := server.New(nil, cfg)
 	if err != nil {
 		return ServerBenchResult{}, err
 	}
@@ -315,9 +352,10 @@ func serverBenchMode(clients, points, rounds, shards int, mode string) (ServerBe
 
 	total := clients * points
 	raw := encode.RawSize(total, 1)
-	return ServerBenchResult{
+	result := ServerBenchResult{
 		Bench:       "ServerIngest",
 		Sync:        mode,
+		Store:       store,
 		Clients:     clients,
 		PointsEach:  points,
 		Rounds:      rounds,
@@ -329,5 +367,24 @@ func serverBenchMode(clients, points, rounds, shards int, mode string) (ServerBe
 		Seconds:     best.Seconds(),
 		PointsPerS:  float64(total) / best.Seconds(),
 		ByteRatio:   float64(raw) / float64(wireBytes),
-	}, nil
+	}
+	if cfg.DataDir != "" {
+		start := time.Now()
+		s2, err := server.New(nil, cfg)
+		if err != nil {
+			return result, fmt.Errorf("cold start: %w", err)
+		}
+		result.RecoverSeconds = time.Since(start).Seconds()
+		for _, name := range s2.DB().Names() {
+			if sr, err := s2.DB().Get(name); err == nil {
+				result.RecoveredSegments += sr.Len()
+			}
+		}
+		ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel2()
+		if err := s2.Shutdown(ctx2); err != nil {
+			return result, fmt.Errorf("cold-start shutdown: %w", err)
+		}
+	}
+	return result, nil
 }

@@ -86,11 +86,11 @@ func runDemo(w io.Writer, cfg server.Config, clients, points, maxLag int) error 
 	if maxLag < 0 || maxLag == 1 {
 		return fmt.Errorf("-demo-max-lag must be ≥2 (or 0 to disable)")
 	}
-	db := tsdb.New()
-	s, err := server.New(db, cfg)
+	s, err := server.New(nil, cfg)
 	if err != nil {
 		return err
 	}
+	db := s.DB()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -227,17 +227,33 @@ func runDemo(w io.Writer, cfg server.Config, clients, points, maxLag int) error 
 		fmt.Fprintf(w, "\n%d lag-bounded sessions (m=%d) drained staleness-free ✓\n", lagged, maxLag)
 	}
 
+	// Detach the archive contents before Shutdown: under the mmap
+	// backend the drain unmaps the extent files, so the comparison
+	// baseline must not read through them afterwards.
+	want := detach(db)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := s.Shutdown(ctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	// The drain's final compaction applies the retention window after
+	// the baseline was captured; mirror it, or a -retain demo would
+	// flag the (correct) recovery as missing the pruned head.
+	if cfg.RetainSegments > 0 {
+		for _, name := range want.Names() {
+			if ws, err := want.Get(name); err == nil {
+				if _, end, ok := ws.Span(); ok {
+					ws.DropBefore(end - cfg.RetainSegments)
+				}
+			}
+		}
 	}
 	if violations > 0 {
 		return fmt.Errorf("%d precision violations", violations)
 	}
 	fmt.Fprintln(w, "all precision bands verified ✓")
 	if cfg.DataDir != "" {
-		if err := verifyRecovery(w, cfg, db); err != nil {
+		if err := verifyRecovery(w, cfg, want); err != nil {
 			return err
 		}
 		// Restart once more with a different shard count: the partitioned
@@ -245,22 +261,53 @@ func runDemo(w io.Writer, cfg server.Config, clients, points, maxLag int) error 
 		// segment.
 		resharded := cfg
 		resharded.Shards = cfg.Shards*2 + 1
-		if err := verifyRecovery(w, resharded, db); err != nil {
+		if err := verifyRecovery(w, resharded, want); err != nil {
 			return fmt.Errorf("reshard %d→%d: %w", cfg.Shards, resharded.Shards, err)
+		}
+		// And once more on the other store backend: the same directory
+		// must migrate between mem and mmap without losing a segment.
+		flipped := resharded
+		if flipped.StoreBackend == server.BackendMmap {
+			flipped.StoreBackend = server.BackendMem
+		} else {
+			flipped.StoreBackend = server.BackendMmap
+		}
+		if err := verifyRecovery(w, flipped, want); err != nil {
+			return fmt.Errorf("backend flip %v→%v: %w", resharded.StoreBackend, flipped.StoreBackend, err)
 		}
 	}
 	return nil
+}
+
+// detach deep-copies an archive's contents into a plain in-memory
+// archive, so comparisons can outlive the server (and, under the mmap
+// backend, the extent mappings) that produced it.
+func detach(db *tsdb.Archive) *tsdb.Archive {
+	out := tsdb.New()
+	for _, name := range db.Names() {
+		src, err := db.Get(name)
+		if err != nil {
+			continue
+		}
+		dst, err := out.Create(name, src.Epsilon(), src.Constant())
+		if err != nil {
+			continue
+		}
+		dst.Append(src.Segments()...)
+		dst.SetPoints(src.Points())
+	}
+	return out
 }
 
 // verifyRecovery rebuilds a server from the data directory alone and
 // checks the recovered archive matches the drained one segment for
 // segment — the durability half of the self-check.
 func verifyRecovery(w io.Writer, cfg server.Config, want *tsdb.Archive) error {
-	db := tsdb.New()
-	s, err := server.New(db, cfg)
+	s, err := server.New(nil, cfg)
 	if err != nil {
 		return fmt.Errorf("recovery: %w", err)
 	}
+	db := s.DB()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	defer s.Shutdown(ctx)

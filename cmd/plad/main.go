@@ -8,7 +8,8 @@
 //
 //	plad [-addr :7070] [-shards 8] [-queue 1024]
 //	     [-policy block|drop|drop-oldest]
-//	     [-data-dir DIR] [-sync always|interval|off] [-sync-every 50ms]
+//	     [-data-dir DIR] [-store mem|mmap]
+//	     [-sync always|interval|off] [-sync-every 50ms]
 //	     [-compact-bytes N] [-retain T] [-http ADDR]
 //	plad -demo [-demo-clients 8] [-demo-points 2000] [-demo-max-lag 25]
 //	     [-data-dir DIR]
@@ -27,6 +28,12 @@
 // window, if set), and a graceful drain leaves one clean snapshot per
 // shard. -http serves /metrics (Prometheus text: per-shard queue depth,
 // drops, WAL bytes, fsync and group-commit counts) and /healthz.
+// -store mmap swaps the heap-resident segment store for the
+// read-optimized extent store: sealed segments live in memory-mapped,
+// checksummed files under <data-dir>/mstore, compaction seals instead
+// of snapshotting, and a cold start maps the extents and replays only
+// the WAL tail. A directory written by the other backend migrates in
+// one shot on boot.
 //
 // With -demo it starts a server on an ephemeral loopback port, drives
 // -demo-clients concurrent sensors through it (synthetic signals from
@@ -36,10 +43,12 @@
 // verifies the precision bands against the generated ground truth and
 // the lag accounting (bound on record, zero staleness after the drain),
 // prints the per-shard metrics, and exits non-zero on any violation —
-// an end-to-end self-check of the sensor → server → query loop. Adding -data-dir extends the self-check with a
-// restart: after the drain the server is rebuilt from the data directory
-// alone and every series is verified segment-for-segment against the
-// pre-restart archive.
+// an end-to-end self-check of the sensor → server → query loop. Adding
+// -data-dir extends the self-check with restarts: after the drain the
+// server is rebuilt from the data directory alone — once as configured,
+// once under a different shard count, and once on the other store
+// backend — and every series is verified segment-for-segment against
+// the pre-restart archive each time.
 package main
 
 import (
@@ -54,7 +63,6 @@ import (
 	"time"
 
 	"github.com/pla-go/pla/internal/server"
-	"github.com/pla-go/pla/internal/tsdb"
 	"github.com/pla-go/pla/internal/wal"
 )
 
@@ -65,6 +73,7 @@ func main() {
 		queue        = flag.Int("queue", 1024, "per-shard queue depth (segments)")
 		policy       = flag.String("policy", "block", "overload policy: block (backpressure), drop (shed newest) or drop-oldest (shed stalest)")
 		dataDir      = flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
+		storeBackend = flag.String("store", "mem", "segment store backend: mem (heap) or mmap (memory-mapped sealed extents; needs -data-dir)")
 		syncPolicy   = flag.String("sync", "interval", "WAL fsync policy with -data-dir: always (ack-after-fsync), interval, off")
 		syncEvery    = flag.Duration("sync-every", 50*time.Millisecond, "background WAL flush/fsync cadence for -sync interval|off")
 		compactBytes = flag.Int64("compact-bytes", 64<<20, "snapshot+truncate a shard's WAL when its tail exceeds this many bytes")
@@ -105,6 +114,11 @@ func main() {
 		}
 		cfg.Sync = sp
 	}
+	backend, err := server.ParseStoreBackend(*storeBackend)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.StoreBackend = backend
 
 	if *demo {
 		if err := runDemo(os.Stdout, cfg, *demoClients, *demoPoints, *demoMaxLag); err != nil {
@@ -113,7 +127,7 @@ func main() {
 		return
 	}
 
-	s, err := server.New(tsdb.New(), cfg)
+	s, err := server.New(nil, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -130,7 +144,7 @@ func main() {
 	go func() {
 		durable := "in-memory"
 		if cfg.DataDir != "" {
-			durable = fmt.Sprintf("data-dir %s, sync %s", cfg.DataDir, cfg.Sync)
+			durable = fmt.Sprintf("data-dir %s, store %s, sync %s", cfg.DataDir, cfg.StoreBackend, cfg.Sync)
 		}
 		fmt.Printf("plad: listening on %s (%d shards, queue %d, policy %s, %s)\n",
 			*addr, cfg.Shards, cfg.QueueDepth, cfg.Policy, durable)

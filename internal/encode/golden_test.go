@@ -1,0 +1,194 @@
+package encode_test
+
+// Golden wire-compatibility tests: canonical PLA1 and PLA2 byte streams
+// are committed under testdata/golden and pinned in both directions —
+// today's decoder must accept yesterday's bytes (old archives and old
+// clients keep working), and today's encoder must reproduce them
+// bit-for-bit (new streams stay readable by old decoders). A codec
+// change that breaks either is a wire-format break and must ship as a
+// new version, not as drift.
+//
+// Regenerate with `go test ./internal/encode -run TestGolden -update`
+// ONLY for an intentional, versioned format revision.
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/encode"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden wire files (format revisions only)")
+
+// goldenStream is one pinned stream: header, segments in wire order,
+// and the file holding its canonical bytes. Values are chosen to be
+// exactly representable so the expectation is unambiguous.
+type goldenStream struct {
+	file   string
+	header encode.Header
+	segs   []core.Segment
+}
+
+func goldenStreams() []goldenStream {
+	v := func(xs ...float64) []float64 { return xs }
+	return []goldenStream{
+		{
+			file:   "pla1-basic.bin",
+			header: encode.Header{Epsilon: v(0.25, 0.5)},
+			segs: []core.Segment{
+				{T0: 0, T1: 4, X0: v(1.5, -2.25), X1: v(3, -1), Points: 9},
+				{T0: 4, T1: 6.5, X0: v(3, -1), X1: v(2.5, 0.125), Connected: true, Points: 5},
+				{T0: 8, T1: 8, X0: v(-0.5, 7), X1: v(-0.5, 7), Points: 1},
+				{T0: 10, T1: 12, X0: v(0, 0), X1: v(-4, 1024), Points: 300},
+			},
+		},
+		{
+			file:   "pla1-constant.bin",
+			header: encode.Header{Epsilon: v(2), Constant: true},
+			segs: []core.Segment{
+				{T0: 1, T1: 5, X0: v(42), X1: v(42), Points: 5},
+				{T0: 5.5, T1: 9, X0: v(-8.125), X1: v(-8.125), Points: 4},
+			},
+		},
+		{
+			file:   "pla2-lag.bin",
+			header: encode.Header{Epsilon: v(0.0625), Kind: encode.KindSwing, MaxLag: 10},
+			segs: []core.Segment{
+				{T0: 0, T1: 3, X0: v(1), X1: v(2), Points: 4},
+				// A provisional receiver update for the still-open
+				// interval, later superseded by the closing segment.
+				{T0: 3, T1: 7, X0: v(2), X1: v(2.5), Provisional: true, Points: 4},
+				{T0: 3, T1: 9, X0: v(2), X1: v(3.5), Connected: true, Points: 7},
+			},
+		},
+	}
+}
+
+// encodeStream serialises a golden stream with today's encoder.
+func encodeStream(t *testing.T, g goldenStream) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	e, err := encode.NewEncoderHeader(&buf, g.header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range g.segs {
+		if err := e.WriteSegment(s); err != nil {
+			t.Fatalf("%s: write %+v: %v", g.file, s, err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func goldenPath(file string) string {
+	return filepath.Join("testdata", "golden", file)
+}
+
+func segsEqual(a, b core.Segment) bool {
+	if a.T0 != b.T0 || a.T1 != b.T1 || a.Connected != b.Connected ||
+		a.Provisional != b.Provisional || a.Points != b.Points ||
+		len(a.X0) != len(b.X0) || len(a.X1) != len(b.X1) {
+		return false
+	}
+	for d := range a.X0 {
+		if a.X0[d] != b.X0[d] || a.X1[d] != b.X1[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGoldenDecode pins the backward direction: the committed bytes
+// must decode into exactly the pinned header and segments.
+func TestGoldenDecode(t *testing.T) {
+	for _, g := range goldenStreams() {
+		t.Run(g.file, func(t *testing.T) {
+			raw, err := os.ReadFile(goldenPath(g.file))
+			if err != nil {
+				t.Fatalf("missing golden file (run -update once to create): %v", err)
+			}
+			d, err := encode.NewDecoder(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("decoder rejects the golden stream: %v", err)
+			}
+			wantVersion := 1
+			if g.header.MaxLag > 0 {
+				wantVersion = 2
+			}
+			if d.Version() != wantVersion || d.Constant() != g.header.Constant ||
+				d.MaxLag() != g.header.MaxLag || d.Dim() != len(g.header.Epsilon) {
+				t.Fatalf("header decoded as v%d constant=%v lag=%d dim=%d, want v%d %v %d %d",
+					d.Version(), d.Constant(), d.MaxLag(), d.Dim(),
+					wantVersion, g.header.Constant, g.header.MaxLag, len(g.header.Epsilon))
+			}
+			if wantVersion == 2 && d.Kind() != g.header.Kind {
+				t.Fatalf("kind decoded as %v, want %v", d.Kind(), g.header.Kind)
+			}
+			for i, e := range g.header.Epsilon {
+				if d.Epsilon()[i] != e {
+					t.Fatalf("ε_%d decoded as %v, want %v", i, d.Epsilon()[i], e)
+				}
+			}
+			var got []core.Segment
+			for {
+				s, err := d.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("segment %d: %v", len(got), err)
+				}
+				got = append(got, s)
+			}
+			if len(got) != len(g.segs) {
+				t.Fatalf("decoded %d segments, want %d", len(got), len(g.segs))
+			}
+			for i := range got {
+				if !segsEqual(got[i], g.segs[i]) {
+					t.Fatalf("segment %d decoded as %+v, want %+v", i, got[i], g.segs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenEncode pins the forward direction: today's encoder must
+// reproduce the committed bytes bit for bit.
+func TestGoldenEncode(t *testing.T) {
+	for _, g := range goldenStreams() {
+		t.Run(g.file, func(t *testing.T) {
+			got := encodeStream(t, g)
+			path := goldenPath(g.file)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run -update once to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				i := 0
+				for i < len(got) && i < len(want) && got[i] == want[i] {
+					i++
+				}
+				t.Fatalf("encoder output diverges from the golden bytes at offset %d (got %d bytes, want %d): the wire format changed",
+					i, len(got), len(want))
+			}
+		})
+	}
+}

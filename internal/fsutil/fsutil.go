@@ -1,0 +1,64 @@
+// Package fsutil holds the small filesystem durability helpers the
+// storage engines share — atomic file replacement and directory fsync —
+// so the crash-safety protocol exists in exactly one place instead of
+// drifting between the WAL and the extent store.
+package fsutil
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+// WriteFileAtomic replaces path with the bytes write produces: a
+// temporary sibling is written (buffered), flushed, fsynced, closed and
+// renamed into place, and removed on any failure. Callers should
+// SyncDir the parent directory afterwards so the rename itself is
+// durable.
+func WriteFileAtomic(path string, write func(w io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if err := write(bw); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory so creates, renames and removes inside it
+// are durable. Failures are reported to logf rather than returned: some
+// filesystems reject directory fsync, and the data files themselves are
+// already synced.
+func SyncDir(dir string, logf func(format string, args ...any)) {
+	d, err := os.Open(dir)
+	if err != nil {
+		logf("sync dir: %v", err)
+		return
+	}
+	if err := d.Sync(); err != nil {
+		logf("sync dir: %v", err)
+	}
+	d.Close()
+}

@@ -22,8 +22,45 @@ import (
 
 	"github.com/pla-go/pla/internal/encode"
 	"github.com/pla-go/pla/internal/tsdb"
+	"github.com/pla-go/pla/internal/tsdb/mmapstore"
 	"github.com/pla-go/pla/internal/wal"
 )
+
+// StoreBackend selects the SegmentStore implementation behind the
+// archive's series.
+type StoreBackend int
+
+const (
+	// BackendMem (the default) keeps every segment on the Go heap —
+	// fastest appends, full heap residency for the whole archive.
+	BackendMem StoreBackend = iota
+	// BackendMmap keeps sealed segments in memory-mapped, checksummed
+	// extent files (internal/tsdb/mmapstore) and only the unsealed tail
+	// on the heap: queries binary-search the mapping, recovery maps the
+	// extents instead of decoding a snapshot, and the page cache —
+	// not the heap — holds cold data. Requires a DataDir.
+	BackendMmap
+)
+
+// String names the backend for flags and logs.
+func (b StoreBackend) String() string {
+	if b == BackendMmap {
+		return "mmap"
+	}
+	return "mem"
+}
+
+// ParseStoreBackend maps a flag word onto a backend.
+func ParseStoreBackend(s string) (StoreBackend, error) {
+	switch s {
+	case "mem":
+		return BackendMem, nil
+	case "mmap":
+		return BackendMmap, nil
+	default:
+		return 0, fmt.Errorf("server: unknown store backend %q (want mem or mmap)", s)
+	}
+}
 
 // Config parameterises a Server. The zero value is usable (in-memory,
 // no durability).
@@ -43,6 +80,12 @@ type Config struct {
 	// shard workers write every segment ahead of applying it, and
 	// Shutdown leaves a clean snapshot behind.
 	DataDir string
+	// StoreBackend selects how series keep their segments (BackendMem
+	// default). BackendMmap requires a DataDir and that New builds the
+	// archive itself (pass a nil db): sealed segments then live in
+	// memory-mapped extent files, compaction seals instead of
+	// snapshotting, and recovery maps instead of decoding.
+	StoreBackend StoreBackend
 	// Sync is the WAL fsync policy (wal.SyncInterval default). Under
 	// wal.SyncAlways a session's final ack is written only after its
 	// segments are fsynced.
@@ -85,7 +128,8 @@ type Server struct {
 	cfg    Config
 	db     *tsdb.Archive
 	shards []*shard
-	store  *wal.Store // nil without a DataDir
+	store  *wal.Store     // nil without a DataDir
+	mm     *mmapstore.Dir // nil unless StoreBackend is BackendMmap
 
 	mu      sync.Mutex
 	lns     []net.Listener
@@ -108,17 +152,43 @@ type Server struct {
 // shard-count change is migrated in one shot, and each shard opens a
 // fresh write-ahead tail. Call Shutdown to stop the shard workers (and,
 // when durable, leave a clean snapshot per shard).
+//
+// db may be nil, in which case New builds the archive over the
+// configured StoreBackend — the only way to run BackendMmap, whose
+// archive must sit on the extent store New opens under the data
+// directory.
 func New(db *tsdb.Archive, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg, db: db, conns: make(map[net.Conn]connKind)}
+	s := &Server{cfg: cfg, conns: make(map[net.Conn]connKind)}
+	if cfg.StoreBackend == BackendMmap {
+		if cfg.DataDir == "" {
+			return nil, fmt.Errorf("server: the mmap store backend requires a data dir")
+		}
+		if db != nil {
+			return nil, fmt.Errorf("server: the mmap store backend builds its own archive (pass a nil db)")
+		}
+		mm, err := mmapstore.Open(wal.ExtentDir(cfg.DataDir), cfg.Logf)
+		if err != nil {
+			return nil, fmt.Errorf("server: open extent store: %w", err)
+		}
+		s.mm = mm
+		db = tsdb.NewWithNamedStore(mm.Store)
+	} else if db == nil {
+		db = tsdb.New()
+	}
+	s.db = db
 	if cfg.DataDir != "" {
 		st, stats, err := wal.Open(cfg.DataDir, cfg.Shards, db, wal.Options{
 			Policy:   cfg.Sync,
 			Interval: cfg.SyncEvery,
 			Retain:   cfg.RetainSegments,
+			Extents:  s.mm,
 			Logf:     cfg.Logf,
 		})
 		if err != nil {
+			if s.mm != nil {
+				s.mm.Close()
+			}
 			return nil, fmt.Errorf("server: open data dir %s: %w", cfg.DataDir, err)
 		}
 		s.store = st
@@ -128,8 +198,8 @@ func New(db *tsdb.Archive, cfg Config) (*Server, error) {
 				migrated = fmt.Sprintf("; migrated layout to %d shards (%d duplicate series reconciled)",
 					cfg.Shards, stats.Reconciled)
 			}
-			s.logf("server: recovered %s: %d series from snapshots across %d log dirs, %d wal files (%d segments replayed, %d skipped, %d rejected, %d torn bytes truncated, %d aged out)%s",
-				cfg.DataDir, stats.SnapshotSeries, stats.Dirs, stats.WALFiles,
+			s.logf("server: recovered %s: %d series from mapped extents + %d from snapshots across %d log dirs, %d wal files (%d segments replayed, %d skipped, %d rejected, %d torn bytes truncated, %d aged out)%s",
+				cfg.DataDir, stats.ExtentSeries, stats.SnapshotSeries, stats.Dirs, stats.WALFiles,
 				stats.Replayed, stats.Skipped, stats.Rejected, stats.TruncatedBytes,
 				stats.RetentionDropped, migrated)
 		}
@@ -193,9 +263,12 @@ func (s *Server) compactShard(k int) error {
 	return sh.store.Snapshot(oldSeq)
 }
 
-// compact compacts every shard — the whole-archive snapshot sweep tests
-// and tooling use; the background loop compacts shards one by one.
-func (s *Server) compact() error {
+// Compact compacts every shard now — rotate its log, fence its worker,
+// persist its baseline (snapshot file or sealed extents + marker) —
+// regardless of the CompactBytes threshold; the background loop
+// compacts shards one by one as their tails grow. Tests and tooling
+// use it to force the sealed state.
+func (s *Server) Compact() error {
 	for k := range s.shards {
 		if err := s.compactShard(k); err != nil {
 			return err
@@ -600,6 +673,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 				forced = err
 			}
 		}
+	}
+	if s.mm != nil {
+		// Only after the final seal: unmapping live extents under a
+		// query would be a use-after-free, but every session and worker
+		// is gone by now.
+		s.mm.Close()
 	}
 	return forced
 }

@@ -800,7 +800,7 @@ func TestRetentionEndToEnd(t *testing.T) {
 		}
 		full[sn.name] = sr.Len()
 	}
-	if err := s.compact(); err != nil {
+	if err := s.Compact(); err != nil {
 		t.Fatal(err)
 	}
 	for _, sn := range fleet {
@@ -1110,7 +1110,7 @@ func TestCompactionUnderIngest(t *testing.T) {
 	// Compact concurrently with the ingest instead of waiting for the
 	// background ticker's cadence.
 	compactErr := make(chan error, 1)
-	go func() { compactErr <- s.compact() }()
+	go func() { compactErr <- s.Compact() }()
 	wg.Wait()
 	if err := <-compactErr; err != nil {
 		t.Fatalf("compact during ingest: %v", err)

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package mmapstore
+
+import "os"
+
+// mapFile falls back to reading the whole file on platforms without a
+// usable mmap: the store keeps its sealed-format, checksum and fencing
+// semantics, just without the shared-page residency win.
+func mapFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// unmapFile releases a mapping returned by mapFile (a no-op for the
+// read fallback; the garbage collector owns the bytes).
+func unmapFile(data []byte) {}

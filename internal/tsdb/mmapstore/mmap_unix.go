@@ -1,0 +1,37 @@
+//go:build unix
+
+package mmapstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the whole of path read-only. A zero-length file returns
+// an empty (unmapped) slice, since mmap rejects length 0.
+func mapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := info.Size()
+	if size == 0 {
+		return []byte{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, syscall.EFBIG
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// unmapFile releases a mapping returned by mapFile.
+func unmapFile(data []byte) {
+	if len(data) > 0 {
+		syscall.Munmap(data)
+	}
+}

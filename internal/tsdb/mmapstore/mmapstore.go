@@ -1,0 +1,897 @@
+// Package mmapstore is the read-optimized tsdb.SegmentStore: each
+// series keeps its finalized segments in immutable, checksummed,
+// memory-mapped extent files of fixed-width records, plus an in-memory
+// append tail for segments that have not been sealed yet. The layout
+// follows Ferragina & Lari's observation that PLA segment sequences
+// admit compact, directly-searchable encodings: records are sorted by
+// start time and fixed width, so locating a query time is a binary
+// search over the mapping — no decode pass, no per-segment heap
+// allocation for data at rest.
+//
+// A data directory holds one subdirectory per series:
+//
+//	mstore/
+//	  <hash>-<name>/
+//	    meta               contract, sample count, live-record fences
+//	    ext-00000001.seg   sealed extent (header + fixed-width records)
+//	    ext-00000002.seg
+//
+// Extents are written once, fsynced, and never modified; the meta file
+// (rewritten atomically) carries the live window, so retention
+// (DropHead) fences records out without touching extent bytes and
+// deletes an extent file only once nothing in it is live. Sealing —
+// folding the append tail into a new extent — happens at WAL
+// compaction time; crash recovery maps the sealed extents as-is and
+// replays only the WAL tail into the append buffer, which is what
+// turns a cold start from O(decode archive) into O(map + replay tail).
+//
+// Stores are not safe for concurrent use on their own: tsdb.Series
+// serialises every access under its lock, exactly as it does for the
+// in-memory store.
+package mmapstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/fsutil"
+	"github.com/pla-go/pla/internal/tsdb"
+)
+
+// Dir is the root of an extent store: one subdirectory per series,
+// shared by every series of one archive. It is safe for concurrent use
+// (per-series stores are still serialised by their Series lock).
+type Dir struct {
+	root string
+	logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	stores map[string]*Store
+}
+
+// Open creates (if needed) and opens an extent-store root directory.
+func Open(root string, logf func(format string, args ...any)) (*Dir, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Dir{root: root, logf: logf, stores: make(map[string]*Store)}, nil
+}
+
+// Exists reports whether root holds (or held) an extent store — the
+// signal that a previous run used the mmap backend and a differently
+// configured boot must migrate its contents.
+func Exists(root string) bool {
+	info, err := os.Stat(root)
+	return err == nil && info.IsDir()
+}
+
+// Root returns the store's root directory.
+func (d *Dir) Root() string { return d.root }
+
+// Store returns the segment store for the named series, opening (and
+// mapping) any state a previous run left on disk. It is the factory
+// tsdb.NewWithNamedStore expects; unreadable leftovers are logged and
+// reset rather than failing series creation.
+func (d *Dir) Store(name string, eps []float64, constant bool) tsdb.SegmentStore {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.openLocked(name, eps, constant)
+}
+
+func (d *Dir) openLocked(name string, eps []float64, constant bool) *Store {
+	if st, ok := d.stores[name]; ok {
+		return st
+	}
+	st := &Store{
+		d:        d,
+		name:     name,
+		dir:      filepath.Join(d.root, seriesDirName(name)),
+		eps:      append([]float64(nil), eps...),
+		constant: constant,
+	}
+	if err := st.open(); err != nil {
+		// The factory cannot fail; a series whose on-disk leftovers do
+		// not load starts fresh (the write-ahead log still holds
+		// anything that mattered and was not yet sealed).
+		d.logf("mstore: %s: resetting unreadable series state: %v", name, err)
+		st.reset()
+	}
+	d.stores[name] = st
+	return st
+}
+
+// Remove deletes every trace of the named series — the replace path of
+// duplicate-series reconciliation, where a newer copy is about to be
+// rebuilt from scratch.
+func (d *Dir) Remove(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if st, ok := d.stores[name]; ok {
+		st.unmapAll()
+		delete(d.stores, name)
+	}
+	dir := filepath.Join(d.root, seriesDirName(name))
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	syncDir(d.root, d.logf)
+	return nil
+}
+
+// LoadInto pre-populates db with every series the directory holds —
+// the recovery step that replaces decoding a snapshot. Series whose
+// archive uses this Dir as its store factory self-populate from the
+// mapped extents when created; with any other factory (a migration
+// back to the in-memory store) the sealed segments are appended
+// explicitly. Returns the number of series loaded.
+func (d *Dir) LoadInto(db *tsdb.Archive) (int, error) {
+	entries, err := os.ReadDir(d.root)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		meta, err := readMeta(filepath.Join(d.root, e.Name(), metaName))
+		if err != nil {
+			if os.IsNotExist(err) {
+				// A crash before the series' first meta write: whatever
+				// extents exist are not yet covered by any meta, so the
+				// WAL still holds their records. Drop the directory.
+				d.logf("mstore: removing pre-meta series dir %s", e.Name())
+				os.RemoveAll(filepath.Join(d.root, e.Name()))
+				continue
+			}
+			return n, fmt.Errorf("mstore: %s: %w", e.Name(), err)
+		}
+		s, err := db.Create(meta.name, meta.eps, meta.constant)
+		if err != nil {
+			return n, fmt.Errorf("mstore: load %q: %w", meta.name, err)
+		}
+		if s.Len() > 0 {
+			// The archive's factory is this Dir: the store came up
+			// already mapped. Only the sample counter needs carrying.
+			s.SetPoints(d.points(meta.name))
+		} else {
+			d.mu.Lock()
+			st := d.openLocked(meta.name, meta.eps, meta.constant)
+			d.mu.Unlock()
+			if err := s.Append(st.Snapshot()...); err != nil {
+				return n, fmt.Errorf("mstore: load %q: %w", meta.name, err)
+			}
+			s.SetPoints(st.metaPoints)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// points returns the persisted sample count of an open store.
+func (d *Dir) points(name string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if st, ok := d.stores[name]; ok {
+		return st.metaPoints
+	}
+	return 0
+}
+
+// Close unmaps every open extent. The stores are unusable afterwards;
+// call only once nothing references the archive any more.
+func (d *Dir) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, st := range d.stores {
+		st.unmapAll()
+	}
+	d.stores = make(map[string]*Store)
+	return nil
+}
+
+// seriesDirName builds a filesystem-safe, collision-resistant directory
+// name: an FNV-1a hash of the full name plus a sanitised prefix for
+// debuggability (the meta file carries the authoritative name).
+func seriesDirName(name string) string {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+	if len(safe) > 40 {
+		safe = safe[:40]
+	}
+	return fmt.Sprintf("%016x-%s", h.Sum64(), safe)
+}
+
+// Store is one series' segment store: sealed extents plus the append
+// tail. It implements tsdb.SegmentStore, tsdb.Sealer and
+// tsdb.TimeIndex.
+type Store struct {
+	d        *Dir
+	name     string
+	dir      string
+	eps      []float64
+	constant bool
+
+	exts       []*extent
+	cumLive    []int // cumLive[i] = live records in exts[:i]
+	headDisc   bool  // the surviving sealed head lost its predecessor
+	metaPoints int   // persisted finalized sample count
+	lastSeq    uint64
+
+	// gen counts destructive mutations (fence drops). An in-flight
+	// two-phase seal compares it between prepare and commit: a changed
+	// generation means the captured tail may no longer be the store's
+	// prefix, so the install is refused and the next compaction retries.
+	gen uint64
+
+	tail []core.Segment
+}
+
+// open maps whatever state the series directory holds.
+func (st *Store) open() error {
+	meta, err := readMeta(filepath.Join(st.dir, metaName))
+	if os.IsNotExist(err) {
+		return nil // fresh series
+	}
+	if err != nil {
+		return err
+	}
+	if meta.name != st.name || !floatsEq(meta.eps, st.eps) || meta.constant != st.constant {
+		return fmt.Errorf("mstore: series dir holds %q (dim %d), want %q (dim %d)",
+			meta.name, len(meta.eps), st.name, len(st.eps))
+	}
+	st.headDisc = meta.headDisc
+	st.metaPoints = meta.points
+	st.lastSeq = meta.lastSeq
+
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return err
+	}
+	var files []struct {
+		seq  uint64
+		path string
+	}
+	for _, e := range entries {
+		var seq uint64
+		if e.IsDir() || !matchExtName(e.Name(), &seq) {
+			continue
+		}
+		path := filepath.Join(st.dir, e.Name())
+		if seq < meta.firstSeq || seq > meta.lastSeq {
+			// Before the live window (a fence already retired it) or
+			// after the last meta write (a crash mid-seal: the WAL tail
+			// still holds these records). Either way the file is dead.
+			st.d.logf("mstore: %s: removing out-of-window extent %s", st.name, e.Name())
+			os.Remove(path)
+			continue
+		}
+		files = append(files, struct {
+			seq  uint64
+			path string
+		}{seq, path})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].seq < files[j].seq })
+
+	truncated := false
+	for _, f := range files {
+		ext, err := openExtent(f.path, f.seq, len(st.eps))
+		if err != nil {
+			// A sealed extent that no longer reads back is real
+			// corruption (it was fsynced before the meta that points at
+			// it). Keep the consistent prefix, quarantine the bad file
+			// for inspection, and say so loudly. The truncation is made
+			// durable below — otherwise anything sealed after the hole
+			// would be silently re-discarded on every future boot while
+			// the server keeps acking, a progressive loss instead of a
+			// one-time, logged one.
+			st.d.logf("mstore: %s: extent %s unreadable, keeping the %d extents before it: %v",
+				st.name, filepath.Base(f.path), len(st.exts), err)
+			if rerr := os.Rename(f.path, f.path+".corrupt"); rerr != nil {
+				st.d.logf("mstore: %s: quarantine %s: %v", st.name, filepath.Base(f.path), rerr)
+			}
+			truncated = true
+			break
+		}
+		st.exts = append(st.exts, ext)
+	}
+	if len(st.exts) > 0 {
+		// The meta has no checksum of its own, so its fences are trusted
+		// only after validating them against the (checksummed) extents: a
+		// fence outside [0, count] means a corrupt meta, and serving
+		// through it would index past the mapping.
+		if st.exts[0].seq == meta.firstSeq {
+			if meta.headLo < 0 || meta.headLo > st.exts[0].count {
+				return fmt.Errorf("mstore: meta head fence %d outside extent of %d records", meta.headLo, st.exts[0].count)
+			}
+			st.exts[0].lo = meta.headLo
+		}
+		last := st.exts[len(st.exts)-1]
+		if last.seq == meta.lastSeq {
+			if meta.tailDrop < 0 || meta.tailDrop > last.count-last.lo {
+				return fmt.Errorf("mstore: meta tail fence %d outside extent of %d live records", meta.tailDrop, last.count-last.lo)
+			}
+			last.hi = last.count - meta.tailDrop
+		}
+		if len(st.exts) < len(files) {
+			// The dropped suffix makes the persisted count unverifiable;
+			// fall back to what the surviving records say.
+			st.metaPoints = st.sumSealedPoints()
+		}
+	} else if len(files) > 0 {
+		st.metaPoints = 0
+	}
+	st.recount()
+	if truncated {
+		// Persist the truncation: lastSeq rewinds to the kept prefix, so
+		// the extents after the hole are out-of-window from now on (the
+		// next boot removes them) and new seals take over their numbers.
+		st.lastSeq = 0
+		if n := len(st.exts); n > 0 {
+			st.lastSeq = st.exts[n-1].seq
+		}
+		st.writeMeta()
+		syncDir(st.dir, st.d.logf)
+	}
+	return nil
+}
+
+// reset drops all mapped state, leaving an empty store (the unreadable-
+// leftovers escape hatch of the factory).
+func (st *Store) reset() {
+	st.unmapAll()
+	st.exts, st.cumLive, st.tail = nil, nil, nil
+	st.headDisc = false
+	st.metaPoints = 0
+	st.lastSeq = 0
+}
+
+func (st *Store) unmapAll() {
+	for _, e := range st.exts {
+		e.close()
+	}
+}
+
+// recount rebuilds the cumulative live-record index after the extent
+// set or its fences change.
+func (st *Store) recount() {
+	st.cumLive = st.cumLive[:0]
+	n := 0
+	for _, e := range st.exts {
+		st.cumLive = append(st.cumLive, n)
+		n += e.live()
+	}
+	st.cumLive = append(st.cumLive, n)
+}
+
+// sealedLen returns the number of live sealed records.
+func (st *Store) sealedLen() int {
+	if len(st.cumLive) == 0 {
+		return 0
+	}
+	return st.cumLive[len(st.cumLive)-1]
+}
+
+func (st *Store) sumSealedPoints() int {
+	n := 0
+	for _, e := range st.exts {
+		for i := e.lo; i < e.hi; i++ {
+			n += e.points(i)
+		}
+	}
+	return n
+}
+
+// locateSealed maps a live sealed index onto (extent, record index).
+func (st *Store) locateSealed(i int) (*extent, int) {
+	k := sort.Search(len(st.exts), func(j int) bool { return st.cumLive[j+1] > i })
+	e := st.exts[k]
+	return e, e.lo + (i - st.cumLive[k])
+}
+
+// Append implements tsdb.SegmentStore: new segments land in the tail
+// until the next seal.
+func (st *Store) Append(seg core.Segment) { st.tail = append(st.tail, seg) }
+
+// Len implements tsdb.SegmentStore.
+func (st *Store) Len() int { return st.sealedLen() + len(st.tail) }
+
+// Seg implements tsdb.SegmentStore. Sealed records are decoded from the
+// mapping into fresh slices, so the returned segment stays valid after
+// the extent is fenced away or unmapped.
+func (st *Store) Seg(i int) core.Segment {
+	sl := st.sealedLen()
+	if i >= sl {
+		return st.tail[i-sl]
+	}
+	e, rec := st.locateSealed(i)
+	seg := e.segment(rec)
+	if i == 0 && st.headDisc {
+		seg.Connected = false
+	}
+	return seg
+}
+
+// segT0 reads just a record's start time — the binary-search accessor,
+// no allocation.
+func (st *Store) segT0(i int) float64 {
+	sl := st.sealedLen()
+	if i >= sl {
+		return st.tail[i-sl].T0
+	}
+	e, rec := st.locateSealed(i)
+	return e.t0(rec)
+}
+
+// SearchT0 implements tsdb.TimeIndex: the least index whose segment
+// starts after t.
+func (st *Store) SearchT0(t float64) int {
+	return sort.Search(st.Len(), func(j int) bool { return st.segT0(j) > t })
+}
+
+// Snapshot implements tsdb.SegmentStore.
+func (st *Store) Snapshot() []core.Segment {
+	out := make([]core.Segment, 0, st.Len())
+	for i, n := 0, st.Len(); i < n; i++ {
+		out = append(out, st.Seg(i))
+	}
+	return out
+}
+
+// DropHead implements tsdb.SegmentStore: the retention fence. Sealed
+// records are fenced out of the live window (meta first, then dead
+// extent files deleted, so a crash in between only resurrects segments
+// the next retention pass re-drops); a drop reaching into the tail
+// shifts the slice as the in-memory store does.
+func (st *Store) DropHead(n int) {
+	if n <= 0 {
+		return
+	}
+	st.gen++
+	sealed := st.sealedLen()
+	fromSealed := n
+	if fromSealed > sealed {
+		fromSealed = sealed
+	}
+	if fromSealed > 0 {
+		st.metaPoints -= st.livePointsPrefix(fromSealed)
+		dead := 0
+		remaining := fromSealed
+		for _, e := range st.exts {
+			take := e.live()
+			if take > remaining {
+				take = remaining
+			}
+			e.lo += take
+			remaining -= take
+			if e.live() == 0 {
+				dead++
+			} else {
+				break
+			}
+		}
+		st.headDisc = dead < len(st.exts)
+		st.persist(st.exts[dead:], st.exts[:dead])
+	}
+	if rest := n - fromSealed; rest > 0 {
+		if rest >= len(st.tail) {
+			st.tail = st.tail[:0]
+		} else {
+			st.tail = append(st.tail[:0], st.tail[rest:]...)
+			st.tail[0].Connected = false
+		}
+	}
+	if st.sealedLen() == 0 {
+		st.headDisc = false
+		if len(st.tail) > 0 {
+			st.tail[0].Connected = false
+		}
+	}
+}
+
+// livePointsPrefix sums the sample counts of the first n live sealed
+// records.
+func (st *Store) livePointsPrefix(n int) int {
+	pts := 0
+	for i := 0; i < n; i++ {
+		e, rec := st.locateSealed(i)
+		pts += e.points(rec)
+	}
+	return pts
+}
+
+// DropTail implements tsdb.SegmentStore — the provisional-supersede
+// primitive. Provisional segments only ever live in the tail (Seal
+// skips them), so in practice this never reaches sealed records; if it
+// ever does, the same fence mechanism retires them from the back.
+func (st *Store) DropTail(n int) {
+	if n <= 0 {
+		return
+	}
+	fromTail := n
+	if fromTail > len(st.tail) {
+		fromTail = len(st.tail)
+	}
+	st.tail = st.tail[:len(st.tail)-fromTail]
+	rest := n - fromTail
+	if rest == 0 {
+		return
+	}
+	st.d.logf("mstore: %s: DropTail reached %d sealed records", st.name, rest)
+	st.gen++
+	if sealed := st.sealedLen(); rest > sealed {
+		rest = sealed
+	}
+	st.metaPoints -= st.livePointsSuffix(rest)
+	dead := 0
+	for i := len(st.exts) - 1; i >= 0 && rest > 0; i-- {
+		e := st.exts[i]
+		take := e.live()
+		if take > rest {
+			take = rest
+		}
+		e.hi -= take
+		rest -= take
+		if e.live() == 0 {
+			dead++
+		}
+	}
+	if dead == len(st.exts) {
+		st.headDisc = false
+	}
+	st.persist(st.exts[:len(st.exts)-dead], st.exts[len(st.exts)-dead:])
+}
+
+// livePointsSuffix sums the sample counts of the last n live sealed
+// records.
+func (st *Store) livePointsSuffix(n int) int {
+	pts := 0
+	sealed := st.sealedLen()
+	for i := sealed - n; i < sealed; i++ {
+		e, rec := st.locateSealed(i)
+		pts += e.points(rec)
+	}
+	return pts
+}
+
+// persist is the one mutation-durability path: write the meta for the
+// surviving extents, then delete the retired files, then fsync the
+// directory, then install survivors as the live set. Meta first: a
+// crash before the deletes leaves dead files the next open removes,
+// never a meta pointing at missing live data.
+func (st *Store) persist(survivors, retired []*extent) {
+	if len(survivors) > 0 {
+		st.lastSeq = survivors[len(survivors)-1].seq
+	}
+	st.writeMetaFor(survivors)
+	for _, e := range retired {
+		e.retire(st.d.logf)
+	}
+	syncDir(st.dir, st.d.logf)
+	st.exts = append(st.exts[:0:0], survivors...)
+	st.recount()
+}
+
+type fenceState struct {
+	firstSeq uint64
+	headLo   int
+	tailDrop int
+}
+
+func (st *Store) fencesFor(survivors []*extent) fenceState {
+	f := fenceState{firstSeq: 1}
+	if len(survivors) == 0 {
+		f.firstSeq = st.lastSeq + 1
+		return f
+	}
+	first, last := survivors[0], survivors[len(survivors)-1]
+	f.firstSeq = first.seq
+	f.headLo = first.lo
+	f.tailDrop = last.count - last.hi
+	return f
+}
+
+// writeMeta persists the store's current fence state.
+func (st *Store) writeMeta() { st.writeMetaFor(st.exts) }
+
+// writeMetaFor persists the meta describing the given extent set as the
+// live window (failures log; the files on disk still reconstruct the
+// pre-mutation state, so correctness degrades to replay time).
+func (st *Store) writeMetaFor(survivors []*extent) {
+	fences := st.fencesFor(survivors)
+	if err := writeMeta(st.dir, metaState{
+		name: st.name, eps: st.eps, constant: st.constant,
+		points: st.metaPoints, headDisc: st.headDisc && len(survivors) > 0,
+		firstSeq: fences.firstSeq, headLo: fences.headLo,
+		lastSeq: st.lastSeq, tailDrop: fences.tailDrop,
+	}, st.d.logf); err != nil {
+		st.d.logf("mstore: %s: meta write: %v", st.name, err)
+	}
+}
+
+// PrepareSeal implements tsdb.Sealer (phase one, under the series
+// lock): it captures the finalized prefix of the append tail — and,
+// when the newest extent carries a tail fence the meta could not
+// express under a successor, the whole live sealed state for a rewrite —
+// so the expensive extent write can run without the lock. Provisional
+// segments never seal; they stay in the tail until finalized segments
+// supersede them. points is the series' finalized sample count as of
+// this seal.
+func (st *Store) PrepareSeal(points int) (tsdb.PreparedSeal, bool) {
+	final := len(st.tail)
+	for final > 0 && st.tail[final-1].Provisional {
+		final--
+	}
+	if final == 0 && st.lastSeq > 0 && points == st.metaPoints {
+		return nil, false // nothing new since the last seal
+	}
+	p := &preparedSeal{st: st, points: points, finalCount: final, gen: st.gen}
+	if final > 0 {
+		p.segs = append(p.segs, st.tail[:final]...)
+		// The meta can only express a tail fence on the newest extent; if
+		// the current last extent carries one (a DropTail that reached
+		// sealed records — possible through the interface, never on the
+		// provisional-supersede path), rewrite the whole live sealed
+		// state into the new extent. firstSeq then jumps past every old
+		// extent, so a crash at any point leaves either the old window or
+		// the new one — never both.
+		if n := len(st.exts); n > 0 && st.exts[n-1].hi < st.exts[n-1].count {
+			merged := make([]core.Segment, 0, st.sealedLen()+final)
+			for i, sl := 0, st.sealedLen(); i < sl; i++ {
+				merged = append(merged, st.Seg(i))
+			}
+			p.segs = append(merged, p.segs...)
+			p.rewrite = true
+		}
+		p.seq = st.lastSeq + 1
+		p.path = filepath.Join(st.dir, fmt.Sprintf(extPattern, p.seq))
+	}
+	return p, true
+}
+
+// Seal runs a full seal in one call — the convenience the two-phase
+// API collapses to when the caller owns the store outright (tests,
+// offline tooling). tsdb.Series drives the phases itself so the extent
+// write and fsync run outside the series lock.
+func (st *Store) Seal(points int) error {
+	prep, ok := st.PrepareSeal(points)
+	if !ok {
+		return nil
+	}
+	if err := prep.Write(); err != nil {
+		return err
+	}
+	prep.Commit()
+	return nil
+}
+
+// preparedSeal is one in-flight two-phase seal: the captured sealable
+// segments, the chosen extent sequence, and the store generation the
+// capture is valid against.
+type preparedSeal struct {
+	st         *Store
+	points     int
+	segs       []core.Segment
+	finalCount int
+	rewrite    bool
+	gen        uint64
+	seq        uint64
+	path       string
+	ext        *extent
+}
+
+// Write implements tsdb.PreparedSeal: the new extent is written and
+// fsynced with no lock held, so queries keep flowing while the disk
+// works. The meta does not move yet — a crash here leaves an extent
+// newer than the meta, which the next open discards in favour of the
+// WAL tail that still covers it.
+func (p *preparedSeal) Write() error {
+	st := p.st
+	if err := os.MkdirAll(st.dir, 0o755); err != nil {
+		return err
+	}
+	if p.finalCount == 0 {
+		return nil // meta-only seal (an empty series' first persistence)
+	}
+	if err := writeExtent(p.path, st.eps, st.constant, p.segs); err != nil {
+		return err
+	}
+	ext, err := openExtent(p.path, p.seq, len(st.eps))
+	if err != nil {
+		os.Remove(p.path)
+		return fmt.Errorf("mstore: %s: sealed extent does not read back: %w", st.name, err)
+	}
+	p.ext = ext
+	return nil
+}
+
+// Commit implements tsdb.PreparedSeal (under the series lock again):
+// install the written extent, retire the sealed tail prefix, and move
+// the meta forward. If the store mutated since PrepareSeal (a fence
+// drop from retention), the captured prefix may be stale — the written
+// file is discarded and the seal reports false; the WAL still covers
+// everything, so the next compaction simply seals the current state.
+func (p *preparedSeal) Commit() bool {
+	st := p.st
+	if st.gen != p.gen || len(st.tail) < p.finalCount {
+		if p.ext != nil {
+			p.ext.close()
+			os.Remove(p.path)
+			syncDir(st.dir, st.d.logf)
+		}
+		st.d.logf("mstore: %s: store changed during seal; retrying at the next compaction", st.name)
+		return false
+	}
+	survivors := st.exts
+	var retired []*extent
+	if p.ext != nil {
+		if p.rewrite {
+			retired, survivors = st.exts, nil
+		}
+		survivors = append(append([]*extent(nil), survivors...), p.ext)
+		st.tail = append(st.tail[:0], st.tail[p.finalCount:]...)
+	}
+	st.metaPoints = p.points
+	st.persist(survivors, retired)
+	return true
+}
+
+func floatsEq(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// syncDir fsyncs a directory so creates, renames and removes inside it
+// are durable (see fsutil.SyncDir for why failures only log).
+func syncDir(dir string, logf func(string, ...any)) {
+	fsutil.SyncDir(dir, func(format string, args ...any) {
+		logf("mstore: "+format, args...)
+	})
+}
+
+// metaState is the decoded meta file: the series contract, the
+// persisted sample count, and the live-record window over the sealed
+// extents.
+type metaState struct {
+	name     string
+	eps      []float64
+	constant bool
+	points   int
+	headDisc bool
+
+	firstSeq uint64 // first live extent sequence
+	headLo   int    // records fenced off the front of that extent
+	lastSeq  uint64 // last sealed extent sequence (0 = none yet)
+	tailDrop int    // records fenced off the back of the last extent
+}
+
+const (
+	metaName    = "meta"
+	metaMagic   = "PLAM"
+	metaVersion = 1
+
+	metaFlagConstant = 1 << 0
+	metaFlagHeadDisc = 1 << 1
+)
+
+// writeMeta atomically replaces the series meta file (fsutil's
+// tmp-write/fsync/rename protocol; callers sync the directory).
+func writeMeta(dir string, m metaState, logf func(string, ...any)) error {
+	buf := make([]byte, 0, 64+len(m.name)+8*len(m.eps))
+	buf = append(buf, metaMagic...)
+	buf = append(buf, metaVersion)
+	var flags byte
+	if m.constant {
+		flags |= metaFlagConstant
+	}
+	if m.headDisc {
+		flags |= metaFlagHeadDisc
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(m.eps)))
+	for _, e := range m.eps {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.name)))
+	buf = append(buf, m.name...)
+	buf = binary.AppendUvarint(buf, uint64(m.points))
+	buf = binary.AppendUvarint(buf, m.firstSeq)
+	buf = binary.AppendUvarint(buf, uint64(m.headLo))
+	buf = binary.AppendUvarint(buf, m.lastSeq)
+	buf = binary.AppendUvarint(buf, uint64(m.tailDrop))
+
+	return fsutil.WriteFileAtomic(filepath.Join(dir, metaName), func(w io.Writer) error {
+		_, err := w.Write(buf)
+		return err
+	})
+}
+
+// readMeta decodes a series meta file.
+func readMeta(path string) (metaState, error) {
+	var m metaState
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return m, err
+	}
+	p := raw
+	if len(p) < len(metaMagic)+2 || string(p[:len(metaMagic)]) != metaMagic {
+		return m, fmt.Errorf("mstore: bad meta magic")
+	}
+	p = p[len(metaMagic):]
+	if p[0] != metaVersion {
+		return m, fmt.Errorf("mstore: unknown meta version %d", p[0])
+	}
+	flags := p[1]
+	m.constant = flags&metaFlagConstant != 0
+	m.headDisc = flags&metaFlagHeadDisc != 0
+	p = p[2:]
+	dim, p, err := takeUvarint(p)
+	if err != nil || dim == 0 || dim > 1<<20 {
+		return m, fmt.Errorf("mstore: bad meta dimensionality")
+	}
+	if uint64(len(p)) < 8*dim {
+		return m, fmt.Errorf("mstore: truncated meta epsilon")
+	}
+	m.eps = make([]float64, dim)
+	for i := range m.eps {
+		m.eps[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+	}
+	p = p[8*dim:]
+	nameLen, p, err := takeUvarint(p)
+	if err != nil || nameLen > 1<<16 || uint64(len(p)) < nameLen {
+		return m, fmt.Errorf("mstore: bad meta name")
+	}
+	m.name = string(p[:nameLen])
+	p = p[nameLen:]
+	fields := []*uint64{}
+	var points, headLo, tailDrop uint64
+	fields = append(fields, &points, &m.firstSeq, &headLo, &m.lastSeq, &tailDrop)
+	for _, dst := range fields {
+		v, rest, err := takeUvarint(p)
+		if err != nil {
+			return m, fmt.Errorf("mstore: truncated meta")
+		}
+		*dst, p = v, rest
+	}
+	if points > 1<<40 || headLo > 1<<32 || tailDrop > 1<<32 {
+		return m, fmt.Errorf("mstore: implausible meta counters")
+	}
+	m.points, m.headLo, m.tailDrop = int(points), int(headLo), int(tailDrop)
+	return m, nil
+}
+
+func takeUvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, p, fmt.Errorf("mstore: bad uvarint")
+	}
+	return v, p[n:], nil
+}

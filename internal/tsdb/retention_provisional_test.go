@@ -1,0 +1,215 @@
+package tsdb_test
+
+// The PR 5 audit of SegmentStore implementations: retention (DropHead)
+// interleaved with provisional (max-lag) tails is the corner where a
+// store can silently diverge — a prune that reaches the provisional
+// suffix, a snapshot taken while only provisional coverage remains, a
+// finalized append landing after the whole finalized head was pruned.
+// The test drives the same operation script through a Series on the
+// in-memory store and one on the mmap store (sealing mid-script, so
+// fences and the append tail both participate), compares every
+// observable after every step, and round-trips both through
+// WriteSeriesTo/ReadInto at the end.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/tsdb"
+	"github.com/pla-go/pla/internal/tsdb/mmapstore"
+)
+
+func seg1d(t0, t1, x0, x1 float64, pts int, connected bool) core.Segment {
+	return core.Segment{T0: t0, T1: t1, X0: []float64{x0}, X1: []float64{x1}, Points: pts, Connected: connected}
+}
+
+// seriesState compares every observable the query layer reads.
+func seriesState(s *tsdb.Series) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "len=%d final=%d pts=%d finalPts=%d pend=%d consumed=%d stale=%d\n",
+		s.Len(), s.FinalLen(), s.Points(), s.FinalPoints(), s.PendingPoints(), s.Consumed(), s.Staleness())
+	for i, seg := range s.Segments() {
+		fmt.Fprintf(&b, "%d: %+v\n", i, seg)
+	}
+	if t0, t1, ok := s.Span(); ok {
+		fmt.Fprintf(&b, "span [%v %v]\n", t0, t1)
+	}
+	for _, t := range []float64{-1, 0.5, 2, 3.5, 5, 7.5, 9, 11, 20} {
+		if x, ok := s.At(t); ok {
+			fmt.Fprintf(&b, "at(%v)=%v\n", t, x)
+		}
+	}
+	return b.String()
+}
+
+// TestRetentionProvisionalInterleaving is the regression for the
+// DropHead + AppendProvisional audit. Steps marked "seal" fold the mmap
+// store's tail mid-script, so later drops cross the sealed/unsealed
+// boundary.
+func TestRetentionProvisionalInterleaving(t *testing.T) {
+	eps := []float64{0.5}
+	memDB := tsdb.New()
+	mm, err := mmapstore.Open(t.TempDir(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mm.Close()
+	mmapDB := tsdb.NewWithNamedStore(mm.Store)
+
+	mkSeries := func(db *tsdb.Archive) *tsdb.Series {
+		s, err := db.Create("audit", eps, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	pair := []*tsdb.Series{mkSeries(memDB), mkSeries(mmapDB)}
+
+	type step struct {
+		name string
+		do   func(s *tsdb.Series) error
+	}
+	prov := func(t0, t1, x0, x1 float64, pts int) func(*tsdb.Series) error {
+		return func(s *tsdb.Series) error {
+			seg := seg1d(t0, t1, x0, x1, pts, false)
+			seg.Provisional = true
+			return s.AppendProvisional(seg)
+		}
+	}
+	final := func(segs ...core.Segment) func(*tsdb.Series) error {
+		return func(s *tsdb.Series) error { return s.Append(segs...) }
+	}
+	steps := []step{
+		{"final 0-2, 2-4 connected", final(seg1d(0, 2, 1, 2, 5, false), seg1d(2, 4, 2, 3, 5, true))},
+		{"provisional 4-6", prov(4, 6, 3, 3.5, 4)},
+		{"seal", func(s *tsdb.Series) error { return s.Seal() }},
+		{"provisional extends 4-7", prov(4, 7, 3, 3.75, 6)},
+		{"final 4-7 supersedes", final(seg1d(4, 7, 3, 3.8, 7, false))},
+		{"provisional 7-9", prov(7, 9, 3.8, 4, 3)},
+		// Prune the whole finalized head; the provisional tail survives.
+		{"retention drops all finalized", func(s *tsdb.Series) error { s.DropBefore(7.5); return nil }},
+		{"provisional 7-10 re-announce", prov(7, 10, 3.8, 4.5, 5)},
+		{"final lands after full prune", final(seg1d(7, 10, 3.8, 4.4, 6, false))},
+		{"seal again", func(s *tsdb.Series) error { return s.Seal() }},
+		{"provisional 10-11", prov(10, 11, 4.4, 4.6, 2)},
+		// Prune reaching into the sealed extent with a provisional live.
+		{"retention into sealed", func(s *tsdb.Series) error { s.DropBefore(10.5); return nil }},
+	}
+	for _, st := range steps {
+		var errs [2]error
+		for i, s := range pair {
+			errs[i] = st.do(s)
+		}
+		if (errs[0] == nil) != (errs[1] == nil) {
+			t.Fatalf("step %q: mem err %v, mmap err %v", st.name, errs[0], errs[1])
+		}
+		memState, mmapState := seriesState(pair[0]), seriesState(pair[1])
+		if memState != mmapState {
+			t.Fatalf("step %q: stores diverged\nmem:\n%s\nmmap:\n%s", st.name, memState, mmapState)
+		}
+	}
+
+	// Persistence round trip from both: snapshots carry the finalized
+	// prefix only, and both reload into identical series.
+	var snaps [2][]byte
+	for i, db := range []*tsdb.Archive{memDB, mmapDB} {
+		var buf bytes.Buffer
+		if _, err := db.WriteSeriesTo(&buf, []string{"audit"}); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		snaps[i] = buf.Bytes()
+	}
+	if !bytes.Equal(snaps[0], snaps[1]) {
+		t.Fatal("the two stores serialised different snapshots")
+	}
+	back := tsdb.New()
+	if err := tsdb.ReadInto(back, bytes.NewReader(snaps[0])); err != nil {
+		t.Fatalf("ReadInto: %v", err)
+	}
+	rs, err := back.Get("audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != pair[0].FinalLen() || rs.Points() != pair[0].FinalPoints() {
+		t.Fatalf("recovered %d segments / %d points, want the finalized %d / %d",
+			rs.Len(), rs.Points(), pair[0].FinalLen(), pair[0].FinalPoints())
+	}
+	for _, seg := range rs.Segments() {
+		if seg.Provisional {
+			t.Fatalf("a provisional segment leaked into the snapshot: %+v", seg)
+		}
+	}
+}
+
+// TestSnapshotOfProvisionalOnlySeries pins the edge the audit was
+// really about: retention prunes every finalized segment while a
+// provisional tail is live, and a snapshot taken in that state must
+// serialise an empty (but valid) series that reloads cleanly — not a
+// negative point count, not a leaked announcement.
+func TestSnapshotOfProvisionalOnlySeries(t *testing.T) {
+	for _, backend := range []string{"mem", "mmap"} {
+		t.Run(backend, func(t *testing.T) {
+			var db *tsdb.Archive
+			if backend == "mem" {
+				db = tsdb.New()
+			} else {
+				mm, err := mmapstore.Open(t.TempDir(), t.Logf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer mm.Close()
+				db = tsdb.NewWithNamedStore(mm.Store)
+			}
+			s, err := db.Create("p-only", []float64{1}, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Append(seg1d(0, 2, 1, 2, 5, false)); err != nil {
+				t.Fatal(err)
+			}
+			if backend == "mmap" {
+				if err := s.Seal(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			prov := seg1d(2, 5, 2, 3, 4, false)
+			prov.Provisional = true
+			if err := s.AppendProvisional(prov); err != nil {
+				t.Fatal(err)
+			}
+			if n := s.DropBefore(4); n != 1 {
+				t.Fatalf("DropBefore dropped %d segments, want the 1 finalized", n)
+			}
+			if s.FinalLen() != 0 || s.PendingPoints() != 4 || s.FinalPoints() != 0 {
+				t.Fatalf("after prune: finalLen=%d pend=%d finalPts=%d", s.FinalLen(), s.PendingPoints(), s.FinalPoints())
+			}
+
+			var buf bytes.Buffer
+			if _, err := db.WriteSeriesTo(&buf, []string{"p-only"}); err != nil {
+				t.Fatalf("snapshot of a provisional-only series: %v", err)
+			}
+			back := tsdb.New()
+			if err := tsdb.ReadInto(back, bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatalf("reload: %v", err)
+			}
+			rs, err := back.Get("p-only")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rs.Len() != 0 || rs.Points() != 0 {
+				t.Fatalf("reloaded series has %d segments / %d points, want 0 / 0", rs.Len(), rs.Points())
+			}
+
+			// The pruned series keeps working: a final append supersedes
+			// the surviving announcement and lands as the new head.
+			if err := s.Append(seg1d(2, 6, 2, 3.2, 6, false)); err != nil {
+				t.Fatalf("append after full prune: %v", err)
+			}
+			if s.Len() != 1 || s.PendingPoints() != 0 {
+				t.Fatalf("after supersede: len=%d pend=%d", s.Len(), s.PendingPoints())
+			}
+		})
+	}
+}

@@ -1,6 +1,10 @@
 package tsdb
 
-import "github.com/pla-go/pla/internal/core"
+import (
+	"sort"
+
+	"github.com/pla-go/pla/internal/core"
+)
 
 // SegmentStore is the container a Series keeps its ordered segments in.
 // Pulling it out as an interface separates the archive's query semantics
@@ -31,6 +35,46 @@ type SegmentStore interface {
 	// supersede primitive behind provisional (max-lag) tails, which are
 	// replaced wholesale when the finalized segments arrive.
 	DropTail(n int)
+}
+
+// TimeIndex is implemented by stores that can answer start-time
+// location queries without materializing segments — the binary-search
+// fast path over a memory-mapped layout, where building a Segment per
+// probe would cost two allocations each. Series.locate uses it when
+// available.
+type TimeIndex interface {
+	// SearchT0 returns the least index i with Seg(i).T0 > t (sort.Search
+	// semantics over the store's Len).
+	SearchT0(t float64) int
+}
+
+// Sealer is implemented by stores that keep a write-optimized append
+// tail which can be folded into a read-optimized sealed form (mmap
+// extents). Compaction calls it through Series.Seal; points is the
+// series' finalized sample count, persisted alongside the sealed
+// segments so recovery can restore it without replaying anything.
+//
+// Sealing is two-phase so the expensive part runs without the series
+// lock: PrepareSeal (called under the lock) captures the sealable
+// state, the returned PreparedSeal's Write (called with no lock held)
+// writes and fsyncs the new extent while queries keep flowing, and
+// Commit (under the lock again) installs it — or refuses, if the store
+// mutated underneath, in which case the next compaction simply retries.
+type Sealer interface {
+	PrepareSeal(points int) (PreparedSeal, bool)
+}
+
+// PreparedSeal is one in-flight seal. Exactly one of Write/Commit's
+// failure paths may leave a discarded temporary extent file behind;
+// never both phases' effects.
+type PreparedSeal interface {
+	// Write persists the captured tail as a new extent (fsynced). No
+	// lock is held; the store must not be read through this object.
+	Write() error
+	// Commit installs the written extent and retires the sealed tail
+	// prefix; called under the series lock. It reports false (cleaning
+	// up the written file) when the store changed since PrepareSeal.
+	Commit() bool
 }
 
 // MemStore is the default SegmentStore: a plain in-memory slice.
@@ -67,6 +111,11 @@ func (m *MemStore) DropHead(n int) {
 	}
 	m.segs = append(m.segs[:0], m.segs[n:]...)
 	m.segs[0].Connected = false
+}
+
+// SearchT0 implements TimeIndex.
+func (m *MemStore) SearchT0(t float64) int {
+	return sort.Search(len(m.segs), func(j int) bool { return m.segs[j].T0 > t })
 }
 
 // DropTail implements SegmentStore.

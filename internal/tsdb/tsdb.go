@@ -51,7 +51,7 @@ var (
 type Archive struct {
 	mu       sync.RWMutex
 	series   map[string]*Series
-	newStore func() SegmentStore
+	newStore func(name string, eps []float64, constant bool) SegmentStore
 }
 
 // New returns an empty archive backed by in-memory segment stores.
@@ -62,6 +62,17 @@ func New() *Archive {
 // NewWithStore returns an empty archive whose series keep their segments
 // in stores built by factory (one store per series).
 func NewWithStore(factory func() SegmentStore) *Archive {
+	return NewWithNamedStore(func(string, []float64, bool) SegmentStore { return factory() })
+}
+
+// NewWithNamedStore returns an empty archive whose series keep their
+// segments in stores built per series from its name and precision
+// contract — the constructor for stores with per-series on-disk state
+// (the mmap extent store), which may come up already holding the
+// segments a previous run sealed. A pre-populated store's series starts
+// with those segments; the caller restores its sample counter with
+// SetPoints.
+func NewWithNamedStore(factory func(name string, eps []float64, constant bool) SegmentStore) *Archive {
 	return &Archive{series: make(map[string]*Series), newStore: factory}
 }
 
@@ -107,7 +118,8 @@ func (a *Archive) Create(name string, eps []float64, constant bool) (*Series, er
 
 // createLocked builds and registers a series; a.mu must be held.
 func (a *Archive) createLocked(name string, eps []float64, constant bool) *Series {
-	s := &Series{name: name, eps: append([]float64(nil), eps...), constant: constant, store: a.newStore()}
+	s := &Series{name: name, eps: append([]float64(nil), eps...), constant: constant}
+	s.store = a.newStore(name, s.eps, constant)
 	a.series[name] = s
 	return s
 }
@@ -361,6 +373,34 @@ func (s *Series) DropBefore(t float64) int {
 	return n
 }
 
+// Seal folds the store's append tail into its read-optimized sealed
+// form when the backing store supports it (the mmap extent store); a
+// no-op for plain in-memory stores. Compaction calls it where it would
+// write the series into a snapshot. The extent write and fsync run
+// outside the series lock, so queries never stall on the disk; if the
+// store mutates while the write is in flight (a retention prune from
+// another goroutine), the install is refused and the next compaction
+// retries — nothing is lost either way, the WAL still covers the tail.
+func (s *Series) Seal() error {
+	sl, ok := s.store.(Sealer)
+	if !ok {
+		return nil
+	}
+	s.mu.Lock()
+	prep, ok := sl.PrepareSeal(s.points - s.provPoints)
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	if err := prep.Write(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	prep.Commit()
+	s.mu.Unlock()
+	return nil
+}
+
 // Last returns the newest stored segment.
 func (s *Series) Last() (core.Segment, bool) {
 	s.mu.RLock()
@@ -490,7 +530,15 @@ func (s *Series) Span() (t0, t1 float64, ok bool) {
 
 // locate returns the index of a segment covering t, or -1.
 func (s *Series) locate(t float64) int {
-	i := sort.Search(s.store.Len(), func(j int) bool { return s.store.Seg(j).T0 > t }) - 1
+	var i int
+	if ti, ok := s.store.(TimeIndex); ok {
+		// The store can binary-search its own layout (for the mmap store,
+		// directly over the mapping) without materializing a segment per
+		// probe.
+		i = ti.SearchT0(t) - 1
+	} else {
+		i = sort.Search(s.store.Len(), func(j int) bool { return s.store.Seg(j).T0 > t }) - 1
+	}
 	if i < 0 {
 		return -1
 	}

@@ -1,0 +1,527 @@
+package wal
+
+// The mmap-backend crash matrix: kill-and-restart at every phase of the
+// store's life — mid-append (wal tail only), mid-seal (extent written
+// but not yet covered by meta, torn or whole), mid-compaction (marker
+// written, superseded wal files still present), and mid-migration in
+// both directions (mem→mmap and mmap→mem) — always asserting the
+// recovered archive is segment-for-segment identical to a reference.
+// Crash states are manufactured the way the wal tests do it: run the
+// real code to produce the artifacts, then reassemble the directory a
+// crash at the chosen instant would have left.
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/pla-go/pla/internal/tsdb"
+	"github.com/pla-go/pla/internal/tsdb/mmapstore"
+)
+
+// openMmapStore opens dir as an mmap-backed store: the extent directory
+// first, then an archive built over it, then the wal pipeline with
+// Extents wired up — the same composition the server performs.
+func openMmapStore(t *testing.T, dir string, nShards int, policy SyncPolicy) (*Store, RecoverStats) {
+	t.Helper()
+	mm, err := mmapstore.Open(ExtentDir(dir), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mm.Close() })
+	db := tsdb.NewWithNamedStore(mm.Store)
+	st, stats, err := Open(dir, nShards, db, Options{Policy: policy, Extents: mm, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, stats
+}
+
+// copyTree snapshots a directory state so a test can later reassemble
+// the layout a crash would have left.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// seriesExtentDir locates the (single) series directory under the
+// extent root.
+func seriesExtentDir(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(ExtentDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			return filepath.Join(ExtentDir(dir), e.Name())
+		}
+	}
+	t.Fatal("no series extent dir found")
+	return ""
+}
+
+// TestMmapReplayFromTail recovers a crash before any seal: everything
+// comes back from the wal alone, into the stores' append tails.
+func TestMmapReplayFromTail(t *testing.T) {
+	dir := t.TempDir()
+	ref := tsdb.New()
+	st, _ := openMmapStore(t, dir, 1, SyncAlways)
+	appendN(t, st, ref, "tail", 0, 7)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, stats := openMmapStore(t, dir, 1, SyncAlways)
+	defer st2.Close()
+	if stats.ExtentSeries != 0 || stats.Replayed != 7 {
+		t.Fatalf("stats %+v, want 0 extent series + 7 replayed", stats)
+	}
+	mustEqualArchives(t, st2.DB(), ref)
+}
+
+// TestMmapSealAndRecover compacts (seal + marker + wal cleanup), keeps
+// appending, crashes, and expects the extents plus the wal tail to
+// rebuild the archive — with the sealed records never replayed.
+func TestMmapSealAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	ref := tsdb.New()
+	st, _ := openMmapStore(t, dir, 1, SyncAlways)
+	appendN(t, st, ref, "a", 0, 6)
+	appendN(t, st, ref, "b", 0, 4)
+
+	sh := st.Shard(0)
+	oldSeq, err := sh.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Snapshot(oldSeq); err != nil {
+		t.Fatal(err)
+	}
+	// The compacted partition must hold a marker, no snapshot file, and
+	// no wal at or below the marker.
+	snaps, wals, marks, err := scanDir(shard0Dir(dir), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 0 || len(marks) != 1 || marks[0].seq != oldSeq {
+		t.Fatalf("after seal: %d snaps, marks %v", len(snaps), marks)
+	}
+	for _, wf := range wals {
+		if wf.seq <= oldSeq {
+			t.Fatalf("wal seq %d survived compaction", wf.seq)
+		}
+	}
+
+	appendN(t, st, ref, "a", 6, 3)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, stats := openMmapStore(t, dir, 1, SyncAlways)
+	defer st2.Close()
+	if stats.ExtentSeries != 2 || stats.Replayed != 3 || stats.SnapshotSeries != 0 {
+		t.Fatalf("stats %+v, want 2 extent series + 3 replayed + 0 snapshot series", stats)
+	}
+	mustEqualArchives(t, st2.DB(), ref)
+}
+
+// TestMmapCleanShutdown drains through CloseSnapshot and expects a
+// wal-free cold start: extents only, nothing replayed.
+func TestMmapCleanShutdown(t *testing.T) {
+	dir := t.TempDir()
+	ref := tsdb.New()
+	st, _ := openMmapStore(t, dir, 2, SyncInterval)
+	appendN(t, st, ref, "x", 0, 5)
+	appendN(t, st, ref, "y", 0, 6)
+	if err := st.CloseSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		_, wals, _, err := scanDir(filepath.Join(dir, shardDirName(k)), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wals) != 0 {
+			t.Fatalf("shard %d kept %d wal files after CloseSnapshot", k, len(wals))
+		}
+	}
+
+	st2, stats := openMmapStore(t, dir, 2, SyncInterval)
+	defer st2.Close()
+	if stats.ExtentSeries != 2 || stats.Replayed != 0 || stats.WALFiles != 0 {
+		t.Fatalf("stats %+v, want a pure extent cold start", stats)
+	}
+	mustEqualArchives(t, st2.DB(), ref)
+}
+
+// TestMmapCrashMidSeal reassembles the three states a crash inside
+// Shard.Snapshot can leave — extent written but meta not, extent+meta
+// written but marker not, everything written but the superseded wal
+// still present — and additionally tears the extent file in the first
+// state. All of them must recover to the reference.
+func TestMmapCrashMidSeal(t *testing.T) {
+	// build produces two directory states of the same logical archive:
+	// preSeal (one sealed generation + a wal tail of 4 more segments, a
+	// clean crash point) and sealed (a second seal generation completed).
+	build := func(t *testing.T) (sealed string, preSeal string, ref *tsdb.Archive) {
+		sealed, preSeal = t.TempDir(), t.TempDir()
+		ref = tsdb.New()
+		st, _ := openMmapStore(t, sealed, 1, SyncAlways)
+		appendN(t, st, ref, "mid", 0, 4)
+		sh := st.Shard(0)
+		oldSeq, err := sh.Rotate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sh.Snapshot(oldSeq); err != nil {
+			t.Fatal(err)
+		}
+		appendN(t, st, ref, "mid", 4, 4)
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		copyTree(t, sealed, preSeal)
+
+		// Produce the second-generation seal artifacts on sealed.
+		st2, _ := openMmapStore(t, sealed, 1, SyncAlways)
+		sh2 := st2.Shard(0)
+		oldSeq, err = sh2.Rotate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sh2.Snapshot(oldSeq); err != nil {
+			t.Fatal(err)
+		}
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return sealed, preSeal, ref
+	}
+
+	// overlayExtents copies the sealed series' extent files (and, when
+	// withMeta, the updated meta) onto the crash state.
+	overlayExtents := func(t *testing.T, sealed, crash string, withMeta, torn bool) {
+		sdir := seriesExtentDir(t, sealed)
+		target := seriesExtentDir(t, crash)
+		copyFileGlob(t, sdir, target, "ext-*.seg")
+		if withMeta {
+			copyFileGlob(t, sdir, target, "meta")
+		}
+		if torn {
+			exts, err := filepath.Glob(filepath.Join(target, "ext-*.seg"))
+			if err != nil || len(exts) == 0 {
+				t.Fatalf("no extents to tear: %v", err)
+			}
+			newest := exts[len(exts)-1] // glob sorts; zero padding keeps order
+			info, err := os.Stat(newest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(newest, info.Size()-11); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	cases := []struct {
+		name     string
+		assemble func(t *testing.T, sealed, crash string)
+	}{
+		// Crash between the extent write and the meta update: the new
+		// extent is outside the meta window, so it must be discarded in
+		// favour of the wal tail that still covers it.
+		{"extent-no-meta", func(t *testing.T, sealed, crash string) {
+			overlayExtents(t, sealed, crash, false, false)
+		}},
+		// Same instant, but the extent itself is torn mid-write.
+		{"torn-extent-no-meta", func(t *testing.T, sealed, crash string) {
+			overlayExtents(t, sealed, crash, false, true)
+		}},
+		// Crash between the meta update and the marker: the extents are
+		// authoritative, the old wal replays and dedups by index.
+		{"meta-no-marker", func(t *testing.T, sealed, crash string) {
+			overlayExtents(t, sealed, crash, true, false)
+		}},
+		// Crash between the marker and the wal cleanup.
+		{"marker-wal-not-deleted", func(t *testing.T, sealed, crash string) {
+			copyTree(t, sealed, crash)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sealed, preSeal, ref := build(t)
+			crash := t.TempDir()
+			copyTree(t, preSeal, crash)
+			tc.assemble(t, sealed, crash)
+
+			st, _ := openMmapStore(t, crash, 1, SyncAlways)
+			defer st.Close()
+			mustEqualArchives(t, st.DB(), ref)
+		})
+	}
+}
+
+// copyFileGlob copies the files matching pattern from src into dst.
+func copyFileGlob(t *testing.T, src, dst, pattern string) {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(src, pattern))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, filepath.Base(p)), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMmapMigrationFromMem boots an mmap-configured server on a
+// directory written by the in-memory backend: the snapshots must seal
+// into extents, the snapshot files must disappear, and a crash that
+// keeps the old snapshot around must reconcile idempotently.
+func TestMmapMigrationFromMem(t *testing.T) {
+	dir := t.TempDir()
+	ref := tsdb.New()
+	memSt, _ := openStore(t, dir, SyncAlways)
+	appendN(t, memSt, ref, "mig", 0, 6)
+	sh := memSt.Shard(0)
+	oldSeq, err := sh.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Snapshot(oldSeq); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, memSt, ref, "mig", 6, 2)
+	if err := memSt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Keep the snapshot so a later step can resurrect it.
+	snaps, _, _, err := scanDir(shard0Dir(dir), Options{})
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("want 1 snapshot, got %d (%v)", len(snaps), err)
+	}
+	snapBytes, err := os.ReadFile(snaps[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, stats := openMmapStore(t, dir, 1, SyncAlways)
+	if !stats.Migrated || stats.SnapshotSeries != 1 || stats.Replayed != 2 {
+		t.Fatalf("stats %+v, want a migrated snapshot + 2 replayed", stats)
+	}
+	mustEqualArchives(t, st.DB(), ref)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if after, _, _, _ := scanDir(shard0Dir(dir), Options{}); len(after) != 0 {
+		t.Fatalf("snapshot files survived the migration: %v", after)
+	}
+
+	// Crash mid-migration: the old snapshot resurfaces next to the
+	// sealed extents. Recovery must keep the (at least as recent)
+	// extent copy and not double anything.
+	if err := os.WriteFile(snaps[0].path, snapBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, stats2 := openMmapStore(t, dir, 1, SyncAlways)
+	defer st2.Close()
+	if !stats2.Migrated {
+		t.Fatalf("stats %+v, want re-migration over the resurfaced snapshot", stats2)
+	}
+	mustEqualArchives(t, st2.DB(), ref)
+}
+
+// TestMmapMigrationToMem boots an in-memory-configured server on a
+// directory written by the mmap backend: the extents must become
+// snapshots, the extent dir must disappear, and resurrecting it must
+// reconcile idempotently.
+func TestMmapMigrationToMem(t *testing.T) {
+	dir := t.TempDir()
+	ref := tsdb.New()
+	st, _ := openMmapStore(t, dir, 2, SyncAlways)
+	appendN(t, st, ref, "back", 0, 6)
+	appendN(t, st, ref, "forth", 0, 3)
+	if err := st.CloseSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	backup := t.TempDir()
+	copyTree(t, ExtentDir(dir), filepath.Join(backup, "mstore"))
+
+	memSt, stats := openStoreN(t, dir, 2, SyncAlways)
+	if !stats.Migrated || stats.ExtentSeries != 2 {
+		t.Fatalf("stats %+v, want migration of 2 extent series", stats)
+	}
+	mustEqualArchives(t, memSt.DB(), ref)
+	if err := memSt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if mmapstore.Exists(ExtentDir(dir)) {
+		t.Fatal("extent dir survived migration to the in-memory backend")
+	}
+	for k := 0; k < 2; k++ {
+		snaps, _, marks, err := scanDir(filepath.Join(dir, shardDirName(k)), Options{})
+		if err != nil || len(snaps) != 1 || len(marks) != 0 {
+			t.Fatalf("shard %d after migration: %d snaps, %d marks (%v)", k, len(snaps), len(marks), err)
+		}
+	}
+
+	// Crash mid-migration: the extent dir resurfaces next to the new
+	// snapshots. The fresh boot migrates again without duplicating.
+	copyTree(t, filepath.Join(backup, "mstore"), ExtentDir(dir))
+	memSt2, stats2 := openStoreN(t, dir, 2, SyncAlways)
+	defer memSt2.Close()
+	if !stats2.Migrated {
+		t.Fatalf("stats %+v, want re-migration over the resurrected extent dir", stats2)
+	}
+	mustEqualArchives(t, memSt2.DB(), ref)
+}
+
+// TestMmapShardCountChange restarts an mmap-backed store under a
+// different shard count. Sealed extents are shard-agnostic, so a
+// reshard whose wal tails are empty or correctly routed needs no
+// migration at all; as soon as a tail holds records for a series the
+// new layout routes elsewhere, the boot re-baselines (seals everything
+// and retires the misrouted tails) so a later per-shard compaction
+// cannot delete another shard's unsealed records.
+func TestMmapShardCountChange(t *testing.T) {
+	names := make([]string, 6)
+	for i := range names {
+		names[i] = "series-" + strings.Repeat("q", i+1)
+	}
+
+	t.Run("all-sealed-no-migration", func(t *testing.T) {
+		dir := t.TempDir()
+		ref := tsdb.New()
+		st, _ := openMmapStore(t, dir, 2, SyncAlways)
+		for i, name := range names {
+			appendN(t, st, ref, name, 0, 3+i)
+		}
+		if err := st.CloseSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+
+		st2, stats := openMmapStore(t, dir, 5, SyncAlways)
+		defer st2.Close()
+		if stats.Migrated {
+			t.Fatalf("stats %+v: sealed extents are shard-agnostic, reshard should not migrate", stats)
+		}
+		mustEqualArchives(t, st2.DB(), ref)
+	})
+
+	t.Run("unsealed-tails-migrate", func(t *testing.T) {
+		dir := t.TempDir()
+		ref := tsdb.New()
+		st, _ := openMmapStore(t, dir, 2, SyncAlways)
+		for i, name := range names {
+			appendN(t, st, ref, name, 0, 3+i)
+		}
+		if err := st.Close(); err != nil { // crash-style: tails stay in the wal
+			t.Fatal(err)
+		}
+
+		st2, stats := openMmapStore(t, dir, 5, SyncAlways)
+		if !stats.Migrated {
+			t.Fatalf("stats %+v, want migration for misrouted wal tails", stats)
+		}
+		mustEqualArchives(t, st2.DB(), ref)
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// After the re-baseline every tail is sealed: a third boot under
+		// yet another count is clean again.
+		st3, stats3 := openMmapStore(t, dir, 3, SyncAlways)
+		defer st3.Close()
+		if stats3.Replayed != 0 {
+			t.Fatalf("stats %+v, want everything sealed after the migration", stats3)
+		}
+		mustEqualArchives(t, st3.DB(), ref)
+	})
+}
+
+// TestMmapRetentionAcrossRestart prunes at compaction under a retention
+// window and verifies the fenced extents stay pruned across a restart,
+// matching a reference archive pruned the same way.
+func TestMmapRetentionAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	ref := tsdb.New()
+	mm, err := mmapstore.Open(ExtentDir(dir), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mm.Close() })
+	db := tsdb.NewWithNamedStore(mm.Store)
+	opts := Options{Policy: SyncAlways, Retain: 8, Extents: mm, Logf: t.Logf}
+	st, _, err := Open(dir, 1, db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, st, ref, "ret", 0, 6)
+	sh := st.Shard(0)
+	oldSeq, err := sh.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Snapshot(oldSeq); err != nil { // seals, then prunes on the next pass
+		t.Fatal(err)
+	}
+	appendN(t, st, ref, "ret", 6, 6)
+	oldSeq, err = sh.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Snapshot(oldSeq); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Mirror the retention drop on the reference.
+	rs, _ := ref.Get("ret")
+	if _, end, ok := rs.Span(); ok {
+		rs.DropBefore(end - 8)
+	}
+
+	mm2, err := mmapstore.Open(ExtentDir(dir), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mm2.Close() })
+	db2 := tsdb.NewWithNamedStore(mm2.Store)
+	opts2 := opts
+	opts2.Extents = mm2
+	st2, _, err := Open(dir, 1, db2, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	mustEqualArchives(t, st2.DB(), ref)
+}

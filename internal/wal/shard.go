@@ -8,6 +8,7 @@ import (
 
 	"github.com/pla-go/pla/internal/core"
 	"github.com/pla-go/pla/internal/tsdb"
+	"github.com/pla-go/pla/internal/tsdb/mmapstore"
 )
 
 // Shard is one partition of a Store: its own directory under the data
@@ -25,6 +26,7 @@ type Shard struct {
 	dir  string
 	k, n int
 	opts Options
+	mm   *mmapstore.Dir // nil for the in-memory backend
 	log  *Log
 }
 
@@ -97,21 +99,47 @@ func (sh *Shard) pruneRetention() int {
 	return dropped
 }
 
-// Snapshot writes this shard's current series as the snapshot for
+// Snapshot persists this shard's current state as the baseline for
 // throughSeq and removes the shard's wal files (sequence ≤ throughSeq)
-// and older snapshots it supersedes. The caller must guarantee every
-// record in those wal files has been applied to the archive — rotate,
-// fence this shard's worker, then snapshot. With a retention window
+// and older generations it supersedes. Under the in-memory backend that
+// baseline is a snapshot file; under the mmap backend every owned
+// series' append tail is sealed into its extent store and a seal marker
+// records the covered sequence. The caller must guarantee every record
+// in those wal files has been applied to the archive — rotate, fence
+// this shard's worker, then snapshot. With a retention window
 // configured, out-of-window segments are dropped first, so they leave
 // both the archive and the disk in the same stroke.
 func (sh *Shard) Snapshot(throughSeq uint64) error {
 	if n := sh.pruneRetention(); n > 0 {
 		sh.opts.logf("wal: %s: retention dropped %d segments", shardDirName(sh.k), n)
 	}
-	if err := writeSnapshot(sh.dir, throughSeq, sh.db, sh.ownedNames(), sh.opts); err != nil {
+	if sh.mm != nil {
+		if err := sh.sealOwned(); err != nil {
+			return err
+		}
+		if err := writeMarker(sh.dir, throughSeq, sh.opts); err != nil {
+			return err
+		}
+	} else if err := writeSnapshot(sh.dir, throughSeq, sh.db, sh.ownedNames(), sh.opts); err != nil {
 		return err
 	}
 	sh.removeObsolete(throughSeq)
+	return nil
+}
+
+// sealOwned folds every owned series' append tail into its extent
+// store. The marker that makes the covered wal files deletable is only
+// written once every series sealed cleanly.
+func (sh *Shard) sealOwned() error {
+	for _, name := range sh.ownedNames() {
+		s, err := sh.db.Get(name)
+		if err != nil {
+			continue
+		}
+		if err := s.Seal(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -137,26 +165,36 @@ func (sh *Shard) close() error {
 }
 
 // removeObsolete deletes the shard's wal files with sequence ≤
-// throughSeq and snapshots older than throughSeq. Failures are logged: a
+// throughSeq and the baseline generations the newest one supersedes:
+// under the mmap backend that is markers older than throughSeq plus
+// every snapshot file (the extents carry the data now); under the
+// in-memory backend, snapshots older than throughSeq plus every marker
+// (a leftover from a migrated extent run). Failures are logged: a
 // leftover file costs replay time on the next boot, not correctness.
 func (sh *Shard) removeObsolete(throughSeq uint64) {
-	snaps, wals, err := scanDir(sh.dir, sh.opts)
+	snaps, wals, marks, err := scanDir(sh.dir, sh.opts)
 	if err != nil {
 		sh.opts.logf("wal: compaction scan: %v", err)
 		return
 	}
+	remove := func(path string) {
+		if err := os.Remove(path); err != nil {
+			sh.opts.logf("wal: remove %s: %v", filepath.Base(path), err)
+		}
+	}
 	for _, wf := range wals {
 		if wf.seq <= throughSeq {
-			if err := os.Remove(wf.path); err != nil {
-				sh.opts.logf("wal: remove %s: %v", filepath.Base(wf.path), err)
-			}
+			remove(wf.path)
 		}
 	}
 	for _, sn := range snaps {
-		if sn.seq < throughSeq {
-			if err := os.Remove(sn.path); err != nil {
-				sh.opts.logf("wal: remove %s: %v", filepath.Base(sn.path), err)
-			}
+		if sh.mm != nil || sn.seq < throughSeq {
+			remove(sn.path)
+		}
+	}
+	for _, mk := range marks {
+		if sh.mm == nil || mk.seq < throughSeq {
+			remove(mk.path)
 		}
 	}
 	syncDir(sh.dir, sh.opts)

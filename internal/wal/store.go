@@ -14,8 +14,15 @@ import (
 
 	"github.com/pla-go/pla/internal/core"
 	"github.com/pla-go/pla/internal/encode"
+	"github.com/pla-go/pla/internal/fsutil"
 	"github.com/pla-go/pla/internal/tsdb"
+	"github.com/pla-go/pla/internal/tsdb/mmapstore"
 )
+
+// ExtentDir returns where the mmap extent store lives inside a data
+// directory — shared so the server can open the store before building
+// the archive over it.
+func ExtentDir(dataDir string) string { return filepath.Join(dataDir, "mstore") }
 
 // Store binds an archive to its data directory as a partitioned commit
 // pipeline: one Shard per ingest shard, each owning its own
@@ -32,6 +39,7 @@ type Store struct {
 	db     *tsdb.Archive
 	dir    string
 	opts   Options
+	mm     *mmapstore.Dir // nil for the in-memory backend
 	shards []*Shard
 }
 
@@ -66,11 +74,15 @@ type RecoverStats struct {
 	// RetentionDropped is the number of segments the retention window
 	// removed during recovery.
 	RetentionDropped int
+	// ExtentSeries is the number of series pre-populated from sealed
+	// mmap extents (the fast cold-start path: no snapshot decode, the
+	// wal tail is all that replays).
+	ExtentSeries int
 }
 
 // Empty reports whether recovery found any prior state.
 func (rs RecoverStats) Empty() bool {
-	return rs.SnapshotSeries == 0 && rs.WALFiles == 0
+	return rs.SnapshotSeries == 0 && rs.WALFiles == 0 && rs.ExtentSeries == 0
 }
 
 // add accumulates one partition's recovery outcome.
@@ -94,6 +106,17 @@ type recoveryUnit struct {
 	stats  RecoverStats
 	maxSeq uint64
 	err    error
+	wals   []seqFile // cached by the extent-backed flow for its replay phase
+}
+
+// openLeftoverExtents detects and opens an extent directory a previous
+// mmap-backed run left behind when this boot is configured for the
+// in-memory backend — its contents must migrate into snapshot files.
+func openLeftoverExtents(dir string, opts Options) (*mmapstore.Dir, error) {
+	if opts.Extents != nil || !mmapstore.Exists(ExtentDir(dir)) {
+		return nil, nil
+	}
+	return mmapstore.Open(ExtentDir(dir), opts.Logf)
 }
 
 // Open recovers the data directory into db (which must be empty) and
@@ -106,14 +129,47 @@ type recoveryUnit struct {
 // per-shard snapshots are written under the current sharding first, and
 // only then are the superseded files deleted, so a crash at any point
 // leaves a recoverable directory. The directory is created if absent.
-func Open(dir string, nShards int, db *tsdb.Archive, opts Options) (*Store, RecoverStats, error) {
+//
+// With Options.Extents set (the mmap backend) the sealed extents
+// pre-populate db directly — no snapshot decode — and only the wal
+// tails replay, into the stores' append buffers. A directory written by
+// the other backend (snapshot files here, an extent directory under the
+// in-memory backend) is migrated in one shot, write-new-before-
+// delete-old, exactly like a shard-count change.
+func Open(dir string, nShards int, db *tsdb.Archive, opts Options) (st *Store, stats RecoverStats, err error) {
 	if nShards <= 0 {
 		nShards = 1
 	}
 	opts = opts.withDefaults()
-	var stats RecoverStats
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, stats, err
+	}
+
+	mm := opts.Extents
+	leftover, err := openLeftoverExtents(dir, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	// The leftover handle is normally closed (and its directory removed)
+	// by the migration re-baseline; on any failure before that, unmap it
+	// here so a retried Open does not accumulate leaked mappings.
+	// mmapstore.Dir.Close is idempotent, so the success path's close in
+	// rebaseline is safe to repeat.
+	defer func() {
+		if err != nil && leftover != nil {
+			leftover.Close()
+		}
+	}()
+	migrate := leftover != nil
+	if src := mm; src != nil || leftover != nil {
+		if src == nil {
+			src = leftover
+		}
+		n, err := src.LoadInto(db)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.ExtentSeries = n
 	}
 
 	units, err := discoverUnits(dir)
@@ -121,55 +177,132 @@ func Open(dir string, nShards int, db *tsdb.Archive, opts Options) (*Store, Reco
 		return nil, stats, err
 	}
 
-	// Parallel recovery: each partition replays into its own staging
-	// archive, so an 8-shard boot costs one shard's replay time, not
-	// eight.
-	var wg sync.WaitGroup
-	for _, u := range units {
-		wg.Add(1)
-		go func(u *recoveryUnit) {
-			defer wg.Done()
-			u.staged = tsdb.New()
-			u.stats, u.maxSeq, u.err = recoverDir(u.dir, u.staged, opts)
-		}(u)
-	}
-	wg.Wait()
-
-	// Merge in deterministic order — legacy root first, then shard dirs
-	// ascending — so duplicate resolution does not depend on goroutine
-	// scheduling.
-	migrate := false
 	maxSeq := make([]uint64, nShards)
-	for _, u := range units {
-		if u.err != nil {
-			return nil, stats, u.err
+	if mm == nil && leftover == nil {
+		// Parallel recovery: each partition replays into its own staging
+		// archive, so an 8-shard boot costs one shard's replay time, not
+		// eight.
+		var wg sync.WaitGroup
+		for _, u := range units {
+			wg.Add(1)
+			go func(u *recoveryUnit) {
+				defer wg.Done()
+				u.staged = tsdb.New()
+				u.stats, u.maxSeq, u.err = recoverDir(u.dir, u.staged, opts)
+			}(u)
 		}
-		stats.add(u.stats)
-		if u.shard >= 0 && u.shard < nShards {
-			maxSeq[u.shard] = u.maxSeq
-		} else {
-			// A legacy root log, or a shard dir beyond the current count:
-			// its contents must move to the partitions that now own them.
-			migrate = true
-		}
-		for _, name := range u.staged.Names() {
-			if u.shard != ShardIndex(name, nShards) {
+		wg.Wait()
+
+		// Merge in deterministic order — legacy root first, then shard
+		// dirs ascending — so duplicate resolution does not depend on
+		// goroutine scheduling.
+		for _, u := range units {
+			if u.err != nil {
+				return nil, stats, u.err
+			}
+			stats.add(u.stats)
+			if u.shard >= 0 && u.shard < nShards {
+				maxSeq[u.shard] = u.maxSeq
+			} else {
+				// A legacy root log, or a shard dir beyond the current
+				// count: its contents must move to the partitions that
+				// now own them.
 				migrate = true
 			}
-			reconciled, err := mergeSeries(db, u.staged, name)
+			for _, name := range u.staged.Names() {
+				if u.shard != ShardIndex(name, nShards) {
+					migrate = true
+				}
+				reconciled, err := mergeSeries(db, u.staged, name, nil)
+				if err != nil {
+					return nil, stats, err
+				}
+				if reconciled {
+					stats.Reconciled++
+					migrate = true
+				}
+			}
+		}
+	} else {
+		// Extent-backed recovery. The archive is already populated from
+		// the sealed extents, so the staging flow — which rebuilds whole
+		// partitions and merges them wholesale — would fight the
+		// pre-populated series. Instead: snapshot files (present only
+		// around a backend migration) merge through the same
+		// recency-based reconciliation first, then every wal file
+		// replays directly into the archive, in deterministic unit
+		// order; the per-record index check skips what the extents
+		// already cover. Only the tails have anything new, so the
+		// sequential pass is cheap — that is the cold-start win.
+		for _, u := range units {
+			snaps, wals, marks, err := scanDir(u.dir, opts)
 			if err != nil {
 				return nil, stats, err
 			}
-			if reconciled {
-				stats.Reconciled++
+			u.wals = wals
+			for _, f := range marks {
+				if f.seq > u.maxSeq {
+					u.maxSeq = f.seq
+				}
+			}
+			for _, f := range append(snaps, wals...) {
+				if f.seq > u.maxSeq {
+					u.maxSeq = f.seq
+				}
+			}
+			if len(snaps)+len(wals)+len(marks) > 0 {
+				stats.Dirs++
+			}
+			if u.shard >= 0 && u.shard < nShards {
+				maxSeq[u.shard] = u.maxSeq
+			} else {
 				migrate = true
+			}
+			if len(snaps) == 0 {
+				continue
+			}
+			if mm != nil {
+				// Snapshot files under the extent backend are the state a
+				// backend switch (or a crash during one) leaves; their
+				// content must end up sealed.
+				migrate = true
+			}
+			staged := tsdb.New()
+			stats.SnapshotSeries += loadNewestSnapshot(snaps, staged, opts)
+			for _, name := range staged.Names() {
+				if u.shard != ShardIndex(name, nShards) {
+					migrate = true
+				}
+				reconciled, err := mergeSeries(db, staged, name, mm)
+				if err != nil {
+					return nil, stats, err
+				}
+				if reconciled {
+					stats.Reconciled++
+					migrate = true
+				}
+			}
+		}
+		// Replay after every snapshot has merged, so appends land on the
+		// reconciled series.
+		for _, u := range units {
+			shard := u.shard
+			seen := func(name string) {
+				if shard != ShardIndex(name, nShards) {
+					migrate = true
+				}
+			}
+			for _, wf := range u.wals {
+				if err := replayFile(wf.path, wf.seq, db, &stats, opts, seen); err != nil {
+					return nil, stats, err
+				}
 			}
 		}
 	}
 
-	st := &Store{db: db, dir: dir, opts: opts, shards: make([]*Shard, nShards)}
+	st = &Store{db: db, dir: dir, opts: opts, mm: mm, shards: make([]*Shard, nShards)}
 	for k := range st.shards {
-		st.shards[k] = &Shard{db: db, dir: filepath.Join(dir, shardDirName(k)), k: k, n: nShards, opts: opts}
+		st.shards[k] = &Shard{db: db, dir: filepath.Join(dir, shardDirName(k)), k: k, n: nShards, opts: opts, mm: mm}
 		if err := os.MkdirAll(st.shards[k].dir, 0o755); err != nil {
 			return nil, stats, err
 		}
@@ -193,7 +326,7 @@ func Open(dir string, nShards int, db *tsdb.Archive, opts Options) (*Store, Reco
 
 	if migrate {
 		stats.Migrated = true
-		if err := st.rebaseline(units, maxSeq); err != nil {
+		if err := st.rebaseline(units, maxSeq, leftover); err != nil {
 			return nil, stats, err
 		}
 	}
@@ -222,11 +355,11 @@ func (st *Store) closeOpened(k int) {
 // it holds legacy single-log files, plus every `shard-<k>` directory.
 func discoverUnits(dir string) ([]*recoveryUnit, error) {
 	var units []*recoveryUnit
-	snaps, wals, err := scanDir(dir, Options{})
+	snaps, wals, marks, err := scanDir(dir, Options{})
 	if err != nil {
 		return nil, err
 	}
-	if len(snaps)+len(wals) > 0 {
+	if len(snaps)+len(wals)+len(marks) > 0 {
 		units = append(units, &recoveryUnit{dir: dir, shard: -1})
 	}
 	entries, err := os.ReadDir(dir)
@@ -259,8 +392,10 @@ func discoverUnits(dir string) ([]*recoveryUnit, error) {
 // because retention can legally shrink the fresh copy below a stale
 // unpruned leftover, and the fresh copy is the one holding any
 // fsync-acked appends made since. Returns whether a duplicate was
-// reconciled.
-func mergeSeries(db *tsdb.Archive, staged *tsdb.Archive, name string) (bool, error) {
+// reconciled. With mm set (extent-backed db), replacing a series also
+// removes its sealed on-disk state, so the recreate starts from an
+// empty store instead of remapping the copy that just lost.
+func mergeSeries(db *tsdb.Archive, staged *tsdb.Archive, name string, mm *mmapstore.Dir) (bool, error) {
 	src, err := staged.Get(name)
 	if err != nil {
 		return false, err
@@ -277,6 +412,11 @@ func mergeSeries(db *tsdb.Archive, staged *tsdb.Archive, name string) (bool, err
 		// to prove correct than splicing suffixes.
 		if err := db.Drop(name); err != nil {
 			return true, err
+		}
+		if mm != nil {
+			if err := mm.Remove(name); err != nil {
+				return true, fmt.Errorf("wal: merge %q: %w", name, err)
+			}
 		}
 		if dst, err = db.Create(name, src.Epsilon(), src.Constant()); err != nil {
 			return true, err
@@ -331,32 +471,42 @@ func copySeries(dst, src *tsdb.Series) error {
 	return nil
 }
 
-// rebaseline rewrites the archive as fresh per-shard snapshots under the
-// current sharding, then deletes the superseded layout. Write-new before
-// delete-old: a crash in between leaves duplicates, which the next Open
-// detects (Reconciled) and re-baselines again — the migration is
-// idempotent, never lossy.
-func (st *Store) rebaseline(units []*recoveryUnit, maxSeq []uint64) error {
+// rebaseline rewrites the archive as a fresh baseline under the current
+// sharding and backend — per-shard snapshot files for the in-memory
+// store, sealed extents plus per-shard seal markers for the mmap store —
+// then deletes the superseded layout (including an extent directory a
+// previous mmap-backed run left, once its contents are snapshotted).
+// Write-new before delete-old: a crash in between leaves duplicates,
+// which the next Open detects (Reconciled) and re-baselines again — the
+// migration is idempotent, never lossy.
+func (st *Store) rebaseline(units []*recoveryUnit, maxSeq []uint64, leftover *mmapstore.Dir) error {
 	for k, sh := range st.shards {
-		if err := writeSnapshot(sh.dir, maxSeq[k], st.db, sh.ownedNames(), st.opts); err != nil {
+		if st.mm != nil {
+			if err := sh.sealOwned(); err != nil {
+				return err
+			}
+			if err := writeMarker(sh.dir, maxSeq[k], st.opts); err != nil {
+				return err
+			}
+		} else if err := writeSnapshot(sh.dir, maxSeq[k], st.db, sh.ownedNames(), st.opts); err != nil {
 			return err
 		}
 	}
 	for _, u := range units {
 		if u.shard >= 0 && u.shard < len(st.shards) {
-			// A kept partition: its fresh snapshot at maxSeq supersedes
-			// every wal file ≤ maxSeq and every older snapshot.
+			// A kept partition: its fresh baseline at maxSeq supersedes
+			// every wal file ≤ maxSeq and every older generation.
 			st.shards[u.shard].removeObsolete(maxSeq[u.shard])
 			continue
 		}
 		// The legacy root or a stray shard dir: every recognised file is
-		// superseded by the new snapshots.
-		snaps, wals, err := scanDir(u.dir, st.opts)
+		// superseded by the new baseline.
+		snaps, wals, marks, err := scanDir(u.dir, st.opts)
 		if err != nil {
 			st.opts.logf("wal: migration scan %s: %v", u.dir, err)
 			continue
 		}
-		for _, f := range append(snaps, wals...) {
+		for _, f := range append(append(snaps, wals...), marks...) {
 			if err := os.Remove(f.path); err != nil {
 				st.opts.logf("wal: migration remove %s: %v", f.path, err)
 			}
@@ -365,6 +515,15 @@ func (st *Store) rebaseline(units []*recoveryUnit, maxSeq []uint64) error {
 			// Best effort: the stray dir is empty unless a stranger file
 			// lives there, in which case it harmlessly stays.
 			os.Remove(u.dir)
+		}
+		syncDir(st.dir, st.opts)
+	}
+	if leftover != nil {
+		// The in-memory backend snapshotted everything the extents held;
+		// the extent directory is now the superseded copy.
+		leftover.Close()
+		if err := os.RemoveAll(leftover.Root()); err != nil {
+			st.opts.logf("wal: migration remove %s: %v", leftover.Root(), err)
 		}
 		syncDir(st.dir, st.opts)
 	}
@@ -456,16 +615,16 @@ type seqFile struct {
 	path string
 }
 
-// scanDir lists a directory's snapshots and wal files in ascending
-// sequence order, removing leftover temporaries from an interrupted
-// snapshot write.
-func scanDir(dir string, opts Options) (snaps, wals []seqFile, err error) {
+// scanDir lists a directory's snapshots, wal files and seal markers in
+// ascending sequence order, removing leftover temporaries from an
+// interrupted snapshot or marker write.
+func scanDir(dir string, opts Options) (snaps, wals, marks []seqFile, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil, nil
+			return nil, nil, nil, nil
 		}
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	for _, e := range entries {
 		if e.IsDir() {
@@ -482,11 +641,14 @@ func scanDir(dir string, opts Options) (snaps, wals []seqFile, err error) {
 			wals = append(wals, seqFile{seq, path})
 		case matchSeq(name, snapPattern, &seq):
 			snaps = append(snaps, seqFile{seq, path})
+		case matchSeq(name, markPattern, &seq):
+			marks = append(marks, seqFile{seq, path})
 		}
 	}
 	sort.Slice(wals, func(i, j int) bool { return wals[i].seq < wals[j].seq })
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq < snaps[j].seq })
-	return snaps, wals, nil
+	sort.Slice(marks, func(i, j int) bool { return marks[i].seq < marks[j].seq })
+	return snaps, wals, marks, nil
 }
 
 // matchSeq parses a sequence-numbered file name against a
@@ -520,50 +682,67 @@ func matchSeq(name, pattern string, seq *uint64) bool {
 // sequence number seen (snapshot or wal).
 func recoverDir(dir string, db *tsdb.Archive, opts Options) (RecoverStats, uint64, error) {
 	var stats RecoverStats
-	snaps, wals, err := scanDir(dir, opts)
+	snaps, wals, marks, err := scanDir(dir, opts)
 	if err != nil {
 		return stats, 0, err
 	}
-	if len(snaps)+len(wals) == 0 {
+	if len(snaps)+len(wals)+len(marks) == 0 {
 		return stats, 0, nil
 	}
 	stats.Dirs = 1
 
-	// Load the newest snapshot that parses cleanly; older generations
-	// only survive in the directory after a crash mid-compaction, and a
-	// half-written one is skipped the same way (with a loud warning).
 	maxSeq := uint64(0)
-	loaded := false
-	for i := len(snaps) - 1; i >= 0; i-- {
-		sn := snaps[i]
-		if sn.seq > maxSeq {
-			maxSeq = sn.seq
+	for _, f := range append(append(append([]seqFile(nil), snaps...), wals...), marks...) {
+		if f.seq > maxSeq {
+			maxSeq = f.seq
 		}
-		if loaded {
-			continue
-		}
-		n, err := loadSnapshot(sn.path, db)
-		if err != nil {
-			opts.logf("wal: snapshot %s unreadable, trying older: %v", filepath.Base(sn.path), err)
-			continue
-		}
-		loaded = true
-		stats.SnapshotSeries = n
 	}
+	stats.SnapshotSeries = loadNewestSnapshot(snaps, db, opts)
 
 	// Replay every wal file in sequence order. Files at or below the
 	// snapshot's sequence are normally deleted by compaction; if a crash
 	// kept them around, the per-record index check skips everything the
 	// snapshot already covers.
 	for _, wf := range wals {
-		if wf.seq > maxSeq {
-			maxSeq = wf.seq
-		}
-		if err := replayFile(wf.path, wf.seq, db, &stats, opts); err != nil {
+		if err := replayFile(wf.path, wf.seq, db, &stats, opts, nil); err != nil {
 			return stats, maxSeq, err
 		}
 	}
 	return stats, maxSeq, nil
+}
+
+// loadNewestSnapshot loads the newest snapshot generation that parses
+// cleanly into db, returning how many series it held. Older
+// generations only survive in a directory after a crash mid-
+// compaction, and a half-written one is skipped the same way (with a
+// loud warning).
+func loadNewestSnapshot(snaps []seqFile, db *tsdb.Archive, opts Options) int {
+	for i := len(snaps) - 1; i >= 0; i-- {
+		n, err := loadSnapshot(snaps[i].path, db)
+		if err != nil {
+			opts.logf("wal: snapshot %s unreadable, trying older: %v", filepath.Base(snaps[i].path), err)
+			continue
+		}
+		return n
+	}
+	return 0
+}
+
+// writeMarker records that every wal record through seq has been sealed
+// into the extent store: temporary file, fsync, atomic rename,
+// directory fsync — the same protocol as a snapshot write, because the
+// marker carries the same "wal files ≤ seq are deletable" meaning.
+func writeMarker(dir string, seq uint64, opts Options) error {
+	final := filepath.Join(dir, fmt.Sprintf(markPattern, seq))
+	err := fsutil.WriteFileAtomic(final, func(w io.Writer) error {
+		_, werr := io.WriteString(w, walMagic)
+		return werr
+	})
+	if err != nil {
+		return err
+	}
+	syncDir(dir, opts)
+	return nil
 }
 
 // loadSnapshot reads a snapshot into db in one pass. db is empty on
@@ -589,33 +768,11 @@ func loadSnapshot(path string, db *tsdb.Archive) (int, error) {
 // temporary file, fsync, atomic rename, directory fsync.
 func writeSnapshot(dir string, seq uint64, db *tsdb.Archive, names []string, opts Options) error {
 	final := filepath.Join(dir, fmt.Sprintf(snapPattern, seq))
-	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	err := fsutil.WriteFileAtomic(final, func(w io.Writer) error {
+		_, werr := db.WriteSeriesTo(w, names)
+		return werr
+	})
 	if err != nil {
-		return err
-	}
-	bw := bufio.NewWriterSize(f, 1<<16)
-	if _, err := db.WriteSeriesTo(bw, names); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
 		return err
 	}
 	syncDir(dir, opts)
@@ -626,8 +783,10 @@ func writeSnapshot(dir string, seq uint64, db *tsdb.Archive, names []string, opt
 // tail in place so the next boot replays it cleanly. wantSeq is the
 // sequence the file name claims; a header that disagrees means the file
 // was renamed or restored out of place, and replaying it in this
-// position would interleave segments out of order.
-func replayFile(path string, wantSeq uint64, db *tsdb.Archive, stats *RecoverStats, opts Options) error {
+// position would interleave segments out of order. seen, when non-nil,
+// observes every parsed record's series name (the extent-backed flow
+// uses it to notice records routed under a different shard count).
+func replayFile(path string, wantSeq uint64, db *tsdb.Archive, stats *RecoverStats, opts Options, seen func(name string)) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -681,6 +840,9 @@ func replayFile(path string, wantSeq uint64, db *tsdb.Archive, stats *RecoverSta
 			// for inspection and stop replaying it.
 			opts.logf("wal: %s: unparseable record, stopping replay of this file: %v", filepath.Base(path), err)
 			return nil
+		}
+		if seen != nil {
+			seen(rec.name)
 		}
 		s, _, err := db.GetOrCreate(rec.name, rec.eps, rec.constant)
 		if err != nil {

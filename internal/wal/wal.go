@@ -37,6 +37,8 @@ import (
 
 	"github.com/pla-go/pla/internal/core"
 	"github.com/pla-go/pla/internal/encode"
+	"github.com/pla-go/pla/internal/fsutil"
+	"github.com/pla-go/pla/internal/tsdb/mmapstore"
 )
 
 // ShardIndex hashes a series name onto n partitions (FNV-1a). It is the
@@ -106,6 +108,13 @@ const (
 	snapPattern = "snap-%08d.plaa"
 	walMagic    = "PLAW"
 	walVersion  = byte(1)
+
+	// markPattern names a shard's seal markers under the mmap extent
+	// backend: `seal-<seq>.mark` records that every wal record through
+	// seq has been sealed into the series' extent files, playing the
+	// role the snapshot file plays for the in-memory backend (it is the
+	// compaction fence the wal files ≤ seq are deleted behind).
+	markPattern = "seal-%08d.mark"
 )
 
 // Record payload flags.
@@ -127,6 +136,17 @@ type Options struct {
 	// once their end time falls more than Retain behind the series' own
 	// newest covered time. Zero keeps everything.
 	Retain float64
+	// Extents, when set, is the mmap extent store backing the archive's
+	// series (the db passed to Open must have been built over it with
+	// tsdb.NewWithNamedStore). Recovery then pre-populates the archive
+	// from the sealed extents and replays only the wal tail, and
+	// compaction seals tails into new extents behind a seal marker
+	// instead of writing snapshot files. When nil but a previous run
+	// left an extent directory behind, Open migrates its contents into
+	// ordinary snapshots — and the reverse: with Extents set, leftover
+	// snapshot files migrate into sealed extents. Both one-shot, both
+	// crash-idempotent.
+	Extents *mmapstore.Dir
 	// Logf, when set, receives one line per recovery or compaction event.
 	Logf func(format string, args ...any)
 }
@@ -550,16 +570,9 @@ func takeFloats(p []byte, n int) ([]float64, []byte, error) {
 }
 
 // syncDir fsyncs a directory so renames and creates inside it are
-// durable. Failures are logged, not fatal: some filesystems reject
-// directory fsync and the data files themselves are already synced.
+// durable (see fsutil.SyncDir for why failures only log).
 func syncDir(dir string, opts Options) {
-	d, err := os.Open(dir)
-	if err != nil {
-		opts.logf("wal: sync dir: %v", err)
-		return
-	}
-	if err := d.Sync(); err != nil {
-		opts.logf("wal: sync dir: %v", err)
-	}
-	d.Close()
+	fsutil.SyncDir(dir, func(format string, args ...any) {
+		opts.logf("wal: "+format, args...)
+	})
 }
