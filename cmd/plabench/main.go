@@ -8,6 +8,7 @@
 //	plabench -server-bench [-server-clients 8,64] [-server-points 20000,2500]
 //	         [-server-rounds 5] [-server-shards 8]
 //	         [-server-sync mem,interval,always] [-o BENCH.json]
+//	plabench -server-agg [-server-agg-segments 85000] [-o AGG.json]
 //
 // -quick shrinks the synthetic workloads for a fast smoke run; the
 // canonical numbers in EXPERIMENTS.md come from the default sizes.
@@ -45,9 +46,18 @@ func main() {
 		srvStore   = flag.String("server-store", "mem", "comma-separated store backends for -server-bench: mem, mmap (mmap skips the sync=mem row)")
 		srvLag     = flag.String("server-lag", "", "comma-separated m_max_lag bounds for the lag-bounded -server-bench workload (0 = unbounded; empty disables)")
 		srvLagEps  = flag.String("server-lag-eps", "0.1,0.5,2", "comma-separated ε values swept per -server-lag bound")
+		srvAgg     = flag.Bool("server-agg", false, "measure the AGG pushdown vs SCAN-and-fold on a week-scale range and exit")
+		srvAggSegs = flag.Int("server-agg-segments", 85000, "archive size in segments for -server-agg")
 		out        = flag.String("o", "", "write the -server-bench snapshot as JSON to this file")
 	)
 	flag.Parse()
+
+	if *srvAgg {
+		if err := aggBench(*srvAggSegs, *srvRounds, *srvShards, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *srvBench {
 		if err := serverBench(*srvClients, *srvPoints, *srvRounds, *srvShards, *srvSync, *srvStore, *srvLag, *srvLagEps, *out); err != nil {

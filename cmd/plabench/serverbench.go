@@ -4,15 +4,18 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"github.com/pla-go/pla/internal/core"
 	"github.com/pla-go/pla/internal/encode"
 	"github.com/pla-go/pla/internal/loadgen"
 	"github.com/pla-go/pla/internal/server"
+	"github.com/pla-go/pla/internal/sketch"
 	"github.com/pla-go/pla/internal/tsdb"
 	"github.com/pla-go/pla/internal/wal"
 )
@@ -55,6 +58,19 @@ type ServerBenchResult struct {
 	// O(map + replay tail) start shows against the snapshot decode.
 	RecoverSeconds    float64 `json:"recover_seconds,omitempty"`
 	RecoveredSegments int     `json:"recovered_segments,omitempty"`
+	// RecoverSegmentsPerS is RecoveredSegments/RecoverSeconds — the
+	// recovery throughput, comparable across backends and data sizes.
+	RecoverSegmentsPerS float64 `json:"recover_segments_per_s,omitempty"`
+
+	// Aggregate-pushdown fields (Bench "ServerAgg"): wall time for a
+	// week-scale range aggregate answered by the AGG pushdown vs the
+	// same answer assembled by SCAN-and-fold, and the speedup between
+	// them. Windows counts the summary blocks that covered the range —
+	// the O(segments/window + sketch) evidence.
+	AggSeconds  float64 `json:"agg_seconds,omitempty"`
+	ScanSeconds float64 `json:"scan_seconds,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
+	Windows     int64   `json:"windows,omitempty"`
 }
 
 // serverBench measures the concurrent network-ingest path (via the shared
@@ -108,7 +124,8 @@ func serverBench(clientsList, pointsList string, rounds, shards int, syncModes, 
 				}
 				cold := ""
 				if res.RecoverSeconds > 0 {
-					cold = fmt.Sprintf(", cold start %.6fs for %d segments", res.RecoverSeconds, res.RecoveredSegments)
+					cold = fmt.Sprintf(", cold start %.6fs for %d segments (%.0f segments/s)",
+						res.RecoverSeconds, res.RecoveredSegments, res.RecoverSegmentsPerS)
 				}
 				fmt.Printf("server ingest [%s/%s]: %d clients × %d points in %.6fs (%.0f points/s, %.1fx byte compression%s)\n",
 					store, mode, clients, points, res.Seconds, res.PointsPerS, res.ByteRatio, cold)
@@ -232,6 +249,169 @@ func lagBench(clients, points, rounds, shards int, lagList, lagEpsList string) (
 		}
 	}
 	return results, nil
+}
+
+// aggBench proves the read-path cost claim on the live server: a
+// week-scale range aggregate over an archive of ~segTarget segments is
+// answered by the AGG pushdown in O(summary windows + edge segments) —
+// one line on the wire — while the SCAN-and-fold baseline ships every
+// overlapping segment to the client and folds O(points) reconstruction
+// samples. The bench cross-checks the two answers (same count, same
+// extrema) before trusting either timing, runs the pushdown once
+// un-timed so both sides measure steady state, and reports the speedup.
+func aggBench(segTarget, rounds, shards int, outPath string) error {
+	const (
+		seriesN = 8
+		perSeg  = 8    // points per synthetic segment
+		segSpan = 56.0 // seconds a segment covers (dt = 8s)
+		segStep = 63.0 // segment spacing (7s gaps keep samples distinct)
+	)
+	if segTarget < seriesN || rounds < 1 || shards < 1 {
+		return fmt.Errorf("server-agg needs ≥%d segments, ≥1 rounds and shards", seriesN)
+	}
+	perSeries := segTarget / seriesN
+	db := tsdb.New()
+	for si := 0; si < seriesN; si++ {
+		sr, err := db.Create(fmt.Sprintf("agg-%d", si), []float64{0.25}, false)
+		if err != nil {
+			return err
+		}
+		segs := make([]core.Segment, perSeries)
+		v := float64(si)
+		for i := range segs {
+			t0 := float64(i) * segStep
+			v2 := v + 3*math.Sin(0.05*float64(i)+float64(si)) // deterministic drift
+			segs[i] = core.Segment{
+				T0: t0, T1: t0 + segSpan,
+				X0: []float64{v}, X1: []float64{v2},
+				Points: perSeg,
+			}
+			v = v2
+		}
+		if err := sr.Append(segs...); err != nil {
+			return err
+		}
+		sr.SetPoints(perSeries * perSeg)
+	}
+
+	s, err := server.New(db, server.Config{Shards: shards, QueueDepth: 4096})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go s.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	q, err := server.DialQuery(ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer q.Close()
+
+	t0, t1 := 0.0, float64(perSeries)*segStep+1
+	warm, err := q.Agg("sum", "*", 0, t0, t1) // builds + memoizes the windows
+	if err != nil {
+		return err
+	}
+
+	// SCAN-and-fold baseline: every segment over the wire, every sample
+	// folded — the only way to answer before the pushdown existed.
+	var scanBest = time.Duration(1<<63 - 1)
+	var foldSum float64
+	var foldCount int64
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		var sum float64
+		var count int64
+		for si := 0; si < seriesN; si++ {
+			segs, err := q.Scan(fmt.Sprintf("agg-%d", si), t0, t1)
+			if err != nil {
+				return err
+			}
+			for _, seg := range segs {
+				lo, hi, _, _, ok := sketch.SegRange(seg, 0, t0, t1)
+				if !ok {
+					continue
+				}
+				for i := lo; i <= hi; i++ {
+					var f float64
+					if seg.Points > 1 {
+						f = float64(i) / float64(seg.Points-1)
+					}
+					sum += seg.X0[0] + f*(seg.X1[0]-seg.X0[0])
+					count++
+				}
+			}
+		}
+		if el := time.Since(start); el < scanBest {
+			scanBest, foldSum, foldCount = el, sum, count
+		}
+	}
+
+	var aggBest = time.Duration(1<<63 - 1)
+	var res server.AggValue
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		res, err = q.Agg("sum", "*", 0, t0, t1)
+		if err != nil {
+			return err
+		}
+		if el := time.Since(start); el < aggBest {
+			aggBest = el
+		}
+	}
+	if res.Count != foldCount {
+		return fmt.Errorf("pushdown counted %d samples, SCAN-and-fold %d", res.Count, foldCount)
+	}
+	if diff := math.Abs(res.Value - foldSum); diff > 1e-6*math.Max(1, math.Abs(foldSum)) {
+		return fmt.Errorf("pushdown sum %v vs fold %v", res.Value, foldSum)
+	}
+
+	total := seriesN * perSeries * perSeg
+	speedup := scanBest.Seconds() / aggBest.Seconds()
+	fmt.Printf("server agg pushdown: %d segments (%d points, %.1f-day range): AGG %.6fs vs SCAN-and-fold %.6fs — %.0fx (%d summary windows, count %d, warm count %d)\n",
+		seriesN*perSeries, total, (t1-t0)/86400, aggBest.Seconds(), scanBest.Seconds(), speedup,
+		res.Windows, res.Count, warm.Count)
+	if outPath == "" {
+		return nil
+	}
+	row := []ServerBenchResult{{
+		Bench:       "ServerAgg",
+		Sync:        "mem",
+		Store:       "mem",
+		Clients:     seriesN,
+		PointsEach:  perSeries * perSeg,
+		Rounds:      rounds,
+		Shards:      shards,
+		TotalPoints: total,
+		Segments:    int64(seriesN * perSeries),
+		Seconds:     aggBest.Seconds(),
+		AggSeconds:  aggBest.Seconds(),
+		ScanSeconds: scanBest.Seconds(),
+		Speedup:     speedup,
+		Windows:     int64(res.Windows),
+	}}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(row); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote snapshot to %s\n", outPath)
+	return nil
 }
 
 // parseList splits a comma-separated list, parsing each trimmed
@@ -379,6 +559,9 @@ func serverBenchMode(clients, points, rounds, shards int, mode, store string) (S
 			if sr, err := s2.DB().Get(name); err == nil {
 				result.RecoveredSegments += sr.Len()
 			}
+		}
+		if result.RecoverSeconds > 0 {
+			result.RecoverSegmentsPerS = float64(result.RecoveredSegments) / result.RecoverSeconds
 		}
 		ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel2()

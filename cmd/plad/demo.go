@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -226,6 +227,54 @@ func runDemo(w io.Writer, cfg server.Config, clients, points, maxLag int) error 
 	if lagged > 0 {
 		fmt.Fprintf(w, "\n%d lag-bounded sessions (m=%d) drained staleness-free ✓\n", lagged, maxLag)
 	}
+
+	// Segment-native pushdown: AGG and QUANTILE answer from summary
+	// windows plus closed-form edge segments, never a per-point fold.
+	// Check their composed bands against the generated ground truth.
+	var windows int
+	for _, sn := range fleet {
+		t0, t1 := sn.signal[0].T, sn.signal[len(sn.signal)-1].T
+		cnt, err := q.Agg("count", sn.name, 0, t0, t1)
+		if err != nil {
+			return fmt.Errorf("%s: AGG count: %w", sn.name, err)
+		}
+		mn, err := q.Agg("min", sn.name, 0, t0, t1)
+		if err != nil {
+			return err
+		}
+		mx, err := q.Agg("max", sn.name, 0, t0, t1)
+		if err != nil {
+			return err
+		}
+		med, err := q.Quantiles(sn.name, 0, t0, t1, 0.5)
+		if err != nil {
+			return fmt.Errorf("%s: QUANTILE: %w", sn.name, err)
+		}
+		vals := make([]float64, len(sn.signal))
+		trueMin, trueMax := math.Inf(1), math.Inf(-1)
+		for i, p := range sn.signal {
+			vals[i] = p.X[0]
+			trueMin = math.Min(trueMin, p.X[0])
+			trueMax = math.Max(trueMax, p.X[0])
+		}
+		sort.Float64s(vals)
+		trueMed := vals[(len(vals)-1)/2]
+		if cnt.Count != int64(len(sn.signal)) ||
+			trueMin < mn.Lo()-1e-9 || trueMax > mx.Hi()+1e-9 ||
+			trueMed < med[0].Lo-1e-9 || trueMed > med[0].Hi+1e-9 {
+			violations++
+		}
+		windows += cnt.Windows
+	}
+	fleetCnt, err := q.Agg("count", "*", 0, 0, math.MaxFloat64)
+	if err != nil {
+		return fmt.Errorf("AGG count *: %w", err)
+	}
+	if fleetCnt.Count != int64(clients*points) {
+		return fmt.Errorf("fan-out AGG counted %d samples, fleet sent %d", fleetCnt.Count, clients*points)
+	}
+	fmt.Fprintf(w, "pushdown AGG/QUANTILE bands verified over %d series (fan-out count %d, %d summary windows, %d segments) ✓\n",
+		len(fleet), fleetCnt.Count, windows, fleetCnt.Segments)
 
 	// Detach the archive contents before Shutdown: under the mmap
 	// backend the drain unmaps the extent files, so the comparison

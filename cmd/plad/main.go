@@ -77,6 +77,8 @@ func main() {
 		syncPolicy   = flag.String("sync", "interval", "WAL fsync policy with -data-dir: always (ack-after-fsync), interval, off")
 		syncEvery    = flag.Duration("sync-every", 50*time.Millisecond, "background WAL flush/fsync cadence for -sync interval|off")
 		compactBytes = flag.Int64("compact-bytes", 64<<20, "snapshot+truncate a shard's WAL when its tail exceeds this many bytes")
+		commitLinger = flag.Duration("commit-linger", 5*time.Millisecond, "group-commit linger ceiling: how long a shard's committer may wait for more session barriers to share one fsync (negative = never linger)")
+		commitBatch  = flag.Int("commit-max-batch", 0, "stop lingering once a commit batch holds this many barriers (0 = no bound)")
 		retain       = flag.Float64("retain", 0, "retention window in stream-time units; compaction drops older segments (0 = keep everything)")
 		httpAddr     = flag.String("http", "", "serve /metrics and /healthz on this address (empty = disabled)")
 		demo         = flag.Bool("demo", false, "run the loopback self-check demo and exit")
@@ -92,6 +94,8 @@ func main() {
 		DataDir:        *dataDir,
 		SyncEvery:      *syncEvery,
 		CompactBytes:   *compactBytes,
+		CommitLinger:   *commitLinger,
+		CommitMaxBatch: *commitBatch,
 		RetainSegments: *retain,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "plad: "+format+"\n", args...)

@@ -1,0 +1,219 @@
+// Package query is the segment-native query engine: it plans a
+// time-range aggregate or quantile query over the archive as sealed
+// summary blocks plus walked edge/tail segments (tsdb's pushdown
+// decomposition), fans multi-series queries out concurrently, and
+// merges the partial answers in sorted-name order so every reply is
+// deterministic down to the byte whatever the storage backend, cache
+// state, or execution interleaving.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/pla-go/pla/internal/sketch"
+	"github.com/pla-go/pla/internal/tsdb"
+)
+
+// All is the series name that fans a query out over every series in the
+// archive.
+const All = "*"
+
+// Engine answers range queries against one archive and keeps the
+// pushdown counters the server exports. It is safe for concurrent use.
+type Engine struct {
+	db *tsdb.Archive
+
+	aggQueries      atomic.Int64
+	quantileQueries atomic.Int64
+	cachedWindows   atomic.Int64
+	builtWindows    atomic.Int64
+	walkedSegments  atomic.Int64
+}
+
+// New returns an engine over db.
+func New(db *tsdb.Archive) *Engine { return &Engine{db: db} }
+
+// Counters is a point-in-time snapshot of the engine's lifetime
+// counters: how many pushdown queries ran and how their ranges were
+// covered (summary windows served from a cache, windows built on
+// demand, segments folded one by one).
+type Counters struct {
+	AggQueries      int64
+	QuantileQueries int64
+	CachedWindows   int64
+	BuiltWindows    int64
+	WalkedSegments  int64
+}
+
+// Counters snapshots the engine's counters.
+func (e *Engine) Counters() Counters {
+	return Counters{
+		AggQueries:      e.aggQueries.Load(),
+		QuantileQueries: e.quantileQueries.Load(),
+		CachedWindows:   e.cachedWindows.Load(),
+		BuiltWindows:    e.builtWindows.Load(),
+		WalkedSegments:  e.walkedSegments.Load(),
+	}
+}
+
+func (e *Engine) record(stats tsdb.PushdownStats) {
+	e.cachedWindows.Add(int64(stats.CachedWindows))
+	e.builtWindows.Add(int64(stats.BuiltWindows))
+	e.walkedSegments.Add(int64(stats.WalkedSegments))
+}
+
+// AggResult is one answered aggregate query.
+type AggResult struct {
+	// Agg holds the exact closed-form statistics of the canonical
+	// reconstruction over the range (joined over every queried series).
+	Agg sketch.Agg
+	// Epsilon is the reconstruction's precision: the max filter ε of
+	// the contributing series in the queried dimension.
+	Epsilon float64
+	// Stale is the worst staleness among the contributing series.
+	Stale int
+	// Series is how many series contributed data.
+	Series int
+	// Stats reports how the ranges were covered.
+	Stats tsdb.PushdownStats
+}
+
+// QuantilesResult is one answered quantile query.
+type QuantilesResult struct {
+	// Quantiles holds one answer per requested q, each with a band the
+	// true quantile is guaranteed inside.
+	Quantiles []sketch.Quantile
+	// Epsilon, Stale, Series and Stats are as in AggResult.
+	Epsilon float64
+	Stale   int
+	Series  int
+	Stats   tsdb.PushdownStats
+}
+
+// Aggregate answers min/max/sum/count/avg over [t0, t1] in dimension
+// dim for the named series, or joined across every series when name is
+// All. Per-series answers are computed concurrently and folded in
+// sorted-name order (Join is exact, so the fold order only matters for
+// byte-stable floating-point association).
+func (e *Engine) Aggregate(name string, dim int, t0, t1 float64) (AggResult, error) {
+	e.aggQueries.Add(1)
+	res := AggResult{}
+	err := e.fanout(name,
+		func(sr *tsdb.Series) (any, tsdb.PushdownStats, error) {
+			ans, err := sr.RangeAgg(dim, t0, t1)
+			return ans, ans.Stats, err
+		},
+		func(sr *tsdb.Series, v any) {
+			ans := v.(tsdb.AggAnswer)
+			res.Agg.Join(ans.Agg)
+			res.Epsilon = math.Max(res.Epsilon, ans.Epsilon)
+			if st := sr.Staleness(); st > res.Stale {
+				res.Stale = st
+			}
+			res.Series++
+		}, &res.Stats)
+	if err != nil {
+		return AggResult{}, err
+	}
+	if res.Series == 0 {
+		return AggResult{}, fmt.Errorf("%w in [%v, %v]", tsdb.ErrNoData, t0, t1)
+	}
+	return res, nil
+}
+
+// Quantiles answers the given quantiles over [t0, t1] in dimension dim
+// for the named series, or over the union of every series' samples when
+// name is All. Summaries merge in sorted-name order (a strict left
+// fold), and the band widening uses the worst contributing filter ε, so
+// the composed guarantee holds across series with different contracts.
+func (e *Engine) Quantiles(name string, dim int, t0, t1 float64, qs []float64) (QuantilesResult, error) {
+	e.quantileQueries.Add(1)
+	for _, q := range qs {
+		if math.IsNaN(q) || q < 0 || q > 1 {
+			return QuantilesResult{}, fmt.Errorf("query: quantile %v outside [0, 1]", q)
+		}
+	}
+	res := QuantilesResult{}
+	merged := &sketch.Summary{}
+	err := e.fanout(name,
+		func(sr *tsdb.Series) (any, tsdb.PushdownStats, error) {
+			sum, stats, err := sr.RangeSummary(dim, t0, t1)
+			return sum, stats, err
+		},
+		func(sr *tsdb.Series, v any) {
+			merged = sketch.Merge(merged, v.(*sketch.Summary))
+			res.Epsilon = math.Max(res.Epsilon, sr.Epsilon()[dim])
+			if st := sr.Staleness(); st > res.Stale {
+				res.Stale = st
+			}
+			res.Series++
+		}, &res.Stats)
+	if err != nil {
+		return QuantilesResult{}, err
+	}
+	if res.Series == 0 || merged.N() == 0 {
+		return QuantilesResult{}, fmt.Errorf("%w in [%v, %v]", tsdb.ErrNoData, t0, t1)
+	}
+	res.Quantiles = tsdb.AnswerQuantiles(merged, res.Epsilon, qs)
+	return res, nil
+}
+
+// fanout plans the query: resolve the queried series, run compute on
+// each — concurrently for All, since every series' pushdown takes only
+// its own lock — then merge the partial answers strictly in sorted-name
+// order so the reply bytes never depend on goroutine interleaving. A
+// series with no data in range contributes nothing; any other error
+// aborts the query.
+func (e *Engine) fanout(name string,
+	compute func(*tsdb.Series) (any, tsdb.PushdownStats, error),
+	merge func(*tsdb.Series, any), stats *tsdb.PushdownStats) error {
+	type part struct {
+		sr  *tsdb.Series
+		val any
+		st  tsdb.PushdownStats
+		err error
+	}
+	var parts []part
+	if name != All {
+		sr, err := e.db.Get(name)
+		if err != nil {
+			return err
+		}
+		parts = []part{{sr: sr}}
+		parts[0].val, parts[0].st, parts[0].err = compute(sr)
+	} else {
+		names := e.db.Names() // sorted
+		parts = make([]part, 0, len(names))
+		for _, n := range names {
+			if sr, err := e.db.Get(n); err == nil {
+				parts = append(parts, part{sr: sr})
+			} // else: dropped between Names and Get
+		}
+		var wg sync.WaitGroup
+		for i := range parts {
+			wg.Add(1)
+			go func(p *part) {
+				defer wg.Done()
+				p.val, p.st, p.err = compute(p.sr)
+			}(&parts[i])
+		}
+		wg.Wait()
+	}
+	for i := range parts {
+		p := &parts[i]
+		stats.Add(p.st)
+		e.record(p.st)
+		if p.err != nil {
+			if name == All && errors.Is(p.err, tsdb.ErrNoData) {
+				continue
+			}
+			return p.err
+		}
+		merge(p.sr, p.val)
+	}
+	return nil
+}

@@ -1,0 +1,378 @@
+package query
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/gen"
+	"github.com/pla-go/pla/internal/sketch"
+	"github.com/pla-go/pla/internal/tsdb"
+	"github.com/pla-go/pla/internal/tsdb/mmapstore"
+)
+
+// shapes are the oracle workloads: one signal per paper-style stream
+// family, each long enough to cross several summary windows.
+func shapes(n int) map[string][]core.Point {
+	return map[string][]core.Point{
+		"walk":   gen.RandomWalk(gen.WalkConfig{N: n, P: 0.5, MaxDelta: 0.6, Seed: 11}),
+		"steps":  gen.Steps(n, 40, 3.5, 12),
+		"spikes": gen.Spikes(n, 97, 25, 13),
+		"sine":   gen.Sine(n, 10, 480, 0.2, 14),
+	}
+}
+
+func ingestShapes(t *testing.T, db *tsdb.Archive, eps float64, n int) map[string][]core.Point {
+	t.Helper()
+	sigs := shapes(n)
+	for name, sig := range sigs {
+		f, err := core.NewSlide([]float64{eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Ingest(name, f, sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sigs
+}
+
+// foldOracle reconstructs the canonical samples of every stored segment
+// in range — the SCAN-and-fold reference the pushdown must agree with.
+func foldOracle(sr *tsdb.Series, dim int, t0, t1 float64) (agg sketch.Agg, vals []float64) {
+	for _, seg := range sr.Segments() {
+		lo, hi, _, _, ok := sketch.SegRange(seg, dim, t0, t1)
+		if !ok {
+			continue
+		}
+		a := sketch.Agg{Min: math.Inf(1), Max: math.Inf(-1), Segments: 1,
+			Covered: math.Min(seg.T1, t1) - math.Max(seg.T0, t0)}
+		for i := lo; i <= hi; i++ {
+			var f float64
+			if seg.Points > 1 {
+				f = float64(i) / float64(seg.Points-1)
+			}
+			v := seg.X0[dim] + f*(seg.X1[dim]-seg.X0[dim])
+			a.Min = math.Min(a.Min, v)
+			a.Max = math.Max(a.Max, v)
+			a.Sum += v
+			a.Count++
+			vals = append(vals, v)
+		}
+		agg.Join(a)
+	}
+	return agg, vals
+}
+
+func exactQuantile(sorted []float64, q float64) float64 {
+	i := int(math.Round(q * float64(len(sorted)-1)))
+	return sorted[i]
+}
+
+// TestAggregateMatchesOracle checks, per shape, that the engine's
+// aggregate equals the SCAN-and-fold reference over the reconstruction
+// and sits within the composed ±ε of the raw signal's statistics.
+func TestAggregateMatchesOracle(t *testing.T) {
+	const eps = 0.5
+	db := tsdb.New()
+	sigs := ingestShapes(t, db, eps, 3000)
+	e := New(db)
+	rng := rand.New(rand.NewSource(5))
+	for name, sig := range sigs {
+		sr, err := db.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 25; trial++ {
+			end := sig[len(sig)-1].T
+			t0 := rng.Float64() * end
+			t1 := t0 + rng.Float64()*(end-t0)
+			if trial == 0 {
+				t0, t1 = math.Inf(-1), math.Inf(1)
+			}
+			got, err := e.Aggregate(name, 0, t0, t1)
+			want, _ := foldOracle(sr, 0, t0, t1)
+			if want.Segments == 0 {
+				if !errors.Is(err, tsdb.ErrNoData) {
+					t.Fatalf("%s trial %d: want ErrNoData, got %v", name, trial, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", name, trial, err)
+			}
+			g := got.Agg
+			if g.Min != want.Min || g.Max != want.Max || g.Count != want.Count || g.Segments != want.Segments {
+				t.Fatalf("%s trial %d [%v,%v]: got %+v want %+v", name, trial, t0, t1, g, want)
+			}
+			if math.Abs(g.Sum-want.Sum) > 1e-6*math.Max(1, math.Abs(want.Sum)) {
+				t.Fatalf("%s trial %d: sum %v vs %v", name, trial, g.Sum, want.Sum)
+			}
+			// Composed bound against the raw signal over the full range:
+			// the reconstruction's extremes and mean are within ±ε.
+			if trial == 0 {
+				rawMin, rawMax, rawSum := math.Inf(1), math.Inf(-1), 0.0
+				for _, p := range sig {
+					rawMin = math.Min(rawMin, p.X[0])
+					rawMax = math.Max(rawMax, p.X[0])
+					rawSum += p.X[0]
+				}
+				if g.Count != float64(len(sig)) {
+					t.Fatalf("%s: reconstruction count %v, raw %d", name, g.Count, len(sig))
+				}
+				const tiny = 1e-9
+				if math.Abs(g.Min-rawMin) > eps+tiny || math.Abs(g.Max-rawMax) > eps+tiny {
+					t.Fatalf("%s: min/max %v/%v beyond ±ε of raw %v/%v", name, g.Min, g.Max, rawMin, rawMax)
+				}
+				if math.Abs(g.Mean()-rawSum/float64(len(sig))) > eps+tiny {
+					t.Fatalf("%s: mean %v beyond ±ε of raw %v", name, g.Mean(), rawSum/float64(len(sig)))
+				}
+			}
+		}
+	}
+}
+
+// TestQuantilesWithinComposedBand checks, per shape, that both the
+// reconstruction's and the raw signal's exact quantiles fall inside the
+// reported bands (the raw one needs the full composed band; the
+// reconstruction fits the unwidened sketch band).
+func TestQuantilesWithinComposedBand(t *testing.T) {
+	const eps = 0.5
+	db := tsdb.New()
+	sigs := ingestShapes(t, db, eps, 3000)
+	e := New(db)
+	qs := []float64{0, 0.05, 0.25, 0.5, 0.75, 0.95, 1}
+	rng := rand.New(rand.NewSource(7))
+	for name, sig := range sigs {
+		sr, err := db.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 15; trial++ {
+			end := sig[len(sig)-1].T
+			t0 := rng.Float64() * end / 2
+			t1 := t0 + rng.Float64()*(end-t0)
+			full := trial == 0
+			if full {
+				t0, t1 = math.Inf(-1), math.Inf(1)
+			}
+			res, err := e.Quantiles(name, 0, t0, t1, qs)
+			_, vals := foldOracle(sr, 0, t0, t1)
+			if len(vals) == 0 {
+				if !errors.Is(err, tsdb.ErrNoData) {
+					t.Fatalf("%s trial %d: want ErrNoData, got %v", name, trial, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", name, trial, err)
+			}
+			sort.Float64s(vals)
+			var raw []float64
+			if full {
+				for _, p := range sig {
+					raw = append(raw, p.X[0])
+				}
+				sort.Float64s(raw)
+			}
+			const tiny = 1e-9
+			for i, q := range qs {
+				ans := res.Quantiles[i]
+				truth := exactQuantile(vals, q)
+				// The sketch band before ε widening must already hold the
+				// reconstruction's quantile.
+				if truth < ans.Lo+res.Epsilon-tiny || truth > ans.Hi-res.Epsilon+tiny {
+					t.Fatalf("%s trial %d q=%v: reconstruction quantile %v outside sketch band [%v, %v]",
+						name, trial, q, truth, ans.Lo+res.Epsilon, ans.Hi-res.Epsilon)
+				}
+				// The composed band must hold the raw signal's quantile:
+				// same count, pointwise ±ε ⇒ sorted sequences pointwise ±ε.
+				if full {
+					rawTruth := exactQuantile(raw, q)
+					if rawTruth < ans.Lo-tiny || rawTruth > ans.Hi+tiny {
+						t.Fatalf("%s q=%v: raw quantile %v outside composed band [%v, %v]",
+							name, q, rawTruth, ans.Lo, ans.Hi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFanoutAll checks the all-series plan: the joined aggregate equals
+// the in-order fold of per-series answers, the pooled quantile band
+// holds the pooled truth, and the result is stable across repeated runs
+// (the concurrent fan-out must not leak scheduling into the answer).
+func TestFanoutAll(t *testing.T) {
+	const eps = 0.5
+	db := tsdb.New()
+	ingestShapes(t, db, eps, 1200)
+	e := New(db)
+
+	var want sketch.Agg
+	var pooled []float64
+	for _, name := range db.Names() {
+		sr, err := db.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg, vals := foldOracle(sr, 0, math.Inf(-1), math.Inf(1))
+		want.Join(agg)
+		pooled = append(pooled, vals...)
+	}
+	sort.Float64s(pooled)
+
+	first, err := e.Aggregate(All, 0, math.Inf(-1), math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Series != 4 {
+		t.Fatalf("Series = %d, want 4", first.Series)
+	}
+	g := first.Agg
+	if g.Min != want.Min || g.Max != want.Max || g.Count != want.Count || g.Segments != want.Segments {
+		t.Fatalf("fanout agg %+v, want %+v", g, want)
+	}
+	for run := 0; run < 10; run++ {
+		again, err := e.Aggregate(All, 0, math.Inf(-1), math.Inf(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Agg != first.Agg || again.Epsilon != first.Epsilon {
+			t.Fatalf("run %d: fanout answer changed: %+v vs %+v", run, again.Agg, first.Agg)
+		}
+	}
+
+	qs := []float64{0, 0.5, 0.95, 1}
+	qr, err := e.Quantiles(All, 0, math.Inf(-1), math.Inf(1), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		truth := exactQuantile(pooled, q)
+		const tiny = 1e-9
+		if truth < qr.Quantiles[i].Lo+qr.Epsilon-tiny || truth > qr.Quantiles[i].Hi-qr.Epsilon+tiny {
+			t.Fatalf("q=%v: pooled quantile %v outside band [%v, %v]",
+				q, truth, qr.Quantiles[i].Lo, qr.Quantiles[i].Hi)
+		}
+	}
+	for run := 0; run < 10; run++ {
+		again, err := e.Quantiles(All, 0, math.Inf(-1), math.Inf(1), qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range qs {
+			if again.Quantiles[i] != qr.Quantiles[i] {
+				t.Fatalf("run %d: fanout quantile changed: %+v vs %+v", run, again.Quantiles[i], qr.Quantiles[i])
+			}
+		}
+	}
+}
+
+// TestMemMmapParity runs identical content through the heap store and
+// the sealed mmap store (fresh and reopened) and requires bit-identical
+// answers — the backend must never show through a query.
+func TestMemMmapParity(t *testing.T) {
+	const eps = 0.5
+	memDB := tsdb.New()
+	sigs := ingestShapes(t, memDB, eps, 3000)
+	root := filepath.Join(t.TempDir(), "ext")
+
+	mm, err := mmapstore.Open(root, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmapDB := tsdb.NewWithNamedStore(mm.Store)
+	for name, sig := range sigs {
+		f, err := core.NewSlide([]float64{eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := mmapDB.Ingest(name, f, sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sr.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	check := func(t *testing.T, other *tsdb.Archive) {
+		t.Helper()
+		em, eo := New(memDB), New(other)
+		qs := []float64{0, 0.25, 0.5, 0.9, 1}
+		names := append(memDB.Names(), All)
+		rng := rand.New(rand.NewSource(23))
+		for _, name := range names {
+			for trial := 0; trial < 10; trial++ {
+				t0 := rng.Float64() * 2000
+				t1 := t0 + rng.Float64()*(3000-t0)
+				a1, err1 := em.Aggregate(name, 0, t0, t1)
+				a2, err2 := eo.Aggregate(name, 0, t0, t1)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("%s [%v,%v]: agg err %v vs %v", name, t0, t1, err1, err2)
+				}
+				if err1 == nil && (a1.Agg != a2.Agg || a1.Epsilon != a2.Epsilon || a1.Series != a2.Series) {
+					t.Fatalf("%s [%v,%v]: agg %+v vs %+v", name, t0, t1, a1, a2)
+				}
+				q1, err1 := em.Quantiles(name, 0, t0, t1, qs)
+				q2, err2 := eo.Quantiles(name, 0, t0, t1, qs)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("%s [%v,%v]: quantile err %v vs %v", name, t0, t1, err1, err2)
+				}
+				if err1 != nil {
+					continue
+				}
+				for i := range qs {
+					if q1.Quantiles[i] != q2.Quantiles[i] {
+						t.Fatalf("%s [%v,%v] q=%v: %+v vs %+v", name, t0, t1, qs[i], q1.Quantiles[i], q2.Quantiles[i])
+					}
+				}
+			}
+		}
+	}
+	t.Run("sealed", func(t *testing.T) { check(t, mmapDB) })
+
+	// Reopen from disk: sidecars load from their files now.
+	mm.Close()
+	mm2, err := mmapstore.Open(root, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mm2.Close()
+	reDB := tsdb.NewWithNamedStore(mm2.Store)
+	if n, err := mm2.LoadInto(reDB); err != nil || n != 4 {
+		t.Fatalf("LoadInto: %d series, %v", n, err)
+	}
+	t.Run("reopened", func(t *testing.T) { check(t, reDB) })
+}
+
+// TestEngineErrors covers the rejection paths.
+func TestEngineErrors(t *testing.T) {
+	db := tsdb.New()
+	e := New(db)
+	if _, err := e.Aggregate("nope", 0, 0, 1); err == nil {
+		t.Fatal("unknown series accepted")
+	}
+	if _, err := e.Aggregate(All, 0, 0, 1); !errors.Is(err, tsdb.ErrNoData) {
+		t.Fatalf("empty archive fanout: %v", err)
+	}
+	ingestShapes(t, db, 0.5, 200)
+	if _, err := e.Quantiles("walk", 0, 0, 100, []float64{1.5}); err == nil {
+		t.Fatal("out-of-range quantile accepted")
+	}
+	if _, err := e.Aggregate("walk", 0, 1e9, 2e9); !errors.Is(err, tsdb.ErrNoData) {
+		t.Fatalf("empty range: %v", err)
+	}
+	if _, err := e.Aggregate(All, 0, 1e9, 2e9); !errors.Is(err, tsdb.ErrNoData) {
+		t.Fatalf("empty range fanout: %v", err)
+	}
+	c := e.Counters()
+	if c.AggQueries == 0 || c.QuantileQueries == 0 {
+		t.Fatalf("counters not advancing: %+v", c)
+	}
+}

@@ -130,9 +130,22 @@ func TestStoreBackendQueryParity(t *testing.T) {
 				"MIN "+name+" 0 3 900",
 				"MAX "+name+" 0 3 900",
 				"LAG "+name,
+				"AGG min "+name+" 0 0 100000",
+				"AGG max "+name+" 0 3 900",
+				"AGG avg "+name+" 0 0 100000",
+				"AGG sum "+name+" 0 0 100000",
+				"AGG count "+name+" 0 0 100000",
+				"QUANTILE "+name+" 0 0 100000 0 0.25 0.5 0.9 1",
 			)
 		}
 	}
+	// The fan-out pushdown path: joined over every series, byte-stable
+	// whatever the backend or goroutine interleaving.
+	cmds = append(cmds,
+		"AGG min * 0 0 100000",
+		"AGG sum * 0 0 100000",
+		"QUANTILE * 0 0 100000 0.1 0.5 0.99",
+	)
 
 	compare := func(stage string) {
 		want := rawQuery(t, insts[0].addr, cmds)

@@ -349,6 +349,107 @@ func (q *QueryClient) aggregate(op, series string, dim int, t0, t1 float64) (Agg
 	return agg, nil
 }
 
+// AggValue is one AGG answer: a segment-native pushdown statistic with
+// its composed precision bound (±Bound contains the statistic of the
+// original samples; 0 for count, which is exact) and the coverage
+// accounting that proves the pushdown — Windows summary blocks answered
+// wholesale, Segments contributing segments, never a per-point fold.
+type AggValue struct {
+	Value float64
+	Bound float64
+	// Count is the number of original samples in range.
+	Count int64
+	// Segments is the number of contributing segments.
+	Segments int
+	// Windows is how many precomputed summary blocks covered the range.
+	Windows int
+	// Stale is the worst contributing series' staleness at query time.
+	Stale int64
+}
+
+// Lo returns Value − Bound, the band's lower edge.
+func (a AggValue) Lo() float64 { return a.Value - a.Bound }
+
+// Hi returns Value + Bound, the band's upper edge.
+func (a AggValue) Hi() float64 { return a.Value + a.Bound }
+
+// Agg answers a pushdown range aggregate — op is "min", "max", "avg",
+// "sum" or "count" — for one series, or joined across every series when
+// series is "*".
+func (q *QueryClient) Agg(op, series string, dim int, t0, t1 float64) (AggValue, error) {
+	if series != "*" {
+		if err := validateName(series); err != nil {
+			return AggValue{}, err
+		}
+	}
+	fields, err := q.do(fmt.Sprintf("AGG %s %s %d %s %s", op, series, dim, floatWord(t0), floatWord(t1)))
+	if err != nil {
+		return AggValue{}, err
+	}
+	if len(fields) != 6 {
+		return AggValue{}, fmt.Errorf("%w: AGG reply %q", ErrProtocol, fields)
+	}
+	vals, err := parseFloats(fields[:2])
+	if err != nil {
+		return AggValue{}, err
+	}
+	var n [4]int64
+	for i, f := range fields[2:] {
+		if n[i], err = strconv.ParseInt(f, 10, 64); err != nil {
+			return AggValue{}, fmt.Errorf("%w: AGG reply %q", ErrProtocol, fields)
+		}
+	}
+	return AggValue{
+		Value: vals[0], Bound: vals[1], Count: n[0],
+		Segments: int(n[1]), Windows: int(n[2]), Stale: n[3],
+	}, nil
+}
+
+// QuantileValue is one QUANTILE answer row: the q-quantile of the
+// reconstruction with a [Lo, Hi] band guaranteed to contain the true
+// quantile of the original samples (rank uncertainty, sketch slack and
+// the ingest filter's ±ε composed).
+type QuantileValue struct {
+	Q, Value, Lo, Hi float64
+	Stale            int64
+}
+
+// Quantiles answers the given quantiles (each in [0, 1]) for one
+// series, or over the union of every series' samples when series is
+// "*".
+func (q *QueryClient) Quantiles(series string, dim int, t0, t1 float64, qs ...float64) ([]QuantileValue, error) {
+	if series != "*" {
+		if err := validateName(series); err != nil {
+			return nil, err
+		}
+	}
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("%w: no quantiles requested", ErrProtocol)
+	}
+	items, err := q.doMulti(fmt.Sprintf("QUANTILE %s %d %s %s%s",
+		series, dim, floatWord(t0), floatWord(t1), floatsWord(qs)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]QuantileValue, 0, len(items))
+	for _, it := range items {
+		f := strings.Fields(it)
+		if len(f) != 5 {
+			return nil, fmt.Errorf("%w: quantile row %q", ErrProtocol, it)
+		}
+		vals, err := parseFloats(f[:4])
+		if err != nil {
+			return nil, err
+		}
+		stale, err := strconv.ParseInt(f[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: quantile row %q", ErrProtocol, it)
+		}
+		out = append(out, QuantileValue{Q: vals[0], Value: vals[1], Lo: vals[2], Hi: vals[3], Stale: stale})
+	}
+	return out, nil
+}
+
 // LagInfo is a series' freshness accounting as reported by LAG.
 type LagInfo struct {
 	// Consumed is the high-water of samples the series has represented,

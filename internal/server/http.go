@@ -72,4 +72,19 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		func(sm ShardMetrics) int64 { return sm.LagPoints })
 	counter("plad_shard_lag_updates_total", "Provisional max-lag receiver updates applied.",
 		func(sm ShardMetrics) int64 { return sm.LagUpdates })
+
+	// Query-engine pushdown counters: how AGG/QUANTILE ranges were
+	// covered. cached+built windows vs walked segments is the
+	// pushdown-vs-scan ratio — a healthy read path answers mostly from
+	// summary windows (sidecars and memos), walking only range edges
+	// and unsealed tails.
+	qc := s.engine.Counters()
+	emitc := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	emitc("plad_query_agg_total", "AGG pushdown queries answered.", qc.AggQueries)
+	emitc("plad_query_quantile_total", "QUANTILE pushdown queries answered.", qc.QuantileQueries)
+	emitc("plad_query_windows_cached_total", "Summary windows served from a cache (mmap sidecar or series memo).", qc.CachedWindows)
+	emitc("plad_query_windows_built_total", "Summary windows built from segments on demand.", qc.BuiltWindows)
+	emitc("plad_query_segments_walked_total", "Segments folded individually (range edges, partial windows, unsealed tails).", qc.WalkedSegments)
 }

@@ -1,0 +1,327 @@
+package server
+
+import (
+	"context"
+	"io/fs"
+	"math"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/gen"
+	"github.com/pla-go/pla/internal/sketch"
+	"github.com/pla-go/pla/internal/wal"
+)
+
+// startDurable launches a durable server over the given backend with New
+// building the archive (required for mmap), on an ephemeral loopback
+// port. Shutdown is the caller's job — the pushdown acceptance test
+// restarts servers mid-test.
+func startDurable(t *testing.T, dir string, backend StoreBackend) (*Server, string) {
+	t.Helper()
+	s, err := New(nil, Config{Shards: 2, DataDir: dir, StoreBackend: backend, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	return s, ln.Addr().String()
+}
+
+func stopServer(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// streamPoints runs one complete ingest session for name.
+func streamPoints(t *testing.T, addr, name string, eps float64, pts []core.Point) {
+	t.Helper()
+	f, err := core.NewSlide([]float64{eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr, name, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Rejected != 0 || ack.Dropped != 0 {
+		t.Fatalf("%s: ack %+v, want clean", name, ack)
+	}
+}
+
+// scanFold is the SCAN-and-fold reference: every sample of the served
+// reconstruction (provisional tail included), folded brute-force.
+func scanFold(t *testing.T, q *QueryClient, name string, t0, t1 float64) (agg sketch.Agg, vals []float64) {
+	t.Helper()
+	segs, err := q.Scan(name, t0, t1)
+	if err != nil {
+		t.Fatalf("SCAN %s: %v", name, err)
+	}
+	agg.Min, agg.Max = math.Inf(1), math.Inf(-1)
+	for _, seg := range segs {
+		lo, hi, _, _, ok := sketch.SegRange(seg, 0, t0, t1)
+		if !ok {
+			continue
+		}
+		agg.Segments++
+		for i := lo; i <= hi; i++ {
+			var f float64
+			if seg.Points > 1 {
+				f = float64(i) / float64(seg.Points-1)
+			}
+			v := seg.X0[0] + f*(seg.X1[0]-seg.X0[0])
+			agg.Min = math.Min(agg.Min, v)
+			agg.Max = math.Max(agg.Max, v)
+			agg.Sum += v
+			agg.Count++
+			vals = append(vals, v)
+		}
+	}
+	sort.Float64s(vals)
+	return agg, vals
+}
+
+// checkAgainstFold asserts every AGG op and a quantile spread against
+// the SCAN-and-fold reference, and returns the answers for later
+// byte-stability comparison. The pushdown computes the same closed-form
+// statistics the fold enumerates, so min/max/count must match exactly
+// and sum to float association slack; quantile bands must contain the
+// fold's order statistics.
+func checkAgainstFold(t *testing.T, q *QueryClient, name string, t0, t1 float64,
+	agg sketch.Agg, vals []float64) ([]AggValue, []QuantileValue) {
+	t.Helper()
+	var aggs []AggValue
+	for _, op := range []string{"min", "max", "avg", "sum", "count"} {
+		res, err := q.Agg(op, name, 0, t0, t1)
+		if err != nil {
+			t.Fatalf("AGG %s %s: %v", op, name, err)
+		}
+		var want float64
+		switch op {
+		case "min":
+			want = agg.Min
+		case "max":
+			want = agg.Max
+		case "avg":
+			want = agg.Sum / agg.Count
+		case "sum":
+			want = agg.Sum
+		case "count":
+			want = agg.Count
+		}
+		slack := 1e-9 * math.Max(1, math.Abs(want))
+		if math.Abs(res.Value-want) > slack {
+			t.Fatalf("AGG %s %s = %v, fold reference %v", op, name, res.Value, want)
+		}
+		if res.Count != int64(agg.Count) {
+			t.Fatalf("AGG %s %s count %d, fold counted %v samples", op, name, res.Count, agg.Count)
+		}
+		aggs = append(aggs, res)
+	}
+	qs := []float64{0, 0.25, 0.5, 0.75, 0.9, 1}
+	rows, err := q.Quantiles(name, 0, t0, t1, qs...)
+	if err != nil {
+		t.Fatalf("QUANTILE %s: %v", name, err)
+	}
+	if len(rows) != len(qs) {
+		t.Fatalf("QUANTILE %s: %d rows, want %d", name, len(rows), len(qs))
+	}
+	for i, row := range rows {
+		ref := vals[int(math.Round(qs[i]*float64(len(vals)-1)))]
+		if ref < row.Lo-1e-9 || ref > row.Hi+1e-9 {
+			t.Fatalf("QUANTILE %s q=%v: fold reference %v outside band [%v, %v]",
+				name, qs[i], ref, row.Lo, row.Hi)
+		}
+		if row.Value < row.Lo || row.Value > row.Hi {
+			t.Fatalf("QUANTILE %s q=%v: value %v outside its own band [%v, %v]",
+				name, qs[i], row.Value, row.Lo, row.Hi)
+		}
+	}
+	return aggs, rows
+}
+
+// TestPushdownAcceptance is the subsystem's server-level acceptance
+// loop on the mmap backend: AGG and QUANTILE over a range spanning
+// sealed extents (compacted mid-ingest), the unsealed post-compaction
+// tail, and a lag-bounded session's provisional points, all checked
+// against a SCAN-and-fold reference; then a restart (answers identical,
+// sketch sidecars recovered) and a restart with every sidecar corrupted
+// (answers still identical through the rebuild fallback).
+func TestPushdownAcceptance(t *testing.T) {
+	const eps = 0.25
+	dir := t.TempDir()
+	s, addr := startDurable(t, dir, BackendMmap)
+
+	sigA := gen.Sine(6000, 10, 480, 0.3, 7)
+	sigB := gen.RandomWalk(gen.WalkConfig{N: 6000, P: 0.5, MaxDelta: 0.6, Seed: 8})
+
+	// Sealed part: ingest, then compact so the mmap backend seals
+	// extents (and writes their sketch sidecars).
+	streamPoints(t, addr, "a", eps, sigA[:5000])
+	streamPoints(t, addr, "b", eps, sigB[:5000])
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Unsealed tail: finalized segments the compaction never saw.
+	streamPoints(t, addr, "a", eps, sigA[5000:])
+	streamPoints(t, addr, "b", eps, sigB[5000:])
+
+	// Provisional tail: a lag-bounded session on a quiet ramp keeps one
+	// interval open forever; only provisional updates cover it.
+	cl, err := DialSpec(addr, "lag", FilterSpec{Kind: "swing", Epsilon: []float64{eps}, MaxLag: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 800; i++ {
+		if err := cl.Send(core.Point{T: float64(i), X: []float64{0.001 * float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := DialQuery(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, 5*time.Second, func() (bool, string) {
+		info, err := q.Lag("lag")
+		if err != nil {
+			return false, "LAG lag: " + err.Error()
+		}
+		if info.Pending == 0 {
+			return false, "the lag session never surfaced provisional coverage"
+		}
+		return true, ""
+	})
+
+	const t0, t1 = 0.0, 1e6
+	foldA, valsA := scanFold(t, q, "a", t0, t1)
+	foldB, valsB := scanFold(t, q, "b", t0, t1)
+	foldL, valsL := scanFold(t, q, "lag", t0, t1)
+	if foldL.Count == 0 {
+		t.Fatal("the provisional tail contributed no samples to the reference")
+	}
+
+	aggA, _ := checkAgainstFold(t, q, "a", t0, t1, foldA, valsA)
+	checkAgainstFold(t, q, "b", t0, t1, foldB, valsB)
+	checkAgainstFold(t, q, "lag", t0, t1, foldL, valsL)
+
+	// The fan-out answer must match the pooled fold.
+	var foldAll sketch.Agg
+	foldAll.Join(foldA)
+	foldAll.Join(foldB)
+	foldAll.Join(foldL)
+	valsAll := append(append(append([]float64(nil), valsA...), valsB...), valsL...)
+	sort.Float64s(valsAll)
+	checkAgainstFold(t, q, "*", t0, t1, foldAll, valsAll)
+
+	// The sealed prefix is thousands of segments: the range must have
+	// been answered through summary windows, not a per-segment walk.
+	if aggA[0].Windows == 0 {
+		t.Fatalf("AGG over %d sealed segments used no summary windows", aggA[0].Segments)
+	}
+
+	// Answers over the finalized series must be byte-stable across a
+	// restart (floats round-trip 'g'/-1, so struct equality is byte
+	// equality of the protocol). The lag series' provisional tail is
+	// transient wire state and legitimately gone after a restart.
+	collect := func(q *QueryClient) (out []AggValue, rows [][]QuantileValue) {
+		for _, name := range []string{"a", "b"} {
+			for _, op := range []string{"min", "max", "avg", "sum", "count"} {
+				res, err := q.Agg(op, name, 0, t0, t1)
+				if err != nil {
+					t.Fatalf("AGG %s %s: %v", op, name, err)
+				}
+				out = append(out, res)
+			}
+			r, err := q.Quantiles(name, 0, t0, t1, 0.1, 0.5, 0.99)
+			if err != nil {
+				t.Fatalf("QUANTILE %s: %v", name, err)
+			}
+			rows = append(rows, r)
+		}
+		return out, rows
+	}
+	wantAggs, wantRows := collect(q)
+	q.Close()
+
+	// End the lag session before draining — an open ingest session
+	// blocks shutdown by design.
+	if _, err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stopServer(t, s)
+	s2, addr2 := startDurable(t, dir, BackendMmap)
+	q2, err := DialQuery(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAggs, gotRows := collect(q2)
+	if !reflect.DeepEqual(gotAggs, wantAggs) || !reflect.DeepEqual(gotRows, wantRows) {
+		t.Fatalf("answers changed across restart:\n got %+v %+v\nwant %+v %+v", gotAggs, gotRows, wantAggs, wantRows)
+	}
+	q2.Close()
+	stopServer(t, s2)
+
+	// Corrupt every sketch sidecar on disk. The store must drop them at
+	// open and the engine must rebuild the windows from segments — same
+	// answers, different path.
+	corrupted := 0
+	err = filepath.WalkDir(wal.ExtentDir(dir), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".sum") {
+			return err
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		raw[len(raw)/2] ^= 0xff
+		corrupted++
+		return os.WriteFile(path, raw, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupted == 0 {
+		t.Fatal("no sketch sidecars on disk — sealing never wrote them")
+	}
+
+	s3, addr3 := startDurable(t, dir, BackendMmap)
+	defer stopServer(t, s3)
+	q3, err := DialQuery(addr3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q3.Close()
+	gotAggs, gotRows = collect(q3)
+	if !reflect.DeepEqual(gotAggs, wantAggs) || !reflect.DeepEqual(gotRows, wantRows) {
+		t.Fatalf("fallback answers differ from sidecar answers:\n got %+v %+v\nwant %+v %+v", gotAggs, gotRows, wantAggs, wantRows)
+	}
+	c := s3.Engine().Counters()
+	if c.BuiltWindows == 0 {
+		t.Fatal("with every sidecar corrupt the engine still claims cached windows only")
+	}
+}

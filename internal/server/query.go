@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/pla-go/pla/internal/query"
 	"github.com/pla-go/pla/internal/tsdb"
 )
 
@@ -20,6 +21,8 @@ import (
 //	AT <series> <t>              → "OK v0 v1 ..." | "ERR no data ..."
 //	MEAN <series> <dim> <t0> <t1> → "OK value eps covered segments stale"
 //	MIN / MAX (same shape)       → "OK value eps covered segments stale"
+//	AGG <op> <series|*> <dim> <t0> <t1> → "OK value bound count segments windows stale"
+//	QUANTILE <series|*> <dim> <t0> <t1> <q>... → items "q value lo hi stale"
 //	SCAN <series> <t0> <t1>      → items "t0 t1 connected points provisional x0... x1..."
 //	LAG <series>                 → "OK consumed final pending stale bound"
 //	METRICS                      → items "shard segments points rejected dropped bytes qlen qcap lagsess lagpts lagupd"
@@ -32,6 +35,18 @@ import (
 // still sitting on an open interval. LAG breaks the same accounting
 // out in full: samples consumed, finally covered, provisionally
 // covered, the staleness, and the last advertised m_max_lag bound.
+//
+// AGG and QUANTILE are the segment-native pushdown commands
+// (internal/query): they answer from precomputed per-window summaries
+// plus closed-form edge segments — O(windows + edge segments), never
+// O(points) — and accept "*" as the series to fold every series into
+// one answer. AGG's op is min, max, avg, sum or count; the reply's
+// bound field is the op's composed precision (±ε for min/max/avg,
+// ±ε·count for sum, 0 for count), windows is how many summary blocks
+// covered the range, and count is the number of original samples. Each
+// QUANTILE row's [lo, hi] band is guaranteed to contain the true
+// quantile of the original samples — rank uncertainty, sketch slack,
+// and the ingest filter's ±ε are all composed in.
 //
 // Reply widening: the staleness extension appended fields to the
 // aggregate replies (4 → 5), METRICS rows (8 → 11) and SCAN rows (the
@@ -160,6 +175,78 @@ func (s *Server) query(w *bufio.Writer, cmd string, args []string) {
 		}
 		fmt.Fprintf(w, "OK %s %s %s %d %d\n",
 			floatWord(res.Value), floatWord(res.Epsilon), floatWord(res.Covered), res.Segments, sr.Staleness())
+	case "AGG":
+		if len(args) != 5 {
+			fmt.Fprintf(w, "ERR want AGG op series dim t0 t1, got %d args\n", len(args))
+			return
+		}
+		op := strings.ToLower(args[0])
+		if !validAggOp(op) {
+			fmt.Fprintf(w, "ERR unknown aggregate %q (want min, max, avg, sum or count)\n", args[0])
+			return
+		}
+		dim, err := strconv.Atoi(args[2])
+		if err != nil {
+			fmt.Fprintf(w, "ERR bad dim %q\n", args[2])
+			return
+		}
+		t0, err0 := strconv.ParseFloat(args[3], 64)
+		t1, err1 := strconv.ParseFloat(args[4], 64)
+		if err0 != nil || err1 != nil {
+			fmt.Fprintf(w, "ERR bad range %q %q\n", args[3], args[4])
+			return
+		}
+		res, err := s.engine.Aggregate(args[1], dim, t0, t1)
+		if err != nil {
+			if errors.Is(err, tsdb.ErrNoData) {
+				fmt.Fprintf(w, "ERR no data in [%v, %v]\n", t0, t1)
+			} else {
+				fmt.Fprintf(w, "ERR %v\n", err)
+			}
+			return
+		}
+		val, bound := aggValue(res, op)
+		fmt.Fprintf(w, "OK %s %s %d %d %d %d\n",
+			floatWord(val), floatWord(bound), int64(res.Agg.Count), res.Agg.Segments,
+			res.Stats.CachedWindows+res.Stats.BuiltWindows, res.Stale)
+	case "QUANTILE":
+		if len(args) < 5 {
+			fmt.Fprintf(w, "ERR want QUANTILE series dim t0 t1 q..., got %d args\n", len(args))
+			return
+		}
+		dim, err := strconv.Atoi(args[1])
+		if err != nil {
+			fmt.Fprintf(w, "ERR bad dim %q\n", args[1])
+			return
+		}
+		t0, err0 := strconv.ParseFloat(args[2], 64)
+		t1, err1 := strconv.ParseFloat(args[3], 64)
+		if err0 != nil || err1 != nil {
+			fmt.Fprintf(w, "ERR bad range %q %q\n", args[2], args[3])
+			return
+		}
+		qs := make([]float64, len(args[4:]))
+		for i, a := range args[4:] {
+			if qs[i], err = strconv.ParseFloat(a, 64); err != nil {
+				fmt.Fprintf(w, "ERR bad quantile %q\n", a)
+				return
+			}
+		}
+		res, err := s.engine.Quantiles(args[0], dim, t0, t1, qs)
+		if err != nil {
+			if errors.Is(err, tsdb.ErrNoData) {
+				fmt.Fprintf(w, "ERR no data in [%v, %v]\n", t0, t1)
+			} else {
+				fmt.Fprintf(w, "ERR %v\n", err)
+			}
+			return
+		}
+		fmt.Fprintln(w, "OK")
+		for _, ans := range res.Quantiles {
+			fmt.Fprintf(w, "%s %s %s %s %d\n",
+				floatWord(ans.Q), floatWord(ans.Value), floatWord(ans.Lo), floatWord(ans.Hi), res.Stale)
+		}
+		fmt.Fprintln(w, ".")
 	case "SCAN":
 		sr, rest, err := s.queriedSeries(args, 2)
 		if err != nil {
@@ -200,6 +287,35 @@ func (s *Server) queriedSeries(args []string, want int) (*tsdb.Series, []string,
 		return nil, nil, err
 	}
 	return sr, args[1:], nil
+}
+
+// validAggOp reports whether op names an AGG statistic.
+func validAggOp(op string) bool {
+	switch op {
+	case "min", "max", "avg", "sum", "count":
+		return true
+	}
+	return false
+}
+
+// aggValue extracts the requested statistic from a pushdown answer,
+// along with its composed precision bound: min/max/avg carry the
+// contributing series' worst per-sample ±ε, sum scales it by the sample
+// count, and count is exact.
+func aggValue(res query.AggResult, op string) (val, bound float64) {
+	a := res.Agg
+	switch op {
+	case "min":
+		return a.Min, res.Epsilon
+	case "max":
+		return a.Max, res.Epsilon
+	case "avg":
+		return a.Mean(), res.Epsilon
+	case "sum":
+		return a.Sum, res.Epsilon * a.Count
+	default: // count
+		return a.Count, 0
+	}
 }
 
 func floatWord(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/pla-go/pla/internal/encode"
+	"github.com/pla-go/pla/internal/query"
 	"github.com/pla-go/pla/internal/tsdb"
 	"github.com/pla-go/pla/internal/tsdb/mmapstore"
 	"github.com/pla-go/pla/internal/wal"
@@ -93,6 +94,21 @@ type Config struct {
 	// SyncEvery is the background flush/fsync cadence for the interval
 	// policies (default 50ms).
 	SyncEvery time.Duration
+	// CommitLinger caps the group-commit linger: how long a shard's
+	// committer waits for more session barriers to join one fsync. The
+	// linger itself adapts to the observed commit cost (an EWMA of ~8×
+	// the last fsync); this is its ceiling. Default 5ms; negative
+	// disables lingering entirely, so every barrier batch commits as
+	// soon as the committer picks it up.
+	CommitLinger time.Duration
+	// CommitMaxBatch, when positive, ends the linger early once a batch
+	// holds that many barriers — a bound on the extra ack latency a
+	// session pays waiting for company. Already-queued batches are still
+	// folded in opportunistically, so one commit can acknowledge more
+	// than CommitMaxBatch barriers; the bound only stops the committer
+	// from waiting for further ones. Zero (the default) leaves batch
+	// growth to the linger alone.
+	CommitMaxBatch int
 	// CompactBytes triggers snapshot+truncate compaction of a shard when
 	// that shard's WAL tail grows past it (default 64 MiB; negative
 	// disables automatic compaction). Each shard compacts independently:
@@ -119,6 +135,11 @@ func (c Config) withDefaults() Config {
 	if c.CompactBytes == 0 {
 		c.CompactBytes = 64 << 20
 	}
+	if c.CommitLinger == 0 {
+		c.CommitLinger = 5 * time.Millisecond
+	} else if c.CommitLinger < 0 {
+		c.CommitLinger = 0
+	}
 	return c
 }
 
@@ -127,6 +148,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg    Config
 	db     *tsdb.Archive
+	engine *query.Engine
 	shards []*shard
 	store  *wal.Store     // nil without a DataDir
 	mm     *mmapstore.Dir // nil unless StoreBackend is BackendMmap
@@ -177,6 +199,7 @@ func New(db *tsdb.Archive, cfg Config) (*Server, error) {
 		db = tsdb.New()
 	}
 	s.db = db
+	s.engine = query.New(db)
 	if cfg.DataDir != "" {
 		st, stats, err := wal.Open(cfg.DataDir, cfg.Shards, db, wal.Options{
 			Policy:   cfg.Sync,
@@ -210,7 +233,7 @@ func New(db *tsdb.Archive, cfg Config) (*Server, error) {
 		if s.store != nil {
 			wsh = s.store.Shard(i)
 		}
-		s.shards[i] = newShard(i, cfg.QueueDepth, wsh, s.logf)
+		s.shards[i] = newShard(i, cfg.QueueDepth, cfg.CommitLinger, cfg.CommitMaxBatch, wsh, s.logf)
 		go s.shards[i].run()
 	}
 	if s.store != nil && cfg.CompactBytes > 0 {
@@ -289,6 +312,12 @@ func (s *Server) fenceShard(k int) {
 
 // DB returns the archive the server stores into.
 func (s *Server) DB() *tsdb.Archive { return s.db }
+
+// Engine returns the server's segment-native query engine — the planner
+// behind the AGG and QUANTILE protocol commands, exposed so embedders
+// (and plad's demo mode) can query in-process with the same pushdown
+// counters the /metrics endpoint exports.
+func (s *Server) Engine() *query.Engine { return s.engine }
 
 // Addr returns the first listener's address once Serve has been called
 // (nil before).

@@ -1,0 +1,57 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSketchMerge hammers the decode → merge → query pipeline with
+// arbitrary bytes: whatever parses must merge without panicking, keep
+// the epsNew = max(eps1, eps2) contract, and answer queries inside its
+// own band. Seeds cover empty, exact, compressed, and weighted shapes.
+func FuzzSketchMerge(f *testing.F) {
+	empty := (&Summary{}).AppendBinary(nil)
+	b := NewBuilder()
+	for i := 0; i < 300; i++ {
+		b.Add(float64(i%17)-8, 1+float64(i%3))
+	}
+	small := b.Build()
+	f.Add(empty, empty)
+	f.Add(small.AppendBinary(nil), empty)
+	f.Add(small.AppendBinary(nil), small.AppendBinary(nil))
+	f.Fuzz(func(t *testing.T, abuf, bbuf []byte) {
+		sa, _, errA := ParseSummary(abuf)
+		sb, _, errB := ParseSummary(bbuf)
+		if errA != nil || errB != nil {
+			return
+		}
+		m := Merge(sa, sb)
+		if want := math.Max(sa.Eps(), sb.Eps()); m.Eps() != want {
+			t.Fatalf("merged eps %v, want max %v", m.Eps(), want)
+		}
+		if m.N() < 0 {
+			t.Fatalf("merged n negative: %v", m.N())
+		}
+		for _, q := range []float64{0, 0.5, 1} {
+			ans := m.Query(q)
+			if m.Len() == 0 {
+				if !math.IsNaN(ans.Value) {
+					t.Fatalf("empty merge answered %v", ans.Value)
+				}
+				continue
+			}
+			if !(ans.Lo <= ans.Value && ans.Value <= ans.Hi) {
+				t.Fatalf("q=%v: estimate %v outside band [%v, %v]", q, ans.Value, ans.Lo, ans.Hi)
+			}
+		}
+		// A merged summary must survive its own round trip.
+		enc := m.AppendBinary(nil)
+		if _, _, err := ParseSummary(enc); err != nil {
+			t.Fatalf("merged summary does not re-parse: %v", err)
+		}
+		m.Compress(16)
+		if m.Len() > 17 {
+			t.Fatalf("compress(16) left %d entries", m.Len())
+		}
+	})
+}

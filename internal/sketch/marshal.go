@@ -1,0 +1,153 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary layout of one summary (little-endian, no framing — the caller
+// checksums the enclosing file):
+//
+//	eps   float64
+//	slack float64
+//	n     float64
+//	count uvarint
+//	count × { v, w, rmin, rmax float64 }
+//
+// Parsing validates the invariants a well-formed summary maintains
+// (finite fields, positive weights, ordered values, monotone
+// nondecreasing rank bounds within total weight), so a torn or
+// hand-crafted blob is rejected instead of poisoning query answers.
+
+// ErrCorrupt reports a summary blob that fails validation.
+var ErrCorrupt = errors.New("sketch: corrupt summary encoding")
+
+// maxEntries bounds how many entries ParseSummary accepts; the largest
+// legitimate summaries (an uncompressed query-edge build) stay well
+// under it.
+const maxEntries = 1 << 20
+
+// AppendBinary appends s's encoding to dst and returns the result.
+func (s *Summary) AppendBinary(dst []byte) []byte {
+	dst = appendFloat(dst, s.eps)
+	dst = appendFloat(dst, s.slack)
+	dst = appendFloat(dst, s.n)
+	dst = binary.AppendUvarint(dst, uint64(len(s.entries)))
+	for _, e := range s.entries {
+		dst = appendFloat(dst, e.V)
+		dst = appendFloat(dst, e.W)
+		dst = appendFloat(dst, e.Rmin)
+		dst = appendFloat(dst, e.Rmax)
+	}
+	return dst
+}
+
+// ParseSummary decodes one summary from the front of buf, returning the
+// rest. It fails with ErrCorrupt on any malformed or invariant-breaking
+// input.
+func ParseSummary(buf []byte) (*Summary, []byte, error) {
+	var s Summary
+	var err error
+	if s.eps, buf, err = takeFloat(buf); err != nil {
+		return nil, nil, err
+	}
+	if s.slack, buf, err = takeFloat(buf); err != nil {
+		return nil, nil, err
+	}
+	if s.n, buf, err = takeFloat(buf); err != nil {
+		return nil, nil, err
+	}
+	count, m := binary.Uvarint(buf)
+	if m <= 0 || count > maxEntries {
+		return nil, nil, fmt.Errorf("%w: entry count", ErrCorrupt)
+	}
+	buf = buf[m:]
+	if !finite(s.eps) || s.eps < 0 || !finite(s.slack) || s.slack < 0 || !finite(s.n) || s.n < 0 {
+		return nil, nil, fmt.Errorf("%w: header fields", ErrCorrupt)
+	}
+	if count == 0 {
+		return &s, buf, nil
+	}
+	s.entries = make([]Entry, count)
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.V, buf, err = takeFloat(buf); err != nil {
+			return nil, nil, err
+		}
+		if e.W, buf, err = takeFloat(buf); err != nil {
+			return nil, nil, err
+		}
+		if e.Rmin, buf, err = takeFloat(buf); err != nil {
+			return nil, nil, err
+		}
+		if e.Rmax, buf, err = takeFloat(buf); err != nil {
+			return nil, nil, err
+		}
+		if !finite(e.V) || !finite(e.W) || !finite(e.Rmin) || !finite(e.Rmax) {
+			return nil, nil, fmt.Errorf("%w: non-finite entry", ErrCorrupt)
+		}
+		if e.W <= 0 || e.Rmin < 0 || e.Rmax < e.Rmin || e.Rmax > s.n {
+			return nil, nil, fmt.Errorf("%w: rank bounds", ErrCorrupt)
+		}
+		if i > 0 {
+			prev := s.entries[i-1]
+			if e.V <= prev.V || e.Rmin < prev.Rmin || e.Rmax < prev.Rmax {
+				return nil, nil, fmt.Errorf("%w: entry order", ErrCorrupt)
+			}
+		}
+	}
+	return &s, buf, nil
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+func takeFloat(buf []byte) (float64, []byte, error) {
+	if len(buf) < 8 {
+		return 0, nil, fmt.Errorf("%w: truncated", ErrCorrupt)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf)), buf[8:], nil
+}
+
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// AppendAggBinary appends a's encoding (eight fixed fields) to dst.
+func AppendAggBinary(dst []byte, a Agg) []byte {
+	dst = appendFloat(dst, a.Min)
+	dst = appendFloat(dst, a.Max)
+	dst = appendFloat(dst, a.Sum)
+	dst = appendFloat(dst, a.Count)
+	dst = appendFloat(dst, a.Covered)
+	dst = binary.AppendUvarint(dst, uint64(a.Segments))
+	return dst
+}
+
+// ParseAgg decodes one Agg from the front of buf, returning the rest.
+func ParseAgg(buf []byte) (Agg, []byte, error) {
+	var a Agg
+	var err error
+	if a.Min, buf, err = takeFloat(buf); err != nil {
+		return a, nil, err
+	}
+	if a.Max, buf, err = takeFloat(buf); err != nil {
+		return a, nil, err
+	}
+	if a.Sum, buf, err = takeFloat(buf); err != nil {
+		return a, nil, err
+	}
+	if a.Count, buf, err = takeFloat(buf); err != nil {
+		return a, nil, err
+	}
+	if a.Covered, buf, err = takeFloat(buf); err != nil {
+		return a, nil, err
+	}
+	segs, m := binary.Uvarint(buf)
+	if m <= 0 || segs > maxEntries {
+		return a, nil, fmt.Errorf("%w: segment count", ErrCorrupt)
+	}
+	a.Segments = int(segs)
+	return a, buf[m:], nil
+}

@@ -1,0 +1,204 @@
+package sketch
+
+import (
+	"math"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// This file defines the canonical sample reconstruction of a segment
+// and the closed-form aggregates over it. A segment approximating P
+// points spanning [T0, T1] reconstructs its samples at the P uniformly
+// spaced times t_i = T0 + i·(T1−T0)/(P−1); the values along the chord
+// form an arithmetic sequence from X0 to X1, so every aggregate below
+// is exact in closed form — including at query-range edges, where the
+// covered sample indices and their partial arithmetic-series sum are
+// still O(1). Every consumer (aggregate pushdown, sketch building, the
+// SCAN-and-fold reference in tests and benches) uses this one
+// definition, which is what makes pushdown answers reproducible to the
+// byte across storage backends.
+
+// Agg is the exact closed-form aggregate of a set of reconstructed
+// samples. The zero value is the identity for Join.
+type Agg struct {
+	Min, Max float64
+	// Sum is the sum of sample values; Count the number of samples
+	// (integer-valued, so float64 accumulation stays exact).
+	Sum, Count float64
+	// Covered is the total covered time (gaps excluded).
+	Covered float64
+	// Segments is the number of contributing segments.
+	Segments int
+}
+
+// Join folds b into a. Joining onto a zero Agg yields b.
+func (a *Agg) Join(b Agg) {
+	if b.Segments == 0 {
+		return
+	}
+	if a.Segments == 0 {
+		*a = b
+		return
+	}
+	a.Min = math.Min(a.Min, b.Min)
+	a.Max = math.Max(a.Max, b.Max)
+	a.Sum += b.Sum
+	a.Count += b.Count
+	a.Covered += b.Covered
+	a.Segments += b.Segments
+}
+
+// Mean returns Sum/Count (NaN for an empty Agg).
+func (a Agg) Mean() float64 {
+	if a.Count == 0 {
+		return math.NaN()
+	}
+	return a.Sum / a.Count
+}
+
+// SegRange returns the inclusive range [lo, hi] of sample indices of
+// seg that fall inside [t0, t1], with the chord values at the two ends.
+// ok is false when no sample is covered (or Points is unset).
+func SegRange(seg core.Segment, dim int, t0, t1 float64) (lo, hi int, vlo, vhi float64, ok bool) {
+	p := seg.Points
+	if p <= 0 || seg.T1 < t0 || seg.T0 > t1 {
+		return 0, 0, 0, 0, false
+	}
+	if p == 1 || seg.T1 == seg.T0 {
+		// All samples sit at T0 (a degenerate span reconstructs X0).
+		if seg.T0 < t0 || seg.T0 > t1 {
+			return 0, 0, 0, 0, false
+		}
+		v := seg.X0[dim]
+		return 0, p - 1, v, v, true
+	}
+	dt := (seg.T1 - seg.T0) / float64(p-1)
+	lo, hi = 0, p-1
+	if t0 > seg.T0 {
+		lo = int(math.Ceil((t0 - seg.T0) / dt))
+	}
+	if t1 < seg.T1 {
+		hi = int(math.Floor((t1 - seg.T0) / dt))
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > p-1 {
+		hi = p - 1
+	}
+	if lo > hi {
+		return 0, 0, 0, 0, false
+	}
+	return lo, hi, segValue(seg, dim, lo), segValue(seg, dim, hi), true
+}
+
+// segValue returns the chord value of sample index i (0 ≤ i < Points).
+func segValue(seg core.Segment, dim, i int) float64 {
+	if seg.Points <= 1 {
+		return seg.X0[dim]
+	}
+	f := float64(i) / float64(seg.Points-1)
+	return seg.X0[dim] + f*(seg.X1[dim]-seg.X0[dim])
+}
+
+// SegAgg computes the exact aggregate of seg's samples inside [t0, t1].
+// ok is false when the segment contributes nothing. The arithmetic
+// series along the chord makes every field O(1): the partial sum of
+// samples lo..hi is (hi−lo+1)·(v_lo+v_hi)/2, and the extrema of a
+// monotone chord are its covered endpoints.
+func SegAgg(seg core.Segment, dim int, t0, t1 float64) (Agg, bool) {
+	lo, hi, vlo, vhi, ok := SegRange(seg, dim, t0, t1)
+	if !ok {
+		return Agg{}, false
+	}
+	n := float64(hi - lo + 1)
+	a := Agg{
+		Min:      math.Min(vlo, vhi),
+		Max:      math.Max(vlo, vhi),
+		Sum:      n * (vlo + vhi) / 2,
+		Count:    n,
+		Covered:  math.Min(seg.T1, t1) - math.Max(seg.T0, t0),
+		Segments: 1,
+	}
+	return a, true
+}
+
+// AddSeg folds seg's samples inside [t0, t1] into the builder. Up to
+// maxSegEntries samples are added exactly (weight 1 each); a longer
+// range is chunked into maxSegEntries weighted midpoints, and the
+// builder's Slack is widened by the worst half-chunk value span so the
+// quantile band stays sound. Reports whether anything was added.
+func AddSeg(b *Builder, seg core.Segment, dim int, t0, t1 float64) bool {
+	lo, hi, vlo, vhi, ok := SegRange(seg, dim, t0, t1)
+	if !ok {
+		return false
+	}
+	n := hi - lo + 1
+	if n <= maxSegEntries {
+		for i := lo; i <= hi; i++ {
+			b.Add(segValue(seg, dim, i), 1)
+		}
+		return true
+	}
+	step := (vhi - vlo) / float64(n-1)
+	for j := 0; j < maxSegEntries; j++ {
+		a := lo + j*n/maxSegEntries
+		z := lo + (j+1)*n/maxSegEntries - 1
+		va := vlo + float64(a-lo)*step
+		vz := vlo + float64(z-lo)*step
+		b.Add((va+vz)/2, float64(z-a+1))
+		b.widenSlack(math.Abs(vz-va) / 2)
+	}
+	return true
+}
+
+// WindowSize is the canonical summary-block width: finalized segments
+// are grouped into windows of this many, anchored at live index 0, and
+// a Block always covers exactly one window. Both storage backends build
+// (or persist and reload) bit-identical blocks for the same segment
+// sequence, which is what lets a query mix cached and recomputed
+// windows without changing its answer.
+const WindowSize = 256
+
+// Block is the precomputed summary of one canonical window of
+// finalized segments: per-dimension exact aggregates and a compressed
+// quantile summary over the window's reconstructed samples.
+type Block struct {
+	// Lo, Hi bound the window's live segment indices, [Lo, Hi); Lo is a
+	// multiple of WindowSize and Hi−Lo == WindowSize.
+	Lo, Hi int
+	// Aggs and Sketches hold one entry per dimension.
+	Aggs     []Agg
+	Sketches []*Summary
+}
+
+// Aligned reports whether the block sits on the canonical window grid.
+func (b Block) Aligned() bool {
+	return b.Lo >= 0 && b.Lo%WindowSize == 0 && b.Hi == b.Lo+WindowSize
+}
+
+// BuildBlock computes the canonical block for segments [lo, lo+W) of
+// the given dimensionality; seg returns the i-th live segment. This is
+// the one definition of a window's summary — seal-time sidecar writes,
+// the mem backend's incremental cache, and query-time fallback walks
+// all call it, so a cache hit and a recompute are indistinguishable.
+func BuildBlock(lo, dim int, seg func(i int) core.Segment) Block {
+	blk := Block{
+		Lo:       lo,
+		Hi:       lo + WindowSize,
+		Aggs:     make([]Agg, dim),
+		Sketches: make([]*Summary, dim),
+	}
+	for d := 0; d < dim; d++ {
+		b := NewBuilder()
+		for i := blk.Lo; i < blk.Hi; i++ {
+			s := seg(i)
+			if a, ok := SegAgg(s, d, math.Inf(-1), math.Inf(1)); ok {
+				blk.Aggs[d].Join(a)
+			}
+			AddSeg(b, s, d, math.Inf(-1), math.Inf(1))
+		}
+		blk.Sketches[d] = b.Build()
+	}
+	return blk
+}

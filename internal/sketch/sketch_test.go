@@ -1,0 +1,352 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// exactQuantile returns the value at rank q·n of a weighted multiset.
+func exactQuantile(vals []Entry, q float64) float64 {
+	sorted := append([]Entry(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].V < sorted[j].V })
+	total := 0.0
+	for _, e := range sorted {
+		total += e.W
+	}
+	target := q * total
+	cum := 0.0
+	for _, e := range sorted {
+		cum += e.W
+		if cum >= target {
+			return e.V
+		}
+	}
+	return sorted[len(sorted)-1].V
+}
+
+func checkBands(t *testing.T, s *Summary, vals []Entry, label string) {
+	t.Helper()
+	for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		got := s.Query(q)
+		want := exactQuantile(vals, q)
+		if !(got.Lo <= want && want <= got.Hi) {
+			t.Errorf("%s: q=%v: true %v outside band [%v, %v] (est %v)",
+				label, q, want, got.Lo, got.Hi, got.Value)
+		}
+		if got.Lo > got.Value || got.Value > got.Hi {
+			t.Errorf("%s: q=%v: estimate %v outside its own band [%v, %v]",
+				label, q, got.Value, got.Lo, got.Hi)
+		}
+	}
+}
+
+func TestSummaryExactSmall(t *testing.T) {
+	b := NewBuilder()
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		b.Add(v, 1)
+	}
+	s := b.BuildExact()
+	if s.Eps() != 0 || s.N() != 5 || s.Len() != 5 {
+		t.Fatalf("exact build: eps=%v n=%v len=%d", s.Eps(), s.N(), s.Len())
+	}
+	for q, want := range map[float64]float64{0: 1, 0.5: 3, 1: 5} {
+		if got := s.Query(q); got.Value != want {
+			t.Errorf("q=%v: got %v want %v", q, got.Value, want)
+		}
+	}
+}
+
+func TestSummaryCompressedBands(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var vals []Entry
+	b := NewBuilder()
+	for i := 0; i < 20000; i++ {
+		v := rng.NormFloat64() * 10
+		vals = append(vals, Entry{V: v, W: 1})
+		b.Add(v, 1)
+	}
+	s := b.Build()
+	if s.Len() > CompressEntries+1 {
+		t.Fatalf("compressed summary holds %d entries, want ≤ %d", s.Len(), CompressEntries+1)
+	}
+	if s.Eps() != Eps {
+		t.Fatalf("eps = %v, want %v", s.Eps(), Eps)
+	}
+	checkBands(t, s, vals, "compressed")
+}
+
+func TestSummaryWeighted(t *testing.T) {
+	b := NewBuilder()
+	vals := []Entry{{V: 1, W: 90}, {V: 100, W: 10}}
+	for _, e := range vals {
+		b.Add(e.V, e.W)
+	}
+	s := b.BuildExact()
+	if got := s.Query(0.5); got.Value != 1 {
+		t.Errorf("median of skewed weights: got %v want 1", got.Value)
+	}
+	if got := s.Query(0.95); got.Value != 100 {
+		t.Errorf("p95 of skewed weights: got %v want 100", got.Value)
+	}
+}
+
+func TestMergeEpsIsMax(t *testing.T) {
+	mk := func(seed int64, n int) (*Summary, []Entry) {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		var vals []Entry
+		for i := 0; i < n; i++ {
+			v := rng.Float64() * 1000
+			vals = append(vals, Entry{V: v, W: 1})
+			b.Add(v, 1)
+		}
+		return b.Build(), vals
+	}
+	a, va := mk(1, 5000)
+	c, vc := mk(2, 300)
+	m := Merge(a, c)
+	if want := math.Max(a.Eps(), c.Eps()); m.Eps() != want {
+		t.Fatalf("merged eps = %v, want max %v", m.Eps(), want)
+	}
+	if m.N() != a.N()+c.N() {
+		t.Fatalf("merged n = %v, want %v", m.N(), a.N()+c.N())
+	}
+	checkBands(t, m, append(va, vc...), "merged")
+}
+
+func TestMergeOrderKeepsBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var parts []*Summary
+	var all []Entry
+	for p := 0; p < 6; p++ {
+		b := NewBuilder()
+		n := 100 + rng.Intn(4000)
+		for i := 0; i < n; i++ {
+			v := rng.NormFloat64()*float64(p+1) + float64(p*3)
+			all = append(all, Entry{V: v, W: 1})
+			b.Add(v, 1)
+		}
+		parts = append(parts, b.Build())
+	}
+	fold := func(order []int) *Summary {
+		m := &Summary{}
+		for _, i := range order {
+			m = Merge(m, parts[i])
+		}
+		return m
+	}
+	left := fold([]int{0, 1, 2, 3, 4, 5})
+	rev := fold([]int{5, 4, 3, 2, 1, 0})
+	shuf := fold([]int{3, 0, 5, 1, 4, 2})
+	// Pairwise tree merge, a different association entirely.
+	tree := Merge(Merge(Merge(parts[0], parts[1]), Merge(parts[2], parts[3])),
+		Merge(parts[4], parts[5]))
+	for _, m := range []*Summary{left, rev, shuf, tree} {
+		if m.Eps() != left.Eps() {
+			t.Fatalf("merge order changed the bound: %v vs %v", m.Eps(), left.Eps())
+		}
+		if m.N() != left.N() {
+			t.Fatalf("merge order changed n: %v vs %v", m.N(), left.N())
+		}
+		checkBands(t, m, all, "order")
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	b := NewBuilder()
+	b.Add(3, 1)
+	s := b.BuildExact()
+	for _, m := range []*Summary{Merge(nil, s), Merge(s, &Summary{}), Merge(&Summary{}, s)} {
+		if m.N() != 1 || m.Query(0.5).Value != 3 {
+			t.Fatalf("merge with empty lost data: n=%v", m.N())
+		}
+	}
+	if m := Merge(nil, nil); m.N() != 0 || !math.IsNaN(m.Query(0.5).Value) {
+		t.Fatalf("merge of nils should be empty")
+	}
+}
+
+func seg(t0, t1, x0, x1 float64, points int) core.Segment {
+	return core.Segment{T0: t0, T1: t1, X0: []float64{x0}, X1: []float64{x1}, Points: points}
+}
+
+// bruteAgg folds the canonical samples one by one.
+func bruteAgg(s core.Segment, dim int, t0, t1 float64) (Agg, bool) {
+	lo, hi, _, _, ok := SegRange(s, dim, t0, t1)
+	if !ok {
+		return Agg{}, false
+	}
+	a := Agg{Min: math.Inf(1), Max: math.Inf(-1), Segments: 1,
+		Covered: math.Min(s.T1, t1) - math.Max(s.T0, t0)}
+	for i := lo; i <= hi; i++ {
+		v := segValue(s, dim, i)
+		a.Min = math.Min(a.Min, v)
+		a.Max = math.Max(a.Max, v)
+		a.Sum += v
+		a.Count++
+	}
+	return a, true
+}
+
+func TestSegAggMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		s := seg(rng.Float64()*10, 10+rng.Float64()*90,
+			rng.NormFloat64()*5, rng.NormFloat64()*5, 1+rng.Intn(200))
+		t0 := s.T0 + (rng.Float64()*1.4-0.2)*(s.T1-s.T0)
+		t1 := t0 + rng.Float64()*(s.T1-s.T0)*1.2
+		got, gok := SegAgg(s, 0, t0, t1)
+		want, wok := bruteAgg(s, 0, t0, t1)
+		if gok != wok {
+			t.Fatalf("trial %d: ok mismatch %v vs %v", trial, gok, wok)
+		}
+		if !gok {
+			continue
+		}
+		if got.Min != want.Min || got.Max != want.Max || got.Count != want.Count {
+			t.Fatalf("trial %d: agg %+v vs brute %+v", trial, got, want)
+		}
+		if math.Abs(got.Sum-want.Sum) > 1e-9*math.Max(1, math.Abs(want.Sum)) {
+			t.Fatalf("trial %d: sum %v vs brute %v", trial, got.Sum, want.Sum)
+		}
+	}
+}
+
+func TestSegAggDegenerate(t *testing.T) {
+	s := seg(5, 5, 7, 7, 3)
+	a, ok := SegAgg(s, 0, 0, 10)
+	if !ok || a.Count != 3 || a.Min != 7 || a.Max != 7 || a.Sum != 21 {
+		t.Fatalf("degenerate span: %+v ok=%v", a, ok)
+	}
+	if _, ok := SegAgg(s, 0, 6, 10); ok {
+		t.Fatalf("degenerate span outside range should not contribute")
+	}
+	if _, ok := SegAgg(seg(0, 1, 0, 1, 0), 0, 0, 1); ok {
+		t.Fatalf("zero-point segment should not contribute")
+	}
+}
+
+func TestAddSegChunkedSlack(t *testing.T) {
+	// A long steep segment must chunk, and the chunked sketch's band
+	// (widened by slack) must still contain the exact quantiles.
+	s := seg(0, 1000, 0, 1000, 5000)
+	b := NewBuilder()
+	if !AddSeg(b, s, 0, math.Inf(-1), math.Inf(1)) {
+		t.Fatal("AddSeg rejected a live segment")
+	}
+	sum := b.Build()
+	if sum.Slack() <= 0 {
+		t.Fatalf("chunked build should carry slack, got %v", sum.Slack())
+	}
+	if sum.N() != 5000 {
+		t.Fatalf("n = %v, want 5000", sum.N())
+	}
+	var vals []Entry
+	for i := 0; i < 5000; i++ {
+		vals = append(vals, Entry{V: segValue(s, 0, i), W: 1})
+	}
+	checkBands(t, sum, vals, "chunked")
+}
+
+func TestJoinIdentity(t *testing.T) {
+	var a Agg
+	b := Agg{Min: -1, Max: 2, Sum: 3, Count: 4, Covered: 5, Segments: 2}
+	a.Join(b)
+	if a != b {
+		t.Fatalf("join onto zero: %+v", a)
+	}
+	a.Join(Agg{})
+	if a != b {
+		t.Fatalf("join of zero changed value: %+v", a)
+	}
+}
+
+func TestBuildBlockDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	segs := make([]core.Segment, WindowSize)
+	tcur := 0.0
+	for i := range segs {
+		dt := 1 + rng.Float64()*10
+		segs[i] = seg(tcur, tcur+dt, rng.NormFloat64(), rng.NormFloat64(), 2+rng.Intn(50))
+		tcur += dt
+	}
+	at := func(i int) core.Segment { return segs[i] }
+	b1 := BuildBlock(0, 1, at)
+	b2 := BuildBlock(0, 1, at)
+	if !b1.Aligned() {
+		t.Fatalf("block not aligned: [%d, %d)", b1.Lo, b1.Hi)
+	}
+	if b1.Aggs[0] != b2.Aggs[0] {
+		t.Fatalf("agg not deterministic: %+v vs %+v", b1.Aggs[0], b2.Aggs[0])
+	}
+	e1 := b1.Sketches[0].AppendBinary(nil)
+	e2 := b2.Sketches[0].AppendBinary(nil)
+	if string(e1) != string(e2) {
+		t.Fatalf("sketch encoding not deterministic")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := NewBuilder()
+	for i := 0; i < 10000; i++ {
+		b.Add(rng.NormFloat64(), 1+rng.Float64())
+	}
+	s := b.Build()
+	enc := s.AppendBinary(nil)
+	got, rest, err := ParseSummary(enc)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("round trip: err=%v rest=%d", err, len(rest))
+	}
+	if got.Eps() != s.Eps() || got.N() != s.N() || got.Len() != s.Len() || got.Slack() != s.Slack() {
+		t.Fatalf("round trip changed header: %v/%v %v/%v", got.Eps(), s.Eps(), got.N(), s.N())
+	}
+	if string(got.AppendBinary(nil)) != string(enc) {
+		t.Fatalf("re-encoding differs")
+	}
+	// Truncations and bit flips must be rejected, never panic.
+	for cut := 0; cut < len(enc); cut += 7 {
+		if _, _, err := ParseSummary(enc[:cut]); err == nil && cut < len(enc)-1 {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestParseRejectsBrokenInvariants(t *testing.T) {
+	b := NewBuilder()
+	b.Add(1, 1)
+	b.Add(2, 1)
+	s := b.BuildExact()
+	good := s.AppendBinary(nil)
+	// Negative weight.
+	bad := *s
+	bad.entries = append([]Entry(nil), s.entries...)
+	bad.entries[0].W = -1
+	if _, _, err := ParseSummary(bad.AppendBinary(nil)); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	// Out-of-order values.
+	bad.entries = []Entry{s.entries[1], s.entries[0]}
+	if _, _, err := ParseSummary(bad.AppendBinary(nil)); err == nil {
+		t.Fatal("unordered values accepted")
+	}
+	if _, _, err := ParseSummary(good); err != nil {
+		t.Fatalf("good encoding rejected: %v", err)
+	}
+}
+
+func TestAggMarshalRoundTrip(t *testing.T) {
+	a := Agg{Min: -2.5, Max: 9, Sum: 12.25, Count: 7, Covered: 3.5, Segments: 4}
+	enc := AppendAggBinary(nil, a)
+	got, rest, err := ParseAgg(enc)
+	if err != nil || len(rest) != 0 || got != a {
+		t.Fatalf("agg round trip: %+v err=%v", got, err)
+	}
+	if _, _, err := ParseAgg(enc[:len(enc)-2]); err == nil {
+		t.Fatal("truncated agg accepted")
+	}
+}

@@ -44,6 +44,7 @@ import (
 
 	"github.com/pla-go/pla/internal/core"
 	"github.com/pla-go/pla/internal/fsutil"
+	"github.com/pla-go/pla/internal/sketch"
 	"github.com/pla-go/pla/internal/tsdb"
 )
 
@@ -238,6 +239,7 @@ type Store struct {
 	headDisc   bool  // the surviving sealed head lost its predecessor
 	metaPoints int   // persisted finalized sample count
 	lastSeq    uint64
+	sums       map[uint64]*sidecar // loaded sketch sidecars, by extent seq
 
 	// gen counts destructive mutations (fence drops). An in-flight
 	// two-phase seal compares it between prepare and commit: a changed
@@ -273,9 +275,19 @@ func (st *Store) open() error {
 		seq  uint64
 		path string
 	}
+	sumFiles := make(map[uint64]string)
 	for _, e := range entries {
 		var seq uint64
-		if e.IsDir() || !matchExtName(e.Name(), &seq) {
+		if e.IsDir() {
+			continue
+		}
+		if matchSumName(e.Name(), &seq) {
+			// Sidecars are claimed by their extent below; whatever is
+			// left over (out-of-window, corrupt extent, orphan) is junk.
+			sumFiles[seq] = filepath.Join(st.dir, e.Name())
+			continue
+		}
+		if !matchExtName(e.Name(), &seq) {
 			continue
 		}
 		path := filepath.Join(st.dir, e.Name())
@@ -343,6 +355,30 @@ func (st *Store) open() error {
 		st.metaPoints = 0
 	}
 	st.recount()
+	for _, e := range st.exts {
+		path, ok := sumFiles[e.seq]
+		if !ok {
+			continue
+		}
+		delete(sumFiles, e.seq)
+		sc, err := readSidecar(path, len(st.eps))
+		if err == nil && sc.count != e.count {
+			err = fmt.Errorf("mstore: sidecar covers %d records, extent holds %d", sc.count, e.count)
+		}
+		if err != nil {
+			st.d.logf("mstore: %s: dropping sketch sidecar %s: %v", st.name, filepath.Base(path), err)
+			os.Remove(path)
+			continue
+		}
+		if st.sums == nil {
+			st.sums = make(map[uint64]*sidecar)
+		}
+		st.sums[e.seq] = sc
+	}
+	for _, path := range sumFiles {
+		st.d.logf("mstore: %s: removing stray sketch sidecar %s", st.name, filepath.Base(path))
+		os.Remove(path)
+	}
 	if truncated {
 		// Persist the truncation: lastSeq rewinds to the kept prefix, so
 		// the extents after the hole are out-of-window from now on (the
@@ -362,6 +398,7 @@ func (st *Store) open() error {
 func (st *Store) reset() {
 	st.unmapAll()
 	st.exts, st.cumLive, st.tail = nil, nil, nil
+	st.sums = nil
 	st.headDisc = false
 	st.metaPoints = 0
 	st.lastSeq = 0
@@ -586,6 +623,8 @@ func (st *Store) persist(survivors, retired []*extent) {
 	}
 	st.writeMetaFor(survivors)
 	for _, e := range retired {
+		delete(st.sums, e.seq)
+		os.Remove(sidecarPath(e.path))
 		e.retire(st.d.logf)
 	}
 	syncDir(st.dir, st.d.logf)
@@ -646,7 +685,7 @@ func (st *Store) PrepareSeal(points int) (tsdb.PreparedSeal, bool) {
 	if final == 0 && st.lastSeq > 0 && points == st.metaPoints {
 		return nil, false // nothing new since the last seal
 	}
-	p := &preparedSeal{st: st, points: points, finalCount: final, gen: st.gen}
+	p := &preparedSeal{st: st, points: points, finalCount: final, gen: st.gen, absStart: st.sealedLen()}
 	if final > 0 {
 		p.segs = append(p.segs, st.tail[:final]...)
 		// The meta can only express a tail fence on the newest extent; if
@@ -663,6 +702,7 @@ func (st *Store) PrepareSeal(points int) (tsdb.PreparedSeal, bool) {
 			}
 			p.segs = append(merged, p.segs...)
 			p.rewrite = true
+			p.absStart = 0
 		}
 		p.seq = st.lastSeq + 1
 		p.path = filepath.Join(st.dir, fmt.Sprintf(extPattern, p.seq))
@@ -699,6 +739,8 @@ type preparedSeal struct {
 	seq        uint64
 	path       string
 	ext        *extent
+	absStart   int      // live sealed index of segs[0] at prepare time
+	sum        *sidecar // sketch sidecar written alongside the extent
 }
 
 // Write implements tsdb.PreparedSeal: the new extent is written and
@@ -723,6 +765,17 @@ func (p *preparedSeal) Write() error {
 		return fmt.Errorf("mstore: %s: sealed extent does not read back: %w", st.name, err)
 	}
 	p.ext = ext
+	// The sketch sidecar follows the extent inside the same crash
+	// window: both exist before the meta moves, both are discarded
+	// together if the seal never commits. It is an optimisation, not
+	// data — a failed write degrades queries to the segment walk.
+	if sc := buildSidecar(p.absStart, len(st.eps), p.segs); sc != nil {
+		if err := writeSidecar(sidecarPath(p.path), sc); err != nil {
+			st.d.logf("mstore: %s: sketch sidecar write (queries fall back to segment walk): %v", st.name, err)
+		} else {
+			p.sum = sc
+		}
+	}
 	return nil
 }
 
@@ -738,6 +791,7 @@ func (p *preparedSeal) Commit() bool {
 		if p.ext != nil {
 			p.ext.close()
 			os.Remove(p.path)
+			os.Remove(sidecarPath(p.path))
 			syncDir(st.dir, st.d.logf)
 		}
 		st.d.logf("mstore: %s: store changed during seal; retrying at the next compaction", st.name)
@@ -754,7 +808,39 @@ func (p *preparedSeal) Commit() bool {
 	}
 	st.metaPoints = p.points
 	st.persist(survivors, retired)
+	if p.sum != nil {
+		if st.sums == nil {
+			st.sums = make(map[uint64]*sidecar)
+		}
+		st.sums[p.seq] = p.sum
+	}
 	return true
+}
+
+// SummaryBlocks implements tsdb.Summarizer: the window blocks persisted
+// by past seals that are still valid against the current live window.
+// A sidecar's blocks are anchored at the live index its extent's first
+// record had at seal time; they are served only while that anchor still
+// holds — nothing fenced off the extent's front and nothing dropped
+// before it — and only for windows whose records survived any tail
+// fence. Everything else the query layer recomputes from the segments.
+func (st *Store) SummaryBlocks() []sketch.Block {
+	if len(st.sums) == 0 {
+		return nil
+	}
+	var out []sketch.Block
+	for i, e := range st.exts {
+		sc := st.sums[e.seq]
+		if sc == nil || e.lo != 0 || st.cumLive[i] != sc.absStart {
+			continue
+		}
+		for _, blk := range sc.blocks {
+			if blk.Hi-sc.absStart <= e.hi {
+				out = append(out, blk)
+			}
+		}
+	}
+	return out
 }
 
 func floatsEq(a, b []float64) bool {

@@ -1,0 +1,223 @@
+package mmapstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/sketch"
+)
+
+// Sketch sidecar: one optional `ext-%08d.sum` file next to each sealed
+// extent, holding the canonical pushdown summary blocks (exact
+// aggregates + compressed quantile sketch per dimension) for every
+// window of sketch.WindowSize live segments that lies entirely inside
+// the extent. Queries over sealed ranges then read sketch bytes instead
+// of decoding records.
+//
+// The sidecar rides the existing two-phase seal crash protocol: it is
+// written and fsynced by PreparedSeal.Write, before the meta moves, so
+// a crash leaves either no sidecar (fallback) or a sidecar whose extent
+// the next open discards as out-of-window (both files are removed
+// together). The file is a pure cache of sketch.BuildBlock output: an
+// absent, torn, or corrupt sidecar — or one whose window anchors no
+// longer line up because retention fenced records out — never changes a
+// query's answer, only how much of it is recomputed, so old data dirs
+// keep working untouched.
+//
+// Layout (little endian):
+//
+//	offset 0: magic "PLAS" (4)
+//	       4: version (1)
+//	       5: 3 pad bytes
+//	       8: crc32c (uint32) over the payload (offset 12…)
+//	payload:
+//	       absStart uvarint   live sealed index of the extent's first
+//	                          record at seal time
+//	       count    uvarint   extent record count (cross-checked)
+//	       dim      uvarint
+//	       nblocks  uvarint
+//	       nblocks × { lo uvarint; dim × Agg; dim × Summary }
+const (
+	sidecarSuffix  = ".sum"
+	sidecarMagic   = "PLAS"
+	sidecarVersion = 1
+	// sidecarMaxBlocks bounds what a corrupt header can make us
+	// allocate; real sidecars hold count/WindowSize blocks.
+	sidecarMaxBlocks = 1 << 20
+)
+
+// sidecar is a decoded sidecar file: the window blocks it carries and
+// the anchor they are valid against.
+type sidecar struct {
+	absStart int
+	count    int
+	blocks   []sketch.Block
+}
+
+// sidecarPath derives the sidecar name from its extent's path.
+func sidecarPath(extPath string) string {
+	return strings.TrimSuffix(extPath, ".seg") + sidecarSuffix
+}
+
+// matchSumName parses an extent sequence number out of a sidecar file
+// name, mirroring matchExtName.
+func matchSumName(name string, seq *uint64) bool {
+	digits, ok := strings.CutPrefix(name, "ext-")
+	if !ok {
+		return false
+	}
+	digits, ok = strings.CutSuffix(digits, sidecarSuffix)
+	if !ok || len(digits) < 8 {
+		return false
+	}
+	v, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return false
+	}
+	*seq = v
+	return true
+}
+
+// buildSidecar computes the canonical blocks for an extent holding segs
+// at live indices [absStart, absStart+len(segs)). Returns nil when no
+// complete window fits.
+func buildSidecar(absStart, dim int, segs []core.Segment) *sidecar {
+	const w = sketch.WindowSize
+	first := absStart + (w-absStart%w)%w
+	sc := &sidecar{absStart: absStart, count: len(segs)}
+	for lo := first; lo+w <= absStart+len(segs); lo += w {
+		sc.blocks = append(sc.blocks, sketch.BuildBlock(lo, dim, func(i int) core.Segment {
+			return segs[i-absStart]
+		}))
+	}
+	if len(sc.blocks) == 0 {
+		return nil
+	}
+	return sc
+}
+
+// writeSidecar persists sc next to its extent, fsynced, removing any
+// partial file on failure. Like the extent write it runs before the
+// meta moves; unlike it, failure is not fatal to the seal — the caller
+// logs and continues, queries fall back to the segment walk.
+func writeSidecar(path string, sc *sidecar) error {
+	payload := binary.AppendUvarint(nil, uint64(sc.absStart))
+	payload = binary.AppendUvarint(payload, uint64(sc.count))
+	dim := len(sc.blocks[0].Aggs)
+	payload = binary.AppendUvarint(payload, uint64(dim))
+	payload = binary.AppendUvarint(payload, uint64(len(sc.blocks)))
+	for _, blk := range sc.blocks {
+		payload = binary.AppendUvarint(payload, uint64(blk.Lo))
+		for d := 0; d < dim; d++ {
+			payload = sketch.AppendAggBinary(payload, blk.Aggs[d])
+		}
+		for d := 0; d < dim; d++ {
+			payload = blk.Sketches[d].AppendBinary(payload)
+		}
+	}
+	hdr := make([]byte, 12)
+	copy(hdr, sidecarMagic)
+	hdr[4] = sidecarVersion
+	binary.LittleEndian.PutUint32(hdr[8:], crc32.Checksum(payload, castagnoli))
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if _, err := bw.Write(hdr); err != nil {
+		return fail(err)
+	}
+	if _, err := bw.Write(payload); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	return f.Close()
+}
+
+// readSidecar loads and fully validates a sidecar file: checksum first,
+// then structure, then that every block sits on the canonical window
+// grid inside the extent it annotates. Any failure rejects the whole
+// file — it is a cache, so rejection costs a recompute, never data.
+func readSidecar(path string, wantDim int) (*sidecar, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 12 || string(raw[:4]) != sidecarMagic {
+		return nil, fmt.Errorf("mstore: bad sidecar magic")
+	}
+	if raw[4] != sidecarVersion {
+		return nil, fmt.Errorf("mstore: unknown sidecar version %d", raw[4])
+	}
+	payload := raw[12:]
+	if got, hdr := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(raw[8:]); got != hdr {
+		return nil, fmt.Errorf("mstore: sidecar checksum %#x, header says %#x", got, hdr)
+	}
+	var sc sidecar
+	absStart, payload, err := takeUvarint(payload)
+	if err != nil {
+		return nil, err
+	}
+	count, payload, err := takeUvarint(payload)
+	if err != nil {
+		return nil, err
+	}
+	dim, payload, err := takeUvarint(payload)
+	if err != nil {
+		return nil, err
+	}
+	nblocks, payload, err := takeUvarint(payload)
+	if err != nil {
+		return nil, err
+	}
+	if absStart > 1<<40 || count > 1<<32 || dim == 0 || dim > extMaxDim || nblocks > sidecarMaxBlocks {
+		return nil, fmt.Errorf("mstore: implausible sidecar header")
+	}
+	if int(dim) != wantDim {
+		return nil, fmt.Errorf("mstore: sidecar dim %d, series dim %d", dim, wantDim)
+	}
+	sc.absStart, sc.count = int(absStart), int(count)
+	for b := uint64(0); b < nblocks; b++ {
+		var lo uint64
+		if lo, payload, err = takeUvarint(payload); err != nil {
+			return nil, err
+		}
+		blk := sketch.Block{Lo: int(lo), Hi: int(lo) + sketch.WindowSize,
+			Aggs: make([]sketch.Agg, dim), Sketches: make([]*sketch.Summary, dim)}
+		for d := range blk.Aggs {
+			if blk.Aggs[d], payload, err = sketch.ParseAgg(payload); err != nil {
+				return nil, err
+			}
+		}
+		for d := range blk.Sketches {
+			if blk.Sketches[d], payload, err = sketch.ParseSummary(payload); err != nil {
+				return nil, err
+			}
+		}
+		if !blk.Aligned() || blk.Lo < sc.absStart || blk.Hi > sc.absStart+sc.count {
+			return nil, fmt.Errorf("mstore: sidecar block [%d, %d) outside extent window", blk.Lo, blk.Hi)
+		}
+		sc.blocks = append(sc.blocks, blk)
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("mstore: %d trailing sidecar bytes", len(payload))
+	}
+	return &sc, nil
+}

@@ -1,0 +1,259 @@
+package mmapstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/pla-go/pla/internal/sketch"
+)
+
+// encodeBlock flattens a block to its canonical bytes so tests can
+// assert bit-identity between sidecar-served and rebuilt blocks.
+func encodeBlock(blk sketch.Block) []byte {
+	var buf []byte
+	for _, a := range blk.Aggs {
+		buf = sketch.AppendAggBinary(buf, a)
+	}
+	for _, s := range blk.Sketches {
+		buf = s.AppendBinary(buf)
+	}
+	return buf
+}
+
+// wantBlocks recomputes the canonical blocks for the given window
+// anchors straight from the store's segments.
+func wantBlocks(st *Store, los ...int) []sketch.Block {
+	out := make([]sketch.Block, 0, len(los))
+	for _, lo := range los {
+		out = append(out, sketch.BuildBlock(lo, len(st.eps), st.Seg))
+	}
+	return out
+}
+
+func mustServeBlocks(t *testing.T, st *Store, los ...int) {
+	t.Helper()
+	got := st.SummaryBlocks()
+	want := wantBlocks(st, los...)
+	if len(got) != len(want) {
+		t.Fatalf("SummaryBlocks: %d blocks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Lo != want[i].Lo || got[i].Hi != want[i].Hi {
+			t.Fatalf("block %d covers [%d, %d), want [%d, %d)", i, got[i].Lo, got[i].Hi, want[i].Lo, want[i].Hi)
+		}
+		if !bytes.Equal(encodeBlock(got[i]), encodeBlock(want[i])) {
+			t.Fatalf("block [%d, %d): sidecar bytes differ from rebuilt block", got[i].Lo, got[i].Hi)
+		}
+	}
+}
+
+// testPoints is the finalized sample count after segments [0, n) of
+// testSeg (each carries 10+i points).
+func testPoints(n int) int { return 10*n + n*(n-1)/2 }
+
+func sealN(t *testing.T, st *Store, lo, n int) {
+	t.Helper()
+	for i := lo; i < lo+n; i++ {
+		st.Append(testSeg(i))
+	}
+	if err := st.Seal(testPoints(lo + n)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSidecarServesSealedWindows seals across several extents and
+// checks the persisted blocks are bit-identical to freshly built ones,
+// both right after sealing and after a reopen. A window only lands in a
+// sidecar when it fits entirely inside one extent; the straddling
+// window here stays uncovered (the query layer rebuilds it on demand).
+func TestSidecarServesSealedWindows(t *testing.T) {
+	const w = sketch.WindowSize
+	root := t.TempDir()
+	d := openDir(t, root)
+	st := d.Store("sums", testEps, false).(*Store)
+
+	sealN(t, st, 0, w+10)        // extent 1: covers window [0, w)
+	sealN(t, st, w+10, w)        // extent 2: straddles, covers none
+	sealN(t, st, 2*w+10, w)      // extent 3: straddles, covers none
+	sealN(t, st, 3*w+10, 2*w-10) // extent 4: covers window [4w, 5w)
+	mustServeBlocks(t, st, 0, 4*w)
+
+	d.Close()
+	d2 := openDir(t, root)
+	st2 := d2.Store("sums", testEps, false).(*Store)
+	if st2.Len() != 5*w {
+		t.Fatalf("reopened Len = %d, want %d", st2.Len(), 5*w)
+	}
+	mustServeBlocks(t, st2, 0, 4*w)
+}
+
+// TestSidecarAbsentOrCorruptFallsBack removes or mangles sidecar files
+// and checks the store still opens, serves no stale blocks, and answers
+// queries identically through the rebuild path.
+func TestSidecarAbsentOrCorruptFallsBack(t *testing.T) {
+	const w = sketch.WindowSize
+	for _, mode := range []string{"absent", "corrupt", "truncated"} {
+		t.Run(mode, func(t *testing.T) {
+			root := t.TempDir()
+			d := openDir(t, root)
+			st := d.Store("s", testEps, false).(*Store)
+			sealN(t, st, 0, w)
+			want := wantBlocks(st, 0)
+			sum := sidecarPath(st.exts[0].path)
+			d.Close()
+
+			switch mode {
+			case "absent":
+				if err := os.Remove(sum); err != nil {
+					t.Fatal(err)
+				}
+			case "corrupt":
+				raw, err := os.ReadFile(sum)
+				if err != nil {
+					t.Fatal(err)
+				}
+				raw[len(raw)/2] ^= 0xff
+				if err := os.WriteFile(sum, raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			case "truncated":
+				if err := os.Truncate(sum, 20); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			d2 := openDir(t, root)
+			st2 := d2.Store("s", testEps, false).(*Store)
+			if got := st2.SummaryBlocks(); len(got) != 0 {
+				t.Fatalf("SummaryBlocks after %s sidecar = %d blocks, want 0", mode, len(got))
+			}
+			if mode != "absent" {
+				if _, err := os.Stat(sum); !os.IsNotExist(err) {
+					t.Fatalf("%s sidecar not removed at open", mode)
+				}
+			}
+			// The fallback rebuild must produce the identical block.
+			got := wantBlocks(st2, 0)
+			if !bytes.Equal(encodeBlock(got[0]), encodeBlock(want[0])) {
+				t.Fatal("rebuilt block differs from the one computed before reopen")
+			}
+		})
+	}
+}
+
+// TestSidecarFenceInvalidation checks that head drops stop sidecar
+// blocks from being served: a partial fence breaks the extent's anchor,
+// and a drop retiring a whole extent shifts every successor's indices.
+func TestSidecarFenceInvalidation(t *testing.T) {
+	const w = sketch.WindowSize
+	root := t.TempDir()
+	d := openDir(t, root)
+	st := d.Store("f", testEps, false).(*Store)
+	sealN(t, st, 0, w)
+	sealN(t, st, w, w)
+	mustServeBlocks(t, st, 0, w)
+
+	// Fence 3 records off the first extent: its own anchor is gone, and
+	// every successor's live indices shift by 3, off the window grid.
+	st.DropHead(3)
+	if got := st.SummaryBlocks(); len(got) != 0 {
+		t.Fatalf("after partial head fence: %d blocks, want 0", len(got))
+	}
+
+	// Reopen: the sidecars load but the fences still invalidate them.
+	d.Close()
+	d2 := openDir(t, root)
+	st2 := d2.Store("f", testEps, false).(*Store)
+	if got := st2.SummaryBlocks(); len(got) != 0 {
+		t.Fatalf("after reopen with fences: %d blocks, want 0", len(got))
+	}
+
+	// Retire the rest of the first extent: the second is whole, but its
+	// records now live at [0, w) while its sidecar says [w, 2w).
+	st2.DropHead(w - 3)
+	if st2.sealedLen() != w {
+		t.Fatalf("sealedLen = %d, want %d", st2.sealedLen(), w)
+	}
+	if got := st2.SummaryBlocks(); len(got) != 0 {
+		t.Fatalf("after retiring first extent: %d blocks, want 0", len(got))
+	}
+	if _, err := os.Stat(sidecarPath(filepath.Join(st2.dir, "ext-00000001.seg"))); !os.IsNotExist(err) {
+		t.Fatal("retired extent's sidecar file not removed")
+	}
+}
+
+// TestSidecarCrashBeforeCommit simulates a crash between the two seal
+// phases: extent and sidecar are on disk but the meta never moved. The
+// next open must remove both.
+func TestSidecarCrashBeforeCommit(t *testing.T) {
+	const w = sketch.WindowSize
+	root := t.TempDir()
+	d := openDir(t, root)
+	st := d.Store("c", testEps, false).(*Store)
+	sealN(t, st, 0, 10) // a committed seal so the meta exists
+
+	// Enough to complete window [w, 2w) inside the new extent, so a
+	// sidecar is actually written.
+	for i := 10; i < 2*w; i++ {
+		st.Append(testSeg(i))
+	}
+	prep, ok := st.PrepareSeal(testPoints(2 * w))
+	if !ok {
+		t.Fatal("PrepareSeal refused")
+	}
+	if err := prep.Write(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no Commit. Both files exist now.
+	extPath := filepath.Join(st.dir, "ext-00000002.seg")
+	if _, err := os.Stat(extPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(sidecarPath(extPath)); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	d2 := openDir(t, root)
+	st2 := d2.Store("c", testEps, false).(*Store)
+	if st2.Len() != 10 {
+		t.Fatalf("recovered Len = %d, want 10", st2.Len())
+	}
+	if _, err := os.Stat(extPath); !os.IsNotExist(err) {
+		t.Fatal("uncommitted extent survived reopen")
+	}
+	if _, err := os.Stat(sidecarPath(extPath)); !os.IsNotExist(err) {
+		t.Fatal("uncommitted sidecar survived reopen")
+	}
+}
+
+// TestSidecarCountMismatchRejected rejects a sidecar whose record count
+// disagrees with its extent (a stale file after manual surgery).
+func TestSidecarCountMismatchRejected(t *testing.T) {
+	const w = sketch.WindowSize
+	root := t.TempDir()
+	d := openDir(t, root)
+	st := d.Store("m", testEps, false).(*Store)
+	sealN(t, st, 0, w)
+	sum := sidecarPath(st.exts[0].path)
+	sc, err := readSidecar(sum, len(testEps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	sc.count = w + 7
+	if err := writeSidecar(sum, sc); err != nil {
+		t.Fatal(err)
+	}
+	d2 := openDir(t, root)
+	st2 := d2.Store("m", testEps, false).(*Store)
+	if got := st2.SummaryBlocks(); len(got) != 0 {
+		t.Fatalf("count-mismatched sidecar served %d blocks", len(got))
+	}
+	if _, err := os.Stat(sum); !os.IsNotExist(err) {
+		t.Fatal("count-mismatched sidecar not removed")
+	}
+}

@@ -113,63 +113,89 @@ func ReadArchive(r io.Reader) (*Archive, error) {
 // where the caller owns the (empty) archive the server will serve from.
 // A series that already exists in a is an error.
 func ReadInto(a *Archive, r io.Reader) error {
+	_, err := readArchiveInto(a, r, false)
+	return err
+}
+
+// MergeInto deserialises an archive stream like ReadInto but skips
+// series that already exist in a instead of failing — the reader for
+// incremental snapshot chains, which apply newest file first so the
+// first copy seen of each series wins. A skipped series' blob is
+// discarded without decoding. It returns the names it created, so a
+// caller hitting a decode error mid-file can roll back exactly this
+// file's contribution and fall through to an older generation.
+func MergeInto(a *Archive, r io.Reader) ([]string, error) {
+	return readArchiveInto(a, r, true)
+}
+
+func readArchiveInto(a *Archive, r io.Reader, skipExisting bool) (created []string, err error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(archiveMagic))
 	if _, err := io.ReadFull(br, head); err != nil {
-		return fmt.Errorf("%w: missing magic: %v", ErrFormat, err)
+		return created, fmt.Errorf("%w: missing magic: %v", ErrFormat, err)
 	}
 	if string(head) != archiveMagic {
-		return fmt.Errorf("%w: bad magic %q", ErrFormat, head)
+		return created, fmt.Errorf("%w: bad magic %q", ErrFormat, head)
 	}
 	nSeries, err := binary.ReadUvarint(br)
 	if err != nil || nSeries > 1<<24 {
-		return fmt.Errorf("%w: bad series count", ErrFormat)
+		return created, fmt.Errorf("%w: bad series count", ErrFormat)
 	}
 	for i := uint64(0); i < nSeries; i++ {
 		nameLen, err := binary.ReadUvarint(br)
 		if err != nil || nameLen > 1<<16 {
-			return fmt.Errorf("%w: bad name length", ErrFormat)
+			return created, fmt.Errorf("%w: bad name length", ErrFormat)
 		}
 		name := make([]byte, nameLen)
 		if _, err := io.ReadFull(br, name); err != nil {
-			return fmt.Errorf("%w: truncated name: %v", ErrFormat, err)
+			return created, fmt.Errorf("%w: truncated name: %v", ErrFormat, err)
 		}
 		points, err := binary.ReadUvarint(br)
 		if err != nil {
-			return fmt.Errorf("%w: bad point count", ErrFormat)
+			return created, fmt.Errorf("%w: bad point count", ErrFormat)
 		}
 		blobLen, err := binary.ReadUvarint(br)
 		if err != nil || blobLen > 1<<34 {
-			return fmt.Errorf("%w: bad blob length", ErrFormat)
+			return created, fmt.Errorf("%w: bad blob length", ErrFormat)
+		}
+		if skipExisting {
+			if _, gerr := a.Get(string(name)); gerr == nil {
+				// A newer file in the chain already provided this series.
+				if _, err := io.CopyN(io.Discard, br, int64(blobLen)); err != nil {
+					return created, fmt.Errorf("%w: truncated blob: %v", ErrFormat, err)
+				}
+				continue
+			}
 		}
 		// Grow with the stream rather than trusting the declared length: a
 		// corrupt header claiming a huge blob must fail on the missing
 		// bytes, not allocate them up front.
 		var blob bytes.Buffer
 		if _, err := io.CopyN(&blob, br, int64(blobLen)); err != nil {
-			return fmt.Errorf("%w: truncated blob: %v", ErrFormat, err)
+			return created, fmt.Errorf("%w: truncated blob: %v", ErrFormat, err)
 		}
 		dec, err := encode.NewDecoder(bytes.NewReader(blob.Bytes()))
 		if err != nil {
-			return fmt.Errorf("%w: series %q: %v", ErrFormat, name, err)
+			return created, fmt.Errorf("%w: series %q: %v", ErrFormat, name, err)
 		}
 		segs, err := encode.ReadAll(dec)
 		if err != nil {
-			return fmt.Errorf("%w: series %q: %v", ErrFormat, name, err)
+			return created, fmt.Errorf("%w: series %q: %v", ErrFormat, name, err)
 		}
 		s, err := a.Create(string(name), dec.Epsilon(), dec.Constant())
 		if err != nil {
-			return err
+			return created, err
 		}
+		created = append(created, string(name))
 		if err := s.Append(segs...); err != nil {
-			return fmt.Errorf("%w: series %q: %v", ErrFormat, name, err)
+			return created, fmt.Errorf("%w: series %q: %v", ErrFormat, name, err)
 		}
 		s.mu.Lock()
 		s.points = int(points)
 		s.consumed = s.points
 		s.mu.Unlock()
 	}
-	return nil
+	return created, nil
 }
 
 // SaveFile writes the archive to path, replacing any existing file.

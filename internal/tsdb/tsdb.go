@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/sketch"
 )
 
 // Errors returned by the archive.
@@ -100,6 +101,12 @@ type Series struct {
 	provPoints  int // samples those provisional segments represent
 	consumed    int // high-water of points: most samples ever represented
 	lagHint     int // last advertised m_max_lag bound (0 = none/unbounded)
+
+	// blkMu guards blocks, the memoized pushdown summary windows (see
+	// pushdown.go). A separate lock: queries memoize while holding only
+	// the read half of mu.
+	blkMu  sync.Mutex
+	blocks map[int]sketch.Block
 }
 
 // Create adds an empty series with the given precision contract.
@@ -369,6 +376,9 @@ func (s *Series) DropBefore(t float64) int {
 		if s.consumed -= dropped; s.consumed < s.points {
 			s.consumed = s.points
 		}
+		// Live indices shifted: the memoized pushdown windows no longer
+		// sit on the grid. Queries rebuild them lazily.
+		s.invalidateBlocks()
 	}
 	return n
 }

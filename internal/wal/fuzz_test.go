@@ -31,7 +31,7 @@ func fuzzSeedWAL(tb testing.TB) []byte {
 	if err := st.Close(); err != nil {
 		tb.Fatal(err)
 	}
-	_, wals, _, err := scanDir(shard0Dir(dir), Options{})
+	_, _, wals, _, err := scanDir(shard0Dir(dir), Options{})
 	if err != nil || len(wals) != 1 {
 		tb.Fatalf("seed scan: %v (%d files)", err, len(wals))
 	}
@@ -78,7 +78,7 @@ func FuzzWALReplay(f *testing.F) {
 		}
 		// Second recovery over the truncated file must be clean and agree.
 		// Drop the tail file Open created so only the fuzzed file replays.
-		_, wals, _, err := scanDir(sdir, Options{})
+		_, _, wals, _, err := scanDir(sdir, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

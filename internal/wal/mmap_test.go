@@ -122,7 +122,7 @@ func TestMmapSealAndRecover(t *testing.T) {
 	}
 	// The compacted partition must hold a marker, no snapshot file, and
 	// no wal at or below the marker.
-	snaps, wals, marks, err := scanDir(shard0Dir(dir), Options{})
+	snaps, _, wals, marks, err := scanDir(shard0Dir(dir), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestMmapCleanShutdown(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k := 0; k < 2; k++ {
-		_, wals, _, err := scanDir(filepath.Join(dir, shardDirName(k)), Options{})
+		_, _, wals, _, err := scanDir(filepath.Join(dir, shardDirName(k)), Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -324,7 +324,7 @@ func TestMmapMigrationFromMem(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Keep the snapshot so a later step can resurrect it.
-	snaps, _, _, err := scanDir(shard0Dir(dir), Options{})
+	snaps, _, _, _, err := scanDir(shard0Dir(dir), Options{})
 	if err != nil || len(snaps) != 1 {
 		t.Fatalf("want 1 snapshot, got %d (%v)", len(snaps), err)
 	}
@@ -341,7 +341,7 @@ func TestMmapMigrationFromMem(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if after, _, _, _ := scanDir(shard0Dir(dir), Options{}); len(after) != 0 {
+	if after, _, _, _, _ := scanDir(shard0Dir(dir), Options{}); len(after) != 0 {
 		t.Fatalf("snapshot files survived the migration: %v", after)
 	}
 
@@ -387,7 +387,7 @@ func TestMmapMigrationToMem(t *testing.T) {
 		t.Fatal("extent dir survived migration to the in-memory backend")
 	}
 	for k := 0; k < 2; k++ {
-		snaps, _, marks, err := scanDir(filepath.Join(dir, shardDirName(k)), Options{})
+		snaps, _, _, marks, err := scanDir(filepath.Join(dir, shardDirName(k)), Options{})
 		if err != nil || len(snaps) != 1 || len(marks) != 0 {
 			t.Fatalf("shard %d after migration: %d snaps, %d marks (%v)", k, len(snaps), len(marks), err)
 		}

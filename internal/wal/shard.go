@@ -4,7 +4,9 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
+	"sync"
 
 	"github.com/pla-go/pla/internal/core"
 	"github.com/pla-go/pla/internal/tsdb"
@@ -28,7 +30,26 @@ type Shard struct {
 	opts Options
 	mm   *mmapstore.Dir // nil for the in-memory backend
 	log  *Log
+
+	// Incremental snapshot state (in-memory backend only). Compaction
+	// normally rewrites a shard's whole owned series set; with dirty
+	// tracking it writes a partial snapshot holding only the series that
+	// changed since the last snapshot file, chained off the newest full
+	// one. The first snapshot after Open is always full: wal replay
+	// re-applied records the on-disk snapshot lacks without marking
+	// anything dirty, so only a fresh full baseline makes those wal
+	// files safe to delete.
+	mu      sync.Mutex
+	dirty   map[string]struct{} // series changed since the last snapshot file
+	hasFull bool                // a full snapshot written by this run exists on disk
+	chain   int                 // partial snapshots since that full one
 }
+
+// maxPartialChain bounds how many incremental snapshots may stack on
+// one full snapshot before compaction forces a fresh full baseline —
+// the cap on chain length recovery has to read (and on the leftover
+// files a crash strands).
+const maxPartialChain = 8
 
 // shardDirName returns the directory name of partition k.
 func shardDirName(k int) string {
@@ -44,7 +65,26 @@ func (sh *Shard) Index() int { return sh.k }
 // counts finalized segments only: provisional (max-lag) tails are never
 // logged or snapshotted, so replay positions must not see them.
 func (sh *Shard) Append(s *tsdb.Series, seg core.Segment) error {
+	sh.markDirty(s.Name())
 	return sh.log.Append(s.Name(), s.Epsilon(), s.Constant(), s.FinalLen(), seg)
+}
+
+// markDirty records that name changed since the last snapshot file, so
+// the next incremental snapshot must carry it.
+func (sh *Shard) markDirty(name string) {
+	sh.mu.Lock()
+	sh.dirty[name] = struct{}{}
+	sh.mu.Unlock()
+}
+
+// noteFull records that a full snapshot of this shard's current layout
+// reached disk (rebaseline writes one during Open), so compaction may
+// chain partials off it instead of starting with another full.
+func (sh *Shard) noteFull() {
+	sh.mu.Lock()
+	sh.hasFull, sh.chain = true, 0
+	clear(sh.dirty)
+	sh.mu.Unlock()
 }
 
 // Commit is the ack barrier: under SyncAlways it returns only after the
@@ -93,7 +133,13 @@ func (sh *Shard) pruneRetention() int {
 			continue
 		}
 		if _, end, ok := s.Span(); ok {
-			dropped += s.DropBefore(end - sh.opts.Retain)
+			if n := s.DropBefore(end - sh.opts.Retain); n > 0 {
+				dropped += n
+				// The pruned series shrank relative to every file on disk;
+				// an incremental snapshot that omitted it would let the old
+				// copy resurrect the dropped segments on recovery.
+				sh.markDirty(name)
+			}
 		}
 	}
 	return dropped
@@ -102,14 +148,21 @@ func (sh *Shard) pruneRetention() int {
 // Snapshot persists this shard's current state as the baseline for
 // throughSeq and removes the shard's wal files (sequence ≤ throughSeq)
 // and older generations it supersedes. Under the in-memory backend that
-// baseline is a snapshot file; under the mmap backend every owned
-// series' append tail is sealed into its extent store and a seal marker
-// records the covered sequence. The caller must guarantee every record
-// in those wal files has been applied to the archive — rotate, fence
-// this shard's worker, then snapshot. With a retention window
+// baseline is a snapshot file — a full one covering every owned series,
+// or, once a full baseline exists, an incremental one holding only the
+// series dirtied since the last snapshot (compaction cost scales with
+// what changed, not with archive size). Under the mmap backend every
+// owned series' append tail is sealed into its extent store and a seal
+// marker records the covered sequence. The caller must guarantee every
+// record in those wal files has been applied to the archive — rotate,
+// fence this shard's worker, then snapshot. With a retention window
 // configured, out-of-window segments are dropped first, so they leave
 // both the archive and the disk in the same stroke.
 func (sh *Shard) Snapshot(throughSeq uint64) error {
+	return sh.snapshot(throughSeq, false)
+}
+
+func (sh *Shard) snapshot(throughSeq uint64, forceFull bool) error {
 	if n := sh.pruneRetention(); n > 0 {
 		sh.opts.logf("wal: %s: retention dropped %d segments", shardDirName(sh.k), n)
 	}
@@ -120,11 +173,65 @@ func (sh *Shard) Snapshot(throughSeq uint64) error {
 		if err := writeMarker(sh.dir, throughSeq, sh.opts); err != nil {
 			return err
 		}
-	} else if err := writeSnapshot(sh.dir, throughSeq, sh.db, sh.ownedNames(), sh.opts); err != nil {
-		return err
+	} else {
+		names, full := sh.snapshotPlan(forceFull)
+		write := writeSnapshot
+		if !full {
+			write = writePartial
+			sh.opts.logf("wal: %s: incremental snapshot, %d dirty series", shardDirName(sh.k), len(names))
+		}
+		if err := write(sh.dir, throughSeq, sh.db, names, sh.opts); err != nil {
+			// The baseline never advanced: put the planned names back so
+			// the next attempt covers them again.
+			sh.redirty(names)
+			return err
+		}
+		sh.mu.Lock()
+		if full {
+			sh.hasFull, sh.chain = true, 0
+		} else {
+			sh.chain++
+		}
+		sh.mu.Unlock()
 	}
 	sh.removeObsolete(throughSeq)
 	return nil
+}
+
+// snapshotPlan decides what the next baseline file covers — the whole
+// owned series set, or only the dirty ones — and claims the dirty set
+// either way (a series appended while the file is being written is
+// simply marked dirty again for the next round; its wal records live
+// past throughSeq, so nothing is lost in between). A full snapshot is
+// forced until one exists for this run's layout, when the chain hit
+// maxPartialChain, or when at least half the owned series are dirty —
+// a partial that size saves little and still lengthens the chain.
+func (sh *Shard) snapshotPlan(forceFull bool) (names []string, full bool) {
+	owned := sh.ownedNames()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	full = forceFull || !sh.hasFull || sh.chain >= maxPartialChain || 2*len(sh.dirty) >= len(owned)
+	if full {
+		names = owned
+	} else {
+		names = make([]string, 0, len(sh.dirty))
+		for name := range sh.dirty {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	}
+	clear(sh.dirty)
+	return names, full
+}
+
+// redirty puts names back into the dirty set after a failed snapshot
+// write.
+func (sh *Shard) redirty(names []string) {
+	sh.mu.Lock()
+	for _, name := range names {
+		sh.dirty[name] = struct{}{}
+	}
+	sh.mu.Unlock()
 }
 
 // sealOwned folds every owned series' append tail into its extent
@@ -143,15 +250,16 @@ func (sh *Shard) sealOwned() error {
 	return nil
 }
 
-// closeSnapshot ends the shard on a graceful drain: close the log, write
-// a final snapshot covering everything, and remove every wal file —
-// leaving the shard directory holding exactly one snapshot.
+// closeSnapshot ends the shard on a graceful drain: close the log,
+// write a final snapshot covering everything — always a full one, so a
+// clean shutdown collapses any incremental chain — and remove every wal
+// file, leaving the shard directory holding exactly one snapshot.
 func (sh *Shard) closeSnapshot() error {
 	seq := sh.log.Seq()
 	if err := sh.log.Close(); err != nil && !errors.Is(err, ErrClosed) {
 		return err
 	}
-	return sh.Snapshot(seq)
+	return sh.snapshot(seq, true)
 }
 
 // close ends the shard without snapshotting (error paths; recovery will
@@ -168,11 +276,14 @@ func (sh *Shard) close() error {
 // throughSeq and the baseline generations the newest one supersedes:
 // under the mmap backend that is markers older than throughSeq plus
 // every snapshot file (the extents carry the data now); under the
-// in-memory backend, snapshots older than throughSeq plus every marker
-// (a leftover from a migrated extent run). Failures are logged: a
-// leftover file costs replay time on the next boot, not correctness.
+// in-memory backend, full snapshots older than the newest full one,
+// incremental snapshots it covers (a full snapshot collapses the whole
+// chain behind it; partials after it are the live chain and must stay
+// until the next full generation), plus every marker (a leftover from a
+// migrated extent run). Failures are logged: a leftover file costs
+// replay time on the next boot, not correctness.
 func (sh *Shard) removeObsolete(throughSeq uint64) {
-	snaps, wals, marks, err := scanDir(sh.dir, sh.opts)
+	snaps, parts, wals, marks, err := scanDir(sh.dir, sh.opts)
 	if err != nil {
 		sh.opts.logf("wal: compaction scan: %v", err)
 		return
@@ -187,9 +298,20 @@ func (sh *Shard) removeObsolete(throughSeq uint64) {
 			remove(wf.path)
 		}
 	}
+	var fullSeq uint64
 	for _, sn := range snaps {
-		if sh.mm != nil || sn.seq < throughSeq {
+		if sn.seq > fullSeq {
+			fullSeq = sn.seq
+		}
+	}
+	for _, sn := range snaps {
+		if sh.mm != nil || sn.seq < fullSeq {
 			remove(sn.path)
+		}
+	}
+	for _, pt := range parts {
+		if sh.mm != nil || pt.seq <= fullSeq {
+			remove(pt.path)
 		}
 	}
 	for _, mk := range marks {

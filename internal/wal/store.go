@@ -235,7 +235,7 @@ func Open(dir string, nShards int, db *tsdb.Archive, opts Options) (st *Store, s
 		// already cover. Only the tails have anything new, so the
 		// sequential pass is cheap — that is the cold-start win.
 		for _, u := range units {
-			snaps, wals, marks, err := scanDir(u.dir, opts)
+			snaps, parts, wals, marks, err := scanDir(u.dir, opts)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -245,12 +245,12 @@ func Open(dir string, nShards int, db *tsdb.Archive, opts Options) (st *Store, s
 					u.maxSeq = f.seq
 				}
 			}
-			for _, f := range append(snaps, wals...) {
+			for _, f := range append(append(snaps, parts...), wals...) {
 				if f.seq > u.maxSeq {
 					u.maxSeq = f.seq
 				}
 			}
-			if len(snaps)+len(wals)+len(marks) > 0 {
+			if len(snaps)+len(parts)+len(wals)+len(marks) > 0 {
 				stats.Dirs++
 			}
 			if u.shard >= 0 && u.shard < nShards {
@@ -258,7 +258,7 @@ func Open(dir string, nShards int, db *tsdb.Archive, opts Options) (st *Store, s
 			} else {
 				migrate = true
 			}
-			if len(snaps) == 0 {
+			if len(snaps)+len(parts) == 0 {
 				continue
 			}
 			if mm != nil {
@@ -268,7 +268,7 @@ func Open(dir string, nShards int, db *tsdb.Archive, opts Options) (st *Store, s
 				migrate = true
 			}
 			staged := tsdb.New()
-			stats.SnapshotSeries += loadNewestSnapshot(snaps, staged, opts)
+			stats.SnapshotSeries += loadChain(snaps, parts, staged, opts)
 			for _, name := range staged.Names() {
 				if u.shard != ShardIndex(name, nShards) {
 					migrate = true
@@ -302,7 +302,7 @@ func Open(dir string, nShards int, db *tsdb.Archive, opts Options) (st *Store, s
 
 	st = &Store{db: db, dir: dir, opts: opts, mm: mm, shards: make([]*Shard, nShards)}
 	for k := range st.shards {
-		st.shards[k] = &Shard{db: db, dir: filepath.Join(dir, shardDirName(k)), k: k, n: nShards, opts: opts, mm: mm}
+		st.shards[k] = &Shard{db: db, dir: filepath.Join(dir, shardDirName(k)), k: k, n: nShards, opts: opts, mm: mm, dirty: make(map[string]struct{})}
 		if err := os.MkdirAll(st.shards[k].dir, 0o755); err != nil {
 			return nil, stats, err
 		}
@@ -355,11 +355,11 @@ func (st *Store) closeOpened(k int) {
 // it holds legacy single-log files, plus every `shard-<k>` directory.
 func discoverUnits(dir string) ([]*recoveryUnit, error) {
 	var units []*recoveryUnit
-	snaps, wals, marks, err := scanDir(dir, Options{})
+	snaps, parts, wals, marks, err := scanDir(dir, Options{})
 	if err != nil {
 		return nil, err
 	}
-	if len(snaps)+len(wals)+len(marks) > 0 {
+	if len(snaps)+len(parts)+len(wals)+len(marks) > 0 {
 		units = append(units, &recoveryUnit{dir: dir, shard: -1})
 	}
 	entries, err := os.ReadDir(dir)
@@ -488,8 +488,11 @@ func (st *Store) rebaseline(units []*recoveryUnit, maxSeq []uint64, leftover *mm
 			if err := writeMarker(sh.dir, maxSeq[k], st.opts); err != nil {
 				return err
 			}
-		} else if err := writeSnapshot(sh.dir, maxSeq[k], st.db, sh.ownedNames(), st.opts); err != nil {
-			return err
+		} else {
+			if err := writeSnapshot(sh.dir, maxSeq[k], st.db, sh.ownedNames(), st.opts); err != nil {
+				return err
+			}
+			sh.noteFull()
 		}
 	}
 	for _, u := range units {
@@ -501,12 +504,12 @@ func (st *Store) rebaseline(units []*recoveryUnit, maxSeq []uint64, leftover *mm
 		}
 		// The legacy root or a stray shard dir: every recognised file is
 		// superseded by the new baseline.
-		snaps, wals, marks, err := scanDir(u.dir, st.opts)
+		snaps, parts, wals, marks, err := scanDir(u.dir, st.opts)
 		if err != nil {
 			st.opts.logf("wal: migration scan %s: %v", u.dir, err)
 			continue
 		}
-		for _, f := range append(append(snaps, wals...), marks...) {
+		for _, f := range append(append(append(snaps, parts...), wals...), marks...) {
 			if err := os.Remove(f.path); err != nil {
 				st.opts.logf("wal: migration remove %s: %v", f.path, err)
 			}
@@ -615,16 +618,17 @@ type seqFile struct {
 	path string
 }
 
-// scanDir lists a directory's snapshots, wal files and seal markers in
-// ascending sequence order, removing leftover temporaries from an
-// interrupted snapshot or marker write.
-func scanDir(dir string, opts Options) (snaps, wals, marks []seqFile, err error) {
+// scanDir lists a directory's full snapshots, incremental (partial)
+// snapshots, wal files and seal markers in ascending sequence order,
+// removing leftover temporaries from an interrupted snapshot or marker
+// write.
+func scanDir(dir string, opts Options) (snaps, parts, wals, marks []seqFile, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil, nil, nil
+			return nil, nil, nil, nil, nil
 		}
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	for _, e := range entries {
 		if e.IsDir() {
@@ -641,14 +645,17 @@ func scanDir(dir string, opts Options) (snaps, wals, marks []seqFile, err error)
 			wals = append(wals, seqFile{seq, path})
 		case matchSeq(name, snapPattern, &seq):
 			snaps = append(snaps, seqFile{seq, path})
+		case matchSeq(name, partPattern, &seq):
+			parts = append(parts, seqFile{seq, path})
 		case matchSeq(name, markPattern, &seq):
 			marks = append(marks, seqFile{seq, path})
 		}
 	}
 	sort.Slice(wals, func(i, j int) bool { return wals[i].seq < wals[j].seq })
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq < snaps[j].seq })
+	sort.Slice(parts, func(i, j int) bool { return parts[i].seq < parts[j].seq })
 	sort.Slice(marks, func(i, j int) bool { return marks[i].seq < marks[j].seq })
-	return snaps, wals, marks, nil
+	return snaps, parts, wals, marks, nil
 }
 
 // matchSeq parses a sequence-numbered file name against a
@@ -682,22 +689,22 @@ func matchSeq(name, pattern string, seq *uint64) bool {
 // sequence number seen (snapshot or wal).
 func recoverDir(dir string, db *tsdb.Archive, opts Options) (RecoverStats, uint64, error) {
 	var stats RecoverStats
-	snaps, wals, marks, err := scanDir(dir, opts)
+	snaps, parts, wals, marks, err := scanDir(dir, opts)
 	if err != nil {
 		return stats, 0, err
 	}
-	if len(snaps)+len(wals)+len(marks) == 0 {
+	if len(snaps)+len(parts)+len(wals)+len(marks) == 0 {
 		return stats, 0, nil
 	}
 	stats.Dirs = 1
 
 	maxSeq := uint64(0)
-	for _, f := range append(append(append([]seqFile(nil), snaps...), wals...), marks...) {
+	for _, f := range append(append(append(append([]seqFile(nil), snaps...), parts...), wals...), marks...) {
 		if f.seq > maxSeq {
 			maxSeq = f.seq
 		}
 	}
-	stats.SnapshotSeries = loadNewestSnapshot(snaps, db, opts)
+	stats.SnapshotSeries = loadChain(snaps, parts, db, opts)
 
 	// Replay every wal file in sequence order. Files at or below the
 	// snapshot's sequence are normally deleted by compaction; if a crash
@@ -711,21 +718,56 @@ func recoverDir(dir string, db *tsdb.Archive, opts Options) (RecoverStats, uint6
 	return stats, maxSeq, nil
 }
 
-// loadNewestSnapshot loads the newest snapshot generation that parses
-// cleanly into db, returning how many series it held. Older
-// generations only survive in a directory after a crash mid-
-// compaction, and a half-written one is skipped the same way (with a
-// loud warning).
-func loadNewestSnapshot(snaps []seqFile, db *tsdb.Archive, opts Options) int {
+// loadChain loads a directory's snapshot chain into db (empty on
+// entry), newest file first so the latest copy of each series wins:
+// incremental snapshots in descending sequence order, then full
+// snapshots, stopping at the first full one that reads cleanly — a
+// full snapshot covers every series its shard owns, so anything older
+// is superseded. Leftover files a crash kept around contribute nothing
+// (their series already exist) and an unreadable file is rolled back
+// and skipped with a loud warning, falling through to the next older
+// generation exactly as full-snapshot recovery always has. Returns the
+// number of series loaded.
+func loadChain(snaps, parts []seqFile, db *tsdb.Archive, opts Options) int {
+	loaded := 0
+	for i := len(parts) - 1; i >= 0; i-- {
+		n, err := mergeSnapshot(parts[i].path, db)
+		loaded += n
+		if err != nil {
+			opts.logf("wal: incremental snapshot %s unreadable, skipping: %v", filepath.Base(parts[i].path), err)
+		}
+	}
 	for i := len(snaps) - 1; i >= 0; i-- {
-		n, err := loadSnapshot(snaps[i].path, db)
+		n, err := mergeSnapshot(snaps[i].path, db)
+		loaded += n
 		if err != nil {
 			opts.logf("wal: snapshot %s unreadable, trying older: %v", filepath.Base(snaps[i].path), err)
 			continue
 		}
-		return n
+		break
 	}
-	return 0
+	return loaded
+}
+
+// mergeSnapshot reads one chain file into db, skipping series a newer
+// file already provided. A decode failure rolls back exactly this
+// file's contribution, so the caller can fall through to an older
+// generation without a half-populated series shadowing a complete
+// older copy.
+func mergeSnapshot(path string, db *tsdb.Archive) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	created, err := tsdb.MergeInto(db, bufio.NewReaderSize(f, 1<<16))
+	if err != nil {
+		for _, name := range created {
+			db.Drop(name)
+		}
+		return 0, err
+	}
+	return len(created), nil
 }
 
 // writeMarker records that every wal record through seq has been sealed
@@ -745,29 +787,22 @@ func writeMarker(dir string, seq uint64, opts Options) error {
 	return nil
 }
 
-// loadSnapshot reads a snapshot into db in one pass. db is empty on
-// entry (recoverDir's contract), so a decode failure rolls back by
-// dropping whatever series the partial read created — recovery can then
-// fall back to an older snapshot without a half-populated archive.
-func loadSnapshot(path string, db *tsdb.Archive) (int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return 0, err
-	}
-	defer f.Close()
-	if err := tsdb.ReadInto(db, bufio.NewReaderSize(f, 1<<16)); err != nil {
-		for _, name := range db.Names() {
-			db.Drop(name)
-		}
-		return 0, err
-	}
-	return len(db.Names()), nil
+// writeSnapshot writes the named series of db as dir's full snapshot
+// for seq: temporary file, fsync, atomic rename, directory fsync.
+func writeSnapshot(dir string, seq uint64, db *tsdb.Archive, names []string, opts Options) error {
+	return writeArchiveFile(dir, snapPattern, seq, db, names, opts)
 }
 
-// writeSnapshot writes the named series of db as dir's snapshot for seq:
-// temporary file, fsync, atomic rename, directory fsync.
-func writeSnapshot(dir string, seq uint64, db *tsdb.Archive, names []string, opts Options) error {
-	final := filepath.Join(dir, fmt.Sprintf(snapPattern, seq))
+// writePartial writes an incremental snapshot for seq: only the named
+// (dirty) series, under the part- file class, extending the chain that
+// hangs off the shard's newest full snapshot. Same write protocol as a
+// full snapshot — the file carries the same deletion fence.
+func writePartial(dir string, seq uint64, db *tsdb.Archive, names []string, opts Options) error {
+	return writeArchiveFile(dir, partPattern, seq, db, names, opts)
+}
+
+func writeArchiveFile(dir, pattern string, seq uint64, db *tsdb.Archive, names []string, opts Options) error {
+	final := filepath.Join(dir, fmt.Sprintf(pattern, seq))
 	err := fsutil.WriteFileAtomic(final, func(w io.Writer) error {
 		_, werr := db.WriteSeriesTo(w, names)
 		return werr

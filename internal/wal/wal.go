@@ -6,16 +6,20 @@
 // durability is built directly on the segment wire format: every record
 // is one (series, contract, segment) entry, checksummed with the
 // internal/encode record framing, and a snapshot is the archive's own
-// container format. A data directory holds at most one snapshot
-// generation and the write-ahead tail that follows it:
+// container format. A data directory holds one full snapshot
+// generation, an optional chain of incremental snapshots hanging off
+// it (each carrying only the series dirtied since the previous file),
+// and the write-ahead tail that follows:
 //
 //	data/
-//	  snap-00000007.plaa   archive state through wal seq 7
-//	  wal-00000008.log     segments appended since that snapshot
+//	  snap-00000007.plaa   full archive state through wal seq 7
+//	  part-00000009.plaa   series dirtied in seqs 8–9, at their seq-9 state
+//	  wal-00000010.log     segments appended since that snapshot
 //
-// Recovery loads the newest readable snapshot, replays every remaining
-// wal file in sequence order (truncating a torn tail left by a crash
-// mid-write), and opens a fresh tail. Records carry the index the
+// Recovery loads the chain newest-first (the latest copy of each
+// series wins; an unreadable link falls back to the older generation),
+// replays every remaining wal file in sequence order (truncating a
+// torn tail left by a crash mid-write), and opens a fresh tail. Records carry the index the
 // segment expects to land at in its series, so replaying a wal file that
 // partially overlaps a snapshot — the state a crash during compaction
 // leaves behind — deduplicates exactly instead of double-appending.
@@ -115,6 +119,14 @@ const (
 	// role the snapshot file plays for the in-memory backend (it is the
 	// compaction fence the wal files ≤ seq are deleted behind).
 	markPattern = "seal-%08d.mark"
+
+	// partPattern names a shard's incremental snapshots under the
+	// in-memory backend: `part-<seq>.plaa` holds only the series dirtied
+	// since the previous snapshot file, chained off the shard's newest
+	// full snapshot. A partial carries the same "wal files ≤ seq are
+	// deletable" fence a full snapshot does; recovery reads the chain
+	// newest-first so the latest copy of each series wins.
+	partPattern = "part-%08d.plaa"
 )
 
 // Record payload flags.

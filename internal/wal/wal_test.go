@@ -137,7 +137,7 @@ func TestTornTailTruncation(t *testing.T) {
 	}
 
 	// Tear the last record: chop 3 bytes off the only wal file.
-	_, wals, _, err := scanDir(shard0Dir(dir), Options{})
+	_, _, wals, _, err := scanDir(shard0Dir(dir), Options{})
 	if err != nil || len(wals) != 1 {
 		t.Fatalf("scan: %v, %d wal files", err, len(wals))
 	}
@@ -194,7 +194,7 @@ func TestSnapshotPlusTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The superseded wal file must be gone.
-	_, wals, _, _ := scanDir(shard0Dir(dir), Options{})
+	_, _, wals, _, _ := scanDir(shard0Dir(dir), Options{})
 	for _, wf := range wals {
 		if wf.seq <= oldSeq {
 			t.Fatalf("wal seq %d survived compaction", wf.seq)
@@ -229,7 +229,7 @@ func TestCrashMidCompaction(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Save the rotated wal before Snapshot deletes it.
-	_, wals, _, _ := scanDir(shard0Dir(dir), Options{})
+	_, _, wals, _, _ := scanDir(shard0Dir(dir), Options{})
 	var oldPath string
 	var oldBytes []byte
 	for _, wf := range wals {
@@ -284,7 +284,7 @@ func TestRecoverySurvivesCorruptSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	snaps, _, _, _ := scanDir(shard0Dir(dir), Options{})
+	snaps, _, _, _, _ := scanDir(shard0Dir(dir), Options{})
 	if len(snaps) != 1 {
 		t.Fatalf("%d snapshots, want 1", len(snaps))
 	}
@@ -321,7 +321,7 @@ func TestCloseSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	snaps, wals, _, err := scanDir(shard0Dir(dir), Options{})
+	snaps, _, wals, _, err := scanDir(shard0Dir(dir), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -421,7 +421,7 @@ func TestReplaySkipsRenamedFile(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	_, wals, _, err := scanDir(shard0Dir(dir), Options{})
+	_, _, wals, _, err := scanDir(shard0Dir(dir), Options{})
 	if err != nil || len(wals) != 1 {
 		t.Fatalf("scan: %v (%d files)", err, len(wals))
 	}
@@ -446,7 +446,7 @@ func TestScanDirIgnoresStrangers(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	snaps, wals, _, err := scanDir(dir, Options{})
+	snaps, _, wals, _, err := scanDir(dir, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -483,7 +483,7 @@ func TestPartitionedLayout(t *testing.T) {
 	total := 0
 	for k := 0; k < 4; k++ {
 		sdir := filepath.Join(dir, shardDirName(k))
-		snaps, wals, _, err := scanDir(sdir, Options{})
+		snaps, _, wals, _, err := scanDir(sdir, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -491,7 +491,7 @@ func TestPartitionedLayout(t *testing.T) {
 			t.Fatalf("shard %d: %d snapshots, %d wals; want 1, 0", k, len(snaps), len(wals))
 		}
 		part := tsdb.New()
-		n, err := loadSnapshot(snaps[0].path, part)
+		n, err := mergeSnapshot(snaps[0].path, part)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -581,7 +581,7 @@ func TestLegacySingleLogMigration(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	snaps, wals, _, err := scanDir(shard0Dir(dir), Options{})
+	snaps, _, wals, _, err := scanDir(shard0Dir(dir), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -604,7 +604,7 @@ func TestLegacySingleLogMigration(t *testing.T) {
 	}
 
 	// Root holds no log files any more; the state lives in shard dirs.
-	rootSnaps, rootWals, _, err := scanDir(dir, Options{})
+	rootSnaps, _, rootWals, _, err := scanDir(dir, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -637,7 +637,7 @@ func TestCrashMidMigrationReconciles(t *testing.T) {
 	// copy — the overlap state a crash between write-new and delete-old
 	// leaves (here the copies are equal-length; longest-wins keeps one).
 	for k := 0; k < 2; k++ {
-		snaps, _, _, err := scanDir(filepath.Join(dir, shardDirName(k)), Options{})
+		snaps, _, _, _, err := scanDir(filepath.Join(dir, shardDirName(k)), Options{})
 		if err != nil || len(snaps) != 1 {
 			t.Fatalf("shard %d scan: %v (%d snaps)", k, err, len(snaps))
 		}
