@@ -12,7 +12,7 @@ GO ?= go
 COVER_FLOORS = internal/core:95 internal/tsdb:83 internal/tsdb/mmapstore:80 internal/wal:70 \
 	internal/sketch:90 internal/query:92
 
-.PHONY: verify fmt-check build test race bench-smoke agg-smoke cover-check oracle-sweep
+.PHONY: verify fmt-check build test race bench-smoke agg-smoke cover-check alloc-check oracle-sweep
 
 verify: fmt-check
 	$(GO) vet ./...
@@ -37,6 +37,7 @@ race:
 bench-smoke:
 	$(GO) run ./cmd/plabench -server-bench -server-clients 4,16 -server-points 4000,1000 \
 		-server-rounds 2 -server-sync mem,always -server-store mem,mmap \
+		-server-transport tcp,udp \
 		-server-lag 0,10,100 -server-lag-eps 0.5 \
 		-o bench-smoke.json
 
@@ -46,6 +47,18 @@ bench-smoke:
 agg-smoke:
 	$(GO) run ./cmd/plabench -server-agg -server-agg-segments 20000 -server-rounds 2 \
 		-o agg-smoke.json
+
+# Zero-allocation ratchet for the ingest hot loops: every *ZeroAlloc
+# benchmark (frame/record encode, shard apply, datagram header) must
+# report exactly 0 allocs/op, or the build fails. A new allocation on
+# these paths is a perf regression even when every test still passes.
+alloc-check:
+	@out=$$($(GO) test -run NONE -bench ZeroAlloc -benchmem -benchtime 10000x \
+		./internal/encode/ ./internal/server/ ./internal/udpingest/); \
+	echo "$$out" | grep -E "^Benchmark" || { echo "alloc-check: no ZeroAlloc benchmarks ran"; exit 1; }; \
+	echo "$$out" | awk '/allocs\/op/ { a=""; for (i=1;i<=NF;i++) if ($$i=="allocs/op") a=$$(i-1); \
+		if (a+0 > 0) { print "alloc-check: " $$1 " allocates (" a " allocs/op)"; fail=1 } } \
+		END { exit fail }'
 
 cover-check:
 	@fail=0; \

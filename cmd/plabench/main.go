@@ -7,7 +7,8 @@
 //	         [-quick] [-seed n] [-dump-sst file.csv]
 //	plabench -server-bench [-server-clients 8,64] [-server-points 20000,2500]
 //	         [-server-rounds 5] [-server-shards 8]
-//	         [-server-sync mem,interval,always] [-o BENCH.json]
+//	         [-server-sync mem,interval,always]
+//	         [-server-transport tcp,udp] [-server-cores 1,2,4,8] [-o BENCH.json]
 //	plabench -server-agg [-server-agg-segments 85000] [-o AGG.json]
 //
 // -quick shrinks the synthetic workloads for a fast smoke run; the
@@ -18,7 +19,10 @@
 // comma-separated lists, so one run can cover both the few-big-sessions
 // and many-small-sessions (fsync-bound, where group commit shows)
 // shapes — and, with -o, writes a JSON snapshot for cross-PR perf
-// tracking.
+// tracking. -server-transport sweeps the ingest wire (loopback TCP vs
+// the PLU1 datagram transport) and -server-cores sweeps GOMAXPROCS per
+// combination, with as many SO_REUSEPORT datagram listeners as cores —
+// the raw-speed scaling picture.
 package main
 
 import (
@@ -44,6 +48,8 @@ func main() {
 		srvShards  = flag.Int("server-shards", 8, "server shard count for -server-bench")
 		srvSync    = flag.String("server-sync", "mem,interval,always", "comma-separated durability modes for -server-bench: mem, off, interval, always")
 		srvStore   = flag.String("server-store", "mem", "comma-separated store backends for -server-bench: mem, mmap (mmap skips the sync=mem row)")
+		srvTrans   = flag.String("server-transport", "tcp", "comma-separated ingest transports for -server-bench: tcp, udp")
+		srvCores   = flag.String("server-cores", "", "comma-separated GOMAXPROCS values swept per -server-bench combination (empty = leave as-is)")
 		srvLag     = flag.String("server-lag", "", "comma-separated m_max_lag bounds for the lag-bounded -server-bench workload (0 = unbounded; empty disables)")
 		srvLagEps  = flag.String("server-lag-eps", "0.1,0.5,2", "comma-separated ε values swept per -server-lag bound")
 		srvAgg     = flag.Bool("server-agg", false, "measure the AGG pushdown vs SCAN-and-fold on a week-scale range and exit")
@@ -60,7 +66,7 @@ func main() {
 	}
 
 	if *srvBench {
-		if err := serverBench(*srvClients, *srvPoints, *srvRounds, *srvShards, *srvSync, *srvStore, *srvLag, *srvLagEps, *out); err != nil {
+		if err := serverBench(*srvClients, *srvPoints, *srvRounds, *srvShards, *srvSync, *srvStore, *srvTrans, *srvCores, *srvLag, *srvLagEps, *out); err != nil {
 			fatal(err)
 		}
 		return

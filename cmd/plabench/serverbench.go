@@ -7,6 +7,7 @@ import (
 	"math"
 	"net"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -30,7 +31,14 @@ type ServerBenchResult struct {
 	Sync  string `json:"sync"`
 	// Store is the segment-store backend ("mem" heap slices, "mmap"
 	// memory-mapped sealed extents). Empty means "mem" (pre-PR 5 rows).
-	Store       string  `json:"store,omitempty"`
+	Store string `json:"store,omitempty"`
+	// Transport is the ingest wire ("tcp" framed streams, "udp" PLU1
+	// datagrams). Empty means "tcp" (pre-PR 7 rows).
+	Transport string `json:"transport,omitempty"`
+	// Cores is the GOMAXPROCS the round ran under; 0 means the process
+	// default (no -server-cores sweep). UDP rounds run one SO_REUSEPORT
+	// listener per core.
+	Cores       int     `json:"cores,omitempty"`
 	Clients     int     `json:"clients"`
 	PointsEach  int     `json:"points_each"`
 	Rounds      int     `json:"rounds"`
@@ -75,12 +83,14 @@ type ServerBenchResult struct {
 
 // serverBench measures the concurrent network-ingest path (via the shared
 // internal/loadgen driver the Go benchmark also uses) once per requested
-// (workload × sync mode) pair and, with outPath, writes the results as a
-// JSON array. clientsList and pointsList are parallel comma-separated
-// lists: "8,64" clients with "20000,2500" points runs two workloads —
-// the second (many sessions, few points each) is the fsync-bound shape
-// where group commit shows.
-func serverBench(clientsList, pointsList string, rounds, shards int, syncModes, storeList, lagList, lagEpsList, outPath string) error {
+// (workload × store × sync mode × transport × cores) combination and,
+// with outPath, writes the results as a JSON array. clientsList and
+// pointsList are parallel comma-separated lists: "8,64" clients with
+// "20000,2500" points runs two workloads — the second (many sessions,
+// few points each) is the fsync-bound shape where group commit shows.
+// transportList sweeps the ingest wire and coresList GOMAXPROCS (empty
+// = the process default, recorded as 0).
+func serverBench(clientsList, pointsList string, rounds, shards int, syncModes, storeList, transportList, coresList, lagList, lagEpsList, outPath string) error {
 	clientCounts, err := atoiList(clientsList)
 	if err != nil {
 		return fmt.Errorf("bad -server-clients: %w", err)
@@ -104,6 +114,21 @@ func serverBench(clientsList, pointsList string, rounds, shards int, syncModes, 
 	if len(stores) == 0 {
 		stores = []string{"mem"}
 	}
+	var transports []string
+	for _, tr := range strings.Split(transportList, ",") {
+		if tr = strings.TrimSpace(tr); tr != "" {
+			transports = append(transports, tr)
+		}
+	}
+	if len(transports) == 0 {
+		transports = []string{"tcp"}
+	}
+	cores := []int{0} // 0 = leave GOMAXPROCS alone
+	if strings.TrimSpace(coresList) != "" {
+		if cores, err = atoiList(coresList); err != nil {
+			return fmt.Errorf("bad -server-cores: %w", err)
+		}
+	}
 	var results []ServerBenchResult
 	for i, clients := range clientCounts {
 		points := pointCounts[i]
@@ -118,18 +143,26 @@ func serverBench(clientsList, pointsList string, rounds, shards int, syncModes, 
 					// in-memory row only exists for the mem backend.
 					continue
 				}
-				res, err := serverBenchMode(clients, points, rounds, shards, mode, store)
-				if err != nil {
-					return fmt.Errorf("store %s mode %s: %w", store, mode, err)
+				for _, transport := range transports {
+					for _, ncores := range cores {
+						res, err := serverBenchMode(clients, points, rounds, shards, mode, store, transport, ncores)
+						if err != nil {
+							return fmt.Errorf("store %s mode %s transport %s cores %d: %w", store, mode, transport, ncores, err)
+						}
+						cold := ""
+						if res.RecoverSeconds > 0 {
+							cold = fmt.Sprintf(", cold start %.6fs for %d segments (%.0f segments/s)",
+								res.RecoverSeconds, res.RecoveredSegments, res.RecoverSegmentsPerS)
+						}
+						coreTag := ""
+						if ncores > 0 {
+							coreTag = fmt.Sprintf("/%d cores", ncores)
+						}
+						fmt.Printf("server ingest [%s/%s/%s%s]: %d clients × %d points in %.6fs (%.0f points/s, %.1fx byte compression%s)\n",
+							store, mode, transport, coreTag, clients, points, res.Seconds, res.PointsPerS, res.ByteRatio, cold)
+						results = append(results, res)
+					}
 				}
-				cold := ""
-				if res.RecoverSeconds > 0 {
-					cold = fmt.Sprintf(", cold start %.6fs for %d segments (%.0f segments/s)",
-						res.RecoverSeconds, res.RecoveredSegments, res.RecoverSegmentsPerS)
-				}
-				fmt.Printf("server ingest [%s/%s]: %d clients × %d points in %.6fs (%.0f points/s, %.1fx byte compression%s)\n",
-					store, mode, clients, points, res.Seconds, res.PointsPerS, res.ByteRatio, cold)
-				results = append(results, res)
 			}
 		}
 	}
@@ -471,16 +504,21 @@ func atofList(s string) ([]float64, error) {
 
 // serverBenchMode runs rounds × clients concurrent ingest sessions of the
 // canonical random-walk workload through a loopback plad server in one
-// (durability mode × store backend) combination and reports the best
-// (fastest) round, matching the usual benchmark convention. Durable
-// combinations end with a cold-start measurement: the drained data
-// directory is recovered by a fresh server and the recovery wall time
-// recorded — the mem backend pays a snapshot decode there, the mmap
-// backend a map plus (empty) tail replay.
-func serverBenchMode(clients, points, rounds, shards int, mode, store string) (ServerBenchResult, error) {
+// (durability mode × store backend × transport × cores) combination and
+// reports the best (fastest) round, matching the usual benchmark
+// convention. ncores > 0 pins GOMAXPROCS for the round (restored after)
+// and, for the udp transport, starts that many SO_REUSEPORT listeners.
+// Durable combinations end with a cold-start measurement: the drained
+// data directory is recovered by a fresh server and the recovery wall
+// time recorded — the mem backend pays a snapshot decode there, the
+// mmap backend a map plus (empty) tail replay.
+func serverBenchMode(clients, points, rounds, shards int, mode, store, transport string, ncores int) (ServerBenchResult, error) {
 	backend, err := server.ParseStoreBackend(store)
 	if err != nil {
 		return ServerBenchResult{}, err
+	}
+	if ncores > 0 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(ncores))
 	}
 	cfg := server.Config{Shards: shards, QueueDepth: 4096, StoreBackend: backend}
 	if mode != "mem" {
@@ -505,13 +543,20 @@ func serverBenchMode(clients, points, rounds, shards int, mode, store string) (S
 	}
 	go s.Serve(ln)
 	addr := ln.Addr().String()
+	if transport == "udp" {
+		ua, err := s.ListenUDP("127.0.0.1:0", ncores)
+		if err != nil {
+			return ServerBenchResult{}, err
+		}
+		addr = ua.String()
+	}
 
 	signals := loadgen.Walks(clients, points)
 	best := time.Duration(1<<63 - 1)
 	var wireBytes, segments int64
 	for r := 0; r < rounds; r++ {
 		start := time.Now()
-		res, err := loadgen.Round(addr, fmt.Sprintf("bench-%s-%d", mode, r), signals)
+		res, err := loadgen.RoundOpts(addr, fmt.Sprintf("bench-%s-%s-%d", mode, transport, r), signals, loadgen.Options{Transport: transport})
 		elapsed := time.Since(start)
 		if err != nil {
 			return ServerBenchResult{}, err
@@ -536,6 +581,8 @@ func serverBenchMode(clients, points, rounds, shards int, mode, store string) (S
 		Bench:       "ServerIngest",
 		Sync:        mode,
 		Store:       store,
+		Transport:   transport,
+		Cores:       ncores,
 		Clients:     clients,
 		PointsEach:  points,
 		Rounds:      rounds,

@@ -77,15 +77,20 @@ func demoFilter(kind string, eps float64, maxLag int) (core.Filter, error) {
 }
 
 // runDemo drives the full sensor → server → query loop on loopback and
-// verifies the precision contract end to end. With a DataDir configured
-// it finishes by restarting the server from the data directory alone and
-// verifying the recovered archive segment for segment.
-func runDemo(w io.Writer, cfg server.Config, clients, points, maxLag int) error {
+// verifies the precision contract end to end. transport selects the
+// ingest wire ("tcp" or "udp" — queries always run over TCP). With a
+// DataDir configured it finishes by restarting the server from the data
+// directory alone and verifying the recovered archive segment for
+// segment.
+func runDemo(w io.Writer, cfg server.Config, transport string, clients, points, maxLag int) error {
 	if clients < 1 || points < 10 {
 		return fmt.Errorf("demo needs ≥1 client and ≥10 points")
 	}
 	if maxLag < 0 || maxLag == 1 {
 		return fmt.Errorf("-demo-max-lag must be ≥2 (or 0 to disable)")
+	}
+	if transport == "" {
+		transport = "tcp"
 	}
 	s, err := server.New(nil, cfg)
 	if err != nil {
@@ -98,7 +103,15 @@ func runDemo(w io.Writer, cfg server.Config, clients, points, maxLag int) error 
 	}
 	go s.Serve(ln)
 	addr := ln.Addr().String()
-	fmt.Fprintf(w, "plad demo: server on %s, %d clients × %d points\n", addr, clients, points)
+	ingestAddr := addr
+	if transport == "udp" {
+		ua, err := s.ListenUDP("127.0.0.1:0", 0)
+		if err != nil {
+			return err
+		}
+		ingestAddr = ua.String()
+	}
+	fmt.Fprintf(w, "plad demo: server on %s (%s ingest), %d clients × %d points\n", addr, transport, clients, points)
 
 	fleet := demoFleet(clients, points, maxLag)
 	start := time.Now()
@@ -115,7 +128,7 @@ func runDemo(w io.Writer, cfg server.Config, clients, points, maxLag int) error 
 				errs[i] = err
 				return
 			}
-			c, err := server.Dial(addr, sn.name, f)
+			c, err := server.DialTransport(transport, ingestAddr, sn.name, f)
 			if err != nil {
 				errs[i] = err
 				return

@@ -8,11 +8,12 @@
 //
 //	plad [-addr :7070] [-shards 8] [-queue 1024]
 //	     [-policy block|drop|drop-oldest]
+//	     [-transport tcp|udp] [-udp-listeners N]
 //	     [-data-dir DIR] [-store mem|mmap]
 //	     [-sync always|interval|off] [-sync-every 50ms]
 //	     [-compact-bytes N] [-retain T] [-http ADDR]
 //	plad -demo [-demo-clients 8] [-demo-points 2000] [-demo-max-lag 25]
-//	     [-data-dir DIR]
+//	     [-transport tcp|udp] [-data-dir DIR]
 //
 // Without -demo, plad serves until SIGINT/SIGTERM, then drains its shard
 // queues and exits. With -data-dir the archive is durable through a
@@ -33,7 +34,11 @@
 // checksummed files under <data-dir>/mstore, compaction seals instead
 // of snapshotting, and a cold start maps the extents and replays only
 // the WAL tail. A directory written by the other backend migrates in
-// one shot on boot.
+// one shot on boot. -transport udp additionally opens the datagram
+// ingest endpoint on the same port number as -addr: -udp-listeners
+// SO_REUSEPORT sockets (one per core by default) accept PLU1 sessions
+// that land in the same shard pipeline, write-ahead log and archive as
+// TCP sessions; stream ingest and queries stay on TCP either way.
 //
 // With -demo it starts a server on an ephemeral loopback port, drives
 // -demo-clients concurrent sensors through it (synthetic signals from
@@ -80,6 +85,8 @@ func main() {
 		commitLinger = flag.Duration("commit-linger", 5*time.Millisecond, "group-commit linger ceiling: how long a shard's committer may wait for more session barriers to share one fsync (negative = never linger)")
 		commitBatch  = flag.Int("commit-max-batch", 0, "stop lingering once a commit batch holds this many barriers (0 = no bound)")
 		retain       = flag.Float64("retain", 0, "retention window in stream-time units; compaction drops older segments (0 = keep everything)")
+		transport    = flag.String("transport", "tcp", "ingest transport: tcp, or udp (adds the datagram endpoint on -addr's port; TCP keeps serving streams and queries)")
+		udpListeners = flag.Int("udp-listeners", 0, "SO_REUSEPORT datagram listeners with -transport udp (0 = one per core)")
 		httpAddr     = flag.String("http", "", "serve /metrics and /healthz on this address (empty = disabled)")
 		demo         = flag.Bool("demo", false, "run the loopback self-check demo and exit")
 		demoClients  = flag.Int("demo-clients", 8, "concurrent sensors in the demo")
@@ -124,8 +131,14 @@ func main() {
 	}
 	cfg.StoreBackend = backend
 
+	switch *transport {
+	case "tcp", "udp":
+	default:
+		fatal(fmt.Errorf("unknown -transport %q (want tcp or udp)", *transport))
+	}
+
 	if *demo {
-		if err := runDemo(os.Stdout, cfg, *demoClients, *demoPoints, *demoMaxLag); err != nil {
+		if err := runDemo(os.Stdout, cfg, *transport, *demoClients, *demoPoints, *demoMaxLag); err != nil {
 			fatal(err)
 		}
 		return
@@ -134,6 +147,13 @@ func main() {
 	s, err := server.New(nil, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *transport == "udp" {
+		ua, err := s.ListenUDP(*addr, *udpListeners)
+		if err != nil {
+			fatal(fmt.Errorf("udp ingest: %w", err))
+		}
+		fmt.Printf("plad: udp ingest on %s\n", ua)
 	}
 	var httpLn net.Listener
 	if *httpAddr != "" {

@@ -14,7 +14,7 @@ import (
 func TestDemo(t *testing.T) {
 	var out bytes.Buffer
 	cfg := server.Config{Shards: 4, QueueDepth: 128}
-	if err := runDemo(&out, cfg, 9, 400, 25); err != nil {
+	if err := runDemo(&out, cfg, "tcp", 9, 400, 25); err != nil {
 		t.Fatalf("demo: %v\noutput:\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "all precision bands verified") {
@@ -25,6 +25,23 @@ func TestDemo(t *testing.T) {
 	}
 }
 
+// TestDemoUDP runs the same self-check with the fleet streaming over
+// the datagram transport: the precision bands and lag accounting must
+// hold regardless of the ingest wire.
+func TestDemoUDP(t *testing.T) {
+	var out bytes.Buffer
+	cfg := server.Config{Shards: 4, QueueDepth: 128}
+	if err := runDemo(&out, cfg, "udp", 9, 400, 25); err != nil {
+		t.Fatalf("udp demo: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "udp ingest") {
+		t.Errorf("udp demo output missing transport banner:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "all precision bands verified") {
+		t.Errorf("udp demo output missing verification line:\n%s", out.String())
+	}
+}
+
 // TestDemoDropPolicy smoke-tests the shed configurations end to end;
 // with a sane queue depth nothing is actually shed, so the bands still
 // hold.
@@ -32,7 +49,7 @@ func TestDemoDropPolicy(t *testing.T) {
 	for _, policy := range []server.DropPolicy{server.DropNewest, server.DropOldest} {
 		var out bytes.Buffer
 		cfg := server.Config{Shards: 2, QueueDepth: 1024, Policy: policy}
-		if err := runDemo(&out, cfg, 4, 300, 25); err != nil {
+		if err := runDemo(&out, cfg, "tcp", 4, 300, 25); err != nil {
 			t.Fatalf("demo (%s): %v\noutput:\n%s", policy, err, out.String())
 		}
 	}
@@ -48,7 +65,7 @@ func TestDemoDurable(t *testing.T) {
 		DataDir: t.TempDir(),
 		Sync:    wal.SyncAlways,
 	}
-	if err := runDemo(&out, cfg, 6, 400, 25); err != nil {
+	if err := runDemo(&out, cfg, "tcp", 6, 400, 25); err != nil {
 		t.Fatalf("durable demo: %v\noutput:\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "restart from") {

@@ -1,0 +1,115 @@
+package encode
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// The ZeroAlloc benchmarks are the allocation ratchet: `make alloc-check`
+// runs every benchmark whose name ends in ZeroAlloc with -benchmem and
+// fails the build if any reports more than 0 allocs/op. Amortized costs
+// (slice doubling, the decoder's vector arena) are deliberately allowed —
+// they vanish in the per-op average — but anything per-frame, per-record
+// or per-segment shows up as ≥1 and fails.
+
+func BenchmarkFrameWriteZeroAlloc(b *testing.B) {
+	fw := NewFrameWriter(NewCountingWriter(io.Discard))
+	payload := bytes.Repeat([]byte{0xAB}, 512)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecordWriteZeroAlloc(b *testing.B) {
+	rw := NewRecordWriter(io.Discard)
+	payload := bytes.Repeat([]byte{0xCD}, 256)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rw.WriteRecord(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeSegmentZeroAlloc(b *testing.B) {
+	e, err := NewEncoder(NewFrameWriter(NewCountingWriter(io.Discard)), []float64{0.5}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x0, x1 := []float64{1.5}, []float64{2.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seg := core.Segment{T0: float64(2 * i), T1: float64(2*i + 1), X0: x0, X1: x1, Points: 2}
+		if err := e.WriteSegment(seg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// loopReader serves head once, then repeats body forever — an infinite
+// well-formed stream, so the decode benchmark can run b.N segments
+// without materialising b.N segments of input.
+type loopReader struct {
+	head   []byte
+	body   []byte
+	pos    int
+	inBody bool
+}
+
+func (l *loopReader) Read(p []byte) (int, error) {
+	src := l.head
+	if l.inBody {
+		src = l.body
+	}
+	if l.pos == len(src) {
+		l.inBody = true
+		l.pos = 0
+		src = l.body
+	}
+	n := copy(p, src[l.pos:])
+	l.pos += n
+	return n, nil
+}
+
+func BenchmarkDecodeSegmentZeroAlloc(b *testing.B) {
+	var buf bytes.Buffer
+	e, err := NewEncoder(&buf, []float64{0.5}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	head := append([]byte(nil), buf.Bytes()...)
+	seg := core.Segment{T0: 0, T1: 1, X0: []float64{1.5}, X1: []float64{2.5}, Points: 2}
+	if err := e.WriteSegment(seg); err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	body := append([]byte(nil), buf.Bytes()[len(head):]...)
+
+	d, err := NewDecoder(&loopReader{head: head, body: body})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

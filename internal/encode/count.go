@@ -1,17 +1,33 @@
 package encode
 
-import "io"
+import (
+	"io"
+	"net"
+)
 
 // CountingWriter counts the bytes written through it — the module's one
 // implementation of the wrapper the codec, the network client, and the
-// server all need for wire accounting.
+// server all need for wire accounting. Over a TCP connection it also
+// exposes gather writes (WriteBuffers), so framing layers can hand the
+// kernel a header and a payload in one writev instead of copying them
+// into a contiguous scratch buffer first.
 type CountingWriter struct {
-	w io.Writer
-	n int64
+	w   io.Writer
+	n   int64
+	tcp *net.TCPConn // non-nil when w reaches a real writev
+	vec net.Buffers  // reused gather slice (backed by vecbuf)
+
+	vecbuf [2][]byte
 }
 
 // NewCountingWriter returns a counting wrapper over w.
-func NewCountingWriter(w io.Writer) *CountingWriter { return &CountingWriter{w: w} }
+func NewCountingWriter(w io.Writer) *CountingWriter {
+	cw := &CountingWriter{w: w}
+	if tc, ok := w.(*net.TCPConn); ok {
+		cw.tcp = tc
+	}
+	return cw
+}
 
 func (c *CountingWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
@@ -19,8 +35,34 @@ func (c *CountingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Vectored reports whether WriteBuffers reaches a genuine gather
+// syscall. Framing layers check it once at construction and fall back
+// to a pooled copy otherwise, preserving their one-Write-per-frame
+// contract on pipes and test writers.
+func (c *CountingWriter) Vectored() bool { return c.tcp != nil }
+
+// WriteBuffers writes hdr then p as a single gather write (writev on
+// the TCP connection), so a frame costs zero userspace copies. Only
+// valid when Vectored reports true.
+func (c *CountingWriter) WriteBuffers(hdr, p []byte) (int, error) {
+	c.vecbuf[0], c.vecbuf[1] = hdr, p
+	c.vec = net.Buffers(c.vecbuf[:])
+	nn, err := c.vec.WriteTo(c.tcp)
+	c.n += nn
+	return int(nn), err
+}
+
 // BytesWritten returns the bytes written so far.
 func (c *CountingWriter) BytesWritten() int64 { return c.n }
+
+// BuffersWriter is the gather-write capability FrameWriter probes for:
+// writers that can emit a frame header and payload in one vectored
+// syscall without an intermediate copy. *CountingWriter over a TCP
+// connection implements it.
+type BuffersWriter interface {
+	Vectored() bool
+	WriteBuffers(hdr, p []byte) (int, error)
+}
 
 // CountingReader counts the bytes read through it.
 type CountingReader struct {

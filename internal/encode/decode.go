@@ -25,6 +25,33 @@ type Decoder struct {
 	haveLast bool
 	done     bool
 	buf      [8]byte
+	chunk    []float64 // arena the per-segment vectors are carved from
+}
+
+// vecChunk is how many dim-sized vectors one decoder arena chunk holds:
+// steady-state decode costs one allocation per vecChunk segments instead
+// of one per segment. Decoded segments keep their slices forever (they
+// land in the archive), so handing out sub-slices of a retained chunk
+// wastes nothing.
+const vecChunk = 256
+
+// maxChunkFloats caps a chunk's footprint so absurd-dimensional streams
+// do not trigger a huge up-front allocation; past the cap the decoder
+// degrades to one allocation per vector, exactly the old behaviour.
+const maxChunkFloats = 1 << 16
+
+// newVec returns a fresh dim-sized vector carved from the arena.
+func (d *Decoder) newVec() []float64 {
+	if len(d.chunk) < d.dim {
+		n := d.dim * vecChunk
+		if n > maxChunkFloats {
+			n = d.dim
+		}
+		d.chunk = make([]float64, n)
+	}
+	x := d.chunk[:d.dim:d.dim]
+	d.chunk = d.chunk[d.dim:]
+	return x
 }
 
 // NewDecoder reads and validates the stream header, accepting both the
@@ -111,7 +138,7 @@ func (d *Decoder) readFloat() (float64, error) {
 }
 
 func (d *Decoder) readVec() ([]float64, error) {
-	x := make([]float64, d.dim)
+	x := d.newVec()
 	for i := range x {
 		v, err := d.readFloat()
 		if err != nil {
@@ -159,7 +186,8 @@ func (d *Decoder) Next() (core.Segment, error) {
 			return s, fmt.Errorf("%w: connected segment with no predecessor", ErrFormat)
 		}
 		s.T0 = d.lastT
-		s.X0 = append([]float64(nil), d.lastX...)
+		s.X0 = d.newVec()
+		copy(s.X0, d.lastX)
 		s.Connected = true
 		if s.T1, err = d.readFloat(); err != nil {
 			return s, fmt.Errorf("%w: truncated connected segment", ErrFormat)

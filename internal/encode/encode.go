@@ -147,6 +147,9 @@ type Encoder struct {
 	haveLast bool
 	closed   bool
 	buf      [8]byte
+	// vbuf backs uvarint encoding; a field rather than a local so the
+	// slice handed to bufio does not force a per-segment heap escape.
+	vbuf [binary.MaxVarintLen64]byte
 }
 
 // NewEncoder writes a version-1 stream header for a dim-dimensional
@@ -230,9 +233,8 @@ func (e *Encoder) writePoints(n int) error {
 	if n < 0 {
 		n = 0
 	}
-	var tmp [binary.MaxVarintLen64]byte
-	k := binary.PutUvarint(tmp[:], uint64(n))
-	_, err := e.bw.Write(tmp[:k])
+	k := binary.PutUvarint(e.vbuf[:], uint64(n))
+	_, err := e.bw.Write(e.vbuf[:k])
 	return err
 }
 

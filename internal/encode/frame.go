@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Framing wraps an encoded stream in length-prefixed frames so it can be
@@ -20,16 +21,34 @@ import (
 // frames as malformed rather than allocating unboundedly.
 const MaxFrame = 1 << 24
 
+// scratch pools the single-write assembly buffers FrameWriter and
+// RecordWriter use on writers without gather support, so steady-state
+// framing allocates nothing regardless of how many sessions or wal
+// shards are live.
+var scratch = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
 // FrameWriter is an io.Writer that emits each Write as one
 // length-prefixed frame on the underlying writer, using a single
-// underlying Write per frame (one packet on an unbuffered socket).
+// underlying write per frame (one packet on an unbuffered socket): a
+// gather write when the writer supports it (a TCP connection — zero
+// copies beyond the kernel), a pooled-buffer copy otherwise.
 type FrameWriter struct {
-	w   io.Writer
-	buf []byte
+	w      io.Writer
+	bw     BuffersWriter // non-nil when w reaches a real writev
+	lenBuf [binary.MaxVarintLen64]byte
 }
 
 // NewFrameWriter returns a FrameWriter over w.
-func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w} }
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	fw := &FrameWriter{w: w}
+	if bw, ok := w.(BuffersWriter); ok && bw.Vectored() {
+		fw.bw = bw
+	}
+	return fw
+}
 
 // Write frames p and writes it out. Empty writes emit nothing.
 func (fw *FrameWriter) Write(p []byte) (int, error) {
@@ -39,11 +58,20 @@ func (fw *FrameWriter) Write(p []byte) (int, error) {
 	if len(p) > MaxFrame {
 		return 0, fmt.Errorf("%w: frame of %d bytes exceeds %d", ErrFormat, len(p), MaxFrame)
 	}
-	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(tmp[:], uint64(len(p)))
-	fw.buf = append(fw.buf[:0], tmp[:n]...)
-	fw.buf = append(fw.buf, p...)
-	if _, err := fw.w.Write(fw.buf); err != nil {
+	n := binary.PutUvarint(fw.lenBuf[:], uint64(len(p)))
+	if fw.bw != nil {
+		if _, err := fw.bw.WriteBuffers(fw.lenBuf[:n], p); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	bp := scratch.Get().(*[]byte)
+	buf := append((*bp)[:0], fw.lenBuf[:n]...)
+	buf = append(buf, p...)
+	_, err := fw.w.Write(buf)
+	*bp = buf
+	scratch.Put(bp)
+	if err != nil {
 		return 0, err
 	}
 	return len(p), nil

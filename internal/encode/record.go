@@ -31,10 +31,11 @@ var ErrTorn = fmt.Errorf("%w: torn record", ErrFormat)
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // RecordWriter frames each WriteRecord as one checksummed record on the
-// underlying writer, using a single underlying Write per record.
+// underlying writer, using a single underlying Write per record. The
+// assembly buffer comes from the shared framing pool, so any number of
+// concurrent wal shards write records without steady-state allocation.
 type RecordWriter struct {
-	w   io.Writer
-	buf []byte
+	w io.Writer
 }
 
 // NewRecordWriter returns a RecordWriter over w.
@@ -49,12 +50,15 @@ func (rw *RecordWriter) WriteRecord(p []byte) (int, error) {
 	}
 	var tmp [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(tmp[:], uint64(len(p)))
-	rw.buf = append(rw.buf[:0], tmp[:n]...)
-	rw.buf = append(rw.buf, p...)
+	bp := scratch.Get().(*[]byte)
+	buf := append((*bp)[:0], tmp[:n]...)
+	buf = append(buf, p...)
 	var crc [4]byte
 	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(p, castagnoli))
-	rw.buf = append(rw.buf, crc[:]...)
-	k, err := rw.w.Write(rw.buf)
+	buf = append(buf, crc[:]...)
+	k, err := rw.w.Write(buf)
+	*bp = buf
+	scratch.Put(bp)
 	return k, err
 }
 

@@ -1,8 +1,9 @@
 // Package loadgen is the shared concurrent-ingest driver behind both the
 // Go benchmark (internal/server's BenchmarkServerIngest) and the JSON
 // perf trajectory (plabench -server-bench): one implementation of "N
-// clients filter a random walk and stream it over loopback TCP", so the
-// two measurements cannot drift apart.
+// clients filter a random walk and stream it over loopback" — TCP or
+// the datagram transport, per Options.Transport — so the measurements
+// cannot drift apart.
 package loadgen
 
 import (
@@ -47,6 +48,10 @@ type Options struct {
 	// points with a heartbeat Flush between chunks — the quiet-stream
 	// cadence of a real sensor, forcing pending-window emission.
 	FlushEvery int
+	// Transport selects the ingest wire: "tcp" (or empty) for the framed
+	// stream protocol, "udp" for the datagram transport. The addr passed
+	// to RoundOpts must be the matching endpoint.
+	Transport string
 }
 
 func (o Options) epsilon() float64 {
@@ -111,7 +116,7 @@ func RoundOpts(addr, prefix string, signals [][]core.Point, opt Options) (Result
 // runClient drives one full ingest session.
 func runClient(addr, name string, signal []core.Point, opt Options) (Result, error) {
 	spec := server.FilterSpec{Kind: opt.Kind, Epsilon: []float64{opt.epsilon()}, MaxLag: opt.MaxLag}
-	cl, err := server.DialSpec(addr, name, spec)
+	cl, err := server.DialSpecTransport(opt.Transport, addr, name, spec)
 	if err != nil {
 		return Result{}, err
 	}

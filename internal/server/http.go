@@ -35,6 +35,25 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP plad_sessions_active Ingest sessions streaming right now.\n# TYPE plad_sessions_active gauge\nplad_sessions_active %d\n", m.ActiveSessions)
 	fmt.Fprintf(w, "# HELP plad_sessions_total Ingest handshakes accepted over the server's lifetime.\n# TYPE plad_sessions_total counter\nplad_sessions_total %d\n", m.TotalSessions)
 
+	// Per-transport attribution: which wire sessions and segments came
+	// in over. TCP is the framed stream protocol, UDP the datagram
+	// transport (ListenUDP).
+	fmt.Fprintf(w, "# HELP plad_transport_sessions_total Ingest sessions accepted, by transport.\n# TYPE plad_transport_sessions_total counter\n")
+	fmt.Fprintf(w, "plad_transport_sessions_total{transport=\"tcp\"} %d\n", m.TotalSessions-m.UDPSessions)
+	fmt.Fprintf(w, "plad_transport_sessions_total{transport=\"udp\"} %d\n", m.UDPSessions)
+	fmt.Fprintf(w, "# HELP plad_transport_segments_total Segments accepted into the shard pipeline, by transport.\n# TYPE plad_transport_segments_total counter\n")
+	fmt.Fprintf(w, "plad_transport_segments_total{transport=\"tcp\"} %d\n", m.TCPSegments)
+	fmt.Fprintf(w, "plad_transport_segments_total{transport=\"udp\"} %d\n", m.UDPSegments)
+
+	// Datagram-transport health: drops and dups are normal under loss —
+	// the go-back-N window absorbs them — but a rising drop rate with a
+	// full inbox means the archive path, not the network, is the
+	// bottleneck.
+	fmt.Fprintf(w, "# HELP plad_udp_datagrams_total Well-formed datagrams received by the UDP ingest listeners.\n# TYPE plad_udp_datagrams_total counter\nplad_udp_datagrams_total %d\n", m.UDP.Datagrams)
+	fmt.Fprintf(w, "# HELP plad_udp_drops_total Datagrams dropped: malformed, unroutable, or shed by inbox backpressure.\n# TYPE plad_udp_drops_total counter\nplad_udp_drops_total %d\n", m.UDP.Drops)
+	fmt.Fprintf(w, "# HELP plad_udp_dups_total Retransmitted datagrams carrying already-delivered data.\n# TYPE plad_udp_dups_total counter\nplad_udp_dups_total %d\n", m.UDP.Dups)
+	fmt.Fprintf(w, "# HELP plad_udp_out_of_window_total Datagrams too far ahead of the reassembly window to buffer.\n# TYPE plad_udp_out_of_window_total counter\nplad_udp_out_of_window_total %d\n", m.UDP.OutOfWindow)
+
 	emit := func(name, typ, help string, val func(ShardMetrics) int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 		for _, sm := range m.Shards {

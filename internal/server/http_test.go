@@ -39,7 +39,8 @@ func TestHTTPObservability(t *testing.T) {
 		t.Fatalf("/healthz = %d %q, want 200 ok", code, body)
 	}
 
-	// Push one session through so the counters move.
+	// Push one TCP and one UDP session through so counters move on both
+	// transports.
 	c, err := Dial(addr, "observed", mustLinear(t))
 	if err != nil {
 		t.Fatal(err)
@@ -52,13 +53,27 @@ func TestHTTPObservability(t *testing.T) {
 	if _, err := c.Close(); err != nil {
 		t.Fatal(err)
 	}
+	ua, err := srv.ListenUDP("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc, err := DialTransport("udp", ua.String(), "observed-udp", mustLinear(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := uc.SendBatch(gen.Sine(200, 3, 40, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := uc.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	code, body := get("/metrics")
 	if code != http.StatusOK {
 		t.Fatalf("/metrics = %d", code)
 	}
 	for _, want := range []string{
-		"plad_sessions_total 1",
+		"plad_sessions_total 2",
 		`plad_shard_queue_capacity{shard="0"}`,
 		`plad_shard_queue_capacity{shard="1"}`,
 		"plad_shard_segments_total",
@@ -66,6 +81,14 @@ func TestHTTPObservability(t *testing.T) {
 		"plad_shard_wal_fsyncs_total",
 		"plad_shard_barriers_total",
 		"plad_shard_commits_total",
+		`plad_transport_sessions_total{transport="tcp"} 1`,
+		`plad_transport_sessions_total{transport="udp"} 1`,
+		`plad_transport_segments_total{transport="tcp"}`,
+		`plad_transport_segments_total{transport="udp"}`,
+		"plad_udp_datagrams_total",
+		"plad_udp_drops_total",
+		"plad_udp_dups_total",
+		"plad_udp_out_of_window_total",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, body)

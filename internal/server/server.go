@@ -24,6 +24,7 @@ import (
 	"github.com/pla-go/pla/internal/query"
 	"github.com/pla-go/pla/internal/tsdb"
 	"github.com/pla-go/pla/internal/tsdb/mmapstore"
+	"github.com/pla-go/pla/internal/udpingest"
 	"github.com/pla-go/pla/internal/wal"
 )
 
@@ -165,6 +166,11 @@ type Server struct {
 
 	sessions atomic.Int64 // ingest sessions accepted over the lifetime
 	active   atomic.Int64 // ingest sessions currently streaming
+
+	udp         *udpingest.Server // datagram ingest transport; nil until ListenUDP
+	udpSessions atomic.Int64      // ingest sessions accepted over UDP
+	tcpSegments atomic.Int64      // segments enqueued by TCP sessions
+	udpSegments atomic.Int64      // segments enqueued by UDP sessions
 }
 
 // New returns a running server storing into db. With a DataDir it first
@@ -555,6 +561,7 @@ func (s *Server) serveIngest(conn net.Conn, br *bufio.Reader, cr *encode.Countin
 		}
 		delta := cr.BytesRead() - attributed
 		attributed = cr.BytesRead()
+		s.tcpSegments.Add(1)
 		sh.enqueue(job{sess: sess, series: series, seg: seg, bytes: delta}, s.cfg.Policy)
 	}
 
@@ -589,9 +596,18 @@ type Metrics struct {
 	Bytes    int64
 	// ActiveSessions is the number of ingest sessions streaming right
 	// now; TotalSessions counts accepted ingest handshakes over the
-	// server's lifetime.
+	// server's lifetime — both totals across transports.
 	ActiveSessions int64
 	TotalSessions  int64
+	// UDPSessions counts the accepted sessions that arrived over the
+	// datagram transport; TCPSegments and UDPSegments split the enqueued
+	// segments by transport.
+	UDPSessions int64
+	TCPSegments int64
+	UDPSegments int64
+	// UDP is the datagram transport's own counters (zero when ListenUDP
+	// was never called).
+	UDP udpingest.Metrics
 }
 
 // Metrics snapshots every shard's counters.
@@ -600,6 +616,15 @@ func (s *Server) Metrics() Metrics {
 		Shards:         make([]ShardMetrics, len(s.shards)),
 		ActiveSessions: s.active.Load(),
 		TotalSessions:  s.sessions.Load(),
+		UDPSessions:    s.udpSessions.Load(),
+		TCPSegments:    s.tcpSegments.Load(),
+		UDPSegments:    s.udpSegments.Load(),
+	}
+	s.mu.Lock()
+	udp := s.udp
+	s.mu.Unlock()
+	if udp != nil {
+		m.UDP = udp.Metrics()
 	}
 	for i, sh := range s.shards {
 		sm := sh.metrics()
@@ -678,6 +703,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-sessionsDone
+	}
+
+	// Drain the datagram transport: Close aborts its sessions and waits
+	// for their goroutines, so once it returns nothing UDP-side can
+	// enqueue either. It must happen before the queues close — a live
+	// session's final barrier still needs a worker to commit it.
+	s.mu.Lock()
+	udp := s.udp
+	s.mu.Unlock()
+	if udp != nil {
+		udp.Close()
 	}
 
 	// Sessions are gone; stop the compactor before closing the queues so

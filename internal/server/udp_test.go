@@ -1,0 +1,321 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/gen"
+	"github.com/pla-go/pla/internal/tsdb"
+	"github.com/pla-go/pla/internal/udpingest"
+)
+
+// startUDPServer launches a server with both a TCP and a UDP ingest
+// endpoint on ephemeral loopback ports.
+func startUDPServer(t *testing.T, cfg Config, listeners int) (s *Server, db *tsdb.Archive, tcpAddr, udpAddr string) {
+	t.Helper()
+	db = tsdb.New()
+	s, err := New(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	ua, err := s.ListenUDP("127.0.0.1:0", listeners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, db, ln.Addr().String(), ua.String()
+}
+
+// TestUDPIngestRoundTrip streams a fleet over the datagram transport and
+// asserts the archive matches a local filter run, and that the
+// per-transport counters attribute the session to UDP.
+func TestUDPIngestRoundTrip(t *testing.T) {
+	s, db, _, udpAddr := startUDPServer(t, Config{Shards: 4, QueueDepth: 64}, 2)
+
+	fleet := testFleet(8)
+	var wg sync.WaitGroup
+	errs := make([]error, len(fleet))
+	acks := make([]Ack, len(fleet))
+	for i, sn := range fleet {
+		wg.Add(1)
+		go func(i int, sn sensor) {
+			defer wg.Done()
+			f, err := sn.filter()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			c, err := DialTransport("udp", udpAddr, sn.name, f)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := c.SendBatch(sn.signal); err != nil {
+				errs[i] = err
+				return
+			}
+			acks[i], errs[i] = c.Close()
+		}(i, sn)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("sensor %d: %v", i, err)
+		}
+	}
+	for i, sn := range fleet {
+		f, err := sn.filter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.Run(f, sn.signal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acks[i].Applied != int64(len(want)) {
+			t.Fatalf("%s: ack.Applied = %d, want %d", sn.name, acks[i].Applied, len(want))
+		}
+		series, err := db.Get(sn.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := series.Len(); got != len(want) {
+			t.Fatalf("%s: archive holds %d segments, want %d", sn.name, got, len(want))
+		}
+	}
+	m := s.Metrics()
+	if m.UDPSessions != int64(len(fleet)) || m.TotalSessions != int64(len(fleet)) {
+		t.Fatalf("sessions: udp=%d total=%d, want %d over udp", m.UDPSessions, m.TotalSessions, len(fleet))
+	}
+	if m.UDPSegments == 0 || m.TCPSegments != 0 {
+		t.Fatalf("segments: udp=%d tcp=%d, want all udp", m.UDPSegments, m.TCPSegments)
+	}
+	if m.UDP.Datagrams == 0 {
+		t.Fatalf("udp transport metrics empty: %+v", m.UDP)
+	}
+}
+
+// mangler shuffles, duplicates and drops a client's outbound datagrams.
+type mangler struct {
+	net.Conn
+	mu      sync.Mutex
+	rng     *rand.Rand
+	held    [][]byte
+	mangled int
+}
+
+func (c *mangler) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch roll := c.rng.Intn(1000); {
+	case roll < 100: // drop
+		c.mangled++
+		return len(b), nil
+	case roll < 200: // duplicate
+		c.mangled++
+		c.Conn.Write(b)
+		c.Conn.Write(b)
+		return len(b), nil
+	case roll < 350: // delay behind later datagrams
+		c.mangled++
+		c.held = append(c.held, append([]byte(nil), b...))
+		return len(b), nil
+	}
+	n, err := c.Conn.Write(b)
+	for _, h := range c.held {
+		c.Conn.Write(h)
+	}
+	c.held = c.held[:0]
+	return n, err
+}
+
+// tortureFleet is a harder workload than testFleet: poorly-compressible
+// walks so each session spans many datagrams, plus a lag-bounded slide
+// filter so provisional receiver updates cross the chaotic wire too.
+func tortureFleet() []sensor {
+	mk := func(i int) sensor {
+		eps := []float64{0.02}
+		signal := gen.RandomWalk(gen.WalkConfig{N: 4000, P: 0.9, MaxDelta: 0.5, Seed: uint64(i + 1)})
+		switch i % 3 {
+		case 0:
+			return sensor{name: fmt.Sprintf("torture-%02d", i), signal: signal, eps: eps,
+				filter: func() (core.Filter, error) { return core.NewSwing(eps) }}
+		case 1:
+			return sensor{name: fmt.Sprintf("torture-%02d", i), signal: signal, eps: eps,
+				filter: func() (core.Filter, error) { return core.NewSlide(eps, core.WithSlideMaxLag(32)) }}
+		default:
+			return sensor{name: fmt.Sprintf("torture-%02d", i), signal: signal, eps: eps,
+				filter: func() (core.Filter, error) { return core.NewLinear(eps) }}
+		}
+	}
+	fleet := make([]sensor, 6)
+	for i := range fleet {
+		fleet[i] = mk(i)
+	}
+	return fleet
+}
+
+// TestUDPTortureByteIdenticalToTCP is the transport's end-to-end proof:
+// the same fleet streamed once over in-order TCP and once over UDP with
+// datagrams shuffled, duplicated and dropped must leave byte-identical
+// archives. The dedup window and go-back-N retransmission have to absorb
+// every mangling without re-applying or losing a segment.
+func TestUDPTortureByteIdenticalToTCP(t *testing.T) {
+	fleet := tortureFleet()
+
+	// Reference: in-order TCP.
+	_, refDB, tcpAddr := func() (*Server, *tsdb.Archive, string) {
+		db := tsdb.New()
+		s, err := New(db, Config{Shards: 4, QueueDepth: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go s.Serve(ln)
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			s.Shutdown(ctx)
+		})
+		return s, db, ln.Addr().String()
+	}()
+	for _, sn := range fleet {
+		if _, _, _, err := runSensor(tcpAddr, sn); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Device under test: UDP through the mangler.
+	srv, udpDB, _, udpAddr := startUDPServer(t, Config{Shards: 4, QueueDepth: 64}, 2)
+	var totalMangled int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, len(fleet))
+	for i, sn := range fleet {
+		wg.Add(1)
+		go func(i int, sn sensor) {
+			defer wg.Done()
+			f, err := sn.filter()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			raw, err := net.Dial("udp", udpAddr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			m := &mangler{Conn: raw, rng: rand.New(rand.NewSource(int64(i + 99)))}
+			c, err := udpingest.NewClient(m, sn.name, f)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := c.SendBatch(sn.signal); err != nil {
+				errs[i] = err
+				return
+			}
+			_, errs[i] = c.Close()
+			mu.Lock()
+			totalMangled += m.mangled
+			mu.Unlock()
+		}(i, sn)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("sensor %d: %v", i, err)
+		}
+	}
+	if totalMangled == 0 {
+		t.Fatal("mangler touched nothing; the torture run was clean")
+	}
+
+	var ref, got bytes.Buffer
+	if _, err := refDB.WriteTo(&ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := udpDB.WriteTo(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref.Bytes(), got.Bytes()) {
+		t.Fatalf("archives diverge: tcp %d bytes, udp-after-torture %d bytes", ref.Len(), got.Len())
+	}
+	m := srv.Metrics()
+	if m.UDP.Dups == 0 {
+		t.Fatalf("expected the dedup window to see duplicates, metrics %+v", m.UDP)
+	}
+	t.Logf("mangled %d datagrams; server saw %+v", totalMangled, m.UDP)
+}
+
+// TestUDPShutdownWithLiveSession pins the drain ordering: Shutdown must
+// abort in-flight datagram sessions and still commit what their queues
+// hold, without deadlocking between the UDP drain and the shard workers.
+func TestUDPShutdownWithLiveSession(t *testing.T) {
+	db := tsdb.New()
+	s, err := New(db, Config{Shards: 2, QueueDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	ua, err := s.ListenUDP("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.NewSwing([]float64{0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialTransport("udp", ua.String(), "hangs-around", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := gen.RandomWalk(gen.WalkConfig{N: 2000, P: 0.9, MaxDelta: 0.5, Seed: 5})
+	if err := c.SendBatch(sig); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := c.Close(); err == nil {
+		t.Fatal("client Close succeeded against a shut-down server")
+	}
+	if _, err := s.ListenUDP("127.0.0.1:0", 1); err == nil {
+		t.Fatal("ListenUDP succeeded on a closed server")
+	}
+	series, err := db.Get("hangs-around")
+	if err != nil {
+		t.Fatalf("flushed session left no series: %v", err)
+	}
+	if series.Len() == 0 {
+		t.Fatal("flushed segments were lost in shutdown")
+	}
+}

@@ -48,9 +48,13 @@ type Transmitter struct {
 	closed    bool
 }
 
-// NewTransmitter writes the stream header for f's precision contract and
-// returns a transmitter. constant must be set when f is a cache filter.
-func NewTransmitter(w io.Writer, f core.Filter) (*Transmitter, error) {
+// HeaderFor derives the stream header a transmitter for f negotiates:
+// the precision contract, the filter family, the constant flag for
+// cache filters, and — when the filter carries one — the m_max_lag
+// bound that selects the v2 handshake. Exported so session transports
+// that negotiate out of band (the UDP hello datagram) advertise exactly
+// the header the in-band stream will carry.
+func HeaderFor(f core.Filter) encode.Header {
 	h := encode.Header{Epsilon: f.Epsilon()}
 	switch f.(type) {
 	case *core.Swing:
@@ -61,13 +65,22 @@ func NewTransmitter(w io.Writer, f core.Filter) (*Transmitter, error) {
 		h.Kind = encode.KindCache
 		h.Constant = true
 	}
-	t := &Transmitter{f: f}
 	if ml, ok := f.(interface{ MaxLag() int }); ok {
-		if pf, ok := f.(interface{ Pending() []core.Segment }); ok && ml.MaxLag() > 0 {
-			t.maxLag = ml.MaxLag()
-			t.pending = pf
-			h.MaxLag = t.maxLag
+		if _, okp := f.(interface{ Pending() []core.Segment }); okp && ml.MaxLag() > 0 {
+			h.MaxLag = ml.MaxLag()
 		}
+	}
+	return h
+}
+
+// NewTransmitter writes the stream header for f's precision contract and
+// returns a transmitter. constant must be set when f is a cache filter.
+func NewTransmitter(w io.Writer, f core.Filter) (*Transmitter, error) {
+	h := HeaderFor(f)
+	t := &Transmitter{f: f}
+	if h.MaxLag > 0 {
+		t.maxLag = h.MaxLag
+		t.pending = f.(interface{ Pending() []core.Segment })
 	}
 	enc, err := encode.NewEncoderHeader(w, h)
 	if err != nil {

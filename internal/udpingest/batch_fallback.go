@@ -1,0 +1,28 @@
+//go:build !(linux && (amd64 || arm64))
+
+package udpingest
+
+import "net"
+
+// Portable batcher: one ReadFromUDPAddrPort / WriteToUDPAddrPort per
+// datagram. Both calls are allocation-free in the standard library, so
+// the hot path stays zero-alloc here too; only the per-syscall batching
+// is lost.
+type batcher struct{}
+
+func (b *batcher) init(*net.UDPConn) error { return nil }
+
+func (b *batcher) recv(c *net.UDPConn, ps []packet) (int, error) {
+	n, from, err := c.ReadFromUDPAddrPort(*ps[0].bp)
+	if err != nil {
+		return 0, err
+	}
+	ps[0].n, ps[0].from = n, from
+	return 1, nil
+}
+
+func (b *batcher) sendAcks(c *net.UDPConn, a *ackBatch) {
+	for i := 0; i < a.n; i++ {
+		c.WriteToUDPAddrPort(a.bufs[i][:], a.dsts[i])
+	}
+}

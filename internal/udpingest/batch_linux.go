@@ -1,0 +1,161 @@
+//go:build linux && (amd64 || arm64)
+
+package udpingest
+
+import (
+	"net"
+	"net/netip"
+	"syscall"
+	"unsafe"
+)
+
+// Batched datagram I/O via recvmmsg/sendmmsg, driven through the
+// runtime netpoller: the raw syscalls run non-blocking (MSG_DONTWAIT)
+// inside RawConn.Read/Write callbacks, so EAGAIN parks the goroutine on
+// the poller instead of spinning, and one wakeup drains up to recvBatch
+// datagrams in a single kernel crossing.
+
+// mmsghdr mirrors struct mmsghdr; the trailing pad keeps the array
+// stride at what the kernel expects on 64-bit.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	ln  uint32
+	_   [4]byte
+}
+
+type batcher struct {
+	rc     syscall.RawConn
+	hdrs   [recvBatch]mmsghdr
+	iovs   [recvBatch]syscall.Iovec
+	names  [recvBatch]syscall.RawSockaddrInet6
+	shdrs  [recvBatch]mmsghdr
+	siovs  [recvBatch]syscall.Iovec
+	snames [recvBatch]syscall.RawSockaddrInet6
+}
+
+func (b *batcher) init(c *net.UDPConn) error {
+	rc, err := c.SyscallConn()
+	if err != nil {
+		return err
+	}
+	b.rc = rc
+	return nil
+}
+
+func (b *batcher) recv(_ *net.UDPConn, ps []packet) (int, error) {
+	k := len(ps)
+	if k > recvBatch {
+		k = recvBatch
+	}
+	for i := 0; i < k; i++ {
+		buf := *ps[i].bp
+		b.iovs[i].Base = &buf[0]
+		b.iovs[i].SetLen(len(buf))
+		b.names[i] = syscall.RawSockaddrInet6{}
+		h := &b.hdrs[i].hdr
+		h.Name = (*byte)(unsafe.Pointer(&b.names[i]))
+		h.Namelen = uint32(unsafe.Sizeof(b.names[i]))
+		h.Iov = &b.iovs[i]
+		h.Iovlen = 1
+		b.hdrs[i].ln = 0
+	}
+	var n int
+	var errno syscall.Errno
+	err := b.rc.Read(func(fd uintptr) bool {
+		r1, _, e := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+			uintptr(unsafe.Pointer(&b.hdrs[0])), uintptr(k),
+			uintptr(syscall.MSG_DONTWAIT), 0, 0)
+		if e == syscall.EAGAIN {
+			return false
+		}
+		errno = e
+		n = int(r1)
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if errno != 0 {
+		return 0, errno
+	}
+	for i := 0; i < n; i++ {
+		ps[i].n = int(b.hdrs[i].ln)
+		ps[i].from = sockaddrToAddrPort(&b.names[i])
+	}
+	return n, nil
+}
+
+// sendAcks pushes the batch with as few sendmmsg calls as possible.
+// Acks are best-effort — a lost ack is repaired by the client's
+// retransmission like any lost datagram — so errors just drop the rest.
+func (b *batcher) sendAcks(c *net.UDPConn, a *ackBatch) {
+	if a.n == 1 {
+		c.WriteToUDPAddrPort(a.bufs[0][:], a.dsts[0])
+		return
+	}
+	for i := 0; i < a.n; i++ {
+		b.siovs[i].Base = &a.bufs[i][0]
+		b.siovs[i].SetLen(headerSize)
+		nl := addrPortToSockaddr(&b.snames[i], a.dsts[i])
+		h := &b.shdrs[i].hdr
+		h.Name = (*byte)(unsafe.Pointer(&b.snames[i]))
+		h.Namelen = nl
+		h.Iov = &b.siovs[i]
+		h.Iovlen = 1
+		b.shdrs[i].ln = 0
+	}
+	sent := 0
+	for sent < a.n {
+		var n int
+		var errno syscall.Errno
+		err := b.rc.Write(func(fd uintptr) bool {
+			r1, _, e := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&b.shdrs[sent])), uintptr(a.n-sent),
+				uintptr(syscall.MSG_DONTWAIT), 0, 0)
+			if e == syscall.EAGAIN {
+				return false
+			}
+			errno = e
+			n = int(r1)
+			return true
+		})
+		if err != nil || errno != 0 || n <= 0 {
+			return
+		}
+		sent += n
+	}
+}
+
+// sockaddrToAddrPort converts a kernel-written sockaddr without
+// allocating. The address family is preserved exactly (no v4-mapped
+// unmapping) so replies round-trip on sockets of either family.
+func sockaddrToAddrPort(sa *syscall.RawSockaddrInet6) netip.AddrPort {
+	switch sa.Family {
+	case syscall.AF_INET:
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		p := (*[2]byte)(unsafe.Pointer(&sa4.Port))
+		return netip.AddrPortFrom(netip.AddrFrom4(sa4.Addr), uint16(p[0])<<8|uint16(p[1]))
+	case syscall.AF_INET6:
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		return netip.AddrPortFrom(netip.AddrFrom16(sa.Addr), uint16(p[0])<<8|uint16(p[1]))
+	}
+	return netip.AddrPort{}
+}
+
+// addrPortToSockaddr packs ap into sa, returning the sockaddr length
+// for Msghdr.Namelen.
+func addrPortToSockaddr(sa *syscall.RawSockaddrInet6, ap netip.AddrPort) uint32 {
+	port := ap.Port()
+	if addr := ap.Addr(); addr.Is4() {
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		*sa4 = syscall.RawSockaddrInet4{Family: syscall.AF_INET, Addr: addr.As4()}
+		p := (*[2]byte)(unsafe.Pointer(&sa4.Port))
+		p[0], p[1] = byte(port>>8), byte(port)
+		return uint32(unsafe.Sizeof(*sa4))
+	} else {
+		*sa = syscall.RawSockaddrInet6{Family: syscall.AF_INET6, Addr: addr.As16()}
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		p[0], p[1] = byte(port>>8), byte(port)
+		return uint32(unsafe.Sizeof(*sa))
+	}
+}

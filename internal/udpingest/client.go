@@ -1,0 +1,513 @@
+package udpingest
+
+import (
+	"bytes"
+	crand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"syscall"
+	"time"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/encode"
+	"github.com/pla-go/pla/internal/transport"
+)
+
+// ErrClosed reports use of a closed client.
+var ErrClosed = errors.New("udpingest: client closed")
+
+const (
+	clientWindow    = 256 // in-flight datagrams before Write blocks on acks
+	retransmitBurst = 64  // go-back-N resend span per timeout
+	rtoInit         = 20 * time.Millisecond
+	rtoMax          = time.Second
+	helloTries      = 10
+	closeTries      = 24
+	maxRTOStreak    = 30 // consecutive silent timeouts before giving up mid-stream
+)
+
+// aLongTimeAgo forces an immediate deadline for non-blocking drains.
+var aLongTimeAgo = time.Unix(1, 0)
+
+// Client is the sensor side of a datagram ingest session: the same
+// local filter + transmitter as the TCP client, writing the encode
+// stream into seq-numbered datagrams with a go-back-N window. It is
+// owned by one goroutine.
+type Client struct {
+	conn   net.Conn
+	tx     *transport.Transmitter
+	dw     *dgramWriter
+	closed bool
+}
+
+// Dial connects to a plad UDP ingest endpoint and negotiates a session
+// for series name through filter f.
+func Dial(addr, name string, f core.Filter) (*Client, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClient(conn, name, f)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient negotiates a session over an existing connected socket
+// (net.Dial("udp", ...), or any net.Conn-shaped wrapper — tests
+// interpose lossy ones). The hello datagram carries the series name and
+// the serialized stream header (ε, filter kind, max-lag — the same
+// negotiation as TCP), retransmitted until the server acks or rejects
+// it. NewClient takes ownership of conn only on success via Close.
+func NewClient(conn net.Conn, name string, f core.Filter) (*Client, error) {
+	var sidb [8]byte
+	if _, err := crand.Read(sidb[:]); err != nil {
+		return nil, err
+	}
+	sid := binary.LittleEndian.Uint64(sidb[:])
+
+	// Serialize the negotiated stream header into the hello payload.
+	var hb bytes.Buffer
+	enc, err := encode.NewEncoderHeader(&hb, transport.HeaderFor(f))
+	if err != nil {
+		return nil, err
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, err
+	}
+	hello := make([]byte, headerSize, headerSize+8+len(name)+hb.Len())
+	putHeader(hello, header{typ: typeHello, sid: sid})
+	hello = appendUvarint(hello, uint64(len(name)))
+	hello = append(hello, name...)
+	hello = append(hello, hb.Bytes()...)
+	if len(hello) > MaxDatagram {
+		return nil, fmt.Errorf("udpingest: hello for %q exceeds one datagram", name)
+	}
+
+	dw := &dgramWriter{c: conn, sid: sid, nextSeq: 1, base: 1, rto: rtoInit, rbuf: make([]byte, 2048)}
+	if err := dw.handshake(hello); err != nil {
+		return nil, err
+	}
+	tx, err := transport.NewTransmitter(dw, f)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, tx: tx, dw: dw}
+	// Push the stream header out now so the server's decode goroutine
+	// starts its session clock with bytes in hand.
+	if err := dw.flush(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Send consumes one sample; finalized segments ship immediately.
+func (c *Client) Send(p core.Point) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if err := c.tx.Send(p); err != nil {
+		return err
+	}
+	return c.dw.flush()
+}
+
+// SendBatch consumes a batch of samples with one datagram flush.
+func (c *Client) SendBatch(ps []core.Point) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if err := c.tx.SendBatch(ps); err != nil {
+		return err
+	}
+	return c.dw.flush()
+}
+
+// Flush ships a provisional receiver update on lag-bounded streams (see
+// the TCP client's Flush), pushes any partial datagram out, and waits
+// until every datagram sent so far is acknowledged. A TCP Flush hands
+// the bytes to a reliable stream; the datagram equivalent of that
+// promise is an ack barrier — after a nil Flush, nothing sent so far
+// can be lost to the wire.
+func (c *Client) Flush() error {
+	if c.closed {
+		return ErrClosed
+	}
+	if err := c.tx.FlushPending(); err != nil {
+		return err
+	}
+	return c.dw.barrier()
+}
+
+// Stats exposes the local filter's counters.
+func (c *Client) Stats() core.Stats { return c.tx.Stats() }
+
+// BytesSent returns datagram bytes put on the wire so far — headers and
+// retransmissions included, the session's actual traffic.
+func (c *Client) BytesSent() int64 { return c.dw.wire }
+
+// Close finishes the filter, ships the terminator, waits for every
+// datagram to be acked and exchanges closeReq/closeAck: a nil error
+// means every acked segment is applied (and durable, per the server's
+// policy) in the archive.
+func (c *Client) Close() (Ack, error) {
+	if c.closed {
+		return Ack{}, ErrClosed
+	}
+	c.closed = true
+	defer c.conn.Close()
+	if err := c.tx.Close(); err != nil {
+		return Ack{}, err
+	}
+	return c.dw.close()
+}
+
+// dgramWriter packs the encode byte stream into data datagrams and runs
+// the client half of the reliability protocol: window, cumulative acks,
+// RTO with exponential backoff, go-back-N retransmission.
+type dgramWriter struct {
+	c       net.Conn
+	sid     uint64
+	nextSeq uint32                // seq the next sealed datagram takes
+	base    uint32                // lowest unacked seq
+	win     [clientWindow][]byte  // sealed, unacked datagrams
+	winbp   [clientWindow]*[]byte // their pooled backing buffers
+	cur     []byte                // datagram under construction
+	curbp   *[]byte
+	rto     time.Duration
+	streak  int   // consecutive silent RTO expiries
+	wire    int64 // bytes written to the socket, retransmits included
+	rbuf    []byte
+	ackBuf  []byte // closeAck seen early, replayed by close()
+	refused int    // consecutive ECONNREFUSED reads
+	err     error  // sticky session-fatal error
+}
+
+// refusedLimit bounds how many consecutive ICMP port-unreachable
+// replies the client tolerates before declaring the server gone. The
+// session state is server-memory only, so once the port is closed the
+// session can never complete; retrying past a couple of refusals (one
+// could be a stale ICMP from a rebind) only burns the caller's time.
+const refusedLimit = 3
+
+// fatalRefused folds one socket error into the refusal streak, setting
+// the sticky error when the streak proves the server's port is closed.
+// Non-refusal errors leave the streak alone — the kernel hands the
+// pending ICMP error to whichever syscall comes first, so a refusal
+// consumed by a write is routinely followed by a read timing out, and
+// only a successful read (the server speaking) clears the streak.
+func (dw *dgramWriter) fatalRefused(err error) bool {
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		return false
+	}
+	dw.refused++
+	if dw.refused >= refusedLimit {
+		dw.err = fmt.Errorf("udpingest: %w (server gone)", err)
+		return true
+	}
+	return false
+}
+
+// Write implements io.Writer for the transmitter's buffered encoder:
+// bytes land in the current datagram, full datagrams are sealed and
+// transmitted, and a full window blocks on acks.
+func (dw *dgramWriter) Write(p []byte) (int, error) {
+	if dw.err != nil {
+		return 0, dw.err
+	}
+	total := len(p)
+	for len(p) > 0 {
+		if dw.cur == nil {
+			dw.curbp = pktPool.Get().(*[]byte)
+			dw.cur = (*dw.curbp)[:headerSize]
+		}
+		n := copy(dw.cur[len(dw.cur):MaxDatagram], p)
+		dw.cur = dw.cur[:len(dw.cur)+n]
+		p = p[n:]
+		if len(dw.cur) == MaxDatagram {
+			if err := dw.seal(0); err != nil {
+				return total - len(p), err
+			}
+		}
+	}
+	return total, nil
+}
+
+// flush seals any partial datagram with an ack request — the batch
+// boundary — and opportunistically drains pending acks.
+func (dw *dgramWriter) flush() error {
+	if dw.err != nil {
+		return dw.err
+	}
+	if len(dw.cur) > headerSize {
+		if err := dw.seal(flagAckReq); err != nil {
+			return err
+		}
+	}
+	dw.poll()
+	return dw.err
+}
+
+// barrier flushes and then blocks until the window is empty: every
+// sealed datagram acked, retransmitting as needed.
+func (dw *dgramWriter) barrier() error {
+	if err := dw.flush(); err != nil {
+		return err
+	}
+	for dw.base != dw.nextSeq {
+		if err := dw.await(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seal stamps the current datagram with the next seq, waits for window
+// space, stores it for retransmission and transmits it.
+func (dw *dgramWriter) seal(flags byte) error {
+	for dw.nextSeq-dw.base >= clientWindow {
+		if err := dw.await(); err != nil {
+			return err
+		}
+	}
+	seq := dw.nextSeq
+	dw.nextSeq++
+	putHeader(dw.cur, header{typ: typeData, flags: flags, sid: dw.sid, seq: seq})
+	i := (seq - 1) % clientWindow
+	dw.win[i], dw.winbp[i] = dw.cur, dw.curbp
+	dw.cur, dw.curbp = nil, nil
+	dw.xmit(seq)
+	return nil
+}
+
+func (dw *dgramWriter) xmit(seq uint32) {
+	b := dw.win[(seq-1)%clientWindow]
+	if b == nil {
+		return
+	}
+	// A UDP write error is either transient (surfaces as a missing ack)
+	// or the pending ICMP port-unreachable from an earlier datagram —
+	// the latter must feed the refusal streak, because consuming it
+	// here would otherwise hide it from every read.
+	n, err := dw.c.Write(b)
+	if err != nil {
+		dw.fatalRefused(err)
+	}
+	dw.wire += int64(n)
+}
+
+// await blocks until acks make progress or the RTO expires, in which
+// case it retransmits go-back-N and backs off.
+func (dw *dgramWriter) await() error {
+	if dw.err != nil {
+		return dw.err
+	}
+	deadline := time.Now().Add(dw.rto)
+	for {
+		dw.c.SetReadDeadline(deadline)
+		n, err := dw.c.Read(dw.rbuf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				dw.streak++
+				if dw.streak > maxRTOStreak {
+					dw.err = fmt.Errorf("udpingest: server unresponsive after %d retransmissions", dw.streak)
+					return dw.err
+				}
+				dw.retransmit()
+				if dw.rto *= 2; dw.rto > rtoMax {
+					dw.rto = rtoMax
+				}
+				return nil
+			}
+			if dw.fatalRefused(err) {
+				return dw.err
+			}
+			// Transient socket errors count against the streak like
+			// silence.
+			dw.streak++
+			if dw.streak > maxRTOStreak {
+				dw.err = fmt.Errorf("udpingest: %w", err)
+				return dw.err
+			}
+			time.Sleep(dw.rto)
+			return nil
+		}
+		dw.refused = 0
+		if dw.handle(dw.rbuf[:n]) {
+			return dw.err
+		}
+	}
+}
+
+// poll drains already-arrived control datagrams without blocking.
+func (dw *dgramWriter) poll() {
+	for dw.err == nil {
+		dw.c.SetReadDeadline(aLongTimeAgo)
+		n, err := dw.c.Read(dw.rbuf)
+		if err != nil {
+			return
+		}
+		dw.handle(dw.rbuf[:n])
+	}
+}
+
+// handle processes one server datagram, reporting whether it made
+// progress (acks advanced, terminal state reached, or a fatal error).
+func (dw *dgramWriter) handle(b []byte) bool {
+	h, ok := parseHeader(b)
+	if !ok || h.sid != dw.sid {
+		return false
+	}
+	switch h.typ {
+	case typeAck:
+		return dw.ackTo(h.seq)
+	case typeCloseAck:
+		dw.ackBuf = append(dw.ackBuf[:0], b...)
+		return true
+	case typeAbort:
+		dw.err = fmt.Errorf("udpingest: server aborted session: %s", parseMessage(b[headerSize:]))
+		return true
+	}
+	return false
+}
+
+// ackTo releases every window slot the cumulative ack covers.
+func (dw *dgramWriter) ackTo(cum uint32) bool {
+	if cum >= dw.nextSeq {
+		cum = dw.nextSeq - 1
+	}
+	progressed := false
+	for dw.base <= cum {
+		i := (dw.base - 1) % clientWindow
+		if dw.winbp[i] != nil {
+			pktPool.Put(dw.winbp[i])
+			dw.win[i], dw.winbp[i] = nil, nil
+		}
+		dw.base++
+		progressed = true
+	}
+	if progressed {
+		dw.rto = rtoInit
+		dw.streak = 0
+	}
+	return progressed
+}
+
+// retransmit resends go-back-N from the window base, forcing an ack
+// request on the last datagram of the burst.
+func (dw *dgramWriter) retransmit() {
+	end := dw.nextSeq
+	if end > dw.base+retransmitBurst {
+		end = dw.base + retransmitBurst
+	}
+	for seq := dw.base; seq < end; seq++ {
+		if b := dw.win[(seq-1)%clientWindow]; b != nil && seq == end-1 {
+			b[5] |= flagAckReq
+		}
+		dw.xmit(seq)
+	}
+}
+
+// handshake retransmits the hello until the server acks, rejects or the
+// attempts run out.
+func (dw *dgramWriter) handshake(hello []byte) error {
+	rto := rtoInit
+	for try := 0; try < helloTries; try++ {
+		if n, err := dw.c.Write(hello); err == nil {
+			dw.wire += int64(n)
+		}
+		deadline := time.Now().Add(rto)
+		for {
+			dw.c.SetReadDeadline(deadline)
+			n, err := dw.c.Read(dw.rbuf)
+			if err != nil {
+				if dw.fatalRefused(err) {
+					return dw.err
+				}
+				break // timeout or transient: retransmit the hello
+			}
+			dw.refused = 0
+			h, ok := parseHeader(dw.rbuf[:n])
+			if !ok || h.sid != dw.sid {
+				continue
+			}
+			switch h.typ {
+			case typeHelloAck:
+				p := dw.rbuf[headerSize:n]
+				if len(p) >= 1 && p[0] == statusOK {
+					return nil
+				}
+				if len(p) >= 2 {
+					return fmt.Errorf("udpingest: rejected: %s", parseMessage(p[1:]))
+				}
+				return errors.New("udpingest: malformed hello ack")
+			case typeAbort:
+				return fmt.Errorf("udpingest: server aborted session: %s", parseMessage(dw.rbuf[headerSize:n]))
+			}
+		}
+		if rto *= 2; rto > rtoMax {
+			rto = rtoMax
+		}
+	}
+	return fmt.Errorf("udpingest: no hello ack after %d attempts", helloTries)
+}
+
+// close seals the tail, drives the window empty, and exchanges
+// closeReq/closeAck.
+func (dw *dgramWriter) close() (Ack, error) {
+	if dw.err != nil {
+		return Ack{}, dw.err
+	}
+	if len(dw.cur) > headerSize {
+		if err := dw.seal(flagAckReq); err != nil {
+			return Ack{}, err
+		}
+	}
+	finalSeq := dw.nextSeq - 1
+	var creq [headerSize]byte
+	putHeader(creq[:], header{typ: typeCloseReq, sid: dw.sid, seq: finalSeq})
+	rto := dw.rto
+	for try := 0; try < closeTries; try++ {
+		if try > 0 && dw.base <= finalSeq {
+			dw.retransmit()
+		}
+		n, werr := dw.c.Write(creq[:])
+		dw.wire += int64(n)
+		if werr != nil && dw.fatalRefused(werr) {
+			return Ack{}, dw.err
+		}
+		if dw.err != nil {
+			return Ack{}, dw.err
+		}
+		deadline := time.Now().Add(rto)
+		for dw.err == nil {
+			if len(dw.ackBuf) > 0 {
+				if a, ok := parseCloseAck(dw.ackBuf[headerSize:]); ok {
+					return a, nil
+				}
+				dw.ackBuf = dw.ackBuf[:0]
+			}
+			dw.c.SetReadDeadline(deadline)
+			n, err := dw.c.Read(dw.rbuf)
+			if err != nil {
+				if dw.fatalRefused(err) {
+					return Ack{}, dw.err
+				}
+				break // timeout: resend closeReq (and any unacked tail)
+			}
+			dw.refused = 0
+			dw.handle(dw.rbuf[:n])
+		}
+		if dw.err != nil {
+			return Ack{}, dw.err
+		}
+		if rto *= 2; rto > rtoMax {
+			rto = rtoMax
+		}
+	}
+	return Ack{}, fmt.Errorf("udpingest: close: no acknowledgement after %d attempts", closeTries)
+}

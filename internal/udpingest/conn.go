@@ -1,0 +1,82 @@
+package udpingest
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// recvBatch is how many datagrams one listener pass receives (and how
+// many acks it can batch back). On Linux the whole batch is one
+// recvmmsg syscall; elsewhere the batcher degrades to one datagram per
+// pass.
+const recvBatch = 32
+
+// pktPool recycles MaxDatagram-sized receive/transmit buffers across
+// every listener, session and client in the process. Buffers move by
+// ownership transfer (listener → reorder window → inbox → decoder, or
+// client window slot → ack release), so the steady-state hot path
+// allocates nothing.
+var pktPool = sync.Pool{New: func() any {
+	b := make([]byte, MaxDatagram)
+	return &b
+}}
+
+// packet is one received datagram: a pooled buffer, the byte count, and
+// the sender.
+type packet struct {
+	bp   *[]byte
+	n    int
+	from netip.AddrPort
+}
+
+// ackBatch collects the acks one receive pass produces so they go out
+// in a single sendmmsg where the platform has it.
+type ackBatch struct {
+	n    int
+	bufs [recvBatch][headerSize]byte
+	dsts [recvBatch]netip.AddrPort
+}
+
+func (a *ackBatch) reset() { a.n = 0 }
+
+func (a *ackBatch) add(sid uint64, cum uint32, to netip.AddrPort) {
+	if a.n == len(a.bufs) {
+		return // cannot happen: at most one ack per received datagram
+	}
+	putHeader(a.bufs[a.n][:], header{typ: typeAck, sid: sid, seq: cum})
+	a.dsts[a.n] = to
+	a.n++
+}
+
+// lconn is one listener socket plus its platform batching state. recv
+// and ack batching state is owned by the listener's read loop; sendTo
+// is safe from any goroutine (sessions reply on the listener that last
+// heard from their client).
+type lconn struct {
+	c         *net.UDPConn
+	lastAbort time.Time // abort-reply rate limit, read-loop-owned
+	bt        batcher
+}
+
+func newLconn(c *net.UDPConn) (*lconn, error) {
+	lc := &lconn{c: c}
+	if err := lc.bt.init(c); err != nil {
+		return nil, err
+	}
+	return lc, nil
+}
+
+// recvBatch fills ps with up to recvBatch datagrams, blocking until at
+// least one arrives.
+func (lc *lconn) recvBatch(ps []packet) (int, error) { return lc.bt.recv(lc.c, ps) }
+
+// sendTo writes one datagram; errors are the network's problem (the
+// client retransmits).
+func (lc *lconn) sendTo(b []byte, to netip.AddrPort) {
+	lc.c.WriteToUDPAddrPort(b, to)
+}
+
+// sendAcks flushes the pass's ack batch.
+func (lc *lconn) sendAcks(a *ackBatch) { lc.bt.sendAcks(lc.c, a) }

@@ -1,0 +1,184 @@
+// Package udpingest implements plad's datagram ingest transport: a
+// lossy-network front end for the same ε-filtered segment streams the
+// TCP path carries, built for raw ingest speed. The server side binds N
+// SO_REUSEPORT listeners on one port — the kernel fans incoming flows
+// out across them, so there is no central accept loop and no shared
+// accept lock — and each listener drains the socket with batched
+// recvmmsg where the platform has it. Datagrams carry sequence-numbered
+// chunks of the ordinary encode byte stream; a fixed-size stateless
+// header is validated before any lock is taken or allocation made, the
+// session id is FNV-1a-hashed onto a sharded session table, and a
+// per-session sequence window reassembles the stream in order
+// (duplicates dropped, reordering absorbed, gaps repaired by go-back-N
+// retransmission from the client). PLA records are idempotent by
+// segment index, so replays the window does not catch are still
+// harmless at the archive layer.
+//
+// Wire format (little endian), one 20-byte header per datagram:
+//
+//	magic "PLU1" | type | flags | 2 reserved | uint64 session id |
+//	uint32 seq
+//
+// followed by a type-specific payload:
+//
+//	hello    (client→server): uvarint name length | name | the encode
+//	         stream header the session will carry (PLA1/PLA2 — the same
+//	         negotiation as TCP: ε contract, filter kind, max-lag bound)
+//	helloAck (server→client): status byte (0 ok; 1 rejected followed by
+//	         uvarint length + message)
+//	data     (client→server): the next chunk of the encode byte stream;
+//	         seq starts at 1 and increments per datagram
+//	ack      (server→client): empty; seq is the cumulative highest
+//	         in-order data seq delivered (0 = none yet)
+//	closeReq (client→server): empty; seq is the final data seq
+//	closeAck (server→client): status byte | 3 uvarints (segments
+//	         applied, rejected, dropped) — sent only after every segment
+//	         of the session has been applied and committed, the same
+//	         barrier the TCP ack rides; seq echoes the final data seq
+//	abort    (either way): uvarint length | message; the session is dead
+package udpingest
+
+import "encoding/binary"
+
+const (
+	// MaxDatagram bounds every datagram either side sends. 1200 bytes
+	// stays under the common 1280-byte IPv6 path MTU floor, so frames
+	// are never fragmented on sane paths.
+	MaxDatagram = 1200
+	headerSize  = 20
+	maxPayload  = MaxDatagram - headerSize
+)
+
+const protoMagic = "PLU1"
+
+// Datagram types. The zero value is invalid so an all-zero buffer never
+// parses.
+const (
+	typeHello byte = 1 + iota
+	typeHelloAck
+	typeData
+	typeAck
+	typeCloseReq
+	typeCloseAck
+	typeAbort
+)
+
+// flagAckReq on a data datagram asks the server to ack immediately
+// instead of waiting for the every-ackEvery cadence; clients set it on
+// flush boundaries so a batch's window drains promptly.
+const flagAckReq byte = 1 << 0
+
+const (
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+type header struct {
+	typ   byte
+	flags byte
+	sid   uint64
+	seq   uint32
+}
+
+// putHeader packs h into b[:headerSize] (b must be at least that long).
+func putHeader(b []byte, h header) {
+	_ = b[headerSize-1]
+	copy(b, protoMagic)
+	b[4] = h.typ
+	b[5] = h.flags
+	b[6], b[7] = 0, 0
+	binary.LittleEndian.PutUint64(b[8:16], h.sid)
+	binary.LittleEndian.PutUint32(b[16:20], h.seq)
+}
+
+// parseHeader is the stateless pre-dispatch filter: size, magic and
+// type are checked before any session lookup, lock or allocation, so
+// junk traffic costs a header scan and nothing else.
+func parseHeader(b []byte) (header, bool) {
+	if len(b) < headerSize || string(b[:4]) != protoMagic {
+		return header{}, false
+	}
+	t := b[4]
+	if t < typeHello || t > typeAbort {
+		return header{}, false
+	}
+	return header{
+		typ:   t,
+		flags: b[5],
+		sid:   binary.LittleEndian.Uint64(b[8:16]),
+		seq:   binary.LittleEndian.Uint32(b[16:20]),
+	}, true
+}
+
+// Ack is the server's end-of-session accounting, mirroring the TCP
+// transport's final acknowledgement.
+type Ack struct {
+	Applied  int64
+	Rejected int64
+	Dropped  int64
+}
+
+// appendUvarint appends v to b.
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+// takeUvarint reads one uvarint off the front of b.
+func takeUvarint(b []byte) (uint64, []byte, bool) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, false
+	}
+	return v, b[n:], true
+}
+
+// makeAbort builds an abort datagram; the message is truncated to fit.
+func makeAbort(sid uint64, msg string) []byte {
+	if len(msg) > maxPayload-binary.MaxVarintLen64 {
+		msg = msg[:maxPayload-binary.MaxVarintLen64]
+	}
+	b := make([]byte, headerSize, headerSize+binary.MaxVarintLen64+len(msg))
+	putHeader(b, header{typ: typeAbort, sid: sid})
+	b = appendUvarint(b, uint64(len(msg)))
+	return append(b, msg...)
+}
+
+// parseMessage reads a uvarint-length-prefixed message (abort bodies,
+// helloAck rejections).
+func parseMessage(p []byte) string {
+	n, rest, ok := takeUvarint(p)
+	if !ok || n > uint64(len(rest)) {
+		return "malformed message"
+	}
+	return string(rest[:n])
+}
+
+// makeCloseAck builds the terminal acknowledgement datagram.
+func makeCloseAck(sid uint64, finalSeq uint32, a Ack) []byte {
+	b := make([]byte, headerSize, headerSize+1+3*binary.MaxVarintLen64)
+	putHeader(b, header{typ: typeCloseAck, sid: sid, seq: finalSeq})
+	b = append(b, statusOK)
+	b = appendUvarint(b, uint64(a.Applied))
+	b = appendUvarint(b, uint64(a.Rejected))
+	return appendUvarint(b, uint64(a.Dropped))
+}
+
+// parseCloseAck unpacks a closeAck payload.
+func parseCloseAck(p []byte) (Ack, bool) {
+	if len(p) < 1 || p[0] != statusOK {
+		return Ack{}, false
+	}
+	var a Ack
+	p = p[1:]
+	for _, dst := range [...]*int64{&a.Applied, &a.Rejected, &a.Dropped} {
+		v, rest, ok := takeUvarint(p)
+		if !ok {
+			return Ack{}, false
+		}
+		*dst = int64(v)
+		p = rest
+	}
+	return a, true
+}

@@ -1,0 +1,31 @@
+//go:build linux
+
+package udpingest
+
+import (
+	"net"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT, absent from the stdlib syscall package's
+// generated constants; the value is uniform across Linux architectures.
+const soReusePort = 0xf
+
+func reuseportOK() bool { return true }
+
+// listenConfig sets SO_REUSEPORT before bind, so N sockets share one
+// port and the kernel hashes each client's flow onto one of them — the
+// per-core fan-in with no central accept loop.
+func listenConfig() net.ListenConfig {
+	return net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			if err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+}

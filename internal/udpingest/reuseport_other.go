@@ -1,0 +1,11 @@
+//go:build !linux
+
+package udpingest
+
+import "net"
+
+// Without SO_REUSEPORT the server falls back to a single listener
+// socket; everything above the socket layer is unchanged.
+func reuseportOK() bool { return false }
+
+func listenConfig() net.ListenConfig { return net.ListenConfig{} }

@@ -1,0 +1,749 @@
+package udpingest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/encode"
+)
+
+// Sink is the archive-side hookup: the embedding server opens one
+// SessionSink per accepted hello. dec is a decoder over the hello's
+// serialized stream header — the negotiation (ε contract, constant
+// flag, filter kind, max-lag bound) without any stream body.
+type Sink interface {
+	Open(name string, dec *encode.Decoder) (SessionSink, error)
+}
+
+// SessionSink receives one session's decoded segments in stream order.
+// Close(true, tail) is the commit barrier: it must not return until
+// every applied segment is durable per the server's policy (its Ack is
+// what the client's Close reports). Close(commit=false) releases the
+// session's accounting after an abort; tail is the wire bytes read
+// since the last Apply either way.
+type SessionSink interface {
+	Apply(seg core.Segment, wireBytes int64)
+	Close(commit bool, tail int64) (Ack, error)
+}
+
+// Config parameterises Listen. The zero value is usable.
+type Config struct {
+	// Listeners is the number of SO_REUSEPORT sockets to bind
+	// (default GOMAXPROCS; always 1 where the platform lacks the
+	// option).
+	Listeners int
+	// IdleTimeout aborts a session whose stream stalls mid-flight
+	// (default 60s). Client retransmission keeps live sessions well
+	// under it.
+	IdleTimeout time.Duration
+	// Logf, when set, receives one line per abnormal session end.
+	Logf func(format string, args ...any)
+}
+
+// Metrics is a point-in-time snapshot of the transport's counters.
+type Metrics struct {
+	// Datagrams counts well-formed datagrams received; Drops counts
+	// malformed or unroutable ones plus in-window data shed by inbox
+	// backpressure; Dups counts retransmissions of already-delivered
+	// data; OutOfWindow counts data too far ahead of the reassembly
+	// window to buffer.
+	Datagrams   int64
+	Drops       int64
+	Dups        int64
+	OutOfWindow int64
+	// Sessions counts hellos accepted over the lifetime; Active is the
+	// number of sessions currently open.
+	Sessions int64
+	Active   int64
+}
+
+const (
+	// tableShards is the session-table shard count; the FNV-1a hash of
+	// the session id picks one, so listeners contend only when their
+	// clients' ids collide modulo this.
+	tableShards = 32
+	// reorderWindow bounds how far ahead of the next expected seq a
+	// data datagram may arrive and still be buffered. It matches the
+	// client's send window: anything further ahead is unreachable from
+	// a well-behaved client.
+	reorderWindow = 256
+	// inboxDepth is the per-session buffered channel between the
+	// listener and the session's decode goroutine. A full inbox drops
+	// the datagram *without acking it*, so the client's window stalls —
+	// socket-to-archive backpressure with no extra machinery.
+	inboxDepth = 512
+	// ackEvery is the in-order delivery cadence between unsolicited
+	// acks.
+	ackEvery = 16
+	// doneTTL keeps a finished session's cached closeAck around for
+	// retransmitted closeReqs before the reaper sweeps it.
+	doneTTL = 30 * time.Second
+	// abortEvery rate-limits unknown-session abort replies per
+	// listener, so a blind datagram flood cannot turn the server into
+	// an amplifier.
+	abortEvery = 10 * time.Millisecond
+)
+
+var (
+	errIdle     = errors.New("udpingest: session idle timeout")
+	errShutdown = errors.New("udpingest: server shutting down")
+)
+
+// Server is the datagram ingest front end. Create with Listen; Close
+// stops the listeners and aborts live sessions (their already-applied
+// segments stay applied — datagram semantics).
+type Server struct {
+	sink Sink
+	cfg  Config
+	lcs  []*lconn
+	addr net.Addr
+	stop chan struct{}
+
+	lnWG   sync.WaitGroup // listeners + reaper
+	sessWG sync.WaitGroup // session decode goroutines
+	closed atomic.Bool
+
+	table [tableShards]tableShard
+
+	datagrams   atomic.Int64
+	drops       atomic.Int64
+	dups        atomic.Int64
+	outOfWindow atomic.Int64
+	sessions    atomic.Int64
+	active      atomic.Int64
+}
+
+type tableShard struct {
+	mu sync.Mutex
+	m  map[uint64]*session
+}
+
+// streamHeader is the hello's negotiated parameters, kept to validate
+// that the in-band stream header matches what the sink was opened with.
+type streamHeader struct {
+	dim      int
+	constant bool
+	maxLag   int
+	eps      []float64
+}
+
+// dgram is one in-flight pooled datagram buffer.
+type dgram struct {
+	bp *[]byte
+	n  int
+}
+
+type session struct {
+	srv  *Server
+	id   uint64
+	name string
+	sink SessionSink
+	hdr  streamHeader
+
+	inbox chan dgram
+
+	mu          sync.Mutex
+	conn        *lconn
+	raddr       netip.AddrPort
+	nextSeq     uint32           // next in-order data seq expected
+	reorder     map[uint32]dgram // buffered datagrams ahead of nextSeq
+	finalSeq    uint32           // from closeReq; 0 = not yet known
+	sinceAck    int
+	inboxClosed bool
+	done        bool
+	doneAt      time.Time
+	helloAckPkt []byte
+	finalPkt    []byte // cached closeAck or abort once done
+
+	// decode-goroutine-private reassembly cursor
+	cur    dgram
+	curOff int
+	idle   *time.Timer
+}
+
+// Listen binds addr ("host:port") with cfg.Listeners SO_REUSEPORT
+// sockets and serves until Close.
+func Listen(addr string, sink Sink, cfg Config) (*Server, error) {
+	n := cfg.Listeners
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if !reuseportOK() {
+		n = 1
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 60 * time.Second
+	}
+	s := &Server{sink: sink, cfg: cfg, stop: make(chan struct{})}
+	for i := range s.table {
+		s.table[i].m = make(map[uint64]*session)
+	}
+	lc := listenConfig()
+	var conns []*net.UDPConn
+	fail := func(err error) (*Server, error) {
+		for _, c := range conns {
+			c.Close()
+		}
+		return nil, err
+	}
+	first, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conns = append(conns, first.(*net.UDPConn))
+	// Re-resolve through the bound address so ":0" lands every extra
+	// listener on the port the first one got.
+	bound := first.LocalAddr().String()
+	for len(conns) < n {
+		c, err := lc.ListenPacket(context.Background(), "udp", bound)
+		if err != nil {
+			return fail(fmt.Errorf("udpingest: reuseport listener %d: %w", len(conns), err))
+		}
+		conns = append(conns, c.(*net.UDPConn))
+	}
+	s.addr = first.LocalAddr()
+	for _, c := range conns {
+		l, err := newLconn(c)
+		if err != nil {
+			return fail(err)
+		}
+		s.lcs = append(s.lcs, l)
+	}
+	s.lnWG.Add(len(s.lcs) + 1)
+	for _, l := range s.lcs {
+		go s.readLoop(l)
+	}
+	go s.reaper()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.addr }
+
+// Listeners returns how many sockets share the port.
+func (s *Server) Listeners() int { return len(s.lcs) }
+
+// Metrics snapshots the transport counters.
+func (s *Server) Metrics() Metrics {
+	return Metrics{
+		Datagrams:   s.datagrams.Load(),
+		Drops:       s.drops.Load(),
+		Dups:        s.dups.Load(),
+		OutOfWindow: s.outOfWindow.Load(),
+		Sessions:    s.sessions.Load(),
+		Active:      s.active.Load(),
+	}
+}
+
+// Close stops the listeners, aborts live sessions (releasing their
+// sinks with commit=false) and waits for every session goroutine to
+// exit. Idempotent.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(s.stop)
+	for _, lc := range s.lcs {
+		lc.c.Close()
+	}
+	s.lnWG.Wait()
+	s.sessWG.Wait()
+	for i := range s.table {
+		ts := &s.table[i]
+		ts.mu.Lock()
+		ts.m = make(map[uint64]*session)
+		ts.mu.Unlock()
+	}
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// tableFor FNV-1a-hashes the session id onto a table shard.
+func (s *Server) tableFor(sid uint64) *tableShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 64; i += 8 {
+		h ^= (sid >> i) & 0xff
+		h *= 1099511628211
+	}
+	return &s.table[h%tableShards]
+}
+
+func (s *Server) lookup(sid uint64) *session {
+	ts := s.tableFor(sid)
+	ts.mu.Lock()
+	sess := ts.m[sid]
+	ts.mu.Unlock()
+	return sess
+}
+
+// readLoop drains one listener socket. Each pass receives up to
+// recvBatch datagrams in one syscall (where available), dispatches them
+// with at most a session-table hit and a session mutex each, and
+// flushes the pass's acks in one syscall.
+func (s *Server) readLoop(lc *lconn) {
+	defer s.lnWG.Done()
+	var pkts [recvBatch]packet
+	for i := range pkts {
+		pkts[i].bp = pktPool.Get().(*[]byte)
+	}
+	defer func() {
+		for i := range pkts {
+			if pkts[i].bp != nil {
+				pktPool.Put(pkts[i].bp)
+			}
+		}
+	}()
+	var acks ackBatch
+	for {
+		n, err := lc.recvBatch(pkts[:])
+		if err != nil {
+			if s.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient per-packet errors (ICMP-induced, buffer
+			// pressure): keep serving.
+			continue
+		}
+		acks.reset()
+		for i := 0; i < n; i++ {
+			if s.handlePacket(lc, &pkts[i], &acks) {
+				pkts[i].bp = pktPool.Get().(*[]byte)
+			}
+		}
+		if acks.n > 0 {
+			lc.sendAcks(&acks)
+		}
+	}
+}
+
+// handlePacket routes one datagram, reporting whether it kept the
+// packet's buffer (ownership transferred into a session).
+func (s *Server) handlePacket(lc *lconn, p *packet, acks *ackBatch) bool {
+	h, ok := parseHeader((*p.bp)[:p.n])
+	if !ok {
+		s.drops.Add(1)
+		return false
+	}
+	s.datagrams.Add(1)
+	switch h.typ {
+	case typeData:
+		sess := s.lookup(h.sid)
+		if sess == nil {
+			s.drops.Add(1)
+			s.abortUnknown(lc, p.from, h.sid)
+			return false
+		}
+		return sess.data(lc, p, h, acks)
+	case typeHello:
+		s.handleHello(lc, p, h)
+	case typeCloseReq:
+		s.handleCloseReq(lc, p, h)
+	default:
+		s.drops.Add(1) // server-bound types only
+	}
+	return false
+}
+
+// abortUnknown tells a client its session no longer exists, rate
+// limited per listener so junk floods are not amplified.
+func (s *Server) abortUnknown(lc *lconn, to netip.AddrPort, sid uint64) {
+	now := time.Now()
+	if now.Sub(lc.lastAbort) < abortEvery {
+		return
+	}
+	lc.lastAbort = now
+	lc.sendTo(makeAbort(sid, "unknown session"), to)
+}
+
+// data runs the sequence window for one data datagram. All inbox sends
+// and the inbox close happen under s.mu, so close-vs-send cannot race.
+func (ss *session) data(lc *lconn, p *packet, h header, acks *ackBatch) bool {
+	s := ss.srv
+	kept := false
+	ss.mu.Lock()
+	ss.conn, ss.raddr = lc, p.from
+	switch {
+	case ss.done || ss.inboxClosed:
+		// The stream is already complete; a retransmitted tail. Re-ack
+		// so the client's window drains.
+		s.dups.Add(1)
+		ss.ackLocked(acks)
+	case h.seq < ss.nextSeq:
+		s.dups.Add(1)
+		ss.ackLocked(acks)
+	case h.seq == ss.nextSeq:
+		if old, ok := ss.reorder[h.seq]; ok {
+			// A buffered copy raced the retransmit; keep the fresh one.
+			delete(ss.reorder, h.seq)
+			pktPool.Put(old.bp)
+		}
+		if !ss.deliverLocked(dgram{p.bp, p.n}) {
+			// Inbox full: drop *without acking*. The client's window
+			// stalls and retransmits — end-to-end backpressure from the
+			// archive's decode rate to the sender's socket.
+			s.drops.Add(1)
+			break
+		}
+		kept = true
+		ss.nextSeq++
+		ss.sinceAck++
+		for {
+			d, ok := ss.reorder[ss.nextSeq]
+			if !ok {
+				break
+			}
+			if !ss.deliverLocked(d) {
+				break
+			}
+			delete(ss.reorder, ss.nextSeq)
+			ss.nextSeq++
+			ss.sinceAck++
+		}
+		if h.flags&flagAckReq != 0 || ss.sinceAck >= ackEvery {
+			ss.ackLocked(acks)
+		}
+		ss.maybeFinishLocked()
+	case h.seq-ss.nextSeq >= reorderWindow:
+		s.outOfWindow.Add(1)
+	default:
+		if _, dup := ss.reorder[h.seq]; dup {
+			s.dups.Add(1)
+		} else {
+			ss.reorder[h.seq] = dgram{p.bp, p.n}
+			kept = true
+		}
+	}
+	ss.mu.Unlock()
+	return kept
+}
+
+func (ss *session) deliverLocked(d dgram) bool {
+	select {
+	case ss.inbox <- d:
+		return true
+	default:
+		return false
+	}
+}
+
+func (ss *session) ackLocked(acks *ackBatch) {
+	acks.add(ss.id, ss.nextSeq-1, ss.raddr)
+	ss.sinceAck = 0
+}
+
+// maybeFinishLocked closes the inbox once every data datagram through
+// the closeReq's final seq has been delivered; the decode goroutine
+// then runs to the stream terminator and commits.
+func (ss *session) maybeFinishLocked() {
+	if ss.finalSeq != 0 && !ss.inboxClosed && ss.nextSeq > ss.finalSeq {
+		close(ss.inbox)
+		ss.inboxClosed = true
+	}
+}
+
+func (s *Server) handleCloseReq(lc *lconn, p *packet, h header) {
+	sess := s.lookup(h.sid)
+	if sess == nil {
+		s.drops.Add(1)
+		s.abortUnknown(lc, p.from, h.sid)
+		return
+	}
+	sess.mu.Lock()
+	sess.conn, sess.raddr = lc, p.from
+	if sess.done {
+		pkt := sess.finalPkt
+		sess.mu.Unlock()
+		lc.sendTo(pkt, p.from)
+		return
+	}
+	if sess.finalSeq == 0 && h.seq > 0 {
+		sess.finalSeq = h.seq
+	}
+	sess.maybeFinishLocked()
+	sess.mu.Unlock()
+}
+
+// handleHello accepts (or rejects) a new session. A duplicate hello —
+// the client retransmitting because our ack was lost — gets the cached
+// helloAck; the table-shard mutex serialises duplicates racing across
+// listeners.
+func (s *Server) handleHello(lc *lconn, p *packet, h header) {
+	ts := s.tableFor(h.sid)
+	ts.mu.Lock()
+	if sess := ts.m[h.sid]; sess != nil {
+		pkt := sess.helloAckPkt
+		ts.mu.Unlock()
+		sess.mu.Lock()
+		sess.conn, sess.raddr = lc, p.from
+		sess.mu.Unlock()
+		lc.sendTo(pkt, p.from)
+		return
+	}
+	name, hdrBytes, err := parseHello((*p.bp)[headerSize:p.n])
+	var dec *encode.Decoder
+	if err == nil {
+		if dec, err = encode.NewDecoder(bytes.NewReader(hdrBytes)); err != nil {
+			err = fmt.Errorf("bad stream header: %w", err)
+		}
+	}
+	var sink SessionSink
+	if err == nil {
+		if s.closed.Load() {
+			err = errShutdown
+		} else {
+			sink, err = s.sink.Open(name, dec)
+		}
+	}
+	if err != nil {
+		ts.mu.Unlock()
+		lc.sendTo(makeHelloErr(h.sid, err.Error()), p.from)
+		return
+	}
+	eps := append([]float64(nil), dec.Epsilon()...)
+	sess := &session{
+		srv:  s,
+		id:   h.sid,
+		name: name,
+		sink: sink,
+		hdr: streamHeader{
+			dim:      dec.Dim(),
+			constant: dec.Constant(),
+			maxLag:   dec.MaxLag(),
+			eps:      eps,
+		},
+		inbox:       make(chan dgram, inboxDepth),
+		reorder:     make(map[uint32]dgram),
+		nextSeq:     1,
+		conn:        lc,
+		raddr:       p.from,
+		helloAckPkt: makeHelloOK(h.sid),
+	}
+	ts.m[h.sid] = sess
+	s.sessions.Add(1)
+	s.active.Add(1)
+	s.sessWG.Add(1)
+	ts.mu.Unlock()
+	go sess.run()
+	lc.sendTo(sess.helloAckPkt, p.from)
+}
+
+func parseHello(p []byte) (string, []byte, error) {
+	nl, rest, ok := takeUvarint(p)
+	if !ok || nl == 0 || nl > 255 || uint64(len(rest)) < nl {
+		return "", nil, errors.New("malformed hello")
+	}
+	return string(rest[:nl]), rest[nl:], nil
+}
+
+func makeHelloOK(sid uint64) []byte {
+	b := make([]byte, headerSize+1)
+	putHeader(b, header{typ: typeHelloAck, sid: sid})
+	b[headerSize] = statusOK
+	return b
+}
+
+func makeHelloErr(sid uint64, msg string) []byte {
+	if len(msg) > maxPayload-8 {
+		msg = msg[:maxPayload-8]
+	}
+	b := make([]byte, headerSize, headerSize+2+len(msg)+8)
+	putHeader(b, header{typ: typeHelloAck, sid: sid})
+	b = append(b, statusErr)
+	b = appendUvarint(b, uint64(len(msg)))
+	return append(b, msg...)
+}
+
+// Read reassembles the in-order byte stream for the decode goroutine:
+// datagram payloads from the inbox, an idle timer guarding against a
+// vanished client, and the server stop channel so shutdown does not
+// wait out the idle timeout.
+func (ss *session) Read(p []byte) (int, error) {
+	for {
+		if ss.cur.bp != nil {
+			if ss.curOff < ss.cur.n {
+				n := copy(p, (*ss.cur.bp)[ss.curOff:ss.cur.n])
+				ss.curOff += n
+				if ss.curOff == ss.cur.n {
+					pktPool.Put(ss.cur.bp)
+					ss.cur = dgram{}
+				}
+				return n, nil
+			}
+			pktPool.Put(ss.cur.bp)
+			ss.cur = dgram{}
+		}
+		if !ss.idle.Stop() {
+			select {
+			case <-ss.idle.C:
+			default:
+			}
+		}
+		ss.idle.Reset(ss.srv.cfg.IdleTimeout)
+		select {
+		case d, ok := <-ss.inbox:
+			if !ok {
+				return 0, io.EOF
+			}
+			ss.cur, ss.curOff = d, headerSize
+		case <-ss.idle.C:
+			return 0, errIdle
+		case <-ss.srv.stop:
+			// Shutdown drains before it aborts: datagrams already in the
+			// inbox were acked, so decode them — the listeners are gone,
+			// the backlog is bounded, and dropping acked bytes here
+			// would lose segments the shard drain could still commit.
+			select {
+			case d, ok := <-ss.inbox:
+				if !ok {
+					return 0, io.EOF
+				}
+				ss.cur, ss.curOff = d, headerSize
+			default:
+				return 0, errShutdown
+			}
+		}
+	}
+}
+
+// checkHeader cross-checks the in-band stream header against the
+// hello's: the sink was opened with the hello's parameters, so a
+// diverging stream would silently land segments under the wrong
+// contract.
+func (ss *session) checkHeader(dec *encode.Decoder) error {
+	h := ss.hdr
+	if dec.Dim() != h.dim || dec.Constant() != h.constant || dec.MaxLag() != h.maxLag {
+		return errors.New("udpingest: stream header does not match hello")
+	}
+	for i, e := range dec.Epsilon() {
+		if e != h.eps[i] {
+			return errors.New("udpingest: stream epsilon does not match hello")
+		}
+	}
+	return nil
+}
+
+// run is the per-session decode goroutine: reassembled bytes → decoder
+// → sink, then the commit barrier and the cached terminal reply.
+func (ss *session) run() {
+	s := ss.srv
+	defer s.sessWG.Done()
+	defer s.active.Add(-1)
+	ss.idle = time.NewTimer(s.cfg.IdleTimeout)
+	defer ss.idle.Stop()
+
+	cr := encode.NewCountingReader(ss)
+	var attributed int64
+	dec, err := encode.NewDecoder(cr)
+	if err == nil {
+		err = ss.checkHeader(dec)
+	}
+	if err == nil {
+		for {
+			var seg core.Segment
+			if seg, err = dec.Next(); err != nil {
+				if err == io.EOF {
+					err = nil
+				}
+				break
+			}
+			delta := cr.BytesRead() - attributed
+			attributed = cr.BytesRead()
+			ss.sink.Apply(seg, delta)
+		}
+	}
+	tail := cr.BytesRead() - attributed
+	if err != nil {
+		ss.sink.Close(false, tail)
+		s.logf("udpingest: session %x (%q): %v", ss.id, ss.name, err)
+		ss.finish(makeAbort(ss.id, err.Error()))
+		return
+	}
+	ack, cerr := ss.sink.Close(true, tail)
+	if cerr != nil {
+		s.logf("udpingest: session %x (%q): commit: %v", ss.id, ss.name, cerr)
+		ss.finish(makeAbort(ss.id, "segments not durable: "+cerr.Error()))
+		return
+	}
+	ss.mu.Lock()
+	finalSeq := ss.finalSeq
+	ss.mu.Unlock()
+	ss.finish(makeCloseAck(ss.id, finalSeq, ack))
+}
+
+// finish marks the session done, releases every buffered datagram, and
+// sends (and caches, for closeReq retransmits) the terminal reply.
+func (ss *session) finish(pkt []byte) {
+	if ss.cur.bp != nil {
+		pktPool.Put(ss.cur.bp)
+		ss.cur = dgram{}
+	}
+	ss.mu.Lock()
+	ss.done = true
+	ss.doneAt = time.Now()
+	ss.finalPkt = pkt
+	if !ss.inboxClosed {
+		close(ss.inbox)
+		ss.inboxClosed = true
+	}
+	// No deliverLocked can run past the done flag; drain what is left.
+	for {
+		d, ok := <-ss.inbox
+		if !ok {
+			break
+		}
+		pktPool.Put(d.bp)
+	}
+	for seq, d := range ss.reorder {
+		delete(ss.reorder, seq)
+		pktPool.Put(d.bp)
+	}
+	conn, raddr := ss.conn, ss.raddr
+	ss.mu.Unlock()
+	if conn != nil && raddr.IsValid() {
+		conn.sendTo(pkt, raddr)
+	}
+}
+
+// reaper sweeps finished sessions after their closeAck-retransmit grace
+// period.
+func (s *Server) reaper() {
+	defer s.lnWG.Done()
+	t := time.NewTicker(doneTTL / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			now := time.Now()
+			for i := range s.table {
+				ts := &s.table[i]
+				ts.mu.Lock()
+				for sid, sess := range ts.m {
+					sess.mu.Lock()
+					dead := sess.done && now.Sub(sess.doneAt) > doneTTL
+					sess.mu.Unlock()
+					if dead {
+						delete(ts.m, sid)
+					}
+				}
+				ts.mu.Unlock()
+			}
+		}
+	}
+}

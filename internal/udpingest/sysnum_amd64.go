@@ -1,0 +1,7 @@
+//go:build linux && amd64
+
+package udpingest
+
+// sendmmsg's syscall number postdates the frozen stdlib syscall tables
+// on amd64 (recvmmsg made it in, sendmmsg did not).
+const sysSendmmsg = 307

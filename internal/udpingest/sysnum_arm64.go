@@ -1,0 +1,7 @@
+//go:build linux && arm64
+
+package udpingest
+
+import "syscall"
+
+const sysSendmmsg = syscall.SYS_SENDMMSG

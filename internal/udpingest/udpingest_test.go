@@ -1,0 +1,465 @@
+package udpingest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/encode"
+)
+
+// memSink collects every session's segments in memory.
+type memSink struct {
+	mu       sync.Mutex
+	sessions map[string]*memSession
+	openErr  error
+}
+
+type memSession struct {
+	sink *memSink
+	name string
+	segs []core.Segment
+	wire int64
+	done bool
+}
+
+func newMemSink() *memSink { return &memSink{sessions: make(map[string]*memSession)} }
+
+func (m *memSink) Open(name string, dec *encode.Decoder) (SessionSink, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.openErr != nil {
+		return nil, m.openErr
+	}
+	if dec.Dim() != len(dec.Epsilon()) {
+		return nil, errors.New("inconsistent header")
+	}
+	s := &memSession{sink: m, name: name}
+	m.sessions[name] = s
+	return s, nil
+}
+
+func (m *memSink) get(name string) *memSession {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sessions[name]
+}
+
+func (s *memSession) Apply(seg core.Segment, wire int64) {
+	s.sink.mu.Lock()
+	s.segs = append(s.segs, seg)
+	s.wire += wire
+	s.sink.mu.Unlock()
+}
+
+func (s *memSession) Close(commit bool, tail int64) (Ack, error) {
+	s.sink.mu.Lock()
+	defer s.sink.mu.Unlock()
+	s.wire += tail
+	s.done = commit
+	return Ack{Applied: int64(len(s.segs))}, nil
+}
+
+// signal produces a poorly-compressible random walk so a session spans
+// many datagrams.
+func signal(n int, seed int64) []core.Point {
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]core.Point, n)
+	v := 0.0
+	for i := range ps {
+		v += rng.Float64()*2 - 1
+		ps[i] = core.Point{T: float64(i), X: []float64{v}}
+	}
+	return ps
+}
+
+// expectedSegments runs the same filter locally — what a lossless
+// transport must deliver.
+func expectedSegments(t *testing.T, ps []core.Point, mk func() core.Filter) []core.Segment {
+	t.Helper()
+	f := mk()
+	var segs []core.Segment
+	for _, p := range ps {
+		out, err := f.Push(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs = append(segs, out...)
+	}
+	out, err := f.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(segs, out...)
+}
+
+func segsEqual(a, b []core.Segment) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.T0 != y.T0 || x.T1 != y.T1 || x.Connected != y.Connected ||
+			x.Points != y.Points || x.Provisional != y.Provisional {
+			return false
+		}
+		for d := range x.X0 {
+			if x.X0[d] != y.X0[d] || x.X1[d] != y.X1[d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRoundTrip(t *testing.T) {
+	sink := newMemSink()
+	srv, err := Listen("127.0.0.1:0", sink, Config{Listeners: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ps := signal(5000, 1)
+	mk := func() core.Filter {
+		f, err := core.NewSwing([]float64{0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	want := expectedSegments(t, ps, mk)
+
+	c, err := Dial(srv.Addr().String(), "udp-rt", mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendBatch(ps); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Applied != int64(len(want)) {
+		t.Fatalf("ack.Applied = %d, want %d", ack.Applied, len(want))
+	}
+	got := sink.get("udp-rt")
+	if got == nil || !got.done {
+		t.Fatal("session not committed")
+	}
+	if !segsEqual(got.segs, want) {
+		t.Fatalf("segment mismatch: got %d segments, want %d", len(got.segs), len(want))
+	}
+	if got.wire <= 0 {
+		t.Fatal("no wire bytes attributed")
+	}
+	m := srv.Metrics()
+	if m.Datagrams == 0 || m.Sessions != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestRoundTripConcurrentSessions(t *testing.T) {
+	sink := newMemSink()
+	srv, err := Listen("127.0.0.1:0", sink, Config{Listeners: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const sessions = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ps := signal(2000, int64(i+10))
+			f, err := core.NewSwing([]float64{0.05})
+			if err != nil {
+				errs <- err
+				return
+			}
+			c, err := Dial(srv.Addr().String(), fmt.Sprintf("udp-conc-%d", i), f)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := c.SendBatch(ps); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := c.Close(); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i := 0; i < sessions; i++ {
+		name := fmt.Sprintf("udp-conc-%d", i)
+		s := sink.get(name)
+		if s == nil || !s.done {
+			t.Fatalf("session %s not committed", name)
+		}
+		want := expectedSegments(t, signal(2000, int64(i+10)), func() core.Filter {
+			f, _ := core.NewSwing([]float64{0.05})
+			return f
+		})
+		if !segsEqual(s.segs, want) {
+			t.Fatalf("session %s: segment mismatch (%d vs %d)", name, len(s.segs), len(want))
+		}
+	}
+}
+
+func TestHelloRejected(t *testing.T) {
+	sink := newMemSink()
+	sink.openErr = errors.New("no room")
+	srv, err := Listen("127.0.0.1:0", sink, Config{Listeners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	f, _ := core.NewSwing([]float64{0.5})
+	_, err = Dial(srv.Addr().String(), "nope", f)
+	if err == nil || !contains(err.Error(), "no room") {
+		t.Fatalf("Dial error = %v, want rejection carrying the sink's message", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}
+
+// chaosConn mangles the client→server direction: datagrams are dropped,
+// duplicated and delayed (reordered) at the given per-mille rates.
+// Server→client control traffic passes through so the test exercises
+// the data path's window, not the handshake's patience.
+type chaosConn struct {
+	net.Conn
+	mu      sync.Mutex
+	rng     *rand.Rand
+	drop    int // per-mille
+	dup     int
+	delay   int
+	held    [][]byte
+	mangled int
+}
+
+func (c *chaosConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	roll := c.rng.Intn(1000)
+	switch {
+	case roll < c.drop:
+		c.mangled++
+		return len(b), nil // vanished
+	case roll < c.drop+c.dup:
+		c.mangled++
+		c.Conn.Write(b)
+		c.Conn.Write(b)
+		return len(b), nil
+	case roll < c.drop+c.dup+c.delay:
+		c.mangled++
+		c.held = append(c.held, append([]byte(nil), b...))
+		return len(b), nil
+	}
+	n, err := c.Conn.Write(b)
+	// Release held datagrams after the one that overtook them.
+	for _, h := range c.held {
+		c.Conn.Write(h)
+	}
+	c.held = c.held[:0]
+	return n, err
+}
+
+func TestTortureLossyDupReorder(t *testing.T) {
+	sink := newMemSink()
+	srv, err := Listen("127.0.0.1:0", sink, Config{Listeners: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ps := signal(8000, 7)
+	mk := func() core.Filter {
+		f, err := core.NewSwing([]float64{0.02})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	want := expectedSegments(t, ps, mk)
+
+	raw, err := net.Dial("udp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos := &chaosConn{Conn: raw, rng: rand.New(rand.NewSource(42)), drop: 100, dup: 100, delay: 150}
+	c, err := NewClient(chaos, "udp-torture", mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(ps); i += 500 {
+		end := i + 500
+		if end > len(ps) {
+			end = len(ps)
+		}
+		if err := c.SendBatch(ps[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ack, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Applied != int64(len(want)) {
+		t.Fatalf("ack.Applied = %d, want %d", ack.Applied, len(want))
+	}
+	s := sink.get("udp-torture")
+	if s == nil || !s.done {
+		t.Fatal("session not committed")
+	}
+	if !segsEqual(s.segs, want) {
+		t.Fatalf("torture run diverged: %d segments, want %d", len(s.segs), len(want))
+	}
+	if chaos.mangled == 0 {
+		t.Fatal("chaos conn mangled nothing; the test exercised a clean path")
+	}
+	m := srv.Metrics()
+	if m.Dups == 0 {
+		t.Fatalf("expected duplicate datagrams to be counted, metrics = %+v", m)
+	}
+	t.Logf("mangled %d writes; server metrics %+v", chaos.mangled, m)
+}
+
+func TestServerCloseAbortsSessions(t *testing.T) {
+	sink := newMemSink()
+	srv, err := Listen("127.0.0.1:0", sink, Config{Listeners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := core.NewSwing([]float64{0.05})
+	c, err := Dial(srv.Addr().String(), "udp-abort", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendBatch(signal(1000, 3)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return; a session held it open")
+	}
+	s := sink.get("udp-abort")
+	if s == nil {
+		t.Fatal("session never opened")
+	}
+	if s.done {
+		t.Fatal("aborted session reported as committed")
+	}
+	if _, err := c.Close(); err == nil {
+		t.Fatal("client Close succeeded against a closed server")
+	}
+}
+
+func TestIdleSessionAborts(t *testing.T) {
+	sink := newMemSink()
+	srv, err := Listen("127.0.0.1:0", sink, Config{Listeners: 1, IdleTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	f, _ := core.NewSwing([]float64{0.05})
+	c, err := Dial(srv.Addr().String(), "udp-idle", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendBatch(signal(500, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// Vanish without closing; the server must reap the session.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Metrics().Active == 0 {
+			s := sink.get("udp-idle")
+			if s == nil {
+				t.Fatal("session never opened")
+			}
+			if s.done {
+				t.Fatal("idle-aborted session reported as committed")
+			}
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("idle session was never aborted")
+}
+
+func TestHeaderPackParse(t *testing.T) {
+	var b [headerSize]byte
+	in := header{typ: typeData, flags: flagAckReq, sid: 0xdeadbeefcafef00d, seq: 12345}
+	putHeader(b[:], in)
+	out, ok := parseHeader(b[:])
+	if !ok || out != in {
+		t.Fatalf("parse(put(%+v)) = %+v, %v", in, out, ok)
+	}
+	if _, ok := parseHeader(b[:headerSize-1]); ok {
+		t.Fatal("short buffer parsed")
+	}
+	b[0] = 'X'
+	if _, ok := parseHeader(b[:]); ok {
+		t.Fatal("bad magic parsed")
+	}
+}
+
+func TestCloseAckRoundTrip(t *testing.T) {
+	a := Ack{Applied: 123456, Rejected: 7, Dropped: 89}
+	pkt := makeCloseAck(9, 42, a)
+	h, ok := parseHeader(pkt)
+	if !ok || h.typ != typeCloseAck || h.sid != 9 || h.seq != 42 {
+		t.Fatalf("header %+v, %v", h, ok)
+	}
+	got, ok := parseCloseAck(pkt[headerSize:])
+	if !ok || got != a {
+		t.Fatalf("parseCloseAck = %+v, %v", got, ok)
+	}
+}
+
+func BenchmarkHeaderPackParseZeroAlloc(b *testing.B) {
+	var buf [MaxDatagram]byte
+	h := header{typ: typeData, flags: flagAckReq, sid: 0x0123456789abcdef}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.seq = uint32(i)
+		putHeader(buf[:], h)
+		out, ok := parseHeader(buf[:])
+		if !ok || out.seq != h.seq {
+			b.Fatal("round trip failed")
+		}
+	}
+}

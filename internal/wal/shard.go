@@ -35,13 +35,14 @@ type Shard struct {
 	// normally rewrites a shard's whole owned series set; with dirty
 	// tracking it writes a partial snapshot holding only the series that
 	// changed since the last snapshot file, chained off the newest full
-	// one. The first snapshot after Open is always full: wal replay
-	// re-applied records the on-disk snapshot lacks without marking
-	// anything dirty, so only a fresh full baseline makes those wal
-	// files safe to delete.
+	// one. A boot that recovered a clean chain seeds this state from
+	// disk (seedRecovered) with the replayed wal series pre-dirtied, so
+	// the first post-boot compaction is already incremental; when
+	// recovery found no usable baseline — first boot, migration, a
+	// corrupt chain file — the first snapshot is full.
 	mu      sync.Mutex
 	dirty   map[string]struct{} // series changed since the last snapshot file
-	hasFull bool                // a full snapshot written by this run exists on disk
+	hasFull bool                // a full snapshot of the current layout exists on disk
 	chain   int                 // partial snapshots since that full one
 }
 
@@ -84,6 +85,26 @@ func (sh *Shard) noteFull() {
 	sh.mu.Lock()
 	sh.hasFull, sh.chain = true, 0
 	clear(sh.dirty)
+	sh.mu.Unlock()
+}
+
+// seedRecovered primes the shard's incremental-snapshot state from
+// what recovery observed on disk: a chain that read cleanly and still
+// anchors on a full snapshot remains a valid baseline, so the next
+// compaction may chain another partial off it — covering the series
+// wal replay re-applied, which arrive pre-dirtied here — instead of
+// opening every boot with a full rewrite. A seed without a clean full
+// baseline leaves the full-first rule in place.
+func (sh *Shard) seedRecovered(seed chainSeed) {
+	if !seed.clean || !seed.hasFull {
+		return
+	}
+	sh.mu.Lock()
+	sh.hasFull = true
+	sh.chain = seed.chain
+	for name := range seed.dirty {
+		sh.dirty[name] = struct{}{}
+	}
 	sh.mu.Unlock()
 }
 

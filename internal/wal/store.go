@@ -105,8 +105,23 @@ type recoveryUnit struct {
 	staged *tsdb.Archive
 	stats  RecoverStats
 	maxSeq uint64
+	seed   chainSeed
 	err    error
 	wals   []seqFile // cached by the extent-backed flow for its replay phase
+}
+
+// chainSeed is what recovery learned about one partition's snapshot
+// chain, used to seed the owning shard's incremental-snapshot state:
+// when the chain on disk read cleanly and still anchors on a full
+// snapshot, the first post-boot compaction can write a partial holding
+// just the series wal replay touched, instead of rewriting the whole
+// partition.
+type chainSeed struct {
+	hasFull bool                // a full snapshot read cleanly
+	fullSeq uint64              // that full snapshot's sequence
+	chain   int                 // partials chained past it on disk
+	clean   bool                // every chain file read cleanly
+	dirty   map[string]struct{} // series wal replay parsed records for
 }
 
 // openLeftoverExtents detects and opens an extent directory a previous
@@ -188,7 +203,7 @@ func Open(dir string, nShards int, db *tsdb.Archive, opts Options) (st *Store, s
 			go func(u *recoveryUnit) {
 				defer wg.Done()
 				u.staged = tsdb.New()
-				u.stats, u.maxSeq, u.err = recoverDir(u.dir, u.staged, opts)
+				u.stats, u.maxSeq, u.seed, u.err = recoverDir(u.dir, u.staged, opts)
 			}(u)
 		}
 		wg.Wait()
@@ -268,7 +283,8 @@ func Open(dir string, nShards int, db *tsdb.Archive, opts Options) (st *Store, s
 				migrate = true
 			}
 			staged := tsdb.New()
-			stats.SnapshotSeries += loadChain(snaps, parts, staged, opts)
+			n, _ := loadChain(snaps, parts, staged, opts)
+			stats.SnapshotSeries += n
 			for _, name := range staged.Names() {
 				if u.shard != ShardIndex(name, nShards) {
 					migrate = true
@@ -328,6 +344,20 @@ func Open(dir string, nShards int, db *tsdb.Archive, opts Options) (st *Store, s
 		stats.Migrated = true
 		if err := st.rebaseline(units, maxSeq, leftover); err != nil {
 			return nil, stats, err
+		}
+	} else if mm == nil {
+		// Nothing moved and every partition chain read cleanly off disk:
+		// the files recovery just loaded are still a valid baseline, so
+		// seed each shard's incremental-snapshot state from them. The
+		// first post-boot compaction then writes a partial covering just
+		// the series wal replay touched, instead of rewriting the whole
+		// partition. Any doubt — a migration, an unreadable chain file,
+		// retention pruning (which forces migrate above) — falls back to
+		// the full-first rule.
+		for _, u := range units {
+			if u.shard >= 0 && u.shard < nShards {
+				st.shards[u.shard].seedRecovered(u.seed)
+			}
 		}
 	}
 
@@ -685,16 +715,18 @@ func matchSeq(name, pattern string, seq *uint64) bool {
 
 // recoverDir recovers one log directory into db: newest readable
 // snapshot first, then every remaining wal file in sequence order with
-// torn-tail truncation. It returns the directory's stats and highest
-// sequence number seen (snapshot or wal).
-func recoverDir(dir string, db *tsdb.Archive, opts Options) (RecoverStats, uint64, error) {
+// torn-tail truncation. It returns the directory's stats, highest
+// sequence number seen (snapshot or wal), and the chain seed for the
+// owning shard's incremental-snapshot state.
+func recoverDir(dir string, db *tsdb.Archive, opts Options) (RecoverStats, uint64, chainSeed, error) {
 	var stats RecoverStats
+	var seed chainSeed
 	snaps, parts, wals, marks, err := scanDir(dir, opts)
 	if err != nil {
-		return stats, 0, err
+		return stats, 0, seed, err
 	}
 	if len(snaps)+len(parts)+len(wals)+len(marks) == 0 {
-		return stats, 0, nil
+		return stats, 0, seed, nil
 	}
 	stats.Dirs = 1
 
@@ -704,18 +736,23 @@ func recoverDir(dir string, db *tsdb.Archive, opts Options) (RecoverStats, uint6
 			maxSeq = f.seq
 		}
 	}
-	stats.SnapshotSeries = loadChain(snaps, parts, db, opts)
+	stats.SnapshotSeries, seed = loadChain(snaps, parts, db, opts)
 
 	// Replay every wal file in sequence order. Files at or below the
 	// snapshot's sequence are normally deleted by compaction; if a crash
 	// kept them around, the per-record index check skips everything the
-	// snapshot already covers.
+	// snapshot already covers. Every parsed record marks its series in
+	// the seed's dirty set — a superset of what replay actually applied,
+	// which errs on covering too much in the next partial snapshot, never
+	// too little.
+	seed.dirty = make(map[string]struct{})
+	seen := func(name string) { seed.dirty[name] = struct{}{} }
 	for _, wf := range wals {
-		if err := replayFile(wf.path, wf.seq, db, &stats, opts, nil); err != nil {
-			return stats, maxSeq, err
+		if err := replayFile(wf.path, wf.seq, db, &stats, opts, seen); err != nil {
+			return stats, maxSeq, seed, err
 		}
 	}
-	return stats, maxSeq, nil
+	return stats, maxSeq, seed, nil
 }
 
 // loadChain loads a directory's snapshot chain into db (empty on
@@ -727,13 +764,17 @@ func recoverDir(dir string, db *tsdb.Archive, opts Options) (RecoverStats, uint6
 // (their series already exist) and an unreadable file is rolled back
 // and skipped with a loud warning, falling through to the next older
 // generation exactly as full-snapshot recovery always has. Returns the
-// number of series loaded.
-func loadChain(snaps, parts []seqFile, db *tsdb.Archive, opts Options) int {
+// number of series loaded, plus a seed describing the chain's health —
+// whether a full baseline read cleanly, how many partials stack on it,
+// and whether any file in between was unreadable.
+func loadChain(snaps, parts []seqFile, db *tsdb.Archive, opts Options) (int, chainSeed) {
 	loaded := 0
+	seed := chainSeed{clean: true}
 	for i := len(parts) - 1; i >= 0; i-- {
 		n, err := mergeSnapshot(parts[i].path, db)
 		loaded += n
 		if err != nil {
+			seed.clean = false
 			opts.logf("wal: incremental snapshot %s unreadable, skipping: %v", filepath.Base(parts[i].path), err)
 		}
 	}
@@ -741,12 +782,19 @@ func loadChain(snaps, parts []seqFile, db *tsdb.Archive, opts Options) int {
 		n, err := mergeSnapshot(snaps[i].path, db)
 		loaded += n
 		if err != nil {
+			seed.clean = false
 			opts.logf("wal: snapshot %s unreadable, trying older: %v", filepath.Base(snaps[i].path), err)
 			continue
 		}
+		seed.hasFull, seed.fullSeq = true, snaps[i].seq
 		break
 	}
-	return loaded
+	for _, pt := range parts {
+		if pt.seq > seed.fullSeq {
+			seed.chain++
+		}
+	}
+	return loaded, seed
 }
 
 // mergeSnapshot reads one chain file into db, skipping series a newer
