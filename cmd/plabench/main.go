@@ -10,6 +10,7 @@
 //	         [-server-sync mem,interval,always]
 //	         [-server-transport tcp,udp] [-server-cores 1,2,4,8] [-o BENCH.json]
 //	plabench -server-agg [-server-agg-segments 85000] [-o AGG.json]
+//	plabench -extent-bench [-extent-segments 85000] [-o BENCH_PR8.json]
 //
 // -quick shrinks the synthetic workloads for a fast smoke run; the
 // canonical numbers in EXPERIMENTS.md come from the default sizes.
@@ -54,9 +55,18 @@ func main() {
 		srvLagEps  = flag.String("server-lag-eps", "0.1,0.5,2", "comma-separated ε values swept per -server-lag bound")
 		srvAgg     = flag.Bool("server-agg", false, "measure the AGG pushdown vs SCAN-and-fold on a week-scale range and exit")
 		srvAggSegs = flag.Int("server-agg-segments", 85000, "archive size in segments for -server-agg")
+		extBench   = flag.Bool("extent-bench", false, "measure v1 vs v2+compaction extent archives (disk bytes, cold open/SCAN/AGG, fence vs binary-search lookup) and exit")
+		extSegs    = flag.Int("extent-segments", 85000, "archive size in segments for -extent-bench")
 		out        = flag.String("o", "", "write the -server-bench snapshot as JSON to this file")
 	)
 	flag.Parse()
+
+	if *extBench {
+		if err := extentBench(*extSegs, *srvRounds, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *srvAgg {
 		if err := aggBench(*srvAggSegs, *srvRounds, *srvShards, *out); err != nil {

@@ -15,6 +15,7 @@ import (
 	"github.com/pla-go/pla/internal/core"
 	"github.com/pla-go/pla/internal/encode"
 	"github.com/pla-go/pla/internal/loadgen"
+	"github.com/pla-go/pla/internal/query"
 	"github.com/pla-go/pla/internal/server"
 	"github.com/pla-go/pla/internal/sketch"
 	"github.com/pla-go/pla/internal/tsdb"
@@ -79,6 +80,26 @@ type ServerBenchResult struct {
 	ScanSeconds float64 `json:"scan_seconds,omitempty"`
 	Speedup     float64 `json:"speedup,omitempty"`
 	Windows     int64   `json:"windows,omitempty"`
+
+	// Succinct-extent fields (PR 8). On cold-start rows,
+	// ArchiveDiskBytes is the recovered data directory's disk footprint
+	// and ColdScanSeconds/ColdAggSeconds time the first full-range SCAN
+	// and AGG against the freshly recovered archive. On "ExtentArchive"
+	// rows (-extent-bench), Format tags the extent encoding ("v1"
+	// fixed-width, "v2" bit-packed + compaction), Extents counts the
+	// mapped files, Compactions the merges committed while building, and
+	// LookupNsPerOp/LookupLegacyNsPerOp compare the learned fence index
+	// against per-extent binary search on the same extents.
+	Format              string  `json:"format,omitempty"`
+	Extents             int     `json:"extents,omitempty"`
+	ArchiveDiskBytes    int64   `json:"archive_disk_bytes,omitempty"`
+	MappedSegBytes      int64   `json:"mapped_seg_bytes,omitempty"`
+	Compactions         uint64  `json:"compactions,omitempty"`
+	ColdOpenSeconds     float64 `json:"cold_open_seconds,omitempty"`
+	ColdScanSeconds     float64 `json:"cold_scan_seconds,omitempty"`
+	ColdAggSeconds      float64 `json:"cold_agg_seconds,omitempty"`
+	LookupNsPerOp       float64 `json:"lookup_ns_per_op,omitempty"`
+	LookupLegacyNsPerOp float64 `json:"lookup_legacy_ns_per_op,omitempty"`
 }
 
 // serverBench measures the concurrent network-ingest path (via the shared
@@ -609,6 +630,29 @@ func serverBenchMode(clients, points, rounds, shards int, mode, store, transport
 		}
 		if result.RecoverSeconds > 0 {
 			result.RecoverSegmentsPerS = float64(result.RecoveredSegments) / result.RecoverSeconds
+		}
+		if total, mapped, _, err := archiveDiskBytes(cfg.DataDir); err == nil {
+			result.ArchiveDiskBytes = total
+			result.MappedSegBytes = mapped
+		}
+		// Cold-range probe: the first SCAN and AGG a client would issue
+		// against the just-recovered archive — where the mmap backend
+		// pays page faults and summary windows are rebuilt from
+		// sidecars, not memos.
+		if names := s2.DB().Names(); len(names) > 0 {
+			if sr, err := s2.DB().Get(names[0]); err == nil {
+				if t0, t1, ok := sr.Span(); ok {
+					start := time.Now()
+					if _, err := sr.Scan(t0, t1); err == nil {
+						result.ColdScanSeconds = time.Since(start).Seconds()
+					}
+					eng := query.New(s2.DB())
+					start = time.Now()
+					if _, err := eng.Aggregate(names[0], 0, t0, t1); err == nil {
+						result.ColdAggSeconds = time.Since(start).Seconds()
+					}
+				}
+			}
 		}
 		ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel2()

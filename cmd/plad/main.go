@@ -10,6 +10,8 @@
 //	     [-policy block|drop|drop-oldest]
 //	     [-transport tcp|udp] [-udp-listeners N]
 //	     [-data-dir DIR] [-store mem|mmap]
+//	     [-extent-compact-min N] [-extent-target-records N]
+//	     [-extent-write-v1] [-no-fence-index]
 //	     [-sync always|interval|off] [-sync-every 50ms]
 //	     [-compact-bytes N] [-retain T] [-http ADDR]
 //	plad -demo [-demo-clients 8] [-demo-points 2000] [-demo-max-lag 25]
@@ -85,6 +87,10 @@ func main() {
 		commitLinger = flag.Duration("commit-linger", 5*time.Millisecond, "group-commit linger ceiling: how long a shard's committer may wait for more session barriers to share one fsync (negative = never linger)")
 		commitBatch  = flag.Int("commit-max-batch", 0, "stop lingering once a commit batch holds this many barriers (0 = no bound)")
 		retain       = flag.Float64("retain", 0, "retention window in stream-time units; compaction drops older segments (0 = keep everything)")
+		extCompact   = flag.Int("extent-compact-min", 0, "with -store mmap: merge a series' small sealed extents once it has this many (0 = default 8, negative = disable background extent compaction)")
+		extTarget    = flag.Int("extent-target-records", 0, "with -store mmap: stop growing a merged extent once it holds this many records (0 = default 65536)")
+		extWriteV1   = flag.Bool("extent-write-v1", false, "with -store mmap: seal new extents in the fixed-width v1 format instead of bit-packed v2 (v1 archives stay readable either way)")
+		noFenceIndex = flag.Bool("no-fence-index", false, "with -store mmap: disable the learned fence index over extent start times (cold lookups fall back to per-extent binary search)")
 		transport    = flag.String("transport", "tcp", "ingest transport: tcp, or udp (adds the datagram endpoint on -addr's port; TCP keeps serving streams and queries)")
 		udpListeners = flag.Int("udp-listeners", 0, "SO_REUSEPORT datagram listeners with -transport udp (0 = one per core)")
 		httpAddr     = flag.String("http", "", "serve /metrics and /healthz on this address (empty = disabled)")
@@ -96,14 +102,18 @@ func main() {
 	flag.Parse()
 
 	cfg := server.Config{
-		Shards:         *shards,
-		QueueDepth:     *queue,
-		DataDir:        *dataDir,
-		SyncEvery:      *syncEvery,
-		CompactBytes:   *compactBytes,
-		CommitLinger:   *commitLinger,
-		CommitMaxBatch: *commitBatch,
-		RetainSegments: *retain,
+		Shards:              *shards,
+		QueueDepth:          *queue,
+		DataDir:             *dataDir,
+		SyncEvery:           *syncEvery,
+		CompactBytes:        *compactBytes,
+		CommitLinger:        *commitLinger,
+		CommitMaxBatch:      *commitBatch,
+		RetainSegments:      *retain,
+		ExtentCompactMin:    *extCompact,
+		ExtentTargetRecords: *extTarget,
+		ExtentWriteV1:       *extWriteV1,
+		NoFenceIndex:        *noFenceIndex,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "plad: "+format+"\n", args...)
 		},

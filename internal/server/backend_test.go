@@ -15,15 +15,20 @@ import (
 )
 
 // startBackend builds a durable server over the given store backend and
-// returns it with a live loopback address.
-func startBackend(t *testing.T, dir string, backend server.StoreBackend) (*server.Server, string) {
+// returns it with a live loopback address. tweak, when non-nil, adjusts
+// the config before the server starts.
+func startBackend(t *testing.T, dir string, backend server.StoreBackend, tweak func(*server.Config)) (*server.Server, string) {
 	t.Helper()
-	s, err := server.New(nil, server.Config{
+	cfg := server.Config{
 		Shards:       3,
 		DataDir:      dir,
 		StoreBackend: backend,
 		Logf:         t.Logf,
-	})
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	s, err := server.New(nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,6 +73,20 @@ func rawQuery(t *testing.T, addr string, cmds []string) string {
 // This is the acceptance bar for the second backend: not "equivalent",
 // byte-equal.
 func TestStoreBackendQueryParity(t *testing.T) {
+	runBackendQueryParity(t, nil, false)
+}
+
+// TestStoreBackendQueryParityCompacted is the same byte-equality bar
+// with extent compaction forced aggressive (merge from two extents up)
+// and a sweep after each ingest phase: the second sweep seals a second
+// extent per series and merges the pile in the same pass, so the final
+// queries are answered from merged bit-packed v2 extents — which must
+// change nothing observable.
+func TestStoreBackendQueryParityCompacted(t *testing.T) {
+	runBackendQueryParity(t, func(cfg *server.Config) { cfg.ExtentCompactMin = 2 }, true)
+}
+
+func runBackendQueryParity(t *testing.T, tweak func(*server.Config), compacted bool) {
 	type inst struct {
 		s    *server.Server
 		addr string
@@ -77,7 +96,7 @@ func TestStoreBackendQueryParity(t *testing.T) {
 	insts := make([]inst, len(backends))
 	for i, b := range backends {
 		dir := t.TempDir()
-		s, addr := startBackend(t, dir, b)
+		s, addr := startBackend(t, dir, b, tweak)
 		insts[i] = inst{s: s, addr: addr, dir: dir}
 	}
 
@@ -107,15 +126,25 @@ func TestStoreBackendQueryParity(t *testing.T) {
 		}
 	}
 
-	ingest(0)
-	// Force a compaction sweep: the mem backend snapshots, the mmap
-	// backend seals its extents, and both keep serving.
-	for _, in := range insts {
-		if err := in.s.Compact(); err != nil {
-			t.Fatal(err)
+	// A compaction sweep: the mem backend snapshots, the mmap backend
+	// seals its extents (and, when the policy is aggressive, merges
+	// them), and both keep serving.
+	sweep := func() {
+		for _, in := range insts {
+			if err := in.s.Compact(); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
+	ingest(0)
+	sweep()
 	ingest(1)
+	if compacted {
+		sweep()
+		if got := insts[1].s.Metrics().MStore.Compactions; got == 0 {
+			t.Fatal("aggressive policy committed no extent merges")
+		}
+	}
 
 	var cmds []string
 	cmds = append(cmds, "SERIES")
@@ -181,7 +210,7 @@ func TestStoreBackendQueryParity(t *testing.T) {
 			t.Fatal(err)
 		}
 		cancel()
-		s, addr := startBackend(t, insts[i].dir, backends[i])
+		s, addr := startBackend(t, insts[i].dir, backends[i], tweak)
 		insts[i].s, insts[i].addr = s, addr
 	}
 	defer func() {

@@ -106,4 +106,13 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	emitc("plad_query_windows_cached_total", "Summary windows served from a cache (mmap sidecar or series memo).", qc.CachedWindows)
 	emitc("plad_query_windows_built_total", "Summary windows built from segments on demand.", qc.BuiltWindows)
 	emitc("plad_query_segments_walked_total", "Segments folded individually (range edges, partial windows, unsealed tails).", qc.WalkedSegments)
+
+	// Extent-store counters (mmap backend only): the compaction policy
+	// and fence-index hit rate, observable in production.
+	if m.MStoreActive {
+		fmt.Fprintf(w, "# HELP plad_mstore_extents Live mapped extent files across open series stores.\n# TYPE plad_mstore_extents gauge\nplad_mstore_extents %d\n", m.MStore.Extents)
+		emitc("plad_mstore_compactions_total", "Background extent merges committed.", int64(m.MStore.Compactions))
+		emitc("plad_mstore_compacted_bytes_total", "Bytes of small extent files merged away by compaction.", int64(m.MStore.CompactedBytes))
+		emitc("plad_mstore_index_jumps_total", "Sealed-archive lookups served via the learned fence index.", int64(m.MStore.IndexJumps))
+	}
 }

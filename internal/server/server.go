@@ -121,6 +121,21 @@ type Config struct {
 	// oldest segments once their end time falls more than this far
 	// behind the series' newest covered time. Zero keeps everything.
 	RetainSegments float64
+	// ExtentCompactMin is the mmap backend's compaction trigger: a
+	// series whose sealed extent count reaches it has adjacent small
+	// extents merged at the next WAL compaction pass. 0 = backend
+	// default (8); negative disables extent compaction.
+	ExtentCompactMin int
+	// ExtentTargetRecords is the merged-extent size goal for the mmap
+	// backend (0 = backend default, 65536 records).
+	ExtentTargetRecords int
+	// ExtentWriteV1 makes the mmap backend seal fixed-width v1 extents
+	// instead of column-block v2 — a benchmarking/rollback knob; both
+	// formats are always readable.
+	ExtentWriteV1 bool
+	// NoFenceIndex disables the mmap backend's learned fence index
+	// over extent start times — a benchmarking knob.
+	NoFenceIndex bool
 	// Logf, when set, receives one line per abnormal session end and per
 	// recovery/compaction event.
 	Logf func(format string, args ...any)
@@ -195,7 +210,12 @@ func New(db *tsdb.Archive, cfg Config) (*Server, error) {
 		if db != nil {
 			return nil, fmt.Errorf("server: the mmap store backend builds its own archive (pass a nil db)")
 		}
-		mm, err := mmapstore.Open(wal.ExtentDir(cfg.DataDir), cfg.Logf)
+		mm, err := mmapstore.OpenWith(wal.ExtentDir(cfg.DataDir), mmapstore.Config{
+			CompactMinExtents: cfg.ExtentCompactMin,
+			TargetRecords:     cfg.ExtentTargetRecords,
+			WriteV1:           cfg.ExtentWriteV1,
+			NoFenceIndex:      cfg.NoFenceIndex,
+		}, cfg.Logf)
 		if err != nil {
 			return nil, fmt.Errorf("server: open extent store: %w", err)
 		}
@@ -608,6 +628,11 @@ type Metrics struct {
 	// UDP is the datagram transport's own counters (zero when ListenUDP
 	// was never called).
 	UDP udpingest.Metrics
+	// MStore is the mmap extent store's counters; MStoreActive reports
+	// whether that backend is in use at all (the counters are zero
+	// either way until something seals).
+	MStoreActive bool
+	MStore       mmapstore.DirMetrics
 }
 
 // Metrics snapshots every shard's counters.
@@ -625,6 +650,10 @@ func (s *Server) Metrics() Metrics {
 	s.mu.Unlock()
 	if udp != nil {
 		m.UDP = udp.Metrics()
+	}
+	if s.mm != nil {
+		m.MStoreActive = true
+		m.MStore = s.mm.Metrics()
 	}
 	for i, sh := range s.shards {
 		sm := sh.metrics()

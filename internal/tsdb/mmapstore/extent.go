@@ -54,7 +54,10 @@ func extRecordSize(dim int) int { return 24 + 16*dim }
 
 // extent is one mapped sealed file plus its live-record window
 // [lo, hi) — retention fences records out without rewriting the
-// immutable bytes.
+// immutable bytes. v2 is nil for fixed-width v1 files and carries the
+// block layout plus decode cache for column-block files (extentv2.go);
+// every accessor dispatches on it, so the two formats coexist in one
+// store forever.
 type extent struct {
 	seq    uint64
 	path   string
@@ -62,6 +65,7 @@ type extent struct {
 	dim    int
 	count  int
 	lo, hi int
+	v2     *extV2
 }
 
 func (e *extent) live() int { return e.hi - e.lo }
@@ -86,16 +90,25 @@ func (e *extent) retire(logf func(string, ...any)) {
 func (e *extent) recOff(i int) int { return extHeaderSize(e.dim) + i*extRecordSize(e.dim) }
 
 func (e *extent) t0(i int) float64 {
+	if e.v2 != nil {
+		return e.v2T0(i)
+	}
 	return math.Float64frombits(binary.LittleEndian.Uint64(e.data[e.recOff(i):]))
 }
 
 func (e *extent) points(i int) int {
+	if e.v2 != nil {
+		return e.v2Points(i)
+	}
 	return int(binary.LittleEndian.Uint32(e.data[e.recOff(i)+16:]))
 }
 
 // segment decodes record i into fresh slices, so the result outlives
 // the mapping.
 func (e *extent) segment(i int) core.Segment {
+	if e.v2 != nil {
+		return e.v2Segment(i)
+	}
 	p := e.data[e.recOff(i):]
 	seg := core.Segment{
 		T0:        math.Float64frombits(binary.LittleEndian.Uint64(p)),
@@ -212,8 +225,9 @@ func (e *extent) validate(wantDim int) error {
 	if string(e.data[:4]) != extMagic {
 		return fmt.Errorf("mstore: bad extent magic %q", e.data[:4])
 	}
-	if e.data[4] != extVersion {
-		return fmt.Errorf("mstore: unknown extent version %d", e.data[4])
+	version := e.data[4]
+	if version != extVersion && version != extVersion2 {
+		return fmt.Errorf("mstore: unknown extent version %d", version)
 	}
 	dim := int(binary.LittleEndian.Uint16(e.data[6:]))
 	if dim == 0 || dim > extMaxDim {
@@ -222,14 +236,24 @@ func (e *extent) validate(wantDim int) error {
 	if wantDim >= 0 && dim != wantDim {
 		return fmt.Errorf("mstore: extent dim %d, series dim %d", dim, wantDim)
 	}
-	count := int(binary.LittleEndian.Uint32(e.data[8:]))
-	want := extHeaderSize(dim) + count*extRecordSize(dim)
-	if len(e.data) != want {
-		return fmt.Errorf("mstore: extent is %d bytes, %d records imply %d", len(e.data), count, want)
+	if len(e.data) < extHeaderSize(dim) {
+		return fmt.Errorf("mstore: extent shorter than its header")
 	}
+	count := int(binary.LittleEndian.Uint32(e.data[8:]))
+	if version == extVersion {
+		want := extHeaderSize(dim) + count*extRecordSize(dim)
+		if len(e.data) != want {
+			return fmt.Errorf("mstore: extent is %d bytes, %d records imply %d", len(e.data), count, want)
+		}
+	}
+	// Both versions checksum everything after the ε block: the v1
+	// records, or the v2 layout words, directory and block payloads.
 	recs := e.data[extHeaderSize(dim):]
 	if got, hdr := crc32.Checksum(recs, castagnoli), binary.LittleEndian.Uint32(e.data[12:]); got != hdr {
 		return fmt.Errorf("mstore: extent checksum %#x, header says %#x", got, hdr)
+	}
+	if version == extVersion2 {
+		return e.validateV2(dim, count)
 	}
 	e.dim, e.count, e.lo, e.hi = dim, count, 0, count
 	return nil

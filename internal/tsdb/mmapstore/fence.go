@@ -1,0 +1,146 @@
+package mmapstore
+
+import (
+	"math"
+	"sort"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// The learned fence index: a PLA over the PLA's timestamps, PGM-style.
+// The store runs Swing — the paper's own filter — over the points
+// (extent first live t0, extent position), so predicting a query time's
+// extent becomes evaluating a handful of line segments instead of
+// binary-searching the whole extent list. The prediction error is not
+// trusted from ε: after building (and after loading a persisted index),
+// verify measures the true worst-case error against the actual extent
+// start times and the index is rejected outright if it exceeds
+// fenceMaxBound. Lookup correctness therefore never depends on index
+// quality — the widening search in findExtent recovers from any
+// prediction — only lookup speed does.
+const (
+	// fenceEps is the Swing tolerance in index space: predictions land
+	// within ±2 extents of the truth wherever the start-time
+	// distribution is locally linear.
+	fenceEps = 2.0
+
+	// fenceMinExtents is the extent count below which a plain binary
+	// search beats maintaining an index.
+	fenceMinExtents = 16
+
+	// fenceMaxBound rejects an index whose measured error got so wide
+	// (wildly irregular seal cadence) that jumping is pointless.
+	fenceMaxBound = 256
+
+	// fenceMaxSegs caps what a meta file may claim, bounding the
+	// allocation a corrupt meta can cause.
+	fenceMaxSegs = 1 << 20
+)
+
+type fenceSeg struct {
+	t0, t1 float64 // covered start-time range
+	x0, x1 float64 // predicted extent position at t0 and t1
+}
+
+type fenceIndex struct {
+	segs  []fenceSeg
+	bound int // measured worst-case |prediction − truth|, in extents
+}
+
+// buildFence fits the index over the per-extent first live start
+// times. Returns nil when an index is not worth having (few extents)
+// or cannot be trusted (verification exceeded fenceMaxBound).
+func buildFence(liveT0s []float64) *fenceIndex {
+	if len(liveT0s) < fenceMinExtents {
+		return nil
+	}
+	sw, err := core.NewSwing([]float64{fenceEps})
+	if err != nil {
+		return nil
+	}
+	var out []core.Segment
+	pt := core.Point{X: make([]float64, 1)}
+	prev := math.Inf(-1)
+	for k, t := range liveT0s {
+		if !(t > prev) {
+			continue // duplicate or disordered t0; verify absorbs the gap
+		}
+		prev = t
+		pt.T, pt.X[0] = t, float64(k)
+		segs, err := sw.Push(pt)
+		if err != nil {
+			return nil
+		}
+		out = append(out, segs...)
+	}
+	segs, err := sw.Finish()
+	if err != nil {
+		return nil
+	}
+	out = append(out, segs...)
+	if len(out) == 0 {
+		return nil
+	}
+	f := &fenceIndex{segs: make([]fenceSeg, len(out))}
+	for i, s := range out {
+		f.segs[i] = fenceSeg{t0: s.T0, t1: s.T1, x0: s.X0[0], x1: s.X1[0]}
+	}
+	if !f.verify(liveT0s) {
+		return nil
+	}
+	return f
+}
+
+// predict estimates the position of the extent covering t. The result
+// is a hint: findExtent corrects it within the verified bound.
+func (f *fenceIndex) predict(t float64) int {
+	n := len(f.segs)
+	// Last fence segment starting at or before t (clamped to the ends).
+	i := sort.Search(n, func(j int) bool { return f.segs[j].t0 > t }) - 1
+	if i < 0 {
+		i = 0
+	}
+	s := f.segs[i]
+	ct := t
+	if ct < s.t0 {
+		ct = s.t0
+	}
+	if ct > s.t1 {
+		ct = s.t1
+	}
+	x := s.x0
+	if s.t1 > s.t0 {
+		x += (s.x1 - s.x0) * (ct - s.t0) / (s.t1 - s.t0)
+	}
+	if math.IsNaN(x) {
+		return 0
+	}
+	return int(math.Round(x))
+}
+
+// verify measures the worst-case prediction error over the true start
+// times, records it as the bound, and reports whether the index is
+// usable. Run after building and after loading from a meta — the meta
+// has no checksum, so a persisted index is never trusted unmeasured.
+func (f *fenceIndex) verify(liveT0s []float64) bool {
+	if len(f.segs) == 0 || len(f.segs) > len(liveT0s) {
+		return false
+	}
+	for _, s := range f.segs {
+		if math.IsNaN(s.t0) || math.IsNaN(s.t1) || s.t1 < s.t0 {
+			return false
+		}
+	}
+	bound := 0
+	for k, t := range liveT0s {
+		d := f.predict(t) - k
+		if d < 0 {
+			d = -d
+		}
+		if d > bound {
+			bound = d
+		}
+	}
+	f.bound = bound
+	return bound <= fenceMaxBound
+}

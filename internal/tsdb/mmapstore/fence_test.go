@@ -1,0 +1,147 @@
+package mmapstore
+
+import (
+	"math"
+	"testing"
+
+	"github.com/pla-go/pla/internal/tsdb"
+)
+
+// fenceProbeParity checks SearchT0 against the in-memory reference at
+// every extent boundary, between boundaries, before the archive, past
+// its end, and at NaN — the full findExtent surface.
+func fenceProbeParity(t *testing.T, st *Store, mem tsdb.SegmentStore) {
+	t.Helper()
+	memIdx := mem.(tsdb.TimeIndex)
+	probes := []float64{math.Inf(-1), -1, math.NaN(), 1e12}
+	for i := 0; i < mem.Len(); i++ {
+		t0 := mem.Seg(i).T0
+		probes = append(probes, t0, t0-0.5, t0+0.5)
+	}
+	for _, p := range probes {
+		if got, want := st.SearchT0(p), memIdx.SearchT0(p); got != want {
+			t.Fatalf("SearchT0(%v) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+// TestFenceIndexLookup builds enough extents for the learned fence to
+// engage, checks every lookup against the in-memory reference, then
+// re-runs the probes with deliberately misleading fences installed:
+// the widening search must recover full correctness from a prediction
+// pinned to either end of the extent list.
+func TestFenceIndexLookup(t *testing.T) {
+	root := t.TempDir()
+	cfg := Config{CompactMinExtents: -1} // keep the extents fragmented
+	d := openDirCfg(t, root, cfg)
+	st := d.Store("f", testEps, false).(*Store)
+	mem := tsdb.NewMemStore()
+	sealChunks(t, st, mem, 120, 6) // 20 extents ≥ fenceMinExtents
+
+	if st.fence == nil {
+		t.Fatalf("no fence index over %d extents", len(st.exts))
+	}
+	// A few records stay unsealed so the tail branch of SearchT0 runs.
+	for i := 120; i < 124; i++ {
+		st.Append(testSeg(i))
+		mem.Append(testSeg(i))
+	}
+	fenceProbeParity(t, st, mem)
+	if got := d.Metrics().IndexJumps; got == 0 {
+		t.Fatal("fence lookups recorded no index jumps")
+	}
+
+	// Adversarial fences: correctness must never depend on prediction
+	// quality. Pin every prediction to extent 0 (exercises the upward
+	// widening loop) and to the last extent (the downward loop).
+	n := float64(len(st.exts) - 1)
+	for _, f := range []*fenceIndex{
+		{segs: []fenceSeg{{t0: st.liveT0s[0], t1: st.liveT0s[0]}}, bound: 0},
+		{segs: []fenceSeg{{t0: st.liveT0s[0], t1: st.liveT0s[0], x0: n, x1: n}}, bound: 0},
+	} {
+		st.fence = f
+		fenceProbeParity(t, st, mem)
+	}
+
+	// Reopen: the persisted fence must verify and serve identically.
+	d.Close()
+	d2 := openDirCfg(t, root, cfg)
+	st2 := d2.Store("f", testEps, false).(*Store)
+	if st2.fence == nil {
+		t.Fatal("reopen adopted no fence index")
+	}
+	memSealed := tsdb.NewMemStore()
+	for i := 0; i < 120; i++ {
+		memSealed.Append(testSeg(i))
+	}
+	fenceProbeParity(t, st2, memSealed)
+	d2.Close()
+
+	// And with the index disabled the global binary search answers the
+	// same probes from the same files.
+	d3 := openDirCfg(t, root, Config{CompactMinExtents: -1, NoFenceIndex: true})
+	st3 := d3.Store("f", testEps, false).(*Store)
+	if st3.fence != nil {
+		t.Fatal("NoFenceIndex still built a fence")
+	}
+	fenceProbeParity(t, st3, memSealed)
+}
+
+// TestFenceBuildAndVerify covers the trust boundary directly: when an
+// index is not worth having, when a persisted one must be rejected,
+// and what the measured bound looks like on clean input.
+func TestFenceBuildAndVerify(t *testing.T) {
+	if buildFence(nil) != nil {
+		t.Fatal("built a fence over no extents")
+	}
+	few := make([]float64, fenceMinExtents-1)
+	for i := range few {
+		few[i] = float64(i)
+	}
+	if buildFence(few) != nil {
+		t.Fatal("built a fence below fenceMinExtents")
+	}
+
+	t0s := make([]float64, 64)
+	for i := range t0s {
+		t0s[i] = 10 * float64(i)
+	}
+	t0s[20] = t0s[19] // duplicate: builder must skip, verify must absorb
+	f := buildFence(t0s)
+	if f == nil {
+		t.Fatal("no fence over 64 linear start times")
+	}
+	if f.bound > int(fenceEps)+1 {
+		t.Fatalf("bound %d on linear input, want ≤ %d", f.bound, int(fenceEps)+1)
+	}
+	for _, probe := range []float64{-5, 0, 315, 631, 1e9} {
+		k := f.predict(probe)
+		if k < 0 || k >= len(t0s)+f.bound+1 {
+			t.Fatalf("predict(%v) = %d, outside any plausible window", probe, k)
+		}
+	}
+
+	// Corrupt persisted indexes the meta reader may hand adoptFence.
+	for name, bad := range map[string]*fenceIndex{
+		"empty":        {},
+		"nan-range":    {segs: []fenceSeg{{t0: math.NaN(), t1: 1}}},
+		"reversed":     {segs: []fenceSeg{{t0: 5, t1: 1}}},
+		"overstuffed":  {segs: make([]fenceSeg, len(t0s)+1)},
+		"out-of-bound": {segs: []fenceSeg{{t0: t0s[0], t1: t0s[len(t0s)-1], x0: 1e6, x1: 1e6}}},
+	} {
+		if bad.verify(t0s) {
+			t.Fatalf("%s fence verified", name)
+		}
+	}
+
+	// A prediction stuck at zero over a long archive exceeds
+	// fenceMaxBound: verify must measure and refuse it.
+	long := make([]float64, fenceMaxBound+2)
+	for i := range long {
+		long[i] = float64(i)
+	}
+	stuck := &fenceIndex{segs: []fenceSeg{{t0: long[0], t1: long[0]}}}
+	if stuck.verify(long) {
+		t.Fatalf("bound %d fence verified, max is %d", stuck.bound, fenceMaxBound)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/pla-go/pla/internal/core"
 	"github.com/pla-go/pla/internal/fsutil"
@@ -53,21 +54,103 @@ import (
 // (per-series stores are still serialised by their Series lock).
 type Dir struct {
 	root string
+	cfg  Config
 	logf func(format string, args ...any)
+
+	// Observability counters; atomic because stores mutate under their
+	// own series locks while /metrics scrapes concurrently.
+	extents        atomic.Int64
+	compactions    atomic.Uint64
+	compactedBytes atomic.Uint64
+	indexJumps     atomic.Uint64
 
 	mu     sync.Mutex
 	stores map[string]*Store
 }
 
-// Open creates (if needed) and opens an extent-store root directory.
+// Config tunes a Dir's write format, compaction policy and lookup
+// path. The zero value is the production default: v2 extents, fence
+// index on, compaction at 8 extents merging toward 64Ki records.
+type Config struct {
+	// CompactMinExtents is how many sealed extents a series
+	// accumulates before PrepareCompact offers a merge. 0 means the
+	// default (8); negative disables background compaction.
+	CompactMinExtents int
+
+	// TargetRecords is the merged-extent size goal: only extents
+	// smaller than this are merge candidates, and a merge run stops
+	// growing once it reaches it. 0 means the default (65536).
+	TargetRecords int
+
+	// NoFenceIndex disables the learned fence index and restores the
+	// global per-record binary search — the benchmarking baseline.
+	NoFenceIndex bool
+
+	// WriteV1 makes seals and compactions emit fixed-width v1 extents
+	// instead of column-block v2 — the format-comparison baseline.
+	// Either version stays readable regardless.
+	WriteV1 bool
+}
+
+// DirMetrics is a point-in-time snapshot of the Dir's observability
+// counters.
+type DirMetrics struct {
+	Extents        int64  // mapped live extents across open stores
+	Compactions    uint64 // committed background merges
+	CompactedBytes uint64 // bytes of retired extent files merged away
+	IndexJumps     uint64 // sealed lookups served via the fence index
+}
+
+// Open creates (if needed) and opens an extent-store root directory
+// with the default Config.
 func Open(root string, logf func(format string, args ...any)) (*Dir, error) {
+	return OpenWith(root, Config{}, logf)
+}
+
+// OpenWith is Open with an explicit Config.
+func OpenWith(root string, cfg Config, logf func(format string, args ...any)) (*Dir, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, err
 	}
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Dir{root: root, logf: logf, stores: make(map[string]*Store)}, nil
+	return &Dir{root: root, cfg: cfg, logf: logf, stores: make(map[string]*Store)}, nil
+}
+
+// Metrics snapshots the Dir's counters.
+func (d *Dir) Metrics() DirMetrics {
+	return DirMetrics{
+		Extents:        d.extents.Load(),
+		Compactions:    d.compactions.Load(),
+		CompactedBytes: d.compactedBytes.Load(),
+		IndexJumps:     d.indexJumps.Load(),
+	}
+}
+
+// compactPolicy resolves the configured compaction knobs to their
+// effective values; enabled is false when compaction is switched off.
+func (d *Dir) compactPolicy() (minExtents, targetRecords int, enabled bool) {
+	minExtents = d.cfg.CompactMinExtents
+	if minExtents < 0 {
+		return 0, 0, false
+	}
+	if minExtents == 0 {
+		minExtents = defaultCompactMinExtents
+	}
+	targetRecords = d.cfg.TargetRecords
+	if targetRecords <= 0 {
+		targetRecords = defaultCompactTargetRecords
+	}
+	return minExtents, targetRecords, true
+}
+
+// writeExtentFile writes segs in the configured extent format.
+func (d *Dir) writeExtentFile(path string, eps []float64, constant bool, segs []core.Segment) error {
+	if d.cfg.WriteV1 {
+		return writeExtent(path, eps, constant, segs)
+	}
+	return writeExtentV2(path, eps, constant, segs)
 }
 
 // Exists reports whether root holds (or held) an extent store — the
@@ -109,6 +192,7 @@ func (d *Dir) openLocked(name string, eps []float64, constant bool) *Store {
 		d.logf("mstore: %s: resetting unreadable series state: %v", name, err)
 		st.reset()
 	}
+	d.extents.Add(int64(len(st.exts)))
 	d.stores[name] = st
 	return st
 }
@@ -121,6 +205,7 @@ func (d *Dir) Remove(name string) error {
 	defer d.mu.Unlock()
 	if st, ok := d.stores[name]; ok {
 		st.unmapAll()
+		d.extents.Add(-int64(len(st.exts)))
 		delete(d.stores, name)
 	}
 	dir := filepath.Join(d.root, seriesDirName(name))
@@ -198,6 +283,7 @@ func (d *Dir) Close() error {
 	defer d.mu.Unlock()
 	for _, st := range d.stores {
 		st.unmapAll()
+		d.extents.Add(-int64(len(st.exts)))
 	}
 	d.stores = make(map[string]*Store)
 	return nil
@@ -235,9 +321,11 @@ type Store struct {
 	constant bool
 
 	exts       []*extent
-	cumLive    []int // cumLive[i] = live records in exts[:i]
-	headDisc   bool  // the surviving sealed head lost its predecessor
-	metaPoints int   // persisted finalized sample count
+	cumLive    []int     // cumLive[i] = live records in exts[:i]
+	liveT0s    []float64 // liveT0s[i] = first live start time of exts[i]
+	fence      *fenceIndex
+	headDisc   bool // the surviving sealed head lost its predecessor
+	metaPoints int  // persisted finalized sample count
 	lastSeq    uint64
 	sums       map[uint64]*sidecar // loaded sketch sidecars, by extent seq
 
@@ -267,6 +355,15 @@ func (st *Store) open() error {
 	st.metaPoints = meta.points
 	st.lastSeq = meta.lastSeq
 
+	// v2 metas list the live extents explicitly, in time order —
+	// compaction makes sequence order and time order diverge. v1 metas
+	// imply the list from the [firstSeq, lastSeq] window, where the two
+	// orders still coincide.
+	pos := make(map[uint64]int, len(meta.exts))
+	for i, seq := range meta.exts {
+		pos[seq] = i
+	}
+
 	entries, err := os.ReadDir(st.dir)
 	if err != nil {
 		return err
@@ -291,10 +388,18 @@ func (st *Store) open() error {
 			continue
 		}
 		path := filepath.Join(st.dir, e.Name())
-		if seq < meta.firstSeq || seq > meta.lastSeq {
-			// Before the live window (a fence already retired it) or
-			// after the last meta write (a crash mid-seal: the WAL tail
-			// still holds these records). Either way the file is dead.
+		dead := false
+		if meta.haveList {
+			_, live := pos[seq]
+			dead = !live
+		} else {
+			dead = seq < meta.firstSeq || seq > meta.lastSeq
+		}
+		if dead {
+			// Already retired by a fence or compaction, or newer than
+			// the last meta write (a crash mid-seal or mid-compaction:
+			// the WAL tail or the still-listed source extents hold
+			// these records). Either way the file is dead.
 			st.d.logf("mstore: %s: removing out-of-window extent %s", st.name, e.Name())
 			os.Remove(path)
 			continue
@@ -304,7 +409,11 @@ func (st *Store) open() error {
 			path string
 		}{seq, path})
 	}
-	sort.Slice(files, func(i, j int) bool { return files[i].seq < files[j].seq })
+	if meta.haveList {
+		sort.Slice(files, func(i, j int) bool { return pos[files[i].seq] < pos[files[j].seq] })
+	} else {
+		sort.Slice(files, func(i, j int) bool { return files[i].seq < files[j].seq })
+	}
 
 	truncated := false
 	for _, f := range files {
@@ -333,14 +442,18 @@ func (st *Store) open() error {
 		// only after validating them against the (checksummed) extents: a
 		// fence outside [0, count] means a corrupt meta, and serving
 		// through it would index past the mapping.
-		if st.exts[0].seq == meta.firstSeq {
+		firstLive, lastLive := meta.firstSeq, meta.lastSeq
+		if meta.haveList {
+			firstLive, lastLive = meta.exts[0], meta.exts[len(meta.exts)-1]
+		}
+		if st.exts[0].seq == firstLive {
 			if meta.headLo < 0 || meta.headLo > st.exts[0].count {
 				return fmt.Errorf("mstore: meta head fence %d outside extent of %d records", meta.headLo, st.exts[0].count)
 			}
 			st.exts[0].lo = meta.headLo
 		}
 		last := st.exts[len(st.exts)-1]
-		if last.seq == meta.lastSeq {
+		if last.seq == lastLive {
 			if meta.tailDrop < 0 || meta.tailDrop > last.count-last.lo {
 				return fmt.Errorf("mstore: meta tail fence %d outside extent of %d live records", meta.tailDrop, last.count-last.lo)
 			}
@@ -354,7 +467,23 @@ func (st *Store) open() error {
 	} else if len(files) > 0 {
 		st.metaPoints = 0
 	}
+	// A fully-fenced extent holds nothing live (persist retires them
+	// eagerly, so only a corrupt meta produces one); drop it now so the
+	// lookup path and fence index can assume every extent has a first
+	// live record. Its sidecar, left unclaimed, is removed below.
+	var dead []*extent
+	liveN := 0
+	for _, e := range st.exts {
+		if e.live() > 0 {
+			st.exts[liveN] = e
+			liveN++
+		} else {
+			dead = append(dead, e)
+		}
+	}
+	st.exts = st.exts[:liveN]
 	st.recount()
+	st.adoptFence(meta.fence)
 	for _, e := range st.exts {
 		path, ok := sumFiles[e.seq]
 		if !ok {
@@ -379,15 +508,16 @@ func (st *Store) open() error {
 		st.d.logf("mstore: %s: removing stray sketch sidecar %s", st.name, filepath.Base(path))
 		os.Remove(path)
 	}
-	if truncated {
-		// Persist the truncation: lastSeq rewinds to the kept prefix, so
-		// the extents after the hole are out-of-window from now on (the
-		// next boot removes them) and new seals take over their numbers.
-		st.lastSeq = 0
-		if n := len(st.exts); n > 0 {
-			st.lastSeq = st.exts[n-1].seq
-		}
+	if truncated || len(dead) > 0 {
+		// Persist the change: the meta's live list shrinks to what
+		// survived, so extents after a corruption hole are removed on
+		// the next boot. The sequence watermark is untouched — new
+		// seals never reuse a dead extent's number. Meta first, then
+		// file deletes, as everywhere.
 		st.writeMeta()
+		for _, e := range dead {
+			e.retire(st.d.logf)
+		}
 		syncDir(st.dir, st.d.logf)
 	}
 	return nil
@@ -398,6 +528,7 @@ func (st *Store) open() error {
 func (st *Store) reset() {
 	st.unmapAll()
 	st.exts, st.cumLive, st.tail = nil, nil, nil
+	st.liveT0s, st.fence = nil, nil
 	st.sums = nil
 	st.headDisc = false
 	st.metaPoints = 0
@@ -410,16 +541,32 @@ func (st *Store) unmapAll() {
 	}
 }
 
-// recount rebuilds the cumulative live-record index after the extent
-// set or its fences change.
+// recount rebuilds the cumulative live-record index and the per-extent
+// first live start times after the extent set or its fences change.
 func (st *Store) recount() {
 	st.cumLive = st.cumLive[:0]
+	st.liveT0s = st.liveT0s[:0]
 	n := 0
 	for _, e := range st.exts {
 		st.cumLive = append(st.cumLive, n)
+		st.liveT0s = append(st.liveT0s, e.t0(e.lo))
 		n += e.live()
 	}
 	st.cumLive = append(st.cumLive, n)
+}
+
+// adoptFence installs the fence index loaded from the meta if it still
+// measures sound against the live extents, else rebuilds one.
+func (st *Store) adoptFence(pending *fenceIndex) {
+	if st.d.cfg.NoFenceIndex {
+		st.fence = nil
+		return
+	}
+	if pending != nil && pending.verify(st.liveT0s) {
+		st.fence = pending
+		return
+	}
+	st.fence = buildFence(st.liveT0s)
 }
 
 // sealedLen returns the number of live sealed records.
@@ -482,9 +629,78 @@ func (st *Store) segT0(i int) float64 {
 }
 
 // SearchT0 implements tsdb.TimeIndex: the least index whose segment
-// starts after t.
+// starts after t. Sealed lookup is fence-jump → one extent → one block
+// (or one in-extent binary search on v1 files) instead of a global
+// binary search probing O(log N) extents; Config.NoFenceIndex restores
+// the global search as the benchmarking baseline.
 func (st *Store) SearchT0(t float64) int {
-	return sort.Search(st.Len(), func(j int) bool { return st.segT0(j) > t })
+	if st.d.cfg.NoFenceIndex {
+		return sort.Search(st.Len(), func(j int) bool { return st.segT0(j) > t })
+	}
+	ans := 0
+	if sl := st.sealedLen(); sl > 0 {
+		if k := st.findExtent(t); k >= 0 {
+			e := st.exts[k]
+			ans = st.cumLive[k] + (e.searchLive(t) - e.lo)
+		}
+		if ans < sl {
+			return ans
+		}
+	}
+	return st.sealedLen() + sort.Search(len(st.tail), func(j int) bool { return st.tail[j].T0 > t })
+}
+
+// findExtent returns the index of the last extent whose first live
+// record starts at or before t, or -1 when t precedes the whole sealed
+// archive. The fence index predicts a position and a window of its
+// verified bound is searched around it; the geometric widening loops
+// make correctness independent of prediction quality (NaN, adversarial
+// t between measured start times), the bound just keeps them idle.
+func (st *Store) findExtent(t float64) int {
+	n := len(st.exts)
+	if n == 0 || t < st.liveT0s[0] {
+		return -1
+	}
+	if math.IsNaN(t) {
+		// Every ordering comparison against NaN is false, so the global
+		// binary search resolves to the last extent. The widening loops
+		// below cannot reproduce that (their comparisons are just as
+		// false), so answer it directly and keep NaN probes byte-equal
+		// with the mem backend.
+		return n - 1
+	}
+	lo, hi := 0, n
+	if f := st.fence; f != nil {
+		st.d.indexJumps.Add(1)
+		k := f.predict(t)
+		if k < 0 {
+			k = 0
+		}
+		if k >= n {
+			k = n - 1
+		}
+		step := f.bound + 1
+		lo, hi = k-step, k+step+1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		for s := step; lo > 0 && st.liveT0s[lo] > t; s *= 2 {
+			lo -= s
+			if lo < 0 {
+				lo = 0
+			}
+		}
+		for s := step; hi < n && st.liveT0s[hi] <= t; s *= 2 {
+			hi += s
+			if hi > n {
+				hi = n
+			}
+		}
+	}
+	return lo + sort.Search(hi-lo, func(j int) bool { return st.liveT0s[lo+j] > t }) - 1
 }
 
 // Snapshot implements tsdb.SegmentStore.
@@ -617,54 +833,72 @@ func (st *Store) livePointsSuffix(n int) int {
 // directory, then install survivors as the live set. Meta first: a
 // crash before the deletes leaves dead files the next open removes,
 // never a meta pointing at missing live data.
+//
+// It also bumps the store generation — persist is exactly the set of
+// mutations an in-flight two-phase seal or compaction must observe —
+// refreshes the fence index over the survivors, and advances the
+// sequence watermark (lastSeq only ever grows, so retired numbers are
+// never reissued).
 func (st *Store) persist(survivors, retired []*extent) {
-	if len(survivors) > 0 {
-		st.lastSeq = survivors[len(survivors)-1].seq
+	st.gen++
+	for _, e := range survivors {
+		if e.seq > st.lastSeq {
+			st.lastSeq = e.seq
+		}
 	}
-	st.writeMetaFor(survivors)
+	fence := st.newFence(liveT0sOf(survivors))
+	st.writeMetaFor(survivors, fence)
 	for _, e := range retired {
 		delete(st.sums, e.seq)
 		os.Remove(sidecarPath(e.path))
 		e.retire(st.d.logf)
 	}
 	syncDir(st.dir, st.d.logf)
+	st.d.extents.Add(int64(len(survivors) - len(st.exts)))
 	st.exts = append(st.exts[:0:0], survivors...)
 	st.recount()
+	st.fence = fence
 }
 
-type fenceState struct {
-	firstSeq uint64
-	headLo   int
-	tailDrop int
-}
-
-func (st *Store) fencesFor(survivors []*extent) fenceState {
-	f := fenceState{firstSeq: 1}
-	if len(survivors) == 0 {
-		f.firstSeq = st.lastSeq + 1
-		return f
+// liveT0sOf collects each extent's first live start time.
+func liveT0sOf(exts []*extent) []float64 {
+	out := make([]float64, len(exts))
+	for i, e := range exts {
+		out[i] = e.t0(e.lo)
 	}
-	first, last := survivors[0], survivors[len(survivors)-1]
-	f.firstSeq = first.seq
-	f.headLo = first.lo
-	f.tailDrop = last.count - last.hi
-	return f
+	return out
+}
+
+// newFence builds a fence index unless the Dir disabled them.
+func (st *Store) newFence(t0s []float64) *fenceIndex {
+	if st.d.cfg.NoFenceIndex {
+		return nil
+	}
+	return buildFence(t0s)
 }
 
 // writeMeta persists the store's current fence state.
-func (st *Store) writeMeta() { st.writeMetaFor(st.exts) }
+func (st *Store) writeMeta() { st.writeMetaFor(st.exts, st.fence) }
 
 // writeMetaFor persists the meta describing the given extent set as the
-// live window (failures log; the files on disk still reconstruct the
+// live list (failures log; the files on disk still reconstruct the
 // pre-mutation state, so correctness degrades to replay time).
-func (st *Store) writeMetaFor(survivors []*extent) {
-	fences := st.fencesFor(survivors)
-	if err := writeMeta(st.dir, metaState{
+func (st *Store) writeMetaFor(survivors []*extent, fence *fenceIndex) {
+	m := metaState{
 		name: st.name, eps: st.eps, constant: st.constant,
 		points: st.metaPoints, headDisc: st.headDisc && len(survivors) > 0,
-		firstSeq: fences.firstSeq, headLo: fences.headLo,
-		lastSeq: st.lastSeq, tailDrop: fences.tailDrop,
-	}, st.d.logf); err != nil {
+		lastSeq: st.lastSeq, haveList: true, fence: fence,
+	}
+	if len(survivors) > 0 {
+		m.exts = make([]uint64, len(survivors))
+		for i, e := range survivors {
+			m.exts[i] = e.seq
+		}
+		m.headLo = survivors[0].lo
+		last := survivors[len(survivors)-1]
+		m.tailDrop = last.count - last.hi
+	}
+	if err := writeMeta(st.dir, m, st.d.logf); err != nil {
 		st.d.logf("mstore: %s: meta write: %v", st.name, err)
 	}
 }
@@ -756,7 +990,7 @@ func (p *preparedSeal) Write() error {
 	if p.finalCount == 0 {
 		return nil // meta-only seal (an empty series' first persistence)
 	}
-	if err := writeExtent(p.path, st.eps, st.constant, p.segs); err != nil {
+	if err := st.d.writeExtentFile(p.path, st.eps, st.constant, p.segs); err != nil {
 		return err
 	}
 	ext, err := openExtent(p.path, p.seq, len(st.eps))
@@ -864,8 +1098,15 @@ func syncDir(dir string, logf func(string, ...any)) {
 }
 
 // metaState is the decoded meta file: the series contract, the
-// persisted sample count, and the live-record window over the sealed
-// extents.
+// persisted sample count, the live extent list with its end fences,
+// and the persisted fence index.
+//
+// Version 1 metas expressed the live extents as the window [firstSeq,
+// lastSeq]; compaction breaks the premise behind that (a merged extent
+// takes a fresh, highest sequence number but sits at its records' time
+// position), so version 2 lists the live sequences explicitly in time
+// order and redefines lastSeq as the allocation watermark. Version 1
+// files stay readable forever; every write emits version 2.
 type metaState struct {
 	name     string
 	eps      []float64
@@ -873,27 +1114,37 @@ type metaState struct {
 	points   int
 	headDisc bool
 
-	firstSeq uint64 // first live extent sequence
-	headLo   int    // records fenced off the front of that extent
-	lastSeq  uint64 // last sealed extent sequence (0 = none yet)
-	tailDrop int    // records fenced off the back of the last extent
+	firstSeq uint64 // v1 only: first live extent sequence
+	headLo   int    // records fenced off the front of the first live extent
+	lastSeq  uint64 // sequence watermark (v1: also the last live extent)
+	tailDrop int    // records fenced off the back of the last live extent
+
+	haveList bool        // v2: exts is authoritative (even when empty)
+	exts     []uint64    // v2: live extent sequences in time order
+	fence    *fenceIndex // v2: persisted fence index (nil = none)
 }
 
 const (
-	metaName    = "meta"
-	metaMagic   = "PLAM"
-	metaVersion = 1
+	metaName     = "meta"
+	metaMagic    = "PLAM"
+	metaVersion  = 1
+	metaVersion2 = 2
 
 	metaFlagConstant = 1 << 0
 	metaFlagHeadDisc = 1 << 1
+
+	// metaMaxExts bounds the extent list a meta may claim, so a corrupt
+	// length prefix cannot drive a huge allocation.
+	metaMaxExts = 1 << 24
 )
 
 // writeMeta atomically replaces the series meta file (fsutil's
-// tmp-write/fsync/rename protocol; callers sync the directory).
+// tmp-write/fsync/rename protocol; callers sync the directory). Always
+// writes version 2.
 func writeMeta(dir string, m metaState, logf func(string, ...any)) error {
-	buf := make([]byte, 0, 64+len(m.name)+8*len(m.eps))
+	buf := make([]byte, 0, 64+len(m.name)+8*len(m.eps)+2*len(m.exts))
 	buf = append(buf, metaMagic...)
-	buf = append(buf, metaVersion)
+	buf = append(buf, metaVersion2)
 	var flags byte
 	if m.constant {
 		flags |= metaFlagConstant
@@ -909,10 +1160,25 @@ func writeMeta(dir string, m metaState, logf func(string, ...any)) error {
 	buf = binary.AppendUvarint(buf, uint64(len(m.name)))
 	buf = append(buf, m.name...)
 	buf = binary.AppendUvarint(buf, uint64(m.points))
-	buf = binary.AppendUvarint(buf, m.firstSeq)
-	buf = binary.AppendUvarint(buf, uint64(m.headLo))
 	buf = binary.AppendUvarint(buf, m.lastSeq)
+	buf = binary.AppendUvarint(buf, uint64(m.headLo))
 	buf = binary.AppendUvarint(buf, uint64(m.tailDrop))
+	buf = binary.AppendUvarint(buf, uint64(len(m.exts)))
+	for _, seq := range m.exts {
+		buf = binary.AppendUvarint(buf, seq)
+	}
+	if m.fence == nil {
+		buf = binary.AppendUvarint(buf, 0)
+	} else {
+		buf = binary.AppendUvarint(buf, uint64(len(m.fence.segs)))
+		buf = binary.AppendUvarint(buf, uint64(m.fence.bound))
+		for _, s := range m.fence.segs {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.t0))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.t1))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.x0))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.x1))
+		}
+	}
 
 	return fsutil.WriteFileAtomic(filepath.Join(dir, metaName), func(w io.Writer) error {
 		_, err := w.Write(buf)
@@ -920,7 +1186,7 @@ func writeMeta(dir string, m metaState, logf func(string, ...any)) error {
 	})
 }
 
-// readMeta decodes a series meta file.
+// readMeta decodes a series meta file, either version.
 func readMeta(path string) (metaState, error) {
 	var m metaState
 	raw, err := os.ReadFile(path)
@@ -932,8 +1198,9 @@ func readMeta(path string) (metaState, error) {
 		return m, fmt.Errorf("mstore: bad meta magic")
 	}
 	p = p[len(metaMagic):]
-	if p[0] != metaVersion {
-		return m, fmt.Errorf("mstore: unknown meta version %d", p[0])
+	version := p[0]
+	if version != metaVersion && version != metaVersion2 {
+		return m, fmt.Errorf("mstore: unknown meta version %d", version)
 	}
 	flags := p[1]
 	m.constant = flags&metaFlagConstant != 0
@@ -957,9 +1224,14 @@ func readMeta(path string) (metaState, error) {
 	}
 	m.name = string(p[:nameLen])
 	p = p[nameLen:]
-	fields := []*uint64{}
+
 	var points, headLo, tailDrop uint64
-	fields = append(fields, &points, &m.firstSeq, &headLo, &m.lastSeq, &tailDrop)
+	var fields []*uint64
+	if version == metaVersion {
+		fields = []*uint64{&points, &m.firstSeq, &headLo, &m.lastSeq, &tailDrop}
+	} else {
+		fields = []*uint64{&points, &m.lastSeq, &headLo, &tailDrop}
+	}
 	for _, dst := range fields {
 		v, rest, err := takeUvarint(p)
 		if err != nil {
@@ -971,6 +1243,47 @@ func readMeta(path string) (metaState, error) {
 		return m, fmt.Errorf("mstore: implausible meta counters")
 	}
 	m.points, m.headLo, m.tailDrop = int(points), int(headLo), int(tailDrop)
+	if version == metaVersion {
+		return m, nil
+	}
+
+	nExts, p, err := takeUvarint(p)
+	if err != nil || nExts > metaMaxExts || nExts > uint64(len(p)) {
+		return m, fmt.Errorf("mstore: bad meta extent list")
+	}
+	m.haveList = true
+	m.exts = make([]uint64, nExts)
+	for i := range m.exts {
+		if m.exts[i], p, err = takeUvarint(p); err != nil {
+			return m, fmt.Errorf("mstore: truncated meta extent list")
+		}
+	}
+
+	nFence, p, err := takeUvarint(p)
+	if err != nil || nFence > fenceMaxSegs {
+		return m, fmt.Errorf("mstore: bad meta fence index")
+	}
+	if nFence > 0 {
+		bound, rest, err := takeUvarint(p)
+		if err != nil || bound > fenceMaxBound {
+			return m, fmt.Errorf("mstore: bad meta fence bound")
+		}
+		p = rest
+		if uint64(len(p)) < 32*nFence {
+			return m, fmt.Errorf("mstore: truncated meta fence index")
+		}
+		f := &fenceIndex{segs: make([]fenceSeg, nFence), bound: int(bound)}
+		for i := range f.segs {
+			f.segs[i] = fenceSeg{
+				t0: math.Float64frombits(binary.LittleEndian.Uint64(p[0:])),
+				t1: math.Float64frombits(binary.LittleEndian.Uint64(p[8:])),
+				x0: math.Float64frombits(binary.LittleEndian.Uint64(p[16:])),
+				x1: math.Float64frombits(binary.LittleEndian.Uint64(p[24:])),
+			}
+			p = p[32:]
+		}
+		m.fence = f
+	}
 	return m, nil
 }
 

@@ -1,0 +1,390 @@
+package mmapstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Column codecs for the v2 extent format. A column is one field across
+// every record of a block (t0, t1, points, one dimension of x0 or x1),
+// carried as uint64 lanes: float columns store math.Float64bits, the
+// points column stores the counter value. Each column picks, by
+// measured encoded size, one of four encodings:
+//
+//	colRaw    the lanes verbatim, 8 bytes each — the incompressible case
+//	colDoD    integer delta-of-delta: first value raw, first delta as a
+//	          zig-zag uvarint, then the remaining delta-of-deltas
+//	          bit-packed at the block's measured width. Timestamps on a
+//	          regular grid and near-constant point counts collapse to
+//	          ~0 bits per record. Float lanes qualify only when every
+//	          value round-trips bit-exactly through int64.
+//	colXOR    Gorilla-style: first lane raw, then each lane XORed with
+//	          its predecessor, bit-packed at the block-wide significant
+//	          width (shared leading/trailing-zero bounds). Always
+//	          bit-exact, the slowly-moving-float workhorse.
+//	colDirect bit-packed lane values at the width of the largest —
+//	          small non-negative integers (point counts).
+//
+// Every encoding is deterministic, so re-encoding a decoded column
+// reproduces the bytes — the property the fuzz round trip pins.
+const (
+	colRaw    = 0
+	colDoD    = 1
+	colXOR    = 2
+	colDirect = 3
+)
+
+// bitWriter packs MSB-first fixed-width bit groups into a byte buffer.
+type bitWriter struct {
+	buf []byte
+	acc uint64
+	n   uint
+}
+
+func (w *bitWriter) writeBits(v uint64, width uint) {
+	if width == 0 {
+		return
+	}
+	if width > 32 {
+		w.writeBits(v>>32, width-32)
+		w.writeBits(v&0xffffffff, 32)
+		return
+	}
+	w.acc = w.acc<<width | (v & (1<<width - 1))
+	w.n += width
+	for w.n >= 8 {
+		w.n -= 8
+		w.buf = append(w.buf, byte(w.acc>>w.n))
+	}
+}
+
+// flush pads the pending bits to a byte boundary (zeros on the right).
+func (w *bitWriter) flush() {
+	if w.n > 0 {
+		w.buf = append(w.buf, byte(w.acc<<(8-w.n)))
+		w.n = 0
+	}
+	w.acc = 0
+}
+
+// bitReader mirrors bitWriter over a byte slice.
+type bitReader struct {
+	buf []byte
+	pos int
+	acc uint64
+	n   uint
+}
+
+func (r *bitReader) readBits(width uint) (uint64, bool) {
+	if width == 0 {
+		return 0, true
+	}
+	if width > 32 {
+		hi, ok := r.readBits(width - 32)
+		if !ok {
+			return 0, false
+		}
+		lo, ok := r.readBits(32)
+		if !ok {
+			return 0, false
+		}
+		return hi<<32 | lo, true
+	}
+	for r.n < width {
+		if r.pos >= len(r.buf) {
+			return 0, false
+		}
+		r.acc = r.acc<<8 | uint64(r.buf[r.pos])
+		r.pos++
+		r.n += 8
+	}
+	r.n -= width
+	return (r.acc >> r.n) & (1<<width - 1), true
+}
+
+// bytesRead returns how many bytes the reader has consumed (partially
+// read bytes count whole — the writer pads the same way).
+func (r *bitReader) bytesRead() int { return r.pos }
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// dodInts reinterprets lanes as int64 values for delta-of-delta
+// encoding. Float lanes qualify only when the value is bit-exactly an
+// integer (the common timestamps-on-a-grid case); -0.0 and NaN fail the
+// round-trip check and fall through to XOR or raw.
+func dodInts(lanes []uint64, floatKind bool, dst []int64) ([]int64, bool) {
+	dst = dst[:0]
+	for _, l := range lanes {
+		if !floatKind {
+			dst = append(dst, int64(l))
+			continue
+		}
+		f := math.Float64frombits(l)
+		if math.Abs(f) > 1<<53 {
+			return dst, false
+		}
+		i := int64(f)
+		if math.Float64bits(float64(i)) != l {
+			return dst, false
+		}
+		dst = append(dst, i)
+	}
+	return dst, true
+}
+
+// dodWidth measures the bit-pack width the delta-of-delta residuals of
+// vals need (the residual stream starts at the third value; the first
+// delta is carried separately so a linear column costs zero bits).
+func dodWidth(vals []int64) int {
+	w := 0
+	if len(vals) < 3 {
+		return 0
+	}
+	prevD := vals[1] - vals[0]
+	for i := 2; i < len(vals); i++ {
+		d := vals[i] - vals[i-1]
+		if n := bits.Len64(zigzag(d - prevD)); n > w {
+			w = n
+		}
+		prevD = d
+	}
+	return w
+}
+
+// xorPlan measures the XOR encoding of lanes: the block-wide trailing
+// shift and significant width of the xor-vs-previous stream.
+func xorPlan(lanes []uint64) (shift, width int) {
+	var or uint64
+	for i := 1; i < len(lanes); i++ {
+		or |= lanes[i] ^ lanes[i-1]
+	}
+	if or == 0 {
+		return 0, 0
+	}
+	shift = bits.TrailingZeros64(or)
+	width = 64 - bits.LeadingZeros64(or) - shift
+	return shift, width
+}
+
+// directWidth measures the bit-pack width of the lane values verbatim.
+func directWidth(lanes []uint64) int {
+	w := 0
+	for _, l := range lanes {
+		if n := bits.Len64(l); n > w {
+			w = n
+		}
+	}
+	return w
+}
+
+func packedLen(groups, width int) int { return (groups*width + 7) / 8 }
+
+// appendColumn encodes one column, choosing the smallest candidate
+// encoding (ties prefer the cheaper decoder). floatKind selects the
+// candidate set: float columns try DoD (when integral), XOR and raw;
+// integer columns try DoD, direct and raw. scratch is reused across
+// calls to keep sealing allocation-flat.
+func appendColumn(dst []byte, lanes []uint64, floatKind bool, scratch []int64) ([]byte, []int64) {
+	n := len(lanes)
+	rawSize := 1 + 8*n
+
+	ints, intsOK := dodInts(lanes, floatKind, scratch)
+	scratch = ints
+	dodSize := -1
+	dodW := 0
+	if intsOK {
+		dodW = dodWidth(ints)
+		dodSize = 1 + 8
+		if n >= 2 {
+			dodSize += len(binary.AppendUvarint(nil, zigzag(ints[1]-ints[0]))) + 1 + packedLen(n-2, dodW)
+		}
+	}
+
+	best, bestSize := colRaw, rawSize
+	var xorShift, xorW, dirW int
+	if floatKind {
+		xorShift, xorW = xorPlan(lanes)
+		if s := 1 + 8 + 2 + packedLen(n-1, xorW); s < bestSize {
+			best, bestSize = colXOR, s
+		}
+	} else {
+		dirW = directWidth(lanes)
+		if s := 1 + 1 + packedLen(n, dirW); s < bestSize {
+			best, bestSize = colDirect, s
+		}
+	}
+	if dodSize >= 0 && dodSize <= bestSize {
+		best = colDoD
+	}
+
+	switch best {
+	case colDoD:
+		dst = append(dst, colDoD)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(ints[0]))
+		if n >= 2 {
+			dst = binary.AppendUvarint(dst, zigzag(ints[1]-ints[0]))
+			dst = append(dst, byte(dodW))
+			bw := bitWriter{buf: dst}
+			prevD := ints[1] - ints[0]
+			for i := 2; i < n; i++ {
+				d := ints[i] - ints[i-1]
+				bw.writeBits(zigzag(d-prevD), uint(dodW))
+				prevD = d
+			}
+			bw.flush()
+			dst = bw.buf
+		}
+	case colXOR:
+		dst = append(dst, colXOR)
+		dst = binary.LittleEndian.AppendUint64(dst, lanes[0])
+		dst = append(dst, byte(xorShift), byte(xorW))
+		bw := bitWriter{buf: dst}
+		for i := 1; i < n; i++ {
+			bw.writeBits((lanes[i]^lanes[i-1])>>xorShift, uint(xorW))
+		}
+		bw.flush()
+		dst = bw.buf
+	case colDirect:
+		dst = append(dst, colDirect)
+		dst = append(dst, byte(dirW))
+		bw := bitWriter{buf: dst}
+		for _, l := range lanes {
+			bw.writeBits(l, uint(dirW))
+		}
+		bw.flush()
+		dst = bw.buf
+	default:
+		dst = append(dst, colRaw)
+		for _, l := range lanes {
+			dst = binary.LittleEndian.AppendUint64(dst, l)
+		}
+	}
+	return dst, scratch
+}
+
+// decodeColumn decodes one column of n lanes from p into dst,
+// returning the remaining bytes. It validates every structural claim
+// (tags, widths, available bytes) — openExtent runs it over every block
+// once, so post-validation decodes cannot fail. The hot path allocates
+// nothing.
+func decodeColumn(p []byte, n int, floatKind bool, dst []uint64) ([]byte, error) {
+	if len(p) < 1 {
+		return nil, fmt.Errorf("mstore: truncated column")
+	}
+	tag := p[0]
+	p = p[1:]
+	switch tag {
+	case colRaw:
+		if len(p) < 8*n {
+			return nil, fmt.Errorf("mstore: truncated raw column")
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = binary.LittleEndian.Uint64(p[8*i:])
+		}
+		return p[8*n:], nil
+
+	case colDoD:
+		if len(p) < 8 {
+			return nil, fmt.Errorf("mstore: truncated dod column")
+		}
+		x := int64(binary.LittleEndian.Uint64(p))
+		p = p[8:]
+		dst[0] = dodLane(x, floatKind)
+		if n < 2 {
+			return p, nil
+		}
+		zz, used := binary.Uvarint(p)
+		if used <= 0 {
+			return nil, fmt.Errorf("mstore: bad dod first delta")
+		}
+		p = p[used:]
+		if len(p) < 1 {
+			return nil, fmt.Errorf("mstore: truncated dod width")
+		}
+		w := int(p[0])
+		p = p[1:]
+		if w > 64 {
+			return nil, fmt.Errorf("mstore: dod width %d", w)
+		}
+		d := unzigzag(zz)
+		x += d
+		dst[1] = dodLane(x, floatKind)
+		br := bitReader{buf: p}
+		for i := 2; i < n; i++ {
+			g, ok := br.readBits(uint(w))
+			if !ok {
+				return nil, fmt.Errorf("mstore: truncated dod payload")
+			}
+			d += unzigzag(g)
+			x += d
+			dst[i] = dodLane(x, floatKind)
+		}
+		need := packedLen(n-2, w)
+		if br.bytesRead() > need || len(p) < need {
+			return nil, fmt.Errorf("mstore: short dod payload")
+		}
+		return p[need:], nil
+
+	case colXOR:
+		if len(p) < 10 {
+			return nil, fmt.Errorf("mstore: truncated xor column")
+		}
+		x := binary.LittleEndian.Uint64(p)
+		shift, w := int(p[8]), int(p[9])
+		p = p[10:]
+		if shift > 63 || w > 64 || shift+w > 64 {
+			return nil, fmt.Errorf("mstore: xor shift %d width %d", shift, w)
+		}
+		dst[0] = x
+		br := bitReader{buf: p}
+		for i := 1; i < n; i++ {
+			g, ok := br.readBits(uint(w))
+			if !ok {
+				return nil, fmt.Errorf("mstore: truncated xor payload")
+			}
+			x ^= g << shift
+			dst[i] = x
+		}
+		need := packedLen(n-1, w)
+		if br.bytesRead() > need || len(p) < need {
+			return nil, fmt.Errorf("mstore: short xor payload")
+		}
+		return p[need:], nil
+
+	case colDirect:
+		if len(p) < 1 {
+			return nil, fmt.Errorf("mstore: truncated direct column")
+		}
+		w := int(p[0])
+		p = p[1:]
+		if w > 64 {
+			return nil, fmt.Errorf("mstore: direct width %d", w)
+		}
+		br := bitReader{buf: p}
+		for i := 0; i < n; i++ {
+			g, ok := br.readBits(uint(w))
+			if !ok {
+				return nil, fmt.Errorf("mstore: truncated direct payload")
+			}
+			dst[i] = g
+		}
+		need := packedLen(n, w)
+		if br.bytesRead() > need || len(p) < need {
+			return nil, fmt.Errorf("mstore: short direct payload")
+		}
+		return p[need:], nil
+	}
+	return nil, fmt.Errorf("mstore: unknown column encoding %d", tag)
+}
+
+// dodLane converts a decoded delta-of-delta integer back into its lane
+// representation.
+func dodLane(x int64, floatKind bool) uint64 {
+	if floatKind {
+		return math.Float64bits(float64(x))
+	}
+	return uint64(x)
+}

@@ -64,6 +64,17 @@ type Sealer interface {
 	PrepareSeal(points int) (PreparedSeal, bool)
 }
 
+// Compactor is implemented by stores whose sealed form fragments over
+// time (one extent per seal) and can be merged back into larger units.
+// It reuses the two-phase seal choreography: PrepareCompact (under the
+// series lock) captures one merge unit, the PreparedSeal writes it
+// unlocked, Commit splices it in or refuses if the store moved.
+// Returning false means nothing currently warrants a merge; callers
+// loop until then.
+type Compactor interface {
+	PrepareCompact() (PreparedSeal, bool)
+}
+
 // PreparedSeal is one in-flight seal. Exactly one of Write/Commit's
 // failure paths may leave a discarded temporary extent file behind;
 // never both phases' effects.

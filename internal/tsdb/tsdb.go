@@ -411,6 +411,30 @@ func (s *Series) Seal() error {
 	return nil
 }
 
+// CompactStore asks a Compactor-backed store to merge one run of
+// small sealed extents, mirroring Seal's lock choreography: capture
+// under the lock, write with queries flowing, splice in under the lock
+// again. Reports whether a merge committed — callers loop until false.
+func (s *Series) CompactStore() (bool, error) {
+	c, ok := s.store.(Compactor)
+	if !ok {
+		return false, nil
+	}
+	s.mu.Lock()
+	prep, ok := c.PrepareCompact()
+	s.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := prep.Write(); err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	done := prep.Commit()
+	s.mu.Unlock()
+	return done, nil
+}
+
 // Last returns the newest stored segment.
 func (s *Series) Last() (core.Segment, bool) {
 	s.mu.RLock()

@@ -191,6 +191,14 @@ func (sh *Shard) snapshot(throughSeq uint64, forceFull bool) error {
 		if err := sh.sealOwned(); err != nil {
 			return err
 		}
+		// Background extent compaction rides the same trigger as
+		// sealing: opportunistic, and never a reason to fail the
+		// snapshot — unmerged extents only cost lookup speed.
+		if merged, err := sh.compactOwned(); err != nil {
+			sh.opts.logf("wal: %s: extent compaction: %v", shardDirName(sh.k), err)
+		} else if merged > 0 {
+			sh.opts.logf("wal: %s: extent compaction merged %d extent runs", shardDirName(sh.k), merged)
+		}
 		if err := writeMarker(sh.dir, throughSeq, sh.opts); err != nil {
 			return err
 		}
@@ -269,6 +277,31 @@ func (sh *Shard) sealOwned() error {
 		}
 	}
 	return nil
+}
+
+// compactOwned runs background extent compaction over every owned
+// series, up to a few merges each per trigger so one fragmented series
+// cannot monopolise the snapshot pass. Returns how many runs merged.
+func (sh *Shard) compactOwned() (int, error) {
+	const maxMergesPerSeries = 4
+	merged := 0
+	for _, name := range sh.ownedNames() {
+		s, err := sh.db.Get(name)
+		if err != nil {
+			continue
+		}
+		for r := 0; r < maxMergesPerSeries; r++ {
+			done, err := s.CompactStore()
+			if err != nil {
+				return merged, err
+			}
+			if !done {
+				break
+			}
+			merged++
+		}
+	}
+	return merged, nil
 }
 
 // closeSnapshot ends the shard on a graceful drain: close the log,
