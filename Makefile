@@ -12,7 +12,7 @@ GO ?= go
 COVER_FLOORS = internal/core:95 internal/tsdb:83 internal/tsdb/mmapstore:85 internal/wal:70 \
 	internal/sketch:90 internal/query:92
 
-.PHONY: verify fmt-check build test race bench-smoke agg-smoke cover-check alloc-check oracle-sweep
+.PHONY: verify fmt-check build test race bench-smoke agg-smoke cover-check alloc-check oracle-sweep docs-check
 
 verify: fmt-check
 	$(GO) vet ./...
@@ -78,3 +78,17 @@ cover-check:
 
 oracle-sweep:
 	PLA_ORACLE_TRIALS=800 $(GO) test -run TestOracle -count=1 ./internal/core
+
+# Docs drift gate: every plad flag and every /metrics series name must
+# be mentioned somewhere under docs/. The lists come from the binary
+# itself (-list-flags / -list-metrics), so adding a flag or metric
+# without documenting it fails the build — the docs cannot silently rot.
+docs-check:
+	@fail=0; \
+	for f in $$($(GO) run ./cmd/plad -list-flags); do \
+		grep -qr -- "-$$f" docs/ || { echo "docs-check: flag -$$f not documented in docs/"; fail=1; }; \
+	done; \
+	for m in $$($(GO) run ./cmd/plad -list-metrics); do \
+		grep -qr "$$m" docs/ || { echo "docs-check: metric $$m not documented in docs/"; fail=1; }; \
+	done; \
+	[ $$fail -eq 0 ] && echo "docs-check: all flags and metrics documented"; exit $$fail

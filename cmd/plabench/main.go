@@ -11,6 +11,7 @@
 //	         [-server-transport tcp,udp] [-server-cores 1,2,4,8] [-o BENCH.json]
 //	plabench -server-agg [-server-agg-segments 85000] [-o AGG.json]
 //	plabench -extent-bench [-extent-segments 85000] [-o BENCH_PR8.json]
+//	plabench -rollup-bench [-rollup-segments 85000] [-o BENCH_PR9.json]
 //
 // -quick shrinks the synthetic workloads for a fast smoke run; the
 // canonical numbers in EXPERIMENTS.md come from the default sizes.
@@ -57,9 +58,18 @@ func main() {
 		srvAggSegs = flag.Int("server-agg-segments", 85000, "archive size in segments for -server-agg")
 		extBench   = flag.Bool("extent-bench", false, "measure v1 vs v2+compaction extent archives (disk bytes, cold open/SCAN/AGG, fence vs binary-search lookup) and exit")
 		extSegs    = flag.Int("extent-segments", 85000, "archive size in segments for -extent-bench")
+		rollBench  = flag.Bool("rollup-bench", false, "measure bound-aware tier selection (segments read and AGG latency per rollup tier vs base) and exit")
+		rollSegs   = flag.Int("rollup-segments", 85000, "base archive size in segments for -rollup-bench")
 		out        = flag.String("o", "", "write the -server-bench snapshot as JSON to this file")
 	)
 	flag.Parse()
+
+	if *rollBench {
+		if err := rollupBench(*rollSegs, *srvRounds, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *extBench {
 		if err := extentBench(*extSegs, *srvRounds, *out); err != nil {

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/gen"
+	"github.com/pla-go/pla/internal/query"
+	"github.com/pla-go/pla/internal/tsdb"
+)
+
+// rollupBench measures what bound-aware tier selection buys on the
+// repo's canonical large-archive shape (the ≥85k-segment single series
+// of -server-agg/-extent-bench): a mid-range AGG answered at base
+// precision against the same query carrying a BOUND that lands on each
+// rollup tier. Per tier it reports the stored segment count, the
+// contributing segments the query actually read, the read ratio against
+// base, the cold first-query latency (where the saved reads and summary
+// builds show) with its speedup over base, and the steady-state
+// (window-memoized) latency. Before any number is
+// reported, every tiered answer's band must contain the base answer —
+// the same differential bar the server tests hold.
+func rollupBench(segTarget, rounds int, outPath string) error {
+	const eps = 0.25
+	ladder := []int{4, 16}
+	if segTarget < 1000 || rounds < 1 {
+		return fmt.Errorf("rollup-bench needs ≥1000 segments and ≥1 rounds (got %d/%d)", segTarget, rounds)
+	}
+
+	// Grow the base series until it holds the target: deterministic
+	// random-walk chunks, each Swing-filtered at the ingest ε, appended
+	// with continuous time so the rollup sees long connected runs.
+	db := tsdb.New()
+	db.EnableRollups(ladder)
+	sr, err := db.Create("walk", []float64{eps}, false)
+	if err != nil {
+		return err
+	}
+	tOff, v, seed := 0.0, 0.0, uint64(1)
+	for sr.Len() < segTarget {
+		// The workload compresses at ~6 points per segment; overshoot a
+		// little so the loop converges in one or two chunks.
+		chunk := (segTarget - sr.Len() + 1) * 6
+		if chunk > 600_000 {
+			chunk = 600_000
+		}
+		sig := gen.RandomWalk(gen.WalkConfig{N: chunk, P: 0.5, MaxDelta: 0.3, Start: v, Seed: seed})
+		for i := range sig {
+			sig[i].T += tOff
+		}
+		f, err := core.NewSwing([]float64{eps})
+		if err != nil {
+			return err
+		}
+		segs, err := core.Run(f, sig)
+		if err != nil {
+			return err
+		}
+		if err := sr.Append(segs...); err != nil {
+			return err
+		}
+		tOff += float64(chunk)
+		v = sig[len(sig)-1].X[0]
+		seed++
+	}
+
+	start := time.Now()
+	stats, err := db.Rollup("walk")
+	if err != nil {
+		return err
+	}
+	buildSecs := time.Since(start).Seconds()
+	fmt.Printf("rollup archive: %d base segments; built %d tiers (%d coarse segments) in %.3fs\n",
+		sr.Len(), stats.Tiers, stats.Segments, buildSecs)
+
+	// The query window: the middle ~60% of the stream, the week-scale
+	// range shape of -server-agg.
+	t0, t1 := 0.2*tOff, 0.8*tOff
+	eng := query.New(db)
+
+	type tierRow struct {
+		mult  int
+		bound float64
+	}
+	tiers := []tierRow{{0, 0}}
+	for _, m := range ladder {
+		tiers = append(tiers, tierRow{m, float64(m) * eps})
+	}
+
+	var results []ServerBenchResult
+	var base query.AggResult
+	for _, tr := range tiers {
+		// The cold query: the first AGG after the sweep, paying the
+		// segment reads and summary-window builds the tier saves.
+		qs := time.Now()
+		res, err := eng.AggregateBound("walk", 0, t0, t1, tr.bound)
+		if err != nil {
+			return err
+		}
+		cold := time.Since(qs).Seconds()
+		if res.Tier != tr.mult {
+			return fmt.Errorf("bound %v answered from tier %d, want %d", tr.bound, res.Tier, tr.mult)
+		}
+		if tr.mult == 0 {
+			base = res
+		} else {
+			// The differential bar: the tiered band must contain the
+			// base answer (avg value, band = ε + edge slack composed as
+			// the server does).
+			avg, bAvg := res.Agg.Sum/res.Agg.Count, base.Agg.Sum/base.Agg.Count
+			band := res.Epsilon + res.ValueSlack +
+				float64(res.CountSlack)/res.Agg.Count*((res.Agg.Max-res.Agg.Min)/2+res.Epsilon+res.ValueSlack)
+			if math.Abs(avg-bAvg) > band+1e-9 {
+				return fmt.Errorf("tier %d avg %v outside base band: base %v, band %v", tr.mult, avg, bAvg, band)
+			}
+		}
+
+		// Steady-state latency: warm once above, best-of-rounds after.
+		best := math.Inf(1)
+		for r := 0; r < rounds; r++ {
+			qs := time.Now()
+			if _, err := eng.AggregateBound("walk", 0, t0, t1, tr.bound); err != nil {
+				return err
+			}
+			if s := time.Since(qs).Seconds(); s < best {
+				best = s
+			}
+		}
+
+		stored := int64(sr.Len())
+		if tr.mult > 0 {
+			tier, ok := db.Tier("walk", tr.mult)
+			if !ok {
+				return fmt.Errorf("tier %d missing", tr.mult)
+			}
+			stored = int64(tier.Len())
+		}
+		row := ServerBenchResult{
+			Bench: "RollupTier", Sync: "mem", Shards: 1, Rounds: rounds,
+			Segments:       int64(sr.Len()),
+			Tier:           tr.mult,
+			Bound:          tr.bound,
+			TierSegments:   stored,
+			SegmentsRead:   int64(res.Agg.Segments),
+			ColdAggSeconds: cold,
+			AggSeconds:     best,
+			Seconds:        buildSecs,
+		}
+		if tr.mult > 0 {
+			row.SegmentsRatio = float64(base.Agg.Segments) / float64(res.Agg.Segments)
+			row.Speedup = results[0].ColdAggSeconds / cold
+		}
+		results = append(results, row)
+		fmt.Printf("rollup tier %2d (bound %5.2f): %7d stored segments, %7d read by AGG (%.1fx fewer than base); cold %.6fs (%.1fx), warm %.6fs\n",
+			tr.mult, tr.bound, stored, res.Agg.Segments, row.SegmentsRatio, cold, row.Speedup, best)
+	}
+
+	if outPath == "" {
+		return nil
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote snapshot to %s\n", outPath)
+	return nil
+}

@@ -100,6 +100,19 @@ type ServerBenchResult struct {
 	ColdAggSeconds      float64 `json:"cold_agg_seconds,omitempty"`
 	LookupNsPerOp       float64 `json:"lookup_ns_per_op,omitempty"`
 	LookupLegacyNsPerOp float64 `json:"lookup_legacy_ns_per_op,omitempty"`
+
+	// Rollup-tier fields (PR 9, Bench "RollupTier", -rollup-bench). Tier
+	// is the row's rollup precision multiplier (0 = the base row), Bound
+	// the BOUND the AGG queries carried, TierSegments the segments
+	// stored at that tier, SegmentsRead the segments contributing to the
+	// mid-range AGG, and SegmentsRatio base reads over this row's reads.
+	// AggSeconds is the steady-state per-query latency and Speedup its
+	// ratio against the base row; Seconds is the one-off tier build.
+	Tier          int     `json:"tier,omitempty"`
+	Bound         float64 `json:"bound,omitempty"`
+	TierSegments  int64   `json:"tier_segments,omitempty"`
+	SegmentsRead  int64   `json:"segments_read,omitempty"`
+	SegmentsRatio float64 `json:"segments_ratio,omitempty"`
 }
 
 // serverBench measures the concurrent network-ingest path (via the shared

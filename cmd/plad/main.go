@@ -12,10 +12,12 @@
 //	     [-data-dir DIR] [-store mem|mmap]
 //	     [-extent-compact-min N] [-extent-target-records N]
 //	     [-extent-write-v1] [-no-fence-index]
+//	     [-rollup-tiers 4,16]
 //	     [-sync always|interval|off] [-sync-every 50ms]
 //	     [-compact-bytes N] [-retain T] [-http ADDR]
 //	plad -demo [-demo-clients 8] [-demo-points 2000] [-demo-max-lag 25]
 //	     [-transport tcp|udp] [-data-dir DIR]
+//	plad -list-flags | -list-metrics
 //
 // Without -demo, plad serves until SIGINT/SIGTERM, then drains its shard
 // queues and exits. With -data-dir the archive is durable through a
@@ -41,6 +43,14 @@
 // SO_REUSEPORT sockets (one per core by default) accept PLU1 sessions
 // that land in the same shard pipeline, write-ahead log and archive as
 // TCP sessions; stream ingest and queries stay on TCP either way.
+// -rollup-tiers enables precision rollups: every compaction sweep
+// re-encodes each series' finalized prefix at the listed multiples of
+// its ingest ε (derived tiers, invisible to SERIES and "*"), and
+// queries carrying a BOUND argument are answered from the coarsest tier
+// whose composed bound still satisfies it — far fewer segments read,
+// honest wider band on the reply. -list-flags and -list-metrics print
+// the daemon's flag and /metrics name inventories (one per line) and
+// exit; `make docs-check` diffs them against the documentation.
 //
 // With -demo it starts a server on an ephemeral loopback port, drives
 // -demo-clients concurrent sensors through it (synthetic signals from
@@ -66,6 +76,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -91,6 +103,7 @@ func main() {
 		extTarget    = flag.Int("extent-target-records", 0, "with -store mmap: stop growing a merged extent once it holds this many records (0 = default 65536)")
 		extWriteV1   = flag.Bool("extent-write-v1", false, "with -store mmap: seal new extents in the fixed-width v1 format instead of bit-packed v2 (v1 archives stay readable either way)")
 		noFenceIndex = flag.Bool("no-fence-index", false, "with -store mmap: disable the learned fence index over extent start times (cold lookups fall back to per-extent binary search)")
+		rollupTiers  = flag.String("rollup-tiers", "", "comma-separated precision multipliers (e.g. 4,16): each compaction sweep maintains a rollup tier per multiplier, and BOUND queries select the coarsest tier that satisfies them (empty = no rollups)")
 		transport    = flag.String("transport", "tcp", "ingest transport: tcp, or udp (adds the datagram endpoint on -addr's port; TCP keeps serving streams and queries)")
 		udpListeners = flag.Int("udp-listeners", 0, "SO_REUSEPORT datagram listeners with -transport udp (0 = one per core)")
 		httpAddr     = flag.String("http", "", "serve /metrics and /healthz on this address (empty = disabled)")
@@ -98,8 +111,21 @@ func main() {
 		demoClients  = flag.Int("demo-clients", 8, "concurrent sensors in the demo")
 		demoPoints   = flag.Int("demo-points", 2000, "points per demo sensor")
 		demoMaxLag   = flag.Int("demo-max-lag", 25, "m_max_lag bound the demo's swing/slide sensors advertise (0 = unbounded)")
+		listFlags    = flag.Bool("list-flags", false, "print every plad flag name, one per line, and exit (docs-check input)")
+		listMetrics  = flag.Bool("list-metrics", false, "print every /metrics series name, one per line, and exit (docs-check input)")
 	)
 	flag.Parse()
+
+	if *listFlags {
+		flag.VisitAll(func(f *flag.Flag) { fmt.Println(f.Name) })
+		return
+	}
+	if *listMetrics {
+		for _, name := range server.MetricNames() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	cfg := server.Config{
 		Shards:              *shards,
@@ -140,6 +166,9 @@ func main() {
 		fatal(err)
 	}
 	cfg.StoreBackend = backend
+	if cfg.RollupTiers, err = parseTiers(*rollupTiers); err != nil {
+		fatal(err)
+	}
 
 	switch *transport {
 	case "tcp", "udp":
@@ -207,6 +236,23 @@ func main() {
 		fmt.Printf("plad: stored %d segments (%d points, %d B on the wire) across %d sessions\n",
 			m.Segments, m.Points, m.Bytes, m.TotalSessions)
 	}
+}
+
+// parseTiers parses the -rollup-tiers ladder: comma-separated integer
+// precision multipliers, each at least 2.
+func parseTiers(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var tiers []int
+	for _, word := range strings.Split(s, ",") {
+		m, err := strconv.Atoi(strings.TrimSpace(word))
+		if err != nil || m < 2 {
+			return nil, fmt.Errorf("bad -rollup-tiers %q: want comma-separated integer multipliers ≥ 2", s)
+		}
+		tiers = append(tiers, m)
+	}
+	return tiers, nil
 }
 
 func fatal(err error) {

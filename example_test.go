@@ -2,7 +2,9 @@ package pla_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"net"
 
 	pla "github.com/pla-go/pla"
 )
@@ -101,4 +103,99 @@ func ExampleWithSwingMaxLag() {
 	fmt.Println("max update gap:", rep.MaxPoints)
 	// Output:
 	// max update gap: 50
+}
+
+// exampleServer runs an in-process server over db on a loopback
+// listener, returning its dial address. The examples below each speak
+// one protocol feature against it.
+func exampleServer(db *pla.Archive) (*pla.Server, string) {
+	s, err := pla.NewServer(db, pla.ServerConfig{Shards: 1})
+	if err != nil {
+		panic(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go s.Serve(ln)
+	return s, ln.Addr().String()
+}
+
+// Streaming a sensor into plad and reading it back with a guaranteed
+// band: only finalized segments cross the wire, and the final ack
+// reports what the archive stored.
+func ExampleDialServer() {
+	s, addr := exampleServer(pla.NewArchive())
+	defer s.Shutdown(context.Background())
+
+	f, _ := pla.NewSwingFilter([]float64{0.5})
+	c, _ := pla.DialServer(addr, "turbine-01", f)
+	for i := 0; i < 100; i++ {
+		c.Send(pla.Point{T: float64(i), X: []float64{float64(i)}})
+	}
+	ack, _ := c.Close() // blocks until the archive holds every segment
+
+	q, _ := pla.DialQuery(addr)
+	defer q.Close()
+	mean, _ := q.Mean("turbine-01", 0, 0, 99)
+	fmt.Printf("applied %d segment(s)\n", ack.Applied)
+	fmt.Printf("mean = %.1f ± %.1f\n", mean.Value, mean.Epsilon)
+	// Output:
+	// applied 1 segment(s)
+	// mean = 49.5 ± 0.5
+}
+
+// Segment-native aggregation: AGG answers closed-form from the
+// segments (O(windows + edges), never O(points)), and the reply's
+// bound composes the filter contract — ±ε·count for sum.
+func ExampleQueryClient_Agg() {
+	db := pla.NewArchive()
+	f, _ := pla.NewSwingFilter([]float64{0.5})
+	signal := make([]pla.Point, 100)
+	for i := range signal {
+		signal[i] = pla.Point{T: float64(i), X: []float64{float64(i)}}
+	}
+	db.Ingest("turbine-01", f, signal)
+	s, addr := exampleServer(db)
+	defer s.Shutdown(context.Background())
+
+	q, _ := pla.DialQuery(addr)
+	defer q.Close()
+	sum, _ := q.Agg("sum", "turbine-01", 0, 0, 99)
+	fmt.Printf("sum = %.0f ± %.0f over %d samples\n", sum.Value, sum.Bound, sum.Count)
+	// Output:
+	// sum = 4950 ± 50 over 100 samples
+}
+
+// Bound-aware tier selection: a query that tolerates a wider error
+// bound is answered from a coarser rollup tier, reading far fewer
+// segments, and the reply's bound reflects the tier that actually
+// answered.
+func ExampleQueryClient_AggBound() {
+	db := pla.NewArchive()
+	db.EnableRollups([]int{8}) // maintain an 8× precision tier
+	f, _ := pla.NewSwingFilter([]float64{0.5})
+	// A slow ramp with fast ±1.5 jitter: the jitter forces a segment
+	// every few points at ε = 0.5, but vanishes inside the 8× tier's
+	// widened tolerance.
+	signal := make([]pla.Point, 400)
+	for i := range signal {
+		x := float64(i)/20 + 1.5*float64(i%2)
+		signal[i] = pla.Point{T: float64(i), X: []float64{x}}
+	}
+	db.Ingest("turbine-01", f, signal)
+	db.Rollup("turbine-01") // normally run by the compaction sweep
+
+	s, addr := exampleServer(db)
+	defer s.Shutdown(context.Background())
+	q, _ := pla.DialQuery(addr)
+	defer q.Close()
+
+	exact, _ := q.Agg("avg", "turbine-01", 0, 0, 399)
+	coarse, _ := q.AggBound("avg", "turbine-01", 0, 0, 399, 4)
+	fmt.Printf("base: avg = %.1f ± %.1f (%d segments)\n", exact.Value, exact.Bound, exact.Segments)
+	fmt.Printf("tier: avg = %.1f ± %.1f (%d segments)\n", coarse.Value, coarse.Bound, coarse.Segments)
+	// Output:
+	// base: avg = 10.7 ± 0.5 (399 segments)
+	// tier: avg = 10.5 ± 4.0 (1 segments)
 }

@@ -32,6 +32,7 @@ type Engine struct {
 	cachedWindows   atomic.Int64
 	builtWindows    atomic.Int64
 	walkedSegments  atomic.Int64
+	tierHits        atomic.Int64
 }
 
 // New returns an engine over db.
@@ -42,11 +43,23 @@ func New(db *tsdb.Archive) *Engine { return &Engine{db: db} }
 // covered (summary windows served from a cache, windows built on
 // demand, segments folded one by one).
 type Counters struct {
+	// AggQueries and QuantileQueries count answered pushdown queries by
+	// kind (fan-out over * counts once, not per series).
 	AggQueries      int64
 	QuantileQueries int64
-	CachedWindows   int64
-	BuiltWindows    int64
-	WalkedSegments  int64
+	// CachedWindows and BuiltWindows split the summary windows that
+	// covered query ranges by whether they came from a cache/sidecar or
+	// were recomputed from segments; their ratio is the pushdown hit
+	// rate.
+	CachedWindows int64
+	BuiltWindows  int64
+	// WalkedSegments counts segments folded closed-form one by one
+	// (edges, unsealed tails, fallback) — the work pushdown did not
+	// save.
+	WalkedSegments int64
+	// TierHits counts per-series query computations served from a
+	// rollup tier instead of the base series.
+	TierHits int64
 }
 
 // Counters snapshots the engine's counters.
@@ -57,6 +70,7 @@ func (e *Engine) Counters() Counters {
 		CachedWindows:   e.cachedWindows.Load(),
 		BuiltWindows:    e.builtWindows.Load(),
 		WalkedSegments:  e.walkedSegments.Load(),
+		TierHits:        e.tierHits.Load(),
 	}
 }
 
@@ -80,6 +94,14 @@ type AggResult struct {
 	Series int
 	// Stats reports how the ranges were covered.
 	Stats tsdb.PushdownStats
+	// Tier is the rollup multiplier of the coarsest tier that served a
+	// contributing series (0 = every series answered from base data).
+	Tier int
+	// CountSlack and ValueSlack are the tier-edge uncertainties the
+	// reply's band composition must absorb (see tierSlack); zero for
+	// base-served answers.
+	CountSlack int
+	ValueSlack float64
 }
 
 // QuantilesResult is one answered quantile query.
@@ -87,11 +109,16 @@ type QuantilesResult struct {
 	// Quantiles holds one answer per requested q, each with a band the
 	// true quantile is guaranteed inside.
 	Quantiles []sketch.Quantile
-	// Epsilon, Stale, Series and Stats are as in AggResult.
-	Epsilon float64
-	Stale   int
-	Series  int
-	Stats   tsdb.PushdownStats
+	// Epsilon, Stale, Series, Stats, Tier, CountSlack and ValueSlack are
+	// as in AggResult. The slacks are already folded into each
+	// quantile's [Lo, Hi] band.
+	Epsilon    float64
+	Stale      int
+	Series     int
+	Stats      tsdb.PushdownStats
+	Tier       int
+	CountSlack int
+	ValueSlack float64
 }
 
 // Aggregate answers min/max/sum/count/avg over [t0, t1] in dimension
@@ -100,17 +127,46 @@ type QuantilesResult struct {
 // sorted-name order (Join is exact, so the fold order only matters for
 // byte-stable floating-point association).
 func (e *Engine) Aggregate(name string, dim int, t0, t1 float64) (AggResult, error) {
+	return e.AggregateBound(name, dim, t0, t1, 0)
+}
+
+// aggPart is one series' contribution to a bound-aware aggregate.
+type aggPart struct {
+	ans        tsdb.AggAnswer
+	tier       int
+	countSlack int
+	valueSlack float64
+}
+
+// AggregateBound is Aggregate with an acceptable error bound: each
+// queried series may be answered from the coarsest rollup tier whose
+// precision fits inside bound and whose coverage spans the range (see
+// TierFor), reading far fewer segments. The result's Epsilon is the
+// bound of the data that actually answered — the tier's ε for
+// tier-served series — and its slack fields carry the extra band width
+// tier edges require. bound ≤ 0 asks for base precision.
+func (e *Engine) AggregateBound(name string, dim int, t0, t1, bound float64) (AggResult, error) {
 	e.aggQueries.Add(1)
 	res := AggResult{}
 	err := e.fanout(name,
 		func(sr *tsdb.Series) (any, tsdb.PushdownStats, error) {
-			ans, err := sr.RangeAgg(dim, t0, t1)
-			return ans, ans.Stats, err
+			target, mult := e.TierFor(sr, dim, t0, t1, bound)
+			ans, err := target.RangeAgg(dim, t0, t1)
+			p := aggPart{ans: ans, tier: mult}
+			if mult > 0 {
+				p.countSlack, p.valueSlack = tierSlack(target, dim, t0, t1)
+			}
+			return p, ans.Stats, err
 		},
 		func(sr *tsdb.Series, v any) {
-			ans := v.(tsdb.AggAnswer)
-			res.Agg.Join(ans.Agg)
-			res.Epsilon = math.Max(res.Epsilon, ans.Epsilon)
+			p := v.(aggPart)
+			res.Agg.Join(p.ans.Agg)
+			res.Epsilon = math.Max(res.Epsilon, p.ans.Epsilon)
+			if p.tier > res.Tier {
+				res.Tier = p.tier
+			}
+			res.CountSlack += p.countSlack
+			res.ValueSlack = math.Max(res.ValueSlack, p.valueSlack)
 			if st := sr.Staleness(); st > res.Stale {
 				res.Stale = st
 			}
@@ -131,6 +187,25 @@ func (e *Engine) Aggregate(name string, dim int, t0, t1 float64) (AggResult, err
 // fold), and the band widening uses the worst contributing filter ε, so
 // the composed guarantee holds across series with different contracts.
 func (e *Engine) Quantiles(name string, dim int, t0, t1 float64, qs []float64) (QuantilesResult, error) {
+	return e.QuantilesBound(name, dim, t0, t1, qs, 0)
+}
+
+// quantilePart is one series' contribution to a bound-aware quantile
+// query.
+type quantilePart struct {
+	sum        *sketch.Summary
+	eps        float64
+	countSlack int
+	valueSlack float64
+	tier       int
+}
+
+// QuantilesBound is Quantiles with an acceptable error bound, with the
+// same tier selection as AggregateBound. Rank uncertainty from
+// partially covered coarse segments is folded into each answer's band:
+// the band is the union over q ∓ countSlack/N, widened by the value
+// slack. bound ≤ 0 asks for base precision.
+func (e *Engine) QuantilesBound(name string, dim int, t0, t1 float64, qs []float64, bound float64) (QuantilesResult, error) {
 	e.quantileQueries.Add(1)
 	for _, q := range qs {
 		if math.IsNaN(q) || q < 0 || q > 1 {
@@ -141,12 +216,23 @@ func (e *Engine) Quantiles(name string, dim int, t0, t1 float64, qs []float64) (
 	merged := &sketch.Summary{}
 	err := e.fanout(name,
 		func(sr *tsdb.Series) (any, tsdb.PushdownStats, error) {
-			sum, stats, err := sr.RangeSummary(dim, t0, t1)
-			return sum, stats, err
+			target, mult := e.TierFor(sr, dim, t0, t1, bound)
+			sum, stats, err := target.RangeSummary(dim, t0, t1)
+			p := quantilePart{sum: sum, eps: target.Epsilon()[dim], tier: mult}
+			if mult > 0 {
+				p.countSlack, p.valueSlack = tierSlack(target, dim, t0, t1)
+			}
+			return p, stats, err
 		},
 		func(sr *tsdb.Series, v any) {
-			merged = sketch.Merge(merged, v.(*sketch.Summary))
-			res.Epsilon = math.Max(res.Epsilon, sr.Epsilon()[dim])
+			p := v.(quantilePart)
+			merged = sketch.Merge(merged, p.sum)
+			res.Epsilon = math.Max(res.Epsilon, p.eps)
+			if p.tier > res.Tier {
+				res.Tier = p.tier
+			}
+			res.CountSlack += p.countSlack
+			res.ValueSlack = math.Max(res.ValueSlack, p.valueSlack)
 			if st := sr.Staleness(); st > res.Stale {
 				res.Stale = st
 			}
@@ -158,7 +244,7 @@ func (e *Engine) Quantiles(name string, dim int, t0, t1 float64, qs []float64) (
 	if res.Series == 0 || merged.N() == 0 {
 		return QuantilesResult{}, fmt.Errorf("%w in [%v, %v]", tsdb.ErrNoData, t0, t1)
 	}
-	res.Quantiles = tsdb.AnswerQuantiles(merged, res.Epsilon, qs)
+	res.Quantiles = answerTierQuantiles(merged, res.Epsilon, qs, res.CountSlack, res.ValueSlack)
 	return res, nil
 }
 

@@ -377,12 +377,22 @@ func (a AggValue) Hi() float64 { return a.Value + a.Bound }
 // "sum" or "count" — for one series, or joined across every series when
 // series is "*".
 func (q *QueryClient) Agg(op, series string, dim int, t0, t1 float64) (AggValue, error) {
+	return q.AggBound(op, series, dim, t0, t1, 0)
+}
+
+// AggBound is Agg with an acceptable error bound: a server keeping
+// rollup tiers may answer from the coarsest tier whose precision fits
+// inside bound, reading far fewer segments. The reply's Bound field
+// stays honest either way — it reflects the data that actually
+// answered. bound ≤ 0 requests base precision.
+func (q *QueryClient) AggBound(op, series string, dim int, t0, t1, bound float64) (AggValue, error) {
 	if series != "*" {
 		if err := validateName(series); err != nil {
 			return AggValue{}, err
 		}
 	}
-	fields, err := q.do(fmt.Sprintf("AGG %s %s %d %s %s", op, series, dim, floatWord(t0), floatWord(t1)))
+	fields, err := q.do(fmt.Sprintf("AGG %s %s %d %s %s%s",
+		op, series, dim, floatWord(t0), floatWord(t1), boundWord(bound)))
 	if err != nil {
 		return AggValue{}, err
 	}
@@ -418,6 +428,13 @@ type QuantileValue struct {
 // series, or over the union of every series' samples when series is
 // "*".
 func (q *QueryClient) Quantiles(series string, dim int, t0, t1 float64, qs ...float64) ([]QuantileValue, error) {
+	return q.QuantilesBound(series, dim, t0, t1, 0, qs...)
+}
+
+// QuantilesBound is Quantiles with an acceptable error bound, with the
+// same tier semantics as AggBound; each answer's [Lo, Hi] band is
+// composed from the data that actually answered.
+func (q *QueryClient) QuantilesBound(series string, dim int, t0, t1, bound float64, qs ...float64) ([]QuantileValue, error) {
 	if series != "*" {
 		if err := validateName(series); err != nil {
 			return nil, err
@@ -426,8 +443,8 @@ func (q *QueryClient) Quantiles(series string, dim int, t0, t1 float64, qs ...fl
 	if len(qs) == 0 {
 		return nil, fmt.Errorf("%w: no quantiles requested", ErrProtocol)
 	}
-	items, err := q.doMulti(fmt.Sprintf("QUANTILE %s %d %s %s%s",
-		series, dim, floatWord(t0), floatWord(t1), floatsWord(qs)))
+	items, err := q.doMulti(fmt.Sprintf("QUANTILE %s %d %s %s%s%s",
+		series, dim, floatWord(t0), floatWord(t1), floatsWord(qs), boundWord(bound)))
 	if err != nil {
 		return nil, err
 	}
@@ -516,10 +533,19 @@ func (q *QueryClient) Series() ([]SeriesInfo, error) {
 
 // Scan returns the stored segments overlapping [t0, t1].
 func (q *QueryClient) Scan(series string, t0, t1 float64) ([]core.Segment, error) {
+	return q.ScanBound(series, t0, t1, 0)
+}
+
+// ScanBound is Scan with an acceptable error bound: a server keeping
+// rollup tiers may return the coarser tier's segments — far fewer of
+// them — when the tier's precision fits inside bound in every
+// dimension. bound ≤ 0 requests the base segments.
+func (q *QueryClient) ScanBound(series string, t0, t1, bound float64) ([]core.Segment, error) {
 	if err := validateName(series); err != nil {
 		return nil, err
 	}
-	items, err := q.doMulti(fmt.Sprintf("SCAN %s %s %s", series, floatWord(t0), floatWord(t1)))
+	items, err := q.doMulti(fmt.Sprintf("SCAN %s %s %s%s",
+		series, floatWord(t0), floatWord(t1), boundWord(bound)))
 	if err != nil {
 		return nil, err
 	}
@@ -596,6 +622,15 @@ func (q *QueryClient) Metrics() ([]ShardMetrics, error) {
 		out = append(out, sm)
 	}
 	return out, nil
+}
+
+// boundWord renders the optional trailing BOUND argument (empty for
+// bound ≤ 0, the base-precision default).
+func boundWord(bound float64) string {
+	if bound <= 0 {
+		return ""
+	}
+	return " BOUND " + floatWord(bound)
 }
 
 func parseFloats(fields []string) ([]float64, error) {

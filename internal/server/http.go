@@ -107,6 +107,15 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	emitc("plad_query_windows_built_total", "Summary windows built from segments on demand.", qc.BuiltWindows)
 	emitc("plad_query_segments_walked_total", "Segments folded individually (range edges, partial windows, unsealed tails).", qc.WalkedSegments)
 
+	// Rollup-tier health: builds and re-encoded segments say the sweep is
+	// keeping tiers fresh; tier hits say bound-carrying queries actually
+	// land on them.
+	if m.RollupActive {
+		emitc("plad_rollup_builds_total", "Rollup passes that extended or rebuilt a tier.", m.RollupBuilds)
+		emitc("plad_rollup_segments_total", "Coarse segments written by rollup passes.", m.RollupSegments)
+		emitc("plad_rollup_tier_hits_total", "Query computations served from a rollup tier instead of the base series.", qc.TierHits)
+	}
+
 	// Extent-store counters (mmap backend only): the compaction policy
 	// and fence-index hit rate, observable in production.
 	if m.MStoreActive {
@@ -114,5 +123,52 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		emitc("plad_mstore_compactions_total", "Background extent merges committed.", int64(m.MStore.Compactions))
 		emitc("plad_mstore_compacted_bytes_total", "Bytes of small extent files merged away by compaction.", int64(m.MStore.CompactedBytes))
 		emitc("plad_mstore_index_jumps_total", "Sealed-archive lookups served via the learned fence index.", int64(m.MStore.IndexJumps))
+		if m.RollupActive {
+			fmt.Fprintf(w, "# HELP plad_rollup_extents Live mapped extent files belonging to rollup tiers.\n# TYPE plad_rollup_extents gauge\nplad_rollup_extents %d\n", m.MStore.RollupExtents)
+		}
+	}
+}
+
+// MetricNames lists every metric name `/metrics` can emit, in exposition
+// order. It is the contract the operations documentation is checked
+// against (`make docs-check`), and a test asserts it matches a live
+// scrape of a fully-featured server so the two cannot drift.
+func MetricNames() []string {
+	return []string{
+		"plad_sessions_active",
+		"plad_sessions_total",
+		"plad_transport_sessions_total",
+		"plad_transport_segments_total",
+		"plad_udp_datagrams_total",
+		"plad_udp_drops_total",
+		"plad_udp_dups_total",
+		"plad_udp_out_of_window_total",
+		"plad_shard_queue_depth",
+		"plad_shard_queue_capacity",
+		"plad_shard_segments_total",
+		"plad_shard_points_total",
+		"plad_shard_rejected_total",
+		"plad_shard_dropped_total",
+		"plad_shard_wire_bytes_total",
+		"plad_shard_barriers_total",
+		"plad_shard_commits_total",
+		"plad_shard_wal_bytes_total",
+		"plad_shard_wal_fsyncs_total",
+		"plad_shard_lag_sessions",
+		"plad_shard_lag_pending_points",
+		"plad_shard_lag_updates_total",
+		"plad_query_agg_total",
+		"plad_query_quantile_total",
+		"plad_query_windows_cached_total",
+		"plad_query_windows_built_total",
+		"plad_query_segments_walked_total",
+		"plad_rollup_builds_total",
+		"plad_rollup_segments_total",
+		"plad_rollup_tier_hits_total",
+		"plad_mstore_extents",
+		"plad_mstore_compactions_total",
+		"plad_mstore_compacted_bytes_total",
+		"plad_mstore_index_jumps_total",
+		"plad_rollup_extents",
 	}
 }

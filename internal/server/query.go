@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"strconv"
 	"strings"
@@ -21,9 +22,9 @@ import (
 //	AT <series> <t>              → "OK v0 v1 ..." | "ERR no data ..."
 //	MEAN <series> <dim> <t0> <t1> → "OK value eps covered segments stale"
 //	MIN / MAX (same shape)       → "OK value eps covered segments stale"
-//	AGG <op> <series|*> <dim> <t0> <t1> → "OK value bound count segments windows stale"
-//	QUANTILE <series|*> <dim> <t0> <t1> <q>... → items "q value lo hi stale"
-//	SCAN <series> <t0> <t1>      → items "t0 t1 connected points provisional x0... x1..."
+//	AGG <op> <series|*> <dim> <t0> <t1> [BOUND <b>] → "OK value bound count segments windows stale"
+//	QUANTILE <series|*> <dim> <t0> <t1> <q>... [BOUND <b>] → items "q value lo hi stale"
+//	SCAN <series> <t0> <t1> [BOUND <b>] → items "t0 t1 connected points provisional x0... x1..."
 //	LAG <series>                 → "OK consumed final pending stale bound"
 //	METRICS                      → items "shard segments points rejected dropped bytes qlen qcap lagsess lagpts lagupd"
 //	QUIT                         → "OK bye", connection closes
@@ -47,6 +48,18 @@ import (
 // QUANTILE row's [lo, hi] band is guaranteed to contain the true
 // quantile of the original samples — rank uncertainty, sketch slack,
 // and the ingest filter's ±ε are all composed in.
+//
+// The optional trailing BOUND argument on SCAN, AGG and QUANTILE
+// declares the caller's acceptable per-sample error bound. When the
+// server keeps rollup tiers (Config.RollupTiers) it answers from the
+// coarsest tier whose precision fits inside the bound and whose
+// coverage spans the queried range, reading far fewer segments;
+// otherwise — and always without BOUND, whose default is the base ε —
+// the base series answers. Either way the reply's bound field (and
+// each quantile's [lo, hi] band) is composed from the data that
+// actually answered, so it stays honest: a tier-served AGG carries the
+// tier's ±m·ε plus an explicit slack for coarse segments only partially
+// inside the range. BOUND 0 forces the base tier.
 //
 // Reply widening: the staleness extension appended fields to the
 // aggregate replies (4 → 5), METRICS rows (8 → 11) and SCAN rows (the
@@ -176,8 +189,13 @@ func (s *Server) query(w *bufio.Writer, cmd string, args []string) {
 		fmt.Fprintf(w, "OK %s %s %s %d %d\n",
 			floatWord(res.Value), floatWord(res.Epsilon), floatWord(res.Covered), res.Segments, sr.Staleness())
 	case "AGG":
+		args, bound, err := stripBound(args)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
 		if len(args) != 5 {
-			fmt.Fprintf(w, "ERR want AGG op series dim t0 t1, got %d args\n", len(args))
+			fmt.Fprintf(w, "ERR want AGG op series dim t0 t1 [BOUND b], got %d args\n", len(args))
 			return
 		}
 		op := strings.ToLower(args[0])
@@ -196,7 +214,7 @@ func (s *Server) query(w *bufio.Writer, cmd string, args []string) {
 			fmt.Fprintf(w, "ERR bad range %q %q\n", args[3], args[4])
 			return
 		}
-		res, err := s.engine.Aggregate(args[1], dim, t0, t1)
+		res, err := s.engine.AggregateBound(args[1], dim, t0, t1, bound)
 		if err != nil {
 			if errors.Is(err, tsdb.ErrNoData) {
 				fmt.Fprintf(w, "ERR no data in [%v, %v]\n", t0, t1)
@@ -210,8 +228,13 @@ func (s *Server) query(w *bufio.Writer, cmd string, args []string) {
 			floatWord(val), floatWord(bound), int64(res.Agg.Count), res.Agg.Segments,
 			res.Stats.CachedWindows+res.Stats.BuiltWindows, res.Stale)
 	case "QUANTILE":
+		args, bound, err := stripBound(args)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
 		if len(args) < 5 {
-			fmt.Fprintf(w, "ERR want QUANTILE series dim t0 t1 q..., got %d args\n", len(args))
+			fmt.Fprintf(w, "ERR want QUANTILE series dim t0 t1 q... [BOUND b], got %d args\n", len(args))
 			return
 		}
 		dim, err := strconv.Atoi(args[1])
@@ -232,7 +255,7 @@ func (s *Server) query(w *bufio.Writer, cmd string, args []string) {
 				return
 			}
 		}
-		res, err := s.engine.Quantiles(args[0], dim, t0, t1, qs)
+		res, err := s.engine.QuantilesBound(args[0], dim, t0, t1, qs, bound)
 		if err != nil {
 			if errors.Is(err, tsdb.ErrNoData) {
 				fmt.Fprintf(w, "ERR no data in [%v, %v]\n", t0, t1)
@@ -248,6 +271,11 @@ func (s *Server) query(w *bufio.Writer, cmd string, args []string) {
 		}
 		fmt.Fprintln(w, ".")
 	case "SCAN":
+		args, bound, err := stripBound(args)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
 		sr, rest, err := s.queriedSeries(args, 2)
 		if err != nil {
 			fmt.Fprintf(w, "ERR %v\n", err)
@@ -259,6 +287,9 @@ func (s *Server) query(w *bufio.Writer, cmd string, args []string) {
 			fmt.Fprintf(w, "ERR bad range %q %q\n", rest[0], rest[1])
 			return
 		}
+		// A scan has no single queried dimension, so a tier must satisfy
+		// the bound in every one to stand in for the base.
+		sr, _ = s.engine.TierFor(sr, -1, t0, t1, bound)
 		segs, err := sr.Scan(t0, t1)
 		if err != nil {
 			fmt.Fprintf(w, "ERR %v\n", err)
@@ -298,23 +329,50 @@ func validAggOp(op string) bool {
 	return false
 }
 
+// stripBound splits an optional trailing "BOUND <b>" pair off a query's
+// argument list. Absent, the bound is 0 — base precision.
+func stripBound(args []string) (rest []string, bound float64, err error) {
+	n := len(args)
+	if n < 2 || !strings.EqualFold(args[n-2], "BOUND") {
+		return args, 0, nil
+	}
+	bound, err = strconv.ParseFloat(args[n-1], 64)
+	if err != nil || math.IsNaN(bound) || bound < 0 {
+		return nil, 0, fmt.Errorf("bad bound %q", args[n-1])
+	}
+	return args[:n-2], bound, nil
+}
+
 // aggValue extracts the requested statistic from a pushdown answer,
 // along with its composed precision bound: min/max/avg carry the
 // contributing series' worst per-sample ±ε, sum scales it by the sample
-// count, and count is exact.
+// count, and count is exact. A tier-served answer additionally absorbs
+// the tier-edge slacks: partially covered coarse segments can shift up
+// to CountSlack canonical samples across the range boundary (each worth
+// at most the observed value range plus the precision width) and drift
+// clipped chord endpoints by up to ValueSlack.
 func aggValue(res query.AggResult, op string) (val, bound float64) {
 	a := res.Agg
+	cs, vs := float64(res.CountSlack), res.ValueSlack
 	switch op {
 	case "min":
-		return a.Min, res.Epsilon
+		return a.Min, res.Epsilon + vs
 	case "max":
-		return a.Max, res.Epsilon
+		return a.Max, res.Epsilon + vs
 	case "avg":
-		return a.Mean(), res.Epsilon
+		bound = res.Epsilon + vs
+		if cs > 0 && a.Count > 0 {
+			bound += cs / a.Count * ((a.Max-a.Min)/2 + res.Epsilon + vs)
+		}
+		return a.Mean(), bound
 	case "sum":
-		return a.Sum, res.Epsilon * a.Count
+		bound = res.Epsilon * a.Count
+		if cs > 0 {
+			bound += cs * (math.Max(math.Abs(a.Min), math.Abs(a.Max)) + res.Epsilon + vs)
+		}
+		return a.Sum, bound
 	default: // count
-		return a.Count, 0
+		return a.Count, cs
 	}
 }
 

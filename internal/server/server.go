@@ -136,6 +136,12 @@ type Config struct {
 	// NoFenceIndex disables the mmap backend's learned fence index
 	// over extent start times — a benchmarking knob.
 	NoFenceIndex bool
+	// RollupTiers is the rollup precision ladder: for each multiplier m
+	// (> 1) listed, WAL compaction re-encodes every sealed series at
+	// m× its base ε into a rollup tier, and bound-carrying queries may
+	// be answered from the coarsest tier whose precision still fits the
+	// requested bound. Empty disables rollups.
+	RollupTiers []int
 	// Logf, when set, receives one line per abnormal session end and per
 	// recovery/compaction event.
 	Logf func(format string, args ...any)
@@ -226,6 +232,7 @@ func New(db *tsdb.Archive, cfg Config) (*Server, error) {
 	}
 	s.db = db
 	s.engine = query.New(db)
+	db.EnableRollups(cfg.RollupTiers)
 	if cfg.DataDir != "" {
 		st, stats, err := wal.Open(cfg.DataDir, cfg.Shards, db, wal.Options{
 			Policy:   cfg.Sync,
@@ -633,6 +640,12 @@ type Metrics struct {
 	// either way until something seals).
 	MStoreActive bool
 	MStore       mmapstore.DirMetrics
+	// RollupActive reports whether a rollup ladder is configured;
+	// RollupBuilds and RollupSegments count rollup passes that extended
+	// a tier and the tier segments they appended.
+	RollupActive   bool
+	RollupBuilds   int64
+	RollupSegments int64
 }
 
 // Metrics snapshots every shard's counters.
@@ -655,6 +668,12 @@ func (s *Server) Metrics() Metrics {
 		m.MStoreActive = true
 		m.MStore = s.mm.Metrics()
 	}
+	if len(s.db.RollupMults()) > 0 {
+		m.RollupActive = true
+	}
+	rc := s.db.RollupCountersSnapshot()
+	m.RollupBuilds = rc.Builds
+	m.RollupSegments = rc.Segments
 	for i, sh := range s.shards {
 		sm := sh.metrics()
 		m.Shards[i] = sm

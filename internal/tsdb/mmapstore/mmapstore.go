@@ -60,6 +60,7 @@ type Dir struct {
 	// Observability counters; atomic because stores mutate under their
 	// own series locks while /metrics scrapes concurrently.
 	extents        atomic.Int64
+	rollupExtents  atomic.Int64
 	compactions    atomic.Uint64
 	compactedBytes atomic.Uint64
 	indexJumps     atomic.Uint64
@@ -96,6 +97,7 @@ type Config struct {
 // counters.
 type DirMetrics struct {
 	Extents        int64  // mapped live extents across open stores
+	RollupExtents  int64  // subset of Extents belonging to rollup tier series
 	Compactions    uint64 // committed background merges
 	CompactedBytes uint64 // bytes of retired extent files merged away
 	IndexJumps     uint64 // sealed lookups served via the fence index
@@ -122,6 +124,7 @@ func OpenWith(root string, cfg Config, logf func(format string, args ...any)) (*
 func (d *Dir) Metrics() DirMetrics {
 	return DirMetrics{
 		Extents:        d.extents.Load(),
+		RollupExtents:  d.rollupExtents.Load(),
 		Compactions:    d.compactions.Load(),
 		CompactedBytes: d.compactedBytes.Load(),
 		IndexJumps:     d.indexJumps.Load(),
@@ -184,6 +187,7 @@ func (d *Dir) openLocked(name string, eps []float64, constant bool) *Store {
 		dir:      filepath.Join(d.root, seriesDirName(name)),
 		eps:      append([]float64(nil), eps...),
 		constant: constant,
+		rollup:   tsdb.IsRollupName(name),
 	}
 	if err := st.open(); err != nil {
 		// The factory cannot fail; a series whose on-disk leftovers do
@@ -192,7 +196,7 @@ func (d *Dir) openLocked(name string, eps []float64, constant bool) *Store {
 		d.logf("mstore: %s: resetting unreadable series state: %v", name, err)
 		st.reset()
 	}
-	d.extents.Add(int64(len(st.exts)))
+	st.addExtents(int64(len(st.exts)))
 	d.stores[name] = st
 	return st
 }
@@ -205,7 +209,7 @@ func (d *Dir) Remove(name string) error {
 	defer d.mu.Unlock()
 	if st, ok := d.stores[name]; ok {
 		st.unmapAll()
-		d.extents.Add(-int64(len(st.exts)))
+		st.addExtents(-int64(len(st.exts)))
 		delete(d.stores, name)
 	}
 	dir := filepath.Join(d.root, seriesDirName(name))
@@ -283,7 +287,7 @@ func (d *Dir) Close() error {
 	defer d.mu.Unlock()
 	for _, st := range d.stores {
 		st.unmapAll()
-		d.extents.Add(-int64(len(st.exts)))
+		st.addExtents(-int64(len(st.exts)))
 	}
 	d.stores = make(map[string]*Store)
 	return nil
@@ -319,6 +323,7 @@ type Store struct {
 	dir      string
 	eps      []float64
 	constant bool
+	rollup   bool // the series is a rollup tier (tracked separately in metrics)
 
 	exts       []*extent
 	cumLive    []int     // cumLive[i] = live records in exts[:i]
@@ -336,6 +341,16 @@ type Store struct {
 	gen uint64
 
 	tail []core.Segment
+}
+
+// addExtents adjusts the Dir's live-extent gauges by delta, keeping
+// the rollup-tier sub-gauge in step for tier stores. Every site that
+// changes a store's extent count goes through here.
+func (st *Store) addExtents(delta int64) {
+	st.d.extents.Add(delta)
+	if st.rollup {
+		st.d.rollupExtents.Add(delta)
+	}
 }
 
 // open maps whatever state the series directory holds.
@@ -854,7 +869,7 @@ func (st *Store) persist(survivors, retired []*extent) {
 		e.retire(st.d.logf)
 	}
 	syncDir(st.dir, st.d.logf)
-	st.d.extents.Add(int64(len(survivors) - len(st.exts)))
+	st.addExtents(int64(len(survivors) - len(st.exts)))
 	st.exts = append(st.exts[:0:0], survivors...)
 	st.recount()
 	st.fence = fence

@@ -1,0 +1,473 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// Rollup tiers: each base series can carry derived series re-encoded at
+// a coarser precision — the base segments' breakpoint stream run back
+// through the same filter family at ε_rerun = (mult−1)·ε. Because both
+// the base reconstruction and the tier are piece-wise linear, and every
+// tier breakpoint sits at a base breakpoint time, the filter's per-point
+// guarantee at the pushed breakpoints extends to a sup-norm bound over
+// the whole covered span: |tier(t) − base(t)| ≤ (mult−1)·ε everywhere.
+// Composed with the base contract, a tier honestly answers queries at
+// ±mult·ε — which is exactly the ε vector the tier series is created
+// with, so every downstream bound composition (aggregate bands, sketch
+// merges with εNew = max(ε1, ε2), quantile widening) needs no special
+// casing.
+//
+// Tier series are derived data: they are registered outside the
+// archive's visible namespace (Names, "*" fan-out and SERIES listings
+// never show them), never written ahead to the WAL, and always
+// rebuildable from the base. Under the mmap backend they persist as
+// ordinary extents + sketch sidecars in their own hashed series
+// directory and are re-attached by LoadInto on recovery; under the
+// in-memory backend they are rebuilt by the first rollup pass after a
+// restart.
+
+// rollupPrefix opens every tier series name. It contains a control
+// character, which validateName-style ingest checks reject in user
+// series names, so a tier name can never collide with one.
+const rollupPrefix = "\x01r"
+
+// rollupSep separates the multiplier from the base name.
+const rollupSep = "\x01"
+
+// RollupName returns the reserved series name of the mult× rollup tier
+// of base.
+func RollupName(base string, mult int) string {
+	return rollupPrefix + strconv.Itoa(mult) + rollupSep + base
+}
+
+// ParseRollupName splits a tier series name into its base name and
+// multiplier; ok is false for ordinary series names.
+func ParseRollupName(name string) (base string, mult int, ok bool) {
+	s, found := strings.CutPrefix(name, rollupPrefix)
+	if !found {
+		return "", 0, false
+	}
+	ms, rest, found := strings.Cut(s, rollupSep)
+	if !found {
+		return "", 0, false
+	}
+	m, err := strconv.Atoi(ms)
+	if err != nil || m < 2 || rest == "" {
+		return "", 0, false
+	}
+	return rest, m, true
+}
+
+// IsRollupName reports whether name addresses a rollup tier.
+func IsRollupName(name string) bool {
+	_, _, ok := ParseRollupName(name)
+	return ok
+}
+
+// EnableRollups configures the archive's rollup ladder: the precision
+// multipliers (each > 1, e.g. 4 and 16) that Rollup builds a tier for.
+// An empty or nil ladder disables rollup builds; tiers already attached
+// keep answering queries.
+func (a *Archive) EnableRollups(mults []int) {
+	ladder := make([]int, 0, len(mults))
+	for _, m := range mults {
+		if m > 1 {
+			ladder = append(ladder, m)
+		}
+	}
+	sort.Ints(ladder)
+	a.mu.Lock()
+	a.ladder = ladder
+	a.mu.Unlock()
+}
+
+// RollupMults returns the configured ladder (ascending), nil when
+// rollups are disabled.
+func (a *Archive) RollupMults() []int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return append([]int(nil), a.ladder...)
+}
+
+// Tier returns the mult× rollup tier of the named base series, if one
+// is attached.
+func (a *Archive) Tier(base string, mult int) (*Series, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	s, ok := a.tiers[RollupName(base, mult)]
+	return s, ok
+}
+
+// Tiers returns the attached rollup tiers of the named base series,
+// coarsest (largest multiplier) first — the probe order of bound-aware
+// tier selection.
+func (a *Archive) Tiers(base string) []*Series {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	type tier struct {
+		mult int
+		s    *Series
+	}
+	var out []tier
+	for name, s := range a.tiers {
+		if b, m, ok := ParseRollupName(name); ok && b == base {
+			out = append(out, tier{m, s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].mult > out[j].mult })
+	ts := make([]*Series, len(out))
+	for i, t := range out {
+		ts[i] = t.s
+	}
+	return ts
+}
+
+// TierNames returns the names of every attached tier series, sorted —
+// the persistence-layer view Names deliberately hides.
+func (a *Archive) TierNames() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]string, 0, len(a.tiers))
+	for n := range a.tiers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RollupCounters is a snapshot of the archive's lifetime rollup
+// accounting.
+type RollupCounters struct {
+	// Builds counts rollup passes that extended at least one tier.
+	Builds int64
+	// Segments counts tier segments appended over the archive lifetime.
+	Segments int64
+}
+
+// RollupCountersSnapshot returns the archive's lifetime rollup
+// accounting.
+func (a *Archive) RollupCountersSnapshot() RollupCounters {
+	return RollupCounters{
+		Builds:   a.rollupBuilds.Load(),
+		Segments: a.rollupSegments.Load(),
+	}
+}
+
+// RollupStats reports what one Rollup call did.
+type RollupStats struct {
+	// Tiers is how many tier series were extended.
+	Tiers int
+	// Segments is how many coarse segments were appended across them.
+	Segments int
+}
+
+// Rollup extends every configured tier of the named base series with
+// the base's finalized segments the tier does not cover yet, creating
+// missing tier series on the way. It is incremental: each pass
+// re-encodes only the base breakpoints past the tier's covered end, and
+// a pass over an up-to-date tier is a cheap no-op. Called from the WAL
+// compaction sweep alongside sealing; safe to call concurrently with
+// ingest on the base series (the pass reads a finalized-prefix snapshot
+// and the next pass catches whatever lands in between).
+func (a *Archive) Rollup(name string) (RollupStats, error) {
+	var st RollupStats
+	mults := a.RollupMults()
+	if len(mults) == 0 || IsRollupName(name) {
+		return st, nil
+	}
+	base, err := a.Get(name)
+	if err != nil {
+		return st, err
+	}
+	for _, mult := range mults {
+		tier, err := a.ensureTier(base, mult)
+		if err != nil {
+			return st, err
+		}
+		n, err := a.extendTier(base, tier, mult)
+		if err != nil {
+			return st, fmt.Errorf("tsdb: rollup %d× of %q: %w", mult, name, err)
+		}
+		if n > 0 {
+			st.Tiers++
+			st.Segments += n
+		}
+	}
+	if st.Segments > 0 {
+		a.rollupBuilds.Add(1)
+		a.rollupSegments.Add(int64(st.Segments))
+	}
+	return st, nil
+}
+
+// ensureTier returns the mult× tier series of base, creating (or, on a
+// ladder change that altered its contract, resetting) it as needed.
+func (a *Archive) ensureTier(base *Series, mult int) (*Series, error) {
+	name := RollupName(base.Name(), mult)
+	eps := make([]float64, base.Dim())
+	for i, e := range base.Epsilon() {
+		eps[i] = float64(mult) * e
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if t, ok := a.tiers[name]; ok {
+		if t.matches(eps, base.Constant()) == nil {
+			return t, nil
+		}
+		// A recovered tier built under a different base contract: derived
+		// data, so drop and rebuild rather than refuse.
+		delete(a.tiers, name)
+	}
+	return a.createLocked(name, eps, base.Constant()), nil
+}
+
+// extendTier re-encodes base's uncovered finalized breakpoints into
+// tier. Returns how many coarse segments were appended.
+func (a *Archive) extendTier(base, tier *Series, mult int) (int, error) {
+	baseT0, baseT1, baseOK := base.finalSpan()
+	tierT0, tierT1, tierOK := tier.Span()
+	if tierOK {
+		if !baseOK || tierT1 > baseT1 {
+			// The tier claims coverage past the base's finalized end — the
+			// base shrank underneath it (a reconciliation replaced it, or
+			// retention emptied it). Stale derived data: reset and rebuild.
+			tier.DropBefore(inf())
+			tierOK = false
+		} else if tierT0 < baseT0 {
+			// Base retention moved on; the tier must never answer for time
+			// the base has forgotten.
+			tier.DropBefore(baseT0)
+		}
+	}
+	resumeAfter := infNeg()
+	if tierOK {
+		resumeAfter = tierT1
+	}
+	segs := base.finalAfter(resumeAfter)
+	if len(segs) == 0 {
+		return 0, nil
+	}
+	coarse, err := rollupSegments(segs, base.Epsilon(), base.Constant(), mult)
+	if err != nil {
+		return 0, err
+	}
+	if len(coarse) == 0 {
+		return 0, nil
+	}
+	if err := tier.Append(coarse...); err != nil {
+		return 0, err
+	}
+	return len(coarse), nil
+}
+
+// rollupSegments re-encodes a batch of finalized base segments at
+// mult× their precision contract: the segments' breakpoint stream is
+// run through a fresh filter of the base's family at ε_rerun =
+// (mult−1)·ε, runs are cut wherever the base chain breaks (a time gap,
+// or a disconnected recording pair at a shared time), and each coarse
+// segment's Points is the sum of the base segments it covers — so a
+// tier's sample count over fully covered coarse segments matches the
+// base exactly.
+func rollupSegments(segs []core.Segment, eps []float64, constant bool, mult int) ([]core.Segment, error) {
+	rerun := make([]float64, len(eps))
+	for i, e := range eps {
+		rerun[i] = float64(mult-1) * e
+	}
+	var out []core.Segment
+	for lo := 0; lo < len(segs); {
+		hi := lo + 1
+		for hi < len(segs) && chains(segs[hi-1], segs[hi], constant) {
+			hi++
+		}
+		coarse, err := rollupRun(segs[lo:hi], rerun, constant)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, coarse...)
+		lo = hi
+	}
+	return out, nil
+}
+
+// chains reports whether next continues prev's breakpoint chain. Linear
+// runs require a shared endpoint (same time, same values): bridging a
+// coverage gap with an interpolating line would invent sample values
+// where the base has none. Piece-wise constant runs may span the gap —
+// the cache filter's prediction holds across it, and no base samples
+// exist strictly inside it — so constant series chain unconditionally.
+func chains(prev, next core.Segment, constant bool) bool {
+	if constant {
+		return next.T0 > prev.T1 || (next.T0 == prev.T1 && next.T1 > prev.T1)
+	}
+	if next.T0 != prev.T1 {
+		return false
+	}
+	for d := range next.X0 {
+		if next.X0[d] != prev.X1[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// rollupRun re-encodes one unbroken run of base segments. A single
+// segment passes through as a copy (re-filtering two breakpoints could
+// only reproduce it); longer runs push the shared breakpoints through a
+// fresh filter and redistribute Points onto the coarse segments by
+// coverage.
+func rollupRun(run []core.Segment, rerun []float64, constant bool) ([]core.Segment, error) {
+	if len(run) == 1 {
+		seg := run[0]
+		seg.X0 = append([]float64(nil), seg.X0...)
+		seg.X1 = append([]float64(nil), seg.X1...)
+		seg.Connected = false
+		seg.Provisional = false
+		return []core.Segment{seg}, nil
+	}
+	pts := breakpoints(run, constant)
+	var f core.Filter
+	var err error
+	if constant {
+		f, err = core.NewCache(rerun, core.WithCacheMode(core.CacheMidrange))
+	} else {
+		f, err = core.NewSwing(rerun)
+	}
+	if err != nil {
+		return nil, err
+	}
+	coarse, err := core.Run(f, pts)
+	if err != nil {
+		return nil, err
+	}
+	assignPoints(coarse, run)
+	return coarse, nil
+}
+
+// breakpoints flattens a run into its breakpoint stream: the first
+// segment's start, then every segment's end, skipping zero-duration
+// steps so the times stay strictly increasing (as filters require).
+func breakpoints(run []core.Segment, constant bool) []core.Point {
+	pts := make([]core.Point, 0, len(run)+1)
+	push := func(t float64, x []float64) {
+		if len(pts) > 0 && t <= pts[len(pts)-1].T {
+			return
+		}
+		pts = append(pts, core.Point{T: t, X: append([]float64(nil), x...)})
+	}
+	push(run[0].T0, run[0].X0)
+	for _, seg := range run {
+		if constant && seg.T0 != run[0].T0 {
+			// Constant runs chain across value steps: each segment's start
+			// is its own breakpoint (the step), not shared with the
+			// predecessor's end.
+			push(seg.T0, seg.X0)
+		}
+		push(seg.T1, seg.X1)
+	}
+	return pts
+}
+
+// assignPoints conserves the sample count: each coarse segment's Points
+// becomes the sum over the base segments its span covers. Coarse
+// breakpoints are base breakpoints, and both sequences tile the run, so
+// a simple two-pointer sweep assigns every base segment exactly once
+// (ties — a base segment ending exactly at a coarse boundary — go
+// left, matching the base's own interval accounting). It also rewrites
+// the Connected flags: a run's first coarse segment stands alone, the
+// rest chain.
+func assignPoints(coarse, run []core.Segment) {
+	j := 0
+	for k := range coarse {
+		pts := 0
+		for j < len(run) && run[j].T1 <= coarse[k].T1 {
+			pts += run[j].Points
+			j++
+		}
+		if k == len(coarse)-1 {
+			// Whatever remains belongs to the last coarse segment (guards
+			// against float asymmetries at the final boundary).
+			for ; j < len(run); j++ {
+				pts += run[j].Points
+			}
+		}
+		coarse[k].Points = pts
+		coarse[k].Connected = k > 0
+		coarse[k].Provisional = false
+	}
+}
+
+// finalSpan returns the time span of the series' finalized segments.
+func (s *Series) finalSpan() (t0, t1 float64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := s.store.Len() - s.provisional
+	if n == 0 {
+		return 0, 0, false
+	}
+	return s.store.Seg(0).T0, s.store.Seg(n - 1).T1, true
+}
+
+// finalAfter snapshots the finalized segments whose coverage extends
+// past t — the increment a rollup pass still has to encode.
+func (s *Series) finalAfter(t float64) []core.Segment {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := s.store.Len() - s.provisional
+	i := s.searchT0(t)
+	for i > 0 && s.store.Seg(i-1).T1 > t {
+		i--
+	}
+	if i >= n {
+		return nil
+	}
+	out := make([]core.Segment, 0, n-i)
+	for ; i < n; i++ {
+		out = append(out, s.store.Seg(i))
+	}
+	return out
+}
+
+// RangeEdges returns the stored segments that only partially overlap
+// [t0, t1] — at most one on each side, given non-overlapping segments.
+// Bound-aware tier answers use them to compose an honest slack for the
+// sample-count redistribution a partially covered coarse segment can
+// introduce.
+func (s *Series) RangeEdges(t0, t1 float64) []core.Segment {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := s.store.Len()
+	// Leftmost overlapping segment, and rightmost starting inside the
+	// range — two index probes; the covered interior never matters here.
+	lo := s.searchT0(t0)
+	for lo > 0 && s.store.Seg(lo-1).T1 >= t0 {
+		lo--
+	}
+	hi := s.searchT0(t1) - 1
+	var out []core.Segment
+	add := func(i int) {
+		if i < 0 || i >= n {
+			return
+		}
+		seg := s.store.Seg(i)
+		if seg.T1 < t0 || seg.T0 > t1 {
+			return
+		}
+		if seg.T0 < t0 || seg.T1 > t1 {
+			out = append(out, seg)
+		}
+	}
+	add(lo)
+	if hi > lo {
+		add(hi)
+	}
+	return out
+}
+
+func inf() float64    { return math.Inf(1) }
+func infNeg() float64 { return math.Inf(-1) }

@@ -1,0 +1,282 @@
+package tsdb
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/gen"
+)
+
+func TestRollupNameScheme(t *testing.T) {
+	name := RollupName("cpu/load", 4)
+	base, mult, ok := ParseRollupName(name)
+	if !ok || base != "cpu/load" || mult != 4 {
+		t.Fatalf("round trip: %q %d %v", base, mult, ok)
+	}
+	for _, s := range []string{"cpu/load", "", "r4", "\x01r", "\x01r4", "\x01rx\x01s", "\x01r1\x01s", "\x01r4\x01"} {
+		if IsRollupName(s) {
+			t.Fatalf("%q should not parse as a rollup name", s)
+		}
+	}
+	if !IsRollupName(RollupName("s", 16)) {
+		t.Fatal("rollup name did not parse")
+	}
+}
+
+func TestEnableRollupsFiltersLadder(t *testing.T) {
+	a := New()
+	a.EnableRollups([]int{16, 1, 4, 0, -3})
+	got := a.RollupMults()
+	if len(got) != 2 || got[0] != 4 || got[1] != 16 {
+		t.Fatalf("ladder = %v, want [4 16]", got)
+	}
+	a.EnableRollups(nil)
+	if len(a.RollupMults()) != 0 {
+		t.Fatal("ladder not cleared")
+	}
+}
+
+// rollupWalk ingests a random-walk signal through Swing and builds the
+// {4,16} ladder over it.
+func rollupWalk(t *testing.T, seed uint64, n int) (*Archive, *Series) {
+	t.Helper()
+	a := New()
+	a.EnableRollups([]int{4, 16})
+	f, err := core.NewSwing([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	signal := gen.RandomWalk(gen.WalkConfig{N: n, P: 0.5, MaxDelta: 1.5, Seed: seed})
+	s, err := a.Ingest("w", f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Rollup("w"); err != nil {
+		t.Fatal(err)
+	}
+	return a, s
+}
+
+// checkTier asserts the two rollup invariants: the tier reconstruction
+// stays within (mult−1)·ε of the base reconstruction at every
+// base-covered time, and the sample count is conserved exactly.
+func checkTier(t *testing.T, base, tier *Series, mult int) {
+	t.Helper()
+	slack := float64(mult-1)*base.Epsilon()[0] + 1e-9
+	t0, t1, ok := base.Span()
+	if !ok {
+		t.Fatal("empty base")
+	}
+	for ts := t0; ts <= t1; ts += (t1 - t0) / 4096 {
+		bv, ok := base.At(ts)
+		if !ok {
+			continue
+		}
+		tv, ok := tier.At(ts)
+		if !ok {
+			t.Fatalf("%d×: t=%v covered by base, not by tier", mult, ts)
+		}
+		if d := math.Abs(tv[0] - bv[0]); d > slack {
+			t.Fatalf("%d×: |tier−base| = %v > %v at t=%v", mult, d, slack, ts)
+		}
+	}
+	if bp, tp := base.FinalPoints(), tier.Points(); bp != tp {
+		t.Fatalf("%d×: points %d, base %d", mult, tp, bp)
+	}
+}
+
+func TestRollupBoundsAndPoints(t *testing.T) {
+	a, s := rollupWalk(t, 7, 6000)
+	tiers := a.Tiers("w")
+	if len(tiers) != 2 {
+		t.Fatalf("tiers = %d, want 2", len(tiers))
+	}
+	// Coarsest first.
+	if tiers[0].Epsilon()[0] != 16 || tiers[1].Epsilon()[0] != 4 {
+		t.Fatalf("tier eps: %v, %v", tiers[0].Epsilon(), tiers[1].Epsilon())
+	}
+	for i, mult := range []int{16, 4} {
+		checkTier(t, s, tiers[i], mult)
+	}
+	// The coarse contract buys fewer segments on this signal shape.
+	if c, b := tiers[0].Len(), s.Len(); c*2 >= b {
+		t.Fatalf("16× tier has %d segments vs base %d — no reduction", c, b)
+	}
+}
+
+func TestRollupTiersInvisible(t *testing.T) {
+	a, _ := rollupWalk(t, 3, 1500)
+	for _, n := range a.Names() {
+		if IsRollupName(n) {
+			t.Fatalf("tier %q leaked into Names", n)
+		}
+	}
+	tn := a.TierNames()
+	if len(tn) != 2 {
+		t.Fatalf("TierNames = %v", tn)
+	}
+	for _, n := range tn {
+		if _, err := a.Get(n); err != nil {
+			t.Fatalf("tier %q not addressable: %v", n, err)
+		}
+	}
+	if _, ok := a.Tier("w", 4); !ok {
+		t.Fatal("Tier(w, 4) missing")
+	}
+	if _, ok := a.Tier("w", 8); ok {
+		t.Fatal("Tier(w, 8) should not exist")
+	}
+}
+
+func TestRollupIdempotentAndIncremental(t *testing.T) {
+	a, s := rollupWalk(t, 11, 3000)
+	tier, _ := a.Tier("w", 4)
+	n := tier.Len()
+	// A second pass over unchanged data is a no-op.
+	st, err := a.Rollup("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments != 0 || tier.Len() != n {
+		t.Fatalf("idempotent pass appended %d (len %d → %d)", st.Segments, n, tier.Len())
+	}
+	// New finalized coverage extends the tier without a rebuild.
+	f, err := core.NewSwing([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt0, bt1, _ := s.Span()
+	more := gen.RandomWalk(gen.WalkConfig{N: 2000, P: 0.5, MaxDelta: 1.5, Seed: 99})
+	for i := range more {
+		more[i].T += bt1 + 5 // leave a gap: a fresh disconnected run
+	}
+	segs, err := core.Run(f, more)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(segs...); err != nil {
+		t.Fatal(err)
+	}
+	if st, err = a.Rollup("w"); err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments == 0 || tier.Len() <= n {
+		t.Fatalf("incremental pass did not extend tier (appended %d)", st.Segments)
+	}
+	checkTier(t, s, tier, 4)
+	_ = bt0
+}
+
+func TestRollupStaleTierReset(t *testing.T) {
+	a, s := rollupWalk(t, 5, 2000)
+	tier, _ := a.Tier("w", 4)
+	// Push the tier's coverage past the base's finalized end — the shape
+	// a reconciliation that replaced the base leaves behind.
+	_, bt1, _ := s.Span()
+	if err := tier.Append(core.Segment{
+		T0: bt1 + 100, T1: bt1 + 200,
+		X0: []float64{0}, X1: []float64{0}, Points: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Rollup("w"); err != nil {
+		t.Fatal(err)
+	}
+	_, tt1, ok := tier.Span()
+	if !ok || tt1 > bt1 {
+		t.Fatalf("stale tier not reset: tier end %v, base end %v", tt1, bt1)
+	}
+	checkTier(t, s, tier, 4)
+}
+
+func TestRollupFollowsRetention(t *testing.T) {
+	a, s := rollupWalk(t, 13, 3000)
+	tier, _ := a.Tier("w", 4)
+	t0, t1, _ := s.Span()
+	cut := t0 + (t1-t0)/2
+	s.DropBefore(cut)
+	if _, err := a.Rollup("w"); err != nil {
+		t.Fatal(err)
+	}
+	// Drops are segment-granular, so a coarse segment spanning the
+	// base's new start survives — but nothing that ends before it may.
+	nt0, _, ok := tier.Span()
+	bt0, _, _ := s.Span()
+	first, _ := firstSeg(tier)
+	if !ok || first.T1 < bt0 {
+		t.Fatalf("tier keeps coverage ending at %v, all before base start %v", first.T1, bt0)
+	}
+	if nt0 == t0 && bt0 != t0 {
+		t.Fatal("tier retention never pruned")
+	}
+}
+
+func firstSeg(s *Series) (core.Segment, bool) {
+	segs := s.Segments()
+	if len(segs) == 0 {
+		return core.Segment{}, false
+	}
+	return segs[0], true
+}
+
+func TestRollupConstantSeries(t *testing.T) {
+	a := New()
+	a.EnableRollups([]int{4})
+	f, err := core.NewCache([]float64{0.5}, core.WithCacheMode(core.CacheMidrange))
+	if err != nil {
+		t.Fatal(err)
+	}
+	signal := gen.RandomWalk(gen.WalkConfig{N: 4000, P: 0.5, MaxDelta: 0.6, Seed: 21})
+	s, err := a.Ingest("c", f, signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Rollup("c"); err != nil {
+		t.Fatal(err)
+	}
+	tier, ok := a.Tier("c", 4)
+	if !ok {
+		t.Fatal("no tier")
+	}
+	if !tier.Constant() {
+		t.Fatal("tier lost the constant flag")
+	}
+	checkTier(t, s, tier, 4)
+	if c, b := tier.Len(), s.Len(); c >= b {
+		t.Fatalf("4× constant tier has %d segments vs base %d", c, b)
+	}
+}
+
+func TestRollupDropCascades(t *testing.T) {
+	a, _ := rollupWalk(t, 17, 800)
+	if err := a.Drop("w"); err != nil {
+		t.Fatal(err)
+	}
+	if n := a.TierNames(); len(n) != 0 {
+		t.Fatalf("tiers survived base drop: %v", n)
+	}
+}
+
+func TestRollupCountersAdvance(t *testing.T) {
+	a, _ := rollupWalk(t, 19, 1500)
+	c := a.RollupCountersSnapshot()
+	if c.Builds == 0 || c.Segments == 0 {
+		t.Fatalf("counters did not advance: %+v", c)
+	}
+}
+
+func TestRollupSkipsTierNamesAndDisabled(t *testing.T) {
+	a := New()
+	if st, err := a.Rollup("missing"); err != nil || st.Segments != 0 {
+		t.Fatalf("disabled rollup: %+v %v", st, err)
+	}
+	a.EnableRollups([]int{4})
+	if _, err := a.Rollup("missing"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("missing base: %v", err)
+	}
+	if st, err := a.Rollup(RollupName("x", 4)); err != nil || st.Segments != 0 {
+		t.Fatalf("rollup of a tier name must no-op: %+v %v", st, err)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/pla-go/pla/internal/core"
 	"github.com/pla-go/pla/internal/sketch"
@@ -53,6 +54,16 @@ type Archive struct {
 	mu       sync.RWMutex
 	series   map[string]*Series
 	newStore func(name string, eps []float64, constant bool) SegmentStore
+
+	// tiers holds rollup tier series (see rollup.go), registered apart
+	// from the user namespace: Names, "*" fan-out, snapshots and WAL
+	// ownership never see them, while Get and persistence recovery (which
+	// address them by their reserved names) do.
+	tiers  map[string]*Series
+	ladder []int // rollup precision multipliers, ascending; nil = disabled
+
+	rollupBuilds   atomic.Int64 // rollup passes that extended a tier
+	rollupSegments atomic.Int64 // tier segments appended, lifetime
 }
 
 // New returns an empty archive backed by in-memory segment stores.
@@ -74,7 +85,11 @@ func NewWithStore(factory func() SegmentStore) *Archive {
 // with those segments; the caller restores its sample counter with
 // SetPoints.
 func NewWithNamedStore(factory func(name string, eps []float64, constant bool) SegmentStore) *Archive {
-	return &Archive{series: make(map[string]*Series), newStore: factory}
+	return &Archive{
+		series:   make(map[string]*Series),
+		tiers:    make(map[string]*Series),
+		newStore: factory,
+	}
 }
 
 // Series is one stored stream: ordered segments plus the precision
@@ -117,17 +132,26 @@ func (a *Archive) Create(name string, eps []float64, constant bool) (*Series, er
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if _, ok := a.series[name]; ok {
+	if _, ok := a.registry(name)[name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
 	return a.createLocked(name, eps, constant), nil
+}
+
+// registry returns the map a series name registers in: rollup tier
+// names live apart from the user namespace. a.mu must be held.
+func (a *Archive) registry(name string) map[string]*Series {
+	if IsRollupName(name) {
+		return a.tiers
+	}
+	return a.series
 }
 
 // createLocked builds and registers a series; a.mu must be held.
 func (a *Archive) createLocked(name string, eps []float64, constant bool) *Series {
 	s := &Series{name: name, eps: append([]float64(nil), eps...), constant: constant}
 	s.store = a.newStore(name, s.eps, constant)
-	a.series[name] = s
+	a.registry(name)[name] = s
 	return s
 }
 
@@ -142,7 +166,7 @@ func (a *Archive) GetOrCreate(name string, eps []float64, constant bool) (s *Ser
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if s, ok := a.series[name]; ok {
+	if s, ok := a.registry(name)[name]; ok {
 		if err := s.matches(eps, constant); err != nil {
 			return nil, false, err
 		}
@@ -167,25 +191,34 @@ func (s *Series) matches(eps []float64, constant bool) error {
 	return nil
 }
 
-// Get returns a series by name.
+// Get returns a series by name; rollup tier names resolve too.
 func (a *Archive) Get(name string) (*Series, error) {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
-	s, ok := a.series[name]
+	s, ok := a.registry(name)[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknown, name)
 	}
 	return s, nil
 }
 
-// Drop removes a series.
+// Drop removes a series; dropping a base series takes its rollup tiers
+// with it (derived data never outlives its source).
 func (a *Archive) Drop(name string) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if _, ok := a.series[name]; !ok {
+	reg := a.registry(name)
+	if _, ok := reg[name]; !ok {
 		return fmt.Errorf("%w: %q", ErrUnknown, name)
 	}
-	delete(a.series, name)
+	delete(reg, name)
+	if !IsRollupName(name) {
+		for tn := range a.tiers {
+			if b, _, ok := ParseRollupName(tn); ok && b == name {
+				delete(a.tiers, tn)
+			}
+		}
+	}
 	return nil
 }
 
@@ -553,13 +586,9 @@ func (s *Series) Span() (t0, t1 float64, ok bool) {
 	if n == 0 {
 		return 0, 0, false
 	}
-	t0 = s.store.Seg(0).T0
-	for i := 0; i < n; i++ {
-		if s1 := s.store.Seg(i).T1; s1 > t1 {
-			t1 = s1
-		}
-	}
-	return t0, t1, true
+	// Appends are validated time-ordered and non-overlapping, so the
+	// last segment carries the covered end.
+	return s.store.Seg(0).T0, s.store.Seg(n - 1).T1, true
 }
 
 // locate returns the index of a segment covering t, or -1.

@@ -187,6 +187,7 @@ func (sh *Shard) snapshot(throughSeq uint64, forceFull bool) error {
 	if n := sh.pruneRetention(); n > 0 {
 		sh.opts.logf("wal: %s: retention dropped %d segments", shardDirName(sh.k), n)
 	}
+	sh.rollupOwned()
 	if sh.mm != nil {
 		if err := sh.sealOwned(); err != nil {
 			return err
@@ -262,6 +263,67 @@ func (sh *Shard) redirty(names []string) {
 	}
 	sh.mu.Unlock()
 }
+
+// rollupOwned extends the rollup tiers of every owned series with the
+// coverage sealed since the last pass and, under the mmap backend,
+// seals (and opportunistically compacts) the tiers' own append tails so
+// the coarse extents persist alongside the base's. Tier data is derived
+// — it is never written ahead to the wal, and a failed or skipped pass
+// only delays coarse coverage until the next trigger — so errors are
+// logged, never a reason to fail the snapshot.
+func (sh *Shard) rollupOwned() {
+	if len(sh.db.RollupMults()) == 0 {
+		return
+	}
+	tiers, segs := 0, 0
+	for _, name := range sh.ownedNames() {
+		st, err := sh.db.Rollup(name)
+		if err != nil {
+			sh.opts.logf("wal: %s: rollup %s: %v", shardDirName(sh.k), name, err)
+			continue
+		}
+		tiers += st.Tiers
+		segs += st.Segments
+	}
+	if segs > 0 {
+		sh.opts.logf("wal: %s: rollup extended %d tiers with %d segments",
+			shardDirName(sh.k), tiers, segs)
+	}
+	if sh.mm == nil {
+		return
+	}
+	for _, name := range sh.db.TierNames() {
+		// A tier hashes by its own reserved name, not its base's, so
+		// ownership is resolved through the base: the shard that builds a
+		// tier also persists it.
+		base, _, ok := tsdb.ParseRollupName(name)
+		if !ok || ShardIndex(base, sh.n) != sh.k {
+			continue
+		}
+		s, err := sh.db.Get(name)
+		if err != nil {
+			continue
+		}
+		if err := s.Seal(); err != nil {
+			sh.opts.logf("wal: %s: seal tier of %s: %v", shardDirName(sh.k), base, err)
+			continue
+		}
+		for r := 0; r < maxTierMerges; r++ {
+			done, err := s.CompactStore()
+			if err != nil {
+				sh.opts.logf("wal: %s: compact tier of %s: %v", shardDirName(sh.k), base, err)
+				break
+			}
+			if !done {
+				break
+			}
+		}
+	}
+}
+
+// maxTierMerges caps extent merges per tier per trigger, mirroring
+// compactOwned's per-series cap.
+const maxTierMerges = 4
 
 // sealOwned folds every owned series' append tail into its extent
 // store. The marker that makes the covered wal files deletable is only
