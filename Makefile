@@ -42,6 +42,8 @@ bench-smoke:
 		-o bench-smoke.json
 	$(GO) run ./cmd/plabench -extent-bench -extent-segments 4000 -server-rounds 2 \
 		-o extent-smoke.json
+	$(GO) run ./cmd/plabench -pressure-bench -pressure-clients 4 -pressure-points 8000 \
+		-pressure-queue 2 -o pressure-smoke.json
 
 # A shrunken archive keeps this on the merge path; the run still
 # cross-checks the pushdown answer against the SCAN-and-fold reference,
@@ -52,12 +54,12 @@ agg-smoke:
 
 # Zero-allocation ratchet for the ingest and query hot loops: every
 # *ZeroAlloc benchmark (frame/record encode, shard apply, datagram
-# header, v2 extent decode) must report exactly 0 allocs/op, or the
-# build fails. A new allocation on these paths is a perf regression
-# even when every test still passes.
+# header, v2 extent decode, sender-side decimation) must report exactly
+# 0 allocs/op, or the build fails. A new allocation on these paths is a
+# perf regression even when every test still passes.
 alloc-check:
 	@out=$$($(GO) test -run NONE -bench ZeroAlloc -benchmem -benchtime 10000x \
-		./internal/encode/ ./internal/server/ ./internal/udpingest/ ./internal/tsdb/mmapstore/); \
+		./internal/core/ ./internal/encode/ ./internal/server/ ./internal/udpingest/ ./internal/tsdb/mmapstore/); \
 	echo "$$out" | grep -E "^Benchmark" || { echo "alloc-check: no ZeroAlloc benchmarks ran"; exit 1; }; \
 	echo "$$out" | awk '/allocs\/op/ { a=""; for (i=1;i<=NF;i++) if ($$i=="allocs/op") a=$$(i-1); \
 		if (a+0 > 0) { print "alloc-check: " $$1 " allocates (" a " allocs/op)"; fail=1 } } \

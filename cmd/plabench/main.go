@@ -12,6 +12,8 @@
 //	plabench -server-agg [-server-agg-segments 85000] [-o AGG.json]
 //	plabench -extent-bench [-extent-segments 85000] [-o BENCH_PR8.json]
 //	plabench -rollup-bench [-rollup-segments 85000] [-o BENCH_PR9.json]
+//	plabench -pressure-bench [-pressure-clients 8] [-pressure-points 4000]
+//	         [-pressure-queue 2] [-o BENCH_PR10.json]
 //
 // -quick shrinks the synthetic workloads for a fast smoke run; the
 // canonical numbers in EXPERIMENTS.md come from the default sizes.
@@ -24,7 +26,11 @@
 // tracking. -server-transport sweeps the ingest wire (loopback TCP vs
 // the PLU1 datagram transport) and -server-cores sweeps GOMAXPROCS per
 // combination, with as many SO_REUSEPORT datagram listeners as cores —
-// the raw-speed scaling picture.
+// the raw-speed scaling picture. -pressure-bench overloads a
+// deliberately starved single-shard server and compares the shed
+// policies (DropNewest vs Sample, with and without an ε byte budget):
+// interval coverage, worst reconstruction error versus the reported
+// effective ε, and the degradation counters.
 package main
 
 import (
@@ -60,9 +66,20 @@ func main() {
 		extSegs    = flag.Int("extent-segments", 85000, "archive size in segments for -extent-bench")
 		rollBench  = flag.Bool("rollup-bench", false, "measure bound-aware tier selection (segments read and AGG latency per rollup tier vs base) and exit")
 		rollSegs   = flag.Int("rollup-segments", 85000, "base archive size in segments for -rollup-bench")
+		pressBench = flag.Bool("pressure-bench", false, "compare shed policies (DropNewest vs Sample) under queue overload and exit")
+		pressCli   = flag.Int("pressure-clients", 8, "concurrent sensors for -pressure-bench")
+		pressPts   = flag.Int("pressure-points", 4000, "points per sensor for -pressure-bench")
+		pressQ     = flag.Int("pressure-queue", 2, "server queue depth for -pressure-bench (small = overloaded)")
 		out        = flag.String("o", "", "write the -server-bench snapshot as JSON to this file")
 	)
 	flag.Parse()
+
+	if *pressBench {
+		if err := pressureBench(*pressCli, *pressPts, *pressQ, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *rollBench {
 		if err := rollupBench(*rollSegs, *srvRounds, *out); err != nil {

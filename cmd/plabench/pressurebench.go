@@ -1,0 +1,256 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/gen"
+	"github.com/pla-go/pla/internal/server"
+	"github.com/pla-go/pla/internal/tsdb"
+)
+
+// PressureResult is one overload-sweep row: the same workload driven at
+// the same server under a different shed policy. The comparison the
+// sweep exists for is Coverage — under DropNewest whole intervals fall
+// out of the archive, while Sample keeps every interval and spends
+// precision instead (ReportedEps widens over ContractEps, and
+// WithinReported confirms the reconstruction error honoured the widened
+// band, i.e. the degradation stayed honest).
+type PressureResult struct {
+	Bench      string `json:"bench"`
+	Policy     string `json:"policy"`
+	Clients    int    `json:"clients"`
+	PointsEach int    `json:"points_each"`
+	QueueDepth int    `json:"queue_depth"`
+	// EpsBudget is the bytes/s budget for the budgeted leg (0 = none).
+	EpsBudget float64 `json:"eps_budget,omitempty"`
+
+	// Coverage is the fraction of ground-truth points whose time falls
+	// inside some stored segment span — interval coverage, the thing
+	// segment drops destroy and decimation preserves.
+	Coverage float64 `json:"coverage"`
+	// MaxErr is the worst |reconstruction − truth| over covered points;
+	// ContractEps the handshake ε; ReportedEps the worst per-series
+	// query-time ε after degradation (equal to contract when nothing
+	// degraded); WithinReported whether MaxErr ≤ ReportedEps.
+	MaxErr         float64 `json:"max_err"`
+	ContractEps    float64 `json:"contract_eps"`
+	ReportedEps    float64 `json:"reported_eps"`
+	WithinReported bool    `json:"within_reported"`
+
+	DroppedSegments int64   `json:"dropped_segments"`
+	ShedPoints      int64   `json:"shed_points"`
+	RetuneFrames    int64   `json:"retune_frames"`
+	WireBytes       int64   `json:"wire_bytes"`
+	Seconds         float64 `json:"seconds"`
+	PointsPerS      float64 `json:"points_per_s"`
+}
+
+// pressureEps is the handshake contract for the sweep: tight enough
+// that a random walk finalizes a segment every couple of points, so the
+// segment rate — not the point rate — is what overloads the queue.
+const pressureEps = 0.05
+
+// pressureBench runs the overload sweep: clients concurrent sensors,
+// each streaming points random-walk samples for its own series, against
+// a deliberately starved server (one shard, a queue of queueDepth
+// segments) — the ~2× overload shape where the shed policy decides what
+// degrades. Three legs: DropNewest (segments lost), Sample (decimation
+// under queue pressure), and Sample with an ε byte budget around half
+// the drop leg's observed rate (precision renegotiated down as well).
+func pressureBench(clients, points, queueDepth int, outPath string) error {
+	if clients < 1 || points < 1 || queueDepth < 1 {
+		return fmt.Errorf("pressure-bench needs ≥1 clients, points and queue depth (got %d/%d/%d)", clients, points, queueDepth)
+	}
+	signals := make([][]core.Point, clients)
+	for c := range signals {
+		signals[c] = gen.RandomWalk(gen.WalkConfig{N: points, P: 0.5, MaxDelta: 0.4, Seed: uint64(c + 1)})
+	}
+	var results []PressureResult
+	drop, err := pressureLeg(server.DropNewest, 0, signals, queueDepth)
+	if err != nil {
+		return fmt.Errorf("drop leg: %w", err)
+	}
+	results = append(results, drop)
+	sample, err := pressureLeg(server.Sample, 0, signals, queueDepth)
+	if err != nil {
+		return fmt.Errorf("sample leg: %w", err)
+	}
+	results = append(results, sample)
+	// The budgeted leg targets half the drop leg's achieved byte rate,
+	// so the budgeter has real work whatever machine this runs on.
+	budget := float64(drop.WireBytes) / drop.Seconds / 2
+	if budget > 0 {
+		budgeted, err := pressureLeg(server.Sample, budget, signals, queueDepth)
+		if err != nil {
+			return fmt.Errorf("budgeted leg: %w", err)
+		}
+		results = append(results, budgeted)
+	}
+	for _, r := range results {
+		fmt.Printf("pressure [%s%s]: coverage %.4f, max err %.4f (contract ε %.2f, reported ε %.4f, honest=%v), %d segments dropped, %d points shed, %d retune frames, %.0f points/s\n",
+			r.Policy, budgetTag(r.EpsBudget), r.Coverage, r.MaxErr, r.ContractEps, r.ReportedEps, r.WithinReported,
+			r.DroppedSegments, r.ShedPoints, r.RetuneFrames, r.PointsPerS)
+	}
+	if outPath == "" {
+		return nil
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote snapshot to %s\n", outPath)
+	return nil
+}
+
+func budgetTag(b float64) string {
+	if b <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("+budget %.0fB/s", b)
+}
+
+// pressureLeg drives one policy over the shared workload and verifies
+// the archive against ground truth.
+func pressureLeg(policy server.DropPolicy, epsBudget float64, signals [][]core.Point, queueDepth int) (PressureResult, error) {
+	db := tsdb.New()
+	s, err := server.New(db, server.Config{
+		Shards:       1, // every series on one worker: the bottleneck is the point
+		QueueDepth:   queueDepth,
+		Policy:       policy,
+		EpsBudget:    epsBudget,
+		RetunePeriod: 15 * time.Millisecond,
+	})
+	if err != nil {
+		return PressureResult{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return PressureResult{}, err
+	}
+	go s.Serve(ln)
+	addr := ln.Addr().String()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, len(signals))
+	for c := range signals {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			errs[c] = driveSensor(addr, fmt.Sprintf("press-%d", c), policy, signals[c])
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			s.Shutdown(context.Background())
+			return PressureResult{}, err
+		}
+	}
+	m := s.Metrics()
+	res := PressureResult{
+		Bench:       "Pressure",
+		Policy:      policy.String(),
+		Clients:     len(signals),
+		PointsEach:  len(signals[0]),
+		QueueDepth:  queueDepth,
+		EpsBudget:   epsBudget,
+		ContractEps: pressureEps,
+		ReportedEps: pressureEps,
+		Seconds:     elapsed,
+		PointsPerS:  float64(len(signals)*len(signals[0])) / elapsed,
+		WireBytes:   m.Bytes,
+	}
+	res.DroppedSegments = m.Dropped
+	res.RetuneFrames = m.RetuneFrames
+	for _, sm := range m.Shards {
+		res.ShedPoints += sm.ShedPoints
+	}
+	covered, total := 0, 0
+	for c := range signals {
+		sr, err := db.Get(fmt.Sprintf("press-%d", c))
+		if err != nil {
+			// The whole series was shed; all its points are uncovered.
+			total += len(signals[c])
+			continue
+		}
+		eff := sr.QueryEpsilon()[0]
+		if eff > res.ReportedEps {
+			res.ReportedEps = eff
+		}
+		for _, p := range signals[c] {
+			total++
+			x, ok := sr.At(p.T)
+			if !ok {
+				continue
+			}
+			covered++
+			if e := abs(x[0] - p.X[0]); e > res.MaxErr {
+				res.MaxErr = e
+			}
+		}
+	}
+	if total > 0 {
+		res.Coverage = float64(covered) / float64(total)
+	}
+	res.WithinReported = res.MaxErr <= res.ReportedEps+1e-9
+	if err := s.Shutdown(context.Background()); err != nil {
+		return PressureResult{}, err
+	}
+	return res, nil
+}
+
+// driveSensor streams one signal, with the retune-capable client under
+// Sample (the policy the renegotiation exists for) and the plain client
+// otherwise.
+func driveSensor(addr, name string, policy server.DropPolicy, signal []core.Point) error {
+	spec := server.FilterSpec{Kind: "swing", Epsilon: []float64{pressureEps}}
+	if policy == server.Sample {
+		c, err := server.DialAdaptive(addr, name, spec)
+		if err != nil {
+			return err
+		}
+		for _, p := range signal {
+			if err := c.Send(p); err != nil {
+				return err
+			}
+		}
+		_, err = c.Close()
+		return err
+	}
+	c, err := server.DialSpec(addr, name, spec)
+	if err != nil {
+		return err
+	}
+	for _, p := range signal {
+		if err := c.Send(p); err != nil {
+			return err
+		}
+	}
+	_, err = c.Close()
+	return err
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

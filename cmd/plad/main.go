@@ -7,7 +7,8 @@
 // Usage:
 //
 //	plad [-addr :7070] [-shards 8] [-queue 1024]
-//	     [-policy block|drop|drop-oldest]
+//	     [-policy block|drop|drop-oldest|sample] [-shed POLICY]
+//	     [-eps-budget BYTES_PER_SEC] [-retune-every 1s]
 //	     [-transport tcp|udp] [-udp-listeners N]
 //	     [-data-dir DIR] [-store mem|mmap]
 //	     [-extent-compact-min N] [-extent-target-records N]
@@ -48,7 +49,16 @@
 // its ingest ε (derived tiers, invisible to SERIES and "*"), and
 // queries carrying a BOUND argument are answered from the coarsest tier
 // whose composed bound still satisfies it — far fewer segments read,
-// honest wider band on the reply. -list-flags and -list-metrics print
+// honest wider band on the reply. -policy sample (alias -shed sample)
+// selects graceful degradation: full queues apply backpressure instead
+// of dropping segments, and the retune loop tells retune-capable
+// senders to decimate points ahead of their filter, walking a stride
+// ladder with queue fill; the senders report the measured effective-ε
+// inflation, which queries surface and /metrics exports
+// (plad_session_eps_effective). -eps-budget additionally caps total
+// ingest bytes/s by widening session ε burden-proportionally and
+// relaxing back under budget; -retune-every sets the loop's cadence.
+// -list-flags and -list-metrics print
 // the daemon's flag and /metrics name inventories (one per line) and
 // exit; `make docs-check` diffs them against the documentation.
 //
@@ -90,7 +100,10 @@ func main() {
 		addr         = flag.String("addr", ":7070", "listen address")
 		shards       = flag.Int("shards", 8, "filter worker shards")
 		queue        = flag.Int("queue", 1024, "per-shard queue depth (segments)")
-		policy       = flag.String("policy", "block", "overload policy: block (backpressure), drop (shed newest) or drop-oldest (shed stalest)")
+		policy       = flag.String("policy", "block", "overload policy: block (backpressure), drop (shed newest), drop-oldest (shed stalest) or sample (backpressure + retune-capable senders decimate, spending precision instead of losing intervals)")
+		shed         = flag.String("shed", "", "alias for -policy (takes precedence when set)")
+		epsBudget    = flag.Float64("eps-budget", 0, "total ingest byte-rate budget in bytes/s across retune-capable sessions: when exceeded, session ε widens burden-proportionally (up to 16× contract) and relaxes back under budget (0 = disabled)")
+		retuneEvery  = flag.Duration("retune-every", time.Second, "how often the retune loop reassesses session degradation (-policy sample or -eps-budget)")
 		dataDir      = flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
 		storeBackend = flag.String("store", "mem", "segment store backend: mem (heap) or mmap (memory-mapped sealed extents; needs -data-dir)")
 		syncPolicy   = flag.String("sync", "interval", "WAL fsync policy with -data-dir: always (ack-after-fsync), interval, off")
@@ -144,16 +157,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "plad: "+format+"\n", args...)
 		},
 	}
-	switch *policy {
+	pol := *policy
+	if *shed != "" {
+		pol = *shed
+	}
+	switch pol {
 	case "block":
 		cfg.Policy = server.Block
 	case "drop":
 		cfg.Policy = server.DropNewest
 	case "drop-oldest":
 		cfg.Policy = server.DropOldest
+	case "sample":
+		cfg.Policy = server.Sample
 	default:
-		fatal(fmt.Errorf("unknown -policy %q (want block, drop or drop-oldest)", *policy))
+		fatal(fmt.Errorf("unknown -policy %q (want block, drop, drop-oldest or sample)", pol))
 	}
+	cfg.EpsBudget = *epsBudget
+	cfg.RetunePeriod = *retuneEvery
 	if *dataDir != "" {
 		sp, err := wal.ParseSyncPolicy(*syncPolicy)
 		if err != nil {

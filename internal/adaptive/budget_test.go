@@ -1,0 +1,111 @@
+package adaptive
+
+import "testing"
+
+func TestBudgeterRejectsBadBudget(t *testing.T) {
+	if _, err := NewBudgeter(0); err == nil {
+		t.Fatal("NewBudgeter(0) accepted")
+	}
+	if _, err := NewBudgeter(-100); err == nil {
+		t.Fatal("NewBudgeter(-100) accepted")
+	}
+}
+
+func TestBudgeterUnderBudgetStaysAtOne(t *testing.T) {
+	b, err := NewBudgeter(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		scales := b.Tick(map[string]float64{"a": 200, "b": 300})
+		for k, s := range scales {
+			if s != 1 {
+				t.Fatalf("tick %d: under-budget scale[%s] = %g, want 1", i, k, s)
+			}
+		}
+	}
+}
+
+func TestBudgeterOverBudgetGrowsMonotonically(t *testing.T) {
+	b, err := NewBudgeter(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := map[string]float64{"a": 1500, "b": 500} // 2× over budget
+	prev := 1.0
+	for i := 0; i < 20; i++ {
+		scales := b.Tick(rates)
+		if scales["a"] < prev {
+			t.Fatalf("tick %d: scale shrank %g → %g while still over budget", i, prev, scales["a"])
+		}
+		prev = scales["a"]
+	}
+	if prev <= 1 {
+		t.Fatalf("20 over-budget ticks left scale at %g", prev)
+	}
+	// The heavier stream must carry more of the degradation.
+	last := b.Tick(rates)
+	if last["a"] <= last["b"] {
+		t.Fatalf("heavy stream scale %g ≤ light stream scale %g", last["a"], last["b"])
+	}
+}
+
+func TestBudgeterScaleBounds(t *testing.T) {
+	b, err := NewBudgeter(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := map[string]float64{"a": 1e9}
+	var s float64
+	for i := 0; i < 200; i++ {
+		s = b.Tick(rates)["a"]
+		if s < 1 {
+			t.Fatalf("scale %g fell below 1", s)
+		}
+	}
+	if s > 16 {
+		t.Fatalf("scale %g exceeded the cap", s)
+	}
+}
+
+func TestBudgeterDecaysWhenPressureLifts(t *testing.T) {
+	b, err := NewBudgeter(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := map[string]float64{"a": 4000}
+	for i := 0; i < 10; i++ {
+		b.Tick(over)
+	}
+	inflated := b.Scale("a")
+	if inflated <= 1 {
+		t.Fatalf("no inflation after sustained overload (scale %g)", inflated)
+	}
+	under := map[string]float64{"a": 100}
+	prev := inflated
+	for i := 0; i < 100; i++ {
+		s := b.Tick(under)["a"]
+		if s > prev+1e-12 {
+			t.Fatalf("tick %d: scale grew %g → %g while under budget", i, prev, s)
+		}
+		prev = s
+	}
+	if prev > 1.01 {
+		t.Fatalf("scale only decayed to %g after 100 calm ticks", prev)
+	}
+}
+
+func TestBudgeterForgetsDeadStreams(t *testing.T) {
+	b, err := NewBudgeter(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Tick(map[string]float64{"gone": 1000, "stays": 1000})
+	if b.Scale("gone") <= 1 {
+		t.Fatal("overloaded stream not inflated")
+	}
+	b.Tick(map[string]float64{"stays": 1000})
+	if s := b.Scale("gone"); s != 1 {
+		t.Fatalf("dead stream still scaled at %g", s)
+	}
+}

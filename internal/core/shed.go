@@ -1,0 +1,155 @@
+package core
+
+import "math"
+
+// Decimator is the graceful-degradation pre-filter: under overload the
+// sender drops every k-th point *before* the PLA filter, so the segment
+// stream stays a valid piece-wise linear approximation — of a thinner
+// point set — instead of losing whole intervals to queue drops. The
+// precision cost is measured, not guessed: for every dropped point the
+// decimator records its deviation from the chord between its kept
+// neighbours, and the stream's honest error bound becomes
+//
+//	ε_eff = ε + max chord deviation
+//
+// (at a dropped point's time both the filter reconstruction and the
+// chord are within ε of the kept endpoints they interpolate, so the
+// reconstruction is within ε + deviation of the dropped sample).
+//
+// A stride of 0 or 1 passes everything through; k ≥ 2 drops every k-th
+// offered point. Drops are never consecutive and the first point after
+// a gap is always kept, so at most one dropped point is pending a right
+// neighbour at a time. Not safe for concurrent use: Offer, SetStride
+// and the accessors must run on the sender's goroutine.
+type Decimator struct {
+	dim    int
+	stride int
+	n      int       // points kept since the last drop
+	shed   uint64    // total points dropped, lifetime
+	dev    []float64 // per-dim max chord deviation of dropped points
+
+	lastT float64 // last kept point (left chord endpoint)
+	lastX []float64
+	have  bool
+
+	pendT float64 // dropped point awaiting its right neighbour
+	pendX []float64
+	pend  bool
+}
+
+// NewDecimator returns a pass-through decimator (stride 0) for a
+// dim-dimensional stream. All buffers are allocated up front; Offer
+// never allocates.
+func NewDecimator(dim int) *Decimator {
+	return &Decimator{
+		dim:   dim,
+		dev:   make([]float64, dim),
+		lastX: make([]float64, dim),
+		pendX: make([]float64, dim),
+	}
+}
+
+// SetStride changes the decimation stride: 0 (or 1) stops decimating,
+// k ≥ 2 drops every k-th offered point from now on. Negative strides
+// are ignored.
+func (d *Decimator) SetStride(k int) {
+	if k < 0 || k == 1 {
+		return
+	}
+	d.stride = k
+}
+
+// Stride returns the current decimation stride.
+func (d *Decimator) Stride() int { return d.stride }
+
+// Shed returns how many points have been dropped, lifetime.
+func (d *Decimator) Shed() uint64 { return d.shed }
+
+// Deviation returns the per-dimension maximum chord deviation observed
+// over every dropped point so far (monotone; do not modify). Zero while
+// nothing was dropped.
+func (d *Decimator) Deviation() []float64 { return d.dev }
+
+// Offer presents the next point. It returns true when the point must be
+// pushed into the filter, false when the decimator dropped it (the
+// caller skips the push). Points must arrive in increasing time order,
+// as the downstream filter requires anyway.
+func (d *Decimator) Offer(p Point) bool {
+	if d.pend {
+		d.settle(p)
+	}
+	k := d.stride
+	if k < 2 {
+		d.keep(p)
+		return true
+	}
+	d.n++
+	if d.n >= k && d.have {
+		// Drop the k-th point — but never before a left neighbour
+		// exists, so every dropped point sits between two kept ones.
+		d.n = 0
+		d.shed++
+		d.pend = true
+		d.pendT = p.T
+		copy(d.pendX, p.X)
+		return false
+	}
+	d.keep(p)
+	return true
+}
+
+// TakePending returns and clears a dropped point still awaiting its
+// right neighbour, un-counting it from the shed total. At stream end
+// the sender pushes it back into the filter — the stream keeps its true
+// last point instead of charging a flat-extrapolation deviation for it.
+// Prefer this over Flush when re-pushing is possible.
+func (d *Decimator) TakePending() (Point, bool) {
+	if !d.pend {
+		return Point{}, false
+	}
+	d.pend = false
+	d.shed--
+	p := Point{T: d.pendT, X: d.pendX}
+	d.keep(p)
+	return p, true
+}
+
+// Flush settles a pending dropped point that will never get a right
+// neighbour (stream end): its deviation is measured against the last
+// kept value held flat. Call before finishing the filter when the point
+// cannot be re-pushed (see TakePending).
+func (d *Decimator) Flush() {
+	if !d.pend {
+		return
+	}
+	for i := 0; i < d.dim && i < len(d.pendX); i++ {
+		if dv := math.Abs(d.pendX[i] - d.lastX[i]); dv > d.dev[i] {
+			d.dev[i] = dv
+		}
+	}
+	d.pend = false
+}
+
+// keep records p as the newest kept point.
+func (d *Decimator) keep(p Point) {
+	d.lastT = p.T
+	copy(d.lastX, p.X)
+	d.have = true
+}
+
+// settle measures the pending dropped point against the chord from the
+// last kept point to q (the next kept point) and folds the deviation
+// into the running per-dimension maxima.
+func (d *Decimator) settle(q Point) {
+	span := q.T - d.lastT
+	for i := 0; i < d.dim && i < len(q.X); i++ {
+		c := d.lastX[i]
+		if span > 0 {
+			c += (d.pendT - d.lastT) / span * (q.X[i] - d.lastX[i])
+		}
+		if dv := math.Abs(d.pendX[i] - c); dv > d.dev[i] {
+			d.dev[i] = dv
+		}
+	}
+	d.pend = false
+}

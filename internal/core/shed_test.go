@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func offerAll(t *testing.T, d *Decimator, pts []Point) (kept, dropped []Point) {
+	t.Helper()
+	for _, p := range pts {
+		cp := Point{T: p.T, X: append([]float64(nil), p.X...)}
+		if d.Offer(p) {
+			kept = append(kept, cp)
+		} else {
+			dropped = append(dropped, cp)
+		}
+	}
+	return kept, dropped
+}
+
+func TestDecimatorPassThrough(t *testing.T) {
+	d := NewDecimator(1)
+	pts := rampPoints(50)
+	kept, dropped := offerAll(t, d, pts)
+	if len(dropped) != 0 || len(kept) != len(pts) {
+		t.Fatalf("stride 0 dropped %d of %d points", len(dropped), len(pts))
+	}
+	if d.Shed() != 0 {
+		t.Fatalf("Shed() = %d on a pass-through stream", d.Shed())
+	}
+	for _, dv := range d.Deviation() {
+		if dv != 0 {
+			t.Fatalf("deviation %v with nothing dropped", d.Deviation())
+		}
+	}
+	// Stride 1 must behave exactly like off.
+	d.SetStride(1)
+	if d.Stride() != 0 {
+		t.Fatalf("SetStride(1) changed stride to %d", d.Stride())
+	}
+	d.SetStride(-3)
+	if d.Stride() != 0 {
+		t.Fatalf("SetStride(-3) changed stride to %d", d.Stride())
+	}
+}
+
+func rampPoints(n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{T: float64(i), X: []float64{float64(i) * 0.5}}
+	}
+	return pts
+}
+
+func TestDecimatorStrideTwo(t *testing.T) {
+	d := NewDecimator(1)
+	d.SetStride(2)
+	kept, dropped := offerAll(t, d, rampPoints(21))
+	// The first point is always kept (no left neighbour); thereafter
+	// every other point drops.
+	if len(dropped) != 10 {
+		t.Fatalf("stride 2 over 21 points dropped %d, want 10", len(dropped))
+	}
+	if d.Shed() != 10 {
+		t.Fatalf("Shed() = %d, want 10", d.Shed())
+	}
+	// Drops must never be consecutive.
+	for i := 1; i < len(dropped); i++ {
+		if dropped[i].T-dropped[i-1].T < 2 {
+			t.Fatalf("consecutive drops at t=%v and t=%v", dropped[i-1].T, dropped[i].T)
+		}
+	}
+	// On a perfectly linear ramp every dropped point sits on the chord.
+	if dv := d.Deviation()[0]; dv > 1e-12 {
+		t.Fatalf("linear ramp deviation %g, want ~0", dv)
+	}
+	if len(kept)+len(dropped) != 21 {
+		t.Fatalf("kept %d + dropped %d != offered 21", len(kept), len(dropped))
+	}
+}
+
+// TestDecimatorChordDeviation pins the ε_eff accounting: a dropped point
+// off the chord between its kept neighbours must be measured exactly.
+func TestDecimatorChordDeviation(t *testing.T) {
+	d := NewDecimator(1)
+	d.SetStride(2)
+	// t=0 kept, t=1 dropped (x=5 vs chord midpoint 1), t=2 kept (x=2).
+	pts := []Point{
+		{T: 0, X: []float64{0}},
+		{T: 1, X: []float64{5}},
+		{T: 2, X: []float64{2}},
+	}
+	_, dropped := offerAll(t, d, pts)
+	if len(dropped) != 1 || dropped[0].T != 1 {
+		t.Fatalf("dropped %v, want exactly the t=1 point", dropped)
+	}
+	want := 4.0 // |5 - lerp(0→2 over t 0→2 at t=1)| = |5 - 1|
+	if dv := d.Deviation()[0]; math.Abs(dv-want) > 1e-12 {
+		t.Fatalf("deviation %g, want %g", dv, want)
+	}
+}
+
+// TestDecimatorFlush settles a trailing pending drop against the last
+// kept value held flat.
+func TestDecimatorFlush(t *testing.T) {
+	d := NewDecimator(1)
+	d.SetStride(2)
+	pts := []Point{
+		{T: 0, X: []float64{1}},
+		{T: 1, X: []float64{4}}, // dropped, never gets a right neighbour
+	}
+	_, dropped := offerAll(t, d, pts)
+	if len(dropped) != 1 {
+		t.Fatalf("dropped %d points, want 1", len(dropped))
+	}
+	if dv := d.Deviation()[0]; dv != 0 {
+		t.Fatalf("deviation settled before Flush: %g", dv)
+	}
+	d.Flush()
+	if dv := d.Deviation()[0]; math.Abs(dv-3) > 1e-12 {
+		t.Fatalf("flushed deviation %g, want 3 (|4-1| vs flat)", dv)
+	}
+	// Flush is idempotent.
+	d.Flush()
+	if dv := d.Deviation()[0]; math.Abs(dv-3) > 1e-12 {
+		t.Fatalf("second Flush moved deviation to %g", dv)
+	}
+}
+
+// TestDecimatorTakePending recovers a trailing pending drop: the point
+// comes back, the shed count un-counts it, and no deviation is charged.
+func TestDecimatorTakePending(t *testing.T) {
+	d := NewDecimator(1)
+	d.SetStride(2)
+	if _, ok := d.TakePending(); ok {
+		t.Fatal("TakePending invented a point")
+	}
+	pts := []Point{
+		{T: 0, X: []float64{1}},
+		{T: 1, X: []float64{9}}, // dropped, pending
+	}
+	offerAll(t, d, pts)
+	p, ok := d.TakePending()
+	if !ok || p.T != 1 || p.X[0] != 9 {
+		t.Fatalf("TakePending = %v %v, want the t=1 point", p, ok)
+	}
+	if d.Shed() != 0 {
+		t.Fatalf("Shed() = %d after the drop was taken back", d.Shed())
+	}
+	if dv := d.Deviation()[0]; dv != 0 {
+		t.Fatalf("deviation %g charged for a recovered point", dv)
+	}
+	d.Flush() // nothing pending anymore; must be a no-op
+	if dv := d.Deviation()[0]; dv != 0 {
+		t.Fatalf("Flush after TakePending charged %g", dv)
+	}
+}
+
+// TestDecimatorFirstPointKept verifies a drop never happens before a
+// left neighbour exists, even at aggressive strides.
+func TestDecimatorFirstPointKept(t *testing.T) {
+	d := NewDecimator(1)
+	d.SetStride(2)
+	if !d.Offer(Point{T: 0, X: []float64{7}}) {
+		t.Fatal("first offered point was dropped")
+	}
+}
+
+// TestDecimatorRestride checks that turning decimation off mid-stream
+// stops drops but keeps the lifetime shed count and deviation maxima.
+func TestDecimatorRestride(t *testing.T) {
+	d := NewDecimator(1)
+	d.SetStride(2)
+	offerAll(t, d, rampPoints(11))
+	shed := d.Shed()
+	if shed == 0 {
+		t.Fatal("stride 2 shed nothing over 11 points")
+	}
+	d.SetStride(0)
+	for i := 11; i < 30; i++ {
+		if !d.Offer(Point{T: float64(i), X: []float64{float64(i)}}) {
+			t.Fatalf("stride 0 dropped the point at t=%d", i)
+		}
+	}
+	if d.Shed() != shed {
+		t.Fatalf("Shed() moved from %d to %d after decimation stopped", shed, d.Shed())
+	}
+}
+
+// BenchmarkDecimatorZeroAlloc guards the sender's overload hot path:
+// offering a point — kept or dropped — must not allocate.
+func BenchmarkDecimatorZeroAlloc(b *testing.B) {
+	d := NewDecimator(1)
+	d.SetStride(2)
+	x := []float64{0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x[0] = float64(i % 17)
+		d.Offer(Point{T: float64(i), X: x})
+	}
+}

@@ -16,6 +16,7 @@ type Decoder struct {
 	br       *bufio.Reader
 	dim      int
 	constant bool
+	retune   bool
 	version  int
 	kind     FilterKind
 	maxLag   int
@@ -26,6 +27,15 @@ type Decoder struct {
 	done     bool
 	buf      [8]byte
 	chunk    []float64 // arena the per-segment vectors are carved from
+
+	// Retune state: the newest opRetune record's payload, consumed by
+	// Next internally (retune records are not segments). retuneGen
+	// counts records seen, so a receiver polling between segments can
+	// tell when the state changed.
+	effEps     []float64
+	shedStride int
+	shedTotal  uint64
+	retuneGen  int
 }
 
 // vecChunk is how many dim-sized vectors one decoder arena chunk holds:
@@ -83,6 +93,7 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 		br:       br,
 		dim:      int(dim64),
 		constant: flags&flagConstant != 0,
+		retune:   flags&flagRetune != 0,
 		version:  version,
 		eps:      make([]float64, dim64),
 	}
@@ -130,6 +141,55 @@ func (d *Decoder) Kind() FilterKind { return d.kind }
 // (0 = unbounded, and always 0 on v1 streams).
 func (d *Decoder) MaxLag() int { return d.maxLag }
 
+// Retune reports whether the sender advertised the retune capability
+// (flagRetune): the stream may carry opRetune records, and the sender
+// accepts ε renegotiations on the reverse channel.
+func (d *Decoder) Retune() bool { return d.retune }
+
+// EffectiveEpsilon returns the sender's newest announced effective
+// per-dimension ε, or nil when no retune record has arrived (the
+// handshake contract stands). Do not modify.
+func (d *Decoder) EffectiveEpsilon() []float64 { return d.effEps }
+
+// ShedStride returns the sender's current decimation stride (0 = not
+// decimating, k ≥ 2 = every k-th point dropped ahead of the filter).
+func (d *Decoder) ShedStride() int { return d.shedStride }
+
+// ShedTotal returns the cumulative count of points the sender reported
+// decimating ahead of its filter.
+func (d *Decoder) ShedTotal() uint64 { return d.shedTotal }
+
+// RetuneGen counts the retune records consumed so far; a receiver
+// polling between segments compares generations to notice changes.
+func (d *Decoder) RetuneGen() int { return d.retuneGen }
+
+// readRetune consumes one opRetune payload into the decoder's retune
+// state.
+func (d *Decoder) readRetune() error {
+	if d.effEps == nil {
+		d.effEps = make([]float64, d.dim)
+	}
+	for i := range d.effEps {
+		v, err := d.readFloat()
+		if err != nil {
+			return fmt.Errorf("%w: truncated retune record", ErrFormat)
+		}
+		d.effEps[i] = v
+	}
+	stride, err := binary.ReadUvarint(d.br)
+	if err != nil || stride == 1 || stride > 1<<20 {
+		return fmt.Errorf("%w: bad retune stride", ErrFormat)
+	}
+	shed, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return fmt.Errorf("%w: truncated retune record", ErrFormat)
+	}
+	d.shedStride = int(stride)
+	d.shedTotal = shed
+	d.retuneGen++
+	return nil
+}
+
 func (d *Decoder) readFloat() (float64, error) {
 	if _, err := io.ReadFull(d.br, d.buf[:]); err != nil {
 		return 0, err
@@ -150,6 +210,9 @@ func (d *Decoder) readVec() ([]float64, error) {
 }
 
 // Next returns the next segment, or io.EOF after the stream terminator.
+// opRetune records are consumed internally (they update the decoder's
+// retune state, observable via EffectiveEpsilon/ShedStride/ShedTotal),
+// so callers only ever see segments.
 func (d *Decoder) Next() (core.Segment, error) {
 	if d.done {
 		return core.Segment{}, io.EOF
@@ -157,6 +220,20 @@ func (d *Decoder) Next() (core.Segment, error) {
 	op, err := d.br.ReadByte()
 	if err != nil {
 		return core.Segment{}, fmt.Errorf("%w: truncated stream: %v", ErrFormat, err)
+	}
+	for op == opRetune {
+		// Retune records are only valid on streams that advertised the
+		// capability; elsewhere the op is as unknown as it would be to an
+		// old decoder.
+		if !d.retune {
+			return core.Segment{}, fmt.Errorf("%w: unknown op %d", ErrFormat, op)
+		}
+		if err := d.readRetune(); err != nil {
+			return core.Segment{}, err
+		}
+		if op, err = d.br.ReadByte(); err != nil {
+			return core.Segment{}, fmt.Errorf("%w: truncated stream: %v", ErrFormat, err)
+		}
 	}
 	var s core.Segment
 	if op != opEnd {

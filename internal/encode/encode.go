@@ -18,6 +18,8 @@
 //	  opConstant:     t0, t1, x[dim]
 //	  opPoint:        t, x[dim]            (degenerate single point)
 //	  opUpdate:       t0, x0[dim], t1, x1[dim]   (provisional; v2 only)
+//	  opRetune:       eff[dim], uvarint stride, uvarint shed
+//	                  (no points field; only on flagRetune streams)
 //	  opEnd:          stream terminator (no points field)
 //
 // The points field carries Segment.Points, the number of original
@@ -32,6 +34,18 @@
 // not participate in connected-segment chaining. A sender with no
 // max-lag bound emits a v1 header, so streams that never use the
 // extension stay readable by v1 decoders.
+//
+// The retune extension (flags bit 1, either header version) supports
+// graceful degradation: a sender that may decimate points ahead of its
+// filter, or renegotiate ε mid-stream, sets flagRetune in the handshake
+// and announces each precision change with an opRetune record — the
+// effective per-dimension ε of everything sent so far, the current
+// decimation stride (0 = off, k ≥ 2 = every k-th point dropped), and
+// the cumulative count of decimated points. Receivers that don't know
+// the flag ignore the bit, so the sender must not emit opRetune until
+// the peer acknowledges the capability (the server protocol does this
+// with its handshake status byte). opRetune records are not segments
+// and leave the connected-segment chain state untouched.
 package encode
 
 import (
@@ -57,9 +71,13 @@ const (
 	opConstant
 	opPoint
 	opUpdate
+	opRetune
 )
 
-const flagConstant byte = 1 << 0
+const (
+	flagConstant byte = 1 << 0
+	flagRetune   byte = 1 << 1
+)
 
 // maxMaxLag bounds the advertised m_max_lag a decoder accepts; anything
 // larger is a malformed header, not a plausible bound. (It must fit an
@@ -121,6 +139,10 @@ type Header struct {
 	// MaxLag is the sender's m_max_lag bound in points (0 = unbounded).
 	// A positive bound selects the v2 header and allows WriteUpdate.
 	MaxLag int
+	// Retune sets flagRetune in the handshake: the sender may emit
+	// opRetune records (after the peer acknowledges the capability) and
+	// is willing to receive ε renegotiations.
+	Retune bool
 }
 
 // Errors returned by the codec.
@@ -141,6 +163,7 @@ type Encoder struct {
 	bw       *bufio.Writer
 	dim      int
 	constant bool
+	retune   bool
 	version  int
 	lastT    float64
 	lastX    []float64
@@ -172,7 +195,7 @@ func NewEncoderHeader(w io.Writer, h Header) (*Encoder, error) {
 	}
 	cw := NewCountingWriter(w)
 	bw := bufio.NewWriter(cw)
-	e := &Encoder{cw: cw, bw: bw, dim: len(h.Epsilon), constant: h.Constant, version: 1}
+	e := &Encoder{cw: cw, bw: bw, dim: len(h.Epsilon), constant: h.Constant, retune: h.Retune, version: 1}
 	m := magic
 	if h.MaxLag > 0 {
 		e.version = 2
@@ -184,6 +207,9 @@ func NewEncoderHeader(w io.Writer, h Header) (*Encoder, error) {
 	var flags byte
 	if h.Constant {
 		flags |= flagConstant
+	}
+	if h.Retune {
+		flags |= flagRetune
 	}
 	if err := bw.WriteByte(flags); err != nil {
 		return nil, err
@@ -355,6 +381,40 @@ func (e *Encoder) WriteUpdate(s core.Segment) error {
 		return err
 	}
 	return e.writeVec(s.X1)
+}
+
+// WriteRetune appends one retune record: the effective per-dimension ε
+// of the stream so far (contract ε plus whatever decimation or
+// renegotiation cost), the current decimation stride (0 = off), and the
+// cumulative count of points decimated ahead of the filter. Only legal
+// on a stream whose header set Retune — a receiver that never saw the
+// flag would reject the op.
+func (e *Encoder) WriteRetune(eff []float64, stride int, shed uint64) error {
+	if e.closed {
+		return ErrClosed
+	}
+	if !e.retune {
+		return fmt.Errorf("%w: retune record on a stream without flagRetune", ErrFormat)
+	}
+	if len(eff) != e.dim {
+		return fmt.Errorf("%w: retune dim %d, stream dim %d", ErrFormat, len(eff), e.dim)
+	}
+	if stride < 0 || stride == 1 {
+		return fmt.Errorf("%w: invalid decimation stride %d", ErrFormat, stride)
+	}
+	if err := e.bw.WriteByte(opRetune); err != nil {
+		return err
+	}
+	if err := e.writeVec(eff); err != nil {
+		return err
+	}
+	k := binary.PutUvarint(e.vbuf[:], uint64(stride))
+	if _, err := e.bw.Write(e.vbuf[:k]); err != nil {
+		return err
+	}
+	k = binary.PutUvarint(e.vbuf[:], shed)
+	_, err := e.bw.Write(e.vbuf[:k])
+	return err
 }
 
 // Flush pushes any buffered bytes to the underlying writer, making every

@@ -1,0 +1,155 @@
+package encode
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// TestRetuneRoundTrip streams segments interleaved with opRetune
+// records and checks the decoder surfaces the newest retune state while
+// returning only the segments.
+func TestRetuneRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := NewEncoderHeader(&buf, Header{Epsilon: []float64{0.5}, Retune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := core.Segment{T0: 0, T1: 1, X0: []float64{0}, X1: []float64{1}, Points: 2}
+	s2 := core.Segment{T0: 2, T1: 3, X0: []float64{1}, X1: []float64{0}, Points: 2}
+	if err := e.WriteSegment(s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteRetune([]float64{0.75}, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteRetune([]float64{1.25}, 0, 25); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteSegment(s2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := NewDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Retune() {
+		t.Fatal("decoder lost the retune capability flag")
+	}
+	if d.EffectiveEpsilon() != nil {
+		t.Fatalf("effective ε %v before any retune record", d.EffectiveEpsilon())
+	}
+	if _, err := d.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if gen := d.RetuneGen(); gen != 0 {
+		t.Fatalf("retune gen %d before the retune records were read", gen)
+	}
+	// The second Next crosses both retune records; only the newest
+	// state must be visible.
+	if _, err := d.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if eff := d.EffectiveEpsilon(); len(eff) != 1 || eff[0] != 1.25 {
+		t.Fatalf("effective ε %v, want [1.25]", eff)
+	}
+	if d.ShedStride() != 0 || d.ShedTotal() != 25 {
+		t.Fatalf("stride/shed = %d/%d, want 0/25", d.ShedStride(), d.ShedTotal())
+	}
+	if d.RetuneGen() != 2 {
+		t.Fatalf("retune gen %d, want 2", d.RetuneGen())
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("Next at stream end: %v, want EOF", err)
+	}
+}
+
+// TestRetuneRequiresFlag pins both compatibility directions: an encoder
+// without the handshake flag refuses to emit opRetune, and a decoder
+// treats opRetune on an unflagged stream as corruption.
+func TestRetuneRequiresFlag(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := NewEncoder(&buf, []float64{0.5}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteRetune([]float64{1}, 0, 0); !errors.Is(err, ErrFormat) {
+		t.Fatalf("WriteRetune without flagRetune: %v, want ErrFormat", err)
+	}
+
+	// Splice a raw opRetune byte into an unflagged stream: the decoder
+	// must reject it rather than silently skipping unknown state.
+	var spliced bytes.Buffer
+	e2, err := NewEncoder(&spliced, []float64{0.5}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	spliced.WriteByte(opRetune)
+	d, err := NewDecoder(&spliced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Next(); !errors.Is(err, ErrFormat) {
+		t.Fatalf("opRetune on unflagged stream: %v, want ErrFormat", err)
+	}
+}
+
+// TestRetuneHeaderIgnoredByPlainStreams checks a flagged header with no
+// retune records decodes exactly like a plain stream — the capability
+// bit alone must not change anything.
+func TestRetuneHeaderIgnoredByPlainStreams(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := NewEncoderHeader(&buf, Header{Epsilon: []float64{0.25}, Retune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := core.Segment{T0: 0, T1: 4, X0: []float64{1}, X1: []float64{2}, Points: 5}
+	if err := e.WriteSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].T1 != 4 {
+		t.Fatalf("decoded %+v, want the one segment back", got)
+	}
+	if d.EffectiveEpsilon() != nil || d.ShedTotal() != 0 {
+		t.Fatal("retune state invented on a stream with no retune records")
+	}
+}
+
+// TestRetuneRejectsBadRecords pins the validation on the payload.
+func TestRetuneRejectsBadRecords(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := NewEncoderHeader(&buf, Header{Epsilon: []float64{0.5}, Retune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteRetune([]float64{1, 2}, 0, 0); !errors.Is(err, ErrFormat) {
+		t.Fatalf("dimension-mismatched retune: %v, want ErrFormat", err)
+	}
+	if err := e.WriteRetune([]float64{1}, 1, 0); !errors.Is(err, ErrFormat) {
+		t.Fatalf("stride 1 retune: %v, want ErrFormat", err)
+	}
+	if err := e.WriteRetune([]float64{1}, -2, 0); !errors.Is(err, ErrFormat) {
+		t.Fatalf("negative stride retune: %v, want ErrFormat", err)
+	}
+}

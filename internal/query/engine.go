@@ -155,6 +155,10 @@ func (e *Engine) AggregateBound(name string, dim int, t0, t1, bound float64) (Ag
 			p := aggPart{ans: ans, tier: mult}
 			if mult > 0 {
 				p.countSlack, p.valueSlack = tierSlack(target, dim, t0, t1)
+				// A tier re-encodes data that may already have been
+				// degraded past the base contract; carry the base's
+				// effective-ε inflation into the tier-served bound too.
+				p.ans.Epsilon += sr.EffExtra(dim)
 			}
 			return p, ans.Stats, err
 		},
@@ -218,9 +222,10 @@ func (e *Engine) QuantilesBound(name string, dim int, t0, t1 float64, qs []float
 		func(sr *tsdb.Series) (any, tsdb.PushdownStats, error) {
 			target, mult := e.TierFor(sr, dim, t0, t1, bound)
 			sum, stats, err := target.RangeSummary(dim, t0, t1)
-			p := quantilePart{sum: sum, eps: target.Epsilon()[dim], tier: mult}
+			p := quantilePart{sum: sum, eps: target.QueryEpsilon()[dim], tier: mult}
 			if mult > 0 {
 				p.countSlack, p.valueSlack = tierSlack(target, dim, t0, t1)
+				p.eps += sr.EffExtra(dim)
 			}
 			return p, stats, err
 		},

@@ -1,0 +1,245 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/encode"
+	"github.com/pla-go/pla/internal/transport"
+)
+
+// AdaptiveClient is the retune-capable sensor side of an ingest session:
+// it advertises the retune capability in the handshake, and — when the
+// server acknowledges it — accepts live renegotiation frames (widen ε,
+// start decimating every k-th point) that it applies between sends,
+// degrading precision instead of losing data when the server is
+// overloaded. Against an older server it behaves exactly like a plain
+// Client: no opRetune record ever reaches the wire before the server
+// acks the capability.
+//
+// Like Client, one goroutine owns Send/SendBatch/Flush/Close; the
+// renegotiation listener runs internally.
+type AdaptiveClient struct {
+	conn    io.ReadWriteCloser
+	br      *bufio.Reader
+	tx      *transport.Transmitter
+	cw      *encode.CountingWriter
+	closed  bool
+	capable bool // server acknowledged the retune capability
+
+	// The listener goroutine only parks incoming renegotiations here;
+	// the owning goroutine applies them at its next send, so the filter
+	// and transmitter stay single-goroutine.
+	mu         sync.Mutex
+	pendEps    []float64
+	pendStride int
+	pendGen    int
+	appliedGen int
+	retunes    int
+
+	ackCh chan ackResult // the listener's terminal delivery
+}
+
+type ackResult struct {
+	ack Ack
+	err error
+}
+
+// DialAdaptive connects to a plad server and opens a retune-capable
+// ingest session writing series name through a filter built from spec.
+// The spec (not a prebuilt filter) is required because renegotiation
+// rebuilds the filter at new precisions.
+func DialAdaptive(addr, name string, spec FilterSpec) (*AdaptiveClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewAdaptiveClient(conn, name, spec)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewAdaptiveClient opens a retune-capable ingest session over an
+// existing connection. It blocks until the server accepts or rejects
+// the handshake.
+func NewAdaptiveClient(conn io.ReadWriteCloser, name string, spec FilterSpec) (*AdaptiveClient, error) {
+	f, err := spec.NewFilter()
+	if err != nil {
+		return nil, err
+	}
+	refit := func(eps []float64) (core.Filter, error) {
+		s2 := spec
+		s2.Epsilon = eps
+		return s2.NewFilter()
+	}
+	cw := encode.NewCountingWriter(conn)
+	if err := writeHandshake(cw, magicIngest, name); err != nil {
+		return nil, err
+	}
+	tx, err := transport.NewAdaptiveTransmitter(encode.NewFrameWriter(cw), f, refit)
+	if err != nil {
+		return nil, err
+	}
+	c := &AdaptiveClient{conn: conn, br: bufio.NewReader(conn), tx: tx, cw: cw,
+		ackCh: make(chan ackResult, 1)}
+	b, err := c.br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing status: %v", ErrProtocol, err)
+	}
+	switch b {
+	case statusOK:
+		// An older server: the session runs at the handshake contract
+		// and the only thing it will ever send back is the final ack.
+	case statusRetune:
+		c.capable = true
+		tx.AllowRetune()
+		go c.listen()
+	case statusErr:
+		return nil, readErrBody(c.br)
+	default:
+		return nil, fmt.Errorf("%w: unknown status %#x", ErrProtocol, b)
+	}
+	return c, nil
+}
+
+// listen consumes the server's reverse channel: renegotiation frames are
+// parked for the owning goroutine, and the final ack (or rejection)
+// terminates the listener.
+func (c *AdaptiveClient) listen() {
+	for {
+		b, err := c.br.ReadByte()
+		if err != nil {
+			c.ackCh <- ackResult{err: fmt.Errorf("%w: %v", ErrProtocol, err)}
+			return
+		}
+		switch b {
+		case statusRetune:
+			eps, stride, err := readRetuneBody(c.br)
+			if err != nil {
+				c.ackCh <- ackResult{err: err}
+				return
+			}
+			c.mu.Lock()
+			c.pendEps, c.pendStride = eps, stride
+			c.pendGen++
+			c.mu.Unlock()
+		case statusOK:
+			a, err := readAckBody(c.br)
+			c.ackCh <- ackResult{ack: a, err: err}
+			return
+		case statusErr:
+			c.ackCh <- ackResult{err: readErrBody(c.br)}
+			return
+		default:
+			c.ackCh <- ackResult{err: fmt.Errorf("%w: unknown status %#x", ErrProtocol, b)}
+			return
+		}
+	}
+}
+
+// applyPending folds the newest parked renegotiation into the
+// transmitter, on the owning goroutine.
+func (c *AdaptiveClient) applyPending() error {
+	c.mu.Lock()
+	eps, stride, gen := c.pendEps, c.pendStride, c.pendGen
+	c.mu.Unlock()
+	if gen == c.appliedGen {
+		return nil
+	}
+	c.appliedGen = gen
+	c.retunes++
+	return c.tx.Retune(eps, stride)
+}
+
+// Send consumes one sample, applying any renegotiation that arrived
+// since the last call first.
+func (c *AdaptiveClient) Send(p core.Point) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if err := c.applyPending(); err != nil {
+		return err
+	}
+	return c.tx.Send(p)
+}
+
+// SendBatch consumes a batch of samples with one wire flush.
+func (c *AdaptiveClient) SendBatch(ps []core.Point) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if err := c.applyPending(); err != nil {
+		return err
+	}
+	return c.tx.SendBatch(ps)
+}
+
+// Flush ships a provisional receiver update on lag-bounded sessions;
+// see Client.Flush.
+func (c *AdaptiveClient) Flush() error {
+	if c.closed {
+		return ErrClosed
+	}
+	return c.tx.FlushPending()
+}
+
+// SetStride forces a local decimation stride (0 = off, k ≥ 2 = drop
+// every k-th point ahead of the filter) without waiting for the server
+// to ask — the manual shed knob for tools and tests. It is announced to
+// the peer when the capability was acknowledged.
+func (c *AdaptiveClient) SetStride(k int) error {
+	if c.closed {
+		return ErrClosed
+	}
+	return c.tx.SetStride(k)
+}
+
+// Capable reports whether the server acknowledged the retune capability.
+func (c *AdaptiveClient) Capable() bool { return c.capable }
+
+// Retunes returns how many server renegotiations the session applied.
+func (c *AdaptiveClient) Retunes() int { return c.retunes }
+
+// EffectiveEpsilon returns the honest per-dimension bound of everything
+// sent: the widest ε the stream ran under plus the measured decimation
+// deviation. Copy to retain.
+func (c *AdaptiveClient) EffectiveEpsilon() []float64 { return c.tx.EffectiveEpsilon() }
+
+// ShedPoints returns how many points the session decimated ahead of the
+// filter, lifetime.
+func (c *AdaptiveClient) ShedPoints() uint64 { return c.tx.ShedPoints() }
+
+// Stride returns the decimation stride currently in force.
+func (c *AdaptiveClient) Stride() int { return c.tx.Stride() }
+
+// Stats exposes the local filter's counters.
+func (c *AdaptiveClient) Stats() core.Stats { return c.tx.Stats() }
+
+// BytesSent returns the bytes put on the wire so far (handshake and
+// frame prefixes included).
+func (c *AdaptiveClient) BytesSent() int64 { return c.cw.BytesWritten() }
+
+// Close finishes the filter, ships the final segments and the stream
+// terminator, and blocks for the server's acknowledgement.
+func (c *AdaptiveClient) Close() (Ack, error) {
+	if c.closed {
+		return Ack{}, ErrClosed
+	}
+	c.closed = true
+	defer c.conn.Close()
+	if err := c.tx.Close(); err != nil {
+		return Ack{}, err
+	}
+	if !c.capable {
+		return readAck(c.br)
+	}
+	res := <-c.ackCh
+	return res.ack, res.err
+}

@@ -91,6 +91,18 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		func(sm ShardMetrics) int64 { return sm.LagPoints })
 	counter("plad_shard_lag_updates_total", "Provisional max-lag receiver updates applied.",
 		func(sm ShardMetrics) int64 { return sm.LagUpdates })
+	counter("plad_shard_degraded_total", "Drop-oldest enqueues that could not shed without blocking and degraded to backpressure.",
+		func(sm ShardMetrics) int64 { return sm.Degraded })
+	counter("plad_shard_shed_points_total", "Points retune-capable senders reported decimating ahead of their filter, by the fed shard.",
+		func(sm ShardMetrics) int64 { return sm.ShedPoints })
+
+	// Graceful-degradation health: how many sessions can be renegotiated,
+	// how often the server has asked, and the worst honest-precision
+	// inflation right now. A plad_session_eps_effective pinned above 1 is
+	// the signal that queries are running wider than their contracts.
+	fmt.Fprintf(w, "# HELP plad_retune_sessions Live retune-capable ingest sessions.\n# TYPE plad_retune_sessions gauge\nplad_retune_sessions %d\n", m.RetuneSessions)
+	fmt.Fprintf(w, "# HELP plad_retune_frames_total Renegotiation frames written to retune-capable sessions.\n# TYPE plad_retune_frames_total counter\nplad_retune_frames_total %d\n", m.RetuneFrames)
+	fmt.Fprintf(w, "# HELP plad_session_eps_effective Worst effective-ε inflation ratio (announced effective ε over handshake contract) across live retune sessions; 1 while nothing is degraded.\n# TYPE plad_session_eps_effective gauge\nplad_session_eps_effective %g\n", m.EpsEffectiveMax)
 
 	// Query-engine pushdown counters: how AGG/QUANTILE ranges were
 	// covered. cached+built windows vs walked segments is the
@@ -157,6 +169,11 @@ func MetricNames() []string {
 		"plad_shard_lag_sessions",
 		"plad_shard_lag_pending_points",
 		"plad_shard_lag_updates_total",
+		"plad_shard_degraded_total",
+		"plad_shard_shed_points_total",
+		"plad_retune_sessions",
+		"plad_retune_frames_total",
+		"plad_session_eps_effective",
 		"plad_query_agg_total",
 		"plad_query_quantile_total",
 		"plad_query_windows_cached_total",

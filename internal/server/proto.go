@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"unicode"
 	"unicode/utf8"
 
@@ -33,6 +34,16 @@ const (
 const (
 	statusOK  byte = 0
 	statusErr byte = 1
+	// statusRetune does double duty on retune-capable sessions (ingest
+	// handshakes whose stream header sets the retune flag). As the
+	// handshake reply it accepts the session AND acknowledges the
+	// capability — only after seeing it may the client put opRetune
+	// records on the wire, so an old server (which answers statusOK)
+	// keeps a perfectly readable stream. Mid-stream it prefixes a
+	// server→client renegotiation frame: uvarint dim (0 = keep the
+	// current ε) + dim float64 bits (little-endian) + uvarint stride.
+	// Old clients never set the flag, so they never see either use.
+	statusRetune byte = 2
 )
 
 // maxNameLen bounds the series name accepted in an ingest handshake.
@@ -159,18 +170,71 @@ func readStatus(br *bufio.Reader) error {
 	case statusOK:
 		return nil
 	case statusErr:
-		n, err := binary.ReadUvarint(br)
-		if err != nil || n > 1<<10 {
-			return fmt.Errorf("%w: bad rejection message", ErrProtocol)
-		}
-		msg := make([]byte, n)
-		if _, err := io.ReadFull(br, msg); err != nil {
-			return fmt.Errorf("%w: truncated rejection message", ErrProtocol)
-		}
-		return fmt.Errorf("%w: %s", ErrRejected, msg)
+		return readErrBody(br)
 	default:
 		return fmt.Errorf("%w: unknown status %#x", ErrProtocol, b)
 	}
+}
+
+// readErrBody reads the message that follows a statusErr byte.
+func readErrBody(br *bufio.Reader) error {
+	n, err := binary.ReadUvarint(br)
+	if err != nil || n > 1<<10 {
+		return fmt.Errorf("%w: bad rejection message", ErrProtocol)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(br, msg); err != nil {
+		return fmt.Errorf("%w: truncated rejection message", ErrProtocol)
+	}
+	return fmt.Errorf("%w: %s", ErrRejected, msg)
+}
+
+// writeRetuneFrame sends one server→client renegotiation: a nil eps
+// keeps the session's current precision, stride is the absolute
+// decimation stride to run from now on (0 = stop decimating).
+func writeRetuneFrame(w io.Writer, eps []float64, stride int) error {
+	if _, err := w.Write([]byte{statusRetune}); err != nil {
+		return err
+	}
+	if err := writeUvarint(w, uint64(len(eps))); err != nil {
+		return err
+	}
+	var tmp [8]byte
+	for _, e := range eps {
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(e))
+		if _, err := w.Write(tmp[:]); err != nil {
+			return err
+		}
+	}
+	return writeUvarint(w, uint64(stride))
+}
+
+// readRetuneBody reads the renegotiation payload that follows a
+// statusRetune byte mid-stream. eps is nil when the server kept the
+// session's current precision.
+func readRetuneBody(br *bufio.Reader) (eps []float64, stride int, err error) {
+	dim, err := binary.ReadUvarint(br)
+	if err != nil || dim > 1<<10 {
+		return nil, 0, fmt.Errorf("%w: bad retune frame", ErrProtocol)
+	}
+	if dim > 0 {
+		eps = make([]float64, dim)
+		var tmp [8]byte
+		for i := range eps {
+			if _, err := io.ReadFull(br, tmp[:]); err != nil {
+				return nil, 0, fmt.Errorf("%w: truncated retune frame", ErrProtocol)
+			}
+			eps[i] = math.Float64frombits(binary.LittleEndian.Uint64(tmp[:]))
+			if math.IsNaN(eps[i]) || math.IsInf(eps[i], 0) || eps[i] <= 0 {
+				return nil, 0, fmt.Errorf("%w: retune ε[%d] = %v", ErrProtocol, i, eps[i])
+			}
+		}
+	}
+	k, err := binary.ReadUvarint(br)
+	if err != nil || k == 1 || k > 1<<20 {
+		return nil, 0, fmt.Errorf("%w: bad retune stride", ErrProtocol)
+	}
+	return eps, int(k), nil
 }
 
 // writeAck sends the final ingest acknowledgement.
@@ -191,6 +255,11 @@ func readAck(br *bufio.Reader) (Ack, error) {
 	if err := readStatus(br); err != nil {
 		return Ack{}, err
 	}
+	return readAckBody(br)
+}
+
+// readAckBody reads the three ack counters that follow a statusOK byte.
+func readAckBody(br *bufio.Reader) (Ack, error) {
 	var a Ack
 	for _, p := range [...]*int64{&a.Applied, &a.Rejected, &a.Dropped} {
 		v, err := binary.ReadUvarint(br)

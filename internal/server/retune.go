@@ -1,0 +1,221 @@
+package server
+
+import (
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pla-go/pla/internal/adaptive"
+)
+
+// retuneSession is the server's handle on one retune-capable ingest
+// session: enough to observe its byte rate, decide its degradation, and
+// write renegotiation frames back without tripping over the final ack.
+type retuneSession struct {
+	conn net.Conn
+	name string // series the session feeds
+	sh   *shard
+	dim  int
+	base []float64 // handshake contract ε
+
+	// wmu serialises every server→client write: renegotiation frames
+	// from the retune loop, and the session goroutine's final ack.
+	wmu sync.Mutex
+
+	// wire is the session's cumulative wire bytes, stored by the session
+	// goroutine after each record so the retune loop reads a coherent
+	// value without touching the (unsynchronised) counting reader.
+	wire atomic.Int64
+
+	// effRatio is the worst announced effective-ε inflation over the
+	// contract (float bits; 1.0 until the sender reports degradation) —
+	// the per-session health number behind plad_session_eps_effective.
+	effRatio atomic.Uint64
+
+	// Retune-loop-owned state (no locking: one loop goroutine).
+	lastBytes  int64
+	lastScale  float64
+	lastStride int
+}
+
+func (rs *retuneSession) noteEffRatio(eff []float64) {
+	worst := 1.0
+	for i, e := range eff {
+		if i < len(rs.base) && rs.base[i] > 0 {
+			if r := e / rs.base[i]; r > worst {
+				worst = r
+			}
+		}
+	}
+	rs.effRatio.Store(math.Float64bits(worst))
+}
+
+// writeFrame sends one renegotiation frame under the session write lock.
+func (rs *retuneSession) writeFrame(eps []float64, stride int) error {
+	rs.wmu.Lock()
+	defer rs.wmu.Unlock()
+	return writeRetuneFrame(rs.conn, eps, stride)
+}
+
+// registerRetune tracks a live retune-capable session.
+func (s *Server) registerRetune(rs *retuneSession) {
+	s.retuneMu.Lock()
+	if s.retunes == nil {
+		s.retunes = make(map[*retuneSession]struct{})
+	}
+	s.retunes[rs] = struct{}{}
+	s.retuneMu.Unlock()
+}
+
+func (s *Server) unregisterRetune(rs *retuneSession) {
+	s.retuneMu.Lock()
+	delete(s.retunes, rs)
+	s.retuneMu.Unlock()
+}
+
+func (s *Server) retuneSnapshot() []*retuneSession {
+	s.retuneMu.Lock()
+	defer s.retuneMu.Unlock()
+	out := make([]*retuneSession, 0, len(s.retunes))
+	for rs := range s.retunes {
+		out = append(out, rs)
+	}
+	return out
+}
+
+// retuneSessionCount and retuneEffMax feed the /metrics gauges.
+func (s *Server) retuneSessionCount() int64 {
+	s.retuneMu.Lock()
+	defer s.retuneMu.Unlock()
+	return int64(len(s.retunes))
+}
+
+func (s *Server) retuneEffMax() float64 {
+	worst := 1.0
+	for _, rs := range s.retuneSnapshot() {
+		if bits := rs.effRatio.Load(); bits != 0 {
+			if r := math.Float64frombits(bits); r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}
+
+// strideForFill is the decimation ladder the retune loop walks as a
+// shard comes under pressure: comfortable shards run undecimated, and
+// the stride tightens (k = 4 drops a quarter, k = 2 drops half) as
+// pressure approaches saturation. fill is the fraction of the shard's
+// enqueues over the last retune period that found the queue full and
+// had to wait — a windowed signal, so one tick of noise cannot flap the
+// stride the way sampling the instantaneous length of a small channel
+// would.
+func strideForFill(fill float64) int {
+	switch {
+	case fill < 0.25:
+		return 0
+	case fill < 0.5:
+		return 4
+	case fill < 0.75:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// defaultRetunePeriod is how often the retune loop reconsiders session
+// degradation when the Config leaves RetunePeriod zero.
+const defaultRetunePeriod = time.Second
+
+// retuneLoop periodically reassesses every retune-capable session:
+// queue pressure on the session's shard sets its decimation stride, and
+// — when an EpsBudget is configured — the byte-rate budgeter sets its
+// ε widening. Only changes are written to the wire.
+func (s *Server) retuneLoop(period time.Duration) {
+	defer close(s.retuneDone)
+	var budgeter *adaptive.Budgeter
+	if s.cfg.EpsBudget > 0 {
+		budgeter, _ = adaptive.NewBudgeter(s.cfg.EpsBudget)
+	}
+	press := make(map[*shard][2]int64)
+	t := time.NewTicker(period)
+	defer t.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-s.retuneStop:
+			return
+		case now := <-t.C:
+			dt := now.Sub(last).Seconds()
+			last = now
+			if dt <= 0 {
+				continue
+			}
+			s.retuneTick(dt, budgeter, press)
+		}
+	}
+}
+
+// retuneTick runs one reassessment over the live sessions. press is the
+// loop's window state: per shard, the enqueue/wait counters as of the
+// previous tick.
+func (s *Server) retuneTick(dt float64, budgeter *adaptive.Budgeter, press map[*shard][2]int64) {
+	sessions := s.retuneSnapshot()
+	var scales map[string]float64
+	if budgeter != nil {
+		rates := make(map[string]float64, len(sessions))
+		for _, rs := range sessions {
+			cur := rs.wire.Load()
+			// Several sessions can feed one series; fold their rates.
+			rates[rs.name] += float64(cur-rs.lastBytes) / dt
+			rs.lastBytes = cur
+		}
+		scales = budgeter.Tick(rates)
+	}
+	var fills map[*shard]float64
+	if s.cfg.Policy == Sample {
+		fills = make(map[*shard]float64)
+		for _, rs := range sessions {
+			if _, ok := fills[rs.sh]; ok {
+				continue
+			}
+			waits, total := rs.sh.enqWaits.Load(), rs.sh.enqTotal.Load()
+			prev := press[rs.sh]
+			press[rs.sh] = [2]int64{waits, total}
+			if dn := total - prev[1]; dn > 0 {
+				fills[rs.sh] = float64(waits-prev[0]) / float64(dn)
+			}
+		}
+	}
+	for _, rs := range sessions {
+		stride := 0
+		if s.cfg.Policy == Sample {
+			stride = strideForFill(fills[rs.sh])
+		}
+		scale := 1.0
+		if scales != nil {
+			if sc, ok := scales[rs.name]; ok {
+				scale = sc
+			}
+		}
+		if stride == rs.lastStride && math.Abs(scale-rs.lastScale) <= 0.01*rs.lastScale {
+			continue
+		}
+		var eps []float64
+		if math.Abs(scale-rs.lastScale) > 0.01*rs.lastScale {
+			eps = make([]float64, len(rs.base))
+			for i, e := range rs.base {
+				eps[i] = e * scale
+			}
+		}
+		if err := rs.writeFrame(eps, stride); err != nil {
+			// The session is on its way out; its teardown unregisters it.
+			s.logf("server: retune %q: %v", rs.name, err)
+			continue
+		}
+		s.retuneFrames.Add(1)
+		rs.lastStride, rs.lastScale = stride, scale
+	}
+}

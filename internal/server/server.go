@@ -142,6 +142,17 @@ type Config struct {
 	// be answered from the coarsest tier whose precision still fits the
 	// requested bound. Empty disables rollups.
 	RollupTiers []int
+	// EpsBudget, when positive, is a total ingest byte-rate budget
+	// (bytes per second) across retune-capable sessions: whenever the
+	// observed rate exceeds it, the retune loop widens session ε
+	// burden-proportionally (up to 16× contract) and relaxes back to
+	// contract when the rate falls. Sessions opened by plain clients
+	// are unaffected.
+	EpsBudget float64
+	// RetunePeriod is how often the retune loop reassesses session
+	// degradation (default 1s). It only matters under the Sample policy
+	// or with an EpsBudget.
+	RetunePeriod time.Duration
 	// Logf, when set, receives one line per abnormal session end and per
 	// recovery/compaction event.
 	Logf func(format string, args ...any)
@@ -184,6 +195,14 @@ type Server struct {
 
 	compactStop chan struct{}
 	compactDone chan struct{}
+
+	// Retune-capable session registry and loop (Sample policy and/or an
+	// EpsBudget); see retune.go.
+	retuneMu     sync.Mutex
+	retunes      map[*retuneSession]struct{}
+	retuneStop   chan struct{}
+	retuneDone   chan struct{}
+	retuneFrames atomic.Int64 // renegotiation frames written to sessions
 
 	sessions atomic.Int64 // ingest sessions accepted over the lifetime
 	active   atomic.Int64 // ingest sessions currently streaming
@@ -260,6 +279,12 @@ func New(db *tsdb.Archive, cfg Config) (*Server, error) {
 				stats.RetentionDropped, migrated)
 		}
 	}
+	// Degraded sessions may have left the archive holding data wider
+	// than its contracts; re-arm every base series' effective ε from the
+	// persisted control records so post-restart query bounds stay honest.
+	if n := db.SeedEffectiveEpsilon(); n > 0 {
+		s.logf("server: recovered effective-ε state for %d degraded series", n)
+	}
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
 		var wsh *wal.Shard
@@ -273,6 +298,15 @@ func New(db *tsdb.Archive, cfg Config) (*Server, error) {
 		s.compactStop = make(chan struct{})
 		s.compactDone = make(chan struct{})
 		go s.compactLoop()
+	}
+	if cfg.Policy == Sample || cfg.EpsBudget > 0 {
+		period := cfg.RetunePeriod
+		if period <= 0 {
+			period = defaultRetunePeriod
+		}
+		s.retuneStop = make(chan struct{})
+		s.retuneDone = make(chan struct{})
+		go s.retuneLoop(period)
 	}
 	return s, nil
 }
@@ -548,7 +582,22 @@ func (s *Server) serveIngest(conn net.Conn, br *bufio.Reader, cr *encode.Countin
 		writeStatusErr(conn, err.Error())
 		return
 	}
-	if err := writeStatusOK(conn); err != nil {
+	sh := s.shards[shardIndex(name, len(s.shards))]
+	var rs *retuneSession
+	if dec.Retune() {
+		// A retune-capable handshake: acknowledging with statusRetune
+		// both accepts the session and unlocks opRetune on the wire.
+		rs = &retuneSession{
+			conn: conn, name: name, sh: sh, dim: dec.Dim(),
+			base:      append([]float64(nil), dec.Epsilon()...),
+			lastScale: 1,
+		}
+		if _, err := conn.Write([]byte{statusRetune}); err != nil {
+			return
+		}
+		s.registerRetune(rs)
+		defer s.unregisterRetune(rs)
+	} else if err := writeStatusOK(conn); err != nil {
 		return
 	}
 	s.mark(conn, kindIngest)
@@ -559,7 +608,6 @@ func (s *Server) serveIngest(conn net.Conn, br *bufio.Reader, cr *encode.Countin
 	defer s.active.Add(-1)
 
 	sess := &ingestSession{}
-	sh := s.shards[shardIndex(name, len(s.shards))]
 	sh.active.Add(1) // the committer lingers only while sessions could still join a batch
 	defer sh.active.Add(-1)
 	if m := dec.MaxLag(); m > 0 {
@@ -573,9 +621,41 @@ func (s *Server) serveIngest(conn net.Conn, br *bufio.Reader, cr *encode.Countin
 		sh.lagSessions.Add(1)
 		defer sh.lagSessions.Add(-1)
 	}
+	// noteRetune folds a freshly-consumed opRetune announcement into the
+	// archive: the series' query bounds widen to the sender's reported
+	// effective ε, the shard's shed counter advances, and — when the ε
+	// actually widened — a control record rides the ordinary WAL path so
+	// the degradation survives a restart.
+	var lastGen int
+	var lastShed uint64
+	noteRetune := func() {
+		if rs == nil || dec.RetuneGen() == lastGen {
+			return
+		}
+		lastGen = dec.RetuneGen()
+		eff := dec.EffectiveEpsilon()
+		// Record before noting: RecordEffectiveEpsilon decides whether a
+		// persistent step is due by comparing eff against the series'
+		// *current* query bound, so widening that bound first would make
+		// every announcement look like a no-op and nothing would ever be
+		// written through the WAL — the degradation would vanish on
+		// restart while the in-memory bound stayed honest.
+		if ctrl, cseg, ok := s.db.RecordEffectiveEpsilon(name, eff); ok {
+			sh.enqueue(job{series: ctrl, seg: cseg}, Block)
+		}
+		series.NoteEffectiveEpsilon(eff)
+		rs.noteEffRatio(eff)
+		if shed := dec.ShedTotal(); shed > lastShed {
+			sh.shedPoints.Add(int64(shed - lastShed))
+			lastShed = shed
+		}
+	}
 	var attributed int64
 	for {
 		seg, err := dec.Next()
+		if err == nil || err == io.EOF {
+			noteRetune()
+		}
 		if err == io.EOF {
 			break
 		}
@@ -588,6 +668,9 @@ func (s *Server) serveIngest(conn net.Conn, br *bufio.Reader, cr *encode.Countin
 		}
 		delta := cr.BytesRead() - attributed
 		attributed = cr.BytesRead()
+		if rs != nil {
+			rs.wire.Store(cr.BytesRead())
+		}
 		s.tcpSegments.Add(1)
 		sh.enqueue(job{sess: sess, series: series, seg: seg, bytes: delta}, s.cfg.Policy)
 	}
@@ -600,9 +683,16 @@ func (s *Server) serveIngest(conn net.Conn, br *bufio.Reader, cr *encode.Countin
 	// an error, not an ack that overstates durability.
 	barrier := make(chan error, 1)
 	sh.enqueue(job{barrier: barrier, bytes: cr.BytesRead() - attributed}, Block)
-	if err := <-barrier; err != nil {
-		s.logf("server: %s: ingest %q: commit: %v", conn.RemoteAddr(), name, err)
-		writeStatusErr(conn, fmt.Sprintf("segments not durable: wal commit failed: %v", err))
+	commitErr := <-barrier
+	// On a retune session the final write must not interleave with a
+	// renegotiation frame from the retune loop.
+	if rs != nil {
+		rs.wmu.Lock()
+		defer rs.wmu.Unlock()
+	}
+	if commitErr != nil {
+		s.logf("server: %s: ingest %q: commit: %v", conn.RemoteAddr(), name, commitErr)
+		writeStatusErr(conn, fmt.Sprintf("segments not durable: wal commit failed: %v", commitErr))
 		return
 	}
 	if err := writeAck(conn, sess.ack()); err != nil {
@@ -646,6 +736,14 @@ type Metrics struct {
 	RollupActive   bool
 	RollupBuilds   int64
 	RollupSegments int64
+	// RetuneSessions is the number of live retune-capable ingest
+	// sessions; RetuneFrames counts renegotiation frames the server has
+	// written to them; EpsEffectiveMax is the worst effective-ε
+	// inflation ratio (announced effective ε over handshake contract,
+	// dim-max) across the live sessions — 1 while nothing is degraded.
+	RetuneSessions  int64
+	RetuneFrames    int64
+	EpsEffectiveMax float64
 }
 
 // Metrics snapshots every shard's counters.
@@ -674,6 +772,9 @@ func (s *Server) Metrics() Metrics {
 	rc := s.db.RollupCountersSnapshot()
 	m.RollupBuilds = rc.Builds
 	m.RollupSegments = rc.Segments
+	m.RetuneSessions = s.retuneSessionCount()
+	m.RetuneFrames = s.retuneFrames.Load()
+	m.EpsEffectiveMax = s.retuneEffMax()
 	for i, sh := range s.shards {
 		sm := sh.metrics()
 		m.Shards[i] = sm
@@ -764,8 +865,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		udp.Close()
 	}
 
-	// Sessions are gone; stop the compactor before closing the queues so
-	// an in-flight fence can finish (its barriers drain with the rest).
+	// Sessions are gone; stop the retune loop (nothing is left to write
+	// frames to) and the compactor before closing the queues so an
+	// in-flight fence can finish (its barriers drain with the rest).
+	if s.retuneStop != nil {
+		close(s.retuneStop)
+		<-s.retuneDone
+	}
 	if s.compactStop != nil {
 		close(s.compactStop)
 		<-s.compactDone

@@ -27,6 +27,13 @@ const (
 	// fresh data over stale — the right trade for live monitoring, where
 	// the newest reading matters most. Barriers are never shed.
 	DropOldest
+	// Sample never sheds a segment: under pressure the queue applies
+	// backpressure exactly like Block, and the server's retune loop tells
+	// retune-capable senders to decimate points ahead of their filter
+	// (and/or widen ε), spending precision instead of losing intervals.
+	// The effective ε inflation each sender reports is surfaced on query
+	// bounds, so every answer stays honest about what was shed.
+	Sample
 )
 
 // String names the policy for flags and metrics output.
@@ -36,6 +43,8 @@ func (p DropPolicy) String() string {
 		return "drop"
 	case DropOldest:
 		return "drop-oldest"
+	case Sample:
+		return "sample"
 	default:
 		return "block"
 	}
@@ -105,6 +114,16 @@ type shard struct {
 	lagSessions atomic.Int64 // active sessions advertising a max-lag bound
 	lagPoints   atomic.Int64 // Σ provisional-only covered points over those sessions
 	lagUpdates  atomic.Int64 // provisional receiver updates applied
+
+	degraded   atomic.Int64 // drop-oldest enqueues that degraded to blocking
+	shedPoints atomic.Int64 // sender-reported points decimated before the filter
+
+	// Under Sample, the retune loop reads these to judge queue pressure:
+	// the fraction of enqueues in a window that found the queue full (and
+	// so had to wait) is a far steadier overload signal than sampling the
+	// instantaneous length of a small channel.
+	enqTotal atomic.Int64 // Sample-policy enqueues observed
+	enqWaits atomic.Int64 // of those, how many found the queue full
 }
 
 func newShard(id, depth int, maxLinger time.Duration, maxBatch int, store *wal.Shard, logf func(format string, args ...any)) *shard {
@@ -356,7 +375,16 @@ func (sh *shard) commit(batch []chan error) time.Duration {
 // too.
 func (sh *shard) enqueue(j job, policy DropPolicy) bool {
 	sh.bytes.Add(j.bytes)
-	if policy == Block || j.barrier != nil {
+	if policy == Block || policy == Sample || j.barrier != nil {
+		if policy == Sample {
+			sh.enqTotal.Add(1)
+			select {
+			case sh.jobs <- j:
+				return true
+			default:
+				sh.enqWaits.Add(1)
+			}
+		}
 		sh.jobs <- j
 		return true
 	}
@@ -373,22 +401,38 @@ func (sh *shard) enqueue(j job, policy DropPolicy) bool {
 }
 
 // enqueueDropOldest keeps the incoming segment, shedding queued ones from
-// the head until it fits. A popped barrier is never shed: it is pushed
-// back behind the queue, which only ever closes it later — still after
-// everything its session enqueued. If the queue is wall-to-wall barriers
-// (as many live sessions as queue slots), shedding can't make room and
-// the policy degrades to Block.
+// the head until it fits. A popped barrier is never shed — it is held
+// locally and re-enqueued (a barrier closes only after the worker reaches
+// it, and its session enqueues nothing more until then, so moving it
+// toward the tail preserves every ordering that matters). Every push here
+// is non-blocking: a concurrent producer racing into a freed slot can
+// steal it, but never stall this session holding a popped barrier. If the
+// budget runs out — the queue is wall-to-wall barriers, or producers keep
+// winning the race — the policy degrades to Block for the leftovers, and
+// the degradation is counted rather than silent.
 func (sh *shard) enqueueDropOldest(j job) bool {
-	for tries := 0; tries <= cap(sh.jobs); tries++ {
+	var barriers []job // popped barriers, re-enqueued ahead of j
+	pushed := false
+	for tries := 0; tries <= 2*cap(sh.jobs) && (!pushed || len(barriers) > 0); tries++ {
+		// Re-home held barriers first: they were queued before j arrived.
+		target := j
+		if len(barriers) > 0 {
+			target = barriers[0]
+		}
 		select {
-		case sh.jobs <- j:
-			return true
+		case sh.jobs <- target:
+			if len(barriers) > 0 {
+				barriers = barriers[1:]
+			} else {
+				pushed = true
+			}
+			continue
 		default:
 		}
 		select {
 		case old := <-sh.jobs:
 			if old.barrier != nil {
-				sh.jobs <- old
+				barriers = append(barriers, old)
 			} else {
 				sh.drop(old)
 			}
@@ -396,15 +440,30 @@ func (sh *shard) enqueueDropOldest(j job) bool {
 			// Raced the worker to an empty queue; just retry the send.
 		}
 	}
-	sh.jobs <- j
+	if len(barriers) > 0 || !pushed {
+		sh.degraded.Add(1)
+		for _, b := range barriers {
+			sh.jobs <- b
+		}
+		if !pushed {
+			sh.jobs <- j
+		}
+	}
 	return true
 }
 
-// drop counts one shed segment.
+// drop counts one shed segment and keeps the dropped series' staleness
+// accounting honest: the points the segment carried were consumed from
+// the wire but will never land in the archive, so the series' reported
+// lag must grow by them, never shrink (a dropped provisional update in
+// particular must not roll the high-water mark back).
 func (sh *shard) drop(j job) {
 	sh.dropped.Add(1)
 	if j.sess != nil {
 		j.sess.dropped.Add(1)
+	}
+	if j.series != nil {
+		j.series.NoteShed(j.seg.Points, j.seg.Provisional)
 	}
 }
 
@@ -431,6 +490,14 @@ type ShardMetrics struct {
 	LagSessions int64
 	LagPoints   int64
 	LagUpdates  int64
+
+	// Degraded counts drop-oldest enqueues that could not make room
+	// without blocking (queue wall-to-wall barriers, or producers kept
+	// winning the freed slot) and fell back to Block for the leftovers.
+	Degraded int64
+	// ShedPoints sums the points retune-capable senders reported
+	// decimating ahead of their filter for this shard's series.
+	ShedPoints int64
 }
 
 func (sh *shard) metrics() ShardMetrics {
@@ -448,6 +515,8 @@ func (sh *shard) metrics() ShardMetrics {
 		LagSessions: sh.lagSessions.Load(),
 		LagPoints:   sh.lagPoints.Load(),
 		LagUpdates:  sh.lagUpdates.Load(),
+		Degraded:    sh.degraded.Load(),
+		ShedPoints:  sh.shedPoints.Load(),
 	}
 	if sh.store != nil {
 		lm := sh.store.Metrics()

@@ -1,0 +1,174 @@
+package server_test
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/pla-go/pla/internal/loadgen"
+	"github.com/pla-go/pla/internal/server"
+)
+
+// TestSampleShedBackendParity is the degraded-mode differential test:
+// one decimating Sample-policy session runs against a mem-backed and an
+// mmap-backed durable server, and the two must answer every query with
+// identical bytes — through a compaction sweep and a restart — while
+// the archived reconstruction honours the *reported* inflated ±ε, not
+// the handshake contract the session renegotiated away.
+func TestSampleShedBackendParity(t *testing.T) {
+	const contract = 0.1
+	type inst struct {
+		s    *server.Server
+		addr string
+		dir  string
+	}
+	// A long retune period keeps the server's control loop out of the
+	// run: the only degradation is the stride the test forces, so both
+	// backends see byte-identical segment streams.
+	tweak := func(cfg *server.Config) {
+		cfg.Policy = server.Sample
+		cfg.RetunePeriod = time.Hour
+	}
+	backends := []server.StoreBackend{server.BackendMem, server.BackendMmap}
+	insts := make([]inst, len(backends))
+	for i, b := range backends {
+		dir := t.TempDir()
+		s, addr := startBackend(t, dir, b, tweak)
+		insts[i] = inst{s: s, addr: addr, dir: dir}
+	}
+
+	signal := loadgen.Walks(1, 800)[0]
+	reported := make([]float64, len(insts))
+	for i, in := range insts {
+		c, err := server.DialAdaptive(in.addr, "shed", server.FilterSpec{
+			Kind: "swing", Epsilon: []float64{contract},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, p := range signal {
+			if j == 100 {
+				if err := c.SetStride(2); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := c.Send(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if c.ShedPoints() == 0 {
+			t.Fatal("the forced stride shed nothing")
+		}
+		reported[i] = c.EffectiveEpsilon()[0]
+	}
+	if reported[0] != reported[1] {
+		t.Fatalf("identical sessions reported different ε: %g vs %g", reported[0], reported[1])
+	}
+	if reported[0] <= contract {
+		t.Fatalf("reported ε %g did not inflate over the contract", reported[0])
+	}
+
+	cmds := []string{
+		"SERIES",
+		"SCAN shed 0 100000",
+		"AT shed 17.5",
+		"AT shed 600",
+		"MEAN shed 0 3 700",
+		"MIN shed 0 3 700",
+		"MAX shed 0 3 700",
+		"LAG shed",
+		"AGG min shed 0 0 100000",
+		"AGG max shed 0 0 100000",
+		"AGG avg shed 0 0 100000",
+		"AGG sum shed 0 0 100000",
+		"AGG count shed 0 0 100000",
+		"QUANTILE shed 0 0 100000 0 0.25 0.5 0.9 1",
+	}
+
+	// checkBounds asserts, against the live archive, that every original
+	// sample reconstructs within the session's reported inflated ε — the
+	// honest-degradation contract queries advertise.
+	checkBounds := func(stage string) {
+		for _, in := range insts {
+			sr, err := in.s.DB().Get("shed")
+			if err != nil {
+				t.Fatalf("%s: %v", stage, err)
+			}
+			qe := sr.QueryEpsilon()[0]
+			if math.Abs(qe-reported[0]) > 1e-9 {
+				t.Fatalf("%s (%s): query bound %g, want the reported %g", stage, in.dir, qe, reported[0])
+			}
+			for _, p := range signal {
+				x, ok := sr.At(p.T)
+				if !ok {
+					t.Fatalf("%s (%s): no coverage at t=%v", stage, in.dir, p.T)
+				}
+				if e := math.Abs(x[0] - p.X[0]); e > qe+1e-9 {
+					t.Fatalf("%s (%s): error %g at t=%v exceeds the reported bound %g", stage, in.dir, e, p.T, qe)
+				}
+			}
+		}
+	}
+	compare := func(stage string) {
+		want := rawQuery(t, insts[0].addr, cmds)
+		got := rawQuery(t, insts[1].addr, cmds)
+		if got != want {
+			i := 0
+			for i < len(got) && i < len(want) && got[i] == want[i] {
+				i++
+			}
+			t.Fatalf("%s: responses diverge at byte %d:\nmem:  %q\nmmap: %q", stage, i, tail(want, i), tail(got, i))
+		}
+		if !strings.Contains(want, "shed") {
+			t.Fatalf("%s: comparison ran against an empty archive:\n%s", stage, want)
+		}
+		checkBounds(stage)
+	}
+	compare("live")
+
+	// A compaction sweep moves the mmap backend onto sealed extents; the
+	// inflated bound and the parity must both survive it.
+	for _, in := range insts {
+		if err := in.s.Compact(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compare("compacted")
+
+	// Restart both from their directories alone: the effective-ε control
+	// series replays from the store and re-seeds the query bound.
+	for i := range insts {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := insts[i].s.Shutdown(ctx); err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+		s, addr := startBackend(t, insts[i].dir, backends[i], tweak)
+		insts[i].s, insts[i].addr = s, addr
+	}
+	defer func() {
+		for _, in := range insts {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			in.s.Shutdown(ctx)
+			cancel()
+		}
+	}()
+	compare("restarted")
+}
+
+// tail clips s around byte i for a divergence report.
+func tail(s string, i int) string {
+	lo, hi := i-80, i+80
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s) {
+		hi = len(s)
+	}
+	return s[lo:hi]
+}

@@ -1,0 +1,228 @@
+package transport
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"github.com/pla-go/pla/internal/core"
+	"github.com/pla-go/pla/internal/gen"
+)
+
+func swingRefit(eps []float64) (core.Filter, error) { return core.NewSwing(eps) }
+
+// runAdaptiveLink streams signal through an adaptive transmitter,
+// calling tune(i, tx) before each send, and returns the drained
+// receiver and transmitter for inspection.
+func runAdaptiveLink(t *testing.T, signal []core.Point, tune func(int, *Transmitter)) (*Receiver, *Transmitter) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	type result struct {
+		rx  *Receiver
+		err error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		rx, err := NewReceiver(pr)
+		if err != nil {
+			resCh <- result{nil, err}
+			return
+		}
+		resCh <- result{rx, rx.Run()}
+	}()
+	f, err := core.NewSwing([]float64{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := NewAdaptiveTransmitter(pw, f, swingRefit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.AllowRetune()
+	for i, p := range signal {
+		if tune != nil {
+			tune(i, tx)
+		}
+		if err := tx.Send(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	res := <-resCh
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	return res.rx, tx
+}
+
+// TestAdaptiveLinkDecimates turns a stride on mid-stream and checks the
+// receiver learns the honest inflated bound and the shed count, and the
+// reconstruction respects that bound at every original sample.
+func TestAdaptiveLinkDecimates(t *testing.T) {
+	signal := gen.RandomWalk(gen.WalkConfig{N: 400, P: 0.5, MaxDelta: 0.4, Seed: 7})
+	rx, tx := runAdaptiveLink(t, signal, func(i int, tx *Transmitter) {
+		if i == 100 {
+			if err := tx.SetStride(2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if tx.ShedPoints() == 0 {
+		t.Fatal("stride 2 shed nothing over 300 points")
+	}
+	if rx.ShedTotal() != tx.ShedPoints() {
+		t.Fatalf("receiver shed total %d != transmitter %d", rx.ShedTotal(), tx.ShedPoints())
+	}
+	eff := rx.EffectiveEpsilon()
+	if eff == nil {
+		t.Fatal("receiver never saw an effective-ε announcement")
+	}
+	txEff := tx.EffectiveEpsilon()
+	if eff[0]+1e-12 < txEff[0] {
+		t.Fatalf("receiver bound %g understates the sender's final %g", eff[0], txEff[0])
+	}
+	if eff[0] <= 0.1 {
+		t.Fatalf("effective ε %g did not inflate over the contract", eff[0])
+	}
+	// The honest-bound property: every original sample within eff of
+	// the reconstruction wherever the stream covers it.
+	for _, p := range signal {
+		x, ok := rx.At(p.T)
+		if !ok {
+			t.Fatalf("decimation lost coverage at t=%v", p.T)
+		}
+		if err := math.Abs(x[0] - p.X[0]); err > eff[0]+1e-9 {
+			t.Fatalf("reconstruction off by %g at t=%v, reported bound %g", err, p.T, eff[0])
+		}
+	}
+}
+
+// TestAdaptiveLinkRetuneEpsilon renegotiates ε mid-stream and checks
+// the stream stays within the widest ε that was ever in force.
+func TestAdaptiveLinkRetuneEpsilon(t *testing.T) {
+	signal := gen.RandomWalk(gen.WalkConfig{N: 400, P: 0.5, MaxDelta: 0.4, Seed: 11})
+	rx, tx := runAdaptiveLink(t, signal, func(i int, tx *Transmitter) {
+		if i == 200 {
+			if err := tx.Retune([]float64{0.8}, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	eff := rx.EffectiveEpsilon()
+	if eff == nil || eff[0] < 0.8 {
+		t.Fatalf("receiver bound %v, want ≥ the renegotiated 0.8", eff)
+	}
+	if got := tx.EffectiveEpsilon()[0]; got < 0.8 {
+		t.Fatalf("transmitter effective ε %g below the widest contract", got)
+	}
+	for _, p := range signal {
+		x, ok := rx.At(p.T)
+		if !ok {
+			continue // a retune's filter swap may leave a seam
+		}
+		if err := math.Abs(x[0] - p.X[0]); err > eff[0]+1e-9 {
+			t.Fatalf("reconstruction off by %g at t=%v, reported bound %g", err, p.T, eff[0])
+		}
+	}
+}
+
+// TestAdaptiveRetuneMonotoneBase narrowing ε mid-stream must not shrink
+// the reported bound: points already sent under the wide contract keep
+// their error.
+func TestAdaptiveRetuneMonotoneBase(t *testing.T) {
+	signal := gen.RandomWalk(gen.WalkConfig{N: 300, P: 0.5, MaxDelta: 0.4, Seed: 3})
+	_, tx := runAdaptiveLink(t, signal, func(i int, tx *Transmitter) {
+		switch i {
+		case 100:
+			if err := tx.Retune([]float64{1.0}, 0); err != nil {
+				t.Fatal(err)
+			}
+		case 200:
+			if err := tx.Retune([]float64{0.05}, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if got := tx.EffectiveEpsilon()[0]; got < 1.0 {
+		t.Fatalf("effective ε %g forgot the 1.0 contract the middle of the stream ran under", got)
+	}
+}
+
+// TestNonAdaptiveRefusesRetune pins the plain transmitter's behaviour.
+func TestNonAdaptiveRefusesRetune(t *testing.T) {
+	f, err := core.NewSwing([]float64{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := NewTransmitter(io.Discard, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Retune([]float64{0.5}, 0); err == nil {
+		t.Fatal("plain transmitter accepted a retune")
+	}
+	if err := tx.SetStride(2); err == nil {
+		t.Fatal("plain transmitter accepted a stride")
+	}
+	if got := tx.EffectiveEpsilon(); len(got) != 1 || got[0] != 0.1 {
+		t.Fatalf("plain transmitter effective ε %v, want the contract", got)
+	}
+}
+
+// TestAdaptiveSilentWithoutAllow checks no opRetune record reaches the
+// wire until AllowRetune — the compatibility rule against old peers.
+// The header still carries the capability bit (that is what the peer
+// acks), so a header-only check distinguishes the two.
+func TestAdaptiveSilentWithoutAllow(t *testing.T) {
+	pr, pw := io.Pipe()
+	type result struct {
+		rx  *Receiver
+		err error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		rx, err := NewReceiver(pr)
+		if err != nil {
+			resCh <- result{nil, err}
+			return
+		}
+		resCh <- result{rx, rx.Run()}
+	}()
+	f, err := core.NewSwing([]float64{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := NewAdaptiveTransmitter(pw, f, swingRefit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No AllowRetune: the server answered like an old one. A locally
+	// forced stride still decimates (the data is gone either way) but
+	// must not announce.
+	if err := tx.SetStride(2); err != nil {
+		t.Fatal(err)
+	}
+	signal := gen.RandomWalk(gen.WalkConfig{N: 200, P: 0.5, MaxDelta: 0.4, Seed: 5})
+	for _, p := range signal {
+		if err := tx.Send(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	res := <-resCh
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.rx.EffectiveEpsilon() != nil {
+		t.Fatalf("opRetune reached the wire without the peer's ack (eff %v)", res.rx.EffectiveEpsilon())
+	}
+	if tx.ShedPoints() == 0 {
+		t.Fatal("local stride did not decimate")
+	}
+}

@@ -46,6 +46,20 @@ type Transmitter struct {
 	// and the bound check re-ships within the same Send.
 	provCover int64
 	closed    bool
+
+	// Graceful degradation (retune-capable streams only). dec decimates
+	// points ahead of the filter under a server-assigned stride; refit
+	// rebuilds the filter at a renegotiated ε; effBase tracks the widest
+	// filter ε the stream ever ran under, so the announced effective ε
+	// (effBase + measured chord deviation) covers everything sent.
+	dec        *core.Decimator
+	refit      func(eps []float64) (core.Filter, error)
+	retuneWire bool // peer acknowledged flagRetune; opRetune is legal
+	effBase    []float64
+	effBuf     []float64
+	lastAnn    []float64 // effective ε at the last announcement
+	lastStride int
+	lastShed   uint64 // shed total at the last announcement
 }
 
 // HeaderFor derives the stream header a transmitter for f negotiates:
@@ -76,7 +90,31 @@ func HeaderFor(f core.Filter) encode.Header {
 // NewTransmitter writes the stream header for f's precision contract and
 // returns a transmitter. constant must be set when f is a cache filter.
 func NewTransmitter(w io.Writer, f core.Filter) (*Transmitter, error) {
+	return newTransmitter(w, f, HeaderFor(f))
+}
+
+// NewAdaptiveTransmitter is NewTransmitter with the retune capability:
+// the handshake sets flagRetune, a decimator sits ahead of the filter
+// (pass-through until SetStride), and refit — when non-nil — rebuilds
+// the filter at a renegotiated ε. Call AllowRetune once the peer has
+// acknowledged the capability; until then the stream carries no
+// opRetune records and stays readable by any receiver.
+func NewAdaptiveTransmitter(w io.Writer, f core.Filter, refit func(eps []float64) (core.Filter, error)) (*Transmitter, error) {
 	h := HeaderFor(f)
+	h.Retune = true
+	t, err := newTransmitter(w, f, h)
+	if err != nil {
+		return nil, err
+	}
+	t.dec = core.NewDecimator(f.Dim())
+	t.refit = refit
+	t.effBase = append([]float64(nil), f.Epsilon()...)
+	t.effBuf = make([]float64, f.Dim())
+	t.lastAnn = append([]float64(nil), f.Epsilon()...)
+	return t, nil
+}
+
+func newTransmitter(w io.Writer, f core.Filter, h encode.Header) (*Transmitter, error) {
 	t := &Transmitter{f: f}
 	if h.MaxLag > 0 {
 		t.maxLag = h.MaxLag
@@ -91,6 +129,144 @@ func NewTransmitter(w io.Writer, f core.Filter) (*Transmitter, error) {
 		return nil, err
 	}
 	return t, nil
+}
+
+// AllowRetune records that the peer acknowledged the retune capability,
+// unlocking opRetune announcements. A retune-capable transmitter whose
+// peer never acks (an old server) simply keeps the handshake contract.
+func (t *Transmitter) AllowRetune() { t.retuneWire = t.dec != nil }
+
+// SetStride changes the decimation stride (0 = off, k ≥ 2 = drop every
+// k-th point ahead of the filter) and announces the change to the peer.
+func (t *Transmitter) SetStride(k int) error {
+	if t.closed {
+		return ErrClosed
+	}
+	if t.dec == nil {
+		return fmt.Errorf("transport: stride on a non-adaptive transmitter")
+	}
+	t.dec.SetStride(k)
+	if wrote, err := t.maybeAnnounce(true); err != nil {
+		return err
+	} else if wrote {
+		return t.enc.Flush()
+	}
+	return nil
+}
+
+// Stride returns the current decimation stride (0 when off or not an
+// adaptive transmitter).
+func (t *Transmitter) Stride() int {
+	if t.dec == nil {
+		return 0
+	}
+	return t.dec.Stride()
+}
+
+// ShedPoints returns how many points the decimator dropped, lifetime.
+func (t *Transmitter) ShedPoints() uint64 {
+	if t.dec == nil {
+		return 0
+	}
+	return t.dec.Shed()
+}
+
+// EffectiveEpsilon returns the honest per-dimension error bound of
+// everything sent so far: the widest filter ε the stream ran under,
+// plus the measured chord deviation of every decimated point. Equal to
+// the contract when nothing degraded. The slice is reused; copy to
+// retain.
+func (t *Transmitter) EffectiveEpsilon() []float64 {
+	if t.dec == nil {
+		return t.f.Epsilon()
+	}
+	dev := t.dec.Deviation()
+	for i := range t.effBuf {
+		t.effBuf[i] = t.effBase[i] + dev[i]
+	}
+	return t.effBuf
+}
+
+// Retune applies a renegotiation: a non-nil eps rebuilds the filter at
+// the new precision (finishing the current one first — the finalized
+// segments ship, and a disconnected restart is wire-legal), and stride
+// adjusts the decimator. The change is announced to the peer.
+func (t *Transmitter) Retune(eps []float64, stride int) error {
+	if t.closed {
+		return ErrClosed
+	}
+	if t.dec == nil {
+		return fmt.Errorf("transport: retune on a non-adaptive transmitter")
+	}
+	if eps != nil {
+		if t.refit == nil {
+			return fmt.Errorf("transport: no refit hook for ε renegotiation")
+		}
+		segs, err := t.f.Finish()
+		if err != nil {
+			return err
+		}
+		if _, err := t.write(segs); err != nil {
+			return err
+		}
+		nf, err := t.refit(eps)
+		if err != nil {
+			return err
+		}
+		t.f = nf
+		if t.maxLag > 0 {
+			if p, ok := nf.(interface{ Pending() []core.Segment }); ok {
+				t.pending = p
+			} else {
+				t.maxLag, t.pending = 0, nil
+			}
+		}
+		for i, e := range nf.Epsilon() {
+			if i < len(t.effBase) && e > t.effBase[i] {
+				t.effBase[i] = e
+			}
+		}
+	}
+	t.dec.SetStride(stride)
+	if _, err := t.maybeAnnounce(true); err != nil {
+		return err
+	}
+	return t.enc.Flush()
+}
+
+// announceGrowth is the relative effective-ε growth that triggers a new
+// opRetune announcement between stride changes — enough hysteresis that
+// creeping chord deviation costs O(log) records, not one per point.
+const announceGrowth = 1.05
+
+// maybeAnnounce writes an opRetune record when the effective precision
+// moved since the last announcement (always when force is set and the
+// peer acked the capability). The caller owns flushing.
+func (t *Transmitter) maybeAnnounce(force bool) (bool, error) {
+	if !t.retuneWire {
+		return false, nil
+	}
+	stride := t.dec.Stride()
+	eff := t.EffectiveEpsilon()
+	changed := force || stride != t.lastStride
+	if !changed {
+		for i := range eff {
+			if eff[i] > t.lastAnn[i]*announceGrowth+1e-12 {
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed {
+		return false, nil
+	}
+	if err := t.enc.WriteRetune(eff, stride, t.dec.Shed()); err != nil {
+		return true, err
+	}
+	copy(t.lastAnn, eff)
+	t.lastStride = stride
+	t.lastShed = t.dec.Shed()
+	return true, nil
 }
 
 // MaxLag returns the enforced m_max_lag bound (0 when unbounded).
@@ -147,6 +323,18 @@ func (t *Transmitter) Send(p core.Point) error {
 	if t.closed {
 		return ErrClosed
 	}
+	if t.dec != nil && !t.dec.Offer(p) {
+		// Decimated ahead of the filter. Announce when the measured
+		// chord deviation pushed the effective ε past the hysteresis.
+		ann, err := t.maybeAnnounce(false)
+		if err != nil {
+			return err
+		}
+		if ann {
+			return t.enc.Flush()
+		}
+		return nil
+	}
 	segs, err := t.f.Push(p)
 	if err != nil {
 		return err
@@ -184,6 +372,17 @@ func (t *Transmitter) SendBatch(ps []core.Point) error {
 	}
 	wrote := false
 	for i := range ps {
+		if t.dec != nil && !t.dec.Offer(ps[i]) {
+			a, err := t.maybeAnnounce(false)
+			wrote = wrote || a
+			if err != nil {
+				if wrote {
+					t.enc.Flush()
+				}
+				return err
+			}
+			continue
+		}
 		segs, err := t.f.Push(ps[i])
 		if err != nil {
 			// Flush what was finalized before the bad point: the filter
@@ -247,12 +446,45 @@ func (t *Transmitter) Close() error {
 	if t.closed {
 		return ErrClosed
 	}
+	if t.dec != nil {
+		// A trailing dropped point still awaiting its right neighbour is
+		// re-pushed: the stream ends on its true last sample, and the
+		// deviation bound never pays for a point that made it after all.
+		if p, ok := t.dec.TakePending(); ok {
+			segs, err := t.f.Push(p)
+			if err != nil {
+				return err
+			}
+			if _, err := t.write(segs); err != nil {
+				return err
+			}
+		}
+	}
 	segs, err := t.f.Finish()
 	if err != nil {
 		return err
 	}
 	if err := t.ship(segs); err != nil {
 		return err
+	}
+	// Leave the peer with the exact final degradation state: the last
+	// announcement before the terminator skips the hysteresis band, and
+	// fires on shed-count growth too so the peer's lifetime total is
+	// exact even when the deviation stopped moving.
+	if t.retuneWire {
+		stale := t.dec.Shed() != t.lastShed
+		eff := t.EffectiveEpsilon()
+		for i := range eff {
+			if eff[i] > t.lastAnn[i]+1e-12 {
+				stale = true
+				break
+			}
+		}
+		if stale {
+			if _, err := t.maybeAnnounce(true); err != nil {
+				return err
+			}
+		}
 	}
 	t.closed = true
 	return t.enc.Close()
@@ -359,6 +591,15 @@ func (r *Receiver) Segments() []core.Segment {
 	defer r.mu.RUnlock()
 	return append([]core.Segment(nil), r.segs...)
 }
+
+// EffectiveEpsilon returns the latest announced effective ε of a
+// retune-capable stream — nil until the first opRetune record arrives
+// (the handshake contract holds). Safe only once Run has returned.
+func (r *Receiver) EffectiveEpsilon() []float64 { return r.dec.EffectiveEpsilon() }
+
+// ShedTotal returns the sender-reported decimated-point total from the
+// latest opRetune record. Safe only once Run has returned.
+func (r *Receiver) ShedTotal() uint64 { return r.dec.ShedTotal() }
 
 // Len returns the number of segments received so far.
 func (r *Receiver) Len() int {

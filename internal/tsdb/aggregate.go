@@ -46,7 +46,7 @@ func (s *Series) extremum(dim int, t0, t1 float64, max bool) (AggregateResult, e
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	res := AggregateResult{Epsilon: s.eps[dim]}
+	res := AggregateResult{Epsilon: s.queryEps(dim)}
 	best := math.Inf(1)
 	if max {
 		best = math.Inf(-1)
@@ -89,7 +89,7 @@ func (s *Series) Mean(dim int, t0, t1 float64) (AggregateResult, error) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	res := AggregateResult{Epsilon: s.eps[dim]}
+	res := AggregateResult{Epsilon: s.queryEps(dim)}
 	integral := 0.0
 	instSum, instN := 0.0, 0
 	for i, n := 0, s.store.Len(); i < n; i++ {

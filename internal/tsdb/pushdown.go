@@ -77,7 +77,7 @@ func (s *Series) RangeAgg(dim int, t0, t1 float64) (AggAnswer, error) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	ans := AggAnswer{Epsilon: s.eps[dim]}
+	ans := AggAnswer{Epsilon: s.queryEps(dim)}
 	err := s.decompose(dim, t0, t1, &ans.Stats,
 		func(blk sketch.Block) { ans.Agg.Join(blk.Aggs[dim]) },
 		func(seg core.Segment) {

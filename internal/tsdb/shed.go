@@ -1,0 +1,127 @@
+package tsdb
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/pla-go/pla/internal/core"
+)
+
+// Effective-ε control series: when graceful degradation coarsens a
+// stream — sender-side decimation under the Sample overload policy, or
+// a renegotiated wider ε — the archived data's honest precision is no
+// longer the contract, and that fact must survive everything the data
+// itself survives: WAL replay, snapshot compaction, and restarts on
+// either backend. The record is kept the same way rollup tiers are: a
+// reserved control-prefixed series, registered outside the visible
+// namespace (Names, "*" fan-out and SERIES listings never show it),
+// holding one degenerate segment per inflation step whose X vector is
+// the effective ε at that step. Unlike tiers it is not derivable from
+// the base data, so the server writes it through the ordinary
+// write-ahead shard path and the WAL layer includes it in snapshots and
+// seals, owned by its base series' shard.
+
+// shedPrefix opens every effective-ε control series name. Like
+// rollupPrefix it contains a control character, which ingest name
+// validation rejects, so it can never collide with a user series.
+const shedPrefix = "\x01e" + rollupSep
+
+// ShedName returns the reserved name of the effective-ε control series
+// of base.
+func ShedName(base string) string { return shedPrefix + base }
+
+// ParseShedName splits an effective-ε control series name into its base
+// name; ok is false for ordinary series names.
+func ParseShedName(name string) (base string, ok bool) {
+	rest, found := strings.CutPrefix(name, shedPrefix)
+	if !found || rest == "" {
+		return "", false
+	}
+	return rest, true
+}
+
+// IsShedName reports whether name addresses an effective-ε control
+// series.
+func IsShedName(name string) bool {
+	_, ok := ParseShedName(name)
+	return ok
+}
+
+// ShedNames returns the sorted names of the attached effective-ε
+// control series.
+func (a *Archive) ShedNames() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var out []string
+	for n := range a.tiers {
+		if IsShedName(n) {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RecordEffectiveEpsilon widens the named base series' effective ε and
+// returns the control-series segment that persists the step, or ok
+// false when eff does not widen anything (so callers skip the write).
+// The caller routes the returned segment through its write-ahead path —
+// the same append pipeline user segments take — so a crash cannot
+// forget that archived data went coarse while remembering the data.
+func (a *Archive) RecordEffectiveEpsilon(base string, eff []float64) (ctrl *Series, seg core.Segment, ok bool) {
+	s, err := a.Get(base)
+	if err != nil {
+		return nil, core.Segment{}, false
+	}
+	before := s.QueryEpsilon()
+	widens := false
+	for i, e := range eff {
+		if i < len(before) && e > before[i]+1e-12 {
+			widens = true
+			break
+		}
+	}
+	if !widens {
+		return nil, core.Segment{}, false
+	}
+	s.NoteEffectiveEpsilon(eff)
+	after := s.QueryEpsilon()
+	ctrl, _, err = a.GetOrCreate(ShedName(base), make([]float64, s.Dim()), false)
+	if err != nil {
+		return nil, core.Segment{}, false
+	}
+	// One degenerate segment per step, at a monotone synthetic time: the
+	// step index. Replay and snapshot loads reproduce the same sequence.
+	t := 0.0
+	if _, end, covered := ctrl.Span(); covered {
+		t = end + 1
+	}
+	x := append([]float64(nil), after...)
+	return ctrl, core.Segment{T0: t, T1: t, X0: x, X1: x, Points: 1}, true
+}
+
+// SeedEffectiveEpsilon re-applies persisted effective-ε records to
+// their base series after recovery (replay and snapshot loads rebuild
+// the control series; this folds their newest step back into the bases'
+// reported bounds). Returns how many base series were seeded.
+func (a *Archive) SeedEffectiveEpsilon() int {
+	n := 0
+	for _, name := range a.ShedNames() {
+		base, _ := ParseShedName(name)
+		ctrl, err := a.Get(name)
+		if err != nil {
+			continue
+		}
+		last, covered := ctrl.Last()
+		if !covered {
+			continue
+		}
+		s, err := a.Get(base)
+		if err != nil {
+			continue
+		}
+		s.NoteEffectiveEpsilon(last.X0)
+		n++
+	}
+	return n
+}

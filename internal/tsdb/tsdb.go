@@ -116,6 +116,15 @@ type Series struct {
 	provPoints  int // samples those provisional segments represent
 	consumed    int // high-water of points: most samples ever represented
 	lagHint     int // last advertised m_max_lag bound (0 = none/unbounded)
+	shed        int // samples consumed from senders but shed before landing
+
+	// effEps, when non-nil, is the effective per-dimension precision of
+	// the archived data: the contract ε inflated by whatever degradation
+	// the data passed through (sender-side decimation under the Sample
+	// overload policy, a coarser renegotiated ε). It only ever widens —
+	// once coarse data is in the archive, every answer over it must say
+	// so — and query bounds report it in place of the contract.
+	effEps []float64
 
 	// blkMu guards blocks, the memoized pushdown summary windows (see
 	// pushdown.go). A separate lock: queries memoize while holding only
@@ -138,10 +147,11 @@ func (a *Archive) Create(name string, eps []float64, constant bool) (*Series, er
 	return a.createLocked(name, eps, constant), nil
 }
 
-// registry returns the map a series name registers in: rollup tier
-// names live apart from the user namespace. a.mu must be held.
+// registry returns the map a series name registers in: rollup tier and
+// effective-ε control names live apart from the user namespace. a.mu
+// must be held.
 func (a *Archive) registry(name string) map[string]*Series {
-	if IsRollupName(name) {
+	if IsRollupName(name) || IsShedName(name) {
 		return a.tiers
 	}
 	return a.series
@@ -212,9 +222,12 @@ func (a *Archive) Drop(name string) error {
 		return fmt.Errorf("%w: %q", ErrUnknown, name)
 	}
 	delete(reg, name)
-	if !IsRollupName(name) {
+	if !IsRollupName(name) && !IsShedName(name) {
 		for tn := range a.tiers {
 			if b, _, ok := ParseRollupName(tn); ok && b == name {
+				delete(a.tiers, tn)
+			}
+			if b, ok := ParseShedName(tn); ok && b == name {
 				delete(a.tiers, tn)
 			}
 		}
@@ -365,8 +378,12 @@ func (s *Series) storeLocked(seg core.Segment) {
 		s.provisional++
 		s.provPoints += seg.Points
 	}
-	if s.points > s.consumed {
-		s.consumed = s.points
+	// The consumed high-water floors at stored plus shed: samples the
+	// overload policy dropped were still consumed from the sender, so a
+	// later append must not hide that the stream got further than the
+	// archive did.
+	if s.points+s.shed > s.consumed {
+		s.consumed = s.points + s.shed
 	}
 }
 
@@ -503,6 +520,7 @@ func (s *Series) SetPoints(n int) {
 	s.mu.Lock()
 	s.points = n
 	s.consumed = n
+	s.shed = 0
 	s.mu.Unlock()
 }
 
@@ -561,6 +579,102 @@ func (s *Series) Staleness() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.consumed - (s.points - s.provPoints)
+}
+
+// NoteShed records that an overload policy dropped a segment carrying
+// pts consumed samples before it could land in the archive. The samples
+// crossed the wire, so the consumed high-water mark must advance past
+// them — a drop can only grow the series' reported staleness, never
+// shrink it (in particular, shedding a provisional receiver update must
+// not roll the provisional high-water back). Finalized drops count into
+// the permanent shed offset, since no later append will re-cover them;
+// a provisional drop only bumps the high-water, because the final
+// segment that closes its interval will still arrive and re-carry its
+// points.
+func (s *Series) NoteShed(pts int, provisional bool) {
+	if pts <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if !provisional {
+		s.shed += pts
+	}
+	c := s.points - s.provPoints + s.shed
+	if provisional {
+		c += pts
+	}
+	if c > s.consumed {
+		s.consumed = c
+	}
+	s.mu.Unlock()
+}
+
+// Shed returns how many consumed samples overload policies dropped from
+// this series' stream, lifetime.
+func (s *Series) Shed() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.shed
+}
+
+// NoteEffectiveEpsilon widens the series' effective precision to at
+// least eff in every dimension. It is monotone: the effective ε reports
+// the coarsest data ever archived under the contract, so it never
+// narrows while that data may still be served. Dimensions beyond the
+// series' are ignored; components below the contract are clamped to it.
+func (s *Series) NoteEffectiveEpsilon(eff []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.eps {
+		if i >= len(eff) {
+			break
+		}
+		e := eff[i]
+		if math.IsNaN(e) || math.IsInf(e, 0) || e <= s.eps[i] {
+			continue
+		}
+		if s.effEps == nil {
+			s.effEps = append([]float64(nil), s.eps...)
+		}
+		if e > s.effEps[i] {
+			s.effEps[i] = e
+		}
+	}
+}
+
+// QueryEpsilon returns the per-dimension precision query bounds must
+// report: the contract ε, inflated by any degradation the archived data
+// passed through (do not modify). Equal to Epsilon when nothing was ever
+// shed or renegotiated.
+func (s *Series) QueryEpsilon() []float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.effEps == nil {
+		return s.eps
+	}
+	return s.effEps
+}
+
+// EffExtra returns the effective-ε inflation above contract in dim —
+// the extra band width every answer over this series must absorb, even
+// when served from a rollup tier (the tier re-encodes data that was
+// already coarse).
+func (s *Series) EffExtra(dim int) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.effEps == nil || dim < 0 || dim >= len(s.eps) {
+		return 0
+	}
+	return s.effEps[dim] - s.eps[dim]
+}
+
+// queryEps returns the reported precision in one dimension; the
+// pushdown and aggregate paths use it where they used the contract.
+func (s *Series) queryEps(dim int) float64 {
+	if s.effEps != nil && dim < len(s.effEps) {
+		return s.effEps[dim]
+	}
+	return s.eps[dim]
 }
 
 // SetLagHint records the m_max_lag bound the most recent ingest session

@@ -351,6 +351,12 @@ func (dw *dgramWriter) poll() {
 		if err != nil {
 			return
 		}
+		// The server spoke: any refusals still queued on the socket are
+		// stale (a restart's ICMP backlog), not evidence it is down.
+		// Without this reset, refusals read here would accumulate across
+		// polls and a healthy session could be killed by pre-restart
+		// errors the next time a read surfaces one.
+		dw.refused = 0
 		dw.handle(dw.rbuf[:n])
 	}
 }
@@ -393,6 +399,9 @@ func (dw *dgramWriter) ackTo(cum uint32) bool {
 	if progressed {
 		dw.rto = rtoInit
 		dw.streak = 0
+		// A successful ack also clears the refused streak: the peer that
+		// acked is alive, whatever stale ICMP errors the socket holds.
+		dw.refused = 0
 	}
 	return progressed
 }

@@ -1,0 +1,136 @@
+package udpingest
+
+import (
+	"encoding/binary"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// makeAckDgram packs a cumulative server ack for the given session.
+func makeAckDgram(sid uint64, cum uint32) []byte {
+	b := make([]byte, headerSize)
+	putHeader(b, header{typ: typeAck, sid: sid, seq: cum})
+	return b
+}
+
+// TestRefusedStreakResetByAck is the 3-strike regression: a successful
+// cumulative ack proves the peer is alive, so it must clear the refusal
+// streak — stale ICMP port-unreachable errors queued on the socket from
+// a server restart would otherwise accumulate across reads and kill a
+// healthy session on the third one, however far apart they were.
+func TestRefusedStreakResetByAck(t *testing.T) {
+	dw := &dgramWriter{sid: 7, nextSeq: 3, base: 1, rto: rtoInit, streak: 2}
+	dw.refused = refusedLimit - 1 // one refusal short of fatal
+	if !dw.ackTo(2) {
+		t.Fatal("cumulative ack made no progress")
+	}
+	if dw.refused != 0 {
+		t.Fatalf("refused streak %d after a successful ack, want 0", dw.refused)
+	}
+	if dw.streak != 0 || dw.rto != rtoInit {
+		t.Fatalf("RTO state (streak %d, rto %v) not reset by the ack", dw.streak, dw.rto)
+	}
+	// The very next refusals start a fresh streak: two more must still
+	// be tolerated before the sticky error trips.
+	for i := 0; i < refusedLimit-1; i++ {
+		if dw.fatalRefused(syscall.ECONNREFUSED) {
+			t.Fatalf("session declared dead after %d post-ack refusals", i+1)
+		}
+	}
+	if !dw.fatalRefused(syscall.ECONNREFUSED) {
+		t.Fatal("a full fresh streak did not trip the sticky error")
+	}
+}
+
+// TestRefusedStreakOnlyCountsRefusals pins what feeds the streak:
+// timeouts and other transient errors leave it alone.
+func TestRefusedStreakOnlyCountsRefusals(t *testing.T) {
+	dw := &dgramWriter{sid: 1, nextSeq: 1, base: 1, rto: rtoInit}
+	if dw.fatalRefused(syscall.ECONNRESET) {
+		t.Fatal("non-refusal error declared the server gone")
+	}
+	if dw.refused != 0 {
+		t.Fatalf("non-refusal error bumped the streak to %d", dw.refused)
+	}
+	for i := 0; i < refusedLimit-1; i++ {
+		if dw.fatalRefused(syscall.ECONNREFUSED) {
+			t.Fatalf("fatal after only %d refusals", i+1)
+		}
+	}
+	if dw.err != nil {
+		t.Fatalf("sticky error set early: %v", dw.err)
+	}
+	if !dw.fatalRefused(syscall.ECONNREFUSED) || dw.err == nil {
+		t.Fatal("refusedLimit consecutive refusals did not kill the session")
+	}
+}
+
+// refusedScriptConn plays a fixed sequence of read outcomes: each entry
+// is either an error to return or a datagram to deliver.
+type refusedScriptConn struct {
+	net.Conn // nil; only the methods below are used
+	script   []any
+	writes   int
+}
+
+func (c *refusedScriptConn) Read(b []byte) (int, error) {
+	if len(c.script) == 0 {
+		return 0, &net.OpError{Op: "read", Err: timeoutErr{}}
+	}
+	next := c.script[0]
+	c.script = c.script[1:]
+	if err, ok := next.(error); ok {
+		return 0, err
+	}
+	return copy(b, next.([]byte)), nil
+}
+
+func (c *refusedScriptConn) Write(b []byte) (int, error)     { c.writes++; return len(b), nil }
+func (c *refusedScriptConn) SetReadDeadline(time.Time) error { return nil }
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+// TestAwaitSurvivesInterleavedRefusals drives the real await loop over a
+// socket whose reads interleave stale refusals with live acks. With the
+// reset in place the session absorbs 2×(refusedLimit−1) refusals; without
+// it the accumulated streak would go fatal on the third read.
+func TestAwaitSurvivesInterleavedRefusals(t *testing.T) {
+	const sid = 42
+	refuse := &net.OpError{Op: "read", Err: syscall.ECONNREFUSED}
+	conn := &refusedScriptConn{script: []any{
+		refuse, refuse, // streak at refusedLimit-1
+		makeAckDgram(sid, 1), // server alive: streak must reset
+		refuse, refuse,       // a fresh pair, still tolerable
+		makeAckDgram(sid, 2),
+	}}
+	dw := &dgramWriter{c: conn, sid: sid, nextSeq: 3, base: 1, rto: rtoInit, rbuf: make([]byte, 2048)}
+	for dw.base != dw.nextSeq {
+		if err := dw.await(); err != nil {
+			t.Fatalf("await failed on stale refusals a live server interleaved: %v", err)
+		}
+	}
+	if dw.refused != 0 {
+		t.Fatalf("refused streak %d at the end of a healthy drain", dw.refused)
+	}
+	if dw.err != nil {
+		t.Fatalf("sticky error on a session the server kept acking: %v", dw.err)
+	}
+}
+
+// TestAckDgramShape guards the test's own fixture against header drift.
+func TestAckDgramShape(t *testing.T) {
+	b := makeAckDgram(9, 5)
+	h, ok := parseHeader(b)
+	if !ok || h.typ != typeAck || h.sid != 9 || h.seq != 5 {
+		t.Fatalf("parseHeader(%v) = %+v %v", b, h, ok)
+	}
+	if binary.LittleEndian.Uint32(b[16:20]) != 5 {
+		t.Fatal("seq field moved")
+	}
+}

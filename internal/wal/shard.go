@@ -141,6 +141,22 @@ func (sh *Shard) ownedNames() []string {
 	return names
 }
 
+// shedOwned lists the effective-ε control series whose base series this
+// shard owns. Like rollup tiers they hash by a reserved name, so
+// ownership resolves through the base — but unlike tiers their records
+// are not derivable from anything else, so every baseline (snapshot or
+// seal) must carry them or a restart would forget that degraded data is
+// wider than its contract.
+func (sh *Shard) shedOwned() []string {
+	var names []string
+	for _, name := range sh.db.ShedNames() {
+		if base, ok := tsdb.ParseShedName(name); ok && ShardIndex(base, sh.n) == sh.k {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
 // pruneRetention applies the retention window to this shard's series,
 // returning how many segments it dropped.
 func (sh *Shard) pruneRetention() int {
@@ -237,7 +253,7 @@ func (sh *Shard) snapshot(throughSeq uint64, forceFull bool) error {
 // maxPartialChain, or when at least half the owned series are dirty —
 // a partial that size saves little and still lengthens the chain.
 func (sh *Shard) snapshotPlan(forceFull bool) (names []string, full bool) {
-	owned := sh.ownedNames()
+	owned := append(sh.ownedNames(), sh.shedOwned()...)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	full = forceFull || !sh.hasFull || sh.chain >= maxPartialChain || 2*len(sh.dirty) >= len(owned)
@@ -327,9 +343,11 @@ const maxTierMerges = 4
 
 // sealOwned folds every owned series' append tail into its extent
 // store. The marker that makes the covered wal files deletable is only
-// written once every series sealed cleanly.
+// written once every series sealed cleanly. Effective-ε control series
+// seal with the same strictness: their records live in the wal the
+// marker makes deletable.
 func (sh *Shard) sealOwned() error {
-	for _, name := range sh.ownedNames() {
+	for _, name := range append(sh.ownedNames(), sh.shedOwned()...) {
 		s, err := sh.db.Get(name)
 		if err != nil {
 			continue

@@ -224,8 +224,21 @@ func Open(dir string, nShards int, db *tsdb.Archive, opts Options) (st *Store, s
 				// now own them.
 				migrate = true
 			}
-			for _, name := range u.staged.Names() {
-				if u.shard != ShardIndex(name, nShards) {
+			// Names() hides control-prefixed series, but effective-ε
+			// records ride the snapshots of the shard that owns their
+			// base — merge them too, or a restart forgets the archived
+			// data went coarser than its contract. They hash through
+			// their base name for layout purposes, like rollup tiers.
+			names := u.staged.Names()
+			for _, n := range u.staged.ShedNames() {
+				names = append(names, n)
+			}
+			for _, name := range names {
+				owner := name
+				if base, ok := tsdb.ParseShedName(name); ok {
+					owner = base
+				}
+				if u.shard != ShardIndex(owner, nShards) {
 					migrate = true
 				}
 				reconciled, err := mergeSeries(db, u.staged, name, nil)
@@ -285,8 +298,19 @@ func Open(dir string, nShards int, db *tsdb.Archive, opts Options) (st *Store, s
 			staged := tsdb.New()
 			n, _ := loadChain(snaps, parts, staged, opts)
 			stats.SnapshotSeries += n
-			for _, name := range staged.Names() {
-				if u.shard != ShardIndex(name, nShards) {
+			// Effective-ε control series hide from Names() but ride the
+			// snapshots; merge them through the same reconciliation, with
+			// layout ownership resolved through their base name.
+			names := staged.Names()
+			for _, cn := range staged.ShedNames() {
+				names = append(names, cn)
+			}
+			for _, name := range names {
+				owner := name
+				if base, ok := tsdb.ParseShedName(name); ok {
+					owner = base
+				}
+				if u.shard != ShardIndex(owner, nShards) {
 					migrate = true
 				}
 				reconciled, err := mergeSeries(db, staged, name, mm)
